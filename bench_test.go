@@ -1,0 +1,300 @@
+// Package repro_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation. Each benchmark runs the
+// corresponding experiment and reports the simulated execution times as
+// custom metrics alongside the usual wall-clock cost:
+//
+//	BenchmarkTable1FFT / Airshed / MRI  — the three rows of Table 1
+//	                                      (random vs automatic, load+traffic)
+//	BenchmarkTable1Full                 — the entire Table 1 grid
+//	BenchmarkHalvingHeadline            — §4.3 "increase cut in half"
+//	BenchmarkFig4Avoidance              — the Figure 4 selection scenario
+//	BenchmarkFig2MaxBandwidth*          — Figure 2 algorithm cost scaling
+//	BenchmarkFig3Balanced*              — Figure 3 algorithm cost scaling
+//	BenchmarkAblationAlgorithms         — §3.2 objectives + §4.3 baselines
+//	BenchmarkAblationGreedyGap          — Figure 3 variant vs brute force
+//	BenchmarkMigration                  — §3.3 dynamic migration
+//	BenchmarkSweepLoad / SweepTraffic   — §4.4 sensitivity sweeps
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+	"nodeselect/internal/experiment"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// benchConfig keeps benchmark iterations affordable: one replication per
+// cell (the -reps flag of cmd/expt produces the statistically reduced
+// numbers recorded in EXPERIMENTS.md).
+func benchConfig() experiment.Config {
+	cfg := experiment.Default()
+	cfg.Replications = 1
+	return cfg
+}
+
+// benchTable1Row runs one application's load+traffic cell with random and
+// automatic selection and reports the simulated seconds as metrics.
+func benchTable1Row(b *testing.B, app func() apps.App) {
+	cfg := benchConfig()
+	var random, auto float64
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiment.RunOnce(cfg, app(), experiment.CondBoth, "random", i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, _, err := experiment.RunOnce(cfg, app(), experiment.CondBoth, "balanced", i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		random += r
+		auto += a
+	}
+	b.ReportMetric(random/float64(b.N), "random_sim_s")
+	b.ReportMetric(auto/float64(b.N), "auto_sim_s")
+}
+
+func BenchmarkTable1FFT(b *testing.B) {
+	benchTable1Row(b, func() apps.App { return apps.DefaultFFT() })
+}
+
+func BenchmarkTable1Airshed(b *testing.B) {
+	benchTable1Row(b, func() apps.App { return apps.DefaultAirshed() })
+}
+
+func BenchmarkTable1MRI(b *testing.B) {
+	benchTable1Row(b, func() apps.App { return apps.DefaultMRI() })
+}
+
+func BenchmarkTable1Full(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := experiment.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("short table")
+		}
+	}
+}
+
+func BenchmarkHalvingHeadline(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := experiment.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := experiment.ComputeHeadline(rows)
+		sum := 0.0
+		for _, h := range hs {
+			sum += h.Ratio
+		}
+		ratio += sum / float64(len(hs))
+	}
+	// The paper reports this ratio as "approximately half".
+	b.ReportMetric(ratio/float64(b.N), "increase_ratio")
+}
+
+func BenchmarkFig4Avoidance(b *testing.B) {
+	avoided := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig4(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AvoidedCongestion {
+			avoided++
+		}
+	}
+	b.ReportMetric(float64(avoided)/float64(b.N), "avoidance_rate")
+}
+
+// selectionSnapshot builds a loaded random tree of n compute nodes for
+// algorithm-cost benchmarks.
+func selectionSnapshot(n int) *topology.Snapshot {
+	src := randx.New(int64(n))
+	g := testbed.RandomTree(src, n, []float64{testbed.Ethernet100, testbed.ATM155})
+	s := topology.NewSnapshot(g)
+	for i := 0; i < g.NumNodes(); i++ {
+		s.SetLoad(i, src.Float64()*4)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		s.SetAvailBW(l, src.Float64()*g.Link(l).Capacity)
+	}
+	g.Routes() // pre-build routing so benches measure selection only
+	return s
+}
+
+func benchSelection(b *testing.B, n int, algo string) {
+	s := selectionSnapshot(n)
+	req := core.Request{M: n / 4}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Select(algo, s, req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MaxBandwidth50(b *testing.B)  { benchSelection(b, 50, core.AlgoBandwidth) }
+func BenchmarkFig2MaxBandwidth100(b *testing.B) { benchSelection(b, 100, core.AlgoBandwidth) }
+func BenchmarkFig2MaxBandwidth200(b *testing.B) { benchSelection(b, 200, core.AlgoBandwidth) }
+func BenchmarkFig2MaxBandwidth400(b *testing.B) { benchSelection(b, 400, core.AlgoBandwidth) }
+
+func BenchmarkFig3Balanced50(b *testing.B)  { benchSelection(b, 50, core.AlgoBalanced) }
+func BenchmarkFig3Balanced100(b *testing.B) { benchSelection(b, 100, core.AlgoBalanced) }
+func BenchmarkFig3Balanced200(b *testing.B) { benchSelection(b, 200, core.AlgoBalanced) }
+func BenchmarkFig3Balanced400(b *testing.B) { benchSelection(b, 400, core.AlgoBalanced) }
+
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := experiment.RunAlgorithmAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(core.Algorithms()) {
+			b.Fatal("short ablation")
+		}
+	}
+}
+
+func BenchmarkAblationGreedyGap(b *testing.B) {
+	cfg := benchConfig()
+	var paperRatio float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		gap, err := experiment.RunGreedyGapAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paperRatio += gap.MeanPaperRatio
+	}
+	b.ReportMetric(paperRatio/float64(b.N), "paper_variant_ratio")
+}
+
+func BenchmarkMigration(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMigration(experiment.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup += res.StayElapsed / res.MigrateElapsed
+	}
+	b.ReportMetric(speedup/float64(b.N), "migration_speedup")
+}
+
+func BenchmarkAblationQueryModes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := experiment.RunModeAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 4 {
+			b.Fatal("short mode ablation")
+		}
+	}
+}
+
+func BenchmarkAblationPattern(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := experiment.RunPatternAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 2 {
+			b.Fatal("short pattern ablation")
+		}
+	}
+}
+
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := experiment.RunHeteroAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio += cells[1].Elapsed / cells[2].Elapsed // own-fraction / ref-capacity
+	}
+	b.ReportMetric(ratio/float64(b.N), "own_over_ref")
+}
+
+func BenchmarkAutosize(b *testing.B) {
+	cfg := benchConfig()
+	var regret float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		results, err := experiment.RunAutosize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			regret += res.Regret / float64(len(results))
+		}
+	}
+	b.ReportMetric(regret/float64(b.N), "autosize_regret")
+}
+
+func BenchmarkSweepLoad(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiment.RunLoadSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepTraffic(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiment.RunTrafficSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepPollingPeriod(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiment.RunPeriodSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFailover(b *testing.B) {
+	avoided := 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFailover(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CrossesFailure && !res.NaiveCompleted {
+			avoided++
+		}
+	}
+	b.ReportMetric(float64(avoided)/float64(b.N), "failover_correct")
+}

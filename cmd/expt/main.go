@@ -1,0 +1,228 @@
+// Command expt runs the paper-reproduction experiments and prints
+// paper-style tables.
+//
+// Usage:
+//
+//	expt -run table1 [-reps 5] [-seed 1]
+//	expt -run headline
+//	expt -run fig4
+//	expt -run sweep
+//	expt -run ablation
+//	expt -run migration
+//	expt -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nodeselect/internal/experiment"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, all")
+		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
+		trafR   = flag.Float64("traffic-rate", 0, "override network-wide message rate")
+		verbose = flag.Bool("v", false, "print extra detail")
+		csvOut  = flag.Bool("csv", false, "emit table1 as CSV for plotting")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default()
+	cfg.Seed = *seed
+	if *reps > 0 {
+		cfg.Replications = *reps
+	}
+	if *loadR > 0 {
+		cfg.LoadRate = *loadR
+	}
+	if *trafR > 0 {
+		cfg.TrafficRate = *trafR
+	}
+
+	verboseOut = *verbose
+	if *csvOut && *run == "table1" {
+		rows, err := experiment.RunTable1(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expt:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiment.Table1CSV(rows))
+		return
+	}
+	if err := dispatch(*run, cfg, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "expt:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, cfg experiment.Config, verbose bool) error {
+	switch run {
+	case "table1":
+		return runTable1(cfg)
+	case "headline":
+		return runHeadline(cfg)
+	case "fig4":
+		return runFig4()
+	case "sweep":
+		return runSweep(cfg)
+	case "ablation":
+		return runAblation(cfg, verbose)
+	case "migration":
+		return runMigration(cfg)
+	case "modes":
+		return runModes(cfg)
+	case "hetero":
+		return runHetero(cfg)
+	case "pattern":
+		return runPattern(cfg)
+	case "failover":
+		return runFailover(cfg)
+	case "autosize":
+		return runAutosize(cfg)
+	case "all":
+		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration"} {
+			fmt.Printf("==== %s ====\n", r)
+			if err := dispatch(r, cfg, verbose); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+}
+
+func runTable1(cfg experiment.Config) error {
+	rows, err := experiment.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatTable1(rows))
+	if verboseOut {
+		fmt.Println()
+		fmt.Print(experiment.FormatTable1Long(rows))
+	}
+	return nil
+}
+
+// verboseOut is set from the -v flag before dispatch.
+var verboseOut bool
+
+func runHeadline(cfg experiment.Config) error {
+	rows, err := experiment.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatTable1(rows))
+	fmt.Println()
+	fmt.Print(experiment.FormatHeadline(experiment.ComputeHeadline(rows)))
+	return nil
+}
+
+func runFig4() error {
+	res, err := experiment.RunFig4(0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatFig4(res))
+	fmt.Println()
+	fmt.Println(res.DOT)
+	return nil
+}
+
+func runSweep(cfg experiment.Config) error {
+	res, err := experiment.RunLoadSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatLoadSweep(res))
+	fmt.Println()
+	tres, err := experiment.RunTrafficSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatTrafficSweep(tres))
+	fmt.Println()
+	pres, err := experiment.RunPeriodSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatPeriodSweep(pres))
+	return nil
+}
+
+func runAblation(cfg experiment.Config, verbose bool) error {
+	res, err := experiment.RunAlgorithmAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatAlgorithmAblation(res))
+	fmt.Println()
+	gap, err := experiment.RunGreedyGapAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatGreedyGap(gap))
+	_ = verbose
+	return nil
+}
+
+func runModes(cfg experiment.Config) error {
+	res, err := experiment.RunModeAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatModeAblation(res))
+	return nil
+}
+
+func runHetero(cfg experiment.Config) error {
+	res, err := experiment.RunHeteroAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatHeteroAblation(res))
+	return nil
+}
+
+func runFailover(cfg experiment.Config) error {
+	res, err := experiment.RunFailover(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatFailover(res))
+	return nil
+}
+
+func runPattern(cfg experiment.Config) error {
+	res, err := experiment.RunPatternAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatPatternAblation(res))
+	return nil
+}
+
+func runAutosize(cfg experiment.Config) error {
+	res, err := experiment.RunAutosize(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatAutosize(res))
+	return nil
+}
+
+func runMigration(cfg experiment.Config) error {
+	res, err := experiment.RunMigration(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatMigration(res))
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command nodeselect runs the paper's node selection procedures over a
+// topology document (graph + status snapshot, as produced by cmd/topogen or
+// assembled from Remos measurements).
+//
+// Usage:
+//
+//	topogen -topo cmu -snapshot | nodeselect -m 4 -algo balanced
+//	nodeselect -m 4 -algo bandwidth -in loaded.json
+//	nodeselect -m 5 -algo balanced -priority 2 -minbw 25e6 -in loaded.json
+//	nodeselect -m 4 -spec app.json -in loaded.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nodeselect/internal/appspec"
+	"nodeselect/internal/core"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "topology document (JSON); - for stdin")
+		m        = flag.Int("m", 4, "number of nodes to select")
+		algo     = flag.String("algo", "balanced", "algorithm: "+strings.Join(core.Algorithms(), ", "))
+		priority = flag.Float64("priority", 0, "compute priority factor (0 = balanced)")
+		refCap   = flag.Float64("refcap", 0, "reference link capacity in bits/s for heterogeneous networks")
+		minBW    = flag.Float64("minbw", 0, "minimum pairwise bandwidth floor in bits/s")
+		minCPU   = flag.Float64("mincpu", 0, "minimum effective CPU fraction floor")
+		pinned   = flag.String("pin", "", "comma-separated node names that must be selected")
+		specPath = flag.String("spec", "", "application spec JSON (overrides -m and floors)")
+		seed     = flag.Int64("seed", 1, "seed for random selection")
+		dot      = flag.Bool("dot", false, "also print a DOT rendering with selected nodes in bold")
+		explain  = flag.Bool("explain", false, "print the balanced sweep's round-by-round trace")
+	)
+	flag.Parse()
+	if err := run(*in, *m, *algo, *priority, *refCap, *minBW, *minCPU, *pinned, *specPath, *seed, *dot, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "nodeselect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, m int, algo string, priority, refCap, minBW, minCPU float64,
+	pinned, specPath string, seed int64, dot, explain bool) error {
+	var r *os.File
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, snap, err := topology.ReadDocument(r)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		snap = topology.NewSnapshot(g)
+	}
+
+	src := randx.New(seed)
+	var result core.Result
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := appspec.Parse(data)
+		if err != nil {
+			return err
+		}
+		place, err := appspec.SelectGroups(snap, spec, algo, src)
+		if err != nil {
+			return err
+		}
+		for name, nodes := range place.ByGroup {
+			names := make([]string, len(nodes))
+			for i, id := range nodes {
+				names[i] = g.Node(id).Name
+			}
+			fmt.Printf("group %-12s %s\n", name+":", strings.Join(names, ", "))
+		}
+		result = place.Score
+	} else {
+		req := core.Request{
+			M:               m,
+			ComputePriority: priority,
+			RefCapacity:     refCap,
+			MinBW:           minBW,
+			MinCPU:          minCPU,
+		}
+		for _, name := range splitNonEmpty(pinned) {
+			id := g.NodeByName(name)
+			if id < 0 {
+				return fmt.Errorf("unknown pinned node %q", name)
+			}
+			req.Pinned = append(req.Pinned, id)
+		}
+		if explain && algo == core.AlgoBalanced {
+			var steps []core.SweepStep
+			result, steps, err = core.BalancedTrace(snap, req)
+			if err != nil {
+				return err
+			}
+			fmt.Print(core.FormatSweepTrace(g, steps))
+			fmt.Println()
+		} else {
+			result, err = core.Select(algo, snap, req, src)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("selected:    %s\n", strings.Join(result.Names(g), ", "))
+	fmt.Printf("min cpu:     %.3f\n", result.MinCPU)
+	fmt.Printf("pair min bw: %s\n", topology.FormatBandwidth(finite(result.PairMinBW)))
+	fmt.Printf("minresource: %.3f\n", result.MinResource)
+	if dot {
+		highlight := map[int]bool{}
+		for _, id := range result.Nodes {
+			highlight[id] = true
+		}
+		fmt.Println()
+		return topology.WriteDOT(os.Stdout, g, topology.DOTOptions{
+			Snapshot:  snap,
+			Highlight: highlight,
+			Name:      "selection",
+		})
+	}
+	return nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func finite(v float64) float64 {
+	if v > 1e300 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// writeDoc writes a CMU topology document with a snapshot to a temp file.
+func writeDoc(t *testing.T, withSnapshot bool) string {
+	t.Helper()
+	g := testbed.CMU()
+	var snap *topology.Snapshot
+	if withSnapshot {
+		snap = topology.NewSnapshot(g)
+		snap.SetLoadName("m-1", 3)
+		snap.SetAvailBW(0, 10e6)
+	}
+	path := filepath.Join(t.TempDir(), "doc.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := topology.WriteDocument(f, g, snap); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicSelection(t *testing.T) {
+	doc := writeDoc(t, true)
+	for _, algo := range []string{"compute", "bandwidth", "balanced", "static", "random"} {
+		if err := run(doc, 4, algo, 0, 0, 0, 0, "", "", 1, false, false); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunWithoutSnapshot(t *testing.T) {
+	doc := writeDoc(t, false)
+	if err := run(doc, 4, "balanced", 0, 0, 0, 0, "", "", 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithOptions(t *testing.T) {
+	doc := writeDoc(t, true)
+	// Priority, reference capacity, floors, pinning and DOT output.
+	if err := run(doc, 4, "balanced", 2, 100e6, 20e6, 0.2, "m-7, m-8", "", 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+	// The -explain trace path.
+	if err := run(doc, 4, "balanced", 0, 0, 0, 0, "", "", 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	doc := writeDoc(t, true)
+	if err := run(doc, 4, "bogus", 0, 0, 0, 0, "", "", 1, false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(doc, 99, "balanced", 0, 0, 0, 0, "", "", 1, false, false); err == nil {
+		t.Error("oversized request accepted")
+	}
+	if err := run(doc, 4, "balanced", 0, 0, 0, 0, "ghost", "", 1, false, false); err == nil {
+		t.Error("unknown pinned node accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 4, "balanced", 0, 0, 0, 0, "", "", 1, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunWithSpec(t *testing.T) {
+	doc := writeDoc(t, true)
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	content := `{
+		"name": "imaging",
+		"groups": [
+			{"name": "server", "count": 1, "hosts": ["m-7", "m-8"]},
+			{"name": "clients", "count": 3}
+		]
+	}`
+	if err := os.WriteFile(spec, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(doc, 0, "balanced", 0, 0, 0, 0, "", spec, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Bad spec path and bad spec content.
+	if err := run(doc, 0, "balanced", 0, 0, 0, 0, "", filepath.Join(t.TempDir(), "no.json"), 1, false, false); err == nil {
+		t.Error("missing spec accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := run(doc, 0, "balanced", 0, 0, 0, 0, "", bad, 1, false, false); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitNonEmpty = %v", got)
+	}
+	if splitNonEmpty("") != nil {
+		t.Fatal("empty input should be nil")
+	}
+}

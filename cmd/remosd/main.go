@@ -1,0 +1,93 @@
+// Command remosd runs a fleet of Remos measurement agents — one TCP server
+// per node of a topology — backed by a synthetic status source whose
+// counters advance in real time. It demonstrates the wire path a collector
+// (cmd/remosquery) uses, mirroring the SNMP daemons of the original Remos
+// deployment.
+//
+// Usage:
+//
+//	topogen -topo cmu -snapshot | remosd -listen 127.0.0.1:7700
+//
+// Agents listen on consecutive ports starting at the given address; the
+// node-to-address mapping is printed on startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7700", "base address; node i listens on port+i")
+		tick   = flag.Duration("tick", time.Second, "interval at which the synthetic clock advances")
+	)
+	flag.Parse()
+	if err := run(*listen, *tick); err != nil {
+		fmt.Fprintln(os.Stderr, "remosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, tick time.Duration) error {
+	g, snap, err := topology.ReadDocument(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		snap = topology.NewSnapshot(g)
+	}
+	src, err := remos.FromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return err
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("bad port %q: %w", portStr, err)
+	}
+
+	agents := make([]*agent.Agent, 0, g.NumNodes())
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	for node := 0; node < g.NumNodes(); node++ {
+		a := agent.NewAgent(src, node)
+		addr, err := a.Listen(net.JoinHostPort(host, strconv.Itoa(basePort+node)))
+		if err != nil {
+			return fmt.Errorf("node %s: %w", g.Node(node).Name, err)
+		}
+		agents = append(agents, a)
+		fmt.Printf("%-12s %s\n", g.Node(node).Name, addr)
+	}
+	fmt.Println("remosd: serving; ctrl-c to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			src.Advance(tick.Seconds())
+		case <-stop:
+			fmt.Println("\nremosd: shutting down")
+			return nil
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command remosquery polls a fleet of Remos agents (cmd/remosd) over TCP,
+// assembles snapshots with a collector, and answers the Remos query forms
+// of the paper: node queries (available CPU), flow queries (available
+// bandwidth between a node pair), and full topology snapshots — optionally
+// feeding the snapshot straight into node selection.
+//
+// Usage:
+//
+//	topogen -topo cmu -snapshot > doc.json
+//	remosd -listen 127.0.0.1:7700 < doc.json &
+//	remosquery -in doc.json -agents 127.0.0.1:7700 -flow m-1,m-18
+//	remosquery -in doc.json -agents 127.0.0.1:7700 -node m-16
+//	remosquery -in doc.json -agents 127.0.0.1:7700 -select 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "topology document JSON (graph structure); omit with -discover")
+		discover = flag.Bool("discover", false, "discover the topology from the agents (needs -nodes)")
+		nodeCnt  = flag.Int("nodes", 0, "number of agents when discovering")
+		agents   = flag.String("agents", "127.0.0.1:7700", "base agent address; node i at port+i")
+		polls    = flag.Int("polls", 3, "number of samples to collect")
+		period   = flag.Duration("period", time.Second, "polling period")
+		mode     = flag.String("mode", "current", "query mode: current, window, forecast, trend")
+		flow     = flag.String("flow", "", "flow query: srcName,dstName")
+		node     = flag.String("node", "", "node query: name")
+		selectM  = flag.Int("select", 0, "run balanced selection for this many nodes")
+	)
+	flag.Parse()
+	if err := run(*in, *discover, *nodeCnt, *agents, *polls, *period, *mode, *flow, *node, *selectM); err != nil {
+		fmt.Fprintln(os.Stderr, "remosquery:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (remos.Mode, error) {
+	switch s {
+	case "current":
+		return remos.Current, nil
+	case "window":
+		return remos.Window, nil
+	case "forecast":
+		return remos.Forecast, nil
+	case "trend":
+		return remos.Trend, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func run(in string, discover bool, nodeCnt int, agentsAddr string, polls int,
+	period time.Duration, modeStr, flow, node string, selectM int) error {
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	host, portStr, err := net.SplitHostPort(agentsAddr)
+	if err != nil {
+		return err
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return err
+	}
+	mkAddrs := func(n int) []string {
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		}
+		return addrs
+	}
+
+	var ns *agent.NetSource
+	var g *topology.Graph
+	switch {
+	case discover:
+		if nodeCnt <= 0 {
+			return fmt.Errorf("-discover needs -nodes (the agent count)")
+		}
+		ns, err = agent.DiscoverSource(mkAddrs(nodeCnt))
+		if err != nil {
+			return err
+		}
+		g = ns.Topology()
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		g, _, err = topology.ReadDocument(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ns, err = agent.Dial(g, mkAddrs(g.NumNodes()))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -in or -discover is required")
+	}
+	defer ns.Close()
+
+	col := remos.NewCollector(ns, remos.CollectorConfig{Period: period.Seconds()})
+	for i := 0; i < polls; i++ {
+		if err := ns.Refresh(); err != nil {
+			return err
+		}
+		col.Poll()
+		if i+1 < polls {
+			time.Sleep(period)
+		}
+	}
+
+	snap, err := col.Snapshot(mode, false)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case flow != "":
+		parts := strings.SplitN(flow, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("flow query needs src,dst")
+		}
+		a, b := g.NodeByName(parts[0]), g.NodeByName(parts[1])
+		if a < 0 || b < 0 {
+			return fmt.Errorf("unknown node in flow query %q", flow)
+		}
+		fmt.Printf("available bandwidth %s -> %s: %s\n",
+			parts[0], parts[1], topology.FormatBandwidth(snap.PairBandwidth(a, b)))
+	case node != "":
+		id := g.NodeByName(node)
+		if id < 0 {
+			return fmt.Errorf("unknown node %q", node)
+		}
+		fmt.Printf("node %s: load %.2f, available cpu %.3f\n",
+			node, snap.LoadAvg[id], snap.CPU(id))
+	case selectM > 0:
+		res, err := core.Balanced(snap, core.Request{M: selectM})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("selected: %s (minresource %.3f)\n",
+			strings.Join(res.Names(g), ", "), res.MinResource)
+	default:
+		// Full snapshot dump.
+		fmt.Printf("snapshot at t=%.1f (%s mode)\n", snap.Time, mode)
+		for _, id := range g.ComputeNodes() {
+			fmt.Printf("  %-12s load %.2f cpu %.3f\n",
+				g.Node(id).Name, snap.LoadAvg[id], snap.CPU(id))
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			link := g.Link(l)
+			fmt.Printf("  %s -- %s: %s of %s available\n",
+				g.Node(link.A).Name, g.Node(link.B).Name,
+				topology.FormatBandwidth(snap.AvailBW[l]),
+				topology.FormatBandwidth(link.Capacity))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]remos.Mode{
+		"current": remos.Current, "window": remos.Window, "forecast": remos.Forecast,
+	} {
+		got, err := parseMode(s)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+// startFleetOnBase starts a fleet whose agents listen on consecutive ports
+// and returns the base address plus a cleanup function, or skips the test
+// when consecutive ports are unavailable.
+func startFleetOnBase(t *testing.T, src remos.Source) (string, func()) {
+	t.Helper()
+	g := src.Topology()
+	// Find a free base port by listening once.
+	probe, err := agent.NewAgent(src, 0), error(nil)
+	addr, err := probe.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	_, portStr, _ := splitHostPort(addr)
+	base, _ := strconv.Atoi(portStr)
+	var agents []*agent.Agent
+	cleanup := func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}
+	for node := 0; node < g.NumNodes(); node++ {
+		a := agent.NewAgent(src, node)
+		if _, err := a.Listen("127.0.0.1:" + strconv.Itoa(base+node)); err != nil {
+			cleanup()
+			t.Skipf("consecutive port %d unavailable: %v", base+node, err)
+		}
+		agents = append(agents, a)
+	}
+	return "127.0.0.1:" + strconv.Itoa(base), cleanup
+}
+
+func splitHostPort(addr string) (string, string, error) {
+	i := strings.LastIndex(addr, ":")
+	return addr[:i], addr[i+1:], nil
+}
+
+func writeDoc(t *testing.T, g *topology.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := topology.WriteDocument(f, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllQueryForms(t *testing.T) {
+	g := testbed.Figure1()
+	src := remos.NewStaticSource(g)
+	src.SetLoad(g.MustNode("node-2"), 2)
+	src.SetUsedBW(0, 40e6)
+	src.Advance(5)
+	base, cleanup := startFleetOnBase(t, src)
+	defer cleanup()
+	doc := writeDoc(t, g)
+
+	period := 10 * time.Millisecond
+	cases := []struct {
+		flow, node string
+		selectM    int
+	}{
+		{"node-1,node-4", "", 0},
+		{"", "node-2", 0},
+		{"", "", 2},
+		{"", "", 0}, // full dump
+	}
+	for _, c := range cases {
+		if err := run(doc, false, 0, base, 2, period, "current", c.flow, c.node, c.selectM); err != nil {
+			t.Errorf("query %+v: %v", c, err)
+		}
+	}
+	// Discovery path.
+	if err := run("", true, g.NumNodes(), base, 2, period, "window", "", "", 2); err != nil {
+		t.Errorf("discovery query: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", false, 0, "127.0.0.1:1", 1, time.Millisecond, "current", "", "", 0); err == nil {
+		t.Error("missing -in and -discover accepted")
+	}
+	if err := run("", true, 0, "127.0.0.1:1", 1, time.Millisecond, "current", "", "", 0); err == nil {
+		t.Error("discover without node count accepted")
+	}
+	if err := run("x", false, 0, "not-an-addr", 1, time.Millisecond, "current", "", "", 0); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := run("x", false, 0, "127.0.0.1:1", 1, time.Millisecond, "bogus", "", "", 0); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Command selectd serves node selection as an HTTP service: it polls a
+// fleet of Remos agents (or a synthetic source) in the background and
+// answers placement requests — the integration surface a launcher or
+// batch scheduler would use.
+//
+// Usage:
+//
+//	# against a remosd agent fleet, discovering the topology:
+//	selectd -listen 127.0.0.1:8800 -agents 127.0.0.1:7700 -nodes 21
+//
+//	# against a synthetic snapshot (no agents needed):
+//	topogen -topo cmu -snapshot | selectd -listen 127.0.0.1:8800 -stdin
+//
+//	curl localhost:8800/healthz
+//	curl localhost:8800/snapshot?mode=window
+//	curl -d '{"m":4,"algo":"balanced"}' localhost:8800/select
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/selectsvc"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8800", "HTTP listen address")
+		agents  = flag.String("agents", "", "base agent address (node i at port+i)")
+		nodeCnt = flag.Int("nodes", 0, "agent count for topology discovery")
+		stdin   = flag.Bool("stdin", false, "read a topology document from stdin and serve a synthetic source")
+		period  = flag.Duration("period", 2*time.Second, "measurement polling period")
+	)
+	flag.Parse()
+	if err := run(*listen, *agents, *nodeCnt, *stdin, *period); err != nil {
+		fmt.Fprintln(os.Stderr, "selectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration) error {
+	var src remos.Source
+	switch {
+	case stdin:
+		g, snap, err := topology.ReadDocument(os.Stdin)
+		if err != nil {
+			return err
+		}
+		if snap == nil {
+			snap = topology.NewSnapshot(g)
+		}
+		st, err := remos.FromSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		// Advance the synthetic clock in real time.
+		go func() {
+			t := time.NewTicker(period)
+			for range t.C {
+				st.Advance(period.Seconds())
+			}
+		}()
+		src = st
+	case agents != "":
+		if nodeCnt <= 0 {
+			return fmt.Errorf("-agents needs -nodes (the agent count)")
+		}
+		host, portStr, err := net.SplitHostPort(agents)
+		if err != nil {
+			return err
+		}
+		base, err := strconv.Atoi(portStr)
+		if err != nil {
+			return err
+		}
+		addrs := make([]string, nodeCnt)
+		for i := range addrs {
+			addrs[i] = net.JoinHostPort(host, strconv.Itoa(base+i))
+		}
+		ns, err := agent.DiscoverSource(addrs)
+		if err != nil {
+			return err
+		}
+		src = ns
+	default:
+		return fmt.Errorf("either -stdin or -agents is required")
+	}
+
+	svc := selectsvc.New(src, selectsvc.Config{
+		Collector:   remos.CollectorConfig{Period: period.Seconds()},
+		DefaultMode: remos.Window,
+		Seed:        time.Now().UnixNano(),
+	})
+	// Background measurement loop.
+	go func() {
+		t := time.NewTicker(period)
+		for range t.C {
+			if err := svc.Poll(); err != nil {
+				fmt.Fprintln(os.Stderr, "selectd: poll:", err)
+			}
+		}
+	}()
+	if err := svc.Poll(); err != nil {
+		return err
+	}
+
+	fmt.Printf("selectd: measuring %d nodes, serving on %s\n",
+		src.Topology().NumNodes(), listen)
+	return http.ListenAndServe(listen, svc.Handler())
+}

@@ -1,0 +1,69 @@
+// Command topogen emits topology documents in the JSON format consumed by
+// cmd/nodeselect and the Remos tools, optionally with a synthetic status
+// snapshot and a Graphviz DOT rendering.
+//
+// Usage:
+//
+//	topogen -topo cmu > cmu.json
+//	topogen -topo star:8 -dot > star.dot
+//	topogen -topo cmu -snapshot -seed 7 > loaded.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "cmu", "topology: cmu, figure1, star:<n>, dumbbell:<k>, multicluster:<c>x<p>")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		snapshot = flag.Bool("snapshot", false, "include a randomized status snapshot")
+		seed     = flag.Int64("seed", 1, "seed for the randomized snapshot")
+	)
+	flag.Parse()
+
+	g, err := testbed.Named(*topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	var snap *topology.Snapshot
+	if *snapshot {
+		snap = randomSnapshot(g, *seed)
+	}
+	if *dot {
+		if err := topology.WriteDOT(os.Stdout, g, topology.DOTOptions{Snapshot: snap, Name: *topo}); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := topology.WriteDocument(os.Stdout, g, snap); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+// randomSnapshot produces plausible load and utilization for demos: about
+// a third of the nodes loaded, about a third of the links partly used.
+func randomSnapshot(g *topology.Graph, seed int64) *topology.Snapshot {
+	src := randx.New(seed)
+	s := topology.NewSnapshot(g)
+	for _, id := range g.ComputeNodes() {
+		if src.Float64() < 0.35 {
+			s.SetLoad(id, src.Uniform(0.5, 4))
+		}
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		if src.Float64() < 0.35 {
+			s.SetUtilization(l, src.Uniform(0.2, 0.95))
+		}
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"nodeselect/internal/testbed"
+)
+
+func TestRandomSnapshotValid(t *testing.T) {
+	for _, name := range []string{"cmu", "figure1", "star:8", "multicluster:3x4"} {
+		g, err := testbed.Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			s := randomSnapshot(g, seed)
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s seed %d: invalid snapshot: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestRandomSnapshotDeterministic(t *testing.T) {
+	g := testbed.CMU()
+	a := randomSnapshot(g, 7)
+	b := randomSnapshot(g, 7)
+	for i := range a.LoadAvg {
+		if a.LoadAvg[i] != b.LoadAvg[i] {
+			t.Fatal("snapshot not deterministic for a fixed seed")
+		}
+	}
+	for l := range a.AvailBW {
+		if a.AvailBW[l] != b.AvailBW[l] {
+			t.Fatal("snapshot bandwidth not deterministic")
+		}
+	}
+}
+
+func TestRandomSnapshotHasConditions(t *testing.T) {
+	g := testbed.CMU()
+	s := randomSnapshot(g, 3)
+	loaded, busy := 0, 0
+	for _, l := range s.LoadAvg {
+		if l > 0 {
+			loaded++
+		}
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		if s.AvailBW[l] < g.Link(l).Capacity {
+			busy++
+		}
+	}
+	if loaded == 0 || busy == 0 {
+		t.Fatalf("snapshot too bland: %d loaded nodes, %d busy links", loaded, busy)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small network, describe its current conditions, and
+// ask the paper's algorithms where to run a 2-node application.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func main() {
+	// The example network of the paper's Figure 1: two switches, four
+	// compute nodes.
+	g := testbed.Figure1()
+
+	// Describe the current conditions: node-3 is busy (load average 2,
+	// so only 1/(1+2) = 33% of its CPU is available) and the link to
+	// node-2 is 80% utilized.
+	snap := topology.NewSnapshot(g)
+	snap.SetLoadName("node-3", 2.0)
+	snap.SetAvailBW(g.Route(g.MustNode("switch-1"), g.MustNode("node-2"))[0], 20e6)
+
+	fmt.Println("network:", g)
+	fmt.Println()
+
+	// Ask each fundamental algorithm of §3.2 for two nodes.
+	for _, algo := range []string{core.AlgoCompute, core.AlgoBandwidth, core.AlgoBalanced} {
+		res, err := core.Select(algo, snap, core.Request{M: 2}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s -> %v  (min cpu %.2f, pair bw %s, minresource %.2f)\n",
+			algo, res.Names(g), res.MinCPU,
+			topology.FormatBandwidth(res.PairMinBW), res.MinResource)
+	}
+
+	// Render the balanced choice as a Figure 1 style diagram.
+	res, err := core.Balanced(snap, core.Request{M: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	highlight := map[int]bool{}
+	for _, id := range res.Nodes {
+		highlight[id] = true
+	}
+	fmt.Println()
+	if err := topology.WriteDOT(os.Stdout, g, topology.DOTOptions{
+		Snapshot:  snap,
+		Highlight: highlight,
+		Name:      "quickstart",
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module nodeselect
+
+go 1.22

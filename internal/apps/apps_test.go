@@ -1,0 +1,257 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func cmuNet() (*sim.Engine, *netsim.Network) {
+	e := sim.NewEngine()
+	return e, netsim.New(e, testbed.CMU(), netsim.Config{})
+}
+
+func nodesByName(g *topology.Graph, names ...string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = g.MustNode(n)
+	}
+	return out
+}
+
+// --- Calibration against the paper's unloaded reference column ---
+
+func TestFFTUnloadedReference(t *testing.T) {
+	_, n := cmuNet()
+	app := DefaultFFT()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4")
+	res, err := Run(n, app, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1: 48 seconds on the unloaded testbed.
+	if math.Abs(res.Elapsed()-48)/48 > 0.02 {
+		t.Fatalf("unloaded FFT = %.2fs, want 48s ±2%%", res.Elapsed())
+	}
+	if res.Steps != 32 {
+		t.Fatalf("completed %d iterations, want 32", res.Steps)
+	}
+}
+
+func TestAirshedUnloadedReference(t *testing.T) {
+	_, n := cmuNet()
+	app := DefaultAirshed()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4", "m-5")
+	res, err := Run(n, app, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1: 150 seconds on the unloaded testbed.
+	if math.Abs(res.Elapsed()-150)/150 > 0.02 {
+		t.Fatalf("unloaded Airshed = %.2fs, want 150s ±2%%", res.Elapsed())
+	}
+	if res.Steps != 6 {
+		t.Fatalf("completed %d hours, want 6", res.Steps)
+	}
+}
+
+func TestMRIUnloadedReference(t *testing.T) {
+	_, n := cmuNet()
+	app := DefaultMRI()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4")
+	res, err := Run(n, app, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1: 540 seconds on the unloaded testbed.
+	if math.Abs(res.Elapsed()-540)/540 > 0.02 {
+		t.Fatalf("unloaded MRI = %.2fs, want 540s ±2%%", res.Elapsed())
+	}
+	if res.Steps != 108 {
+		t.Fatalf("completed %d tasks, want 108", res.Steps)
+	}
+}
+
+// --- Structural sensitivity: the core Table 1 qualitative result ---
+
+// loadOneNode puts k permanent competing tasks on a node.
+func loadOneNode(n *netsim.Network, node, k int) {
+	for i := 0; i < k; i++ {
+		n.StartTask(node, 1e9, netsim.Background, nil)
+	}
+}
+
+func TestFFTStallsOnOneLoadedNode(t *testing.T) {
+	// One loaded node slows every barrier: with 2 competitors on m-4,
+	// its compute phase takes 3x, so per-iteration time rises from 1.5s
+	// to ~3.0s (2.25 compute + 0.75 comm).
+	_, n := cmuNet()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4")
+	loadOneNode(n, nodes[3], 2)
+	res, err := Run(n, DefaultFFT(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 32 * (0.75*3 + 0.75)
+	if math.Abs(res.Elapsed()-want)/want > 0.03 {
+		t.Fatalf("FFT with one 3x-loaded node = %.2fs, want ~%.1fs", res.Elapsed(), want)
+	}
+}
+
+func TestMRIAdaptsToOneLoadedNode(t *testing.T) {
+	// The same degradation on one slave barely hurts MRI: the other
+	// slaves absorb the work. Slowdown must be far below the FFT's 2x.
+	_, n := cmuNet()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4")
+	loadOneNode(n, nodes[3], 2)
+	res, err := Run(n, DefaultMRI(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := res.Elapsed() / 540
+	if slowdown > 1.45 {
+		t.Fatalf("MRI slowdown with one loaded slave = %.2fx, want < 1.45x (self-scheduling)", slowdown)
+	}
+	if slowdown < 1.0 {
+		t.Fatalf("MRI sped up under load? %.2fx", slowdown)
+	}
+}
+
+func TestFFTSuffersFromCongestedPath(t *testing.T) {
+	// Nodes split across panama and suez: the inter-router path carries
+	// the transpose. Saturating panama-gibraltar with background traffic
+	// slows every iteration.
+	_, n := cmuNet()
+	g := n.Graph()
+	nodes := nodesByName(g, "m-1", "m-2", "m-17", "m-18")
+	clean, err := Run(n, DefaultFFT(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under max-min fairness one background flow only claims one share,
+	// so congest the inter-router path with several competing transfers,
+	// as the Poisson traffic generator does in the real experiments.
+	_, n2 := cmuNet()
+	for i := 0; i < 8; i++ {
+		src := g.MustNode("m-3")
+		dst := g.MustNode("m-16")
+		if i%2 == 1 {
+			src, dst = dst, src
+		}
+		n2.StartFlow(src, dst, 1e13, netsim.Background, nil)
+	}
+	congested, err := Run(n2, DefaultFFT(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congested.Elapsed() < clean.Elapsed()*1.2 {
+		t.Fatalf("congestion did not slow the FFT: clean %.1fs vs congested %.1fs",
+			clean.Elapsed(), congested.Elapsed())
+	}
+}
+
+func TestAirshedMasterPlacementMatters(t *testing.T) {
+	// The master's access link carries scatter and gather; loading the
+	// master node slows all compute phases it participates in too.
+	_, n := cmuNet()
+	nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4", "m-5")
+	loadOneNode(n, nodes[0], 3)
+	res, err := Run(n, DefaultAirshed(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed() < 150*1.5 {
+		t.Fatalf("Airshed with loaded master = %.1fs, want clearly above 225s", res.Elapsed())
+	}
+}
+
+// --- Run() validation ---
+
+func TestRunValidation(t *testing.T) {
+	_, n := cmuNet()
+	app := DefaultFFT()
+	if _, err := Run(n, app, []int{1, 2}); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	if _, err := Run(n, app, []int{1, 2, 3, 3}); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := Run(n, app, []int{1, 2, 3, 999}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestResultElapsed(t *testing.T) {
+	r := Result{Start: 10, End: 35}
+	if r.Elapsed() != 25 {
+		t.Fatal("Elapsed wrong")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	fired := 0
+	b := newBarrier(3, func() { fired++ })
+	b.arrive()
+	b.arrive()
+	if fired != 0 {
+		t.Fatal("barrier fired early")
+	}
+	b.arrive()
+	if fired != 1 {
+		t.Fatal("barrier did not fire")
+	}
+	newBarrier(0, func() { fired++ })
+	if fired != 2 {
+		t.Fatal("empty barrier should fire immediately")
+	}
+}
+
+func TestFFTButterfliesPerNode(t *testing.T) {
+	f := DefaultFFT()
+	// 2 * 1024 * 5120 butterflies split over 4 nodes.
+	want := 2.0 * 1024 * 5120 / 4
+	if got := f.ButterfliesPerNode(); got != want {
+		t.Fatalf("ButterfliesPerNode = %v, want %v", got, want)
+	}
+}
+
+func TestAppsAcrossRouters(t *testing.T) {
+	// All three apps must run correctly on node sets spanning routers.
+	for _, tc := range []struct {
+		app   App
+		names []string
+	}{
+		{DefaultFFT(), []string{"m-1", "m-7", "m-13", "m-18"}},
+		{DefaultAirshed(), []string{"m-1", "m-7", "m-8", "m-13", "m-14"}},
+		{DefaultMRI(), []string{"m-6", "m-7", "m-12", "m-13"}},
+	} {
+		_, n := cmuNet()
+		res, err := Run(n, tc.app, nodesByName(n.Graph(), tc.names...))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app.Name(), err)
+		}
+		if res.Elapsed() <= 0 {
+			t.Fatalf("%s: non-positive elapsed", tc.app.Name())
+		}
+	}
+}
+
+func TestDeterministicApps(t *testing.T) {
+	run := func() float64 {
+		_, n := cmuNet()
+		nodes := nodesByName(n.Graph(), "m-1", "m-2", "m-3", "m-4")
+		res, err := Run(n, DefaultFFT(), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"nodeselect/internal/fft"
+	"nodeselect/internal/netsim"
+)
+
+// FFT is the loosely synchronous 2D FFT workload: every iteration, each
+// node transforms its block of rows (a compute phase), then the distributed
+// transpose exchanges a block with every other node (an all-to-all
+// communication phase). A barrier separates the phases — any slow node or
+// congested path stalls the whole iteration, which is why this application
+// is highly sensitive to both kinds of contention (§4.3).
+type FFT struct {
+	// N is the problem size (N x N complex grid); informational, used to
+	// derive default demands.
+	N int
+	// Iterations is the number of transform iterations (the paper runs
+	// 32).
+	Iterations int
+	// Nodes is the node count (the paper uses 4).
+	Nodes int
+	// ComputeSeconds is the per-node compute demand per iteration, in
+	// seconds at reference speed.
+	ComputeSeconds float64
+	// BytesPerPair is the transpose block exchanged between every
+	// ordered node pair per iteration, in bytes.
+	BytesPerPair float64
+}
+
+// DefaultFFT returns the paper's configuration: a 1K 2D FFT, 32
+// iterations, 4 nodes, calibrated to the 48-second unloaded reference on
+// the CMU testbed (0.75 s of computation per iteration and a transpose
+// whose 12 concurrent pair-flows occupy the 4 access links for 0.75 s).
+func DefaultFFT() *FFT {
+	return &FFT{
+		N:              1024,
+		Iterations:     32,
+		Nodes:          4,
+		ComputeSeconds: 0.75,
+		BytesPerPair:   1.5625e6,
+	}
+}
+
+// Scaled returns the same total FFT problem configured for m nodes: the
+// fixed total computation is split m ways, and the fixed total transpose
+// volume is split across the m(m-1) ordered pairs. Used by node-count
+// auto-sizing (§3.4 "Variable number of execution nodes").
+func (f *FFT) Scaled(m int) *FFT {
+	if m < 2 {
+		panic("apps: FFT needs at least 2 nodes")
+	}
+	totalCompute := f.ComputeSeconds * float64(f.Nodes)
+	totalBytes := f.BytesPerPair * float64(f.Nodes*(f.Nodes-1))
+	return &FFT{
+		N:              f.N,
+		Iterations:     f.Iterations,
+		Nodes:          m,
+		ComputeSeconds: totalCompute / float64(m),
+		BytesPerPair:   totalBytes / float64(m*(m-1)),
+	}
+}
+
+// EstimateElapsed predicts this configuration's execution time from a
+// placement's resource availability: per iteration, the compute phase runs
+// at the worst node's available CPU, and the transpose's 2(m-1) flows per
+// node share the pairwise bottleneck bandwidth. It implements the
+// performance-model side of core.ChooseCount.
+func (f *FFT) EstimateElapsed(minCPU, pairMinBW float64) float64 {
+	if minCPU <= 0 || pairMinBW <= 0 {
+		return 1e18 // starved placement
+	}
+	compute := f.ComputeSeconds / minCPU
+	flows := float64(2 * (f.Nodes - 1))
+	comm := f.BytesPerPair * 8 * flows / pairMinBW
+	return float64(f.Iterations) * (compute + comm)
+}
+
+// Name implements App.
+func (f *FFT) Name() string { return "FFT" }
+
+// NodesRequired implements App.
+func (f *FFT) NodesRequired() int { return f.Nodes }
+
+// ButterfliesPerNode returns the per-node butterfly count per iteration,
+// the operation count the compute demand represents (the N x N transform
+// is split across the nodes).
+func (f *FFT) ButterfliesPerNode() float64 {
+	return fft.Butterflies2D(f.N) / float64(f.Nodes)
+}
+
+// Start implements App.
+func (f *FFT) Start(net *netsim.Network, nodes []int, onDone func(Result)) {
+	nodes = sortedCopy(nodes)
+	res := Result{App: f.Name(), Nodes: nodes, Start: net.Now()}
+	var iterate func(iter int)
+	iterate = func(iter int) {
+		if iter >= f.Iterations {
+			res.End = net.Now()
+			res.Steps = iter
+			onDone(res)
+			return
+		}
+		// Compute phase: all nodes work, then barrier.
+		compDone := newBarrier(len(nodes), func() {
+			// Communication phase: the distributed transpose sends a
+			// block between every ordered pair concurrently.
+			pairs := len(nodes) * (len(nodes) - 1)
+			commDone := newBarrier(pairs, func() { iterate(iter + 1) })
+			for _, src := range nodes {
+				for _, dst := range nodes {
+					if src == dst {
+						continue
+					}
+					net.StartFlow(src, dst, f.BytesPerPair, netsim.Application, commDone.arrive)
+				}
+			}
+		})
+		for _, id := range nodes {
+			net.StartTask(id, f.ComputeSeconds, netsim.Application, compDone.arrive)
+		}
+	}
+	iterate(0)
+}

@@ -1,0 +1,94 @@
+package apps
+
+import "nodeselect/internal/netsim"
+
+// Pipeline models a data-parallel processing pipeline in the style of the
+// latency-throughput tradeoff work the paper cites ([23], Subhlok &
+// Vondran): work items stream through a chain of stages, each stage
+// computing on one item at a time and forwarding a data block to the next
+// stage. Steady-state throughput is set by the slowest stage — its compute
+// rate or its outbound transfer — so placement quality depends only on
+// consecutive-stage paths, exactly the communication structure
+// core.PatternPipeline optimizes for.
+//
+// The node slice order defines the stage order; callers using pattern-
+// aware selection pass the chain order it returns.
+type Pipeline struct {
+	// Items is the number of work items streamed through the pipeline.
+	Items int
+	// Nodes is the number of stages.
+	Nodes int
+	// StageSeconds is the per-item compute demand of each stage.
+	StageSeconds float64
+	// BlockBytes is the data block forwarded between consecutive stages
+	// per item.
+	BlockBytes float64
+}
+
+// DefaultPipeline returns a 4-stage pipeline streaming 50 items with
+// 0.5 s of computation per stage and 2 MB inter-stage blocks — roughly
+// 43 s on an unloaded switch (the synchronous sends of neighbouring
+// stages share access links).
+func DefaultPipeline() *Pipeline {
+	return &Pipeline{
+		Items:        50,
+		Nodes:        4,
+		StageSeconds: 0.5,
+		BlockBytes:   2e6,
+	}
+}
+
+// Name implements App.
+func (p *Pipeline) Name() string { return "Pipeline" }
+
+// NodesRequired implements App.
+func (p *Pipeline) NodesRequired() int { return p.Nodes }
+
+// Start implements App. nodes[0] is the first stage; order is preserved.
+func (p *Pipeline) Start(net *netsim.Network, nodes []int, onDone func(Result)) {
+	nodes = append([]int(nil), nodes...)
+	res := Result{App: p.Name(), Nodes: nodes, Start: net.Now()}
+	last := len(nodes) - 1
+
+	// Per-stage state: a count of items waiting at the stage and whether
+	// the stage is busy. Stage s computes an item, then transfers it to
+	// stage s+1; the final stage's completion retires the item.
+	waiting := make([]int, len(nodes))
+	busy := make([]bool, len(nodes))
+	completed := 0
+
+	var pump func(stage int)
+	pump = func(stage int) {
+		if busy[stage] || waiting[stage] == 0 {
+			return
+		}
+		busy[stage] = true
+		waiting[stage]--
+		net.StartTask(nodes[stage], p.StageSeconds, netsim.Application, func() {
+			if stage == last {
+				completed++
+				busy[stage] = false
+				if completed == p.Items {
+					res.End = net.Now()
+					res.Steps = completed
+					onDone(res)
+					return
+				}
+				pump(stage)
+				return
+			}
+			// Forward the block downstream with a synchronous send: the
+			// stage stays busy until the block is delivered, so a
+			// stage's cycle is compute + transfer and the pipeline's
+			// throughput is governed by its slowest stage cycle.
+			net.StartFlow(nodes[stage], nodes[stage+1], p.BlockBytes, netsim.Application, func() {
+				busy[stage] = false
+				waiting[stage+1]++
+				pump(stage + 1)
+				pump(stage)
+			})
+		})
+	}
+	waiting[0] = p.Items
+	pump(0)
+}

@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+// switchNet builds n compute nodes on one switch.
+func switchNet(n int) (*sim.Engine, *netsim.Network) {
+	g := topology.NewGraph()
+	sw := g.AddNetworkNode("sw")
+	for i := 0; i < n; i++ {
+		id := g.AddComputeNode("p" + string(rune('0'+i)))
+		g.Connect(sw, id, 100e6, topology.LinkOpts{})
+	}
+	e := sim.NewEngine()
+	return e, netsim.New(e, g, netsim.Config{})
+}
+
+func TestPipelineUnloadedThroughput(t *testing.T) {
+	_, n := switchNet(4)
+	p := DefaultPipeline()
+	res, err := Run(n, p, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 50 {
+		t.Fatalf("completed %d items, want 50", res.Steps)
+	}
+	// Stage cycle = 0.5 s compute + a 2 MB synchronous send (0.16 s
+	// alone, up to 0.32 s when neighbouring sends share an access link):
+	// the 50-item run lands between 50x0.66 and 50x1.0 seconds.
+	if res.Elapsed() < 33 || res.Elapsed() > 50 {
+		t.Fatalf("pipeline elapsed %.2f, want within [33, 50]", res.Elapsed())
+	}
+}
+
+func TestPipelineSlowStageGovernsThroughput(t *testing.T) {
+	// Load the third stage with one competitor: its per-item compute
+	// doubles to 1.0 s and its cycle governs the whole pipeline.
+	_, clean := switchNet(4)
+	ref, err := Run(clean, DefaultPipeline(), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := switchNet(4)
+	n.StartTask(3, 1e9, netsim.Background, nil)
+	res, err := Run(n, DefaultPipeline(), []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := res.Elapsed() / ref.Elapsed()
+	if slowdown < 1.3 || slowdown > 2.1 {
+		t.Fatalf("one 2x stage slowed the pipeline %.2fx (%.1fs vs %.1fs); want 1.3-2.1x",
+			slowdown, res.Elapsed(), ref.Elapsed())
+	}
+}
+
+func TestPipelineCongestedHopGovernsThroughput(t *testing.T) {
+	// Saturate the link of stage 2's node with competing traffic from
+	// another machine: the stage-1 -> stage-2 transfer slows, becoming
+	// the bottleneck.
+	_, n := switchNet(6)
+	// Persistent competing flows into node 2's access link.
+	for i := 0; i < 9; i++ {
+		n.StartFlow(5, 2, 1e13, netsim.Background, nil)
+	}
+	p := DefaultPipeline()
+	res, err := Run(n, p, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer into stage 2 now runs at ~10 Mbps: 1.6 s per item > 0.5 s
+	// compute, so items take ~1.6 s each in steady state.
+	if res.Elapsed() < 70 {
+		t.Fatalf("congested pipeline took %.2f, want > 70s", res.Elapsed())
+	}
+}
+
+func TestPipelineOrderMatters(t *testing.T) {
+	// A chain topology a-b-c-d: running the pipeline in physical order
+	// crosses 3 links once per item; a zig-zag order (a, c, b, d)
+	// crosses the middle link three times, tripling the transfer load on
+	// it. With big blocks the ordering dominates.
+	build := func() (*sim.Engine, *netsim.Network) {
+		g := topology.NewGraph()
+		for i := 0; i < 4; i++ {
+			g.AddComputeNode("c" + string(rune('0'+i)))
+		}
+		g.Connect(0, 1, 100e6, topology.LinkOpts{})
+		g.Connect(1, 2, 100e6, topology.LinkOpts{})
+		g.Connect(2, 3, 100e6, topology.LinkOpts{})
+		e := sim.NewEngine()
+		return e, netsim.New(e, g, netsim.Config{})
+	}
+	p := &Pipeline{Items: 30, Nodes: 4, StageSeconds: 0.1, BlockBytes: 12.5e6}
+
+	_, n1 := build()
+	ordered, err := Run(n1, p, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n2 := build()
+	zigzag, err := Run(n2, p, []int{0, 2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zigzag.Elapsed() <= ordered.Elapsed()*1.3 {
+		t.Fatalf("zig-zag order (%.1f) should be clearly slower than chain order (%.1f)",
+			zigzag.Elapsed(), ordered.Elapsed())
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() float64 {
+		_, n := switchNet(4)
+		res, err := Run(n, DefaultPipeline(), []int{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %v vs %v", a, b)
+	}
+}

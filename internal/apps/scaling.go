@@ -1,0 +1,104 @@
+package apps
+
+import "fmt"
+
+// Estimator predicts an execution time from a placement's worst available
+// CPU fraction and pairwise bottleneck bandwidth — the two quantities a
+// core.Result carries. It is the performance-model half of §3.4's coupled
+// count-and-set selection.
+type Estimator func(minCPU, pairMinBW float64) float64
+
+// ScaledWithModel returns a copy of one of the built-in applications
+// reconfigured for m nodes — preserving the total problem size — together
+// with its analytic execution-time estimator. It errors for unknown
+// application types or infeasible counts.
+func ScaledWithModel(app App, m int) (App, Estimator, error) {
+	switch a := app.(type) {
+	case *FFT:
+		if m < 2 {
+			return nil, nil, fmt.Errorf("apps: FFT needs m >= 2, got %d", m)
+		}
+		scaled := a.Scaled(m)
+		return scaled, scaled.EstimateElapsed, nil
+	case *Airshed:
+		if m < 2 {
+			return nil, nil, fmt.Errorf("apps: Airshed needs m >= 2, got %d", m)
+		}
+		scaled := a.Scaled(m)
+		return scaled, scaled.EstimateElapsed, nil
+	case *MRI:
+		if m < 2 {
+			return nil, nil, fmt.Errorf("apps: MRI needs m >= 2 (a master and a slave), got %d", m)
+		}
+		scaled := a.Scaled(m)
+		return scaled, scaled.EstimateElapsed, nil
+	default:
+		return nil, nil, fmt.Errorf("apps: no scaling model for %T", app)
+	}
+}
+
+// Scaled returns the same total Airshed problem configured for m nodes:
+// the per-phase computation is split m ways, the boundary-exchange volume
+// across the m(m-1) pairs, and the scatter/gather volumes across the m-1
+// workers.
+func (a *Airshed) Scaled(m int) *Airshed {
+	if m < 2 {
+		panic("apps: Airshed needs at least 2 nodes")
+	}
+	n := float64(a.Nodes)
+	w := float64(a.Nodes - 1)
+	return &Airshed{
+		Hours:            a.Hours,
+		Nodes:            m,
+		TransportSeconds: a.TransportSeconds * n / float64(m),
+		ChemistrySeconds: a.ChemistrySeconds * n / float64(m),
+		ScatterBytes:     a.ScatterBytes * w / float64(m-1),
+		ExchangeBytes:    a.ExchangeBytes * n * w / float64(m*(m-1)),
+		GatherBytes:      a.GatherBytes * w / float64(m-1),
+	}
+}
+
+// EstimateElapsed predicts this Airshed configuration's execution time:
+// per simulated hour, the compute phases run at the worst node's available
+// CPU; scatter and gather serialize the m-1 worker flows on the master's
+// bottleneck; the exchange's 2(m-1) flows per node share the pairwise
+// bottleneck.
+func (a *Airshed) EstimateElapsed(minCPU, pairMinBW float64) float64 {
+	if minCPU <= 0 || pairMinBW <= 0 {
+		return 1e18
+	}
+	workers := float64(a.Nodes - 1)
+	scatter := a.ScatterBytes * 8 * workers / pairMinBW
+	gather := a.GatherBytes * 8 * workers / pairMinBW
+	exchange := a.ExchangeBytes * 8 * 2 * workers / pairMinBW
+	compute := (a.TransportSeconds + a.ChemistrySeconds) / minCPU
+	return float64(a.Hours) * (scatter + compute + exchange + gather)
+}
+
+// Scaled returns the same MRI task bag configured for m nodes (one master,
+// m-1 slaves). Per-task demands are properties of the dataset and do not
+// change with the node count.
+func (m *MRI) Scaled(nodes int) *MRI {
+	if nodes < 2 {
+		panic("apps: MRI needs at least 2 nodes")
+	}
+	c := *m
+	c.Nodes = nodes
+	return &c
+}
+
+// EstimateElapsed predicts this MRI configuration's execution time: each
+// slave processes Tasks/(m-1) tasks; a task cycle is its computation at
+// the worst node's available CPU plus its transfers, which in the worst
+// case collide with every other slave's transfers on the master's
+// bottleneck link.
+func (m *MRI) EstimateElapsed(minCPU, pairMinBW float64) float64 {
+	if minCPU <= 0 || pairMinBW <= 0 {
+		return 1e18
+	}
+	slaves := float64(m.Nodes - 1)
+	perSlave := float64(m.Tasks) / slaves
+	transfer := (m.InputBytes + m.OutputBytes) * 8 * slaves / pairMinBW
+	cycle := m.ComputeSeconds/minCPU + transfer
+	return perSlave * cycle
+}

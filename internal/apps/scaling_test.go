@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaledWithModelDispatch(t *testing.T) {
+	for _, app := range []App{DefaultFFT(), DefaultAirshed(), DefaultMRI()} {
+		scaled, estimate, err := ScaledWithModel(app, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		if scaled.NodesRequired() != 6 {
+			t.Errorf("%s: scaled to %d nodes", app.Name(), scaled.NodesRequired())
+		}
+		if e := estimate(1, 100e6); e <= 0 || e > 1e6 {
+			t.Errorf("%s: estimate %v implausible", app.Name(), e)
+		}
+		if e := estimate(0, 100e6); e < 1e17 {
+			t.Errorf("%s: starved placement estimate %v should be huge", app.Name(), e)
+		}
+		if _, _, err := ScaledWithModel(app, 1); err == nil {
+			t.Errorf("%s: m=1 accepted", app.Name())
+		}
+	}
+	if _, _, err := ScaledWithModel(DefaultPipeline(), 4); err == nil {
+		t.Error("unknown app type accepted")
+	}
+}
+
+func TestScaledPreservesTotalProblem(t *testing.T) {
+	// FFT: total compute and total transpose volume invariant.
+	f := DefaultFFT()
+	for _, m := range []int{2, 4, 6, 8} {
+		s := f.Scaled(m)
+		totalCompute := s.ComputeSeconds * float64(m)
+		totalBytes := s.BytesPerPair * float64(m*(m-1))
+		if math.Abs(totalCompute-f.ComputeSeconds*4) > 1e-9 {
+			t.Errorf("FFT m=%d: total compute %v", m, totalCompute)
+		}
+		if math.Abs(totalBytes-f.BytesPerPair*12) > 1e-3 {
+			t.Errorf("FFT m=%d: total bytes %v", m, totalBytes)
+		}
+	}
+	// Airshed: per-phase totals invariant.
+	a := DefaultAirshed()
+	for _, m := range []int{2, 5, 8} {
+		s := a.Scaled(m)
+		if math.Abs(s.TransportSeconds*float64(m)-a.TransportSeconds*5) > 1e-9 {
+			t.Errorf("Airshed m=%d: transport total", m)
+		}
+		if math.Abs(s.ExchangeBytes*float64(m*(m-1))-a.ExchangeBytes*20) > 1e-3 {
+			t.Errorf("Airshed m=%d: exchange total", m)
+		}
+		if math.Abs(s.ScatterBytes*float64(m-1)-a.ScatterBytes*4) > 1e-3 {
+			t.Errorf("Airshed m=%d: scatter total", m)
+		}
+	}
+	// MRI: the task bag is count- and size-invariant.
+	mri := DefaultMRI().Scaled(7)
+	if mri.Tasks != 108 || mri.ComputeSeconds != 13.2 || mri.Nodes != 7 {
+		t.Errorf("MRI scaled wrong: %+v", mri)
+	}
+}
+
+func TestEstimatorsMatchDefaultsUnloaded(t *testing.T) {
+	// At the paper's node counts, on an idle single-router placement, the
+	// estimators must land on the calibrated reference times.
+	cases := []struct {
+		app  App
+		want float64
+	}{
+		{DefaultFFT(), 48},
+		{DefaultAirshed(), 150},
+		{DefaultMRI(), 540},
+	}
+	for _, c := range cases {
+		_, estimate, err := ScaledWithModel(c.app, c.app.NodesRequired())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := estimate(1.0, 100e6)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("%s estimator: %.1f, want ~%.0f", c.app.Name(), got, c.want)
+		}
+	}
+}
+
+func TestEstimatorsTrackSimulationAcrossCounts(t *testing.T) {
+	// Ranking property: across m in 2..8 on an idle star, the estimator's
+	// ordering must broadly agree with simulation (the estimate decreases
+	// monotonically and so does the simulated time).
+	for _, base := range []App{DefaultFFT(), DefaultAirshed(), DefaultMRI()} {
+		lastEst, lastSim := math.Inf(1), math.Inf(1)
+		for _, m := range []int{2, 4, 8} {
+			scaled, estimate, err := ScaledWithModel(base, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := estimate(1.0, 100e6)
+			_, n := switchNet(m)
+			nodes := make([]int, m)
+			for i := range nodes {
+				nodes[i] = i + 1
+			}
+			res, err := Run(n, scaled, nodes)
+			if err != nil {
+				t.Fatalf("%s m=%d: %v", base.Name(), m, err)
+			}
+			if est >= lastEst {
+				t.Errorf("%s m=%d: estimate did not decrease (%v -> %v)", base.Name(), m, lastEst, est)
+			}
+			if res.Elapsed() >= lastSim {
+				t.Errorf("%s m=%d: simulation did not decrease (%v -> %v)", base.Name(), m, lastSim, res.Elapsed())
+			}
+			lastEst, lastSim = est, res.Elapsed()
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package appspec implements the application specification interface of the
+// node selection framework (§2.1 of the paper): applications describe the
+// number of nodes they need, their main computation and communication
+// pattern, the relative priority of communication and computation, node
+// groups (e.g. client and server groups), and per-group placement
+// requirements (architecture, allowed machines, resource floors). The spec
+// translates into one or more core.Request values for the selection
+// procedures, letting unmodified applications use automatic node selection
+// through a declarative description.
+package appspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// Pattern names the dominant communication structure of an application.
+type Pattern string
+
+const (
+	// AllToAll is a loosely synchronous pattern where every node
+	// exchanges data with every other node (the paper's FFT).
+	AllToAll Pattern = "all-to-all"
+	// MasterSlave is a self-scheduling pattern with one coordinator
+	// (the paper's MRI).
+	MasterSlave Pattern = "master-slave"
+	// Pipeline is a chain of stages with neighbor communication.
+	Pipeline Pattern = "pipeline"
+	// Custom declares no built-in structure.
+	Custom Pattern = "custom"
+)
+
+// validPatterns lists accepted pattern names.
+var validPatterns = map[Pattern]bool{
+	AllToAll: true, MasterSlave: true, Pipeline: true, Custom: true, "": true,
+}
+
+// Group is a named subset of an application's processes with its own
+// placement requirements, e.g. a server group that must run on specific
+// machines.
+type Group struct {
+	// Name identifies the group ("servers", "clients").
+	Name string `json:"name"`
+	// Count is the number of nodes the group needs. Must be >= 1.
+	Count int `json:"count"`
+	// Arch, when non-empty, restricts the group to nodes with this
+	// architecture tag (the paper's example: "a server may be compiled
+	// only for Alpha architecture").
+	Arch string `json:"arch,omitempty"`
+	// Hosts, when non-empty, restricts the group to these node names
+	// ("must run on some specific machines").
+	Hosts []string `json:"hosts,omitempty"`
+	// MinCPU is a per-group floor on the effective CPU fraction.
+	MinCPU float64 `json:"min_cpu,omitempty"`
+	// MinBW is a per-group floor, in bits/second, on pairwise bandwidth.
+	MinBW float64 `json:"min_bw,omitempty"`
+}
+
+// Spec is a complete application requirement description.
+type Spec struct {
+	// Name labels the application.
+	Name string `json:"name"`
+	// Nodes is the total number of nodes required when Groups is empty.
+	Nodes int `json:"nodes,omitempty"`
+	// Pattern is the dominant communication pattern.
+	Pattern Pattern `json:"pattern,omitempty"`
+	// ComputePriority weights computation against communication in the
+	// balanced objective (§3.3). Zero means equal weight.
+	ComputePriority float64 `json:"compute_priority,omitempty"`
+	// RefCapacity is the reference link capacity for heterogeneous
+	// networks, in bits/second.
+	RefCapacity float64 `json:"ref_capacity,omitempty"`
+	// MinCPU and MinBW are application-wide resource floors.
+	MinCPU float64 `json:"min_cpu,omitempty"`
+	MinBW  float64 `json:"min_bw,omitempty"`
+	// Groups optionally splits the application into differently
+	// constrained node groups. When present, Nodes is ignored and the
+	// total requirement is the sum of group counts.
+	Groups []Group `json:"groups,omitempty"`
+}
+
+// TotalNodes returns the total node requirement.
+func (s *Spec) TotalNodes() int {
+	if len(s.Groups) == 0 {
+		return s.Nodes
+	}
+	total := 0
+	for _, g := range s.Groups {
+		total += g.Count
+	}
+	return total
+}
+
+// Validate checks internal consistency.
+func (s *Spec) Validate() error {
+	if !validPatterns[s.Pattern] {
+		return fmt.Errorf("appspec: unknown pattern %q", s.Pattern)
+	}
+	if len(s.Groups) == 0 {
+		if s.Nodes < 1 {
+			return fmt.Errorf("appspec: %q needs nodes >= 1", s.Name)
+		}
+	} else {
+		seen := map[string]bool{}
+		for _, g := range s.Groups {
+			if g.Name == "" {
+				return fmt.Errorf("appspec: %q has an unnamed group", s.Name)
+			}
+			if seen[g.Name] {
+				return fmt.Errorf("appspec: %q has duplicate group %q", s.Name, g.Name)
+			}
+			seen[g.Name] = true
+			if g.Count < 1 {
+				return fmt.Errorf("appspec: group %q needs count >= 1", g.Name)
+			}
+		}
+	}
+	if s.ComputePriority < 0 || s.MinCPU < 0 || s.MinBW < 0 || s.RefCapacity < 0 {
+		return fmt.Errorf("appspec: %q has negative parameters", s.Name)
+	}
+	return nil
+}
+
+// Request translates a single-group spec into a selection request over the
+// given topology. Multi-group specs use SelectGroups instead.
+func (s *Spec) Request(g *topology.Graph) (core.Request, error) {
+	if err := s.Validate(); err != nil {
+		return core.Request{}, err
+	}
+	if len(s.Groups) > 0 {
+		return core.Request{}, fmt.Errorf("appspec: %q has groups; use SelectGroups", s.Name)
+	}
+	return core.Request{
+		M:               s.Nodes,
+		ComputePriority: s.ComputePriority,
+		RefCapacity:     s.RefCapacity,
+		MinCPU:          s.MinCPU,
+		MinBW:           s.MinBW,
+	}, nil
+}
+
+// groupEligible builds the eligibility predicate for one group.
+func groupEligible(g *topology.Graph, grp Group, taken map[int]bool) (func(int) bool, error) {
+	var allowed map[int]bool
+	if len(grp.Hosts) > 0 {
+		allowed = make(map[int]bool, len(grp.Hosts))
+		for _, name := range grp.Hosts {
+			id := g.NodeByName(name)
+			if id < 0 {
+				return nil, fmt.Errorf("appspec: group %q references unknown host %q", grp.Name, name)
+			}
+			allowed[id] = true
+		}
+	}
+	arch := grp.Arch
+	return func(id int) bool {
+		if taken[id] {
+			return false
+		}
+		if allowed != nil && !allowed[id] {
+			return false
+		}
+		if arch != "" && g.Node(id).Arch != arch {
+			return false
+		}
+		return true
+	}, nil
+}
+
+// Placement is the outcome of selecting nodes for a whole spec.
+type Placement struct {
+	// Nodes is the union of all groups' nodes, sorted.
+	Nodes []int
+	// ByGroup maps group names to their node sets (single-group specs
+	// use the group name "", or the spec name if set).
+	ByGroup map[string][]int
+	// Score is the overall placement scored as one set.
+	Score core.Result
+}
+
+// SelectGroups places every group of the spec, most-constrained group
+// first (fewest eligible hosts, then smallest count), excluding nodes
+// already taken by earlier groups. algo names a core selection algorithm;
+// src is needed only for random selection.
+func SelectGroups(snap *topology.Snapshot, s *Spec, algo string, src *randx.Source) (Placement, error) {
+	if err := s.Validate(); err != nil {
+		return Placement{}, err
+	}
+	groups := s.Groups
+	if len(groups) == 0 {
+		groups = []Group{{
+			Name:   s.Name,
+			Count:  s.Nodes,
+			MinCPU: s.MinCPU,
+			MinBW:  s.MinBW,
+		}}
+	}
+	// Order: explicit host lists first, then arch-restricted, then free;
+	// ties by smaller count, then declaration order.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	restriction := func(g Group) int {
+		switch {
+		case len(g.Hosts) > 0:
+			return 0
+		case g.Arch != "":
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		if ra, rb := restriction(ga), restriction(gb); ra != rb {
+			return ra < rb
+		}
+		return false
+	})
+
+	taken := map[int]bool{}
+	place := Placement{ByGroup: map[string][]int{}}
+	for _, idx := range order {
+		grp := groups[idx]
+		eligible, err := groupEligible(snap.Graph, grp, taken)
+		if err != nil {
+			return Placement{}, err
+		}
+		req := core.Request{
+			M:               grp.Count,
+			ComputePriority: s.ComputePriority,
+			RefCapacity:     s.RefCapacity,
+			MinCPU:          maxf(s.MinCPU, grp.MinCPU),
+			MinBW:           maxf(s.MinBW, grp.MinBW),
+			Eligible:        eligible,
+		}
+		res, err := core.Select(algo, snap, req, src)
+		if err != nil {
+			return Placement{}, fmt.Errorf("appspec: placing group %q: %w", grp.Name, err)
+		}
+		place.ByGroup[grp.Name] = res.Nodes
+		for _, id := range res.Nodes {
+			taken[id] = true
+			place.Nodes = append(place.Nodes, id)
+		}
+	}
+	sort.Ints(place.Nodes)
+	place.Score = core.Score(snap, place.Nodes, core.Request{
+		M:               len(place.Nodes),
+		ComputePriority: s.ComputePriority,
+		RefCapacity:     s.RefCapacity,
+	})
+	return place, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// corePattern maps the spec's declared communication pattern to the
+// pattern-aware selection objective.
+func corePattern(p Pattern) (core.Pattern, bool) {
+	switch p {
+	case MasterSlave:
+		return core.PatternMasterSlave, true
+	case Pipeline:
+		return core.PatternPipeline, true
+	default:
+		return core.PatternAllToAll, false
+	}
+}
+
+// SelectForSpec places a complete spec. Group specs go through
+// SelectGroups. Single-group specs declaring a master-slave or pipeline
+// pattern use pattern-aware balanced selection (§3.4 "Custom execution
+// patterns"), so, e.g., a master-slave application is not penalized for
+// worker-to-worker paths it never uses; other specs use the named
+// algorithm directly.
+func SelectForSpec(snap *topology.Snapshot, s *Spec, algo string, src *randx.Source) (Placement, error) {
+	if err := s.Validate(); err != nil {
+		return Placement{}, err
+	}
+	pat, ok := corePattern(s.Pattern)
+	if len(s.Groups) > 0 || !ok || algo != core.AlgoBalanced {
+		return SelectGroups(snap, s, algo, src)
+	}
+	req, err := s.Request(snap.Graph)
+	if err != nil {
+		return Placement{}, err
+	}
+	res, err := core.BalancedPattern(snap, req, pat)
+	if err != nil {
+		return Placement{}, err
+	}
+	place := Placement{
+		Nodes:   res.Nodes,
+		ByGroup: map[string][]int{s.Name: res.Nodes},
+		Score:   res.Result,
+	}
+	if res.Master >= 0 {
+		place.ByGroup["master"] = []int{res.Master}
+	}
+	if res.Order != nil {
+		place.ByGroup["order"] = res.Order
+	}
+	return place, nil
+}
+
+// Parse decodes a spec from JSON and validates it.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("appspec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Encode renders the spec as indented JSON.
+func (s *Spec) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

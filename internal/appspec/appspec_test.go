@@ -1,0 +1,266 @@
+package appspec
+
+import (
+	"strings"
+	"testing"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Spec{
+		{Name: "fft", Nodes: 4, Pattern: AllToAll},
+		{Name: "mri", Nodes: 4, Pattern: MasterSlave, ComputePriority: 2},
+		{Name: "plain", Nodes: 1},
+		{Name: "grp", Groups: []Group{{Name: "servers", Count: 1}, {Name: "clients", Count: 3}}},
+	}
+	for _, s := range good {
+		s := s
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", s.Name, err)
+		}
+	}
+	bad := []Spec{
+		{Name: "nonodes"},
+		{Name: "badpat", Nodes: 2, Pattern: "ring"},
+		{Name: "badgroup", Groups: []Group{{Name: "", Count: 2}}},
+		{Name: "dupgroup", Groups: []Group{{Name: "a", Count: 1}, {Name: "a", Count: 1}}},
+		{Name: "zerocount", Groups: []Group{{Name: "a", Count: 0}}},
+		{Name: "neg", Nodes: 2, ComputePriority: -1},
+	}
+	for _, s := range bad {
+		s := s
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", s.Name)
+		}
+	}
+}
+
+func TestTotalNodes(t *testing.T) {
+	s := Spec{Nodes: 4}
+	if s.TotalNodes() != 4 {
+		t.Fatal("plain total wrong")
+	}
+	s = Spec{Groups: []Group{{Name: "a", Count: 2}, {Name: "b", Count: 3}}}
+	if s.TotalNodes() != 5 {
+		t.Fatal("group total wrong")
+	}
+}
+
+func TestRequestTranslation(t *testing.T) {
+	g := testbed.CMU()
+	s := Spec{
+		Name: "fft", Nodes: 4, Pattern: AllToAll,
+		ComputePriority: 2, RefCapacity: 100e6, MinCPU: 0.25, MinBW: 10e6,
+	}
+	req, err := s.Request(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.M != 4 || req.ComputePriority != 2 || req.RefCapacity != 100e6 ||
+		req.MinCPU != 0.25 || req.MinBW != 10e6 {
+		t.Fatalf("request = %+v", req)
+	}
+	// Group specs cannot use Request.
+	grp := Spec{Name: "g", Groups: []Group{{Name: "a", Count: 1}}}
+	if _, err := grp.Request(g); err == nil {
+		t.Fatal("group spec accepted by Request")
+	}
+}
+
+func TestSelectGroupsClientServer(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	// Load the preferred server host lightly so choices are non-trivial.
+	snap.SetLoadName("m-7", 0.2)
+	s := &Spec{
+		Name: "imaging",
+		Groups: []Group{
+			{Name: "clients", Count: 3},
+			{Name: "server", Count: 1, Hosts: []string{"m-7", "m-8"}},
+		},
+	}
+	place, err := SelectGroups(snap, s, core.AlgoBalanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(place.Nodes) != 4 {
+		t.Fatalf("placed %d nodes, want 4", len(place.Nodes))
+	}
+	srv := place.ByGroup["server"]
+	if len(srv) != 1 {
+		t.Fatalf("server group = %v", srv)
+	}
+	name := g.Node(srv[0]).Name
+	if name != "m-7" && name != "m-8" {
+		t.Fatalf("server placed on %s, want m-7 or m-8", name)
+	}
+	// Clients must not reuse the server node.
+	for _, c := range place.ByGroup["clients"] {
+		if c == srv[0] {
+			t.Fatal("client group reused the server node")
+		}
+	}
+	if len(place.Score.Nodes) != 4 {
+		t.Fatal("placement score missing")
+	}
+}
+
+func TestSelectGroupsArchConstraint(t *testing.T) {
+	g := topology.NewGraph()
+	sw := g.AddNetworkNode("sw")
+	for i, arch := range []string{"alpha", "alpha", "x86", "x86"} {
+		id := g.AddComputeNodeSpec([]string{"a1", "a2", "x1", "x2"}[i], 1, arch)
+		g.Connect(sw, id, 100e6, topology.LinkOpts{})
+	}
+	snap := topology.NewSnapshot(g)
+	s := &Spec{
+		Name: "hetero",
+		Groups: []Group{
+			{Name: "compute", Count: 2},
+			{Name: "render", Count: 1, Arch: "x86"},
+		},
+	}
+	place, err := SelectGroups(snap, s, core.AlgoBalanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := place.ByGroup["render"]
+	if g.Node(r[0]).Arch != "x86" {
+		t.Fatalf("render group on arch %q", g.Node(r[0]).Arch)
+	}
+}
+
+func TestSelectGroupsSingleGroupFallback(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	s := &Spec{Name: "fft", Nodes: 4}
+	place, err := SelectGroups(snap, s, core.AlgoCompute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(place.Nodes) != 4 {
+		t.Fatalf("placed %d nodes", len(place.Nodes))
+	}
+	if _, ok := place.ByGroup["fft"]; !ok {
+		t.Fatal("single-group fallback should use the spec name")
+	}
+}
+
+func TestSelectGroupsRandomAlgorithm(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	s := &Spec{Name: "app", Nodes: 4}
+	if _, err := SelectGroups(snap, s, core.AlgoRandom, randx.New(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectGroupsErrors(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	// Unknown host name.
+	s := &Spec{Name: "x", Groups: []Group{{Name: "a", Count: 1, Hosts: []string{"ghost"}}}}
+	if _, err := SelectGroups(snap, s, core.AlgoBalanced, nil); err == nil {
+		t.Error("unknown host accepted")
+	}
+	// Impossible count.
+	s = &Spec{Name: "x", Nodes: 99}
+	if _, err := SelectGroups(snap, s, core.AlgoBalanced, nil); err == nil {
+		t.Error("impossible count accepted")
+	}
+	// Invalid spec.
+	s = &Spec{Name: "x"}
+	if _, err := SelectGroups(snap, s, core.AlgoBalanced, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestSelectForSpecPatternAware(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	snap.SetLoadName("m-1", 0.5)
+	s := &Spec{Name: "mri", Nodes: 4, Pattern: MasterSlave}
+	place, err := SelectForSpec(snap, s, core.AlgoBalanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(place.Nodes) != 4 {
+		t.Fatalf("placed %d nodes", len(place.Nodes))
+	}
+	master, ok := place.ByGroup["master"]
+	if !ok || len(master) != 1 {
+		t.Fatalf("master role missing: %v", place.ByGroup)
+	}
+	// The master must be among the selected nodes.
+	found := false
+	for _, id := range place.Nodes {
+		if id == master[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("master not in the placement")
+	}
+
+	// A pipeline spec reports a stage order covering every node.
+	p := &Spec{Name: "pipe", Nodes: 3, Pattern: Pipeline}
+	place, err = SelectForSpec(snap, p, core.AlgoBalanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := place.ByGroup["order"]; len(order) != 3 {
+		t.Fatalf("pipeline order = %v", order)
+	}
+}
+
+func TestSelectForSpecFallsBackToGroups(t *testing.T) {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	// Group specs and non-balanced algorithms use the group path.
+	s := &Spec{Name: "x", Groups: []Group{{Name: "a", Count: 2}}}
+	if _, err := SelectForSpec(snap, s, core.AlgoBalanced, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := &Spec{Name: "y", Nodes: 2, Pattern: MasterSlave}
+	if _, err := SelectForSpec(snap, s2, core.AlgoCompute, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Spec{Name: "z"}
+	if _, err := SelectForSpec(snap, bad, core.AlgoBalanced, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestParseAndEncode(t *testing.T) {
+	src := `{
+		"name": "airshed",
+		"nodes": 5,
+		"pattern": "all-to-all",
+		"compute_priority": 1.5,
+		"min_bw": 25000000
+	}`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "airshed" || s.Nodes != 5 || s.Pattern != AllToAll || s.MinBW != 25e6 {
+		t.Fatalf("parsed = %+v", s)
+	}
+	out, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"airshed"`) {
+		t.Fatal("encode lost name")
+	}
+	if _, err := Parse([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("invalid spec accepted by Parse")
+	}
+}

@@ -1,0 +1,62 @@
+package appspec_test
+
+import (
+	"fmt"
+
+	"nodeselect/internal/appspec"
+	"nodeselect/internal/core"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// ExampleSelectGroups places a client-server application whose server must
+// run on specific machines — the paper's §2.1 group requirements.
+func ExampleSelectGroups() {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	snap.SetLoadName("m-8", 4) // one server candidate is busy
+
+	spec := &appspec.Spec{
+		Name: "imaging",
+		Groups: []appspec.Group{
+			{Name: "server", Count: 1, Hosts: []string{"m-7", "m-8"}},
+			{Name: "clients", Count: 3},
+		},
+	}
+	place, err := appspec.SelectGroups(snap, spec, core.AlgoBalanced, nil)
+	if err != nil {
+		panic(err)
+	}
+	server := place.ByGroup["server"][0]
+	fmt.Println("server:", g.Node(server).Name)
+	fmt.Println("total nodes:", len(place.Nodes))
+	// Output:
+	// server: m-7
+	// total nodes: 4
+}
+
+// ExampleSpec_Request translates a declarative spec into a selection
+// request.
+func ExampleSpec_Request() {
+	spec, err := appspec.Parse([]byte(`{
+		"name": "airshed",
+		"nodes": 5,
+		"pattern": "all-to-all",
+		"compute_priority": 2,
+		"min_bw": 25000000
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	req, err := spec.Request(testbed.CMU())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("m:", req.M)
+	fmt.Println("priority:", req.ComputePriority)
+	fmt.Println("min bw:", topology.FormatBandwidth(req.MinBW))
+	// Output:
+	// m: 5
+	// priority: 2
+	// min bw: 25Mbps
+}

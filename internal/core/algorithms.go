@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nodeselect/internal/topology"
+)
+
+// Options tunes algorithm behaviour. The zero value gives the strongest
+// variant of each procedure; the Paper* fields reproduce the pseudocode of
+// Figures 2 and 3 literally, for fidelity comparisons and ablation studies.
+type Options struct {
+	// PaperEarlyStop makes Balanced stop as soon as one edge-removal
+	// round fails to improve minresource, exactly as Figure 3 step 4.
+	// The default (false) continues removing bottleneck edges through
+	// every threshold and keeps the best set seen, which dominates the
+	// early-stopping variant and is optimal on trees.
+	PaperEarlyStop bool
+
+	// PaperSingleEdgeRemoval removes exactly one minimum-bandwidth edge
+	// per round, as the pseudocode literally states. The default (false)
+	// removes every edge tied for the minimum, which is required for the
+	// greedy argument to hold when several links carry equal load.
+	PaperSingleEdgeRemoval bool
+}
+
+// MaxCompute selects the m eligible compute nodes with the highest
+// available computation capacity (§3.2 "Maximize computation capacity").
+// With a bandwidth floor set, the selected nodes must additionally lie in a
+// single component of the graph restricted to links satisfying the floor,
+// and the procedure maximizes the minimum CPU under that constraint.
+func MaxCompute(s *topology.Snapshot, req Request) (Result, error) {
+	eligible, err := req.validate(s)
+	if err != nil {
+		return Result{}, err
+	}
+	pinned := req.pinnedSet()
+
+	if req.MinBW <= 0 && req.MaxPairLatency <= 0 && len(req.Pinned) == 0 {
+		// The simple case of §3.2: pick the m highest-cpu nodes.
+		nodes := topCPUNodes(s, eligible, req.M, nil)
+		return Score(s, nodes, req), nil
+	}
+
+	// Constrained case: nodes must be mutually reachable over links that
+	// satisfy the bandwidth floor and the set must contain the pinned
+	// nodes. Evaluate each qualifying component and keep the best
+	// (highest minimum CPU, ties by higher pairwise bandwidth).
+	alive := func(l int) bool { return req.linkUsable(s, l) }
+	var best Result
+	found := false
+	for _, comp := range s.Graph.Components(alive) {
+		inComp := make(map[int]bool, len(comp))
+		for _, id := range comp {
+			inComp[id] = true
+		}
+		if !containsAll(comp, pinned) {
+			continue
+		}
+		cands := filterNodes(eligible, func(id int) bool { return inComp[id] })
+		for _, pool := range candidatePools(s, cands, req) {
+			nodes := topCPUNodes(s, pool, req.M, pinned)
+			if nodes == nil || !pairLatencyOK(s, nodes, req) {
+				continue
+			}
+			res := Score(s, nodes, req)
+			if !found || res.MinCPU > best.MinCPU ||
+				(res.MinCPU == best.MinCPU && res.PairMinBW > best.PairMinBW) {
+				best = res
+				found = true
+			}
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("%w: no component satisfies the bandwidth floor with %d nodes",
+			ErrNoFeasibleSet, req.M)
+	}
+	return best, nil
+}
+
+// MaxBandwidth implements the paper's Figure 2: select m compute nodes
+// maximizing the minimum available bandwidth between any pair of selected
+// nodes. Edges are deleted in increasing order of available bandwidth while
+// a connected component with at least m eligible compute nodes survives;
+// the final surviving component supplies the selection.
+//
+// Within the final component any m nodes meet the bandwidth guarantee
+// (Figure 2 says "any m compute nodes in L"); this implementation picks the
+// m with the highest CPU, which preserves the guarantee and is a strictly
+// better tie-break.
+func MaxBandwidth(s *topology.Snapshot, req Request) (Result, error) {
+	return sweepSelect(s, req, Options{}, false)
+}
+
+// MaxBandwidthOpt is MaxBandwidth with explicit Options.
+func MaxBandwidthOpt(s *topology.Snapshot, req Request, opts Options) (Result, error) {
+	return sweepSelect(s, req, opts, false)
+}
+
+// Balanced implements the paper's Figure 3: select m compute nodes
+// maximizing minresource = min(min fractional cpu, priority * min
+// fractional bandwidth). Bottleneck edges are deleted in increasing order
+// of fractional availability; after each round every surviving component
+// with at least m eligible compute nodes is scored with its best-CPU m
+// nodes, and the best-scoring set over the whole sweep is returned.
+func Balanced(s *topology.Snapshot, req Request) (Result, error) {
+	return sweepSelect(s, req, Options{}, true)
+}
+
+// BalancedOpt is Balanced with explicit Options (e.g. the paper-faithful
+// early-stopping variant).
+func BalancedOpt(s *topology.Snapshot, req Request, opts Options) (Result, error) {
+	return sweepSelect(s, req, opts, true)
+}
+
+// sweepSelect is the shared bottleneck-edge-deletion sweep behind
+// MaxBandwidth (balanced = false) and Balanced (balanced = true).
+//
+// The sweep enumerates candidate sets exactly as Figures 2 and 3 do —
+// delete edges in increasing order of available (fractional) bandwidth and
+// take the best-CPU m compute nodes of every surviving component — but
+// scores each candidate by its *actual* static-route metrics (pairwise
+// bottleneck bandwidth; the balanced minresource) rather than by the
+// component's minimum alive edge. On trees the two scores coincide at the
+// decisive thresholds, so the tree-optimality guarantee of the paper's
+// argument is preserved (and verified against brute force in the tests);
+// on cyclic static-routing topologies the actual-score form avoids
+// crediting a component with connectivity its fixed routes cannot use.
+func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool) (Result, error) {
+	eligible, err := req.validate(s)
+	if err != nil {
+		return Result{}, err
+	}
+	g := s.Graph
+	pinned := req.pinnedSet()
+	isEligible := make(map[int]bool, len(eligible))
+	for _, id := range eligible {
+		isEligible[id] = true
+	}
+	priority := req.priority()
+
+	// Edge metric: absolute available bandwidth for MaxBandwidth,
+	// fractional availability for Balanced.
+	metric := func(l int) float64 {
+		if balanced {
+			return linkFactor(s, l, req)
+		}
+		return s.AvailBW[l]
+	}
+
+	alive := make([]bool, g.NumLinks())
+	for l := range alive {
+		alive[l] = req.linkUsable(s, l)
+	}
+	aliveFn := func(l int) bool { return alive[l] }
+
+	// Edges sorted by increasing metric, for removal order.
+	order := make([]int, 0, g.NumLinks())
+	for l := 0; l < g.NumLinks(); l++ {
+		if alive[l] {
+			order = append(order, l)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		mi, mj := metric(order[i]), metric(order[j])
+		if mi != mj {
+			return mi < mj
+		}
+		return order[i] < order[j]
+	})
+
+	var best Result
+	bestScore := math.Inf(-1)
+	found := false
+
+	// evaluate scores all qualifying components of the current graph and
+	// reports whether any improved on the best so far.
+	evaluate := func() bool {
+		improved := false
+		for _, comp := range g.Components(aliveFn) {
+			if !containsAll(comp, pinned) {
+				continue
+			}
+			cands := filterNodes(comp, func(id int) bool { return isEligible[id] })
+			for _, pool := range candidatePools(s, cands, req) {
+				nodes := topCPUNodes(s, pool, req.M, pinned)
+				if nodes == nil || !pairLatencyOK(s, nodes, req) {
+					continue
+				}
+				res := Score(s, nodes, req)
+				if req.MinBW > 0 && res.PairMinBW < req.MinBW {
+					continue
+				}
+				var score float64
+				if balanced {
+					score = math.Min(res.MinCPU, priority*res.MinBWFactor)
+				} else {
+					score = res.PairMinBW
+				}
+				if !found || score > bestScore {
+					bestScore = score
+					best = res
+					found = true
+					improved = true
+				}
+			}
+		}
+		return improved
+	}
+
+	evaluate() // step 1: initial selection on the full graph
+
+	for i := 0; i < len(order); {
+		// Remove the minimum-metric edge — and, unless reproducing the
+		// paper's literal single-edge removal, all edges tied with it.
+		v := metric(order[i])
+		alive[order[i]] = false
+		i++
+		if !opts.PaperSingleEdgeRemoval {
+			for i < len(order) && metric(order[i]) == v {
+				alive[order[i]] = false
+				i++
+			}
+		}
+		improved := evaluate()
+		if opts.PaperEarlyStop && !improved {
+			break
+		}
+	}
+
+	if !found {
+		return Result{}, fmt.Errorf("%w: no component provides %d connected eligible compute nodes",
+			ErrNoFeasibleSet, req.M)
+	}
+	return best, nil
+}

@@ -1,0 +1,567 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// chain builds a path of n compute nodes with 100 Mbps links.
+func chain(n int) *topology.Graph {
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddComputeNode(nodeName(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Connect(i, i+1, 100e6, topology.LinkOpts{})
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// twoClusters builds the canonical motivating shape: two clusters of size k
+// hanging off two switches joined by a backbone link.
+//
+//	c0..c(k-1) - swA === swB - ck..c(2k-1)
+func twoClusters(k int, backboneBW float64) *topology.Graph {
+	g := topology.NewGraph()
+	swA := g.AddNetworkNode("swA")
+	swB := g.AddNetworkNode("swB")
+	for i := 0; i < k; i++ {
+		id := g.AddComputeNode(nodeName(i))
+		g.Connect(swA, id, 100e6, topology.LinkOpts{})
+	}
+	for i := k; i < 2*k; i++ {
+		id := g.AddComputeNode(nodeName(i))
+		g.Connect(swB, id, 100e6, topology.LinkOpts{})
+	}
+	g.Connect(swA, swB, backboneBW, topology.LinkOpts{})
+	return g
+}
+
+// randomTree builds a random tree over n compute nodes with randomized link
+// capacities, loads and utilizations, returning the snapshot.
+func randomTreeSnapshot(src *randx.Source, n int) *topology.Snapshot {
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddComputeNode(nodeName(i))
+	}
+	for i := 1; i < n; i++ {
+		g.Connect(src.Intn(i), i, 100e6, topology.LinkOpts{})
+	}
+	s := topology.NewSnapshot(g)
+	for i := 0; i < n; i++ {
+		s.SetLoad(i, src.Float64()*4)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		s.SetAvailBW(l, src.Float64()*100e6)
+	}
+	return s
+}
+
+func sorted(a []int) []int {
+	b := append([]int(nil), a...)
+	sort.Ints(b)
+	return b
+}
+
+func equalSets(a, b []int) bool {
+	a, b = sorted(a), sorted(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaxComputePicksLeastLoaded(t *testing.T) {
+	g := chain(6)
+	s := topology.NewSnapshot(g)
+	loads := []float64{3, 0.5, 2, 0.1, 4, 1}
+	for i, l := range loads {
+		s.SetLoad(i, l)
+	}
+	res, err := MaxCompute(s, Request{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Least loaded three: nodes 3 (0.1), 1 (0.5), 5 (1).
+	if !equalSets(res.Nodes, []int{1, 3, 5}) {
+		t.Fatalf("MaxCompute chose %v, want [1 3 5]", res.Nodes)
+	}
+	wantMinCPU := 1.0 / (1 + 1.0)
+	if math.Abs(res.MinCPU-wantMinCPU) > 1e-12 {
+		t.Errorf("MinCPU = %v, want %v", res.MinCPU, wantMinCPU)
+	}
+}
+
+func TestMaxComputeDeterministicTieBreak(t *testing.T) {
+	g := chain(5)
+	s := topology.NewSnapshot(g) // all idle: tie on CPU
+	res, err := MaxCompute(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{0, 1}) {
+		t.Fatalf("tie-break should pick lowest IDs, got %v", res.Nodes)
+	}
+}
+
+func TestMaxComputeErrors(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	if _, err := MaxCompute(s, Request{M: 4}); !errors.Is(err, ErrTooFewNodes) {
+		t.Errorf("M > nodes: err = %v, want ErrTooFewNodes", err)
+	}
+	if _, err := MaxCompute(s, Request{M: 0}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("M = 0: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := MaxCompute(nil, Request{M: 1}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("nil snapshot: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestMaxBandwidthAvoidsCongestedCluster(t *testing.T) {
+	// Two clusters of 4; cluster B's access links are congested.
+	g := twoClusters(4, 100e6)
+	s := topology.NewSnapshot(g)
+	// Congest every access link of cluster B (links incident to swB,
+	// excluding the backbone to swA).
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		aName := g.Node(link.A).Name
+		bName := g.Node(link.B).Name
+		if aName == "swB" || bName == "swB" {
+			if aName != "swA" && bName != "swA" {
+				s.SetAvailBW(l, 10e6)
+			}
+		}
+	}
+	res, err := MaxBandwidth(s, Request{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must choose the four cluster-A nodes (IDs 2..5: swA=0, swB=1).
+	want := []int{2, 3, 4, 5}
+	if !equalSets(res.Nodes, want) {
+		t.Fatalf("MaxBandwidth chose %v, want cluster A %v", res.Nodes, want)
+	}
+	if res.PairMinBW != 100e6 {
+		t.Errorf("PairMinBW = %v, want 100e6", res.PairMinBW)
+	}
+}
+
+func TestMaxBandwidthCrossClusterWhenForced(t *testing.T) {
+	// Only 2 nodes per cluster but 3 required: the backbone becomes the
+	// bottleneck and must be reported as such.
+	g := twoClusters(2, 40e6)
+	s := topology.NewSnapshot(g)
+	res, err := MaxBandwidth(s, Request{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairMinBW != 40e6 {
+		t.Errorf("PairMinBW = %v, want backbone 40e6", res.PairMinBW)
+	}
+}
+
+func TestMaxBandwidthSingleNode(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	res, err := MaxBandwidth(s, Request{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1 {
+		t.Fatalf("selected %v, want one node", res.Nodes)
+	}
+	if !math.IsInf(res.PairMinBW, 1) {
+		t.Errorf("single-node PairMinBW = %v, want +Inf", res.PairMinBW)
+	}
+}
+
+func TestMaxBandwidthMatchesBruteForceOnTrees(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		req := Request{M: m}
+		greedy, err := MaxBandwidth(s, req)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := BruteForce(s, req, ObjectiveBandwidth)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(greedy.PairMinBW-opt.PairMinBW) > 1e-6 {
+			t.Errorf("seed %d (n=%d, m=%d): greedy bw %v != optimal %v",
+				seed, n, m, greedy.PairMinBW, opt.PairMinBW)
+		}
+	}
+}
+
+func TestBalancedMatchesBruteForceOnTrees(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		req := Request{M: m}
+		greedy, err := Balanced(s, req)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := BruteForce(s, req, ObjectiveBalanced)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if greedy.MinResource < opt.MinResource-1e-9 {
+			t.Errorf("seed %d (n=%d, m=%d): balanced sweep %v < optimal %v",
+				seed, n, m, greedy.MinResource, opt.MinResource)
+		}
+	}
+}
+
+func TestBalancedTradesComputeForBandwidth(t *testing.T) {
+	// Cluster A nodes are idle but its internal links are congested;
+	// cluster B nodes are moderately loaded with clean links. The pure
+	// compute algorithm picks A; balanced must prefer B.
+	g := twoClusters(3, 100e6)
+	s := topology.NewSnapshot(g)
+	// Cluster A compute IDs 2,3,4; B: 5,6,7.
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		if g.Node(link.A).Name == "swA" || g.Node(link.B).Name == "swA" {
+			if g.Node(link.A).Name != "swB" && g.Node(link.B).Name != "swB" {
+				s.SetAvailBW(l, 5e6) // 5% available within cluster A
+			}
+		}
+	}
+	for i := 5; i <= 7; i++ {
+		s.SetLoad(i, 1) // 50% CPU in cluster B
+	}
+	creq := Request{M: 3}
+	comp, err := MaxCompute(s, creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(comp.Nodes, []int{2, 3, 4}) {
+		t.Fatalf("MaxCompute should pick idle cluster A, got %v", comp.Nodes)
+	}
+	bal, err := Balanced(s, creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(bal.Nodes, []int{5, 6, 7}) {
+		t.Fatalf("Balanced should pick cluster B, got %v", bal.Nodes)
+	}
+	if math.Abs(bal.MinResource-0.5) > 1e-9 {
+		t.Errorf("Balanced minresource = %v, want 0.5", bal.MinResource)
+	}
+}
+
+func TestBalancedPaperEarlyStopCanBeWorse(t *testing.T) {
+	// Regression of the premature-stop analysis: two branches where the
+	// first removal round improves nothing, but later rounds reach a much
+	// better set. The default sweep must find it; the literal paper
+	// variant (single-edge removal + early stop) may not — assert only
+	// that the sweep dominates.
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	// Branch X: excellent bandwidth, idle nodes.
+	x1 := g.AddComputeNode("x1")
+	x2 := g.AddComputeNode("x2")
+	lx1 := g.Connect(hub, x1, 100e6, topology.LinkOpts{})
+	lx2 := g.Connect(hub, x2, 100e6, topology.LinkOpts{})
+	// Branch Y: terrible bandwidth, idle nodes.
+	y1 := g.AddComputeNode("y1")
+	y2 := g.AddComputeNode("y2")
+	ly1 := g.Connect(hub, y1, 100e6, topology.LinkOpts{})
+	ly2 := g.Connect(hub, y2, 100e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(lx1, 90e6)
+	s.SetAvailBW(lx2, 90e6)
+	s.SetAvailBW(ly1, 10e6)
+	s.SetAvailBW(ly2, 11e6)
+	req := Request{M: 2}
+
+	sweep, err := Balanced(s, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(sweep.Nodes, []int{x1, x2}) {
+		t.Fatalf("sweep chose %v, want branch X", sweep.Nodes)
+	}
+	paper, err := BalancedOpt(s, req, Options{PaperEarlyStop: true, PaperSingleEdgeRemoval: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.MinResource > sweep.MinResource+1e-12 {
+		t.Fatalf("paper variant (%v) beat the sweep (%v)", paper.MinResource, sweep.MinResource)
+	}
+}
+
+func TestBalancedReportsActualPairwiseScore(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(0, 20e6)
+	s.SetAvailBW(1, 80e6)
+	s.SetAvailBW(2, 60e6)
+	res, err := Balanced(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best pair is nodes 1-2 over link 1 (80% available, idle CPUs).
+	if !equalSets(res.Nodes, []int{1, 2}) {
+		t.Fatalf("chose %v, want [1 2]", res.Nodes)
+	}
+	if math.Abs(res.MinBWFactor-0.8) > 1e-12 {
+		t.Errorf("MinBWFactor = %v, want 0.8", res.MinBWFactor)
+	}
+	if math.Abs(res.MinResource-0.8) > 1e-12 {
+		t.Errorf("MinResource = %v, want 0.8", res.MinResource)
+	}
+}
+
+func TestScoreAgainstKnownValues(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 1) // cpu 0.5
+	s.SetLoad(2, 3) // cpu 0.25
+	s.SetAvailBW(0, 30e6)
+	s.SetAvailBW(1, 70e6)
+	res := Score(s, []int{0, 2}, Request{M: 2})
+	if math.Abs(res.MinCPU-0.25) > 1e-12 {
+		t.Errorf("MinCPU = %v, want 0.25", res.MinCPU)
+	}
+	if res.PairMinBW != 30e6 {
+		t.Errorf("PairMinBW = %v, want 30e6", res.PairMinBW)
+	}
+	if math.Abs(res.MinBWFactor-0.3) > 1e-12 {
+		t.Errorf("MinBWFactor = %v, want 0.3", res.MinBWFactor)
+	}
+	if math.Abs(res.MinResource-0.25) > 1e-12 {
+		t.Errorf("MinResource = %v, want 0.25 (cpu-limited)", res.MinResource)
+	}
+}
+
+func TestRandomSelection(t *testing.T) {
+	g := chain(10)
+	s := topology.NewSnapshot(g)
+	src := randx.New(7)
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		res, err := Random(s, Request{M: 3}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Nodes) != 3 {
+			t.Fatalf("random selected %d nodes", len(res.Nodes))
+		}
+		for _, id := range res.Nodes {
+			seen[id] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Errorf("random selection covered only %d/10 nodes over 50 draws", len(seen))
+	}
+}
+
+func TestRandomHonoursPinned(t *testing.T) {
+	g := chain(6)
+	s := topology.NewSnapshot(g)
+	src := randx.New(8)
+	for i := 0; i < 20; i++ {
+		res, err := Random(s, Request{M: 3, Pinned: []int{4}}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range res.Nodes {
+			if id == 4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("random selection dropped a pinned node")
+		}
+	}
+}
+
+func TestRandomIgnoresFloors(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	for i := 0; i < 4; i++ {
+		s.SetLoad(i, 10) // every node violates a 0.5 CPU floor
+	}
+	if _, err := Random(s, Request{M: 2, MinCPU: 0.5}, randx.New(1)); err != nil {
+		t.Fatalf("random selection should ignore floors, got %v", err)
+	}
+}
+
+func TestStaticSelection(t *testing.T) {
+	g := twoClusters(3, 100e6)
+	s := topology.NewSnapshot(g)
+	// Congest cluster A heavily; static selection cannot see it.
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		if g.Node(link.A).Name == "swA" || g.Node(link.B).Name == "swA" {
+			s.SetAvailBW(l, 1e6)
+		}
+	}
+	res, err := Static(s, Request{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static must return the same set it would on an idle network...
+	idle, err := Balanced(topology.NewSnapshot(g), Request{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, idle.Nodes) {
+		t.Fatalf("static chose %v, idle-balanced chose %v", res.Nodes, idle.Nodes)
+	}
+	// ...but its score must reflect actual conditions.
+	actual := Score(s, res.Nodes, Request{M: 3})
+	if res.MinResource != actual.MinResource {
+		t.Errorf("static reported idealized score %v, want actual %v",
+			res.MinResource, actual.MinResource)
+	}
+}
+
+func TestSelectDispatcher(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	src := randx.New(3)
+	for _, algo := range Algorithms() {
+		res, err := Select(algo, s, Request{M: 2}, src)
+		if err != nil {
+			t.Errorf("Select(%q) failed: %v", algo, err)
+			continue
+		}
+		if len(res.Nodes) != 2 {
+			t.Errorf("Select(%q) returned %d nodes", algo, len(res.Nodes))
+		}
+	}
+	if _, err := Select("nope", s, Request{M: 2}, src); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unknown algorithm: err = %v", err)
+	}
+	if _, err := Select(AlgoRandom, s, Request{M: 2}, nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("random without source: err = %v", err)
+	}
+}
+
+// Property: on arbitrary random trees, every algorithm returns exactly M
+// distinct compute nodes and a score consistent with Score().
+func TestQuickSelectionWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 2 + src.Intn(10)
+		s := randomTreeSnapshot(src, n)
+		m := 1 + src.Intn(n)
+		req := Request{M: m}
+		for _, algo := range []string{AlgoCompute, AlgoBandwidth, AlgoBalanced} {
+			res, err := Select(algo, s, req, nil)
+			if err != nil {
+				return false
+			}
+			if len(res.Nodes) != m {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, id := range res.Nodes {
+				if seen[id] || s.Graph.Node(id).Kind != topology.Compute {
+					return false
+				}
+				seen[id] = true
+			}
+			check := Score(s, res.Nodes, req)
+			if math.Abs(check.MinResource-res.MinResource) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the balanced sweep never does worse than the literal paper
+// variant, and MaxCompute's MinCPU upper-bounds every algorithm's MinCPU.
+func TestQuickDominanceRelations(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(10)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		req := Request{M: m}
+		sweep, err1 := Balanced(s, req)
+		paper, err2 := BalancedOpt(s, req, Options{PaperEarlyStop: true, PaperSingleEdgeRemoval: true})
+		comp, err3 := MaxCompute(s, req)
+		bw, err4 := MaxBandwidth(s, req)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		if sweep.MinResource < paper.MinResource-1e-9 {
+			return false
+		}
+		if comp.MinCPU < sweep.MinCPU-1e-9 && comp.MinCPU < bw.MinCPU-1e-9 {
+			// MaxCompute maximizes MinCPU; no algorithm may beat it.
+			if sweep.MinCPU > comp.MinCPU+1e-9 || bw.MinCPU > comp.MinCPU+1e-9 {
+				return false
+			}
+		}
+		if bw.PairMinBW < sweep.PairMinBW-1e-6 {
+			// MaxBandwidth maximizes pairwise bandwidth.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBalancedTree50(b *testing.B)  { benchBalanced(b, 50) }
+func BenchmarkBalancedTree200(b *testing.B) { benchBalanced(b, 200) }
+
+func benchBalanced(b *testing.B, n int) {
+	src := randx.New(1)
+	s := randomTreeSnapshot(src, n)
+	req := Request{M: n / 4}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Balanced(s, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxBandwidthTree200(b *testing.B) {
+	src := randx.New(2)
+	s := randomTreeSnapshot(src, 200)
+	req := Request{M: 16}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxBandwidth(s, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// PerfModel estimates an application's execution time, in seconds, on a
+// candidate placement. §3.4 ("Variable number of execution nodes") notes
+// that the selection procedures find the best set *given* a node count,
+// and must be coupled with performance estimation to also choose the
+// count; this interface is that coupling.
+type PerfModel interface {
+	// Estimate predicts the execution time on a placement of
+	// len(res.Nodes) nodes with the given resource availability.
+	Estimate(res Result) float64
+}
+
+// PerfModelFunc adapts a function to PerfModel.
+type PerfModelFunc func(res Result) float64
+
+// Estimate implements PerfModel.
+func (f PerfModelFunc) Estimate(res Result) float64 { return f(res) }
+
+// SizedResult is the outcome of an auto-sized selection.
+type SizedResult struct {
+	Result
+	// M is the chosen node count.
+	M int
+	// Predicted is the model's estimate for the chosen placement.
+	Predicted float64
+	// Candidates records the estimate per evaluated count (keyed by m);
+	// counts that were infeasible under the request are absent.
+	Candidates map[int]float64
+}
+
+// ChooseCount selects both the number of nodes and the node set: for every
+// m in [minM, maxM] it runs the given selection algorithm and asks the
+// performance model for an estimate, returning the placement with the
+// smallest predicted execution time. Counts that are infeasible under the
+// request's constraints are skipped; ChooseCount fails only if every count
+// is infeasible.
+func ChooseCount(s *topology.Snapshot, base Request, minM, maxM int, algo string,
+	model PerfModel, src *randx.Source) (SizedResult, error) {
+	if minM < 1 || maxM < minM {
+		return SizedResult{}, fmt.Errorf("%w: count range [%d, %d]", ErrBadRequest, minM, maxM)
+	}
+	if model == nil {
+		return SizedResult{}, fmt.Errorf("%w: nil performance model", ErrBadRequest)
+	}
+	out := SizedResult{Candidates: make(map[int]float64)}
+	bestPred := math.Inf(1)
+	found := false
+	var lastErr error
+	for m := minM; m <= maxM; m++ {
+		req := base
+		req.M = m
+		res, err := Select(algo, s, req, src)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pred := model.Estimate(res)
+		out.Candidates[m] = pred
+		if pred < bestPred {
+			bestPred = pred
+			out.Result = res
+			out.M = m
+			out.Predicted = pred
+			found = true
+		}
+	}
+	if !found {
+		if lastErr != nil {
+			return SizedResult{}, fmt.Errorf("core: no feasible node count in [%d, %d]: %w",
+				minM, maxM, lastErr)
+		}
+		return SizedResult{}, ErrNoFeasibleSet
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nodeselect/internal/topology"
+)
+
+// sizedFixture builds a star of n idle compute nodes.
+func sizedFixture(n int) *topology.Snapshot {
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	for i := 0; i < n; i++ {
+		id := g.AddComputeNode(nodeName(i))
+		g.Connect(hub, id, 100e6, topology.LinkOpts{})
+	}
+	return topology.NewSnapshot(g)
+}
+
+// fftLikeModel mimics the FFT estimator: fixed total work split m ways,
+// run at the placement's worst available CPU, plus a transpose whose total
+// volume is split across the pairs.
+func fftLikeModel(totalWork, totalBytes float64) PerfModel {
+	return PerfModelFunc(func(res Result) float64 {
+		m := float64(len(res.Nodes))
+		if res.MinCPU <= 0 || res.PairMinBW <= 0 {
+			return math.Inf(1)
+		}
+		compute := totalWork / m / res.MinCPU
+		perPair := totalBytes / (m * (m - 1))
+		comm := perPair * 8 * 2 * (m - 1) / res.PairMinBW
+		return compute + comm
+	})
+}
+
+func TestChooseCountFindsInteriorOptimum(t *testing.T) {
+	// The §3.4 coupling in action: on an idle network the model alone
+	// prefers ever-larger m, but only 6 of the 12 nodes are idle —
+	// growing past them forces heavily loaded nodes into the set, the
+	// per-m selection reports the degraded MinCPU, and the model turns
+	// the corner.
+	s := sizedFixture(12)
+	for i := 6; i < 12; i++ {
+		s.SetLoad(s.Graph.MustNode(nodeName(i)), 4) // cpu 0.2
+	}
+	model := fftLikeModel(60, 60e6)
+	res, err := ChooseCount(s, Request{}, 2, 12, AlgoBalanced, model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != 6 {
+		t.Fatalf("chose m = %d; want 6 (the idle pool)", res.M)
+	}
+	if len(res.Nodes) != res.M {
+		t.Fatalf("nodes %v inconsistent with m %d", res.Nodes, res.M)
+	}
+	// The chosen count must be the argmin of the recorded estimates.
+	for m, pred := range res.Candidates {
+		if pred < res.Predicted-1e-9 {
+			t.Fatalf("m=%d has estimate %v below chosen %v", m, pred, res.Predicted)
+		}
+	}
+	if len(res.Candidates) != 11 {
+		t.Fatalf("evaluated %d counts, want 11", len(res.Candidates))
+	}
+}
+
+func TestChooseCountSkipsInfeasibleCounts(t *testing.T) {
+	s := sizedFixture(4)
+	model := PerfModelFunc(func(res Result) float64 { return float64(len(res.Nodes)) })
+	res, err := ChooseCount(s, Request{}, 2, 10, AlgoBalanced, model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only m in [2, 4] is feasible; the cheapest by this model is 2.
+	if res.M != 2 {
+		t.Fatalf("chose m = %d, want 2", res.M)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("evaluated %d counts, want 3", len(res.Candidates))
+	}
+}
+
+func TestChooseCountAllInfeasible(t *testing.T) {
+	s := sizedFixture(2)
+	model := PerfModelFunc(func(Result) float64 { return 1 })
+	_, err := ChooseCount(s, Request{}, 5, 8, AlgoBalanced, model, nil)
+	if err == nil {
+		t.Fatal("impossible range accepted")
+	}
+	if !errors.Is(err, ErrTooFewNodes) {
+		t.Fatalf("err = %v, want wrapped ErrTooFewNodes", err)
+	}
+}
+
+func TestChooseCountValidation(t *testing.T) {
+	s := sizedFixture(4)
+	model := PerfModelFunc(func(Result) float64 { return 1 })
+	if _, err := ChooseCount(s, Request{}, 0, 3, AlgoBalanced, model, nil); !errors.Is(err, ErrBadRequest) {
+		t.Error("minM 0 accepted")
+	}
+	if _, err := ChooseCount(s, Request{}, 3, 2, AlgoBalanced, model, nil); !errors.Is(err, ErrBadRequest) {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ChooseCount(s, Request{}, 2, 3, AlgoBalanced, nil, nil); !errors.Is(err, ErrBadRequest) {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestChooseCountRespectsBaseConstraints(t *testing.T) {
+	s := sizedFixture(6)
+	s.SetLoad(1, 9)                                                                      // cpu 0.1, excluded by the floor
+	model := PerfModelFunc(func(res Result) float64 { return -float64(len(res.Nodes)) }) // bigger is better
+	res, err := ChooseCount(s, Request{MinCPU: 0.5}, 2, 6, AlgoBalanced, model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != 5 {
+		t.Fatalf("chose m = %d, want 5 (6 nodes minus the loaded one)", res.M)
+	}
+	for _, id := range res.Nodes {
+		if id == 1 {
+			t.Fatal("selected the node violating the CPU floor")
+		}
+	}
+}
+
+// --- §3.4 latency and memory constraints ---
+
+func TestMaxPairLatencyConstraint(t *testing.T) {
+	// Two nearby nodes, and two nodes in different remote sites so their
+	// mutual path crosses two WAN hops.
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	far1 := g.AddNetworkNode("far1")
+	far2 := g.AddNetworkNode("far2")
+	a := g.AddComputeNode("a")
+	b := g.AddComputeNode("b")
+	c := g.AddComputeNode("c")
+	d := g.AddComputeNode("d")
+	g.Connect(hub, a, 100e6, topology.LinkOpts{Latency: 1e-4})
+	g.Connect(hub, b, 100e6, topology.LinkOpts{Latency: 1e-4})
+	g.Connect(hub, far1, 100e6, topology.LinkOpts{Latency: 50e-3}) // 50 ms WAN hop
+	g.Connect(hub, far2, 100e6, topology.LinkOpts{Latency: 50e-3})
+	g.Connect(far1, c, 100e6, topology.LinkOpts{Latency: 1e-4})
+	g.Connect(far2, d, 100e6, topology.LinkOpts{Latency: 1e-4})
+	s := topology.NewSnapshot(g)
+	// Make the nearby pair's bandwidth worse so the unconstrained choice
+	// would cross the WAN hop.
+	s.SetAvailBW(0, 30e6)
+	s.SetAvailBW(1, 30e6)
+
+	free, err := Balanced(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(free.Nodes, []int{c, d}) {
+		t.Fatalf("unconstrained chose %v, want the far pair [c d]", free.Nodes)
+	}
+	capped, err := Balanced(s, Request{M: 2, MaxPairLatency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(capped.Nodes, []int{a, b}) {
+		t.Fatalf("latency-capped chose %v, want the nearby pair [a b]", capped.Nodes)
+	}
+	if capped.MaxPairLatency > 1e-3 {
+		t.Fatalf("reported latency %v exceeds the cap", capped.MaxPairLatency)
+	}
+	// Infeasible cap.
+	if _, err := Balanced(s, Request{M: 3, MaxPairLatency: 1e-3}); !errors.Is(err, ErrNoFeasibleSet) {
+		t.Fatalf("err = %v, want ErrNoFeasibleSet", err)
+	}
+	// Brute force agrees.
+	bf, err := BruteForce(s, Request{M: 2, MaxPairLatency: 1e-3}, ObjectiveBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(bf.Nodes, capped.Nodes) {
+		t.Fatalf("brute force chose %v, greedy %v", bf.Nodes, capped.Nodes)
+	}
+}
+
+func TestMaxPairLatencyOnMaxCompute(t *testing.T) {
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	a := g.AddComputeNode("a")
+	b := g.AddComputeNode("b")
+	c := g.AddComputeNode("c")
+	g.Connect(hub, a, 100e6, topology.LinkOpts{Latency: 1e-4})
+	g.Connect(hub, b, 100e6, topology.LinkOpts{Latency: 1e-4})
+	g.Connect(hub, c, 100e6, topology.LinkOpts{Latency: 80e-3})
+	s := topology.NewSnapshot(g)
+	s.SetLoad(a, 1) // the idle far node would win without the cap
+	res, err := MaxCompute(s, Request{M: 2, MaxPairLatency: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{a, b}) {
+		t.Fatalf("chose %v, want [a b]", res.Nodes)
+	}
+}
+
+func TestScoreReportsMaxPairLatency(t *testing.T) {
+	g := topology.NewGraph()
+	a := g.AddComputeNode("a")
+	b := g.AddComputeNode("b")
+	c := g.AddComputeNode("c")
+	g.Connect(a, b, 100e6, topology.LinkOpts{Latency: 0.002})
+	g.Connect(b, c, 100e6, topology.LinkOpts{Latency: 0.003})
+	s := topology.NewSnapshot(g)
+	res := Score(s, []int{a, c}, Request{M: 2})
+	if math.Abs(res.MaxPairLatency-0.005) > 1e-12 {
+		t.Fatalf("MaxPairLatency = %v, want 0.005", res.MaxPairLatency)
+	}
+}
+
+func TestMinMemoryFloor(t *testing.T) {
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	big := g.AddComputeNode("big")
+	small := g.AddComputeNode("small")
+	other := g.AddComputeNode("other")
+	g.Connect(hub, big, 100e6, topology.LinkOpts{})
+	g.Connect(hub, small, 100e6, topology.LinkOpts{})
+	g.Connect(hub, other, 100e6, topology.LinkOpts{})
+	g.SetNodeMemory(big, 4096)
+	g.SetNodeMemory(small, 256)
+	g.SetNodeMemory(other, 2048)
+	s := topology.NewSnapshot(g)
+	res, err := Balanced(s, Request{M: 2, MinMemoryMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{big, other}) {
+		t.Fatalf("chose %v, want the big-memory pair", res.Nodes)
+	}
+	if _, err := Balanced(s, Request{M: 3, MinMemoryMB: 1024}); !errors.Is(err, ErrTooFewNodes) {
+		t.Fatalf("err = %v, want ErrTooFewNodes", err)
+	}
+	// Pinned node violating the floor is infeasible.
+	if _, err := Balanced(s, Request{M: 2, MinMemoryMB: 1024, Pinned: []int{small}}); !errors.Is(err, ErrNoFeasibleSet) {
+		t.Fatalf("err = %v, want ErrNoFeasibleSet", err)
+	}
+}
+
+func TestSetNodeMemoryPanicsNegative(t *testing.T) {
+	g := topology.NewGraph()
+	id := g.AddComputeNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative memory accepted")
+		}
+	}()
+	g.SetNodeMemory(id, -1)
+}

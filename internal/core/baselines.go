@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// Random selects m eligible compute nodes uniformly at random, the baseline
+// the paper compares against in §4.3. Pinned nodes are always included; the
+// remainder is drawn without replacement. Floors are ignored (a random
+// selector has no network information), but eligibility restrictions are
+// honoured since they encode hard application constraints.
+func Random(s *topology.Snapshot, req Request, src *randx.Source) (Result, error) {
+	// Floors are a property of network state, which random selection
+	// does not consult.
+	blind := req
+	blind.MinBW = 0
+	blind.MinCPU = 0
+	eligible, err := blind.validate(s)
+	if err != nil {
+		return Result{}, err
+	}
+	pinned := req.pinnedSet()
+	nodes := make([]int, 0, req.M)
+	var pool []int
+	for _, id := range eligible {
+		if pinned[id] {
+			nodes = append(nodes, id)
+		} else {
+			pool = append(pool, id)
+		}
+	}
+	src.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	nodes = append(nodes, pool[:req.M-len(nodes)]...)
+	sort.Ints(nodes)
+	return Score(s, nodes, req), nil
+}
+
+// Static selects nodes using only static network properties: it runs the
+// balanced procedure on an idealized snapshot with zero load everywhere and
+// every link fully available. On a homogeneous testbed this is equivalent
+// to an arbitrary fixed choice, which is why the paper reports that random
+// and static selection perform virtually identically (§4.3).
+func Static(s *topology.Snapshot, req Request) (Result, error) {
+	idle := topology.NewSnapshot(s.Graph)
+	idle.Time = s.Time
+	res, err := Balanced(idle, req)
+	if err != nil {
+		return Result{}, err
+	}
+	// Report the chosen set scored against the *actual* conditions.
+	return Score(s, res.Nodes, req), nil
+}
+
+// Algorithm names accepted by Select.
+const (
+	AlgoCompute   = "compute"
+	AlgoBandwidth = "bandwidth"
+	AlgoBalanced  = "balanced"
+	AlgoRandom    = "random"
+	AlgoStatic    = "static"
+)
+
+// Algorithms lists the selectable algorithm names.
+func Algorithms() []string {
+	return []string{AlgoCompute, AlgoBandwidth, AlgoBalanced, AlgoRandom, AlgoStatic}
+}
+
+// Select dispatches by algorithm name. src is required only for
+// AlgoRandom; a nil src makes random selection an error.
+func Select(algo string, s *topology.Snapshot, req Request, src *randx.Source) (Result, error) {
+	switch algo {
+	case AlgoCompute:
+		return MaxCompute(s, req)
+	case AlgoBandwidth:
+		return MaxBandwidth(s, req)
+	case AlgoBalanced:
+		return Balanced(s, req)
+	case AlgoStatic:
+		return Static(s, req)
+	case AlgoRandom:
+		if src == nil {
+			return Result{}, fmt.Errorf("%w: random selection needs a random source", ErrBadRequest)
+		}
+		return Random(s, req, src)
+	default:
+		return Result{}, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, algo)
+	}
+}

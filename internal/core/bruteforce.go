@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+
+	"nodeselect/internal/topology"
+)
+
+// Objective identifies which quantity a brute-force search maximizes.
+type Objective int
+
+const (
+	// ObjectiveCompute maximizes the minimum effective CPU of the set.
+	ObjectiveCompute Objective = iota
+	// ObjectiveBandwidth maximizes the minimum pairwise available
+	// bandwidth along static routes.
+	ObjectiveBandwidth
+	// ObjectiveBalanced maximizes min(mincpu, priority * min pairwise
+	// bandwidth fraction), the paper's minresource.
+	ObjectiveBalanced
+)
+
+// BruteForce exhaustively enumerates every feasible m-subset of eligible
+// compute nodes and returns one with the maximum objective value. It is
+// exponential and exists as the ground-truth oracle for testing the greedy
+// procedures and for the optimality-gap ablation; do not call it on large
+// graphs.
+//
+// Feasibility honours the request's floors: with MinBW set, a subset whose
+// pairwise bandwidth falls below the floor is rejected; MinCPU and
+// eligibility are enforced by Request.validate.
+func BruteForce(s *topology.Snapshot, req Request, obj Objective) (Result, error) {
+	eligible, err := req.validate(s)
+	if err != nil {
+		return Result{}, err
+	}
+	pinned := req.pinnedSet()
+
+	// Mandatory members first, then free choices.
+	var free []int
+	for _, id := range eligible {
+		if !pinned[id] {
+			free = append(free, id)
+		}
+	}
+	base := make([]int, 0, req.M)
+	for _, id := range eligible {
+		if pinned[id] {
+			base = append(base, id)
+		}
+	}
+	need := req.M - len(base)
+
+	var best Result
+	bestVal := math.Inf(-1)
+	found := false
+
+	consider := func(nodes []int) {
+		res := Score(s, nodes, req)
+		if req.MinBW > 0 && res.PairMinBW < req.MinBW {
+			return
+		}
+		if req.MaxPairLatency > 0 && res.MaxPairLatency > req.MaxPairLatency {
+			return
+		}
+		var val float64
+		switch obj {
+		case ObjectiveCompute:
+			val = res.MinCPU
+		case ObjectiveBandwidth:
+			val = res.PairMinBW
+		case ObjectiveBalanced:
+			val = res.MinResource
+		}
+		if !found || val > bestVal {
+			bestVal = val
+			best = res
+			found = true
+		}
+	}
+
+	// Enumerate combinations of size need from free.
+	combo := make([]int, 0, req.M)
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if remaining == 0 {
+			nodes := append(append([]int(nil), base...), combo...)
+			consider(nodes)
+			return
+		}
+		for i := start; i <= len(free)-remaining; i++ {
+			combo = append(combo, free[i])
+			rec(i+1, remaining-1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	rec(0, need)
+
+	if !found {
+		return Result{}, ErrNoFeasibleSet
+	}
+	return best, nil
+}
+
+// OptimalityGap runs a greedy procedure and the corresponding brute-force
+// oracle and returns (greedyValue, optimalValue) for the balanced
+// objective. It is used by tests and the ablation benchmarks.
+func OptimalityGap(s *topology.Snapshot, req Request, opts Options) (greedy, optimal float64, err error) {
+	gres, err := BalancedOpt(s, req, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	bres, err := BruteForce(s, req, ObjectiveBalanced)
+	if err != nil {
+		return 0, 0, err
+	}
+	return gres.MinResource, bres.MinResource, nil
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// ExampleBalanced selects nodes on the paper's CMU testbed with one loaded
+// machine and one congested access link.
+func ExampleBalanced() {
+	g := testbed.CMU()
+	snap := topology.NewSnapshot(g)
+	snap.SetLoadName("m-1", 2.0) // 33% CPU left
+	// Congest m-2's access link to 10% availability.
+	route := g.Route(g.MustNode("m-2"), g.MustNode("panama"))
+	snap.SetAvailBW(route[0], 10e6)
+
+	res, err := core.Balanced(snap, core.Request{M: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", res.Names(g))
+	fmt.Printf("minresource: %.2f\n", res.MinResource)
+	// Output:
+	// nodes: [m-3 m-4 m-5 m-6]
+	// minresource: 1.00
+}
+
+// ExampleMaxBandwidth shows the Figure 2 procedure preferring a clean
+// cluster over a congested one.
+func ExampleMaxBandwidth() {
+	g := testbed.Dumbbell(3, testbed.Ethernet100, testbed.Ethernet100)
+	snap := topology.NewSnapshot(g)
+	// Congest every left-side access link.
+	for _, name := range []string{"l-1", "l-2", "l-3"} {
+		id := g.MustNode(name)
+		snap.SetAvailBW(g.Incident(id)[0], 5e6)
+	}
+	res, err := core.MaxBandwidth(snap, core.Request{M: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", res.Names(g))
+	fmt.Println("bottleneck:", topology.FormatBandwidth(res.PairMinBW))
+	// Output:
+	// nodes: [r-1 r-2 r-3]
+	// bottleneck: 100Mbps
+}
+
+// ExampleAdviseMigration evaluates whether a running job should move
+// (§3.3 dynamic migration).
+func ExampleAdviseMigration() {
+	g := testbed.Star(6, testbed.Ethernet100)
+	snap := topology.NewSnapshot(g)
+	current := []int{g.MustNode("n-1"), g.MustNode("n-2")}
+	// Competing load lands on the current nodes.
+	snap.SetLoadName("n-1", 3)
+	snap.SetLoadName("n-2", 3)
+
+	adv, err := core.AdviseMigration(snap, current, core.Request{M: 2},
+		core.MigrationPolicy{MinGain: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("move:", adv.Move)
+	fmt.Println("to:", adv.Candidate.Names(g))
+	// Output:
+	// move: true
+	// to: [n-3 n-4]
+}
+
+// ExampleChooseCount couples selection with a performance model to pick
+// the node count as well as the node set (§3.4).
+func ExampleChooseCount() {
+	g := testbed.Star(8, testbed.Ethernet100)
+	snap := topology.NewSnapshot(g)
+	// Only four nodes are idle; the rest are heavily loaded.
+	for i := 5; i <= 8; i++ {
+		snap.SetLoadName(fmt.Sprintf("n-%d", i), 4)
+	}
+	// A fixed 40-second job that splits perfectly across nodes.
+	model := core.PerfModelFunc(func(res core.Result) float64 {
+		return 40 / float64(len(res.Nodes)) / res.MinCPU
+	})
+	res, err := core.ChooseCount(snap, core.Request{}, 2, 8, core.AlgoBalanced, model, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("m:", res.M)
+	fmt.Printf("predicted: %.1fs\n", res.Predicted)
+	// The model's optimum is the idle pool of four, not all eight nodes:
+	// m=4 predicts 40/4/1.0 = 10 s, m=8 only 40/8/0.2 = 25 s.
+	// Output:
+	// m: 4
+	// predicted: 10.0s
+}

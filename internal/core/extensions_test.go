@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// --- Prioritization of computation and communication (§3.3) ---
+
+func TestComputePriorityShiftsChoice(t *testing.T) {
+	// Pair A: cpu 0.5 each, link 90% free. Pair B: cpu 0.9 each, link
+	// 30% free. Balanced (p=1): A scores 0.5, B scores 0.3 → A wins.
+	// With compute priority 2: A scores min(0.5, 2*0.9)=0.5, B scores
+	// min(0.9, 2*0.3)=0.6 → B wins.
+	g := topology.NewGraph()
+	a1 := g.AddComputeNode("a1")
+	a2 := g.AddComputeNode("a2")
+	b1 := g.AddComputeNode("b1")
+	b2 := g.AddComputeNode("b2")
+	hub := g.AddNetworkNode("hub")
+	la1 := g.Connect(a1, a2, 100e6, topology.LinkOpts{})
+	lb1 := g.Connect(b1, b2, 100e6, topology.LinkOpts{})
+	g.Connect(a1, hub, 100e6, topology.LinkOpts{})
+	g.Connect(b1, hub, 100e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+	s.SetLoad(a1, 1)
+	s.SetLoad(a2, 1) // cpu 0.5
+	s.SetLoadName("b1", 1.0/9.0)
+	s.SetLoadName("b2", 1.0/9.0) // cpu 0.9
+	s.SetAvailBW(la1, 90e6)
+	s.SetAvailBW(lb1, 30e6)
+	// Make the hub links unattractive so pairs stay within a branch.
+	s.SetAvailBW(2, 5e6)
+	s.SetAvailBW(3, 5e6)
+
+	bal, err := Balanced(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(bal.Nodes, []int{a1, a2}) {
+		t.Fatalf("equal priority chose %v, want pair A", bal.Nodes)
+	}
+	pri, err := Balanced(s, Request{M: 2, ComputePriority: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(pri.Nodes, []int{b1, b2}) {
+		t.Fatalf("compute priority 2 chose %v, want pair B", pri.Nodes)
+	}
+	if math.Abs(pri.MinResource-0.6) > 1e-9 {
+		t.Errorf("priority-2 minresource = %v, want 0.6", pri.MinResource)
+	}
+}
+
+func TestPaperPriorityExample(t *testing.T) {
+	// §3.3: "if computation was prioritized by a factor of 2, 50% CPU
+	// availability would be considered equivalent to 25% availability of
+	// communication paths."
+	g := chain(2)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 1)
+	s.SetLoad(1, 1)       // cpu 0.5
+	s.SetAvailBW(0, 25e6) // bw fraction 0.25
+	res := Score(s, []int{0, 1}, Request{M: 2, ComputePriority: 2})
+	if math.Abs(res.MinResource-0.5) > 1e-12 {
+		t.Fatalf("minresource = %v, want 0.5 (cpu 0.5 == 2 * bw 0.25)", res.MinResource)
+	}
+}
+
+// --- Fixed computation and communication requirements (§3.3) ---
+
+func TestMinBWFloorConstrainsMaxCompute(t *testing.T) {
+	// Idle nodes behind a starved link must be rejected when the request
+	// demands 50 Mbps between any selected nodes.
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 0.2)
+	s.SetLoad(1, 0.2)
+	s.SetAvailBW(1, 10e6) // link 1-2 starved
+	// Nodes 2,3 are idle (cpu 1.0), nodes 0,1 slightly loaded; without a
+	// floor MaxCompute takes 2,3... it does anyway here. Make 2,3 the
+	// loaded ones instead.
+	s = topology.NewSnapshot(g)
+	s.SetLoad(2, 0.2)
+	s.SetLoad(3, 0.2)
+	s.SetAvailBW(1, 10e6)
+	res, err := MaxCompute(s, Request{M: 2, MinBW: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The idle pair {0,1} satisfies the floor; the cross pair would not.
+	if !equalSets(res.Nodes, []int{0, 1}) {
+		t.Fatalf("chose %v, want [0 1]", res.Nodes)
+	}
+	if res.PairMinBW < 50e6 {
+		t.Errorf("floor violated: PairMinBW = %v", res.PairMinBW)
+	}
+}
+
+func TestMinBWFloorInfeasible(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(0, 1e6)
+	s.SetAvailBW(1, 1e6)
+	_, err := MaxCompute(s, Request{M: 2, MinBW: 50e6})
+	if !errors.Is(err, ErrNoFeasibleSet) {
+		t.Fatalf("err = %v, want ErrNoFeasibleSet", err)
+	}
+	_, err = Balanced(s, Request{M: 2, MinBW: 50e6})
+	if !errors.Is(err, ErrNoFeasibleSet) {
+		t.Fatalf("balanced err = %v, want ErrNoFeasibleSet", err)
+	}
+}
+
+func TestMinCPUFloorFiltersNodes(t *testing.T) {
+	g := chain(5)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 4) // cpu 0.2
+	s.SetLoad(1, 4)
+	s.SetLoad(2, 0.5) // cpu 0.667
+	res, err := MaxBandwidth(s, Request{M: 3, MinCPU: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{2, 3, 4}) {
+		t.Fatalf("chose %v, want [2 3 4]", res.Nodes)
+	}
+	if _, err := MaxBandwidth(s, Request{M: 4, MinCPU: 0.5}); !errors.Is(err, ErrTooFewNodes) {
+		t.Fatalf("err = %v, want ErrTooFewNodes", err)
+	}
+}
+
+// --- Heterogeneous links and nodes (§3.3) ---
+
+func TestHeterogeneousReferenceCapacity(t *testing.T) {
+	// Paper example: with 100 Mbps and 155 Mbps links, a reference link
+	// decides whether "50% available" means 50 or 77.5 Mbps.
+	g := topology.NewGraph()
+	a := g.AddComputeNode("a")
+	b := g.AddComputeNode("b")
+	c := g.AddComputeNode("c")
+	lab := g.Connect(a, b, 100e6, topology.LinkOpts{})
+	lbc := g.Connect(b, c, 155e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(lab, 60e6)   // 60% of own capacity
+	s.SetAvailBW(lbc, 77.5e6) // 50% of own capacity, 77.5% of 100M reference
+
+	// Own-capacity convention: pair (a,b) factor 0.6 beats (b,c) 0.5.
+	own, err := Balanced(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(own.Nodes, []int{a, b}) {
+		t.Fatalf("own-capacity picked %v, want [a b]", own.Nodes)
+	}
+	// 100 Mbps reference: (b,c) delivers 77.5 Mbps = 0.775 > 0.6.
+	ref, err := Balanced(s, Request{M: 2, RefCapacity: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(ref.Nodes, []int{b, c}) {
+		t.Fatalf("reference-capacity picked %v, want [b c]", ref.Nodes)
+	}
+	if math.Abs(ref.MinBWFactor-0.775) > 1e-9 {
+		t.Errorf("reference MinBWFactor = %v, want 0.775", ref.MinBWFactor)
+	}
+}
+
+func TestHeterogeneousNodeSpeeds(t *testing.T) {
+	// A loaded fast node can still beat an idle slow node: speed 3 at
+	// load 1 gives effective 1.5 > 1.0.
+	g := topology.NewGraph()
+	fast := g.AddComputeNodeSpec("fast", 3, "")
+	slow := g.AddComputeNode("slow")
+	other := g.AddComputeNode("other")
+	g.Connect(fast, other, 100e6, topology.LinkOpts{})
+	g.Connect(slow, other, 100e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+	s.SetLoad(fast, 1)
+	res, err := MaxCompute(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = other
+	// The loaded fast node (effective 1.5) must be selected ahead of the
+	// idle unit-speed nodes; the second slot goes to the lower-ID tie.
+	if !equalSets(res.Nodes, []int{fast, slow}) {
+		t.Fatalf("chose %v, want fast+slow", res.Nodes)
+	}
+	if math.Abs(res.MinCPU-1.0) > 1e-12 {
+		t.Errorf("MinCPU = %v (other is the min at 1.0)", res.MinCPU)
+	}
+}
+
+// --- Eligibility and pinning (application specification interface) ---
+
+func TestEligibleRestriction(t *testing.T) {
+	g := chain(6)
+	s := topology.NewSnapshot(g)
+	evens := func(id int) bool { return id%2 == 0 }
+	res, err := MaxCompute(s, Request{M: 3, Eligible: evens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{0, 2, 4}) {
+		t.Fatalf("chose %v, want even nodes", res.Nodes)
+	}
+	if _, err := MaxCompute(s, Request{M: 4, Eligible: evens}); !errors.Is(err, ErrTooFewNodes) {
+		t.Fatalf("err = %v, want ErrTooFewNodes", err)
+	}
+}
+
+func TestPinnedNodeAlwaysSelected(t *testing.T) {
+	g := chain(6)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(5, 10) // pinned node is the worst node
+	for _, algo := range []string{AlgoCompute, AlgoBandwidth, AlgoBalanced} {
+		res, err := Select(algo, s, Request{M: 3, Pinned: []int{5}}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		found := false
+		for _, id := range res.Nodes {
+			if id == 5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s dropped the pinned node: %v", algo, res.Nodes)
+		}
+	}
+}
+
+func TestPinnedValidation(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddNetworkNode("r")
+	g.AddComputeNode("b")
+	g.ConnectNames("a", "r", 1e6, topology.LinkOpts{})
+	g.ConnectNames("r", "b", 1e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+	// Pinning a network node is malformed.
+	if _, err := MaxCompute(s, Request{M: 1, Pinned: []int{1}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("pinned router: err = %v", err)
+	}
+	// More pinned than M is malformed.
+	if _, err := MaxCompute(s, Request{M: 1, Pinned: []int{0, 2}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("too many pinned: err = %v", err)
+	}
+	// A pinned node violating the CPU floor is infeasible.
+	s.SetLoad(0, 9)
+	if _, err := MaxCompute(s, Request{M: 1, Pinned: []int{0}, MinCPU: 0.5}); !errors.Is(err, ErrNoFeasibleSet) {
+		t.Errorf("pinned below floor: err = %v", err)
+	}
+}
+
+func TestPinnedGuidesComponentChoice(t *testing.T) {
+	// Two clean clusters; pinning a node in cluster B must force the
+	// bandwidth algorithm to stay in B even if A is equally good.
+	g := twoClusters(3, 10e6) // weak backbone
+	s := topology.NewSnapshot(g)
+	res, err := MaxBandwidth(s, Request{M: 3, Pinned: []int{5}}) // 5 is in cluster B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(res.Nodes, []int{5, 6, 7}) {
+		t.Fatalf("chose %v, want cluster B [5 6 7]", res.Nodes)
+	}
+	if res.PairMinBW != 100e6 {
+		t.Errorf("PairMinBW = %v, want 100e6 (not across the weak backbone)", res.PairMinBW)
+	}
+}
+
+// --- Brute force oracle ---
+
+func TestBruteForceHonoursFloorAndPinning(t *testing.T) {
+	g := chain(5)
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(2, 1e6) // starve link 2-3
+	res, err := BruteForce(s, Request{M: 2, MinBW: 50e6, Pinned: []int{1}}, ObjectiveBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairMinBW < 50e6 {
+		t.Errorf("brute force violated the floor: %v", res.PairMinBW)
+	}
+	foundPinned := false
+	for _, id := range res.Nodes {
+		if id == 1 {
+			foundPinned = true
+		}
+	}
+	if !foundPinned {
+		t.Error("brute force dropped pinned node")
+	}
+}
+
+func TestBruteForceObjectives(t *testing.T) {
+	src := randx.New(55)
+	s := randomTreeSnapshot(src, 7)
+	req := Request{M: 3}
+	comp, err := BruteForce(s, req, ObjectiveCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyComp, _ := MaxCompute(s, req)
+	if math.Abs(comp.MinCPU-greedyComp.MinCPU) > 1e-12 {
+		t.Errorf("brute compute %v != greedy %v (greedy is exact)", comp.MinCPU, greedyComp.MinCPU)
+	}
+}
+
+func TestOptimalityGap(t *testing.T) {
+	src := randx.New(66)
+	s := randomTreeSnapshot(src, 8)
+	g, o, err := OptimalityGap(s, Request{M: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > o+1e-9 {
+		t.Fatalf("greedy %v exceeds optimum %v", g, o)
+	}
+	if g < o-1e-9 {
+		t.Fatalf("full sweep should be optimal on trees: greedy %v < optimum %v", g, o)
+	}
+}
+
+// --- Migration (§3.3) ---
+
+func TestAdviseMigrationRecommendsMove(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 4)
+	s.SetLoad(1, 4) // current placement heavily loaded
+	adv, err := AdviseMigration(s, []int{0, 1}, Request{M: 2}, MigrationPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Move {
+		t.Fatal("should recommend moving off loaded nodes")
+	}
+	if !equalSets(adv.Candidate.Nodes, []int{2, 3}) {
+		t.Fatalf("candidate %v, want [2 3]", adv.Candidate.Nodes)
+	}
+	if adv.Gain <= 0 {
+		t.Errorf("gain = %v, want positive", adv.Gain)
+	}
+}
+
+func TestAdviseMigrationStaysWhenCurrentBest(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(2, 4)
+	s.SetLoad(3, 4)
+	adv, err := AdviseMigration(s, []int{0, 1}, Request{M: 2}, MigrationPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Move {
+		t.Fatal("should stay on the best placement")
+	}
+}
+
+func TestAdviseMigrationMinGain(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 0.3)
+	s.SetLoad(1, 0.3) // current slightly loaded; candidate idle
+	// Improvement from cpu 1/1.3 ≈ 0.769 to 1.0 is ~30%.
+	low, err := AdviseMigration(s, []int{0, 1}, Request{M: 2}, MigrationPolicy{MinGain: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !low.Move {
+		t.Fatal("30% gain should clear a 10% threshold")
+	}
+	high, err := AdviseMigration(s, []int{0, 1}, Request{M: 2}, MigrationPolicy{MinGain: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Move {
+		t.Fatal("30% gain should not clear a 50% threshold")
+	}
+}
+
+func TestAdviseMigrationCost(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetLoad(0, 0.3)
+	s.SetLoad(1, 0.3)
+	adv, err := AdviseMigration(s, []int{0, 1}, Request{M: 2},
+		MigrationPolicy{MigrationCost: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Move {
+		t.Fatal("migration cost 0.5 should suppress a small gain")
+	}
+}
+
+func TestAdviseMigrationBadCurrent(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	if _, err := AdviseMigration(s, []int{0}, Request{M: 2}, MigrationPolicy{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestResultNamesAndString(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	res, err := MaxCompute(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Names(g)
+	if len(names) != 2 || names[0] != "n00" {
+		t.Errorf("Names = %v", names)
+	}
+	if res.String() == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"nodeselect/internal/topology"
+)
+
+// MigrationPolicy controls when a running application should move to a
+// better node set (§3.3 "Dynamic migration"). The snapshot passed to
+// AdviseMigration must already exclude the application's own load and
+// traffic — the paper notes that self-inflicted load "must be captured
+// separately as it is not due to a competing process"; internal/netsim and
+// internal/remos provide such background-only snapshots.
+type MigrationPolicy struct {
+	// Algorithm is the selection algorithm used to find the candidate
+	// placement (default AlgoBalanced).
+	Algorithm string
+	// MinGain is the minimum relative improvement in minresource that
+	// justifies a migration, e.g. 0.25 requires the new placement to
+	// offer at least 25% more minresource than the current one. Zero
+	// recommends migration on any strict improvement.
+	MinGain float64
+	// MigrationCost, when positive, is an absolute minresource handicap
+	// subtracted from the candidate to account for the cost of moving
+	// (checkpoint, transfer, restart).
+	MigrationCost float64
+}
+
+// MigrationAdvice is the outcome of a migration evaluation.
+type MigrationAdvice struct {
+	// Move reports whether migrating is worthwhile under the policy.
+	Move bool
+	// Current is the current placement scored under present conditions.
+	Current Result
+	// Candidate is the best placement available now.
+	Candidate Result
+	// Gain is the relative minresource improvement of Candidate over
+	// Current (after subtracting MigrationCost).
+	Gain float64
+}
+
+// AdviseMigration scores the application's current node set against the
+// best currently available set and recommends whether to migrate.
+func AdviseMigration(s *topology.Snapshot, current []int, req Request, policy MigrationPolicy) (MigrationAdvice, error) {
+	if len(current) != req.M {
+		return MigrationAdvice{}, fmt.Errorf("%w: current set has %d nodes, request wants %d",
+			ErrBadRequest, len(current), req.M)
+	}
+	algo := policy.Algorithm
+	if algo == "" {
+		algo = AlgoBalanced
+	}
+	cand, err := Select(algo, s, req, nil)
+	if err != nil {
+		return MigrationAdvice{}, err
+	}
+	cur := Score(s, current, req)
+	adv := MigrationAdvice{Current: cur, Candidate: cand}
+	candidateValue := cand.MinResource - policy.MigrationCost
+	if cur.MinResource <= 0 {
+		// A starved placement: any positive candidate is a gain.
+		adv.Gain = candidateValue
+		adv.Move = candidateValue > 0
+		return adv, nil
+	}
+	adv.Gain = candidateValue/cur.MinResource - 1
+	if sameNodes(cur.Nodes, cand.Nodes) {
+		adv.Move = false
+		return adv, nil
+	}
+	if policy.MinGain > 0 {
+		adv.Move = adv.Gain >= policy.MinGain
+	} else {
+		adv.Move = adv.Gain > 0
+	}
+	return adv, nil
+}
+
+// sameNodes reports whether two sorted node slices are identical.
+func sameNodes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

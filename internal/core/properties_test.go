@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// Property: with an overwhelming compute priority the balanced algorithm
+// reduces to MaxCompute — it achieves exactly the maximum attainable
+// minimum CPU (the §3.3 prioritization knob's limit behaviour).
+func TestQuickPriorityLimitIsMaxCompute(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(10)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		comp, err1 := MaxCompute(s, Request{M: m})
+		bal, err2 := Balanced(s, Request{M: m, ComputePriority: 1e12})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(comp.MinCPU-bal.MinCPU) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising the compute priority never lowers the selected set's
+// minimum CPU, and lowering it never lowers the selected set's bandwidth
+// fraction (monotone trade-off of the §3.3 knob).
+func TestQuickPriorityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		priorities := []float64{0.25, 1, 4, 16}
+		lastCPU := -1.0
+		for _, p := range priorities {
+			res, err := Balanced(s, Request{M: m, ComputePriority: p})
+			if err != nil {
+				return false
+			}
+			if res.MinCPU < lastCPU-1e-9 {
+				return false
+			}
+			lastCPU = res.MinCPU
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a bandwidth floor never yields a set with less pairwise
+// bandwidth than the floor, and an achievable floor never makes the
+// request infeasible.
+func TestQuickBandwidthFloorRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		free, err := MaxBandwidth(s, Request{M: m})
+		if err != nil {
+			return false
+		}
+		if math.IsInf(free.PairMinBW, 1) {
+			return true
+		}
+		// A floor at exactly the unconstrained optimum must stay feasible.
+		floor := free.PairMinBW * 0.999
+		capped, err := Balanced(s, Request{M: m, MinBW: floor})
+		if err != nil {
+			return false
+		}
+		return capped.PairMinBW >= floor-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Score is permutation-invariant in the node order.
+func TestQuickScorePermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-1)
+		perm := src.Perm(n)[:m]
+		a := Score(s, perm, Request{M: m})
+		shuffled := append([]int(nil), perm...)
+		src.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := Score(s, shuffled, Request{M: m})
+		return a.MinResource == b.MinResource && a.PairMinBW == b.PairMinBW &&
+			a.MinCPU == b.MinCPU && a.MaxPairLatency == b.MaxPairLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: selection results are insensitive to snapshot cloning (no
+// hidden state) and deterministic.
+func TestQuickSelectionPure(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 1 + src.Intn(n-1)
+		a, err1 := Balanced(s, Request{M: m})
+		b, err2 := Balanced(s.Clone(), Request{M: m})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalSets(a.Nodes, b.Nodes) && a.MinResource == b.MinResource
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on star topologies (every compute node one hop from a hub),
+// balanced selection equals MaxCompute whenever all access links are
+// equally available — bandwidth cannot discriminate.
+func TestQuickStarReducesToCompute(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 3 + src.Intn(10)
+		g := topology.NewGraph()
+		hub := g.AddNetworkNode("hub")
+		for i := 0; i < n; i++ {
+			id := g.AddComputeNode(nodeName(i))
+			g.Connect(hub, id, 100e6, topology.LinkOpts{})
+		}
+		s := topology.NewSnapshot(g)
+		for i := 0; i < n; i++ {
+			s.SetLoad(g.MustNode(nodeName(i)), src.Float64()*4)
+		}
+		u := src.Float64() * 0.9
+		for l := 0; l < g.NumLinks(); l++ {
+			s.SetUtilization(l, u)
+		}
+		m := 1 + src.Intn(n)
+		comp, err1 := MaxCompute(s, Request{M: m})
+		bal, err2 := Balanced(s, Request{M: m})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(comp.MinCPU-bal.MinCPU) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

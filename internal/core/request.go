@@ -1,0 +1,214 @@
+// Package core implements the paper's central contribution: procedures that
+// select a set of compute nodes from a logical network topology so as to
+// maximize the computation capacity, the communication capacity, or a
+// balanced combination of the two available to an application.
+//
+// The three fundamental algorithms follow §3.2 of the paper:
+//
+//   - MaxCompute selects the m nodes with the highest available CPU
+//     fraction cpu = 1/(1+loadavg).
+//   - MaxBandwidth (paper Figure 2) maximizes the minimum available
+//     bandwidth between any pair of selected nodes by repeatedly deleting
+//     the minimum-bandwidth edge while a connected component with at least
+//     m compute nodes survives.
+//   - Balanced (paper Figure 3) maximizes
+//     minresource = min(min fractional cpu, min fractional bandwidth)
+//     by the same bottleneck-edge deletion, re-picking the best compute
+//     nodes per surviving component.
+//
+// The generalizations of §3.3 are supported through Request: heterogeneous
+// links (reference capacity) and nodes (relative speeds), prioritization of
+// computation versus communication, fixed bandwidth/CPU floors, restricted
+// eligibility (architecture or group constraints) and pinned nodes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nodeselect/internal/topology"
+)
+
+// Request describes what an application needs from node selection. It is
+// the algorithm-facing form of the application specification interface
+// (§2.1 of the paper).
+type Request struct {
+	// M is the number of compute nodes required. Must be >= 1.
+	M int
+
+	// ComputePriority weights computation against communication in the
+	// balanced objective (§3.3 "Prioritization"). With priority p, the
+	// objective is min(mincpu, p * minbw): p = 2 makes 50% CPU
+	// availability equivalent to 25% bandwidth availability, exactly the
+	// paper's example. Zero means 1 (equal weight).
+	ComputePriority float64
+
+	// RefCapacity, when positive, is the reference link capacity in
+	// bits/second used to express available bandwidth as a fraction on
+	// heterogeneous networks (§3.3 "Heterogeneous links"). Zero means
+	// each link's own capacity is used (homogeneous interpretation).
+	RefCapacity float64
+
+	// MinBW, when positive, is a fixed bandwidth floor in bits/second:
+	// links offering less are unusable for this application (§3.3 "Fixed
+	// computation and communication requirements").
+	MinBW float64
+
+	// MinCPU, when positive, is a fixed floor on the effective CPU
+	// fraction: nodes offering less are ineligible.
+	MinCPU float64
+
+	// MinMemoryMB, when positive, excludes compute nodes with less
+	// physical memory (§3.4 lists memory among the factors Remos
+	// reports; this models a static per-node capacity requirement).
+	MinMemoryMB float64
+
+	// MaxPairLatency, when positive, is a ceiling in seconds on the
+	// one-way path latency between any pair of selected nodes (§3.4
+	// "Latency and other considerations"). Selections violating it are
+	// rejected.
+	MaxPairLatency float64
+
+	// Eligible, when non-nil, restricts the candidate compute nodes
+	// (architecture constraints, server pools, and similar group
+	// requirements from the application specification interface).
+	Eligible func(node int) bool
+
+	// Pinned lists compute nodes that must be part of the selection
+	// (e.g. a server that must run on a specific machine).
+	Pinned []int
+}
+
+// priority returns the effective compute priority.
+func (r Request) priority() float64 {
+	if r.ComputePriority <= 0 {
+		return 1
+	}
+	return r.ComputePriority
+}
+
+// Errors returned by the selection procedures.
+var (
+	// ErrTooFewNodes means the topology does not contain M eligible
+	// compute nodes at all.
+	ErrTooFewNodes = errors.New("core: not enough eligible compute nodes")
+	// ErrNoFeasibleSet means constraints (floors, pinning, connectivity)
+	// cannot be satisfied under the current network conditions.
+	ErrNoFeasibleSet = errors.New("core: no feasible node set under the given constraints")
+	// ErrBadRequest means the request itself is malformed.
+	ErrBadRequest = errors.New("core: malformed request")
+)
+
+// Result reports a selected node set and the resource fractions it was
+// scored with.
+type Result struct {
+	// Nodes is the selected compute node set, sorted by node ID.
+	Nodes []int
+
+	// MinCPU is the minimum effective CPU fraction across the selected
+	// nodes (cpu fraction times relative speed).
+	MinCPU float64
+
+	// PairMinBW is the minimum available bandwidth, in bits/second,
+	// between any pair of selected nodes along static routes. +Inf when
+	// only one node is selected.
+	PairMinBW float64
+
+	// MinBWFactor is PairMinBW expressed as a fraction: against the
+	// reference capacity when the request sets one, otherwise as the
+	// minimum per-link fraction along the selected pairs' routes. +Inf
+	// when only one node is selected.
+	MinBWFactor float64
+
+	// MinResource is min(MinCPU, priority * MinBWFactor), the balanced
+	// objective of Figure 3 evaluated on the actual selected set.
+	MinResource float64
+
+	// MaxPairLatency is the largest one-way path latency, in seconds,
+	// between any pair of selected nodes (0 when only one node).
+	MaxPairLatency float64
+}
+
+// names renders the selected node names using the snapshot's graph.
+func (r Result) Names(g *topology.Graph) []string {
+	out := make([]string, len(r.Nodes))
+	for i, id := range r.Nodes {
+		out[i] = g.Node(id).Name
+	}
+	return out
+}
+
+// String returns a compact rendering for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf("nodes=%v mincpu=%.3f minbw=%s minresource=%.3f",
+		r.Nodes, r.MinCPU, topology.FormatBandwidth(finiteOr(r.PairMinBW, 0)), r.MinResource)
+}
+
+func finiteOr(v, alt float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return alt
+	}
+	return v
+}
+
+// validate checks the request against the snapshot and returns the eligible
+// compute node IDs (sorted ascending).
+func (r Request) validate(s *topology.Snapshot) ([]int, error) {
+	if r.M < 1 {
+		return nil, fmt.Errorf("%w: M = %d", ErrBadRequest, r.M)
+	}
+	if s == nil || s.Graph == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrBadRequest)
+	}
+	pinned := make(map[int]bool, len(r.Pinned))
+	for _, id := range r.Pinned {
+		if id < 0 || id >= s.Graph.NumNodes() || s.Graph.Node(id).Kind != topology.Compute {
+			return nil, fmt.Errorf("%w: pinned node %d is not a compute node", ErrBadRequest, id)
+		}
+		pinned[id] = true
+	}
+	if len(pinned) > r.M {
+		return nil, fmt.Errorf("%w: %d pinned nodes exceed M = %d", ErrBadRequest, len(pinned), r.M)
+	}
+	var eligible []int
+	for _, id := range s.Graph.ComputeNodes() {
+		if r.Eligible != nil && !r.Eligible(id) && !pinned[id] {
+			continue
+		}
+		if r.MinCPU > 0 && s.EffectiveCPU(id) < r.MinCPU && !pinned[id] {
+			continue
+		}
+		if r.MinMemoryMB > 0 && s.Graph.Node(id).MemoryMB < r.MinMemoryMB && !pinned[id] {
+			continue
+		}
+		eligible = append(eligible, id)
+	}
+	// Pinned nodes must themselves satisfy the floors.
+	for _, id := range r.Pinned {
+		if r.MinCPU > 0 && s.EffectiveCPU(id) < r.MinCPU {
+			return nil, fmt.Errorf("%w: pinned node %d violates the CPU floor", ErrNoFeasibleSet, id)
+		}
+		if r.MinMemoryMB > 0 && s.Graph.Node(id).MemoryMB < r.MinMemoryMB {
+			return nil, fmt.Errorf("%w: pinned node %d violates the memory floor", ErrNoFeasibleSet, id)
+		}
+	}
+	if len(eligible) < r.M {
+		return nil, fmt.Errorf("%w: %d eligible, %d required", ErrTooFewNodes, len(eligible), r.M)
+	}
+	return eligible, nil
+}
+
+// linkUsable reports whether a link satisfies the request's bandwidth floor.
+func (r Request) linkUsable(s *topology.Snapshot, link int) bool {
+	return r.MinBW <= 0 || s.AvailBW[link] >= r.MinBW
+}
+
+// pinnedSet returns the pinned nodes as a set.
+func (r Request) pinnedSet() map[int]bool {
+	m := make(map[int]bool, len(r.Pinned))
+	for _, id := range r.Pinned {
+		m[id] = true
+	}
+	return m
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nodeselect/internal/topology"
+)
+
+// SweepStep records one edge-deletion round of the balanced sweep: which
+// threshold was processed, which candidate (if any) each surviving
+// component produced, and whether the best-so-far improved. It makes the
+// Figure 3 procedure's execution inspectable — for debugging a surprising
+// selection, and for teaching what the algorithm actually does.
+type SweepStep struct {
+	// Round is the removal round (0 = the initial whole-graph evaluation).
+	Round int
+	// Threshold is the fractional-bandwidth value whose edge tier was
+	// removed before this evaluation (0 for round 0).
+	Threshold float64
+	// RemovedLinks lists the link IDs deleted this round.
+	RemovedLinks []int
+	// Candidates are the node sets evaluated this round with their
+	// balanced scores, one per qualifying component.
+	Candidates []SweepCandidate
+	// Improved reports whether any candidate beat the best so far.
+	Improved bool
+}
+
+// SweepCandidate is one component's best-CPU node set and its score.
+type SweepCandidate struct {
+	Nodes []int
+	Score float64
+}
+
+// BalancedTrace runs the balanced selection while recording every round.
+// It returns the final result and the step log. The selection is identical
+// to Balanced's.
+func BalancedTrace(s *topology.Snapshot, req Request) (Result, []SweepStep, error) {
+	eligible, err := req.validate(s)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	g := s.Graph
+	pinned := req.pinnedSet()
+	isEligible := make(map[int]bool, len(eligible))
+	for _, id := range eligible {
+		isEligible[id] = true
+	}
+	priority := req.priority()
+
+	alive := make([]bool, g.NumLinks())
+	for l := range alive {
+		alive[l] = req.linkUsable(s, l)
+	}
+	aliveFn := func(l int) bool { return alive[l] }
+	order := make([]int, 0, g.NumLinks())
+	for l := 0; l < g.NumLinks(); l++ {
+		if alive[l] {
+			order = append(order, l)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := linkFactor(s, order[i], req), linkFactor(s, order[j], req)
+		if fi != fj {
+			return fi < fj
+		}
+		return order[i] < order[j]
+	})
+
+	var best Result
+	bestScore := -1.0
+	found := false
+	var steps []SweepStep
+
+	evaluate := func(step *SweepStep) {
+		for _, comp := range g.Components(aliveFn) {
+			if !containsAll(comp, pinned) {
+				continue
+			}
+			cands := filterNodes(comp, func(id int) bool { return isEligible[id] })
+			for _, pool := range candidatePools(s, cands, req) {
+				nodes := topCPUNodes(s, pool, req.M, pinned)
+				if nodes == nil || !pairLatencyOK(s, nodes, req) {
+					continue
+				}
+				res := Score(s, nodes, req)
+				if req.MinBW > 0 && res.PairMinBW < req.MinBW {
+					continue
+				}
+				score := res.MinCPU
+				if v := priority * res.MinBWFactor; v < score {
+					score = v
+				}
+				step.Candidates = append(step.Candidates, SweepCandidate{Nodes: nodes, Score: score})
+				if !found || score > bestScore {
+					bestScore = score
+					best = res
+					found = true
+					step.Improved = true
+				}
+			}
+		}
+	}
+
+	step := SweepStep{Round: 0}
+	evaluate(&step)
+	steps = append(steps, step)
+	round := 1
+	for i := 0; i < len(order); {
+		v := linkFactor(s, order[i], req)
+		st := SweepStep{Round: round, Threshold: v}
+		alive[order[i]] = false
+		st.RemovedLinks = append(st.RemovedLinks, order[i])
+		i++
+		for i < len(order) && linkFactor(s, order[i], req) == v {
+			alive[order[i]] = false
+			st.RemovedLinks = append(st.RemovedLinks, order[i])
+			i++
+		}
+		evaluate(&st)
+		steps = append(steps, st)
+		round++
+	}
+	if !found {
+		return Result{}, steps, fmt.Errorf("%w: no component provides %d connected eligible compute nodes",
+			ErrNoFeasibleSet, req.M)
+	}
+	return best, steps, nil
+}
+
+// FormatSweepTrace renders a step log with node names.
+func FormatSweepTrace(g *topology.Graph, steps []SweepStep) string {
+	var b strings.Builder
+	for _, st := range steps {
+		if st.Round == 0 {
+			b.WriteString("round 0: initial graph\n")
+		} else {
+			fmt.Fprintf(&b, "round %d: removed %d link(s) at factor %.3f\n",
+				st.Round, len(st.RemovedLinks), st.Threshold)
+		}
+		for _, c := range st.Candidates {
+			names := make([]string, len(c.Nodes))
+			for i, id := range c.Nodes {
+				names[i] = g.Node(id).Name
+			}
+			fmt.Fprintf(&b, "  candidate %v score %.3f\n", names, c.Score)
+		}
+		if st.Improved {
+			b.WriteString("  -> new best\n")
+		}
+	}
+	return b.String()
+}

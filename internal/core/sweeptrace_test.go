@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+func TestBalancedTraceMatchesBalanced(t *testing.T) {
+	for seed := int64(500); seed < 530; seed++ {
+		src := randx.New(seed)
+		n := 3 + src.Intn(8)
+		s := randomTreeSnapshot(src, n)
+		m := 2 + src.Intn(n-2)
+		req := Request{M: m}
+		plain, err1 := Balanced(s, req)
+		traced, steps, err2 := BalancedTrace(s, req)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: %v / %v", seed, err1, err2)
+		}
+		if !equalSets(plain.Nodes, traced.Nodes) || plain.MinResource != traced.MinResource {
+			t.Fatalf("seed %d: traced result diverged: %v vs %v", seed, plain, traced)
+		}
+		if len(steps) == 0 {
+			t.Fatalf("seed %d: no steps recorded", seed)
+		}
+	}
+}
+
+func TestBalancedTraceStructure(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	s.SetAvailBW(0, 20e6)
+	s.SetAvailBW(1, 80e6)
+	s.SetAvailBW(2, 60e6)
+	res, steps, err := BalancedTrace(s, Request{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds: initial + one per distinct factor tier (0.2, 0.6, 0.8).
+	if len(steps) != 4 {
+		t.Fatalf("got %d steps, want 4", len(steps))
+	}
+	if steps[0].Round != 0 || len(steps[0].RemovedLinks) != 0 {
+		t.Fatal("round 0 malformed")
+	}
+	if steps[1].Threshold != 0.2 || steps[1].RemovedLinks[0] != 0 {
+		t.Fatalf("round 1 = %+v", steps[1])
+	}
+	// The first improvement happens at round 0; the winning pair [1 2]
+	// appears once link 0 (factor 0.2) is gone at the latest.
+	if !steps[0].Improved {
+		t.Fatal("round 0 should establish a best")
+	}
+	if !equalSets(res.Nodes, []int{1, 2}) {
+		t.Fatalf("result %v", res.Nodes)
+	}
+	out := FormatSweepTrace(g, steps)
+	for _, want := range []string{"round 0", "new best", "score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBalancedTraceErrors(t *testing.T) {
+	g := chain(3)
+	s := topology.NewSnapshot(g)
+	if _, _, err := BalancedTrace(s, Request{M: 9}); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	// Infeasible floor: steps still returned for diagnosis.
+	s.SetAvailBW(0, 1e6)
+	s.SetAvailBW(1, 1e6)
+	_, steps, err := BalancedTrace(s, Request{M: 2, MinBW: 50e6})
+	if err == nil {
+		t.Fatal("infeasible floor accepted")
+	}
+	if len(steps) == 0 {
+		t.Fatal("steps missing on infeasible request")
+	}
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+)
+
+// AutosizeRow is one candidate node count in the §3.4 auto-sizing
+// experiment.
+type AutosizeRow struct {
+	M         int
+	Predicted float64 // model estimate on the selected placement
+	Actual    float64 // simulated execution time on that placement
+}
+
+// AutosizeAppResult reports the coupled count-and-set selection of §3.4
+// ("Variable number of execution nodes") for one application, validated
+// against simulation.
+type AutosizeAppResult struct {
+	App  string
+	Rows []AutosizeRow
+	// ChosenM minimizes the model's prediction; BestActualM minimizes
+	// the simulated execution time.
+	ChosenM     int
+	BestActualM int
+	// Regret is (actual at ChosenM) / (actual at BestActualM) - 1.
+	Regret float64
+}
+
+// PerfModelFor adapts a built-in application's analytic estimator to
+// core.PerfModel: the configuration is rescaled to the candidate count and
+// evaluated at the placement's worst available CPU and pairwise bottleneck
+// bandwidth.
+func PerfModelFor(app apps.App) core.PerfModel {
+	return core.PerfModelFunc(func(res core.Result) float64 {
+		_, estimate, err := apps.ScaledWithModel(app, len(res.Nodes))
+		if err != nil {
+			return math.Inf(1)
+		}
+		return estimate(res.MinCPU, res.PairMinBW)
+	})
+}
+
+// RunAutosize evaluates node counts 2..8 for each of the three paper
+// applications on the loaded testbed: for every m it selects a placement
+// with the balanced algorithm, records the model's estimate, and measures
+// the actual simulated execution time on an identically seeded scenario.
+// The chosen count is the model's argmin; the result reports how close
+// that lands to the simulated optimum.
+func RunAutosize(cfg Config) ([]AutosizeAppResult, error) {
+	cfg = cfg.withDefaults()
+	var out []AutosizeAppResult
+	for _, base := range appsUnderTest() {
+		res := AutosizeAppResult{App: base.Name()}
+		bestPred, bestActual := math.Inf(1), math.Inf(1)
+		actualByM := map[int]float64{}
+		for m := 2; m <= 8; m++ {
+			scaled, estimate, err := apps.ScaledWithModel(base, m)
+			if err != nil {
+				return nil, err
+			}
+			// Identical label per app: every candidate count faces the
+			// same background load process.
+			sc := NewScenario(cfg, CondLoad, "autosize/"+base.Name())
+			sel, err := sc.SelectNodes("balanced", m)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: autosize %s m=%d: %w", base.Name(), m, err)
+			}
+			pred := estimate(sel.MinCPU, sel.PairMinBW)
+			actual, err := sc.RunApp(scaled, sel.Nodes)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: autosize %s m=%d: %w", base.Name(), m, err)
+			}
+			res.Rows = append(res.Rows, AutosizeRow{M: m, Predicted: pred, Actual: actual})
+			actualByM[m] = actual
+			if pred < bestPred {
+				bestPred = pred
+				res.ChosenM = m
+			}
+			if actual < bestActual {
+				bestActual = actual
+				res.BestActualM = m
+			}
+		}
+		res.Regret = actualByM[res.ChosenM]/actualByM[res.BestActualM] - 1
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatAutosize renders the auto-sizing tables.
+func FormatAutosize(results []AutosizeAppResult) string {
+	var b strings.Builder
+	b.WriteString("Node-count auto-sizing under processor load (model vs simulation)\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s:\n", r.App)
+		fmt.Fprintf(&b, "%4s %14s %14s\n", "m", "predicted (s)", "actual (s)")
+		for _, row := range r.Rows {
+			marker := ""
+			if row.M == r.ChosenM {
+				marker = "<- chosen"
+			}
+			fmt.Fprintf(&b, "%4d %14.1f %14.1f %s\n", row.M, row.Predicted, row.Actual, marker)
+		}
+		fmt.Fprintf(&b, "  chosen m = %d, simulated optimum m = %d, regret %.1f%%\n",
+			r.ChosenM, r.BestActualM, 100*r.Regret)
+	}
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/remos"
+)
+
+// fastConfig keeps test runs quick: short warmup, one replication.
+func fastConfig() Config {
+	cfg := Default()
+	cfg.Replications = 1
+	cfg.Warmup = 120
+	return cfg
+}
+
+func TestConditionString(t *testing.T) {
+	cases := map[Condition]string{
+		CondNone: "none", CondLoad: "load",
+		CondTraffic: "traffic", CondBoth: "load+traffic",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Condition(9).String() == "" {
+		t.Error("unknown condition should render")
+	}
+}
+
+func TestScenarioWarmupProducesMeasurements(t *testing.T) {
+	sc := NewScenario(fastConfig(), CondBoth, "warmup-test")
+	if sc.Engine.Now() < 120 {
+		t.Fatalf("scenario time %v, want >= warmup", sc.Engine.Now())
+	}
+	if sc.Collector.Polls() < 10 {
+		t.Fatalf("collector took %d polls during warmup", sc.Collector.Polls())
+	}
+	snap, err := sc.Collector.Snapshot(remos.Window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Under load+traffic, something must be visibly consumed.
+	busy := 0
+	for l := 0; l < snap.Graph.NumLinks(); l++ {
+		if snap.AvailBW[l] < snap.Graph.Link(l).Capacity*0.999 {
+			busy++
+		}
+	}
+	loaded := 0
+	for _, la := range snap.LoadAvg {
+		if la > 0.05 {
+			loaded++
+		}
+	}
+	if busy == 0 || loaded == 0 {
+		t.Fatalf("warmup produced no visible conditions: %d busy links, %d loaded nodes", busy, loaded)
+	}
+}
+
+func TestRunOnceDeterministic(t *testing.T) {
+	cfg := fastConfig()
+	e1, n1, err := RunOnce(cfg, apps.DefaultFFT(), CondBoth, "balanced", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, n2, err := RunOnce(cfg, apps.DefaultFFT(), CondBoth, "balanced", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("identical labels diverged: %v vs %v", e1, e2)
+	}
+	if len(n1) != len(n2) {
+		t.Fatal("node sets diverged")
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("node sets diverged")
+		}
+	}
+	// A different replication must explore different randomness.
+	e3, _, err := RunOnce(cfg, apps.DefaultFFT(), CondBoth, "balanced", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Log("warning: rep 0 and rep 1 gave identical elapsed times (possible but unlikely)")
+	}
+}
+
+func TestRunOnceUnloadedMatchesReference(t *testing.T) {
+	cfg := fastConfig()
+	for _, tc := range []struct {
+		app  apps.App
+		want float64
+	}{
+		{apps.DefaultFFT(), 48},
+		{apps.DefaultAirshed(), 150},
+		{apps.DefaultMRI(), 540},
+	} {
+		elapsed, _, err := RunOnce(cfg, tc.app, CondNone, "balanced", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app.Name(), err)
+		}
+		if elapsed < tc.want*0.97 || elapsed > tc.want*1.03 {
+			t.Errorf("%s unloaded = %.1f, want ~%v", tc.app.Name(), elapsed, tc.want)
+		}
+	}
+}
+
+func TestAutoBeatsRandomUnderBoth(t *testing.T) {
+	// With a handful of replications the FFT's automatic selection must
+	// beat random on average under load+traffic — the paper's central
+	// claim.
+	cfg := fastConfig()
+	cfg.Replications = 3
+	var randomSum, autoSum float64
+	for rep := 0; rep < cfg.Replications; rep++ {
+		r, _, err := RunOnce(cfg, apps.DefaultFFT(), CondBoth, "random", rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := RunOnce(cfg, apps.DefaultFFT(), CondBoth, "balanced", rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomSum += r
+		autoSum += a
+	}
+	if autoSum >= randomSum {
+		t.Fatalf("automatic selection (%v) did not beat random (%v)", autoSum, randomSum)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 in short mode")
+	}
+	cfg := fastConfig()
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	names := []string{"FFT", "Airshed", "MRI"}
+	for i, row := range rows {
+		if row.App != names[i] {
+			t.Errorf("row %d is %s, want %s", i, row.App, names[i])
+		}
+		if row.Reference <= 0 {
+			t.Errorf("%s reference %v", row.App, row.Reference)
+		}
+		for ci := range Conditions {
+			if row.Random[ci].Mean <= row.Reference*0.95 {
+				t.Errorf("%s %s random %v below reference %v",
+					row.App, Conditions[ci], row.Random[ci].Mean, row.Reference)
+			}
+			if row.Auto[ci].N != cfg.Replications {
+				t.Errorf("%s cell has %d samples", row.App, row.Auto[ci].N)
+			}
+		}
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"FFT", "Airshed", "MRI", "Reference", "Load+Traf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+	// Headline derived from the same rows.
+	hs := ComputeHeadline(rows)
+	if len(hs) != 3 {
+		t.Fatalf("headline rows = %d", len(hs))
+	}
+	hout := FormatHeadline(hs)
+	if !strings.Contains(hout, "Auto/Random") {
+		t.Error("headline format missing ratio column")
+	}
+}
+
+func TestFig4Avoidance(t *testing.T) {
+	res, err := RunFig4(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AvoidedCongestion {
+		t.Fatalf("selection did not avoid the congested subtree: %v", res.Selected)
+	}
+	if len(res.Selected) != 4 {
+		t.Fatalf("selected %d nodes, want 4", len(res.Selected))
+	}
+	for _, name := range res.Selected {
+		if name == "m-16" || name == "m-18" {
+			t.Fatalf("selected a stream endpoint: %v", res.Selected)
+		}
+	}
+	if res.StreamPathAvail > 1e6 {
+		t.Errorf("stream path shows %v available, want ~0", res.StreamPathAvail)
+	}
+	if !strings.Contains(res.DOT, "penwidth=3") {
+		t.Error("DOT rendering missing highlighted nodes")
+	}
+	out := FormatFig4(res)
+	if !strings.Contains(out, "avoided congested subtree: true") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestGreedyGapAblation(t *testing.T) {
+	gap, err := RunGreedyGapAblation(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.SweepOptimal != gap.Trials {
+		t.Errorf("full sweep optimal on %d/%d trials, want all", gap.SweepOptimal, gap.Trials)
+	}
+	if gap.MeanPaperRatio > gap.MeanSweepRatio+1e-12 {
+		t.Error("paper variant cannot beat the full sweep")
+	}
+	if gap.MeanPaperRatio < 0.9 {
+		t.Errorf("paper variant ratio %v suspiciously low", gap.MeanPaperRatio)
+	}
+	if !strings.Contains(FormatGreedyGap(gap), "full sweep") {
+		t.Error("format missing variant name")
+	}
+}
+
+func TestMigrationBeneficial(t *testing.T) {
+	res, err := RunMigration(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Migrated {
+		t.Fatal("advisor never migrated")
+	}
+	if res.MigrateElapsed >= res.StayElapsed {
+		t.Fatalf("migration (%v) did not beat staying (%v)", res.MigrateElapsed, res.StayElapsed)
+	}
+	if len(res.FromNodes) == 0 || len(res.ToNodes) == 0 {
+		t.Error("placements not recorded")
+	}
+	out := FormatMigration(res)
+	if !strings.Contains(out, "speedup") {
+		t.Error("format missing speedup")
+	}
+}
+
+func TestSweepPointRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	cfg := fastConfig()
+	pt, err := sweepPoint(cfg, CondLoad, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Random.Mean <= 0 || pt.Auto.Mean <= 0 {
+		t.Fatal("sweep point has non-positive means")
+	}
+	if !strings.Contains(FormatLoadSweep([]SweepPoint{pt}), "intensity") {
+		t.Error("sweep format missing header")
+	}
+	if !strings.Contains(FormatTrafficSweep([]SweepPoint{pt}), "messages/s") {
+		t.Error("traffic sweep format missing title")
+	}
+}
+
+func TestWithDefaultsFillsZeroes(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := Default()
+	if c.Replications != d.Replications || c.Warmup != d.Warmup ||
+		c.LoadRate != d.LoadRate || c.TrafficRate != d.TrafficRate {
+		t.Fatalf("withDefaults did not fill: %+v", c)
+	}
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// FailoverResult reports the link-failure scenario: with the
+// gibraltar-suez ATM trunk down and the panama nodes loaded, measurement-
+// driven selection must place the job inside one healthy component, while
+// a placement that straddles the failed trunk never finishes.
+type FailoverResult struct {
+	// Selected is the placement chosen from post-failure measurements.
+	Selected []string
+	// Elapsed is the FFT execution time on that placement.
+	Elapsed float64
+	// CrossesFailure reports whether the selection straddled the failed
+	// trunk (it must not).
+	CrossesFailure bool
+	// NaiveCompleted reports whether the straddling placement finished
+	// within the simulation budget (it must not).
+	NaiveCompleted bool
+	// NaiveBudget is the simulated time the straddling placement was
+	// given.
+	NaiveBudget float64
+}
+
+// RunFailover executes the failure scenario.
+func RunFailover(cfg Config) (FailoverResult, error) {
+	cfg = cfg.withDefaults()
+	res := FailoverResult{NaiveBudget: 600}
+
+	// Measurement-driven path.
+	e := sim.NewEngine()
+	net := netsim.New(e, testbed.CMU(), netsim.Config{})
+	g := net.Graph()
+	// The panama nodes carry competing load, so the tempting idle nodes
+	// sit on gibraltar and suez — on opposite sides of the failure.
+	for i := 1; i <= 6; i++ {
+		for k := 0; k < 2; k++ {
+			net.StartTask(g.MustNode(fmt.Sprintf("m-%d", i)), 1e9, netsim.Background, nil)
+		}
+	}
+	col := remos.NewCollector(remos.NewSimSource(net), remos.CollectorConfig{
+		Period: cfg.CollectorPeriod, History: cfg.CollectorHistory,
+	})
+	col.Start(e)
+	e.RunUntil(30)
+	atm := trunkLink(g)
+	net.FailLink(atm)
+	e.RunUntil(60)
+
+	snap, err := col.Snapshot(cfg.Mode, false)
+	if err != nil {
+		return res, err
+	}
+	sel, err := core.Balanced(snap, core.Request{M: 4})
+	if err != nil {
+		return res, err
+	}
+	res.Selected = sel.Names(g)
+	res.CrossesFailure = crossesTrunk(res.Selected)
+	run, err := apps.Run(net, apps.DefaultFFT(), sel.Nodes)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = run.Elapsed()
+
+	// Naive path: a placement straddling the failed trunk stalls.
+	e2 := sim.NewEngine()
+	net2 := netsim.New(e2, testbed.CMU(), netsim.Config{})
+	g2 := net2.Graph()
+	net2.FailLink(trunkLink(g2))
+	naive := []int{
+		g2.MustNode("m-7"), g2.MustNode("m-8"),
+		g2.MustNode("m-13"), g2.MustNode("m-14"),
+	}
+	done := false
+	apps.DefaultFFT().Start(net2, naive, func(apps.Result) { done = true })
+	e2.RunUntil(res.NaiveBudget)
+	res.NaiveCompleted = done
+	return res, nil
+}
+
+// trunkLink returns the gibraltar-suez link ID of a CMU testbed graph.
+func trunkLink(g *topology.Graph) int {
+	gib, suez := g.MustNode("gibraltar"), g.MustNode("suez")
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		if (link.A == gib && link.B == suez) || (link.A == suez && link.B == gib) {
+			return l
+		}
+	}
+	panic("experiment: CMU testbed without a gibraltar-suez trunk")
+}
+
+// crossesTrunk reports whether the named selection has nodes on both sides
+// of the gibraltar-suez trunk (suez hosts m-13..m-18).
+func crossesTrunk(names []string) bool {
+	suezSide, otherSide := false, false
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(name, "m-%d", &idx); err != nil {
+			continue
+		}
+		if idx >= 13 {
+			suezSide = true
+		} else {
+			otherSide = true
+		}
+	}
+	return suezSide && otherSide
+}
+
+// FormatFailover renders the failure scenario.
+func FormatFailover(r FailoverResult) string {
+	var b strings.Builder
+	b.WriteString("Link failure: gibraltar-suez trunk down, panama loaded, select 4 nodes\n")
+	fmt.Fprintf(&b, "  selected:               %s\n", strings.Join(r.Selected, ", "))
+	fmt.Fprintf(&b, "  crosses failed trunk:   %v\n", r.CrossesFailure)
+	fmt.Fprintf(&b, "  elapsed:                %.1f s\n", r.Elapsed)
+	fmt.Fprintf(&b, "  straddling placement finished within %.0f s: %v\n",
+		r.NaiveBudget, r.NaiveCompleted)
+	return b.String()
+}

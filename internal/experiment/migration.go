@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+)
+
+// MigrationResult compares a long-running loosely synchronous job that
+// stays on its initial nodes against one that migrates when the §3.3
+// migration advisor recommends it, after competing load lands on the
+// initial placement mid-run.
+type MigrationResult struct {
+	// StayElapsed is the total time without migration.
+	StayElapsed float64
+	// MigrateElapsed is the total time with advisory migration,
+	// including the state-transfer cost.
+	MigrateElapsed float64
+	// Migrated reports whether the advisor actually triggered a move.
+	Migrated bool
+	// MigrationAt is the simulation time of the move (0 if none).
+	MigrationAt float64
+	// FromNodes and ToNodes are the placements (names).
+	FromNodes, ToNodes []string
+}
+
+// migrationJob runs `rounds` iterations of a one-iteration FFT workload on
+// a mutable node set, consulting the migration advisor between rounds when
+// advise is true. Competing load lands on the initial nodes after
+// loadAfter rounds. stateBytes is the per-node checkpoint transferred on
+// migration.
+func migrationJob(advise bool) (MigrationResult, error) {
+	const (
+		rounds      = 60
+		loadAfter   = 10
+		competitors = 4
+		stateBytes  = 64e6
+		checkEvery  = 5
+	)
+	e := sim.NewEngine()
+	net := netsim.New(e, testbed.CMU(), netsim.Config{LoadAvgWindow: 30})
+	g := net.Graph()
+	col := remos.NewCollector(remos.NewSimSource(net), remos.CollectorConfig{Period: 2, History: 10})
+	col.Start(e)
+	e.RunUntil(30)
+
+	res := MigrationResult{}
+	req := core.Request{M: 4}
+	snap, err := col.Snapshot(remos.Window, true)
+	if err != nil {
+		return res, err
+	}
+	sel, err := core.Balanced(snap, req)
+	if err != nil {
+		return res, err
+	}
+	nodes := sel.Nodes
+	res.FromNodes = sel.Names(g)
+	start := e.Now()
+
+	iter := apps.DefaultFFT()
+	iter.Iterations = 1
+
+	for round := 0; round < rounds; round++ {
+		if round == loadAfter {
+			// Competing jobs land on the job's current nodes.
+			for _, id := range nodes {
+				for k := 0; k < competitors; k++ {
+					net.StartTask(id, 1e9, netsim.Background, nil)
+				}
+			}
+		}
+		if advise && round > loadAfter && round%checkEvery == 0 {
+			// The advisor sees background-only conditions, excluding the
+			// job's own load and traffic (§3.3).
+			bg, err := col.Snapshot(remos.Window, true)
+			if err != nil {
+				return res, err
+			}
+			adv, err := core.AdviseMigration(bg, nodes, req, core.MigrationPolicy{MinGain: 0.5})
+			if err != nil {
+				return res, err
+			}
+			if adv.Move {
+				// Pay the migration cost: each old node ships its state
+				// to the corresponding new node.
+				done := 0
+				need := len(nodes)
+				for i := range nodes {
+					from, to := nodes[i], adv.Candidate.Nodes[i]
+					if from == to {
+						need--
+						continue
+					}
+					net.StartFlow(from, to, stateBytes, netsim.Application, func() { done++ })
+				}
+				net.Engine().RunWhile(func() bool { return done < need })
+				nodes = adv.Candidate.Nodes
+				res.Migrated = true
+				res.MigrationAt = e.Now()
+				res.ToNodes = adv.Candidate.Names(g)
+			}
+		}
+		if _, err := apps.Run(net, iter, nodes); err != nil {
+			return res, err
+		}
+	}
+	elapsed := e.Now() - start
+	if advise {
+		res.MigrateElapsed = elapsed
+	} else {
+		res.StayElapsed = elapsed
+	}
+	return res, nil
+}
+
+// RunMigration runs the stay and migrate policies on identical scenarios
+// and combines the outcomes.
+func RunMigration(cfg Config) (MigrationResult, error) {
+	_ = cfg // the scenario is deterministic; cfg reserved for future knobs
+	stay, err := migrationJob(false)
+	if err != nil {
+		return MigrationResult{}, fmt.Errorf("experiment: migration stay: %w", err)
+	}
+	move, err := migrationJob(true)
+	if err != nil {
+		return MigrationResult{}, fmt.Errorf("experiment: migration move: %w", err)
+	}
+	move.StayElapsed = stay.StayElapsed
+	return move, nil
+}
+
+// FormatMigration renders the migration comparison.
+func FormatMigration(r MigrationResult) string {
+	var b strings.Builder
+	b.WriteString("Dynamic migration: 60-round job, competitors arrive at round 10\n")
+	fmt.Fprintf(&b, "  stay on initial nodes:  %.1f s\n", r.StayElapsed)
+	fmt.Fprintf(&b, "  with advisory migration: %.1f s\n", r.MigrateElapsed)
+	fmt.Fprintf(&b, "  migrated: %v", r.Migrated)
+	if r.Migrated {
+		fmt.Fprintf(&b, " at t=%.1fs: %s -> %s",
+			r.MigrationAt, strings.Join(r.FromNodes, ","), strings.Join(r.ToNodes, ","))
+	}
+	b.WriteString("\n")
+	if r.MigrateElapsed > 0 && r.StayElapsed > 0 {
+		fmt.Fprintf(&b, "  speedup from migration: %.2fx\n", r.StayElapsed/r.MigrateElapsed)
+	}
+	return b.String()
+}

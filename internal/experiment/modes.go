@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/stats"
+)
+
+// ModeCell is one Remos query mode's outcome in the measurement-mode
+// ablation.
+type ModeCell struct {
+	Mode    remos.Mode
+	Elapsed Cell
+}
+
+// RunModeAblation compares the quality of automatic selection when it is
+// driven by each of the Remos query modes — the latest sample, a window of
+// history, an exponential smooth, or a linear trend extrapolation. The
+// paper's framework "simply uses the most recent measurements as a
+// forecast"; this ablation quantifies what the choice of aggregation is
+// worth on the FFT under load+traffic.
+func RunModeAblation(cfg Config) ([]ModeCell, error) {
+	cfg = cfg.withDefaults()
+	var out []ModeCell
+	for _, mode := range []remos.Mode{remos.Current, remos.Window, remos.Forecast, remos.Trend} {
+		c := cfg
+		c.Mode = mode
+		var s stats.Sample
+		for rep := 0; rep < c.Replications; rep++ {
+			elapsed, _, err := RunOnce(c, apps.DefaultFFT(), CondBoth, "balanced", rep+3000)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: mode %v: %w", mode, err)
+			}
+			s.Add(elapsed)
+		}
+		out = append(out, ModeCell{
+			Mode:    mode,
+			Elapsed: Cell{Mean: s.Mean(), CI95: s.CI95(), N: s.N()},
+		})
+	}
+	return out, nil
+}
+
+// FormatModeAblation renders the measurement-mode comparison.
+func FormatModeAblation(cells []ModeCell) string {
+	var b strings.Builder
+	b.WriteString("FFT under load+traffic, by Remos query mode\n")
+	fmt.Fprintf(&b, "%-10s %14s %12s\n", "mode", "elapsed (s)", "95% CI")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-10s %14.1f %11.1f\n", c.Mode, c.Elapsed.Mean, c.Elapsed.CI95)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestModeAblationRuns(t *testing.T) {
+	cfg := fastConfig()
+	cells, err := RunModeAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d modes, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Elapsed.Mean < 48 {
+			t.Errorf("mode %v elapsed %v below the unloaded reference", c.Mode, c.Elapsed.Mean)
+		}
+		if c.Elapsed.N != cfg.Replications {
+			t.Errorf("mode %v has %d samples", c.Mode, c.Elapsed.N)
+		}
+	}
+	out := FormatModeAblation(cells)
+	for _, want := range []string{"current", "window", "forecast", "trend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFailoverScenario(t *testing.T) {
+	res, err := RunFailover(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossesFailure {
+		t.Fatalf("selection straddled the failed trunk: %v", res.Selected)
+	}
+	if len(res.Selected) != 4 {
+		t.Fatalf("selected %d nodes", len(res.Selected))
+	}
+	// The loaded panama nodes must be avoided too: the idle healthy
+	// component is gibraltar.
+	for _, name := range res.Selected {
+		var idx int
+		if _, err := fmt.Sscanf(name, "m-%d", &idx); err != nil || idx < 7 || idx > 12 {
+			t.Errorf("selected %s, want gibraltar nodes m-7..m-12", name)
+		}
+	}
+	if res.Elapsed <= 0 || res.Elapsed > 100 {
+		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+	if res.NaiveCompleted {
+		t.Error("straddling placement should stall")
+	}
+	out := FormatFailover(res)
+	if !strings.Contains(out, "crosses failed trunk:   false") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestPeriodSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("period sweep in short mode")
+	}
+	cfg := fastConfig()
+	points, err := RunPeriodSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(PeriodSweepValues) {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Auto.Mean < 48 {
+			t.Errorf("period %v: elapsed %v below unloaded reference", p.Period, p.Auto.Mean)
+		}
+	}
+	if !strings.Contains(FormatPeriodSweep(points), "polls/minute") {
+		t.Error("format missing cost column")
+	}
+}
+
+func TestPatternAblationRuns(t *testing.T) {
+	cfg := fastConfig()
+	cells, err := RunPatternAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Elapsed.Mean <= 0 {
+			t.Errorf("policy %s has non-positive elapsed", c.Policy)
+		}
+	}
+	out := FormatPatternAblation(cells)
+	if !strings.Contains(out, "aware/pipeline") {
+		t.Error("format missing policy")
+	}
+}
+
+func TestHeteroAblationReferenceCapacityWins(t *testing.T) {
+	cfg := fastConfig()
+	cells, err := RunHeteroAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	byPolicy := map[string]HeteroCell{}
+	for _, c := range cells {
+		byPolicy[c.Policy] = c
+	}
+	ref := byPolicy["balanced/ref-100M"]
+	own := byPolicy["balanced/own-fraction"]
+	// The reference-capacity convention must avoid the 10 Mbps cluster
+	// and win decisively (§3.3 heterogeneous links).
+	for _, name := range ref.Nodes {
+		if strings.HasPrefix(name, "leg-") {
+			t.Fatalf("ref-capacity selected the legacy cluster: %v", ref.Nodes)
+		}
+	}
+	if ref.Elapsed >= own.Elapsed {
+		t.Fatalf("ref-capacity (%v) did not beat own-fraction (%v)", ref.Elapsed, own.Elapsed)
+	}
+	if !strings.Contains(FormatHeteroAblation(cells), "ref-100M") {
+		t.Error("format missing policy name")
+	}
+}
+
+func TestAutosizeRuns(t *testing.T) {
+	cfg := fastConfig()
+	results, err := RunAutosize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d apps, want 3", len(results))
+	}
+	for _, res := range results {
+		if len(res.Rows) != 7 {
+			t.Fatalf("%s: got %d rows, want 7 (m = 2..8)", res.App, len(res.Rows))
+		}
+		if res.ChosenM < 2 || res.ChosenM > 8 {
+			t.Fatalf("%s: chosen m = %d out of range", res.App, res.ChosenM)
+		}
+		// The model must not be wildly wrong: the chosen count's actual
+		// time must be within 50% of the simulated optimum.
+		if res.Regret > 0.5 {
+			t.Fatalf("%s: autosizing regret %.2f too large", res.App, res.Regret)
+		}
+		// Predictions and actuals both improve from m=2 to m=3.
+		if res.Rows[1].Predicted >= res.Rows[0].Predicted {
+			t.Errorf("%s: prediction did not improve from m=2 to m=3", res.App)
+		}
+		if res.Rows[1].Actual >= res.Rows[0].Actual {
+			t.Errorf("%s: actual did not improve from m=2 to m=3", res.App)
+		}
+	}
+	out := FormatAutosize(results)
+	for _, want := range []string{"FFT", "Airshed", "MRI", "chosen m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFormatTable1LongSignificance(t *testing.T) {
+	rows := []Row{{
+		App: "FFT", NodeCount: 4, Reference: 48,
+		Random: [3]Cell{
+			{Mean: 100, CI95: 5, N: 4, Values: []float64{95, 100, 102, 103}},
+			{Mean: 100, CI95: 5, N: 4, Values: []float64{95, 100, 102, 103}},
+			{Mean: 100, CI95: 5, N: 4, Values: []float64{95, 100, 102, 103}},
+		},
+		Auto: [3]Cell{
+			{Mean: 60, CI95: 3, N: 4, Values: []float64{58, 60, 61, 61}},
+			{Mean: 99, CI95: 5, N: 4, Values: []float64{94, 99, 101, 102}},
+			{Mean: 60, CI95: 3, N: 4, Values: []float64{58, 60, 61, 61}},
+		},
+	}}
+	out := FormatTable1Long(rows)
+	if !strings.Contains(out, "p=0.000 *") && !strings.Contains(out, "p=0.001 *") {
+		t.Errorf("clear improvement not flagged significant:\n%s", out)
+	}
+	if !strings.Contains(out, "± ") || !strings.Contains(out, "n=4") {
+		t.Errorf("CI rendering missing:\n%s", out)
+	}
+	// The near-identical traffic cell must not be starred.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "traffic:") && !strings.Contains(line, "load+") {
+			if strings.Contains(line, "*") {
+				t.Errorf("non-significant cell starred: %s", line)
+			}
+		}
+	}
+	// CSV includes every cell.
+	csv := Table1CSV(rows)
+	if !strings.Contains(csv, "FFT,4,load,random,100.000") {
+		t.Errorf("CSV missing cells:\n%s", csv)
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiment reproduces the paper's evaluation (§4): executions of
+// the FFT, Airshed and MRI workloads on the simulated CMU testbed under
+// synthetic processor load and network traffic, with nodes chosen randomly
+// or by the automatic selection procedures, replicated across seeds and
+// reduced to the paper's Table 1 layout. The package also reproduces the
+// Figure 4 congestion-avoidance scenario, the §4.3 "increase cut in half"
+// headline, and additional sensitivity sweeps and algorithm ablations.
+package experiment
+
+import (
+	"fmt"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+	"nodeselect/internal/loadgen"
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/trafficgen"
+)
+
+// Condition is a column group of Table 1: which generators are running.
+type Condition int
+
+const (
+	// CondNone runs on the unloaded testbed (the reference column).
+	CondNone Condition = iota
+	// CondLoad runs the processor load generator only.
+	CondLoad
+	// CondTraffic runs the network traffic generator only.
+	CondTraffic
+	// CondBoth runs both generators.
+	CondBoth
+)
+
+// String names the condition as in Table 1.
+func (c Condition) String() string {
+	switch c {
+	case CondNone:
+		return "none"
+	case CondLoad:
+		return "load"
+	case CondTraffic:
+		return "traffic"
+	case CondBoth:
+		return "load+traffic"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// Conditions lists the three loaded columns of Table 1 in order.
+var Conditions = []Condition{CondLoad, CondTraffic, CondBoth}
+
+// Config parameterizes the whole evaluation.
+type Config struct {
+	// Seed is the master random seed; every replication derives its own
+	// substreams from it.
+	Seed int64
+	// Replications is the number of seeded repetitions per cell
+	// (default 5).
+	Replications int
+	// Warmup is the simulated time, in seconds, the generators run
+	// before node selection and application start, so load averages and
+	// traffic counters reflect steady state (default 300).
+	Warmup float64
+	// LoadRate is the per-node job arrival rate of the load generator
+	// (default 0.0055 jobs/s: offered CPU load ~0.55 with the default
+	// durations; see EXPERIMENTS.md for the calibration rationale).
+	LoadRate float64
+	// LoadMeanDuration is the mean job duration in seconds (default 100,
+	// heavy-tailed, so load conditions persist across application runs).
+	LoadMeanDuration float64
+	// TrafficRate is the network-wide message rate (default 4/s,
+	// ~0.7 utilization of the inter-router links with the default sizes;
+	// substantially higher rates oversubscribe the open-loop generator).
+	TrafficRate float64
+	// TrafficMeanBytes and TrafficSDBytes parameterize the log-normal
+	// message sizes (defaults 5 MB / 8 MB).
+	TrafficMeanBytes float64
+	TrafficSDBytes   float64
+	// Mode is the Remos query mode used for automatic selection
+	// (default Window).
+	Mode remos.Mode
+	// CollectorPeriod and CollectorHistory configure the Remos collector
+	// (defaults 2 s / 15 samples).
+	CollectorPeriod  float64
+	CollectorHistory int
+}
+
+// Default returns the configuration used to produce EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Seed:             1,
+		Replications:     5,
+		Warmup:           300,
+		LoadRate:         0.0055,
+		LoadMeanDuration: 100,
+		TrafficRate:      4,
+		TrafficMeanBytes: 5e6,
+		TrafficSDBytes:   8e6,
+		Mode:             remos.Window,
+		CollectorPeriod:  2,
+		CollectorHistory: 15,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Replications <= 0 {
+		c.Replications = d.Replications
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.LoadRate <= 0 {
+		c.LoadRate = d.LoadRate
+	}
+	if c.LoadMeanDuration <= 0 {
+		c.LoadMeanDuration = d.LoadMeanDuration
+	}
+	if c.TrafficRate <= 0 {
+		c.TrafficRate = d.TrafficRate
+	}
+	if c.TrafficMeanBytes <= 0 {
+		c.TrafficMeanBytes = d.TrafficMeanBytes
+	}
+	if c.TrafficSDBytes <= 0 {
+		c.TrafficSDBytes = d.TrafficSDBytes
+	}
+	if c.CollectorPeriod <= 0 {
+		c.CollectorPeriod = d.CollectorPeriod
+	}
+	if c.CollectorHistory <= 0 {
+		c.CollectorHistory = d.CollectorHistory
+	}
+	return c
+}
+
+// Scenario is one prepared simulation of the CMU testbed: network,
+// generators per condition, and a running Remos collector, warmed up and
+// ready to place an application.
+type Scenario struct {
+	Engine    *sim.Engine
+	Net       *netsim.Network
+	Collector *remos.Collector
+	cfg       Config
+	rng       *randx.Source
+}
+
+// NewScenario builds and warms up a scenario. label isolates the random
+// substream (replication index, condition, app name).
+func NewScenario(cfg Config, cond Condition, label string) *Scenario {
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed).Split(label)
+	e := sim.NewEngine()
+	net := netsim.New(e, testbed.CMU(), netsim.Config{})
+	if cond == CondLoad || cond == CondBoth {
+		lg := loadgen.New(net, loadgen.Config{
+			ArrivalRate: cfg.LoadRate,
+			Duration:    loadgen.DefaultDuration(cfg.LoadMeanDuration),
+		}, rng.Split("load"))
+		lg.Start()
+	}
+	if cond == CondTraffic || cond == CondBoth {
+		tg := trafficgen.New(net, trafficgen.Config{
+			MessageRate: cfg.TrafficRate,
+			Size:        randx.LogNormalFromMoments(cfg.TrafficMeanBytes, cfg.TrafficSDBytes),
+		}, rng.Split("traffic"))
+		tg.Start()
+	}
+	col := remos.NewCollector(remos.NewSimSource(net), remos.CollectorConfig{
+		Period:  cfg.CollectorPeriod,
+		History: cfg.CollectorHistory,
+	})
+	col.Start(e)
+	e.RunUntil(cfg.Warmup)
+	return &Scenario{Engine: e, Net: net, Collector: col, cfg: cfg, rng: rng}
+}
+
+// SelectNodes picks an application's nodes with the given algorithm, using
+// the Remos snapshot for informed algorithms and the scenario's random
+// stream for the random baseline.
+func (s *Scenario) SelectNodes(algo string, m int) (core.Result, error) {
+	snap, err := s.Collector.Snapshot(s.cfg.Mode, false)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiment: %w", err)
+	}
+	return core.Select(algo, snap, core.Request{M: m}, s.rng.Split("select"))
+}
+
+// RunApp executes the app on the given nodes and returns its elapsed time.
+func (s *Scenario) RunApp(app apps.App, nodes []int) (float64, error) {
+	res, err := apps.Run(s.Net, app, nodes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed(), nil
+}
+
+// RunOnce builds a scenario and runs one (app, condition, algorithm)
+// execution, returning the elapsed time and the chosen nodes.
+func RunOnce(cfg Config, app apps.App, cond Condition, algo string, rep int) (float64, []int, error) {
+	label := fmt.Sprintf("%s/%s/%s/rep%d", app.Name(), cond, algo, rep)
+	sc := NewScenario(cfg, cond, label)
+	sel, err := sc.SelectNodes(algo, app.NodesRequired())
+	if err != nil {
+		return 0, nil, err
+	}
+	elapsed, err := sc.RunApp(app, sel.Nodes)
+	if err != nil {
+		return 0, nil, err
+	}
+	return elapsed, sel.Nodes, nil
+}
+
+// appsUnderTest returns fresh instances of the three paper applications.
+func appsUnderTest() []apps.App {
+	return []apps.App{apps.DefaultFFT(), apps.DefaultAirshed(), apps.DefaultMRI()}
+}

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/stats"
+)
+
+// SweepPoint is one point of a sensitivity sweep: the FFT workload under
+// one generator intensity, with random versus automatic selection.
+type SweepPoint struct {
+	// X is the swept parameter value (load arrival rate or message rate).
+	X float64
+	// Random and Auto are mean elapsed times over the replications.
+	Random Cell
+	Auto   Cell
+	// Benefit is the percent improvement of automatic over random.
+	Benefit float64
+}
+
+// LoadSweepRates are the per-node arrival rates swept by RunLoadSweep
+// (offered load 0.2 .. 0.7 with the default 100-second jobs; higher rates
+// oversubscribe the processors and the run queues grow without bound).
+var LoadSweepRates = []float64{0.002, 0.004, 0.0055, 0.007}
+
+// RunLoadSweep measures the FFT under increasing processor load and no
+// traffic, addressing the paper's §4.4 question of sensitivity to load
+// intensity.
+func RunLoadSweep(cfg Config) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []SweepPoint
+	for _, rate := range LoadSweepRates {
+		c := cfg
+		c.LoadRate = rate
+		pt, err := sweepPoint(c, CondLoad, rate)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TrafficSweepRates are the network-wide message rates swept by
+// RunTrafficSweep (up to ~0.8 utilization of the inter-router links with
+// the default 5 MB mean size; beyond that the open-loop generator
+// oversubscribes the backbone and queues grow without bound).
+var TrafficSweepRates = []float64{1, 2, 3, 4}
+
+// RunTrafficSweep measures the FFT under increasing network traffic and no
+// load.
+func RunTrafficSweep(cfg Config) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []SweepPoint
+	for _, rate := range TrafficSweepRates {
+		c := cfg
+		c.TrafficRate = rate
+		pt, err := sweepPoint(c, CondTraffic, rate)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func sweepPoint(cfg Config, cond Condition, x float64) (SweepPoint, error) {
+	var random, auto stats.Sample
+	for rep := 0; rep < cfg.Replications; rep++ {
+		app := apps.DefaultFFT()
+		r, _, err := RunOnce(cfg, app, cond, "random", rep+1000)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		random.Add(r)
+		a, _, err := RunOnce(cfg, app, cond, "balanced", rep+1000)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		auto.Add(a)
+	}
+	return SweepPoint{
+		X:       x,
+		Random:  Cell{Mean: random.Mean(), CI95: random.CI95(), N: random.N()},
+		Auto:    Cell{Mean: auto.Mean(), CI95: auto.CI95(), N: auto.N()},
+		Benefit: -stats.PercentChange(random.Mean(), auto.Mean()),
+	}, nil
+}
+
+// PeriodPoint is one collector-polling-period setting in the measurement
+// cost/accuracy sweep.
+type PeriodPoint struct {
+	// Period is the polling interval in seconds.
+	Period float64
+	// Auto is the FFT's mean elapsed time with automatic selection under
+	// load+traffic at this measurement granularity.
+	Auto Cell
+	// PollsPerMinute is the measurement cost this period implies.
+	PollsPerMinute float64
+}
+
+// PeriodSweepValues are the polling periods swept by RunPeriodSweep.
+var PeriodSweepValues = []float64{1, 2, 5, 15, 45}
+
+// RunPeriodSweep measures how the quality of automatic selection depends
+// on the Remos polling period. The paper notes the measurement cost an
+// application pays is "directly related to the depth and frequency of its
+// requests"; this sweep shows what the frequency buys. The retained
+// history is fixed at 15 samples, so longer periods also mean older,
+// wider measurement windows.
+func RunPeriodSweep(cfg Config) ([]PeriodPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []PeriodPoint
+	for _, period := range PeriodSweepValues {
+		c := cfg
+		c.CollectorPeriod = period
+		var s stats.Sample
+		for rep := 0; rep < c.Replications; rep++ {
+			elapsed, _, err := RunOnce(c, apps.DefaultFFT(), CondBoth, "balanced", rep+4000)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(elapsed)
+		}
+		out = append(out, PeriodPoint{
+			Period:         period,
+			Auto:           Cell{Mean: s.Mean(), CI95: s.CI95(), N: s.N()},
+			PollsPerMinute: 60 / period,
+		})
+	}
+	return out, nil
+}
+
+// FormatPeriodSweep renders the polling-period sweep.
+func FormatPeriodSweep(points []PeriodPoint) string {
+	var b strings.Builder
+	b.WriteString("FFT (load+traffic, automatic selection) vs Remos polling period\n")
+	fmt.Fprintf(&b, "%12s %14s %12s %16s\n", "period (s)", "elapsed (s)", "95% CI", "polls/minute")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12.0f %14.1f %11.1f %16.1f\n",
+			p.Period, p.Auto.Mean, p.Auto.CI95, p.PollsPerMinute)
+	}
+	return b.String()
+}
+
+// FormatLoadSweep renders a load sweep.
+func FormatLoadSweep(points []SweepPoint) string {
+	return formatSweep("FFT sensitivity to processor load (arrival rate/node)", points)
+}
+
+// FormatTrafficSweep renders a traffic sweep.
+func FormatTrafficSweep(points []SweepPoint) string {
+	return formatSweep("FFT sensitivity to network traffic (messages/s)", points)
+}
+
+func formatSweep(title string, points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%10s %14s %14s %12s\n", "intensity", "random (s)", "auto (s)", "benefit")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.3g %14.1f %14.1f %11.1f%%\n",
+			p.X, p.Random.Mean, p.Auto.Mean, p.Benefit)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/stats"
+)
+
+// Cell is one mean measurement of Table 1.
+type Cell struct {
+	Mean float64
+	CI95 float64
+	N    int
+	// Values holds the raw replication measurements (for significance
+	// testing); may be nil for synthesized cells.
+	Values []float64
+}
+
+// Row is one application's row of Table 1.
+type Row struct {
+	// App names the application; NodeCount is its node requirement.
+	App       string
+	NodeCount int
+	// Reference is the unloaded execution time (last column of Table 1).
+	Reference float64
+	// Random and Auto hold the three loaded cells in Conditions order
+	// (load, traffic, load+traffic) for random and automatic selection.
+	Random [3]Cell
+	Auto   [3]Cell
+}
+
+// Change returns the percent change of automatic selection relative to
+// random for condition index i (negative is an improvement), as reported
+// in Table 1's parenthesized columns.
+func (r Row) Change(i int) float64 {
+	return stats.PercentChange(r.Random[i].Mean, r.Auto[i].Mean)
+}
+
+// Increase returns the percent increase of a cell over the unloaded
+// reference, the quantity behind the §4.3 "cut in half" headline.
+func (r Row) Increase(auto bool, i int) float64 {
+	cell := r.Random[i]
+	if auto {
+		cell = r.Auto[i]
+	}
+	return stats.PercentChange(r.Reference, cell.Mean)
+}
+
+// RunTable1 reproduces the paper's Table 1: each application under each
+// generator condition with random and automatic node selection, plus the
+// unloaded reference run.
+func RunTable1(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, app := range appsUnderTest() {
+		row := Row{App: app.Name(), NodeCount: app.NodesRequired()}
+		// Reference: unloaded testbed, automatically selected nodes
+		// (equivalent to any fixed placement when everything is idle).
+		ref, _, err := RunOnce(cfg, app, CondNone, "balanced", 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: reference %s: %w", app.Name(), err)
+		}
+		row.Reference = ref
+		for ci, cond := range Conditions {
+			var random, auto stats.Sample
+			for rep := 0; rep < cfg.Replications; rep++ {
+				r, _, err := RunOnce(cfg, app, cond, "random", rep)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s/%s/random: %w", app.Name(), cond, err)
+				}
+				random.Add(r)
+				a, _, err := RunOnce(cfg, app, cond, "balanced", rep)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s/%s/auto: %w", app.Name(), cond, err)
+				}
+				auto.Add(a)
+			}
+			row.Random[ci] = Cell{Mean: random.Mean(), CI95: random.CI95(), N: random.N(), Values: random.Values()}
+			row.Auto[ci] = Cell{Mean: auto.Mean(), CI95: auto.CI95(), N: auto.N(), Values: auto.Values()}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the layout of the paper's Table 1.
+func FormatTable1(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("Execution Time with External Load and Traffic (seconds)\n")
+	b.WriteString(strings.Repeat("-", 112) + "\n")
+	fmt.Fprintf(&b, "%-10s %5s | %28s | %46s | %9s\n",
+		"", "", "Randomly selected Nodes", "Automatically selected Nodes", "Reference")
+	fmt.Fprintf(&b, "%-10s %5s | %8s %9s %9s | %14s %14s %16s | %9s\n",
+		"Program", "Nodes", "Load", "Traffic", "Load+Traf",
+		"Load", "Traffic", "Load+Traf", "Unloaded")
+	b.WriteString(strings.Repeat("-", 112) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %5d | %8.1f %9.1f %9.1f | %6.1f (%+5.1f%%) %6.1f (%+5.1f%%) %8.1f (%+5.1f%%) | %9.1f\n",
+			r.App, r.NodeCount,
+			r.Random[0].Mean, r.Random[1].Mean, r.Random[2].Mean,
+			r.Auto[0].Mean, r.Change(0),
+			r.Auto[1].Mean, r.Change(1),
+			r.Auto[2].Mean, r.Change(2),
+			r.Reference)
+	}
+	b.WriteString(strings.Repeat("-", 112) + "\n")
+	return b.String()
+}
+
+// FormatTable1Long renders each cell with its 95% confidence interval and
+// sample count — the statistical treatment §4.4 emphasizes ("a large
+// number of measurements is necessary to have statistically relevant
+// results").
+func FormatTable1Long(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("Execution time, mean ± 95% CI over n replications (seconds)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s (%d nodes), unloaded reference %.1f:\n", r.App, r.NodeCount, r.Reference)
+		for ci, cond := range Conditions {
+			sig := ""
+			if len(r.Random[ci].Values) > 1 && len(r.Auto[ci].Values) > 1 {
+				var x, y stats.Sample
+				x.AddAll(r.Random[ci].Values...)
+				y.AddAll(r.Auto[ci].Values...)
+				res := stats.WelchT(&x, &y)
+				sig = fmt.Sprintf("   p=%.3f", res.P)
+				if res.P < 0.05 {
+					sig += " *"
+				}
+			}
+			fmt.Fprintf(&b, "  %-14s random %7.1f ± %5.1f (n=%d)   auto %7.1f ± %5.1f (n=%d)   change %+6.1f%%%s\n",
+				cond.String()+":",
+				r.Random[ci].Mean, r.Random[ci].CI95, r.Random[ci].N,
+				r.Auto[ci].Mean, r.Auto[ci].CI95, r.Auto[ci].N,
+				r.Change(ci), sig)
+		}
+	}
+	return b.String()
+}
+
+// Table1CSV renders the rows as CSV for plotting: one line per
+// (app, condition, selection) cell with mean, 95% CI and sample count,
+// plus the unloaded reference rows.
+func Table1CSV(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("app,nodes,condition,selection,mean_s,ci95_s,n\n")
+	f := func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,none,reference,%s,0,1\n", r.App, r.NodeCount, f(r.Reference))
+		for ci, cond := range Conditions {
+			fmt.Fprintf(&b, "%s,%d,%s,random,%s,%s,%d\n",
+				r.App, r.NodeCount, cond, f(r.Random[ci].Mean), f(r.Random[ci].CI95), r.Random[ci].N)
+			fmt.Fprintf(&b, "%s,%d,%s,automatic,%s,%s,%d\n",
+				r.App, r.NodeCount, cond, f(r.Auto[ci].Mean), f(r.Auto[ci].CI95), r.Auto[ci].N)
+		}
+	}
+	return b.String()
+}
+
+// Headline summarizes the §4.3 claim: the increase in execution time due
+// to load and traffic, relative to the unloaded reference, for random
+// versus automatic selection, and their ratio ("approximately cut in
+// half" in the paper).
+type Headline struct {
+	App            string
+	RandomIncrease float64 // percent over reference, load+traffic
+	AutoIncrease   float64
+	Ratio          float64 // auto / random
+}
+
+// ComputeHeadline derives the headline metrics from Table 1 rows using the
+// load+traffic column.
+func ComputeHeadline(rows []Row) []Headline {
+	var out []Headline
+	for _, r := range rows {
+		h := Headline{
+			App:            r.App,
+			RandomIncrease: r.Increase(false, 2),
+			AutoIncrease:   r.Increase(true, 2),
+		}
+		if h.RandomIncrease != 0 {
+			h.Ratio = h.AutoIncrease / h.RandomIncrease
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// FormatHeadline renders the headline table.
+func FormatHeadline(hs []Headline) string {
+	var b strings.Builder
+	b.WriteString("Increase in execution time due to load+traffic (vs unloaded reference)\n")
+	fmt.Fprintf(&b, "%-10s %18s %18s %14s\n", "Program", "Random nodes", "Automatic nodes", "Auto/Random")
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%-10s %17.1f%% %17.1f%% %14.2f\n",
+			h.App, h.RandomIncrease, h.AutoIncrease, h.Ratio)
+	}
+	return b.String()
+}

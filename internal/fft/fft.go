@@ -1,0 +1,152 @@
+// Package fft implements radix-2 Cooley-Tukey fast Fourier transforms in
+// one and two dimensions. The paper's first benchmark application is a 2D
+// FFT; this package is the numeric kernel behind the FFT workload model and
+// the examples, and its operation counts calibrate the simulated compute
+// demand (an N-point transform performs (N/2)·log2(N) butterflies).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Forward computes the in-place forward FFT of x, whose length must be a
+// power of two.
+func Forward(x []complex128) error { return transform(x, false) }
+
+// Inverse computes the in-place inverse FFT of x (including the 1/N
+// normalization), whose length must be a power of two.
+func Inverse(x []complex128) error { return transform(x, true) }
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(angle), math.Sin(angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// Matrix is a dense row-major complex matrix for 2D transforms.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a shared slice.
+func (m *Matrix) Row(r int) []complex128 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new transposed matrix. The 2D FFT's distributed
+// implementation communicates exactly this transpose, which is why the
+// paper's FFT is an all-to-all application.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Set(c, r, m.At(r, c))
+		}
+	}
+	return t
+}
+
+// Forward2D computes the 2D FFT of m in place: an FFT of every row, a
+// transpose, an FFT of every (former) column, and a transpose back.
+func Forward2D(m *Matrix) error { return transform2D(m, Forward) }
+
+// Inverse2D computes the 2D inverse FFT of m in place.
+func Inverse2D(m *Matrix) error { return transform2D(m, Inverse) }
+
+func transform2D(m *Matrix, f func([]complex128) error) error {
+	if !IsPowerOfTwo(m.Rows) || !IsPowerOfTwo(m.Cols) {
+		return fmt.Errorf("fft: %dx%d dimensions must be powers of two", m.Rows, m.Cols)
+	}
+	for r := 0; r < m.Rows; r++ {
+		if err := f(m.Row(r)); err != nil {
+			return err
+		}
+	}
+	t := m.Transpose()
+	for r := 0; r < t.Rows; r++ {
+		if err := f(t.Row(r)); err != nil {
+			return err
+		}
+	}
+	back := t.Transpose()
+	copy(m.Data, back.Data)
+	return nil
+}
+
+// Butterflies1D returns the number of butterfly operations a 1D transform
+// of length n performs: (n/2) * log2(n).
+func Butterflies1D(n int) float64 {
+	if !IsPowerOfTwo(n) || n < 2 {
+		return 0
+	}
+	return float64(n) / 2 * float64(bits.Len(uint(n))-1)
+}
+
+// Butterflies2D returns the butterfly count of an n x n 2D transform:
+// 2n transforms of length n.
+func Butterflies2D(n int) float64 {
+	return 2 * float64(n) * Butterflies1D(n)
+}

@@ -1,0 +1,295 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+)
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randomVector(src *randx.Source, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(src.Uniform(-1, 1), src.Uniform(-1, 1))
+	}
+	return x
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	src := randx.New(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomVector(src, n)
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max deviation from naive DFT %v", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaiveDFT(t *testing.T) {
+	src := randx.New(2)
+	for _, n := range []int{2, 8, 32} {
+		x := randomVector(src, n)
+		want := naiveDFT(x, true)
+		got := append([]complex128(nil), x...)
+		if err := Inverse(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: inverse deviation %v", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := randx.New(3)
+	x := randomVector(src, 1024)
+	orig := append([]complex128(nil), x...)
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse(x); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(x, orig); d > 1e-9 {
+		t.Fatalf("round trip deviation %v", d)
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Error("length 3 accepted")
+	}
+	if err := Forward(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy is preserved up to the 1/N convention: sum|x|^2 =
+	// (1/N) sum|X|^2 for the unnormalized forward transform.
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 64
+		x := randomVector(src, n)
+		var inEnergy float64
+		for _, v := range x {
+			inEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var outEnergy float64
+		for _, v := range x {
+			outEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(outEnergy/float64(n)-inEnergy) < 1e-6*inEnergy+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 32
+		x := randomVector(src, n)
+		y := randomVector(src, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		if Forward(x) != nil || Forward(y) != nil || Forward(sum) != nil {
+			return false
+		}
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(x[i]+y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, complex(5, 0))
+	if m.At(1, 2) != complex(5, 0) {
+		t.Fatal("At/Set broken")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != complex(5, 0) {
+		t.Fatal("Transpose broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == complex(9, 0) {
+		t.Fatal("Clone shares storage")
+	}
+	if len(m.Row(1)) != 3 {
+		t.Fatal("Row length wrong")
+	}
+}
+
+func TestForward2DMatchesSeparableDFT(t *testing.T) {
+	src := randx.New(4)
+	const n = 8
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(src.Uniform(-1, 1), src.Uniform(-1, 1))
+	}
+	// Reference: naive DFT on rows, then on columns.
+	ref := m.Clone()
+	for r := 0; r < n; r++ {
+		copy(ref.Row(r), naiveDFT(ref.Row(r), false))
+	}
+	reft := ref.Transpose()
+	for r := 0; r < n; r++ {
+		copy(reft.Row(r), naiveDFT(reft.Row(r), false))
+	}
+	want := reft.Transpose()
+
+	if err := Forward2D(m); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(m.Data, want.Data); d > 1e-9 {
+		t.Fatalf("2D FFT deviation %v", d)
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	src := randx.New(5)
+	m := NewMatrix(32, 32)
+	for i := range m.Data {
+		m.Data[i] = complex(src.Uniform(-1, 1), 0)
+	}
+	orig := m.Clone()
+	if err := Forward2D(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse2D(m); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(m.Data, orig.Data); d > 1e-9 {
+		t.Fatalf("2D round trip deviation %v", d)
+	}
+}
+
+func TestForward2DRejectsBadDims(t *testing.T) {
+	if err := Forward2D(NewMatrix(3, 4)); err == nil {
+		t.Error("3x4 accepted")
+	}
+}
+
+func TestButterflyCounts(t *testing.T) {
+	if got := Butterflies1D(8); got != 12 { // 4 * 3
+		t.Errorf("Butterflies1D(8) = %v, want 12", got)
+	}
+	if got := Butterflies1D(1024); got != 512*10 {
+		t.Errorf("Butterflies1D(1024) = %v, want 5120", got)
+	}
+	if got := Butterflies2D(4); got != 2*4*4 { // 8 transforms of len 4 -> 8*4
+		t.Errorf("Butterflies2D(4) = %v, want 32", got)
+	}
+	if Butterflies1D(3) != 0 || Butterflies1D(0) != 0 {
+		t.Error("non-power-of-two butterfly count should be 0")
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 12, 1023} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true", n)
+		}
+	}
+}
+
+func BenchmarkForward1K(b *testing.B) {
+	src := randx.New(1)
+	x := randomVector(src, 1024)
+	work := make([]complex128, len(x))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		if err := Forward(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForward2D256(b *testing.B) {
+	src := randx.New(2)
+	m := NewMatrix(256, 256)
+	for i := range m.Data {
+		m.Data[i] = complex(src.Uniform(-1, 1), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := m.Clone()
+		if err := Forward2D(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

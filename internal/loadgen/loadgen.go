@@ -1,0 +1,147 @@
+// Package loadgen generates synthetic competing CPU load on simulated
+// hosts, following the process model the paper uses for its experiments
+// (§4.2): jobs arrive at each node as a Poisson process, and job durations
+// are drawn from a combination of exponential and Pareto distributions, per
+// the measurements of Harchol-Balter and Downey. The Pareto component gives
+// the heavy tail observed for CPU-bound processes; it is bounded above so a
+// single sampled job cannot dwarf the simulation horizon.
+package loadgen
+
+import (
+	"fmt"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/randx"
+)
+
+// Config parameterizes a load generator.
+type Config struct {
+	// ArrivalRate is the Poisson job arrival rate per node, in jobs per
+	// second. Required.
+	ArrivalRate float64
+
+	// Duration samples a job's CPU demand in seconds (at reference
+	// speed). When nil, DefaultDuration(targetMean) semantics apply with
+	// a mean of 10 seconds.
+	Duration randx.Sampler
+
+	// Nodes lists the node IDs to load. Nil means every compute node.
+	Nodes []int
+}
+
+// DefaultDuration returns the paper's §4.2 duration model with the given
+// mean: an equal mixture of an exponential distribution and a bounded
+// Pareto with shape 1.0 (the Harchol-Balter/Downey heavy tail), both scaled
+// to the requested mean.
+func DefaultDuration(mean float64) randx.Sampler {
+	if mean <= 0 {
+		panic(fmt.Sprintf("loadgen: duration mean %v must be positive", mean))
+	}
+	// A bounded Pareto with alpha 1 over [xmin, 1000*xmin] has mean
+	// xmin * ln(1000)/(1 - 1/1000) ≈ 6.9146 * xmin.
+	bp := randx.NewBoundedPareto(1.0, 1, 1000)
+	xmin := mean / bp.Mean()
+	return randx.NewMixture(
+		[]randx.Sampler{
+			randx.NewExponential(mean),
+			randx.NewBoundedPareto(1.0, xmin, 1000*xmin),
+		},
+		[]float64{0.5, 0.5},
+	)
+}
+
+// Generator drives Poisson job arrivals on a set of nodes.
+type Generator struct {
+	net     *netsim.Network
+	cfg     Config
+	process randx.PoissonProcess
+	src     *randx.Source
+	nodes   []int
+	cancels []func()
+	started int // jobs started so far
+	running bool
+}
+
+// New builds a generator. Each node draws from an independent random
+// substream derived from src, so adding or removing nodes does not perturb
+// the others.
+func New(net *netsim.Network, cfg Config, src *randx.Source) *Generator {
+	if cfg.ArrivalRate <= 0 {
+		panic(fmt.Sprintf("loadgen: arrival rate %v must be positive", cfg.ArrivalRate))
+	}
+	if cfg.Duration == nil {
+		cfg.Duration = DefaultDuration(10)
+	}
+	nodes := cfg.Nodes
+	if nodes == nil {
+		nodes = net.Graph().ComputeNodes()
+	}
+	g := &Generator{
+		net:     net,
+		cfg:     cfg,
+		process: randx.NewPoissonProcess(cfg.ArrivalRate),
+		nodes:   nodes,
+	}
+	g.src = src
+	return g
+}
+
+// Start begins generating load. It is idempotent.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	for _, node := range g.nodes {
+		node := node
+		stream := g.src.Split("loadgen:" + g.net.Graph().Node(node).Name)
+		stopped := false
+		var schedule func()
+		schedule = func() {
+			if stopped {
+				return
+			}
+			delay := g.process.NextInterarrival(stream)
+			ev := g.net.Engine().After(delay, "load-arrival", func() {
+				if stopped {
+					return
+				}
+				demand := g.cfg.Duration.Sample(stream)
+				if demand <= 0 {
+					demand = 1e-3
+				}
+				g.net.StartTask(node, demand, netsim.Background, nil)
+				g.started++
+				schedule()
+			})
+			g.cancels = append(g.cancels, func() {
+				stopped = true
+				g.net.Engine().Cancel(ev)
+			})
+		}
+		schedule()
+	}
+}
+
+// Stop halts the generator; jobs already running continue to completion.
+func (g *Generator) Stop() {
+	if !g.running {
+		return
+	}
+	g.running = false
+	for _, c := range g.cancels {
+		c()
+	}
+	g.cancels = nil
+}
+
+// JobsStarted returns the number of jobs launched so far.
+func (g *Generator) JobsStarted() int { return g.started }
+
+// OfferedLoad returns the long-run average number of competing jobs per
+// node this configuration generates (arrival rate times mean duration, by
+// Little's law). It is the load-average level the generator drives each
+// node towards, and a guide for choosing parameters.
+func (g *Generator) OfferedLoad() float64 {
+	return g.cfg.ArrivalRate * g.cfg.Duration.Mean()
+}

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func testNet(nodes int) (*sim.Engine, *netsim.Network) {
+	g := topology.NewGraph()
+	sw := g.AddNetworkNode("sw")
+	for i := 0; i < nodes; i++ {
+		id := g.AddComputeNode("m" + string(rune('a'+i)))
+		g.Connect(sw, id, 100e6, topology.LinkOpts{})
+	}
+	e := sim.NewEngine()
+	return e, netsim.New(e, g, netsim.Config{})
+}
+
+func TestDefaultDurationMean(t *testing.T) {
+	src := randx.New(1)
+	for _, mean := range []float64{1, 10, 40} {
+		d := DefaultDuration(mean)
+		if math.Abs(d.Mean()-mean)/mean > 1e-9 {
+			t.Errorf("DefaultDuration(%v).Mean() = %v", mean, d.Mean())
+		}
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += d.Sample(src)
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.1 {
+			t.Errorf("DefaultDuration(%v) sample mean %v deviates >10%%", mean, got)
+		}
+	}
+}
+
+func TestDefaultDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DefaultDuration(0) did not panic")
+		}
+	}()
+	DefaultDuration(0)
+}
+
+func TestGeneratorArrivalCount(t *testing.T) {
+	e, n := testNet(3)
+	// Rate 0.5 jobs/s per node, short jobs so they complete.
+	g := New(n, Config{
+		ArrivalRate: 0.5,
+		Duration:    randx.Constant{Value: 0.01},
+	}, randx.New(42))
+	g.Start()
+	const horizon = 2000.0
+	e.RunUntil(horizon)
+	g.Stop()
+	want := 0.5 * horizon * 3
+	got := float64(g.JobsStarted())
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("started %v jobs over %v s on 3 nodes, want ~%v", got, horizon, want)
+	}
+}
+
+func TestGeneratorDrivesLoadAverage(t *testing.T) {
+	e, n := testNet(2)
+	// Offered load = rate * mean duration = 0.2 * 10 = 2 competing jobs.
+	g := New(n, Config{
+		ArrivalRate: 0.2,
+		Duration:    randx.NewExponential(10),
+	}, randx.New(7))
+	if math.Abs(g.OfferedLoad()-2) > 1e-9 {
+		t.Fatalf("OfferedLoad = %v, want 2", g.OfferedLoad())
+	}
+	g.Start()
+	e.RunUntil(4000)
+	// Time-average the load over a long window by sampling.
+	sum, count := 0.0, 0
+	for ts := 4000.0; ts <= 8000; ts += 10 {
+		e.RunUntil(ts)
+		sum += n.Host(1).LoadAvg(false)
+		count++
+	}
+	g.Stop()
+	got := sum / float64(count)
+	// An M/G/1-PS queue at offered load 2 is overloaded; the run queue
+	// grows over the horizon, so we only require substantial load.
+	if got < 1.0 {
+		t.Fatalf("mean load average %v, want >= 1 for offered load 2", got)
+	}
+}
+
+func TestGeneratorStableLoadLevel(t *testing.T) {
+	// Offered load 0.5: stable M/M/1-PS queue; mean queue length is
+	// rho/(1-rho) = 1. Check the measured load average is in a sane band.
+	e, n := testNet(1)
+	g := New(n, Config{
+		ArrivalRate: 0.1,
+		Duration:    randx.NewExponential(5),
+	}, randx.New(9))
+	g.Start()
+	sum, count := 0.0, 0
+	for ts := 2000.0; ts <= 20000; ts += 25 {
+		e.RunUntil(ts)
+		sum += n.Host(1).LoadAvg(false) // node 0 is the switch
+		count++
+	}
+	g.Stop()
+	got := sum / float64(count)
+	if got < 0.5 || got > 2.0 {
+		t.Fatalf("mean load average %v, want near 1 (rho=0.5 M/M/1)", got)
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	e, n := testNet(2)
+	g := New(n, Config{ArrivalRate: 1, Duration: randx.Constant{Value: 0.01}}, randx.New(3))
+	g.Start()
+	e.RunUntil(100)
+	g.Stop()
+	at := g.JobsStarted()
+	e.RunUntil(200)
+	if g.JobsStarted() != at {
+		t.Fatalf("jobs kept arriving after Stop: %d -> %d", at, g.JobsStarted())
+	}
+	g.Stop() // idempotent
+}
+
+func TestGeneratorRestrictedNodes(t *testing.T) {
+	e, n := testNet(3)
+	g := New(n, Config{
+		ArrivalRate: 2,
+		Duration:    randx.Constant{Value: 1e6}, // jobs never finish
+		Nodes:       []int{1},                   // only the first compute node
+	}, randx.New(5))
+	g.Start()
+	e.RunUntil(50)
+	g.Stop()
+	if n.Host(1).RunQueue(false) == 0 {
+		t.Error("target node got no jobs")
+	}
+	if n.Host(2).RunQueue(false) != 0 || n.Host(3).RunQueue(false) != 0 {
+		t.Error("non-target nodes received jobs")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() int {
+		e, n := testNet(3)
+		g := New(n, Config{ArrivalRate: 0.3}, randx.New(11))
+		g.Start()
+		e.RunUntil(500)
+		return g.JobsStarted()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d jobs", a, b)
+	}
+}
+
+func TestGeneratorStartIdempotent(t *testing.T) {
+	e, n := testNet(2)
+	g := New(n, Config{ArrivalRate: 1, Duration: randx.Constant{Value: 0.01}}, randx.New(13))
+	g.Start()
+	g.Start() // must not double the arrival processes
+	e.RunUntil(200)
+	g.Stop()
+	want := 1.0 * 200 * 2
+	got := float64(g.JobsStarted())
+	if got > want*1.3 {
+		t.Fatalf("double Start produced %v jobs, want ~%v", got, want)
+	}
+}
+
+func TestNewPanicsOnBadRate(t *testing.T) {
+	_, n := testNet(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero arrival rate did not panic")
+		}
+	}()
+	New(n, Config{ArrivalRate: 0}, randx.New(1))
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func TestFlowCancelDuringDeliveryLatency(t *testing.T) {
+	// A flow whose transfer has finished but whose delivery latency is
+	// pending: cancelling at that point is a no-op (it already finished).
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{Latency: 1.0})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	delivered := false
+	f := n.StartFlow(0, 1, 12.5e6, Application, func() { delivered = true })
+	e.RunUntil(1.5) // transfer done at 1.0, delivery due at 2.0
+	if !f.Done() {
+		t.Fatal("transfer should be complete")
+	}
+	f.Cancel() // no-op on a finished flow
+	e.Run()
+	if !delivered {
+		t.Fatal("delivery suppressed by post-completion cancel")
+	}
+}
+
+func TestLocalFlowCancelSuppressesDelivery(t *testing.T) {
+	// Same-node flows are finished immediately but deliver after the
+	// (zero) latency; a cancel flag set before the event fires must
+	// suppress the callback. With zero latency the callback fires in the
+	// same instant, so use a positive-latency self-loop via a two-node
+	// round trip instead: cancel between completion and delivery.
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{Latency: 2.0})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	delivered := false
+	f := n.StartFlow(0, 1, 0, Application, func() { delivered = true }) // latency-only
+	e.RunUntil(1)
+	f.cancelled = true // simulate a transport-level abort mid-latency
+	e.Run()
+	if delivered {
+		t.Fatal("cancelled latency-only flow still delivered")
+	}
+}
+
+func TestZeroSpeedImpossible(t *testing.T) {
+	// Graph construction rejects zero speeds, so hosts always progress.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero speed accepted")
+		}
+	}()
+	g := topology.NewGraph()
+	g.AddComputeNodeSpec("x", 0, "")
+}
+
+func TestHostAdvanceIdempotent(t *testing.T) {
+	e, n := pair()
+	task := n.StartTask(0, 10, Application, nil)
+	e.RunUntil(3)
+	r1 := task.Remaining()
+	r2 := task.Remaining() // second advance at the same instant
+	if r1 != r2 {
+		t.Fatalf("repeated Remaining() diverged: %v vs %v", r1, r2)
+	}
+	if math.Abs(r1-7) > 1e-9 {
+		t.Fatalf("remaining = %v, want 7", r1)
+	}
+}
+
+func TestInterleavedTasksAndFlows(t *testing.T) {
+	// Tasks and flows on the same nodes are independent resources: CPU
+	// sharing must not slow transfers and vice versa.
+	e, n := pair()
+	var taskDone, flowDone float64 = -1, -1
+	n.StartTask(0, 2, Application, func() { taskDone = e.Now() })
+	n.StartTask(0, 2, Background, nil)
+	n.StartFlow(0, 1, 12.5e6, Application, func() { flowDone = e.Now() })
+	e.Run()
+	if math.Abs(flowDone-1) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 1 (unaffected by CPU load)", flowDone)
+	}
+	if math.Abs(taskDone-4) > 1e-9 {
+		t.Fatalf("task finished at %v, want 4 (unaffected by the transfer)", taskDone)
+	}
+}
+
+func TestSnapshotTimeAdvances(t *testing.T) {
+	e, n := pair()
+	s1 := n.Snapshot(false)
+	e.Schedule(5, "noop", func() {})
+	e.Run()
+	s2 := n.Snapshot(false)
+	if s1.Time != 0 || s2.Time != 5 {
+		t.Fatalf("snapshot times %v, %v", s1.Time, s2.Time)
+	}
+}
+
+func TestManyConcurrentFlowsComplete(t *testing.T) {
+	// Stress: 200 flows over an 8-node line, all must complete and the
+	// network must end quiescent.
+	e, n := lineNet(8)
+	done := 0
+	for i := 0; i < 200; i++ {
+		src := i % 8
+		dst := (i*5 + 1) % 8
+		if src == dst {
+			dst = (dst + 1) % 8
+		}
+		n.StartFlow(src, dst, 1e5+float64(i)*1e4, Background, func() { done++ })
+	}
+	e.Run()
+	if done != 200 {
+		t.Fatalf("completed %d/200 flows", done)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("%d flows leaked", n.ActiveFlows())
+	}
+	for l := 0; l < n.Graph().NumLinks(); l++ {
+		if n.LinkBusyBW(l, false) != 0 {
+			t.Fatalf("link %d still busy after drain", l)
+		}
+	}
+}
+
+func TestLoadAverageNetworkNodesStayZero(t *testing.T) {
+	// Routers never run tasks; their load stays zero in snapshots.
+	g := topology.NewGraph()
+	r := g.AddNetworkNode("r")
+	a := g.AddComputeNode("a")
+	b := g.AddComputeNode("b")
+	g.Connect(r, a, 100e6, topology.LinkOpts{})
+	g.Connect(r, b, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	n.StartTask(a, 1e6, Background, nil)
+	e.RunUntil(120)
+	s := n.Snapshot(false)
+	if s.LoadAvg[r] != 0 {
+		t.Fatalf("router load = %v", s.LoadAvg[r])
+	}
+}

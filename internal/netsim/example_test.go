@@ -1,0 +1,60 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+)
+
+// Example simulates competing work on the CMU testbed: two tasks sharing a
+// processor and two flows sharing a link, with load averages and link
+// counters observable throughout.
+func Example() {
+	engine := sim.NewEngine()
+	net := netsim.New(engine, testbed.CMU(), netsim.Config{})
+	g := net.Graph()
+	m1, m2 := g.MustNode("m-1"), g.MustNode("m-2")
+
+	// Two equal tasks on m-1: processor sharing doubles both runtimes.
+	net.StartTask(m1, 10, netsim.Application, func() {
+		fmt.Printf("task done at t=%.0f\n", engine.Now())
+	})
+	net.StartTask(m1, 10, netsim.Background, nil)
+
+	// Two equal transfers on the m-1 -- panama link: each gets half.
+	net.StartFlow(m1, m2, 12.5e6, netsim.Application, func() {
+		fmt.Printf("flow done at t=%.1f\n", engine.Now())
+	})
+	net.StartFlow(m1, m2, 12.5e6, netsim.Background, nil)
+
+	engine.RunUntil(400) // long after the work drains
+	fmt.Printf("m-1 load average ~%.1f\n", net.Host(m1).LoadAvg(false))
+	// Output:
+	// flow done at t=2.0
+	// task done at t=20
+	// m-1 load average ~0.0
+}
+
+// Example_measurement shows the background/application split that §3.3's
+// migration support requires: the application's own load is excluded from
+// background-only snapshots.
+func Example_measurement() {
+	engine := sim.NewEngine()
+	net := netsim.New(engine, testbed.Star(4, testbed.Ethernet100), netsim.Config{})
+	g := net.Graph()
+	n1 := g.MustNode("n-1")
+
+	net.StartTask(n1, 1e9, netsim.Application, nil) // the app itself
+	net.StartTask(n1, 1e9, netsim.Background, nil)  // a competitor
+	engine.RunUntil(600)
+
+	all := net.Snapshot(false)
+	bg := net.Snapshot(true)
+	fmt.Printf("all-class load:       %.1f\n", all.LoadAvg[n1])
+	fmt.Printf("background-only load: %.1f\n", bg.LoadAvg[n1])
+	// Output:
+	// all-class load:       2.0
+	// background-only load: 1.0
+}

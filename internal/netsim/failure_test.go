@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func TestFailLinkStallsFlow(t *testing.T) {
+	e, n := pair()
+	var doneAt float64 = -1
+	f := n.StartFlow(0, 1, 12.5e6, Application, func() { doneAt = e.Now() })
+	e.After(0.5, "fail", func() { n.FailLink(0) })
+	e.RunUntil(10)
+	if doneAt != -1 {
+		t.Fatalf("flow completed at %v across a failed link", doneAt)
+	}
+	if f.Rate() != 0 {
+		t.Fatalf("flow rate on failed link = %v, want 0", f.Rate())
+	}
+	// Half transferred before the failure.
+	if r := f.RemainingBits(); math.Abs(r-0.5e8) > 1 {
+		t.Fatalf("remaining = %v, want 0.5e8", r)
+	}
+}
+
+func TestRepairResumesFlowWithProgressIntact(t *testing.T) {
+	e, n := pair()
+	var doneAt float64 = -1
+	n.StartFlow(0, 1, 12.5e6, Application, func() { doneAt = e.Now() })
+	e.After(0.5, "fail", func() { n.FailLink(0) })
+	e.After(3.5, "repair", func() { n.RepairLink(0) })
+	e.Run()
+	// 0.5 s transferred, 3 s stalled, 0.5 s to finish: done at 4.0.
+	if math.Abs(doneAt-4.0) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 4.0", doneAt)
+	}
+}
+
+func TestFailedLinkSnapshotAndCounters(t *testing.T) {
+	e, n := pair()
+	n.StartFlow(0, 1, 1e12, Background, nil)
+	e.RunUntil(1)
+	n.FailLink(0)
+	e.RunUntil(2)
+	s := n.Snapshot(false)
+	if s.AvailBW[0] != 0 {
+		t.Fatalf("failed link avail = %v, want 0", s.AvailBW[0])
+	}
+	if !n.LinkFailed(0) {
+		t.Fatal("LinkFailed = false")
+	}
+	// Counters froze at the failure instant: 1 s at 100 Mbps.
+	if got := n.LinkBits(0, Background); math.Abs(got-1e8) > 1 {
+		t.Fatalf("counters moved on a failed link: %v", got)
+	}
+	n.RepairLink(0)
+	e.RunUntil(3)
+	if got := n.LinkBits(0, Background); math.Abs(got-2e8) > 1 {
+		t.Fatalf("counters after repair = %v, want 2e8", got)
+	}
+}
+
+func TestFailureIdempotentAndValidated(t *testing.T) {
+	_, n := pair()
+	n.FailLink(0)
+	n.FailLink(0) // no-op
+	if !n.LinkFailed(0) {
+		t.Fatal("double fail lost state")
+	}
+	n.RepairLink(0)
+	n.RepairLink(0) // no-op
+	if n.LinkFailed(0) {
+		t.Fatal("double repair lost state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range link accepted")
+		}
+	}()
+	n.FailLink(99)
+}
+
+func TestFailureOnlyAffectsItsLink(t *testing.T) {
+	e, n := lineNet(4)
+	var okDone float64 = -1
+	n.FailLink(0)
+	n.StartFlow(2, 3, 12.5e6, Application, func() { okDone = e.Now() })
+	e.RunUntil(5)
+	if math.Abs(okDone-1) > 1e-9 {
+		t.Fatalf("unrelated flow finished at %v, want 1", okDone)
+	}
+}
+
+func TestFailureFullDuplex(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{FullDuplex: true})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	f1 := n.StartFlow(0, 1, 1e9, Background, nil)
+	f2 := n.StartFlow(1, 0, 1e9, Background, nil)
+	n.FailLink(0)
+	e.RunUntil(0.01)
+	if f1.Rate() != 0 || f2.Rate() != 0 {
+		t.Fatalf("both directions must fail: %v / %v", f1.Rate(), f2.Rate())
+	}
+	n.RepairLink(0)
+	e.RunUntil(0.02)
+	if f1.Rate() != 100e6 || f2.Rate() != 100e6 {
+		t.Fatalf("both directions must recover: %v / %v", f1.Rate(), f2.Rate())
+	}
+}
+
+func TestNewFlowOnFailedLinkStallsUntilRepair(t *testing.T) {
+	e, n := pair()
+	n.FailLink(0)
+	var doneAt float64 = -1
+	n.StartFlow(0, 1, 12.5e6, Application, func() { doneAt = e.Now() })
+	e.RunUntil(2)
+	if doneAt != -1 {
+		t.Fatal("flow crossed a failed link")
+	}
+	n.RepairLink(0)
+	e.Run()
+	if math.Abs(doneAt-3) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 3 (repair at 2 + 1s transfer)", doneAt)
+	}
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+// randomNet builds a random tree network with mixed link capacities.
+func randomNet(src *randx.Source, nodes int) (*sim.Engine, *Network) {
+	g := topology.NewGraph()
+	for i := 0; i < nodes; i++ {
+		g.AddComputeNode("n" + string(rune('a'+i)))
+	}
+	caps := []float64{10e6, 100e6, 155e6, 1e9}
+	for i := 1; i < nodes; i++ {
+		g.Connect(src.Intn(i), i, caps[src.Intn(len(caps))], topology.LinkOpts{
+			FullDuplex: src.Float64() < 0.3,
+		})
+	}
+	e := sim.NewEngine()
+	return e, New(e, g, Config{})
+}
+
+// channelUsage sums the allocated rates of the flows crossing each channel.
+func channelUsage(n *Network) map[*channel]float64 {
+	usage := make(map[*channel]float64)
+	for _, f := range n.flows {
+		for _, ch := range f.channels {
+			usage[ch] += f.rate
+		}
+	}
+	return usage
+}
+
+// TestQuickMaxMinInvariants verifies, over random networks and random flow
+// sets, the two defining properties of a max-min fair allocation:
+//
+//  1. Feasibility: no channel's allocated rates exceed its capacity.
+//  2. Bottleneck condition: every flow crosses at least one saturated
+//     channel on which it has the maximal rate — equivalently, no flow's
+//     rate can be increased without decreasing some flow of equal or
+//     smaller rate.
+func TestQuickMaxMinInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		nodes := 3 + src.Intn(8)
+		_, n := randomNet(src, nodes)
+		flowCount := 1 + src.Intn(25)
+		for i := 0; i < flowCount; i++ {
+			a := src.Intn(nodes)
+			b := src.Intn(nodes)
+			if a == b {
+				continue
+			}
+			cls := Background
+			if src.Float64() < 0.5 {
+				cls = Application
+			}
+			n.StartFlow(a, b, 1e12, cls, nil)
+		}
+		if len(n.flows) == 0 {
+			return true
+		}
+		usage := channelUsage(n)
+		const rel = 1e-6
+		// 1. Feasibility.
+		for ch, u := range usage {
+			if u > ch.capacity*(1+rel) {
+				t.Logf("seed %d: channel capacity %v oversubscribed at %v", seed, ch.capacity, u)
+				return false
+			}
+		}
+		// 2. Bottleneck condition.
+		for _, fl := range n.flows {
+			if fl.rate <= 0 {
+				t.Logf("seed %d: flow with non-positive rate %v", seed, fl.rate)
+				return false
+			}
+			hasBottleneck := false
+			for _, ch := range fl.channels {
+				saturated := usage[ch] >= ch.capacity*(1-rel)
+				if !saturated {
+					continue
+				}
+				maximal := true
+				for _, other := range ch.flows {
+					if other.rate > fl.rate*(1+rel) {
+						maximal = false
+						break
+					}
+				}
+				if maximal {
+					hasBottleneck = true
+					break
+				}
+			}
+			if !hasBottleneck {
+				t.Logf("seed %d: flow rate %v has no bottleneck channel", seed, fl.rate)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConservation: after all flows complete, every link's cumulative
+// carried bits equal the sum of the sizes of the flows that crossed it.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		nodes := 3 + src.Intn(6)
+		e, n := randomNet(src, nodes)
+		expected := make([]float64, n.graph.NumLinks())
+		for i := 0; i < 1+src.Intn(10); i++ {
+			a, b := src.Intn(nodes), src.Intn(nodes)
+			if a == b {
+				continue
+			}
+			bytes := 1e5 + src.Float64()*1e7
+			n.StartFlow(a, b, bytes, Background, nil)
+			for _, lid := range n.graph.Route(a, b) {
+				expected[lid] += bytes * 8
+			}
+		}
+		e.Run()
+		for lid := range expected {
+			got := n.LinkBitsTotal(lid)
+			if math.Abs(got-expected[lid]) > 1+expected[lid]*1e-6 {
+				t.Logf("seed %d: link %d carried %v bits, want %v", seed, lid, got, expected[lid])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorkConservationHosts: total CPU-seconds consumed equals total
+// demand once all tasks complete, regardless of arrival pattern.
+func TestQuickWorkConservationHosts(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		e, n := randomNet(src, 3)
+		var lastDone float64
+		totalDemand := 0.0
+		count := 0
+		for i := 0; i < 1+src.Intn(12); i++ {
+			demand := 0.1 + src.Float64()*20
+			start := src.Float64() * 10
+			totalDemand += demand
+			count++
+			e.Schedule(start, "spawn", func() {
+				n.StartTask(0, demand, Background, func() { lastDone = e.Now() })
+			})
+		}
+		e.Run()
+		// A single unit-speed host busy from min(start) must take at
+		// least totalDemand seconds of busy time; the final completion
+		// cannot be before totalDemand (all work on one host) and not
+		// after 10 + totalDemand.
+		return lastDone >= totalDemand-1e-6 && lastDone <= 10+totalDemand+1e-6 && count > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

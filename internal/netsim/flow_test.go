@@ -1,0 +1,333 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func TestSingleFlowTransferTime(t *testing.T) {
+	e, n := pair()
+	var doneAt float64 = -1
+	// 100e6 bits = 12.5e6 bytes over a 100 Mbps link: exactly 1 second.
+	n.StartFlow(0, 1, 12.5e6, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt-1) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 1", doneAt)
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	e, n := pair()
+	var d1, d2 float64 = -1, -1
+	n.StartFlow(0, 1, 12.5e6, Application, func() { d1 = e.Now() })
+	n.StartFlow(0, 1, 12.5e6, Background, func() { d2 = e.Now() })
+	e.Run()
+	if math.Abs(d1-2) > 1e-9 || math.Abs(d2-2) > 1e-9 {
+		t.Fatalf("shared flows finished at %v, %v; want both at 2", d1, d2)
+	}
+}
+
+func TestFlowRateRecoversAfterCompetitorFinishes(t *testing.T) {
+	e, n := pair()
+	var dBig float64 = -1
+	// Small flow shares for 1s (both at 50 Mbps), then big flow runs at
+	// full rate. Big = 25e6 bytes: 0.5e8 bits by t=1 (50Mbps), remaining
+	// 1.5e8 bits at 100 Mbps -> 1.5s more. Total 2.5s.
+	n.StartFlow(0, 1, 25e6, Application, func() { dBig = e.Now() })
+	n.StartFlow(0, 1, 6.25e6, Background, nil) // 0.5e8 bits, done at t=1 sharing
+	e.Run()
+	if math.Abs(dBig-2.5) > 1e-9 {
+		t.Fatalf("big flow finished at %v, want 2.5", dBig)
+	}
+}
+
+func TestMaxMinFairnessParkingLot(t *testing.T) {
+	// Classic parking-lot: flow B crosses both links; A crosses link 0;
+	// C crosses link 1 which has double capacity.
+	g := topology.NewGraph()
+	g.AddComputeNode("x")
+	g.AddComputeNode("y")
+	g.AddComputeNode("z")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	g.Connect(1, 2, 200e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	fA := n.StartFlow(0, 1, 1e9, Background, nil)
+	fB := n.StartFlow(0, 2, 1e9, Background, nil)
+	fC := n.StartFlow(1, 2, 1e9, Background, nil)
+	e.RunUntil(0.001)
+	// Link 0: A+B share 100 -> 50 each. Link 1: B frozen at 50, C gets 150.
+	if math.Abs(fA.Rate()-50e6) > 1 {
+		t.Errorf("flow A rate = %v, want 50e6", fA.Rate())
+	}
+	if math.Abs(fB.Rate()-50e6) > 1 {
+		t.Errorf("flow B rate = %v, want 50e6", fB.Rate())
+	}
+	if math.Abs(fC.Rate()-150e6) > 1 {
+		t.Errorf("flow C rate = %v, want 150e6", fC.Rate())
+	}
+}
+
+func TestHalfDuplexSharesBothDirections(t *testing.T) {
+	e, n := pair() // half-duplex by default
+	f1 := n.StartFlow(0, 1, 1e9, Background, nil)
+	f2 := n.StartFlow(1, 0, 1e9, Background, nil)
+	e.RunUntil(0.001)
+	if math.Abs(f1.Rate()-50e6) > 1 || math.Abs(f2.Rate()-50e6) > 1 {
+		t.Fatalf("half-duplex opposing flows got %v and %v, want 50e6 each",
+			f1.Rate(), f2.Rate())
+	}
+}
+
+func TestFullDuplexIndependentDirections(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{FullDuplex: true})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	f1 := n.StartFlow(0, 1, 1e9, Background, nil)
+	f2 := n.StartFlow(1, 0, 1e9, Background, nil)
+	e.RunUntil(0.001)
+	if math.Abs(f1.Rate()-100e6) > 1 || math.Abs(f2.Rate()-100e6) > 1 {
+		t.Fatalf("full-duplex opposing flows got %v and %v, want 100e6 each",
+			f1.Rate(), f2.Rate())
+	}
+}
+
+func TestFlowLatency(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{Latency: 0.25})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	var doneAt float64 = -1
+	n.StartFlow(0, 1, 12.5e6, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt-1.25) > 1e-9 {
+		t.Fatalf("flow with latency finished at %v, want 1.25", doneAt)
+	}
+}
+
+func TestZeroByteFlowLatencyOnly(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{Latency: 0.1})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	var doneAt float64 = -1
+	n.StartFlow(0, 1, 0, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt-0.1) > 1e-9 {
+		t.Fatalf("zero-byte flow delivered at %v, want 0.1", doneAt)
+	}
+}
+
+func TestLocalFlowImmediate(t *testing.T) {
+	e, n := pair()
+	var doneAt float64 = -1
+	n.StartFlow(0, 0, 1e6, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != 0 {
+		t.Fatalf("same-node flow delivered at %v, want 0", doneAt)
+	}
+}
+
+func TestFlowCancel(t *testing.T) {
+	e, n := pair()
+	fired := false
+	f := n.StartFlow(0, 1, 1e9, Background, func() { fired = true })
+	var other float64 = -1
+	n.StartFlow(0, 1, 12.5e6, Application, func() { other = e.Now() })
+	e.After(0.5, "cancel", func() { f.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled flow's callback fired")
+	}
+	// Other flow: 0.5s at 50 Mbps (25e6 bits), then 75e6 bits at full
+	// rate -> 0.75s more; total 1.25s.
+	if math.Abs(other-1.25) > 1e-9 {
+		t.Fatalf("surviving flow finished at %v, want 1.25", other)
+	}
+	f.Cancel() // no-op
+}
+
+func TestLinkCounters(t *testing.T) {
+	e, n := pair()
+	n.StartFlow(0, 1, 12.5e6, Application, nil) // 1e8 bits
+	n.StartFlow(0, 1, 6.25e6, Background, nil)  // 0.5e8 bits
+	e.Run()
+	if got := n.LinkBits(0, Application); math.Abs(got-1e8) > 1 {
+		t.Errorf("application bits = %v, want 1e8", got)
+	}
+	if got := n.LinkBits(0, Background); math.Abs(got-0.5e8) > 1 {
+		t.Errorf("background bits = %v, want 0.5e8", got)
+	}
+	if got := n.LinkBitsTotal(0); math.Abs(got-1.5e8) > 1 {
+		t.Errorf("total bits = %v, want 1.5e8", got)
+	}
+}
+
+func TestLinkBusyBW(t *testing.T) {
+	e, n := pair()
+	n.StartFlow(0, 1, 1e9, Background, nil)
+	n.StartFlow(0, 1, 1e9, Application, nil)
+	e.RunUntil(0.01)
+	if got := n.LinkBusyBW(0, false); math.Abs(got-100e6) > 1 {
+		t.Errorf("all-class busy = %v, want 100e6", got)
+	}
+	if got := n.LinkBusyBW(0, true); math.Abs(got-50e6) > 1 {
+		t.Errorf("background busy = %v, want 50e6", got)
+	}
+}
+
+func TestSnapshotReflectsConditions(t *testing.T) {
+	e, n := lineNet(4)
+	n.StartFlow(0, 1, 1e12, Background, nil) // saturate link 0
+	n.StartTask(3, 1e9, Background, nil)
+	e.RunUntil(300)
+	s := n.Snapshot(false)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	if s.AvailBW[0] > 1e-3 {
+		t.Errorf("saturated link avail = %v, want ~0", s.AvailBW[0])
+	}
+	if s.AvailBW[1] != 100e6 {
+		t.Errorf("idle link avail = %v, want 100e6", s.AvailBW[1])
+	}
+	if math.Abs(s.LoadAvg[3]-1) > 0.05 {
+		t.Errorf("loaded host loadavg = %v, want ~1", s.LoadAvg[3])
+	}
+	if s.Time != 300 {
+		t.Errorf("snapshot time = %v", s.Time)
+	}
+}
+
+func TestSnapshotBackgroundOnlyExcludesApplication(t *testing.T) {
+	e, n := lineNet(3)
+	n.StartFlow(0, 1, 1e12, Application, nil)
+	n.StartTask(2, 1e9, Application, nil)
+	e.RunUntil(300)
+	all := n.Snapshot(false)
+	bg := n.Snapshot(true)
+	if all.AvailBW[0] > 1e-3 {
+		t.Errorf("all-class avail = %v, want ~0", all.AvailBW[0])
+	}
+	if bg.AvailBW[0] != 100e6 {
+		t.Errorf("background-only avail = %v, want full capacity", bg.AvailBW[0])
+	}
+	if all.LoadAvg[2] < 0.9 {
+		t.Errorf("all-class load = %v, want ~1", all.LoadAvg[2])
+	}
+	if bg.LoadAvg[2] > 0.01 {
+		t.Errorf("background-only load = %v, want ~0", bg.LoadAvg[2])
+	}
+}
+
+func TestMultiHopFlowConsumesAllLinks(t *testing.T) {
+	e, n := lineNet(4)
+	n.StartFlow(0, 3, 1e9, Background, nil)
+	e.RunUntil(0.01)
+	for l := 0; l < 3; l++ {
+		if got := n.LinkBusyBW(l, true); math.Abs(got-100e6) > 1 {
+			t.Errorf("link %d busy = %v, want 100e6", l, got)
+		}
+	}
+}
+
+func TestBadFlowSizePanics(t *testing.T) {
+	_, n := pair()
+	for _, size := range []float64{-1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %v did not panic", size)
+				}
+			}()
+			n.StartFlow(0, 1, size, Application, nil)
+		}()
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (float64, uint64) {
+		e, n := lineNet(5)
+		var last float64
+		for i := 0; i < 20; i++ {
+			src := i % 5
+			dst := (i*3 + 1) % 5
+			if src == dst {
+				continue
+			}
+			bytes := float64(1e6 * (i + 1))
+			n.StartFlow(src, dst, bytes, Background, func() { last = e.Now() })
+			n.StartTask(src, float64(i+1), Background, nil)
+		}
+		e.Run()
+		return last, e.Fired()
+	}
+	l1, f1 := run()
+	l2, f2 := run()
+	if l1 != l2 || f1 != f2 {
+		t.Fatalf("replay diverged: (%v, %d) vs (%v, %d)", l1, f1, l2, f2)
+	}
+}
+
+func TestActiveFlows(t *testing.T) {
+	e, n := pair()
+	n.StartFlow(0, 1, 12.5e6, Background, nil)
+	n.StartFlow(1, 0, 12.5e6, Background, nil)
+	if n.ActiveFlows() != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2", n.ActiveFlows())
+	}
+	e.Run()
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows after drain = %d, want 0", n.ActiveFlows())
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	e, n := pair()
+	f := n.StartFlow(0, 1, 12.5e6, Application, nil)
+	if f.Src() != 0 || f.Dst() != 1 || f.Class() != Application {
+		t.Fatal("flow accessors wrong")
+	}
+	e.RunUntil(0.5)
+	if r := f.RemainingBits(); math.Abs(r-0.5e8) > 1 {
+		t.Fatalf("remaining at t=0.5 is %v, want 0.5e8", r)
+	}
+	e.Run()
+	if !f.Done() {
+		t.Fatal("flow not done after drain")
+	}
+}
+
+func BenchmarkFlowChurn(b *testing.B) {
+	e, n := lineNet(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.StartFlow(i%8, (i+3)%8, 1e5, Background, nil)
+		e.Step()
+	}
+	e.Run()
+}
+
+func BenchmarkReallocate50Flows(b *testing.B) {
+	e, n := lineNet(10)
+	for i := 0; i < 50; i++ {
+		n.StartFlow(i%10, (i+5)%10, 1e15, Background, nil)
+	}
+	_ = e
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.reallocate()
+	}
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+// pair builds a two-host topology joined by one 100 Mbps link.
+func pair() (*sim.Engine, *Network) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	return e, New(e, g, Config{})
+}
+
+// lineNet builds a path of n hosts with 100 Mbps links.
+func lineNet(n int) (*sim.Engine, *Network) {
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddComputeNode("h" + string(rune('0'+i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Connect(i, i+1, 100e6, topology.LinkOpts{})
+	}
+	e := sim.NewEngine()
+	return e, New(e, g, Config{})
+}
+
+func TestSingleTaskRuntime(t *testing.T) {
+	e, n := pair()
+	var doneAt float64 = -1
+	n.StartTask(0, 10, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt-10) > 1e-9 {
+		t.Fatalf("task of demand 10 on idle host finished at %v, want 10", doneAt)
+	}
+}
+
+func TestProcessorSharingTwoTasks(t *testing.T) {
+	e, n := pair()
+	var d1, d2 float64 = -1, -1
+	n.StartTask(0, 10, Application, func() { d1 = e.Now() })
+	n.StartTask(0, 10, Background, func() { d2 = e.Now() })
+	e.Run()
+	if math.Abs(d1-20) > 1e-9 || math.Abs(d2-20) > 1e-9 {
+		t.Fatalf("two equal tasks finished at %v, %v; want both at 20", d1, d2)
+	}
+}
+
+func TestProcessorSharingLateJoiner(t *testing.T) {
+	e, n := pair()
+	var dA, dB float64 = -1, -1
+	n.StartTask(0, 10, Application, func() { dA = e.Now() })
+	e.After(5, "start-b", func() {
+		n.StartTask(0, 10, Application, func() { dB = e.Now() })
+	})
+	e.Run()
+	// A: 5s alone (5 done) + shares until 15 (remaining 5 at rate 0.5).
+	if math.Abs(dA-15) > 1e-9 {
+		t.Errorf("task A finished at %v, want 15", dA)
+	}
+	// B: 5 done by t=15 sharing, then alone until 20.
+	if math.Abs(dB-20) > 1e-9 {
+		t.Errorf("task B finished at %v, want 20", dB)
+	}
+}
+
+func TestHostSpeedScaling(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNodeSpec("fast", 2, "")
+	g.AddComputeNode("other")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+	var doneAt float64 = -1
+	n.StartTask(0, 10, Application, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(doneAt-5) > 1e-9 {
+		t.Fatalf("demand 10 on speed-2 host finished at %v, want 5", doneAt)
+	}
+}
+
+func TestTaskCancel(t *testing.T) {
+	e, n := pair()
+	fired := false
+	task := n.StartTask(0, 10, Application, func() { fired = true })
+	var other float64
+	n.StartTask(0, 10, Application, func() { other = e.Now() })
+	e.After(2, "cancel", func() { task.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled task's callback fired")
+	}
+	// Other task: 2s shared (1 done) + 9 alone = finishes at 11.
+	if math.Abs(other-11) > 1e-9 {
+		t.Fatalf("surviving task finished at %v, want 11", other)
+	}
+	if !task.cancelled || task.Done() {
+		t.Fatal("cancel state wrong")
+	}
+	task.Cancel() // no-op
+}
+
+func TestTaskRemaining(t *testing.T) {
+	e, n := pair()
+	task := n.StartTask(0, 10, Application, nil)
+	e.After(4, "check", func() {
+		if r := task.Remaining(); math.Abs(r-6) > 1e-9 {
+			t.Errorf("remaining at t=4 is %v, want 6", r)
+		}
+	})
+	e.Run()
+	if !task.Done() {
+		t.Fatal("task not done after drain")
+	}
+}
+
+func TestRunQueueCounts(t *testing.T) {
+	e, n := pair()
+	n.StartTask(0, 100, Application, nil)
+	n.StartTask(0, 100, Background, nil)
+	n.StartTask(0, 100, Background, nil)
+	e.RunUntil(1)
+	h := n.Host(0)
+	if h.RunQueue(false) != 3 {
+		t.Errorf("RunQueue all = %d, want 3", h.RunQueue(false))
+	}
+	if h.RunQueue(true) != 2 {
+		t.Errorf("RunQueue background = %d, want 2", h.RunQueue(true))
+	}
+}
+
+func TestLoadAverageConverges(t *testing.T) {
+	e, n := pair()
+	// Two long-running background tasks: the load average should decay
+	// towards 2.
+	n.StartTask(0, 1e6, Background, nil)
+	n.StartTask(0, 1e6, Background, nil)
+	e.RunUntil(300) // five 60-second windows
+	got := n.Host(0).LoadAvg(false)
+	if math.Abs(got-2) > 0.05 {
+		t.Fatalf("load average after 300s with 2 runnable tasks = %v, want ~2", got)
+	}
+}
+
+func TestLoadAverageDecays(t *testing.T) {
+	e, n := pair()
+	n.StartTask(0, 60, Background, nil) // finishes at t=60
+	e.RunUntil(60)
+	peak := n.Host(0).LoadAvg(false)
+	if peak < 0.5 {
+		t.Fatalf("load average at task end = %v, want > 0.5", peak)
+	}
+	e.RunUntil(360)
+	settled := n.Host(0).LoadAvg(false)
+	if settled > 0.05 {
+		t.Fatalf("load average 300s after idle = %v, want ~0", settled)
+	}
+}
+
+func TestLoadAverageBackgroundOnly(t *testing.T) {
+	e, n := pair()
+	n.StartTask(0, 1e6, Background, nil)
+	n.StartTask(0, 1e6, Application, nil)
+	n.StartTask(0, 1e6, Application, nil)
+	e.RunUntil(300)
+	all := n.Host(0).LoadAvg(false)
+	bg := n.Host(0).LoadAvg(true)
+	if math.Abs(all-3) > 0.1 {
+		t.Errorf("all-class load = %v, want ~3", all)
+	}
+	if math.Abs(bg-1) > 0.1 {
+		t.Errorf("background-only load = %v, want ~1", bg)
+	}
+}
+
+func TestLoadAvgWindowConfig(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	n := New(e, g, Config{LoadAvgWindow: 5})
+	n.StartTask(0, 1e6, Background, nil)
+	e.RunUntil(25) // five 5-second windows
+	if got := n.Host(0).LoadAvg(false); math.Abs(got-1) > 0.05 {
+		t.Fatalf("short-window load average = %v, want ~1", got)
+	}
+}
+
+func TestBadTaskDemandPanics(t *testing.T) {
+	_, n := pair()
+	for _, demand := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("demand %v did not panic", demand)
+				}
+			}()
+			n.StartTask(0, demand, Application, nil)
+		}()
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Background.String() != "background" || Application.String() != "application" {
+		t.Fatal("Class.String wrong")
+	}
+}
+
+func TestNewRejectsInvalidTopology(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("lonely")
+	g.AddComputeNode("island")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("disconnected topology accepted")
+		}
+	}()
+	New(sim.NewEngine(), g, Config{})
+}
+
+func TestManyTasksFIFOFairness(t *testing.T) {
+	// k equal tasks started together all finish at k*demand.
+	e, n := pair()
+	const k = 8
+	var finish []float64
+	for i := 0; i < k; i++ {
+		n.StartTask(1, 5, Background, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	if len(finish) != k {
+		t.Fatalf("finished %d tasks, want %d", len(finish), k)
+	}
+	for _, f := range finish {
+		if math.Abs(f-40) > 1e-9 {
+			t.Fatalf("task finished at %v, want 40", f)
+		}
+	}
+}

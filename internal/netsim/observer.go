@@ -1,0 +1,98 @@
+package netsim
+
+// EventKind classifies simulator lifecycle events for observers.
+type EventKind int
+
+const (
+	// TaskStart fires when CPU work is placed on a host.
+	TaskStart EventKind = iota
+	// TaskEnd fires when CPU work completes.
+	TaskEnd
+	// TaskCancel fires when CPU work is aborted.
+	TaskCancel
+	// FlowStart fires when a transfer begins.
+	FlowStart
+	// FlowEnd fires when a transfer's last byte is sent (before the
+	// delivery latency elapses).
+	FlowEnd
+	// FlowCancel fires when a transfer is aborted.
+	FlowCancel
+	// LinkFail fires when a link is taken out of service.
+	LinkFail
+	// LinkRepair fires when a link returns to service.
+	LinkRepair
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case TaskStart:
+		return "task-start"
+	case TaskEnd:
+		return "task-end"
+	case TaskCancel:
+		return "task-cancel"
+	case FlowStart:
+		return "flow-start"
+	case FlowEnd:
+		return "flow-end"
+	case FlowCancel:
+		return "flow-cancel"
+	case LinkFail:
+		return "link-fail"
+	case LinkRepair:
+		return "link-repair"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one simulator lifecycle occurrence.
+type Event struct {
+	// Time is the simulation time of the event.
+	Time float64
+	// Kind classifies the event.
+	Kind EventKind
+	// Node is the host for task events; -1 otherwise.
+	Node int
+	// Src and Dst are the endpoints for flow events; -1 otherwise.
+	Src, Dst int
+	// Link is the link for failure events; -1 otherwise.
+	Link int
+	// Class tags task and flow events.
+	Class Class
+	// Demand is the CPU demand in seconds for task events.
+	Demand float64
+	// Bytes is the transfer size for flow events.
+	Bytes float64
+}
+
+// Observer receives simulator lifecycle events as they happen. Observers
+// must not mutate the network from within the callback.
+type Observer func(Event)
+
+// SetObserver installs (or, with nil, removes) the lifecycle observer.
+func (n *Network) SetObserver(fn Observer) { n.observer = fn }
+
+// emit delivers an event to the observer, if any, stamping the time.
+func (n *Network) emit(ev Event) {
+	if n.observer == nil {
+		return
+	}
+	ev.Time = n.Now()
+	n.observer(ev)
+}
+
+func taskEvent(kind EventKind, t *Task) Event {
+	return Event{
+		Kind: kind, Node: t.host.node, Src: -1, Dst: -1, Link: -1,
+		Class: t.class, Demand: t.demand,
+	}
+}
+
+func flowEvent(kind EventKind, f *Flow) Event {
+	return Event{
+		Kind: kind, Node: -1, Src: f.src, Dst: f.dst, Link: -1,
+		Class: f.class, Bytes: f.bytes,
+	}
+}

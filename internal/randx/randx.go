@@ -1,0 +1,319 @@
+// Package randx provides seeded, reproducible random number generation and
+// the probability distributions used by the load and traffic models of the
+// node selection framework: exponential, Pareto (plain and bounded),
+// log-normal and uniform, together with Poisson-process helpers.
+//
+// All generators are deterministic functions of their seed so that every
+// experiment in this repository is reproducible bit-for-bit.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source. It wraps math/rand with a
+// convenience API and supports splitting into independent substreams so
+// that, e.g., each host's load generator has its own stream and adding a
+// host does not perturb the others.
+type Source struct {
+	rng  *rand.Rand
+	seed int64
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split returns a new independent Source derived deterministically from the
+// parent seed and the given label. Splitting does not consume randomness
+// from the parent stream.
+func (s *Source) Split(label string) *Source {
+	// Mix the label into the seed with an FNV-1a style hash. The exact
+	// mixing function is unimportant as long as it is deterministic and
+	// spreads labels across the seed space.
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(s.seed)
+	h *= 1099511628211
+	return New(int64(h))
+}
+
+// SplitN returns a new independent Source derived from the parent seed and
+// an integer index.
+func (s *Source) SplitN(n int) *Source {
+	return s.Split(fmt.Sprintf("#%d", n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// NormFloat64 returns a standard normal variate.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Sampler produces positive random variates, typically durations or sizes.
+type Sampler interface {
+	// Sample draws one variate using the supplied source.
+	Sample(src *Source) float64
+	// Mean returns the theoretical mean of the distribution, or +Inf if
+	// the mean does not exist.
+	Mean() float64
+}
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential struct {
+	MeanValue float64
+}
+
+// NewExponential returns an exponential sampler with mean m. It panics if
+// m <= 0.
+func NewExponential(m float64) Exponential {
+	if m <= 0 {
+		panic("randx: exponential mean must be positive")
+	}
+	return Exponential{MeanValue: m}
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(src *Source) float64 {
+	// Inverse transform on (0,1]: -mean * ln(u). Use 1-Float64 so the
+	// argument is never zero.
+	u := 1 - src.Float64()
+	return -e.MeanValue * math.Log(u)
+}
+
+// Mean returns the distribution mean.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+// Pareto is a Pareto (power-law) distribution with shape Alpha and scale
+// (minimum value) XMin. Process lifetime studies such as Harchol-Balter and
+// Downey's find CPU-bound process durations well modeled with alpha near 1.
+type Pareto struct {
+	Alpha float64
+	XMin  float64
+}
+
+// NewPareto returns a Pareto sampler. It panics on non-positive parameters.
+func NewPareto(alpha, xmin float64) Pareto {
+	if alpha <= 0 || xmin <= 0 {
+		panic("randx: pareto parameters must be positive")
+	}
+	return Pareto{Alpha: alpha, XMin: xmin}
+}
+
+// Sample draws a Pareto variate by inverse transform.
+func (p Pareto) Sample(src *Source) float64 {
+	u := 1 - src.Float64() // in (0, 1]
+	return p.XMin / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean returns alpha*xmin/(alpha-1) for alpha > 1 and +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.XMin / (p.Alpha - 1)
+}
+
+// BoundedPareto is a Pareto distribution truncated to [XMin, XMax]. Load
+// generators use it so a single sampled job cannot exceed the simulation
+// horizon, while preserving the heavy tail within range.
+type BoundedPareto struct {
+	Alpha float64
+	XMin  float64
+	XMax  float64
+}
+
+// NewBoundedPareto returns a bounded Pareto sampler. It panics if the
+// parameters are not 0 < xmin < xmax or alpha <= 0.
+func NewBoundedPareto(alpha, xmin, xmax float64) BoundedPareto {
+	if alpha <= 0 || xmin <= 0 || xmax <= xmin {
+		panic("randx: bounded pareto requires alpha > 0 and 0 < xmin < xmax")
+	}
+	return BoundedPareto{Alpha: alpha, XMin: xmin, XMax: xmax}
+}
+
+// Sample draws a bounded Pareto variate by inverse transform.
+func (p BoundedPareto) Sample(src *Source) float64 {
+	u := src.Float64()
+	la := math.Pow(p.XMin, p.Alpha)
+	ha := math.Pow(p.XMax, p.Alpha)
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.XMin {
+		x = p.XMin
+	}
+	if x > p.XMax {
+		x = p.XMax
+	}
+	return x
+}
+
+// Mean returns the theoretical mean of the bounded Pareto.
+func (p BoundedPareto) Mean() float64 {
+	a, l, h := p.Alpha, p.XMin, p.XMax
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// LogNormal is a log-normal distribution: exp(N(Mu, Sigma^2)). The paper's
+// traffic generator draws message lengths from a log-normal distribution.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns a log-normal sampler with the given parameters of the
+// underlying normal. It panics if sigma < 0.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if sigma < 0 {
+		panic("randx: lognormal sigma must be non-negative")
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// LogNormalFromMoments constructs a log-normal whose mean is m and whose
+// standard deviation is sd. It panics on non-positive m or negative sd.
+func LogNormalFromMoments(m, sd float64) LogNormal {
+	if m <= 0 || sd < 0 {
+		panic("randx: lognormal moments require m > 0 and sd >= 0")
+	}
+	v := sd * sd
+	sigma2 := math.Log(1 + v/(m*m))
+	mu := math.Log(m) - sigma2/2
+	return LogNormal{Mu: mu, Sigma: math.Sqrt(sigma2)}
+}
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(src *Source) float64 {
+	return math.Exp(l.Mu + l.Sigma*src.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Constant always returns the same value. It is useful in tests and in
+// deterministic workload configurations.
+type Constant struct{ Value float64 }
+
+// Sample returns the constant value.
+func (c Constant) Sample(*Source) float64 { return c.Value }
+
+// Mean returns the constant value.
+func (c Constant) Mean() float64 { return c.Value }
+
+// UniformDist is a uniform distribution over [Lo, Hi).
+type UniformDist struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate in [Lo, Hi).
+func (u UniformDist) Sample(src *Source) float64 { return src.Uniform(u.Lo, u.Hi) }
+
+// Mean returns (Lo+Hi)/2.
+func (u UniformDist) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Mixture samples from one of several component distributions, chosen with
+// the given weights. The Harchol-Balter/Downey load model uses a mixture of
+// exponential and Pareto durations.
+type Mixture struct {
+	Components []Sampler
+	Weights    []float64
+	total      float64
+}
+
+// NewMixture returns a mixture sampler. It panics if the slices differ in
+// length, are empty, or any weight is negative.
+func NewMixture(components []Sampler, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("randx: mixture needs equal, non-zero numbers of components and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("randx: mixture weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("randx: mixture weights must sum to a positive value")
+	}
+	return &Mixture{Components: components, Weights: weights, total: total}
+}
+
+// Sample draws from a randomly chosen component.
+func (m *Mixture) Sample(src *Source) float64 {
+	u := src.Float64() * m.total
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(src)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(src)
+}
+
+// Mean returns the weighted mean of the component means.
+func (m *Mixture) Mean() float64 {
+	sum := 0.0
+	for i, c := range m.Components {
+		sum += m.Weights[i] / m.total * c.Mean()
+	}
+	return sum
+}
+
+// PoissonProcess generates interarrival times for a Poisson process with the
+// given rate (events per unit time). It is a thin wrapper over an
+// exponential interarrival distribution, named for clarity at call sites.
+type PoissonProcess struct {
+	Rate float64
+}
+
+// NewPoissonProcess returns a Poisson process with rate events per unit
+// time. It panics if rate <= 0.
+func NewPoissonProcess(rate float64) PoissonProcess {
+	if rate <= 0 {
+		panic("randx: poisson rate must be positive")
+	}
+	return PoissonProcess{Rate: rate}
+}
+
+// NextInterarrival draws the time until the next event.
+func (p PoissonProcess) NextInterarrival(src *Source) float64 {
+	u := 1 - src.Float64()
+	return -math.Log(u) / p.Rate
+}
+
+// Sample implements Sampler by returning an interarrival time.
+func (p PoissonProcess) Sample(src *Source) float64 { return p.NextInterarrival(src) }
+
+// Mean returns the mean interarrival time 1/rate.
+func (p PoissonProcess) Mean() float64 { return 1 / p.Rate }

@@ -1,0 +1,354 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("sources with identical seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("sources with different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("hosts")
+	c2 := parent.Split("links")
+	if c1.Seed() == c2.Seed() {
+		t.Fatal("differently labeled splits share a seed")
+	}
+	// Splitting must not consume parent randomness.
+	p2 := New(7)
+	p2.Split("hosts")
+	p2.Split("links")
+	if parent.Float64() != p2.Float64() {
+		t.Fatal("splitting consumed randomness from the parent stream")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(99).Split("x").Float64()
+	b := New(99).Split("x").Float64()
+	if a != b {
+		t.Fatal("split streams with the same label are not deterministic")
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	a := New(5).SplitN(3)
+	b := New(5).SplitN(3)
+	c := New(5).SplitN(4)
+	if a.Float64() != b.Float64() {
+		t.Fatal("SplitN with equal index not deterministic")
+	}
+	if a.Seed() == c.Seed() {
+		t.Fatal("SplitN with different index shares seed")
+	}
+}
+
+// sampleMean draws n variates and returns their mean.
+func sampleMean(s Sampler, src *Source, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Sample(src)
+	}
+	return sum / float64(n)
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := New(1)
+	for _, mean := range []float64{0.1, 1, 10, 250} {
+		e := NewExponential(mean)
+		got := sampleMean(e, src, 200000)
+		if math.Abs(got-mean)/mean > 0.03 {
+			t.Errorf("exponential(mean=%v): sample mean %v deviates >3%%", mean, got)
+		}
+		if e.Mean() != mean {
+			t.Errorf("exponential Mean() = %v, want %v", e.Mean(), mean)
+		}
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	src := New(2)
+	e := NewExponential(1)
+	for i := 0; i < 10000; i++ {
+		if v := e.Sample(src); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("exponential produced invalid variate %v", v)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExponential(0) did not panic")
+		}
+	}()
+	NewExponential(0)
+}
+
+func TestParetoBounds(t *testing.T) {
+	src := New(3)
+	p := NewPareto(1.5, 2.0)
+	for i := 0; i < 10000; i++ {
+		if v := p.Sample(src); v < p.XMin {
+			t.Fatalf("pareto produced %v below xmin %v", v, p.XMin)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	src := New(4)
+	p := NewPareto(3, 1) // mean = 1.5, finite variance
+	got := sampleMean(p, src, 300000)
+	want := p.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("pareto sample mean %v, want near %v", got, want)
+	}
+	if inf := NewPareto(1, 1).Mean(); !math.IsInf(inf, 1) {
+		t.Errorf("pareto alpha=1 Mean() = %v, want +Inf", inf)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	src := New(5)
+	p := NewBoundedPareto(1.0, 1, 1000)
+	for i := 0; i < 20000; i++ {
+		v := p.Sample(src)
+		if v < p.XMin || v > p.XMax {
+			t.Fatalf("bounded pareto produced %v outside [%v, %v]", v, p.XMin, p.XMax)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	src := New(6)
+	p := NewBoundedPareto(1.2, 1, 100)
+	got := sampleMean(p, src, 400000)
+	want := p.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("bounded pareto sample mean %v, want near %v", got, want)
+	}
+}
+
+func TestBoundedParetoAlphaOneMean(t *testing.T) {
+	src := New(7)
+	p := NewBoundedPareto(1.0, 2, 50)
+	got := sampleMean(p, src, 400000)
+	want := p.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("bounded pareto alpha=1 sample mean %v, want near %v", got, want)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	src := New(8)
+	l := NewLogNormal(1, 0.5)
+	got := sampleMean(l, src, 300000)
+	want := l.Mean()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("lognormal sample mean %v, want near %v", got, want)
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	src := New(9)
+	m, sd := 40000.0, 60000.0
+	l := LogNormalFromMoments(m, sd)
+	if math.Abs(l.Mean()-m)/m > 1e-9 {
+		t.Fatalf("LogNormalFromMoments mean %v, want %v", l.Mean(), m)
+	}
+	got := sampleMean(l, src, 500000)
+	if math.Abs(got-m)/m > 0.05 {
+		t.Errorf("lognormal-from-moments sample mean %v, want near %v", got, m)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	src := New(10)
+	l := NewLogNormal(0, 2)
+	for i := 0; i < 10000; i++ {
+		if v := l.Sample(src); v <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: 3.5}
+	src := New(11)
+	for i := 0; i < 10; i++ {
+		if c.Sample(src) != 3.5 {
+			t.Fatal("constant sampler varied")
+		}
+	}
+	if c.Mean() != 3.5 {
+		t.Fatal("constant Mean() wrong")
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	src := New(12)
+	u := UniformDist{Lo: 2, Hi: 6}
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(src)
+		if v < 2 || v >= 6 {
+			t.Fatalf("uniform produced %v outside [2, 6)", v)
+		}
+	}
+	got := sampleMean(u, src, 200000)
+	if math.Abs(got-4) > 0.05 {
+		t.Errorf("uniform sample mean %v, want near 4", got)
+	}
+}
+
+func TestMixtureMean(t *testing.T) {
+	src := New(13)
+	m := NewMixture(
+		[]Sampler{NewExponential(1), Constant{Value: 10}},
+		[]float64{0.5, 0.5},
+	)
+	want := 5.5
+	if math.Abs(m.Mean()-want) > 1e-12 {
+		t.Fatalf("mixture Mean() = %v, want %v", m.Mean(), want)
+	}
+	got := sampleMean(m, src, 300000)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("mixture sample mean %v, want near %v", got, want)
+	}
+}
+
+func TestMixtureWeightsNormalized(t *testing.T) {
+	// Weights 2:2 must behave like 0.5:0.5.
+	a := NewMixture([]Sampler{Constant{1}, Constant{3}}, []float64{2, 2})
+	if math.Abs(a.Mean()-2) > 1e-12 {
+		t.Fatalf("unnormalized mixture Mean() = %v, want 2", a.Mean())
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]Sampler{Constant{1}}, []float64{1, 2}) },
+		func() { NewMixture([]Sampler{Constant{1}}, []float64{-1}) },
+		func() { NewMixture([]Sampler{Constant{1}}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mixture case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoissonProcessMeanInterarrival(t *testing.T) {
+	src := New(14)
+	p := NewPoissonProcess(4) // mean interarrival 0.25
+	got := sampleMean(p, src, 200000)
+	if math.Abs(got-0.25)/0.25 > 0.03 {
+		t.Errorf("poisson interarrival mean %v, want near 0.25", got)
+	}
+}
+
+func TestPoissonProcessCountStatistics(t *testing.T) {
+	// The number of events in a window of length T should average rate*T.
+	src := New(15)
+	p := NewPoissonProcess(2)
+	const horizon = 1000.0
+	count := 0
+	for tcur := p.NextInterarrival(src); tcur < horizon; tcur += p.NextInterarrival(src) {
+		count++
+	}
+	want := 2 * horizon
+	if math.Abs(float64(count)-want)/want > 0.1 {
+		t.Errorf("poisson produced %d events in %v, want near %v", count, horizon, want)
+	}
+}
+
+// Property: exponential and Pareto samples are always >= 0 and lognormal > 0
+// for arbitrary seeds.
+func TestQuickSamplersValid(t *testing.T) {
+	f := func(seed int64) bool {
+		src := New(seed)
+		e := NewExponential(1.5)
+		p := NewPareto(1.1, 0.5)
+		l := NewLogNormal(0.3, 1.2)
+		for i := 0; i < 50; i++ {
+			if e.Sample(src) < 0 {
+				return false
+			}
+			if p.Sample(src) < p.XMin {
+				return false
+			}
+			if l.Sample(src) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split is a pure function of (seed, label).
+func TestQuickSplitPure(t *testing.T) {
+	f := func(seed int64, label string) bool {
+		return New(seed).Split(label).Seed() == New(seed).Split(label).Seed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExponentialSample(b *testing.B) {
+	src := New(1)
+	e := NewExponential(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Sample(src)
+	}
+}
+
+func BenchmarkBoundedParetoSample(b *testing.B) {
+	src := New(1)
+	p := NewBoundedPareto(1.0, 1, 1e6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Sample(src)
+	}
+}
+
+func BenchmarkLogNormalSample(b *testing.B) {
+	src := New(1)
+	l := NewLogNormal(10, 1.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.Sample(src)
+	}
+}

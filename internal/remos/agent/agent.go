@@ -1,0 +1,235 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"nodeselect/internal/remos"
+)
+
+// OwnedLinks returns the link IDs owned by a node: every link whose
+// lower-numbered endpoint it is. Each link in the graph has exactly one
+// owner, so a full set of per-node agents covers every link exactly once.
+func OwnedLinks(src remos.Source, node int) []int {
+	g := src.Topology()
+	var out []int
+	for _, lid := range g.Incident(node) {
+		l := g.Link(lid)
+		lo := l.A
+		if l.B < lo {
+			lo = l.B
+		}
+		if lo == node {
+			out = append(out, lid)
+		}
+	}
+	return out
+}
+
+// Agent serves one node's measurements over TCP. The backing Source must
+// be safe for concurrent use (remos.StaticSource is; a live simulation
+// source must be quiesced or externally locked).
+type Agent struct {
+	src   remos.Source
+	node  int
+	links []int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewAgent builds an agent for a node.
+func NewAgent(src remos.Source, node int) *Agent {
+	return &Agent{
+		src:   src,
+		node:  node,
+		links: OwnedLinks(src, node),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (a *Agent) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("agent: listen: %w", err)
+	}
+	a.mu.Lock()
+	a.listener = ln
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (a *Agent) acceptLoop(ln net.Listener) {
+	defer a.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go a.serve(conn)
+	}
+}
+
+func (a *Agent) serve(conn net.Conn) {
+	defer a.wg.Done()
+	defer func() {
+		conn.Close()
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		var resp any
+		switch req.Op {
+		case OpInfo:
+			resp = a.info()
+		case OpRead:
+			resp = a.read()
+		default:
+			resp = ErrorResponse{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) info() InfoResponse {
+	g := a.src.Topology()
+	node := g.Node(a.node)
+	resp := InfoResponse{
+		Node:     node.Name,
+		Kind:     node.Kind.String(),
+		Speed:    node.Speed,
+		Arch:     node.Arch,
+		MemoryMB: node.MemoryMB,
+		Links:    a.links,
+	}
+	for _, lid := range a.links {
+		l := g.Link(lid)
+		resp.LinkDetails = append(resp.LinkDetails, LinkInfo{
+			ID:         lid,
+			A:          g.Node(l.A).Name,
+			B:          g.Node(l.B).Name,
+			Capacity:   l.Capacity,
+			Latency:    l.Latency,
+			FullDuplex: l.FullDuplex,
+		})
+	}
+	return resp
+}
+
+func (a *Agent) read() ReadResponse {
+	resp := ReadResponse{
+		Time:  a.src.Now(),
+		Links: make(map[int]LinkReading, len(a.links)),
+	}
+	resp.Load = a.src.NodeLoad(a.node, false)
+	resp.LoadBG = a.src.NodeLoad(a.node, true)
+	for _, lid := range a.links {
+		resp.Links[lid] = LinkReading{
+			Bits:   a.src.LinkBits(lid, false),
+			BitsBG: a.src.LinkBits(lid, true),
+			Down:   !a.src.LinkUp(lid),
+		}
+	}
+	return resp
+}
+
+// Close shuts the agent down, closing the listener and all connections.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	ln := a.listener
+	for c := range a.conns {
+		c.Close()
+	}
+	a.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	a.wg.Wait()
+	return nil
+}
+
+// Fleet runs one agent per node of a source's topology, the deployment the
+// collector expects.
+type Fleet struct {
+	agents []*Agent
+	addrs  []string
+}
+
+// StartFleet launches one agent per node on loopback ports and returns the
+// fleet. Close it to stop all agents.
+func StartFleet(src remos.Source) (*Fleet, error) {
+	g := src.Topology()
+	f := &Fleet{}
+	for node := 0; node < g.NumNodes(); node++ {
+		a := NewAgent(src, node)
+		addr, err := a.Listen("127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.agents = append(f.agents, a)
+		f.addrs = append(f.addrs, addr)
+	}
+	return f, nil
+}
+
+// Addrs returns the agents' bound addresses, indexed by node ID.
+func (f *Fleet) Addrs() []string { return f.addrs }
+
+// Close stops every agent.
+func (f *Fleet) Close() {
+	for _, a := range f.agents {
+		a.Close()
+	}
+}
+
+// roundTrip sends one request and decodes the response, checking for an
+// in-band error.
+func roundTrip(conn net.Conn, op string, out any) error {
+	if err := WriteFrame(conn, Request{Op: op}); err != nil {
+		return err
+	}
+	var raw json.RawMessage
+	if err := ReadFrame(conn, &raw); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("agent: connection closed by peer")
+		}
+		return err
+	}
+	var e ErrorResponse
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Errorf("agent: remote error: %s", e.Error)
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,257 @@
+package agent
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/topology"
+)
+
+// testbedGraph builds a small two-cluster topology with a router.
+func testbedGraph() *topology.Graph {
+	g := topology.NewGraph()
+	r := g.AddNetworkNode("router")
+	for _, name := range []string{"m1", "m2", "m3"} {
+		id := g.AddComputeNode(name)
+		g.Connect(r, id, 100e6, topology.LinkOpts{})
+	}
+	return g
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := ReadResponse{Time: 42, Load: 1.5, Links: map[int]LinkReading{3: {Bits: 100, BitsBG: 60}}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out ReadResponse
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Time != 42 || out.Load != 1.5 || out.Links[3].BitsBG != 60 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	big := strings.Repeat("x", maxFrame+1)
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	// Oversized length header on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var v any
+	if err := ReadFrame(&buf, &v); err == nil {
+		t.Fatal("oversized frame read")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var v any
+	if err := ReadFrame(strings.NewReader("\x00\x00\x00\x10abc"), &v); err == nil {
+		t.Fatal("truncated frame read")
+	}
+}
+
+func TestOwnedLinksPartition(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	owned := map[int]int{} // link -> count of owners
+	for node := 0; node < g.NumNodes(); node++ {
+		for _, l := range OwnedLinks(src, node) {
+			owned[l]++
+		}
+	}
+	if len(owned) != g.NumLinks() {
+		t.Fatalf("agents own %d links, want %d", len(owned), g.NumLinks())
+	}
+	for l, c := range owned {
+		if c != 1 {
+			t.Fatalf("link %d has %d owners", l, c)
+		}
+	}
+}
+
+func TestAgentInfoAndRead(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	src.SetLoad(1, 2.5)
+	src.SetUsedBW(0, 10e6)
+	src.Advance(4)
+
+	a := NewAgent(src, 0) // the router owns every link (lowest ID)
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var info InfoResponse
+	if err := roundTrip(conn, OpInfo, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Node != "router" || len(info.Links) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	var rr ReadResponse
+	if err := roundTrip(conn, OpRead, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Time != 4 {
+		t.Errorf("time = %v, want 4", rr.Time)
+	}
+	if got := rr.Links[0].Bits; math.Abs(got-40e6) > 1 {
+		t.Errorf("link 0 bits = %v, want 40e6", got)
+	}
+}
+
+func TestAgentUnknownOp(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	a := NewAgent(src, 1)
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var out InfoResponse
+	err = roundTrip(conn, "bogus", &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v, want remote unknown-op error", err)
+	}
+}
+
+func TestFleetAndNetSourceEndToEnd(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	src.SetLoad(g.MustNode("m2"), 3)
+	src.SetUsedBW(1, 25e6) // link router-m2
+
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if len(fleet.Addrs()) != g.NumNodes() {
+		t.Fatalf("fleet has %d agents, want %d", len(fleet.Addrs()), g.NumNodes())
+	}
+
+	ns, err := Dial(g, fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	// Drive a collector over the TCP path exactly as over a SimSource.
+	c := remos.NewCollector(ns, remos.CollectorConfig{Period: 1})
+	src.Advance(1)
+	if err := ns.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	c.Poll()
+	src.Advance(1)
+	if err := ns.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	c.Poll()
+
+	s, err := c.Snapshot(remos.Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadAvg[g.MustNode("m2")]; got != 3 {
+		t.Errorf("load over TCP = %v, want 3", got)
+	}
+	if got := s.AvailBW[1]; math.Abs(got-75e6) > 1e3 {
+		t.Errorf("avail over TCP = %v, want 75e6", got)
+	}
+	if got := s.AvailBW[0]; got != 100e6 {
+		t.Errorf("idle link avail = %v, want full", got)
+	}
+}
+
+func TestNetSourceEnsureWithoutRefresh(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	src.SetLoad(1, 1)
+	src.Advance(5)
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ns, err := Dial(g, fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	if got := ns.NodeLoad(1, false); got != 1 {
+		t.Fatalf("lazy NodeLoad = %v, want 1", got)
+	}
+	if ns.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", ns.Now())
+	}
+	// Invalidate then change state: next read must see the update.
+	src.SetLoad(1, 2)
+	ns.Invalidate()
+	if got := ns.NodeLoad(1, false); got != 2 {
+		t.Fatalf("post-invalidate NodeLoad = %v, want 2", got)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	// Wrong address count.
+	if _, err := Dial(g, fleet.Addrs()[:2]); err == nil {
+		t.Error("short address list accepted")
+	}
+	// Swapped agents: node name check must fail.
+	addrs := append([]string(nil), fleet.Addrs()...)
+	addrs[0], addrs[1] = addrs[1], addrs[0]
+	if _, err := Dial(g, addrs); err == nil {
+		t.Error("mismatched agent identity accepted")
+	}
+	// Unreachable agent.
+	addrs = append([]string(nil), fleet.Addrs()...)
+	addrs[2] = "127.0.0.1:1"
+	if _, err := Dial(g, addrs); err == nil {
+		t.Error("unreachable agent accepted")
+	}
+}
+
+func TestAgentCloseIdempotent(t *testing.T) {
+	g := testbedGraph()
+	a := NewAgent(remos.NewStaticSource(g), 0)
+	if _, err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/topology"
+)
+
+var _ remos.Source = (*NetSource)(nil)
+
+// NetSource is a remos.Source backed by per-node agents over TCP. It dials
+// each agent once and reuses the connections; a Collector polling a
+// NetSource therefore generates the same steady per-node query traffic an
+// SNMP poll loop would.
+//
+// Counter reads across agents are not atomic — exactly as with SNMP — so a
+// windowed Collector (which rates counter deltas over multi-second
+// intervals) is the intended consumer.
+type NetSource struct {
+	graph *topology.Graph
+
+	mu        sync.Mutex
+	conns     []net.Conn // indexed by node ID
+	addrs     []string
+	linkOwner []int // node owning each link
+
+	// cache of the last read per node, refreshed by refresh().
+	lastRead []ReadResponse
+	fresh    []bool
+}
+
+// Dial connects to one agent per node. addrs is indexed by node ID and
+// must cover every node of g. The agents' reported names are verified
+// against the graph.
+func Dial(g *topology.Graph, addrs []string) (*NetSource, error) {
+	if len(addrs) != g.NumNodes() {
+		return nil, fmt.Errorf("agent: %d addresses for %d nodes", len(addrs), g.NumNodes())
+	}
+	ns := &NetSource{
+		graph:     g,
+		addrs:     addrs,
+		conns:     make([]net.Conn, g.NumNodes()),
+		linkOwner: make([]int, g.NumLinks()),
+		lastRead:  make([]ReadResponse, g.NumNodes()),
+		fresh:     make([]bool, g.NumNodes()),
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		lo := link.A
+		if link.B < lo {
+			lo = link.B
+		}
+		ns.linkOwner[l] = lo
+	}
+	for node := range addrs {
+		conn, err := net.Dial("tcp", addrs[node])
+		if err != nil {
+			ns.Close()
+			return nil, fmt.Errorf("agent: dial node %d: %w", node, err)
+		}
+		ns.conns[node] = conn
+		var info InfoResponse
+		if err := roundTrip(conn, OpInfo, &info); err != nil {
+			ns.Close()
+			return nil, fmt.Errorf("agent: info from node %d: %w", node, err)
+		}
+		if want := g.Node(node).Name; info.Node != want {
+			ns.Close()
+			return nil, fmt.Errorf("agent: node %d identifies as %q, want %q", node, info.Node, want)
+		}
+	}
+	return ns, nil
+}
+
+// Close tears down all agent connections.
+func (ns *NetSource) Close() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, c := range ns.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Refresh pulls a fresh reading from every agent. Collector.Poll calls
+// NodeLoad/LinkBits many times per sample; Refresh lets one poll translate
+// into exactly one read per agent.
+func (ns *NetSource) Refresh() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for node, conn := range ns.conns {
+		var rr ReadResponse
+		if err := roundTrip(conn, OpRead, &rr); err != nil {
+			return fmt.Errorf("agent: read node %d: %w", node, err)
+		}
+		ns.lastRead[node] = rr
+		ns.fresh[node] = true
+	}
+	return nil
+}
+
+// ensure fetches a reading for node if none is cached yet.
+func (ns *NetSource) ensure(node int) *ReadResponse {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if !ns.fresh[node] {
+		var rr ReadResponse
+		if err := roundTrip(ns.conns[node], OpRead, &rr); err == nil {
+			ns.lastRead[node] = rr
+			ns.fresh[node] = true
+		}
+	}
+	return &ns.lastRead[node]
+}
+
+// Topology implements remos.Source.
+func (ns *NetSource) Topology() *topology.Graph { return ns.graph }
+
+// Now implements remos.Source using the most recent agent clock seen.
+func (ns *NetSource) Now() float64 {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t := 0.0
+	for i := range ns.lastRead {
+		if ns.fresh[i] && ns.lastRead[i].Time > t {
+			t = ns.lastRead[i].Time
+		}
+	}
+	return t
+}
+
+// NodeLoad implements remos.Source.
+func (ns *NetSource) NodeLoad(node int, backgroundOnly bool) float64 {
+	rr := ns.ensure(node)
+	if backgroundOnly {
+		return rr.LoadBG
+	}
+	return rr.Load
+}
+
+// LinkBits implements remos.Source by asking the link's owning agent.
+func (ns *NetSource) LinkBits(link int, backgroundOnly bool) float64 {
+	rr := ns.ensure(ns.linkOwner[link])
+	reading, ok := rr.Links[link]
+	if !ok {
+		return 0
+	}
+	if backgroundOnly {
+		return reading.BitsBG
+	}
+	return reading.Bits
+}
+
+// LinkUp implements remos.Source from the owning agent's reading.
+func (ns *NetSource) LinkUp(link int) bool {
+	rr := ns.ensure(ns.linkOwner[link])
+	reading, ok := rr.Links[link]
+	return !ok || !reading.Down
+}
+
+// Invalidate marks all cached readings stale so the next query refetches.
+// Call it between Collector polls when not using Refresh.
+func (ns *NetSource) Invalidate() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for i := range ns.fresh {
+		ns.fresh[i] = false
+	}
+}

@@ -1,0 +1,113 @@
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"nodeselect/internal/topology"
+)
+
+// Discover assembles the logical network topology from the agents alone —
+// no prior topology document is needed, mirroring the topology-discovery
+// role of the real Remos system. addrs is indexed by node ID (the order
+// agents were deployed in); the reconstructed graph assigns node and link
+// IDs so that subsequent ReadResponse link counters align.
+func Discover(addrs []string) (*topology.Graph, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("agent: no agents to discover from")
+	}
+	infos := make([]InfoResponse, len(addrs))
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("agent: discover dial %s: %w", addr, err)
+		}
+		err = roundTrip(conn, OpInfo, &infos[i])
+		conn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("agent: discover info %s: %w", addr, err)
+		}
+	}
+
+	g := topology.NewGraph()
+	for i, info := range infos {
+		switch info.Kind {
+		case "compute", "":
+			speed := info.Speed
+			if speed == 0 {
+				speed = 1
+			}
+			id := g.AddComputeNodeSpec(info.Node, speed, info.Arch)
+			if info.MemoryMB > 0 {
+				g.SetNodeMemory(id, info.MemoryMB)
+			}
+			if id != i {
+				return nil, fmt.Errorf("agent: node %q discovered out of order", info.Node)
+			}
+		case "network":
+			if id := g.AddNetworkNode(info.Node); id != i {
+				return nil, fmt.Errorf("agent: node %q discovered out of order", info.Node)
+			}
+		default:
+			return nil, fmt.Errorf("agent: node %q reports unknown kind %q", info.Node, info.Kind)
+		}
+	}
+
+	// Collect every owned link, then materialize in ID order so the
+	// discovered link IDs match the agents' counter keys.
+	var links []LinkInfo
+	owner := map[int]int{}
+	for i, info := range infos {
+		for _, li := range info.LinkDetails {
+			if _, dup := owner[li.ID]; dup {
+				return nil, fmt.Errorf("agent: link %d reported by two owners", li.ID)
+			}
+			owner[li.ID] = i
+			links = append(links, li)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for want, li := range links {
+		if li.ID != want {
+			return nil, fmt.Errorf("agent: link IDs not dense: missing %d", want)
+		}
+		a := g.NodeByName(li.A)
+		b := g.NodeByName(li.B)
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("agent: link %d references unknown node %q or %q", li.ID, li.A, li.B)
+		}
+		id := g.Connect(a, b, li.Capacity, topology.LinkOpts{
+			Latency:    li.Latency,
+			FullDuplex: li.FullDuplex,
+		})
+		if id != li.ID {
+			return nil, fmt.Errorf("agent: link %d materialized as %d", li.ID, id)
+		}
+		// The reporting agent must be the link's lower-ID endpoint in
+		// the discovered graph, or counter queries would be routed to
+		// the wrong agent (e.g. when addrs are not in deployment order).
+		lo := a
+		if b < lo {
+			lo = b
+		}
+		if owner[li.ID] != lo {
+			return nil, fmt.Errorf("agent: link %d owned by node %d but reported by agent %d "+
+				"(agent addresses out of deployment order?)", li.ID, lo, owner[li.ID])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("agent: discovered topology invalid: %w", err)
+	}
+	return g, nil
+}
+
+// DiscoverSource discovers the topology and dials the agents as a
+// measurement source, the zero-configuration entry point for a collector.
+func DiscoverSource(addrs []string) (*NetSource, error) {
+	g, err := Discover(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return Dial(g, addrs)
+}

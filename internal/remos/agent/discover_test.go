@@ -1,0 +1,162 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func TestDiscoverReconstructsCMU(t *testing.T) {
+	orig := testbed.CMU()
+	src := remos.NewStaticSource(orig)
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	g, err := Discover(fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != orig.NumNodes() || g.NumLinks() != orig.NumLinks() {
+		t.Fatalf("discovered %d nodes / %d links, want %d / %d",
+			g.NumNodes(), g.NumLinks(), orig.NumNodes(), orig.NumLinks())
+	}
+	for i := 0; i < orig.NumNodes(); i++ {
+		a, b := orig.Node(i), g.Node(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.Speed != b.Speed || a.Arch != b.Arch {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for l := 0; l < orig.NumLinks(); l++ {
+		a, b := orig.Link(l), g.Link(l)
+		if a.A != b.A || a.B != b.B || a.Capacity != b.Capacity ||
+			a.Latency != b.Latency || a.FullDuplex != b.FullDuplex {
+			t.Fatalf("link %d mismatch: %+v vs %+v", l, a, b)
+		}
+	}
+}
+
+func TestDiscoverPreservesMemoryAndSpeed(t *testing.T) {
+	g0 := topology.NewGraph()
+	hub := g0.AddNetworkNode("hub")
+	fast := g0.AddComputeNodeSpec("fast", 2.5, "x86")
+	g0.SetNodeMemory(fast, 8192)
+	g0.Connect(hub, fast, 100e6, topology.LinkOpts{})
+	slow := g0.AddComputeNode("slow")
+	g0.Connect(hub, slow, 100e6, topology.LinkOpts{})
+
+	fleet, err := StartFleet(remos.NewStaticSource(g0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	g, err := Discover(fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Node(g.MustNode("fast"))
+	if n.Speed != 2.5 || n.Arch != "x86" || n.MemoryMB != 8192 {
+		t.Fatalf("discovered node lost attributes: %+v", n)
+	}
+}
+
+func TestDiscoverSourceEndToEnd(t *testing.T) {
+	// Zero-configuration measurement: discover, poll, select, with no
+	// topology document anywhere on the client side.
+	orig := testbed.CMU()
+	src := remos.NewStaticSource(orig)
+	// Congest the suez subtree and load a couple of panama nodes.
+	for l := 0; l < orig.NumLinks(); l++ {
+		link := orig.Link(l)
+		if orig.Node(link.A).Name == "suez" || orig.Node(link.B).Name == "suez" {
+			src.SetUsedBW(l, 90e6)
+		}
+	}
+	src.SetLoad(orig.MustNode("m-1"), 3)
+	src.SetLoad(orig.MustNode("m-2"), 3)
+
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ns, err := DiscoverSource(fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	col := remos.NewCollector(ns, remos.CollectorConfig{Period: 1})
+	src.Advance(1)
+	if err := ns.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	col.Poll()
+	src.Advance(1)
+	if err := ns.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	col.Poll()
+
+	snap, err := col.Snapshot(remos.Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured conditions must have crossed the wire: suez links
+	// show ~10 Mbps available.
+	g := col.Graph()
+	suez := g.MustNode("suez")
+	found := false
+	for _, lid := range g.Incident(suez) {
+		if math.Abs(snap.AvailBW[lid]-10e6) < 1e3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("congestion did not survive discovery + measurement")
+	}
+	res, err := core.Balanced(snap, core.Request{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Names(g) {
+		if name == "m-1" || name == "m-2" {
+			t.Fatalf("selected a loaded node: %v", res.Names(g))
+		}
+		for i := 13; i <= 18; i++ {
+			if name == g.Node(g.MustNode("suez")).Name {
+				t.Fatalf("selected inside the congested subtree: %v", res.Names(g))
+			}
+		}
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	if _, err := Discover(nil); err == nil {
+		t.Error("empty address list accepted")
+	}
+	if _, err := Discover([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("unreachable agent accepted")
+	}
+	// Agents deployed in a different order than addrs: discovery fails
+	// loudly rather than mislabeling counters.
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	fleet, err := StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	addrs := append([]string(nil), fleet.Addrs()...)
+	addrs[0], addrs[1] = addrs[1], addrs[0]
+	if _, err := Discover(addrs); err == nil {
+		t.Error("out-of-order agents accepted")
+	}
+}

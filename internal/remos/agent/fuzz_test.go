@@ -1,0 +1,61 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder: it must never
+// panic, never allocate unboundedly, and always either produce a value or
+// an error.
+func FuzzReadFrame(f *testing.F) {
+	// Seeds: a valid frame, truncations, and hostile lengths.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, Request{Op: OpInfo}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Add([]byte("\x00\x00\x00\x05hello"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v json.RawMessage
+		_ = ReadFrame(bytes.NewReader(data), &v) // must not panic
+	})
+}
+
+// FuzzFrameRoundTrip checks that anything the encoder writes, the decoder
+// reads back identically.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("info", 0.0, 1.5)
+	f.Add("read", 123.25, 0.0)
+	f.Add("", -1.0, 9e9)
+	f.Fuzz(func(t *testing.T, op string, load, bits float64) {
+		if math.IsNaN(load) || math.IsInf(load, 0) || math.IsNaN(bits) || math.IsInf(bits, 0) {
+			t.Skip("JSON cannot represent NaN/Inf")
+		}
+		in := ReadResponse{
+			Time: load, Load: load, LoadBG: load / 2,
+			Links: map[int]LinkReading{1: {Bits: bits, BitsBG: bits / 3, Down: bits < 0}},
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		var out ReadResponse
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		// NaN never round-trips through JSON and WriteFrame rejects it.
+		if out.Load != in.Load || out.Links[1].Bits != in.Links[1].Bits ||
+			out.Links[1].Down != in.Links[1].Down {
+			t.Fatalf("round trip mutated: %+v vs %+v", in, out)
+		}
+		_ = op
+	})
+}

@@ -1,0 +1,139 @@
+// Package agent implements the wire protocol of the Remos measurement
+// fabric: one agent per network node exports that node's load average and
+// the traffic counters of the links it owns, and a client assembles the
+// per-node answers into a remos.Source for a Collector. The structure
+// mirrors the SNMP-based local-area implementation of the real Remos
+// system: agents are passive counter servers and all aggregation happens
+// at the collector.
+//
+// Framing is a 4-byte big-endian length followed by a JSON body.
+package agent
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds a frame body to keep a malformed peer from forcing a
+// huge allocation.
+const maxFrame = 1 << 20
+
+// Op identifies a request type.
+const (
+	// OpInfo asks an agent which node it serves and which links it owns.
+	OpInfo = "info"
+	// OpRead asks for the node's current measurements.
+	OpRead = "read"
+)
+
+// Request is a client-to-agent message.
+type Request struct {
+	Op string `json:"op"`
+}
+
+// LinkReading is the counter state of one link.
+type LinkReading struct {
+	// Bits is the cumulative bits carried (both directions, all traffic).
+	Bits float64 `json:"bits"`
+	// BitsBG is the cumulative bits excluding measured-application
+	// traffic.
+	BitsBG float64 `json:"bits_bg"`
+	// Down marks the link out of service (SNMP ifOperStatus down).
+	Down bool `json:"down,omitempty"`
+}
+
+// LinkInfo describes one owned link for topology discovery.
+type LinkInfo struct {
+	// ID is the link's dense ID in the measured topology.
+	ID int `json:"id"`
+	// A and B are the endpoint node names.
+	A string `json:"a"`
+	B string `json:"b"`
+	// Capacity is the peak bandwidth in bits/second.
+	Capacity float64 `json:"capacity_bps"`
+	// Latency is the one-way latency in seconds.
+	Latency float64 `json:"latency_s,omitempty"`
+	// FullDuplex marks independent per-direction capacity.
+	FullDuplex bool `json:"full_duplex,omitempty"`
+}
+
+// InfoResponse answers OpInfo.
+type InfoResponse struct {
+	// Node is the name of the node this agent serves.
+	Node string `json:"node"`
+	// Kind is "compute" or "network".
+	Kind string `json:"kind"`
+	// Speed is the node's relative computation capacity.
+	Speed float64 `json:"speed,omitempty"`
+	// Arch is the node's architecture tag.
+	Arch string `json:"arch,omitempty"`
+	// MemoryMB is the node's physical memory.
+	MemoryMB float64 `json:"memory_mb,omitempty"`
+	// Links lists the link IDs this agent owns (links whose
+	// lower-numbered endpoint is this node, so each link has exactly one
+	// owner).
+	Links []int `json:"links"`
+	// LinkDetails describes the owned links, enabling a collector to
+	// discover the logical topology with no prior knowledge — the role
+	// topology discovery plays in the real Remos system.
+	LinkDetails []LinkInfo `json:"link_details,omitempty"`
+}
+
+// ReadResponse answers OpRead.
+type ReadResponse struct {
+	// Time is the agent's measurement clock in seconds.
+	Time float64 `json:"time"`
+	// Load and LoadBG are the node's load averages (all classes /
+	// background only). Zero for network nodes.
+	Load   float64 `json:"load"`
+	LoadBG float64 `json:"load_bg"`
+	// Links maps owned link IDs to their counters.
+	Links map[int]LinkReading `json:"links"`
+}
+
+// ErrorResponse reports a request failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteFrame encodes v as JSON and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("agent: encode: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("agent: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("agent: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("agent: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame and decodes it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("agent: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("agent: read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("agent: decode: %w", err)
+	}
+	return nil
+}

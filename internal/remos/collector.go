@@ -1,0 +1,352 @@
+package remos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+// Mode selects how a query aggregates the collector's sample history,
+// matching the paper's description of Remos: "a fixed window of history,
+// current network conditions, or an estimate of the future availability."
+type Mode int
+
+const (
+	// Current answers from the most recent polling interval.
+	Current Mode = iota
+	// Window averages over the whole retained history window.
+	Window
+	// Forecast exponentially smooths the per-interval measurements and
+	// returns the smoothed value as the estimate of near-future
+	// conditions.
+	Forecast
+	// Trend fits a least-squares line to the per-interval measurements
+	// across the window and extrapolates one polling period ahead,
+	// clamped to physical bounds — a simple trend-following predictor in
+	// the spirit of the forecasting work (NWS, host-load prediction) the
+	// paper cites as complementary.
+	Trend
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Current:
+		return "current"
+	case Window:
+		return "window"
+	case Forecast:
+		return "forecast"
+	case Trend:
+		return "trend"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrNoData is returned when the collector has not yet gathered enough
+// samples to answer a query.
+var ErrNoData = errors.New("remos: not enough samples collected")
+
+// CollectorConfig tunes the measurement loop.
+type CollectorConfig struct {
+	// Period is the polling interval in seconds (default 2, the order of
+	// an SNMP poll loop).
+	Period float64
+	// History is the number of samples retained (default 16, giving a
+	// 30-second window at the default period).
+	History int
+	// ForecastAlpha is the exponential smoothing coefficient applied to
+	// per-interval measurements in Forecast mode (default 0.3).
+	ForecastAlpha float64
+}
+
+func (c CollectorConfig) period() float64 {
+	if c.Period <= 0 {
+		return 2
+	}
+	return c.Period
+}
+
+func (c CollectorConfig) history() int {
+	if c.History < 2 {
+		return 16
+	}
+	return c.History
+}
+
+func (c CollectorConfig) alpha() float64 {
+	if c.ForecastAlpha <= 0 || c.ForecastAlpha > 1 {
+		return 0.3
+	}
+	return c.ForecastAlpha
+}
+
+// sample is one poll of the source.
+type sample struct {
+	time    float64
+	loads   []float64 // all classes
+	loadsBG []float64 // background only
+	bits    []float64 // cumulative, all classes
+	bitsBG  []float64 // cumulative, background only
+	up      []bool    // operational status per link
+}
+
+// Collector polls a Source and answers Remos queries from the history.
+type Collector struct {
+	src     Source
+	cfg     CollectorConfig
+	graph   *topology.Graph
+	samples []sample // ring, oldest first
+	polls   int
+}
+
+// NewCollector builds a collector over src. Call Poll (or Start, to attach
+// it to a simulation engine) to begin gathering samples.
+func NewCollector(src Source, cfg CollectorConfig) *Collector {
+	return &Collector{src: src, cfg: cfg, graph: src.Topology()}
+}
+
+// Graph returns the measured topology.
+func (c *Collector) Graph() *topology.Graph { return c.graph }
+
+// Polls returns how many samples have been taken.
+func (c *Collector) Polls() int { return c.polls }
+
+// Poll takes one sample from the source now.
+func (c *Collector) Poll() {
+	nNodes := c.graph.NumNodes()
+	nLinks := c.graph.NumLinks()
+	s := sample{
+		time:    c.src.Now(),
+		loads:   make([]float64, nNodes),
+		loadsBG: make([]float64, nNodes),
+		bits:    make([]float64, nLinks),
+		bitsBG:  make([]float64, nLinks),
+		up:      make([]bool, nLinks),
+	}
+	for i := 0; i < nNodes; i++ {
+		if c.graph.Node(i).Kind != topology.Compute {
+			continue
+		}
+		s.loads[i] = c.src.NodeLoad(i, false)
+		s.loadsBG[i] = c.src.NodeLoad(i, true)
+	}
+	for l := 0; l < nLinks; l++ {
+		s.bits[l] = c.src.LinkBits(l, false)
+		s.bitsBG[l] = c.src.LinkBits(l, true)
+		s.up[l] = c.src.LinkUp(l)
+	}
+	c.samples = append(c.samples, s)
+	if len(c.samples) > c.cfg.history() {
+		c.samples = c.samples[1:]
+	}
+	c.polls++
+}
+
+// Start attaches the collector to a simulation engine, polling every
+// configured period. It returns a stop function.
+func (c *Collector) Start(engine *sim.Engine) (stop func()) {
+	p := c.cfg.period()
+	return engine.Every(0, p, "remos-poll", func(sim.Time) { c.Poll() })
+}
+
+// Snapshot assembles a topology snapshot under the given mode. With
+// backgroundOnly true, the application's own load and traffic are excluded
+// from the answer.
+func (c *Collector) Snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot, error) {
+	if len(c.samples) == 0 {
+		return nil, ErrNoData
+	}
+	out := topology.NewSnapshot(c.graph)
+	last := c.samples[len(c.samples)-1]
+	out.Time = last.time
+
+	loadsOf := func(s sample) []float64 {
+		if backgroundOnly {
+			return s.loadsBG
+		}
+		return s.loads
+	}
+	bitsOf := func(s sample) []float64 {
+		if backgroundOnly {
+			return s.bitsBG
+		}
+		return s.bits
+	}
+
+	switch mode {
+	case Current:
+		copy(out.LoadAvg, loadsOf(last))
+		if len(c.samples) < 2 {
+			// One sample: report loads but full link availability — no
+			// interval to rate over yet.
+			break
+		}
+		prev := c.samples[len(c.samples)-2]
+		dt := last.time - prev.time
+		for l := 0; l < c.graph.NumLinks(); l++ {
+			used := rateOver(bitsOf(prev)[l], bitsOf(last)[l], dt)
+			out.SetAvailBW(l, c.graph.Link(l).Capacity-used)
+		}
+	case Window:
+		first := c.samples[0]
+		for i := range out.LoadAvg {
+			sum := 0.0
+			for _, s := range c.samples {
+				sum += loadsOf(s)[i]
+			}
+			out.LoadAvg[i] = sum / float64(len(c.samples))
+		}
+		dt := last.time - first.time
+		for l := 0; l < c.graph.NumLinks(); l++ {
+			used := rateOver(bitsOf(first)[l], bitsOf(last)[l], dt)
+			out.SetAvailBW(l, c.graph.Link(l).Capacity-used)
+		}
+	case Forecast:
+		if len(c.samples) < 2 {
+			copy(out.LoadAvg, loadsOf(last))
+			break
+		}
+		alpha := c.cfg.alpha()
+		// Exponentially smooth per-interval link usage and loads.
+		smoothUsed := make([]float64, c.graph.NumLinks())
+		smoothLoad := make([]float64, c.graph.NumNodes())
+		copy(smoothLoad, loadsOf(c.samples[0]))
+		for i := 1; i < len(c.samples); i++ {
+			prev, cur := c.samples[i-1], c.samples[i]
+			dt := cur.time - prev.time
+			for l := range smoothUsed {
+				used := rateOver(bitsOf(prev)[l], bitsOf(cur)[l], dt)
+				if i == 1 {
+					smoothUsed[l] = used
+				} else {
+					smoothUsed[l] = alpha*used + (1-alpha)*smoothUsed[l]
+				}
+			}
+			for nd := range smoothLoad {
+				smoothLoad[nd] = alpha*loadsOf(cur)[nd] + (1-alpha)*smoothLoad[nd]
+			}
+		}
+		copy(out.LoadAvg, smoothLoad)
+		for l := 0; l < c.graph.NumLinks(); l++ {
+			out.SetAvailBW(l, c.graph.Link(l).Capacity-smoothUsed[l])
+		}
+	case Trend:
+		if len(c.samples) < 3 {
+			// Too little history to fit a slope; fall back to Current.
+			return c.Snapshot(Current, backgroundOnly)
+		}
+		// Per-interval used bandwidth and per-sample loads, with their
+		// midpoint (resp. sample) times, fitted and extrapolated one
+		// period past the last sample.
+		horizon := last.time + c.cfg.period()
+		nLinks := c.graph.NumLinks()
+		times := make([]float64, 0, len(c.samples)-1)
+		used := make([][]float64, nLinks)
+		for l := range used {
+			used[l] = make([]float64, 0, len(c.samples)-1)
+		}
+		for i := 1; i < len(c.samples); i++ {
+			prev, cur := c.samples[i-1], c.samples[i]
+			dt := cur.time - prev.time
+			times = append(times, (prev.time+cur.time)/2)
+			for l := 0; l < nLinks; l++ {
+				used[l] = append(used[l], rateOver(bitsOf(prev)[l], bitsOf(cur)[l], dt))
+			}
+		}
+		for l := 0; l < nLinks; l++ {
+			pred := extrapolate(times, used[l], horizon)
+			out.SetAvailBW(l, c.graph.Link(l).Capacity-pred)
+		}
+		sampleTimes := make([]float64, len(c.samples))
+		series := make([]float64, len(c.samples))
+		for nd := range out.LoadAvg {
+			for i, s := range c.samples {
+				sampleTimes[i] = s.time
+				series[i] = loadsOf(s)[nd]
+			}
+			out.LoadAvg[nd] = extrapolate(sampleTimes, series, horizon)
+		}
+	default:
+		return nil, fmt.Errorf("remos: unknown mode %v", mode)
+	}
+	// A link reported down at the latest sample offers nothing, whatever
+	// its historical counters say (SNMP ifOperStatus semantics).
+	for l, up := range last.up {
+		if !up {
+			out.SetAvailBW(l, 0)
+		}
+	}
+	// Load averages must be non-negative even under measurement noise.
+	for i, l := range out.LoadAvg {
+		if l < 0 || math.IsNaN(l) {
+			out.LoadAvg[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// extrapolate fits y = a + b*t by least squares and evaluates at horizon,
+// clamped to be non-negative. Degenerate inputs (constant time, short
+// series) return the last observation.
+func extrapolate(t, y []float64, horizon float64) float64 {
+	n := float64(len(t))
+	if len(t) != len(y) || len(t) == 0 {
+		return 0
+	}
+	if len(t) < 2 {
+		return math.Max(0, y[len(y)-1])
+	}
+	var st, sy, stt, sty float64
+	for i := range t {
+		st += t[i]
+		sy += y[i]
+		stt += t[i] * t[i]
+		sty += t[i] * y[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return math.Max(0, y[len(y)-1])
+	}
+	b := (n*sty - st*sy) / den
+	a := (sy - b*st) / n
+	return math.Max(0, a+b*horizon)
+}
+
+// rateOver converts a counter delta into bits/second, tolerating zero or
+// negative intervals and counter resets.
+func rateOver(before, after, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	d := after - before
+	if d < 0 {
+		return 0
+	}
+	return d / dt
+}
+
+// FlowQuery reports the available bandwidth, in bits/second, that the
+// network can offer a new flow between nodes a and b: the bottleneck
+// availability along the static route (§2.2 "flow queries").
+func (c *Collector) FlowQuery(a, b int, mode Mode, backgroundOnly bool) (float64, error) {
+	s, err := c.Snapshot(mode, backgroundOnly)
+	if err != nil {
+		return 0, err
+	}
+	return s.PairBandwidth(a, b), nil
+}
+
+// NodeQuery reports the fraction of a node's CPU available to a new
+// process, cpu = 1/(1+loadavg).
+func (c *Collector) NodeQuery(node int, mode Mode, backgroundOnly bool) (float64, error) {
+	s, err := c.Snapshot(mode, backgroundOnly)
+	if err != nil {
+		return 0, err
+	}
+	return s.CPU(node), nil
+}

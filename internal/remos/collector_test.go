@@ -1,0 +1,297 @@
+package remos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func lineNet(n int) (*sim.Engine, *netsim.Network) {
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddComputeNode("h" + string(rune('0'+i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Connect(i, i+1, 100e6, topology.LinkOpts{})
+	}
+	e := sim.NewEngine()
+	return e, netsim.New(e, g, netsim.Config{})
+}
+
+func TestCollectorNoData(t *testing.T) {
+	_, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{})
+	if _, err := c.Snapshot(Current, false); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+	if _, err := c.FlowQuery(0, 1, Current, false); !errors.Is(err, ErrNoData) {
+		t.Fatalf("flow query err = %v, want ErrNoData", err)
+	}
+	if _, err := c.NodeQuery(0, Current, false); !errors.Is(err, ErrNoData) {
+		t.Fatalf("node query err = %v, want ErrNoData", err)
+	}
+}
+
+func TestCollectorMeasuresSteadyTraffic(t *testing.T) {
+	e, n := lineNet(3)
+	// Saturate link 0 with background traffic for the whole run.
+	n.StartFlow(0, 1, 1e12, netsim.Background, nil)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 8})
+	stop := c.Start(e)
+	e.RunUntil(60)
+	stop()
+	for _, mode := range []Mode{Current, Window, Forecast} {
+		s, err := c.Snapshot(mode, false)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: invalid snapshot: %v", mode, err)
+		}
+		if s.AvailBW[0] > 1e6 {
+			t.Errorf("%v: saturated link avail = %v, want ~0", mode, s.AvailBW[0])
+		}
+		if s.AvailBW[1] < 99e6 {
+			t.Errorf("%v: idle link avail = %v, want ~100e6", mode, s.AvailBW[1])
+		}
+	}
+}
+
+func TestCollectorMeasuresLoad(t *testing.T) {
+	e, n := lineNet(2)
+	n.StartTask(1, 1e9, netsim.Background, nil)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 5, History: 30})
+	stop := c.Start(e)
+	e.RunUntil(400)
+	stop()
+	s, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.LoadAvg[1]-1) > 0.05 {
+		t.Errorf("measured load = %v, want ~1", s.LoadAvg[1])
+	}
+	cpu, err := c.NodeQuery(1, Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cpu-0.5) > 0.02 {
+		t.Errorf("NodeQuery cpu = %v, want ~0.5", cpu)
+	}
+}
+
+func TestCollectorBackgroundOnlyExcludesApplication(t *testing.T) {
+	e, n := lineNet(3)
+	n.StartFlow(0, 1, 1e12, netsim.Application, nil)
+	n.StartTask(2, 1e9, netsim.Application, nil)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2})
+	stop := c.Start(e)
+	e.RunUntil(400) // let the 60s-window load average converge
+	stop()
+	all, err := c.Snapshot(Window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := c.Snapshot(Window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.AvailBW[0] > 1e6 {
+		t.Errorf("all-class avail = %v, want ~0", all.AvailBW[0])
+	}
+	if bg.AvailBW[0] < 99e6 {
+		t.Errorf("background-only avail = %v, want ~capacity", bg.AvailBW[0])
+	}
+	if all.LoadAvg[2] < 0.9 {
+		t.Errorf("all-class load = %v, want ~1", all.LoadAvg[2])
+	}
+	if bg.LoadAvg[2] > 0.01 {
+		t.Errorf("background-only load = %v, want 0", bg.LoadAvg[2])
+	}
+}
+
+func TestFlowQueryBottleneck(t *testing.T) {
+	e, n := lineNet(4)
+	n.StartFlow(1, 2, 1e12, netsim.Background, nil) // saturate middle link
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2})
+	stop := c.Start(e)
+	e.RunUntil(30)
+	stop()
+	bw, err := c.FlowQuery(0, 3, Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw > 1e6 {
+		t.Errorf("flow query through saturated link = %v, want ~0", bw)
+	}
+	bw, err = c.FlowQuery(2, 3, Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw < 99e6 {
+		t.Errorf("flow query on idle segment = %v, want ~100e6", bw)
+	}
+}
+
+func TestWindowSmoothsBurst(t *testing.T) {
+	e, n := lineNet(2)
+	// A 2-second burst inside a 20-second window: Window mode should
+	// report partial utilization, Current (measured right after the
+	// burst interval has passed) near zero.
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 11})
+	stop := c.Start(e)
+	e.After(4, "burst", func() {
+		n.StartFlow(0, 1, 25e6, netsim.Background, nil) // 2e8 bits = 2s at full rate
+	})
+	e.RunUntil(20.5)
+	stop()
+	win, err := c.Snapshot(Window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 100e6 - win.AvailBW[0]
+	if used < 5e6 || used > 20e6 {
+		t.Errorf("window-mode used bw = %v, want ~10e6 (2e8 bits over 20s)", used)
+	}
+	cur, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 100e6-cur.AvailBW[0] > 1e6 {
+		t.Errorf("current-mode used bw = %v, want ~0 after the burst", 100e6-cur.AvailBW[0])
+	}
+}
+
+func TestForecastTracksShift(t *testing.T) {
+	e, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 16, ForecastAlpha: 0.5})
+	stop := c.Start(e)
+	// Idle for 20s, then persistent traffic for 40s: the forecast should
+	// converge to the new regime.
+	e.After(20, "start", func() { n.StartFlow(0, 1, 1e12, netsim.Background, nil) })
+	e.RunUntil(60)
+	stop()
+	f, err := c.Snapshot(Forecast, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.AvailBW[0] > 5e6 {
+		t.Errorf("forecast avail = %v, want near 0 under persistent traffic", f.AvailBW[0])
+	}
+}
+
+func TestStaticSource(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	src := NewStaticSource(g)
+	src.SetLoad(0, 2)
+	src.SetUsedBW(0, 40e6)
+	src.Advance(10)
+	if src.Now() != 10 {
+		t.Fatalf("Now = %v", src.Now())
+	}
+	if src.NodeLoad(0, false) != 2 {
+		t.Fatal("load lost")
+	}
+	if got := src.LinkBits(0, false); math.Abs(got-400e6) > 1 {
+		t.Fatalf("counter = %v, want 4e8", got)
+	}
+
+	c := NewCollector(src, CollectorConfig{Period: 2})
+	c.Poll()
+	src.Advance(2)
+	c.Poll()
+	s, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.AvailBW[0]-60e6) > 1e3 {
+		t.Errorf("static avail = %v, want 60e6", s.AvailBW[0])
+	}
+	if s.LoadAvg[0] != 2 {
+		t.Errorf("static load = %v, want 2", s.LoadAvg[0])
+	}
+}
+
+func TestFromSnapshot(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	snap := topology.NewSnapshot(g)
+	snap.SetLoad(1, 1.5)
+	snap.SetAvailBW(0, 30e6)
+	src, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NodeLoad(1, false) != 1.5 {
+		t.Error("load not transferred")
+	}
+	src.Advance(1)
+	if got := src.LinkBits(0, false); math.Abs(got-70e6) > 1 {
+		t.Errorf("counter after 1s = %v, want 70e6 (used = cap - avail)", got)
+	}
+	// Invalid snapshot rejected.
+	bad := topology.NewSnapshot(g)
+	bad.AvailBW = nil
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("invalid snapshot accepted")
+	}
+}
+
+func TestHistoryBound(t *testing.T) {
+	_, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{History: 4})
+	for i := 0; i < 10; i++ {
+		c.Poll()
+	}
+	if len(c.samples) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(c.samples))
+	}
+	if c.Polls() != 10 {
+		t.Fatalf("Polls = %d, want 10", c.Polls())
+	}
+}
+
+func TestSingleSampleSnapshot(t *testing.T) {
+	_, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{})
+	c.Poll()
+	for _, mode := range []Mode{Current, Window, Forecast} {
+		s, err := c.Snapshot(mode, false)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if s.AvailBW[0] != 100e6 {
+			t.Errorf("%v: single-sample avail = %v, want full capacity", mode, s.AvailBW[0])
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Current.String() != "current" || Window.String() != "window" || Forecast.String() != "forecast" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestRateOver(t *testing.T) {
+	if rateOver(100, 300, 2) != 100 {
+		t.Error("basic rate wrong")
+	}
+	if rateOver(100, 50, 2) != 0 {
+		t.Error("counter reset should clamp to 0")
+	}
+	if rateOver(0, 100, 0) != 0 {
+		t.Error("zero interval should yield 0")
+	}
+}

@@ -1,0 +1,60 @@
+package remos_test
+
+import (
+	"fmt"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// ExampleCollector measures a simulated network and answers the paper's
+// query forms: a node query, a flow query, and a full snapshot.
+func ExampleCollector() {
+	engine := sim.NewEngine()
+	net := netsim.New(engine, testbed.CMU(), netsim.Config{})
+	g := net.Graph()
+
+	// Background conditions: a long-running job on m-16 and a persistent
+	// transfer congesting the path m-1 -> m-7.
+	net.StartTask(g.MustNode("m-16"), 1e9, netsim.Background, nil)
+	net.StartFlow(g.MustNode("m-1"), g.MustNode("m-7"), 1e12, netsim.Background, nil)
+
+	col := remos.NewCollector(remos.NewSimSource(net), remos.CollectorConfig{Period: 2})
+	col.Start(engine)
+	engine.RunUntil(300)
+
+	cpu, _ := col.NodeQuery(g.MustNode("m-16"), remos.Current, false)
+	fmt.Printf("cpu(m-16) = %.2f\n", cpu)
+	bw, _ := col.FlowQuery(g.MustNode("m-2"), g.MustNode("m-8"), remos.Current, false)
+	fmt.Println("bw(m-2, m-8) =", topology.FormatBandwidth(bw))
+	bwClean, _ := col.FlowQuery(g.MustNode("m-13"), g.MustNode("m-14"), remos.Current, false)
+	fmt.Println("bw(m-13, m-14) =", topology.FormatBandwidth(bwClean))
+	// Output:
+	// cpu(m-16) = 0.50
+	// bw(m-2, m-8) = 0bps
+	// bw(m-13, m-14) = 100Mbps
+}
+
+// ExampleStaticSource drives a collector without a simulator — the setup
+// cmd/remosd uses.
+func ExampleStaticSource() {
+	g := testbed.Figure1()
+	src := remos.NewStaticSource(g)
+	src.SetLoad(g.MustNode("node-2"), 1) // 50% available
+	src.SetUsedBW(0, 60e6)               // 60% utilized
+
+	col := remos.NewCollector(src, remos.CollectorConfig{Period: 1})
+	col.Poll()
+	src.Advance(1)
+	col.Poll()
+
+	snap, _ := col.Snapshot(remos.Current, false)
+	fmt.Printf("cpu(node-2) = %.2f\n", snap.CPU(g.MustNode("node-2")))
+	fmt.Println("avail(link 0) =", topology.FormatBandwidth(snap.AvailBW[0]))
+	// Output:
+	// cpu(node-2) = 0.50
+	// avail(link 0) = 40Mbps
+}

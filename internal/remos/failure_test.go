@@ -1,0 +1,73 @@
+package remos
+
+import "testing"
+
+func TestCollectorSeesLinkFailure(t *testing.T) {
+	e, n := lineNet(4)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 10})
+	stop := c.Start(e)
+	e.RunUntil(20)
+	n.FailLink(1)
+	e.RunUntil(30)
+	stop()
+	for _, mode := range []Mode{Current, Window, Forecast, Trend} {
+		s, err := c.Snapshot(mode, false)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if s.AvailBW[1] != 0 {
+			t.Errorf("%v: failed link avail = %v, want 0", mode, s.AvailBW[1])
+		}
+		if s.AvailBW[0] != 100e6 {
+			t.Errorf("%v: healthy link avail = %v, want full", mode, s.AvailBW[0])
+		}
+	}
+	// Flow queries across the failure report zero availability.
+	bw, err := c.FlowQuery(0, 3, Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 0 {
+		t.Errorf("flow query across failed link = %v, want 0", bw)
+	}
+}
+
+func TestCollectorSeesRepair(t *testing.T) {
+	e, n := lineNet(3)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 5})
+	stop := c.Start(e)
+	n.FailLink(0)
+	e.RunUntil(10)
+	n.RepairLink(0)
+	e.RunUntil(20)
+	stop()
+	s, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvailBW[0] != 100e6 {
+		t.Errorf("repaired link avail = %v, want full", s.AvailBW[0])
+	}
+}
+
+func TestStaticSourceLinkStatus(t *testing.T) {
+	_, n := lineNet(2)
+	_ = n
+	src := NewStaticSource(n.Graph())
+	if !src.LinkUp(0) {
+		t.Fatal("fresh link should be up")
+	}
+	src.SetLinkUp(0, false)
+	if src.LinkUp(0) {
+		t.Fatal("SetLinkUp(false) ignored")
+	}
+	c := NewCollector(src, CollectorConfig{})
+	c.Poll()
+	s, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvailBW[0] != 0 {
+		t.Errorf("down link avail = %v, want 0", s.AvailBW[0])
+	}
+}

@@ -1,0 +1,162 @@
+package remos
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/netsim"
+)
+
+func TestExtrapolate(t *testing.T) {
+	// Perfect line y = 2 + 3t evaluated at t=10.
+	ts := []float64{0, 1, 2, 3}
+	ys := []float64{2, 5, 8, 11}
+	if got := extrapolate(ts, ys, 10); math.Abs(got-32) > 1e-9 {
+		t.Errorf("extrapolate = %v, want 32", got)
+	}
+	// Negative predictions clamp to zero.
+	falling := []float64{9, 6, 3, 0}
+	if got := extrapolate(ts, falling, 10); got != 0 {
+		t.Errorf("negative extrapolation = %v, want 0", got)
+	}
+	// Degenerate inputs.
+	if got := extrapolate([]float64{5}, []float64{7}, 9); got != 7 {
+		t.Errorf("single point = %v, want 7", got)
+	}
+	if got := extrapolate([]float64{5, 5}, []float64{7, 9}, 9); got != 9 {
+		t.Errorf("constant time = %v, want last value 9", got)
+	}
+	if got := extrapolate(nil, nil, 1); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := extrapolate([]float64{1, 2}, []float64{3}, 1); got != 0 {
+		t.Errorf("mismatched = %v, want 0", got)
+	}
+}
+
+func TestTrendModeString(t *testing.T) {
+	if Trend.String() != "trend" {
+		t.Fatalf("Trend.String() = %q", Trend.String())
+	}
+}
+
+func TestTrendFallsBackWithShortHistory(t *testing.T) {
+	_, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{})
+	c.Poll()
+	c.Poll()
+	s, err := c.Snapshot(Trend, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrendAnticipatesRisingTraffic(t *testing.T) {
+	// Background flows join one at a time, ramping the link's usage. The
+	// trend forecast should predict more usage (less availability) than
+	// the window average.
+	e, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 10})
+	stop := c.Start(e)
+	for i := 0; i < 5; i++ {
+		at := float64(1 + 4*i)
+		e.Schedule(at, "join", func() {
+			n.StartFlow(0, 1, 1e12, netsim.Background, nil)
+		})
+	}
+	e.RunUntil(20)
+	stop()
+	trend, err := c.Snapshot(Trend, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := c.Snapshot(Window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.AvailBW[0] > win.AvailBW[0] {
+		t.Errorf("trend avail %v should be <= window avail %v under a rising ramp",
+			trend.AvailBW[0], win.AvailBW[0])
+	}
+	if err := trend.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrendAnticipatesRisingLoad(t *testing.T) {
+	e, n := lineNet(2)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 5, History: 20})
+	stop := c.Start(e)
+	// Tasks pile on node 1 over time.
+	for i := 0; i < 6; i++ {
+		at := float64(1 + 15*i)
+		e.Schedule(at, "join", func() {
+			n.StartTask(1, 1e9, netsim.Background, nil)
+		})
+	}
+	e.RunUntil(90)
+	stop()
+	trend, err := c.Snapshot(Trend, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Snapshot(Current, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.LoadAvg[1] < cur.LoadAvg[1]-0.1 {
+		t.Errorf("trend load %v should not lag current %v under a rising ramp",
+			trend.LoadAvg[1], cur.LoadAvg[1])
+	}
+}
+
+func TestTrendStableConditionsMatchWindow(t *testing.T) {
+	// Under steady traffic the trend and window estimates agree.
+	e, n := lineNet(2)
+	n.StartFlow(0, 1, 1e12, netsim.Background, nil)
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 10})
+	stop := c.Start(e)
+	e.RunUntil(60)
+	stop()
+	trend, err := c.Snapshot(Trend, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := c.Snapshot(Window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(trend.AvailBW[0]-win.AvailBW[0]) > 1e6 {
+		t.Errorf("steady state: trend %v vs window %v", trend.AvailBW[0], win.AvailBW[0])
+	}
+}
+
+func TestTrendClampsToCapacity(t *testing.T) {
+	// A falling ramp must not extrapolate past full availability.
+	e, n := lineNet(2)
+	flows := make([]*netsim.Flow, 5)
+	for i := range flows {
+		flows[i] = n.StartFlow(0, 1, 1e12, netsim.Background, nil)
+	}
+	c := NewCollector(NewSimSource(n), CollectorConfig{Period: 2, History: 10})
+	stop := c.Start(e)
+	for i := range flows {
+		f := flows[i]
+		e.Schedule(float64(1+3*i), "leave", func() { f.Cancel() })
+	}
+	e.RunUntil(20)
+	stop()
+	s, err := c.Snapshot(Trend, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvailBW[0] > n.Graph().Link(0).Capacity {
+		t.Errorf("trend avail %v exceeds capacity", s.AvailBW[0])
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

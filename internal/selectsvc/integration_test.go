@@ -1,0 +1,81 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/testbed"
+)
+
+// TestFullStackOverTCP exercises the complete deployment story with no
+// shortcuts: a fleet of per-node measurement agents serves a synthetic
+// testbed over TCP; the service discovers the topology from the agents,
+// polls them, and answers placement queries over HTTP.
+func TestFullStackOverTCP(t *testing.T) {
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	// Conditions: panama nodes loaded, one suez access link congested,
+	// one gibraltar link down.
+	for i := 1; i <= 6; i++ {
+		src.SetLoad(g.MustNode("m-"+itoa(i)), 2.5)
+	}
+	m16 := g.MustNode("m-16")
+	src.SetUsedBW(g.Incident(m16)[0], 95e6)
+	m7 := g.MustNode("m-7")
+	downLink := g.Incident(m7)[0]
+	src.SetLinkUp(downLink, false)
+
+	fleet, err := agent.StartFleet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ns, err := agent.DiscoverSource(fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	svc := New(ns, Config{DefaultMode: remos.Current, Seed: 9})
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	ns.Invalidate()
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	w := do(t, svc.Handler(), "POST", "/select", SelectRequest{M: 6})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Nodes) != 6 {
+		t.Fatalf("nodes = %v", resp.Nodes)
+	}
+	for _, name := range resp.Nodes {
+		switch name {
+		case "m-1", "m-2", "m-3", "m-4", "m-5", "m-6":
+			t.Errorf("selected loaded panama node %s", name)
+		case "m-16":
+			t.Errorf("selected congested node %s", name)
+		case "m-7":
+			t.Errorf("selected node behind a down link: %s", name)
+		}
+	}
+	if resp.MinResource < 0.9 {
+		t.Errorf("minresource = %v; an idle healthy 6-set exists", resp.MinResource)
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}

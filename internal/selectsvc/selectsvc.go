@@ -1,0 +1,280 @@
+// Package selectsvc exposes the node selection framework as a long-running
+// HTTP service: a background loop polls a Remos measurement source, and
+// clients ask for placements with a JSON request — the shape a cluster
+// scheduler or launcher would integrate against. It composes the full
+// stack of the paper: measurement (internal/remos), the application
+// specification interface (internal/appspec), and the selection procedures
+// (internal/core).
+package selectsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"nodeselect/internal/appspec"
+	"nodeselect/internal/core"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/topology"
+)
+
+// Refresher is implemented by sources that need an explicit round-trip per
+// poll (agent.NetSource); sources without it are polled directly.
+type Refresher interface {
+	Refresh() error
+	Invalidate()
+}
+
+// Config tunes the service.
+type Config struct {
+	// Collector configures the measurement loop.
+	Collector remos.CollectorConfig
+	// DefaultMode is the query mode used when a request names none
+	// (default Window).
+	DefaultMode remos.Mode
+	// Seed seeds the random-baseline stream.
+	Seed int64
+}
+
+// Service is the placement daemon. Create with New, drive polling with
+// Poll (or an external ticker calling it), and serve HTTP with Handler.
+type Service struct {
+	mu        sync.Mutex
+	src       remos.Source
+	collector *remos.Collector
+	cfg       Config
+	rng       *randx.Source
+	selects   int
+}
+
+// New builds a service over a measurement source.
+func New(src remos.Source, cfg Config) *Service {
+	return &Service{
+		src:       src,
+		collector: remos.NewCollector(src, cfg.Collector),
+		cfg:       cfg,
+		rng:       randx.New(cfg.Seed).Split("selectd"),
+	}
+}
+
+// Poll takes one measurement sample (refreshing the source if it needs it).
+func (s *Service) Poll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.src.(Refresher); ok {
+		if err := r.Refresh(); err != nil {
+			return err
+		}
+	}
+	s.collector.Poll()
+	return nil
+}
+
+// Polls reports how many samples have been collected.
+func (s *Service) Polls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collector.Polls()
+}
+
+// SelectRequest is the POST /select body. Either Spec or M must be given.
+type SelectRequest struct {
+	// M is the node count for a plain request.
+	M int `json:"m,omitempty"`
+	// Algo names the algorithm (default "balanced").
+	Algo string `json:"algo,omitempty"`
+	// Mode names the query mode: current, window, forecast, trend
+	// (default the service's DefaultMode).
+	Mode string `json:"mode,omitempty"`
+	// Priority, RefCapacity, MinBW, MinCPU, MinMemoryMB, MaxPairLatency
+	// mirror core.Request.
+	Priority       float64 `json:"priority,omitempty"`
+	RefCapacity    float64 `json:"ref_capacity,omitempty"`
+	MinBW          float64 `json:"min_bw,omitempty"`
+	MinCPU         float64 `json:"min_cpu,omitempty"`
+	MinMemoryMB    float64 `json:"min_memory_mb,omitempty"`
+	MaxPairLatency float64 `json:"max_pair_latency,omitempty"`
+	// Pin lists node names that must be selected.
+	Pin []string `json:"pin,omitempty"`
+	// Spec is a full application specification; when present it
+	// overrides M and the floors above.
+	Spec *appspec.Spec `json:"spec,omitempty"`
+}
+
+// SelectResponse is the POST /select reply.
+type SelectResponse struct {
+	Nodes       []string            `json:"nodes"`
+	ByGroup     map[string][]string `json:"by_group,omitempty"`
+	MinCPU      float64             `json:"min_cpu"`
+	PairMinBW   float64             `json:"pair_min_bw"`
+	MinResource float64             `json:"min_resource"`
+	MeasuredAt  float64             `json:"measured_at"`
+}
+
+// Handler returns the service's HTTP handler:
+//
+//	GET  /topology  — the measured topology document
+//	GET  /snapshot  — topology + current snapshot (?mode=window...)
+//	GET  /healthz   — liveness and poll count
+//	POST /select    — run a placement (SelectRequest -> SelectResponse)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topology", s.handleTopology)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /select", s.handleSelect)
+	return mux
+}
+
+func (s *Service) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	g := s.collector.Graph()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := topology.WriteDocument(w, g, nil); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Service) parseMode(name string) (remos.Mode, error) {
+	switch name {
+	case "":
+		return s.cfg.DefaultMode, nil
+	case "current":
+		return remos.Current, nil
+	case "window":
+		return remos.Window, nil
+	case "forecast":
+		return remos.Forecast, nil
+	case "trend":
+		return remos.Trend, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
+	mode, err := s.parseMode(modeName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collector.Snapshot(mode, false)
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.snapshot(r.URL.Query().Get("mode"))
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == remos.ErrNoData {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := topology.WriteDocument(w, snap.Graph, snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := map[string]any{"polls": s.collector.Polls(), "selects": s.selects}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := s.snapshot(req.Mode)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == remos.ErrNoData {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	algo := req.Algo
+	if algo == "" {
+		algo = core.AlgoBalanced
+	}
+	g := snap.Graph
+
+	s.mu.Lock()
+	src := s.rng.SplitN(s.selects)
+	s.selects++
+	s.mu.Unlock()
+
+	resp := SelectResponse{MeasuredAt: snap.Time}
+	if req.Spec != nil {
+		place, err := appspec.SelectForSpec(snap, req.Spec, algo, src)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		resp.Nodes = nodeNames(g, place.Nodes)
+		resp.ByGroup = map[string][]string{}
+		for name, ids := range place.ByGroup {
+			resp.ByGroup[name] = nodeNames(g, ids)
+		}
+		resp.MinCPU = place.Score.MinCPU
+		resp.PairMinBW = finite(place.Score.PairMinBW)
+		resp.MinResource = place.Score.MinResource
+	} else {
+		creq := core.Request{
+			M:               req.M,
+			ComputePriority: req.Priority,
+			RefCapacity:     req.RefCapacity,
+			MinBW:           req.MinBW,
+			MinCPU:          req.MinCPU,
+			MinMemoryMB:     req.MinMemoryMB,
+			MaxPairLatency:  req.MaxPairLatency,
+		}
+		for _, name := range req.Pin {
+			id := g.NodeByName(name)
+			if id < 0 {
+				http.Error(w, fmt.Sprintf("unknown pinned node %q", name), http.StatusUnprocessableEntity)
+				return
+			}
+			creq.Pinned = append(creq.Pinned, id)
+		}
+		res, err := core.Select(algo, snap, creq, src)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		resp.Nodes = res.Names(g)
+		resp.MinCPU = res.MinCPU
+		resp.PairMinBW = finite(res.PairMinBW)
+		resp.MinResource = res.MinResource
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func nodeNames(g *topology.Graph, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Node(id).Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func finite(v float64) float64 {
+	if v > 1e300 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,245 @@
+package selectsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/appspec"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// newTestService builds a service over a static CMU source with known
+// conditions: m-1..m-3 loaded, the m-16 access link congested.
+func newTestService(t *testing.T) (*Service, *remos.StaticSource, *topology.Graph) {
+	t.Helper()
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	for _, name := range []string{"m-1", "m-2", "m-3"} {
+		src.SetLoad(g.MustNode(name), 3)
+	}
+	for _, lid := range g.Incident(g.MustNode("m-16")) {
+		src.SetUsedBW(lid, 95e6)
+	}
+	svc := New(src, Config{DefaultMode: remos.Current, Seed: 1})
+	// Two polls so Current mode has an interval to rate over.
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	return svc, src, g
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = httptest.NewRequest(method, path, bytes.NewReader(data))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	w := do(t, svc.Handler(), "GET", "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["polls"].(float64) != 2 {
+		t.Fatalf("polls = %v", resp["polls"])
+	}
+}
+
+func TestTopologyEndpoint(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	w := do(t, svc.Handler(), "GET", "/topology", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	g, snap, err := topology.ReadDocument(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 18 || snap != nil {
+		t.Fatalf("topology document wrong: %v, snapshot %v", g, snap)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	svc, _, g := newTestService(t)
+	w := do(t, svc.Handler(), "GET", "/snapshot?mode=current", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	g2, snap, err := topology.ReadDocument(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("snapshot missing")
+	}
+	if snap.LoadAvg[g2.MustNode("m-1")] != 3 {
+		t.Errorf("load not served: %v", snap.LoadAvg[g2.MustNode("m-1")])
+	}
+	_ = g
+	// Unknown mode rejected.
+	if w := do(t, svc.Handler(), "GET", "/snapshot?mode=psychic", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("bad mode status %d", w.Code)
+	}
+}
+
+func TestSelectPlain(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	w := do(t, svc.Handler(), "POST", "/select", SelectRequest{M: 4})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Nodes) != 4 {
+		t.Fatalf("nodes = %v", resp.Nodes)
+	}
+	for _, name := range resp.Nodes {
+		switch name {
+		case "m-1", "m-2", "m-3":
+			t.Errorf("selected loaded node %s", name)
+		case "m-16":
+			t.Errorf("selected congested node %s", name)
+		}
+	}
+	if resp.MinResource <= 0 || resp.MinCPU <= 0 {
+		t.Errorf("metrics missing: %+v", resp)
+	}
+}
+
+func TestSelectWithConstraintsAndPin(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	w := do(t, svc.Handler(), "POST", "/select", SelectRequest{
+		M: 3, Algo: "balanced", MinCPU: 0.4, Pin: []string{"m-7"},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SelectResponse
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	found := false
+	for _, n := range resp.Nodes {
+		if n == "m-7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pinned node missing: %v", resp.Nodes)
+	}
+}
+
+func TestSelectWithSpec(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	req := SelectRequest{Spec: mustSpec(`{
+		"name": "imaging",
+		"groups": [
+			{"name": "server", "count": 1, "hosts": ["m-7", "m-8"]},
+			{"name": "clients", "count": 3}
+		]
+	}`)}
+	w := do(t, svc.Handler(), "POST", "/select", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SelectResponse
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	if len(resp.Nodes) != 4 || len(resp.ByGroup["server"]) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	srv := resp.ByGroup["server"][0]
+	if srv != "m-7" && srv != "m-8" {
+		t.Fatalf("server on %s", srv)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	h := svc.Handler()
+	// Malformed JSON.
+	r := httptest.NewRequest("POST", "/select", strings.NewReader("{"))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", w.Code)
+	}
+	// Impossible request.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 99}); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("impossible request status %d", w.Code)
+	}
+	// Unknown pinned node.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Pin: []string{"ghost"}}); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("ghost pin status %d", w.Code)
+	}
+	// Unknown algorithm.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Algo: "vibes"}); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad algo status %d", w.Code)
+	}
+	// Unknown mode.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Mode: "psychic"}); w.Code != http.StatusBadRequest {
+		t.Errorf("bad mode status %d", w.Code)
+	}
+}
+
+func TestNoDataYet(t *testing.T) {
+	g := testbed.CMU()
+	svc := New(remos.NewStaticSource(g), Config{})
+	if w := do(t, svc.Handler(), "GET", "/snapshot", nil); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("no-data snapshot status %d", w.Code)
+	}
+	if w := do(t, svc.Handler(), "POST", "/select", SelectRequest{M: 2}); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("no-data select status %d", w.Code)
+	}
+}
+
+func TestRandomSelectionsVary(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	h := svc.Handler()
+	seen := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		w := do(t, h, "POST", "/select", SelectRequest{M: 4, Algo: "random"})
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d", w.Code)
+		}
+		var resp SelectResponse
+		json.Unmarshal(w.Body.Bytes(), &resp)
+		seen[strings.Join(resp.Nodes, ",")] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("random selections never varied across requests")
+	}
+}
+
+func mustSpec(s string) *appspec.Spec {
+	out, err := appspec.Parse([]byte(s))
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

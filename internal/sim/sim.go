@@ -1,0 +1,210 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timestamped events. Events
+// scheduled for the same instant fire in the order they were scheduled
+// (FIFO by sequence number), which makes every simulation in this
+// repository deterministic for a fixed seed.
+//
+// The network simulator (internal/netsim), the load generator
+// (internal/loadgen) and the traffic generator (internal/trafficgen) are
+// all built on this engine; together they stand in for the CMU hardware
+// testbed used in the paper.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel pending events.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+	name   string
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Name returns the optional debug name given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a logic error in a model.
+func (e *Engine) Schedule(at Time, name string, fn func()) *Event {
+	if math.IsNaN(at) {
+		panic("sim: schedule at NaN time")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v, before now %v", name, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay seconds from now.
+func (e *Engine) After(delay Time, name string, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, name))
+	}
+	return e.Schedule(e.now+delay, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op. Cancel reports whether the event was actually removed.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step fires the single earliest event. It reports false if the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty. Models with self-renewing
+// generators never drain, so most callers use RunUntil.
+func (e *Engine) Run() {
+	e.running = true
+	for e.running && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil executes events with timestamps <= end, then advances the clock
+// to end. Events scheduled after end remain queued.
+func (e *Engine) RunUntil(end Time) {
+	if end < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) is before now %v", end, e.now))
+	}
+	e.running = true
+	for e.running && len(e.queue) > 0 && e.queue[0].at <= end {
+		e.Step()
+	}
+	e.running = false
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// RunWhile executes events while cond() remains true and the queue is
+// non-empty. cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	e.running = true
+	for e.running && cond() && e.Step() {
+	}
+	e.running = false
+}
+
+// Stop halts a Run/RunUntil/RunWhile loop after the current event returns.
+func (e *Engine) Stop() { e.running = false }
+
+// Every schedules fn to run now+first, then repeatedly every period seconds
+// until cancel() is invoked. It returns a cancel function. The callback
+// receives the engine time at which it fires.
+func (e *Engine) Every(first, period Time, name string, fn func(Time)) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every period %v must be positive for %q", period, name))
+	}
+	stopped := false
+	var pending *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if stopped { // fn may cancel
+			return
+		}
+		pending = e.After(period, name, tick)
+	}
+	pending = e.After(first, name, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}

@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine time = %v, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	if e.Pending() != 0 {
+		t.Fatal("empty engine has pending events")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, "c", func() { got = append(got, 3) })
+	e.Schedule(1, "a", func() { got = append(got, 1) })
+	e.Schedule(2, "b", func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events fired in order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final time %v, want 3", e.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.Schedule(5, name, func() { got = append(got, name) })
+	}
+	e.Run()
+	if got[0] != "first" || got[1] != "second" || got[2] != "third" {
+		t.Fatalf("same-time events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(10, "outer", func() {
+		e.After(5, "inner", func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, "x", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, "past", func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, "bad", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, "x", func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("freshly scheduled event not pending")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel returned true")
+	}
+}
+
+func TestCancelFired(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, "x", func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Fatal("cancelling a fired event returned true")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("cancelling nil returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Time(i), "x", func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("events out of order after mid-heap cancels: %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, "x", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("time after RunUntil(3) = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending after RunUntil(3) = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("after RunUntil(10) fired %d events, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("time advanced to %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntilBackwardsPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, "x", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil into the past did not panic")
+		}
+	}()
+	e.RunUntil(1)
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), "x", func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop: fired %d events, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending after Stop = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), "x", func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 5 })
+	if count != 5 {
+		t.Fatalf("RunWhile fired %d events, want 5", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var cancel func()
+	cancel = e.Every(1, 2, "tick", func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 4 {
+			cancel()
+		}
+	})
+	e.RunUntil(100)
+	want := []Time{1, 3, 5, 7}
+	if len(ticks) != len(want) {
+		t.Fatalf("Every fired %d ticks %v, want %v", len(ticks), ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryCancelBeforeFirst(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	cancel := e.Every(5, 5, "tick", func(Time) { fired = true })
+	cancel()
+	e.RunUntil(100)
+	if fired {
+		t.Fatal("cancelled Every still fired")
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every with zero period did not panic")
+		}
+	}()
+	e.Every(0, 0, "bad", func(Time) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), "x", func() {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", e.Fired())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(4.5, "named", func() {})
+	if ev.At() != 4.5 {
+		t.Fatalf("At() = %v, want 4.5", ev.At())
+	}
+	if ev.Name() != "named" {
+		t.Fatalf("Name() = %q, want %q", ev.Name(), "named")
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	// An event scheduled at the current instant from within an event
+	// handler must still fire (after the current event).
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, "a", func() {
+		got = append(got, "a")
+		e.Schedule(1, "b", func() { got = append(got, "b") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("same-instant reschedule order %v", got)
+	}
+}
+
+// Property: for arbitrary event time sets, the engine fires all events in
+// non-decreasing time order.
+func TestQuickOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw)
+			e.Schedule(at, "x", func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil never executes an event scheduled after the horizon.
+func TestQuickRunUntilHorizon(t *testing.T) {
+	f := func(times []uint16, horizonRaw uint16) bool {
+		e := NewEngine()
+		horizon := Time(horizonRaw)
+		late := 0
+		for _, raw := range times {
+			at := Time(raw)
+			e.Schedule(at, "x", func() {
+				if at > horizon {
+					late++
+				}
+			})
+		}
+		e.RunUntil(horizon)
+		return late == 0 && e.Now() == horizon
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "x", func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Keep a heap of 1024 pending events and repeatedly fire + reschedule.
+	e := NewEngine()
+	for i := 0; i < 1024; i++ {
+		var resched func()
+		resched = func() { e.After(1, "x", resched) }
+		e.After(Time(i)/1024, "x", resched)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,143 @@
+// Package stats provides the summary statistics the experiment harness
+// uses: means, standard deviations, normal-approximation confidence
+// intervals, and percentiles over replicated measurements. The paper's
+// Table 1 reports means over many executions; this package standardizes
+// that reduction.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(vs ...float64) { s.values = append(s.values, vs...) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.values...) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Var returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (s *Sample) Var() float64 {
+	if len(s.values) < 2 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(s.values)-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if len(s.values) < 2 {
+		return math.NaN()
+	}
+	return s.Std() / math.Sqrt(float64(len(s.values)))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval on the mean.
+func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns NaN when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// String renders "mean ± ci95 (n=N)".
+func (s *Sample) String() string {
+	if len(s.values) == 0 {
+		return "n=0"
+	}
+	if len(s.values) == 1 {
+		return fmt.Sprintf("%.4g (n=1)", s.Mean())
+	}
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// PercentChange returns 100*(to-from)/from, the form Table 1 reports
+// improvements in. It returns NaN when from is zero.
+func PercentChange(from, to float64) float64 {
+	if from == 0 {
+		return math.NaN()
+	}
+	return 100 * (to - from) / from
+}

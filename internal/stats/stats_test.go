@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty sample statistics should be NaN")
+	}
+	if !math.IsNaN(s.Percentile(50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if s.String() != "n=0" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestBasicStatistics(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Median()-4.5) > 1e-12 {
+		t.Errorf("Median = %v, want 4.5", s.Median())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Mean() != 3 {
+		t.Error("mean of one")
+	}
+	if !math.IsNaN(s.Var()) || !math.IsNaN(s.CI95()) {
+		t.Error("variance of one observation should be NaN")
+	}
+	if s.Percentile(50) != 3 {
+		t.Error("percentile of one")
+	}
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if !(large.CI95() < small.CI95()) {
+		t.Fatalf("CI95 did not shrink with n: %v vs %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30, 40)
+	if got := s.Percentile(0); got != 10 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-25) > 1e-12 {
+		t.Errorf("P50 = %v, want 25", got)
+	}
+	if !math.IsNaN(s.Percentile(-1)) || !math.IsNaN(s.Percentile(101)) {
+		t.Error("out-of-range percentile should be NaN")
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2)
+	v := s.Values()
+	v[0] = 99
+	if s.Mean() != 1.5 {
+		t.Fatal("Values leaked internal storage")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if got := PercentChange(48, 142.6); math.Abs(got-197.08333) > 1e-3 {
+		t.Errorf("PercentChange = %v", got)
+	}
+	if got := PercentChange(100, 80); got != -20 {
+		t.Errorf("decrease = %v, want -20", got)
+	}
+	if !math.IsNaN(PercentChange(0, 5)) {
+		t.Error("zero base should be NaN")
+	}
+}
+
+// Property: mean lies within [min, max] and percentiles are monotone.
+func TestQuickInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitudes to avoid float overflow in variance.
+			if v > 1e12 || v < -1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		last := math.Inf(-1)
+		for _, p := range []float64{0, 25, 50, 75, 100} {
+			v := s.Percentile(p)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

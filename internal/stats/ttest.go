@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+)
+
+// TTestResult is the outcome of a two-sample Welch's t-test.
+type TTestResult struct {
+	// T is the t-statistic.
+	T float64
+	// DF is the Welch-Satterthwaite effective degrees of freedom.
+	DF float64
+	// P is the two-tailed p-value.
+	P float64
+}
+
+// WelchT compares the means of two samples without assuming equal
+// variances — the appropriate test for random-vs-automatic execution
+// times, whose variances differ wildly. It returns a NaN-filled result
+// when either sample has fewer than two observations.
+func WelchT(x, y *Sample) TTestResult {
+	nan := TTestResult{T: math.NaN(), DF: math.NaN(), P: math.NaN()}
+	if x.N() < 2 || y.N() < 2 {
+		return nan
+	}
+	nx, ny := float64(x.N()), float64(y.N())
+	vx, vy := x.Var(), y.Var()
+	sx, sy := vx/nx, vy/ny
+	se := math.Sqrt(sx + sy)
+	if se == 0 {
+		if x.Mean() == y.Mean() {
+			return TTestResult{T: 0, DF: nx + ny - 2, P: 1}
+		}
+		return TTestResult{T: math.Inf(1), DF: nx + ny - 2, P: 0}
+	}
+	t := (x.Mean() - y.Mean()) / se
+	df := (sx + sy) * (sx + sy) / (sx*sx/(nx-1) + sy*sy/(ny-1))
+	return TTestResult{T: t, DF: df, P: studentTwoTail(t, df)}
+}
+
+// studentTwoTail returns the two-tailed p-value of Student's t
+// distribution with df degrees of freedom: P(|T| >= |t|) =
+// I_{df/(df+t^2)}(df/2, 1/2), the regularized incomplete beta function.
+func studentTwoTail(t, df float64) float64 {
+	if math.IsNaN(t) || math.IsNaN(df) || df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// by the continued-fraction expansion (Numerical Recipes betacf form with
+// modified Lentz's method).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// Prefactor x^a (1-x)^b / (a B(a,b)) computed in log space.
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	var cf float64
+	if x < (a+1)/(a+b+2) {
+		cf = betacf(a, b, x)
+		return front * cf / a
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	cf = betacf(b, a, 1-x)
+	return 1 - front*cf/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by modified Lentz's method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// lgamma wraps math.Lgamma, discarding the sign (arguments here are
+// always positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/randx"
+)
+
+func TestStudentTwoTailKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{2.228, 10, 0.05}, // t_{0.975, 10}
+		{1.812, 10, 0.10},
+		{2.086, 20, 0.05},
+		{1.96, 1e6, 0.05}, // converges to the normal
+		{0, 10, 1.0},
+	}
+	for _, c := range cases {
+		got := studentTwoTail(c.t, c.df)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("studentTwoTail(%v, %v) = %v, want ~%v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("edges wrong")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	x := 0.3
+	want := x * x * (3 - 2*x)
+	if got := regIncBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+		t.Errorf("I_0.3(2,2) = %v, want %v", got, want)
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	var x, y Sample
+	x.AddAll(1, 2, 3, 4, 5)
+	y.AddAll(1, 2, 3, 4, 5)
+	res := WelchT(&x, &y)
+	if res.T != 0 || math.Abs(res.P-1) > 1e-12 {
+		t.Fatalf("identical samples: %+v", res)
+	}
+}
+
+func TestWelchTClearDifference(t *testing.T) {
+	var x, y Sample
+	x.AddAll(100, 101, 99, 100, 100, 101, 99, 100)
+	y.AddAll(50, 51, 49, 50, 50, 51, 49, 50)
+	res := WelchT(&x, &y)
+	if res.P > 1e-6 {
+		t.Fatalf("clearly different samples not significant: %+v", res)
+	}
+	if res.T < 10 {
+		t.Fatalf("t-statistic %v too small", res.T)
+	}
+}
+
+func TestWelchTSameDistribution(t *testing.T) {
+	// Samples from the same distribution should usually not be
+	// significant; check the p-value is roughly uniform by averaging.
+	src := randx.New(42)
+	e := randx.NewExponential(10)
+	significant := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		var x, y Sample
+		for i := 0; i < 20; i++ {
+			x.Add(e.Sample(src))
+			y.Add(e.Sample(src))
+		}
+		if WelchT(&x, &y).P < 0.05 {
+			significant++
+		}
+	}
+	// Expected false-positive rate 5%; allow generous slack.
+	if significant > trials/5 {
+		t.Fatalf("%d/%d same-distribution trials significant", significant, trials)
+	}
+}
+
+func TestWelchTSmallSamples(t *testing.T) {
+	var x, y Sample
+	x.Add(1)
+	y.AddAll(1, 2)
+	if res := WelchT(&x, &y); !math.IsNaN(res.P) {
+		t.Fatalf("n=1 sample should give NaN, got %+v", res)
+	}
+}
+
+func TestWelchTZeroVariance(t *testing.T) {
+	var x, y Sample
+	x.AddAll(5, 5, 5)
+	y.AddAll(5, 5, 5)
+	if res := WelchT(&x, &y); res.P != 1 {
+		t.Fatalf("equal constants: %+v", res)
+	}
+	var z Sample
+	z.AddAll(7, 7, 7)
+	if res := WelchT(&x, &z); res.P != 0 {
+		t.Fatalf("different constants: %+v", res)
+	}
+}

@@ -1,0 +1,190 @@
+// Package testbed constructs the network topologies used in the paper's
+// experiments and additional synthetic shapes for wider evaluation.
+//
+// CMU reconstructs the IP-based testbed of Figure 4: 18 DEC Alpha compute
+// nodes (m-1 … m-18) attached to three Cisco routers (panama, gibraltar,
+// suez) by 100 Mbps Ethernet links, with a 155 Mbps ATM link between
+// gibraltar and suez.
+package testbed
+
+import (
+	"fmt"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/topology"
+)
+
+// Standard link capacities of the testbed.
+const (
+	// Ethernet100 is the 100 Mbps Ethernet capacity in bits/second.
+	Ethernet100 = 100e6
+	// ATM155 is the 155 Mbps ATM capacity in bits/second.
+	ATM155 = 155e6
+	// EthernetLatency is a nominal LAN Ethernet one-way latency.
+	EthernetLatency = 100e-6
+	// ATMLatency is a nominal ATM one-way latency.
+	ATMLatency = 150e-6
+)
+
+// CMU builds the paper's Figure 4 testbed: m-1..m-6 on panama, m-7..m-12
+// on gibraltar, m-13..m-18 on suez; panama-gibraltar over Ethernet and
+// gibraltar-suez over ATM. All compute nodes are DEC Alphas (arch "alpha",
+// unit speed).
+func CMU() *topology.Graph {
+	g := topology.NewGraph()
+	panama := g.AddNetworkNode("panama")
+	gibraltar := g.AddNetworkNode("gibraltar")
+	suez := g.AddNetworkNode("suez")
+	attach := func(router, first, last int) {
+		for i := first; i <= last; i++ {
+			id := g.AddComputeNodeSpec(fmt.Sprintf("m-%d", i), 1, "alpha")
+			g.Connect(router, id, Ethernet100, topology.LinkOpts{Latency: EthernetLatency})
+		}
+	}
+	attach(panama, 1, 6)
+	attach(gibraltar, 7, 12)
+	attach(suez, 13, 18)
+	g.Connect(panama, gibraltar, Ethernet100, topology.LinkOpts{Latency: EthernetLatency})
+	g.Connect(gibraltar, suez, ATM155, topology.LinkOpts{Latency: ATMLatency})
+	return g
+}
+
+// Figure1 builds a small example network in the style of the paper's
+// Figure 1 Remos topology graph: two switches bridging two pairs of
+// compute nodes.
+func Figure1() *topology.Graph {
+	g := topology.NewGraph()
+	s1 := g.AddNetworkNode("switch-1")
+	s2 := g.AddNetworkNode("switch-2")
+	for i, sw := range []int{s1, s1, s2, s2} {
+		id := g.AddComputeNode(fmt.Sprintf("node-%d", i+1))
+		g.Connect(sw, id, Ethernet100, topology.LinkOpts{Latency: EthernetLatency})
+	}
+	g.Connect(s1, s2, Ethernet100, topology.LinkOpts{Latency: EthernetLatency})
+	return g
+}
+
+// Star builds n compute nodes attached to one switch with the given access
+// capacity.
+func Star(n int, accessBW float64) *topology.Graph {
+	if n < 1 {
+		panic("testbed: star needs at least one node")
+	}
+	g := topology.NewGraph()
+	sw := g.AddNetworkNode("sw")
+	for i := 0; i < n; i++ {
+		id := g.AddComputeNode(fmt.Sprintf("n-%d", i+1))
+		g.Connect(sw, id, accessBW, topology.LinkOpts{Latency: EthernetLatency})
+	}
+	return g
+}
+
+// Dumbbell builds two clusters of k nodes joined by a backbone link.
+func Dumbbell(k int, accessBW, backboneBW float64) *topology.Graph {
+	if k < 1 {
+		panic("testbed: dumbbell needs at least one node per side")
+	}
+	g := topology.NewGraph()
+	left := g.AddNetworkNode("sw-left")
+	right := g.AddNetworkNode("sw-right")
+	for i := 0; i < k; i++ {
+		id := g.AddComputeNode(fmt.Sprintf("l-%d", i+1))
+		g.Connect(left, id, accessBW, topology.LinkOpts{Latency: EthernetLatency})
+	}
+	for i := 0; i < k; i++ {
+		id := g.AddComputeNode(fmt.Sprintf("r-%d", i+1))
+		g.Connect(right, id, accessBW, topology.LinkOpts{Latency: EthernetLatency})
+	}
+	g.Connect(left, right, backboneBW, topology.LinkOpts{Latency: EthernetLatency})
+	return g
+}
+
+// MultiCluster builds `clusters` switches, each with `perCluster` compute
+// nodes, all switches attached to one core router.
+func MultiCluster(clusters, perCluster int, accessBW, backboneBW float64) *topology.Graph {
+	if clusters < 1 || perCluster < 1 {
+		panic("testbed: multicluster needs positive dimensions")
+	}
+	g := topology.NewGraph()
+	core := g.AddNetworkNode("core")
+	for c := 0; c < clusters; c++ {
+		sw := g.AddNetworkNode(fmt.Sprintf("sw-%d", c+1))
+		g.Connect(core, sw, backboneBW, topology.LinkOpts{Latency: EthernetLatency})
+		for i := 0; i < perCluster; i++ {
+			id := g.AddComputeNode(fmt.Sprintf("c%d-n%d", c+1, i+1))
+			g.Connect(sw, id, accessBW, topology.LinkOpts{Latency: EthernetLatency})
+		}
+	}
+	return g
+}
+
+// HeteroClusters builds a heterogeneous three-cluster testbed for the
+// §3.3 reference-capacity experiments: five nodes per cluster, with access
+// links of 155 Mbps (ATM), 100 Mbps (Ethernet) and 10 Mbps (legacy
+// Ethernet) respectively, joined by a 155 Mbps backbone. Node names are
+// atm-1..5, eth-1..5, leg-1..5.
+func HeteroClusters() *topology.Graph {
+	g := topology.NewGraph()
+	core := g.AddNetworkNode("core")
+	clusters := []struct {
+		prefix string
+		bw     float64
+	}{
+		{"atm", ATM155},
+		{"eth", Ethernet100},
+		{"leg", 10e6},
+	}
+	for _, c := range clusters {
+		sw := g.AddNetworkNode("sw-" + c.prefix)
+		g.Connect(core, sw, ATM155, topology.LinkOpts{Latency: EthernetLatency})
+		for i := 1; i <= 5; i++ {
+			id := g.AddComputeNode(fmt.Sprintf("%s-%d", c.prefix, i))
+			g.Connect(sw, id, c.bw, topology.LinkOpts{Latency: EthernetLatency})
+		}
+	}
+	return g
+}
+
+// RandomTree builds a random tree of n compute nodes whose link capacities
+// are drawn uniformly from the given choices (defaults to 100 Mbps only).
+func RandomTree(src *randx.Source, n int, capacities []float64) *topology.Graph {
+	if n < 1 {
+		panic("testbed: random tree needs at least one node")
+	}
+	if len(capacities) == 0 {
+		capacities = []float64{Ethernet100}
+	}
+	g := topology.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddComputeNode(fmt.Sprintf("t-%d", i+1))
+	}
+	for i := 1; i < n; i++ {
+		parent := src.Intn(i)
+		cap := capacities[src.Intn(len(capacities))]
+		g.Connect(parent, i, cap, topology.LinkOpts{Latency: EthernetLatency})
+	}
+	return g
+}
+
+// Named returns a topology by name, for CLI tools: "cmu", "figure1",
+// "star:<n>", "dumbbell:<k>", "multicluster:<clusters>x<per>".
+func Named(name string) (*topology.Graph, error) {
+	switch name {
+	case "cmu":
+		return CMU(), nil
+	case "figure1":
+		return Figure1(), nil
+	default:
+		var n, k int
+		if _, err := fmt.Sscanf(name, "star:%d", &n); err == nil {
+			return Star(n, Ethernet100), nil
+		}
+		if _, err := fmt.Sscanf(name, "dumbbell:%d", &n); err == nil {
+			return Dumbbell(n, Ethernet100, Ethernet100), nil
+		}
+		if _, err := fmt.Sscanf(name, "multicluster:%dx%d", &n, &k); err == nil {
+			return MultiCluster(n, k, Ethernet100, Ethernet100), nil
+		}
+		return nil, fmt.Errorf("testbed: unknown topology %q", name)
+	}
+}

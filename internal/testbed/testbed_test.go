@@ -1,0 +1,163 @@
+package testbed
+
+import (
+	"testing"
+
+	"nodeselect/internal/randx"
+)
+
+func TestCMUStructure(t *testing.T) {
+	g := CMU()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 18 {
+		t.Fatalf("compute nodes = %d, want 18", g.NumComputeNodes())
+	}
+	if g.NumNodes() != 21 {
+		t.Fatalf("total nodes = %d, want 21 (18 + 3 routers)", g.NumNodes())
+	}
+	if g.NumLinks() != 20 {
+		t.Fatalf("links = %d, want 20 (18 access + 2 inter-router)", g.NumLinks())
+	}
+	if !g.IsTree() {
+		t.Fatal("CMU testbed should be a tree")
+	}
+	// The ATM link is gibraltar-suez at 155 Mbps; everything else 100.
+	atm := 0
+	for _, l := range g.Links() {
+		a, b := g.Node(l.A).Name, g.Node(l.B).Name
+		if (a == "gibraltar" && b == "suez") || (a == "suez" && b == "gibraltar") {
+			atm++
+			if l.Capacity != ATM155 {
+				t.Errorf("gibraltar-suez capacity = %v, want 155e6", l.Capacity)
+			}
+		} else if l.Capacity != Ethernet100 {
+			t.Errorf("link %s-%s capacity = %v, want 100e6", a, b, l.Capacity)
+		}
+	}
+	if atm != 1 {
+		t.Fatalf("found %d ATM links, want 1", atm)
+	}
+	// All compute nodes are Alphas.
+	for _, id := range g.ComputeNodes() {
+		if g.Node(id).Arch != "alpha" {
+			t.Errorf("node %s arch = %q, want alpha", g.Node(id).Name, g.Node(id).Arch)
+		}
+	}
+	// Attachment: m-16 and m-18 both on suez (the Figure 4 stream is
+	// internal to the suez subtree).
+	suez := g.MustNode("suez")
+	for _, name := range []string{"m-13", "m-16", "m-18"} {
+		route := g.Route(g.MustNode(name), suez)
+		if len(route) != 1 {
+			t.Errorf("%s should attach directly to suez", name)
+		}
+	}
+	// Cross-testbed routes traverse the routers.
+	if got := g.HopCount(g.MustNode("m-1"), g.MustNode("m-18")); got != 4 {
+		t.Errorf("m-1 to m-18 hops = %d, want 4", got)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	g := Figure1()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 4 || g.NumNodes() != 6 {
+		t.Fatalf("figure1 has %d/%d nodes", g.NumComputeNodes(), g.NumNodes())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(5, Ethernet100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 5 || g.NumLinks() != 5 {
+		t.Fatal("star structure wrong")
+	}
+	sw := g.MustNode("sw")
+	if g.Degree(sw) != 5 {
+		t.Fatal("hub degree wrong")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(3, Ethernet100, ATM155)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 6 {
+		t.Fatal("dumbbell node count wrong")
+	}
+	// Cross-side routes traverse the backbone.
+	l, r := g.MustNode("l-1"), g.MustNode("r-1")
+	if g.HopCount(l, r) != 3 {
+		t.Fatalf("cross hops = %d, want 3", g.HopCount(l, r))
+	}
+}
+
+func TestMultiCluster(t *testing.T) {
+	g := MultiCluster(3, 4, Ethernet100, ATM155)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumComputeNodes() != 12 {
+		t.Fatal("multicluster node count wrong")
+	}
+	a, b := g.MustNode("c1-n1"), g.MustNode("c3-n4")
+	if g.HopCount(a, b) != 4 {
+		t.Fatalf("cross-cluster hops = %d, want 4", g.HopCount(a, b))
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	src := randx.New(1)
+	g := RandomTree(src, 25, []float64{Ethernet100, ATM155})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() {
+		t.Fatal("random tree is not a tree")
+	}
+	if g.NumComputeNodes() != 25 {
+		t.Fatal("node count wrong")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"cmu", "figure1", "star:6", "dumbbell:4", "multicluster:2x3"} {
+		g, err := Named(name)
+		if err != nil {
+			t.Errorf("Named(%q): %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Named(%q) invalid: %v", name, err)
+		}
+	}
+	if _, err := Named("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { Star(0, 1e6) },
+		func() { Dumbbell(0, 1e6, 1e6) },
+		func() { MultiCluster(0, 1, 1e6, 1e6) },
+		func() { RandomTree(randx.New(1), 0, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+)
+
+func TestComponentsConnected(t *testing.T) {
+	g := line(5)
+	comps := g.Components(nil)
+	if len(comps) != 1 {
+		t.Fatalf("connected line has %d components", len(comps))
+	}
+	if len(comps[0]) != 5 {
+		t.Fatalf("component size %d, want 5", len(comps[0]))
+	}
+	for i, id := range comps[0] {
+		if id != i {
+			t.Fatalf("component not sorted: %v", comps[0])
+		}
+	}
+}
+
+func TestComponentsWithDeadEdge(t *testing.T) {
+	g := line(5)
+	// Kill the middle link 2-3 (link ID 2).
+	alive := func(l int) bool { return l != 2 }
+	comps := g.Components(alive)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes %d/%d, want 3/2", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestComponentsAllDead(t *testing.T) {
+	g := line(4)
+	comps := g.Components(func(int) bool { return false })
+	if len(comps) != 4 {
+		t.Fatalf("all-dead graph should have singleton components, got %d", len(comps))
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	g := line(6)
+	alive := func(l int) bool { return l != 1 } // cut 1-2
+	left := g.ComponentOf(0, alive)
+	right := g.ComponentOf(5, alive)
+	if len(left) != 2 || len(right) != 4 {
+		t.Fatalf("component sizes %d/%d, want 2/4", len(left), len(right))
+	}
+	full := g.ComponentOf(3, nil)
+	if len(full) != 6 {
+		t.Fatalf("full component size %d, want 6", len(full))
+	}
+}
+
+func TestCountComputeAndSubset(t *testing.T) {
+	g := star(3) // node 0 is the switch
+	all := []int{0, 1, 2, 3}
+	if got := g.CountCompute(all); got != 3 {
+		t.Fatalf("CountCompute = %d, want 3", got)
+	}
+	sub := g.ComputeSubset(all)
+	if len(sub) != 3 || sub[0] != 1 {
+		t.Fatalf("ComputeSubset = %v", sub)
+	}
+}
+
+func TestLinksWithin(t *testing.T) {
+	g := line(5)
+	got := g.LinksWithin([]int{1, 2, 3}, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("LinksWithin = %v, want [1 2]", got)
+	}
+	// With a dead link filter.
+	got = g.LinksWithin([]int{1, 2, 3}, func(l int) bool { return l != 1 })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("LinksWithin filtered = %v, want [2]", got)
+	}
+	if n := len(g.LinksWithin([]int{0, 4}, nil)); n != 0 {
+		t.Fatalf("non-adjacent node pair should contain no links, got %d", n)
+	}
+}
+
+// Property: components partition the node set — every node appears in
+// exactly one component, regardless of which edges are alive.
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64, mask uint32) bool {
+		src := randx.New(seed)
+		n := 1 + src.Intn(20)
+		g := randomTree(src, n)
+		alive := func(l int) bool { return mask&(1<<uint(l%32)) != 0 }
+		comps := g.Components(alive)
+		seen := make(map[int]int)
+		for _, comp := range comps {
+			for _, id := range comp {
+				seen[id]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on a tree with k dead edges there are exactly k+1 components.
+func TestQuickTreeCutCount(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		n := 2 + src.Intn(20)
+		g := randomTree(src, n)
+		dead := make(map[int]bool)
+		for l := 0; l < g.NumLinks(); l++ {
+			if src.Float64() < 0.3 {
+				dead[l] = true
+			}
+		}
+		comps := g.Components(func(l int) bool { return !dead[l] })
+		return len(comps) == len(dead)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	src := randx.New(1)
+	g := randomTree(src, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Components(nil)
+	}
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT rendering.
+type DOTOptions struct {
+	// Snapshot, when non-nil, annotates nodes with load averages and links
+	// with available bandwidth.
+	Snapshot *Snapshot
+	// Highlight is a set of node IDs drawn with bold borders — used to
+	// render the Figure 4 style "selected nodes" view.
+	Highlight map[int]bool
+	// Name is the graph name (default "topology").
+	Name string
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, in the style of the
+// paper's Figure 1/Figure 4 diagrams: boxes for compute nodes, ellipses for
+// network nodes, selected nodes in bold.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "topology"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  node [fontsize=10];\n")
+	for _, n := range g.Nodes() {
+		attrs := []string{}
+		if n.Kind == Compute {
+			attrs = append(attrs, "shape=box")
+		} else {
+			attrs = append(attrs, "shape=ellipse", "style=filled", "fillcolor=lightgray")
+		}
+		if opts.Highlight[n.ID] {
+			attrs = append(attrs, "penwidth=3")
+		}
+		label := n.Name
+		if opts.Snapshot != nil && n.Kind == Compute {
+			label = fmt.Sprintf("%s\\nload %.2f", n.Name, opts.Snapshot.LoadAvg[n.ID])
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name, strings.Join(attrs, ", "))
+	}
+	for _, l := range g.Links() {
+		label := formatBandwidth(l.Capacity)
+		if opts.Snapshot != nil {
+			label = fmt.Sprintf("%s avail\\nof %s",
+				formatBandwidth(opts.Snapshot.AvailBW[l.ID]), formatBandwidth(l.Capacity))
+		}
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n",
+			g.Node(l.A).Name, g.Node(l.B).Name, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatBandwidth renders bits/second with a binary-free SI suffix, e.g.
+// "100Mbps".
+func formatBandwidth(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return trimZero(bps/1e9) + "Gbps"
+	case bps >= 1e6:
+		return trimZero(bps/1e6) + "Mbps"
+	case bps >= 1e3:
+		return trimZero(bps/1e3) + "Kbps"
+	default:
+		return trimZero(bps) + "bps"
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}
+
+// FormatBandwidth is the exported rendering helper used by CLI tools.
+func FormatBandwidth(bps float64) string { return formatBandwidth(bps) }

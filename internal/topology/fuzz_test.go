@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseGraph throws arbitrary JSON at the topology parser: it must
+// never panic and must reject structurally invalid documents with errors.
+func FuzzParseGraph(f *testing.F) {
+	g := NewGraph()
+	g.AddComputeNode("a")
+	g.AddNetworkNode("r")
+	g.Connect(0, 1, 100e6, LinkOpts{Latency: 1e-4})
+	valid, err := g.MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nodes":[{"name":"a"}],"links":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"a","kind":"quantum"}]}`))
+	f.Add([]byte(`{"nodes":[{"name":"a"},{"name":"a"}]}`))
+	f.Add([]byte(`{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"a":"a","b":"b","capacity_bps":-1}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			// The graph builders panic on invalid construction (duplicate
+			// names, bad capacities); ParseGraph must convert those to
+			// errors rather than leak them. Any recovered panic here is
+			// a real bug except the documented builder panics, which
+			// ParseGraph is expected to guard. Treat all panics as
+			// failures.
+			if r := recover(); r != nil {
+				t.Fatalf("ParseGraph panicked: %v", r)
+			}
+		}()
+		g, err := ParseGraph(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must re-encode and re-parse.
+		out, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ParseGraph(out); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadDocument exercises the combined graph+snapshot decoder.
+func FuzzReadDocument(f *testing.F) {
+	g := NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, LinkOpts{})
+	s := NewSnapshot(g)
+	s.SetLoad(0, 1.5)
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, g, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"graph":{"nodes":[{"name":"a"}],"links":[]},"snapshot":{"load_avg":{"a":-1},"avail_bw_bps":[]}}`))
+	f.Add([]byte(`{"graph":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadDocument panicked: %v", r)
+			}
+		}()
+		g, snap, err := ReadDocument(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if snap != nil {
+			if err := snap.Validate(); err != nil {
+				t.Fatalf("accepted snapshot does not validate: %v", err)
+			}
+		}
+		_ = g
+	})
+}

@@ -1,0 +1,203 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddComputeNodeSpec("m-1", 1, "alpha")
+	g.AddComputeNodeSpec("m-2", 2.5, "alpha")
+	g.AddNetworkNode("panama")
+	g.ConnectNames("m-1", "panama", 100e6, LinkOpts{Latency: 1e-4})
+	g.ConnectNames("m-2", "panama", 155e6, LinkOpts{FullDuplex: true})
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 || g2.NumLinks() != 2 {
+		t.Fatalf("round trip lost structure: %v", g2)
+	}
+	if g2.Node(g2.MustNode("m-2")).Speed != 2.5 {
+		t.Error("speed lost in round trip")
+	}
+	if g2.Node(g2.MustNode("m-1")).Arch != "alpha" {
+		t.Error("arch lost in round trip")
+	}
+	if g2.Node(g2.MustNode("panama")).Kind != Network {
+		t.Error("kind lost in round trip")
+	}
+	l := g2.Link(1)
+	if !l.FullDuplex || l.Capacity != 155e6 {
+		t.Error("link attributes lost in round trip")
+	}
+	if g2.Link(0).Latency != 1e-4 {
+		t.Error("latency lost in round trip")
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	if _, err := ParseGraph([]byte("{not json")); err == nil {
+		t.Error("bad JSON parsed")
+	}
+	badKind := `{"nodes":[{"name":"a","kind":"quantum"}],"links":[]}`
+	if _, err := ParseGraph([]byte(badKind)); err == nil {
+		t.Error("unknown kind parsed")
+	}
+	badLink := `{"nodes":[{"name":"a","kind":"compute"}],"links":[{"a":"a","b":"ghost","capacity_bps":1}]}`
+	if _, err := ParseGraph([]byte(badLink)); err == nil {
+		t.Error("link to unknown node parsed")
+	}
+}
+
+func TestParseGraphDefaultKind(t *testing.T) {
+	// Omitted kind defaults to compute; omitted speed defaults to 1.
+	data := `{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"a":"a","b":"b","capacity_bps":1000}]}`
+	g, err := ParseGraph([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(0).Kind != Compute || g.Node(0).Speed != 1 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	g := line(4)
+	s := NewSnapshot(g)
+	s.Time = 99.5
+	s.SetLoad(1, 2.5)
+	s.SetAvailBW(2, 42e6)
+
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, g, s); err != nil {
+		t.Fatal(err)
+	}
+	g2, s2, err := ReadDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 4 || s2 == nil {
+		t.Fatal("document round trip lost data")
+	}
+	if s2.Time != 99.5 {
+		t.Errorf("snapshot time = %v, want 99.5", s2.Time)
+	}
+	if s2.LoadAvg[1] != 2.5 {
+		t.Errorf("snapshot load = %v, want 2.5", s2.LoadAvg[1])
+	}
+	if s2.AvailBW[2] != 42e6 {
+		t.Errorf("snapshot bw = %v, want 42e6", s2.AvailBW[2])
+	}
+	if s2.AvailBW[0] != 100e6 {
+		t.Errorf("untouched link bw = %v, want full capacity", s2.AvailBW[0])
+	}
+}
+
+func TestDocumentWithoutSnapshot(t *testing.T) {
+	g := line(2)
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, s2, err := ReadDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 2 || s2 != nil {
+		t.Fatal("snapshot should be nil when absent")
+	}
+}
+
+func TestWriteDocumentValidates(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	s.AvailBW = s.AvailBW[:0]
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, g, s); err == nil {
+		t.Fatal("invalid snapshot written")
+	}
+}
+
+func TestReadDocumentErrors(t *testing.T) {
+	if _, _, err := ReadDocument(strings.NewReader("{")); err == nil {
+		t.Error("truncated document read")
+	}
+	// Snapshot referencing an unknown node.
+	doc := `{"graph":{"nodes":[{"name":"a","kind":"compute"}],"links":[]},
+		"snapshot":{"time":0,"load_avg":{"ghost":1},"avail_bw_bps":[]}}`
+	if _, _, err := ReadDocument(strings.NewReader(doc)); err == nil {
+		t.Error("snapshot with unknown node read")
+	}
+	// Snapshot with wrong bandwidth count.
+	doc = `{"graph":{"nodes":[{"name":"a","kind":"compute"},{"name":"b","kind":"compute"}],
+		"links":[{"a":"a","b":"b","capacity_bps":1000}]},
+		"snapshot":{"time":0,"load_avg":{},"avail_bw_bps":[1,2,3]}}`
+	if _, _, err := ReadDocument(strings.NewReader(doc)); err == nil {
+		t.Error("snapshot with wrong bw count read")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph()
+	g.AddComputeNode("m-1")
+	g.AddNetworkNode("panama")
+	g.ConnectNames("m-1", "panama", 100e6, LinkOpts{})
+	s := NewSnapshot(g)
+	s.SetLoadName("m-1", 1.25)
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Snapshot:  s,
+		Highlight: map[int]bool{0: true},
+		Name:      "testbed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "testbed"`, `"m-1"`, `"panama"`, "penwidth=3",
+		"shape=box", "shape=ellipse", "load 1.25", "100Mbps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := line(2)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "topology"`) {
+		t.Error("default graph name not used")
+	}
+}
+
+func TestFormatBandwidth(t *testing.T) {
+	cases := []struct {
+		bps  float64
+		want string
+	}{
+		{100e6, "100Mbps"},
+		{155e6, "155Mbps"},
+		{1.5e9, "1.5Gbps"},
+		{64e3, "64Kbps"},
+		{500, "500bps"},
+	}
+	for _, c := range cases {
+		if got := FormatBandwidth(c.bps); got != c.want {
+			t.Errorf("FormatBandwidth(%v) = %q, want %q", c.bps, got, c.want)
+		}
+	}
+}

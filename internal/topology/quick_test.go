@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nodeselect/internal/randx"
+)
+
+// randomGraph builds a random connected graph (tree plus optional chords)
+// with mixed node kinds and attributes.
+func randomGraph(src *randx.Source) *Graph {
+	g := NewGraph()
+	n := 2 + src.Intn(12)
+	for i := 0; i < n; i++ {
+		name := "n" + string(rune('a'+i))
+		switch src.Intn(3) {
+		case 0:
+			g.AddNetworkNode(name)
+		case 1:
+			id := g.AddComputeNodeSpec(name, 0.5+src.Float64()*3, "arch"+string(rune('0'+src.Intn(3))))
+			if src.Float64() < 0.5 {
+				g.SetNodeMemory(id, float64(256*(1+src.Intn(32))))
+			}
+		default:
+			g.AddComputeNode(name)
+		}
+	}
+	// Ensure at least one compute node for Validate-style invariants.
+	g.AddComputeNode("guaranteed-compute")
+	n = g.NumNodes()
+	caps := []float64{10e6, 100e6, 155e6, 622e6}
+	for i := 1; i < n; i++ {
+		g.Connect(src.Intn(i), i, caps[src.Intn(len(caps))], LinkOpts{
+			Latency:    src.Float64() * 0.01,
+			FullDuplex: src.Float64() < 0.3,
+		})
+	}
+	// Chords.
+	for k := 0; k < src.Intn(4); k++ {
+		a, b := src.Intn(n), src.Intn(n)
+		if a != b {
+			g.Connect(a, b, caps[src.Intn(len(caps))], LinkOpts{})
+		}
+	}
+	return g
+}
+
+// Property: graph JSON round-trips preserve structure and attributes.
+func TestQuickGraphJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		g := randomGraph(src)
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		g2, err := ParseGraph(data)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+			return false
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			a, b := g.Node(i), g2.Node(i)
+			if a.Name != b.Name || a.Kind != b.Kind || a.Speed != b.Speed ||
+				a.Arch != b.Arch || a.MemoryMB != b.MemoryMB {
+				return false
+			}
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			a, b := g.Link(l), g2.Link(l)
+			if a.A != b.A || a.B != b.B || a.Capacity != b.Capacity ||
+				a.Latency != b.Latency || a.FullDuplex != b.FullDuplex {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: document round-trips preserve snapshots exactly.
+func TestQuickDocumentRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		g := randomGraph(src)
+		s := NewSnapshot(g)
+		s.Time = src.Float64() * 1e4
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Node(i).Kind == Compute && src.Float64() < 0.5 {
+				s.SetLoad(i, src.Float64()*8)
+			}
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			s.SetAvailBW(l, src.Float64()*g.Link(l).Capacity)
+		}
+		var buf bytes.Buffer
+		if err := WriteDocument(&buf, g, s); err != nil {
+			return false
+		}
+		_, s2, err := ReadDocument(&buf)
+		if err != nil || s2 == nil {
+			return false
+		}
+		if s2.Time != s.Time {
+			return false
+		}
+		for i := range s.LoadAvg {
+			if s2.LoadAvg[i] != s.LoadAvg[i] {
+				return false
+			}
+		}
+		for l := range s.AvailBW {
+			if s2.AvailBW[l] != s.AvailBW[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on any connected graph, every node pair is mutually reachable
+// and routes are link-reversal symmetric in hop count.
+func TestQuickConnectedRouting(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randx.New(seed)
+		g := randomGraph(src)
+		n := g.NumNodes()
+		for trial := 0; trial < 12; trial++ {
+			a, b := src.Intn(n), src.Intn(n)
+			if !g.Reachable(a, b) {
+				return false
+			}
+			if g.HopCount(a, b) != g.HopCount(b, a) {
+				return false
+			}
+			route := g.Route(a, b)
+			if len(route) != g.HopCount(a, b) {
+				return false
+			}
+			// The route must actually lead from a to b.
+			cur := a
+			for _, lid := range route {
+				cur = g.Link(lid).Other(cur)
+			}
+			if cur != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

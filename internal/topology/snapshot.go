@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is a dynamic view of a topology: the static graph plus, at one
+// instant (or averaged over one measurement window), the load average of
+// every compute node and the available bandwidth of every link. It is the
+// form in which Remos delivers network status to the selection algorithms.
+type Snapshot struct {
+	// Graph is the static topology this snapshot describes.
+	Graph *Graph
+	// Time is the simulation time at which the snapshot was taken.
+	Time float64
+	// LoadAvg[nodeID] is the load average of the node (0 for network
+	// nodes and idle processors).
+	LoadAvg []float64
+	// AvailBW[linkID] is the bandwidth, in bits/second, available to a
+	// new application flow on the link. For bidirectional full-duplex
+	// links this is the minimum of the two directions, per §3.3.
+	AvailBW []float64
+}
+
+// NewSnapshot returns a snapshot of g with all processors idle and all
+// links entirely available.
+func NewSnapshot(g *Graph) *Snapshot {
+	s := &Snapshot{
+		Graph:   g,
+		LoadAvg: make([]float64, g.NumNodes()),
+		AvailBW: make([]float64, g.NumLinks()),
+	}
+	for i := range s.AvailBW {
+		s.AvailBW[i] = g.Link(i).Capacity
+	}
+	return s
+}
+
+// Clone returns a deep copy sharing only the immutable graph.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Graph: s.Graph, Time: s.Time}
+	c.LoadAvg = append([]float64(nil), s.LoadAvg...)
+	c.AvailBW = append([]float64(nil), s.AvailBW...)
+	return c
+}
+
+// CPU returns the fraction of the node's computation power available to a
+// new application process, using the paper's §3.1 formula
+// cpu = 1/(1 + loadaverage).
+func (s *Snapshot) CPU(node int) float64 {
+	return 1 / (1 + s.LoadAvg[node])
+}
+
+// EffectiveCPU returns the available computation capacity of the node in
+// reference-node units: cpu fraction times the node's relative speed
+// (§3.3 heterogeneous nodes).
+func (s *Snapshot) EffectiveCPU(node int) float64 {
+	return s.CPU(node) * s.Graph.Node(node).Speed
+}
+
+// BWFactor returns the fraction of the link's peak bandwidth that is
+// available: bwfactor = bw / maxbw (§3.1).
+func (s *Snapshot) BWFactor(link int) float64 {
+	return s.AvailBW[link] / s.Graph.Link(link).Capacity
+}
+
+// BWFactorRef returns the link's available bandwidth expressed as a
+// fraction of a reference capacity (§3.3 heterogeneous links: "a reference
+// link has to be specified for balancing against computation"). With
+// refCapacity equal to the link's own capacity this reduces to BWFactor.
+func (s *Snapshot) BWFactorRef(link int, refCapacity float64) float64 {
+	if refCapacity <= 0 {
+		panic(fmt.Sprintf("topology: reference capacity %v must be positive", refCapacity))
+	}
+	return s.AvailBW[link] / refCapacity
+}
+
+// PairBandwidth returns the available bandwidth between two compute nodes:
+// the bottleneck (minimum) available bandwidth along the static route. This
+// is the quantity a Remos flow query reports for one flow between a node
+// pair. When a == b it returns +Inf (communication is node-local).
+func (s *Snapshot) PairBandwidth(a, b int) float64 {
+	bw, ok := s.Graph.PathBottleneck(a, b, func(lid int) float64 { return s.AvailBW[lid] })
+	if !ok {
+		return math.Inf(1)
+	}
+	return bw
+}
+
+// SetLoad sets the load average of a node.
+func (s *Snapshot) SetLoad(node int, loadAvg float64) {
+	if loadAvg < 0 {
+		panic(fmt.Sprintf("topology: negative load average %v", loadAvg))
+	}
+	s.LoadAvg[node] = loadAvg
+}
+
+// SetLoadName sets the load average of a node by name.
+func (s *Snapshot) SetLoadName(name string, loadAvg float64) {
+	s.SetLoad(s.Graph.MustNode(name), loadAvg)
+}
+
+// SetAvailBW sets the available bandwidth of a link, clamped to
+// [0, capacity].
+func (s *Snapshot) SetAvailBW(link int, bw float64) {
+	cap := s.Graph.Link(link).Capacity
+	if bw < 0 {
+		bw = 0
+	}
+	if bw > cap {
+		bw = cap
+	}
+	s.AvailBW[link] = bw
+}
+
+// SetUtilization sets a link's available bandwidth from a utilization
+// fraction in [0, 1]: avail = (1 - u) * capacity.
+func (s *Snapshot) SetUtilization(link int, u float64) {
+	if u < 0 || u > 1 {
+		panic(fmt.Sprintf("topology: utilization %v outside [0, 1]", u))
+	}
+	s.AvailBW[link] = (1 - u) * s.Graph.Link(link).Capacity
+}
+
+// Validate checks that the snapshot is consistent with its graph: slice
+// lengths match, load averages are non-negative and finite, and available
+// bandwidths lie in [0, capacity].
+func (s *Snapshot) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("topology: snapshot has no graph")
+	}
+	if len(s.LoadAvg) != s.Graph.NumNodes() {
+		return fmt.Errorf("topology: snapshot has %d load entries for %d nodes",
+			len(s.LoadAvg), s.Graph.NumNodes())
+	}
+	if len(s.AvailBW) != s.Graph.NumLinks() {
+		return fmt.Errorf("topology: snapshot has %d bandwidth entries for %d links",
+			len(s.AvailBW), s.Graph.NumLinks())
+	}
+	for i, l := range s.LoadAvg {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("topology: node %d (%s) has invalid load average %v",
+				i, s.Graph.Node(i).Name, l)
+		}
+	}
+	for i, bw := range s.AvailBW {
+		if bw < 0 || math.IsNaN(bw) {
+			return fmt.Errorf("topology: link %d has invalid available bandwidth %v", i, bw)
+		}
+		if bw > s.Graph.Link(i).Capacity*(1+1e-9) {
+			return fmt.Errorf("topology: link %d available bandwidth %v exceeds capacity %v",
+				i, bw, s.Graph.Link(i).Capacity)
+		}
+	}
+	return nil
+}

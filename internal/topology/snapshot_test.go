@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSnapshotIdle(t *testing.T) {
+	g := line(3)
+	s := NewSnapshot(g)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fresh snapshot invalid: %v", err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if s.CPU(i) != 1 {
+			t.Fatalf("idle node %d CPU = %v, want 1", i, s.CPU(i))
+		}
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		if s.BWFactor(l) != 1 {
+			t.Fatalf("idle link %d bwfactor = %v, want 1", l, s.BWFactor(l))
+		}
+	}
+}
+
+func TestCPUFormula(t *testing.T) {
+	// Paper §3.1: cpu = 1 / (1 + loadaverage).
+	g := line(2)
+	s := NewSnapshot(g)
+	cases := []struct{ load, want float64 }{
+		{0, 1},
+		{1, 0.5},
+		{3, 0.25},
+		{0.5, 1 / 1.5},
+	}
+	for _, c := range cases {
+		s.SetLoad(0, c.load)
+		if got := s.CPU(0); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CPU(load=%v) = %v, want %v", c.load, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveCPU(t *testing.T) {
+	g := NewGraph()
+	g.AddComputeNodeSpec("fast", 2, "")
+	g.AddComputeNode("slow")
+	g.Connect(0, 1, 1e6, LinkOpts{})
+	s := NewSnapshot(g)
+	s.SetLoad(0, 1) // fast node half available
+	if got := s.EffectiveCPU(0); got != 1.0 {
+		t.Errorf("EffectiveCPU fast = %v, want 1.0 (0.5 * speed 2)", got)
+	}
+	if got := s.EffectiveCPU(1); got != 1.0 {
+		t.Errorf("EffectiveCPU slow idle = %v, want 1.0", got)
+	}
+}
+
+func TestBWFactor(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	s.SetAvailBW(0, 25e6)
+	if got := s.BWFactor(0); got != 0.25 {
+		t.Errorf("BWFactor = %v, want 0.25", got)
+	}
+	if got := s.BWFactorRef(0, 50e6); got != 0.5 {
+		t.Errorf("BWFactorRef = %v, want 0.5", got)
+	}
+}
+
+func TestBWFactorRefPanics(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero reference capacity did not panic")
+		}
+	}()
+	s.BWFactorRef(0, 0)
+}
+
+func TestSetAvailBWClamps(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	s.SetAvailBW(0, -5)
+	if s.AvailBW[0] != 0 {
+		t.Error("negative bandwidth not clamped to 0")
+	}
+	s.SetAvailBW(0, 1e12)
+	if s.AvailBW[0] != 100e6 {
+		t.Error("excess bandwidth not clamped to capacity")
+	}
+}
+
+func TestSetUtilization(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	s.SetUtilization(0, 0.3)
+	if math.Abs(s.AvailBW[0]-70e6) > 1 {
+		t.Errorf("AvailBW after 30%% utilization = %v, want 70e6", s.AvailBW[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("utilization > 1 did not panic")
+		}
+	}()
+	s.SetUtilization(0, 1.5)
+}
+
+func TestPairBandwidth(t *testing.T) {
+	g := line(4)
+	s := NewSnapshot(g)
+	s.SetAvailBW(1, 10e6)
+	if got := s.PairBandwidth(0, 3); got != 10e6 {
+		t.Errorf("PairBandwidth = %v, want 10e6 (bottleneck)", got)
+	}
+	if got := s.PairBandwidth(2, 2); !math.IsInf(got, 1) {
+		t.Errorf("self PairBandwidth = %v, want +Inf", got)
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	g := line(3)
+	s := NewSnapshot(g)
+	s.Time = 42
+	s.SetLoad(1, 2)
+	c := s.Clone()
+	c.SetLoad(1, 9)
+	c.SetAvailBW(0, 1)
+	if s.LoadAvg[1] != 2 || s.AvailBW[0] != 100e6 {
+		t.Fatal("Clone shares mutable state with original")
+	}
+	if c.Time != 42 || c.Graph != g {
+		t.Fatal("Clone lost time or graph")
+	}
+}
+
+func TestSetLoadName(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	s.SetLoadName("c01", 1.5)
+	if s.LoadAvg[1] != 1.5 {
+		t.Fatal("SetLoadName failed")
+	}
+}
+
+func TestSetLoadNegativePanics(t *testing.T) {
+	g := line(2)
+	s := NewSnapshot(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative load did not panic")
+		}
+	}()
+	s.SetLoad(0, -1)
+}
+
+func TestSnapshotValidateCatches(t *testing.T) {
+	g := line(3)
+	s := NewSnapshot(g)
+	s.LoadAvg[0] = math.NaN()
+	if s.Validate() == nil {
+		t.Error("NaN load validated")
+	}
+	s = NewSnapshot(g)
+	s.AvailBW[0] = 1e18 // above capacity, set directly bypassing clamp
+	if s.Validate() == nil {
+		t.Error("over-capacity bandwidth validated")
+	}
+	s = NewSnapshot(g)
+	s.LoadAvg = s.LoadAvg[:1]
+	if s.Validate() == nil {
+		t.Error("short LoadAvg validated")
+	}
+	s = NewSnapshot(g)
+	s.AvailBW = nil
+	if s.Validate() == nil {
+		t.Error("missing AvailBW validated")
+	}
+	if (&Snapshot{}).Validate() == nil {
+		t.Error("snapshot without graph validated")
+	}
+}

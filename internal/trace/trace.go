@@ -1,0 +1,182 @@
+// Package trace records simulator lifecycle events (netsim.Event) into an
+// inspectable timeline: filtered capture, per-kind counts, and text or CSV
+// rendering. It is the observability layer a long simulation run is
+// debugged with — which application phase stalled, when competing load
+// arrived, when a link failed.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/topology"
+)
+
+// Recorder collects netsim events. Install it with
+// net.SetObserver(rec.Observe). The zero value records everything without
+// limit; use NewRecorder for filtering and bounding.
+type Recorder struct {
+	graph  *topology.Graph
+	filter func(netsim.Event) bool
+	limit  int
+
+	events  []netsim.Event
+	dropped int
+	counts  map[netsim.EventKind]int
+}
+
+// NewRecorder builds a recorder for a topology (used to render node names;
+// nil is allowed and falls back to numeric IDs). filter, when non-nil,
+// keeps only matching events. limit, when positive, bounds the retained
+// events; excess events are counted as dropped but still tallied.
+func NewRecorder(g *topology.Graph, filter func(netsim.Event) bool, limit int) *Recorder {
+	return &Recorder{graph: g, filter: filter, limit: limit, counts: map[netsim.EventKind]int{}}
+}
+
+// Observe implements netsim.Observer.
+func (r *Recorder) Observe(ev netsim.Event) {
+	if r.filter != nil && !r.filter(ev) {
+		return
+	}
+	if r.counts == nil {
+		r.counts = map[netsim.EventKind]int{}
+	}
+	r.counts[ev.Kind]++
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the retained events in arrival order (shared slice; do
+// not modify).
+func (r *Recorder) Events() []netsim.Event { return r.events }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events exceeded the retention limit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Count returns how many events of the kind were observed (including any
+// dropped beyond the retention limit).
+func (r *Recorder) Count(kind netsim.EventKind) int { return r.counts[kind] }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.events = nil
+	r.dropped = 0
+	r.counts = map[netsim.EventKind]int{}
+}
+
+// name renders a node ID.
+func (r *Recorder) name(id int) string {
+	if id < 0 {
+		return "-"
+	}
+	if r.graph != nil && id < r.graph.NumNodes() {
+		return r.graph.Node(id).Name
+	}
+	return strconv.Itoa(id)
+}
+
+// describe renders the event's subject.
+func (r *Recorder) describe(ev netsim.Event) string {
+	switch ev.Kind {
+	case netsim.TaskStart, netsim.TaskEnd, netsim.TaskCancel:
+		return fmt.Sprintf("%s demand=%.3gs on %s", ev.Class, ev.Demand, r.name(ev.Node))
+	case netsim.FlowStart, netsim.FlowEnd, netsim.FlowCancel:
+		return fmt.Sprintf("%s %.4gB %s -> %s", ev.Class, ev.Bytes, r.name(ev.Src), r.name(ev.Dst))
+	case netsim.LinkFail, netsim.LinkRepair:
+		if r.graph != nil && ev.Link >= 0 && ev.Link < r.graph.NumLinks() {
+			l := r.graph.Link(ev.Link)
+			return fmt.Sprintf("link %s -- %s", r.name(l.A), r.name(l.B))
+		}
+		return fmt.Sprintf("link %d", ev.Link)
+	default:
+		return ""
+	}
+}
+
+// WriteText renders the timeline as an aligned text table.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.events {
+		if _, err := fmt.Fprintf(w, "%12.4f  %-12s %s\n", ev.Time, ev.Kind, r.describe(ev)); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further events dropped (limit %d)\n", r.dropped, r.limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the timeline as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "class", "node", "src", "dst", "link", "demand_s", "bytes"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, ev := range r.events {
+		rec := []string{
+			f(ev.Time), ev.Kind.String(), ev.Class.String(),
+			r.name(ev.Node), r.name(ev.Src), r.name(ev.Dst),
+			strconv.Itoa(ev.Link), f(ev.Demand), f(ev.Bytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary returns a one-line per-kind count rendering, kinds in a fixed
+// order.
+func (r *Recorder) Summary() string {
+	kinds := []netsim.EventKind{
+		netsim.TaskStart, netsim.TaskEnd, netsim.TaskCancel,
+		netsim.FlowStart, netsim.FlowEnd, netsim.FlowCancel,
+		netsim.LinkFail, netsim.LinkRepair,
+	}
+	var parts []string
+	for _, k := range kinds {
+		if c := r.counts[k]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "no events"
+	}
+	return strings.Join(parts, " ")
+}
+
+// OnlyKinds returns a filter keeping the listed kinds.
+func OnlyKinds(kinds ...netsim.EventKind) func(netsim.Event) bool {
+	set := map[netsim.EventKind]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(ev netsim.Event) bool { return set[ev.Kind] }
+}
+
+// OnlyClass returns a filter keeping task/flow events of one class (link
+// events pass through).
+func OnlyClass(cls netsim.Class) func(netsim.Event) bool {
+	return func(ev netsim.Event) bool {
+		switch ev.Kind {
+		case netsim.LinkFail, netsim.LinkRepair:
+			return true
+		default:
+			return ev.Class == cls
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func smallNet() (*sim.Engine, *netsim.Network) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	return e, netsim.New(e, g, netsim.Config{})
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+
+	n.StartTask(0, 1, netsim.Application, nil)
+	n.StartFlow(0, 1, 12.5e6, netsim.Background, nil)
+	cancelled := n.StartFlow(0, 1, 1e9, netsim.Background, nil)
+	e.After(0.1, "cancel", func() { cancelled.Cancel() })
+	n.FailLink(0)
+	n.RepairLink(0)
+	e.Run()
+
+	want := map[netsim.EventKind]int{
+		netsim.TaskStart:  1,
+		netsim.TaskEnd:    1,
+		netsim.FlowStart:  2,
+		netsim.FlowEnd:    1,
+		netsim.FlowCancel: 1,
+		netsim.LinkFail:   1,
+		netsim.LinkRepair: 1,
+	}
+	for kind, count := range want {
+		if got := rec.Count(kind); got != count {
+			t.Errorf("%v count = %d, want %d", kind, got, count)
+		}
+	}
+	if rec.Count(netsim.TaskCancel) != 0 {
+		t.Error("unexpected task cancel")
+	}
+
+	// Events are time-ordered (arrival order equals simulation order).
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTaskCancelEvent(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+	task := n.StartTask(0, 100, netsim.Background, nil)
+	e.After(1, "cancel", func() { task.Cancel() })
+	e.Run()
+	if rec.Count(netsim.TaskCancel) != 1 {
+		t.Fatal("task cancel not recorded")
+	}
+}
+
+func TestFilterAndLimit(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), OnlyKinds(netsim.FlowEnd), 2)
+	n.SetObserver(rec.Observe)
+	for i := 0; i < 5; i++ {
+		n.StartFlow(0, 1, 1e5, netsim.Background, nil)
+	}
+	e.Run()
+	if rec.Count(netsim.FlowStart) != 0 {
+		t.Error("filter leaked flow starts")
+	}
+	if rec.Count(netsim.FlowEnd) != 5 {
+		t.Errorf("flow end count = %d, want 5", rec.Count(netsim.FlowEnd))
+	}
+	if rec.Len() != 2 {
+		t.Errorf("retained %d events, want 2 (limit)", rec.Len())
+	}
+	if rec.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", rec.Dropped())
+	}
+}
+
+func TestOnlyClassFilter(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), OnlyClass(netsim.Application), 0)
+	n.SetObserver(rec.Observe)
+	n.StartTask(0, 0.1, netsim.Application, nil)
+	n.StartTask(0, 0.1, netsim.Background, nil)
+	n.FailLink(0) // link events pass through class filters
+	e.Run()
+	if rec.Count(netsim.TaskStart) != 1 {
+		t.Errorf("application task starts = %d, want 1", rec.Count(netsim.TaskStart))
+	}
+	if rec.Count(netsim.LinkFail) != 1 {
+		t.Error("link event filtered out")
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+	n.StartTask(0, 1, netsim.Application, nil)
+	n.StartFlow(0, 1, 12.5e6, netsim.Background, nil)
+	n.FailLink(0)
+	e.RunUntil(0.5)
+
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, wantStr := range []string{"task-start", "flow-start", "link-fail", "a -> b", "link a -- b"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("text output missing %q:\n%s", wantStr, out)
+		}
+	}
+
+	var csvBuf bytes.Buffer
+	if err := rec.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != rec.Len()+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), rec.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "time,kind,class") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestTextReportsDropped(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 1)
+	n.SetObserver(rec.Observe)
+	n.StartFlow(0, 1, 1e5, netsim.Background, nil)
+	n.StartFlow(0, 1, 1e5, netsim.Background, nil)
+	e.Run()
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "dropped") {
+		t.Error("dropped notice missing")
+	}
+}
+
+func TestSummaryAndReset(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+	if rec.Summary() != "no events" {
+		t.Errorf("empty summary = %q", rec.Summary())
+	}
+	n.StartTask(0, 0.1, netsim.Background, nil)
+	e.Run()
+	s := rec.Summary()
+	if !strings.Contains(s, "task-start=1") || !strings.Contains(s, "task-end=1") {
+		t.Errorf("summary = %q", s)
+	}
+	rec.Reset()
+	if rec.Len() != 0 || rec.Summary() != "no events" {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestZeroValueRecorder(t *testing.T) {
+	var rec Recorder
+	rec.Observe(netsim.Event{Kind: netsim.TaskStart, Node: 0})
+	if rec.Len() != 1 || rec.Count(netsim.TaskStart) != 1 {
+		t.Fatal("zero-value recorder broken")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilObserverIsCheap(t *testing.T) {
+	// SetObserver(nil) must disable emission without breaking anything.
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+	n.StartTask(0, 0.1, netsim.Background, nil)
+	n.SetObserver(nil)
+	n.StartTask(0, 0.1, netsim.Background, nil)
+	e.Run()
+	if rec.Count(netsim.TaskStart) != 1 {
+		t.Fatalf("observer removal failed: %d starts", rec.Count(netsim.TaskStart))
+	}
+}

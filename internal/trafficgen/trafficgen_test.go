@@ -1,0 +1,183 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func testNet(nodes int) (*sim.Engine, *netsim.Network) {
+	g := topology.NewGraph()
+	sw := g.AddNetworkNode("sw")
+	for i := 0; i < nodes; i++ {
+		id := g.AddComputeNode("m" + string(rune('a'+i)))
+		g.Connect(sw, id, 100e6, topology.LinkOpts{})
+	}
+	e := sim.NewEngine()
+	return e, netsim.New(e, g, netsim.Config{})
+}
+
+func TestMessageRate(t *testing.T) {
+	e, n := testNet(4)
+	g := New(n, Config{
+		MessageRate: 2,
+		Size:        randx.Constant{Value: 1000},
+	}, randx.New(1))
+	g.Start()
+	const horizon = 2000.0
+	e.RunUntil(horizon)
+	g.Stop()
+	want := 2 * horizon
+	got := float64(g.MessagesStarted())
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("injected %v messages over %vs, want ~%v", got, horizon, want)
+	}
+}
+
+func TestEndpointsDistinctAndRestricted(t *testing.T) {
+	e, n := testNet(4)
+	g := New(n, Config{
+		MessageRate: 5,
+		Size:        randx.Constant{Value: 1e9}, // long-lived flows
+		Nodes:       []int{1, 2},
+	}, randx.New(2))
+	g.Start()
+	e.RunUntil(5)
+	g.Stop()
+	// Only links to nodes 1 and 2 (link IDs 0 and 1) may carry traffic.
+	if n.LinkBitsTotal(0) == 0 && n.LinkBitsTotal(1) == 0 {
+		t.Error("restricted endpoints carried no traffic")
+	}
+	if n.LinkBitsTotal(2) != 0 || n.LinkBitsTotal(3) != 0 {
+		t.Error("traffic leaked onto excluded nodes")
+	}
+}
+
+func TestOfferedBandwidth(t *testing.T) {
+	_, n := testNet(2)
+	g := New(n, Config{MessageRate: 10, Size: randx.Constant{Value: 1e6}}, randx.New(3))
+	want := 10 * 1e6 * 8.0
+	if math.Abs(g.OfferedBandwidth()-want) > 1 {
+		t.Fatalf("OfferedBandwidth = %v, want %v", g.OfferedBandwidth(), want)
+	}
+}
+
+func TestTrafficUtilizesNetwork(t *testing.T) {
+	e, n := testNet(3)
+	// Offered bandwidth 24 Mbps across 3 access links.
+	g := New(n, Config{
+		MessageRate: 3,
+		Size:        randx.Constant{Value: 1e6},
+	}, randx.New(4))
+	g.Start()
+	e.RunUntil(500)
+	g.Stop()
+	total := 0.0
+	for l := 0; l < 3; l++ {
+		total += n.LinkBitsTotal(l)
+	}
+	// Each message crosses two access links: expected ~ 2 * 8e6 * 1500.
+	want := 2.0 * 8e6 * 3 * 500
+	if math.Abs(total-want)/want > 0.15 {
+		t.Fatalf("total carried bits %v, want ~%v", total, want)
+	}
+}
+
+func TestGeneratorStopAndDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		e, n := testNet(4)
+		g := New(n, Config{MessageRate: 1}, randx.New(5))
+		g.Start()
+		e.RunUntil(300)
+		g.Stop()
+		at := g.MessagesStarted()
+		e.RunUntil(400)
+		if g.MessagesStarted() != at {
+			t.Fatal("messages kept arriving after Stop")
+		}
+		return g.MessagesStarted(), g.BytesStarted()
+	}
+	m1, b1 := run()
+	m2, b2 := run()
+	if m1 != m2 || b1 != b2 {
+		t.Fatalf("replay diverged: (%d, %v) vs (%d, %v)", m1, b1, m2, b2)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, n := testNet(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero rate did not panic")
+			}
+		}()
+		New(n, Config{MessageRate: 0}, randx.New(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("single endpoint did not panic")
+			}
+		}()
+		New(n, Config{MessageRate: 1, Nodes: []int{1}}, randx.New(1))
+	}()
+}
+
+func TestStreamSaturatesPath(t *testing.T) {
+	e, n := testNet(3)
+	s := NewStream(n, 1, 2, 12.5e6) // 1e8-bit chunks over 100 Mbps links
+	s.Start()
+	e.RunUntil(10)
+	// The stream should keep its path busy continuously: ~10 chunks.
+	if s.Chunks() < 8 {
+		t.Fatalf("stream completed %d chunks in 10s, want ~10", s.Chunks())
+	}
+	if got := n.LinkBusyBW(0, true); math.Abs(got-100e6) > 1 {
+		t.Fatalf("stream path busy = %v, want saturated", got)
+	}
+	s.Stop()
+	e.RunUntil(11)
+	if got := n.LinkBusyBW(0, true); got != 0 {
+		t.Fatalf("stream still busy after Stop: %v", got)
+	}
+	s.Stop() // idempotent
+}
+
+func TestStreamSharesFairly(t *testing.T) {
+	e, n := testNet(3)
+	s := NewStream(n, 1, 2, 64e6)
+	s.Start()
+	// A competing application flow on the same path should get half.
+	var done float64 = -1
+	e.After(1, "app", func() {
+		n.StartFlow(1, 2, 12.5e6, netsim.Application, func() { done = e.Now() })
+	})
+	e.RunUntil(30)
+	// 1e8 bits at 50 Mbps = 2s.
+	if math.Abs(done-3) > 0.05 {
+		t.Fatalf("app flow finished at %v, want ~3 (2s at half rate)", done)
+	}
+	s.Stop()
+}
+
+func TestStreamPanicsOnSameEndpoints(t *testing.T) {
+	_, n := testNet(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("same endpoints did not panic")
+		}
+	}()
+	NewStream(n, 1, 1, 0)
+}
+
+func TestDefaultSizeMoments(t *testing.T) {
+	d := DefaultSize()
+	if math.Abs(d.Mean()-4e6)/4e6 > 1e-9 {
+		t.Fatalf("DefaultSize mean = %v, want 4e6", d.Mean())
+	}
+}
