@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the pre-PR gate: everything it
+# runs must pass before a change is committed.
+
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+fmt:
+	gofmt -l -w $(shell $(GO) list -f '{{.Dir}}' ./...)

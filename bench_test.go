@@ -43,6 +43,8 @@ func benchConfig() experiment.Config {
 func benchTable1Row(b *testing.B, app func() apps.App) {
 	cfg := benchConfig()
 	var random, auto float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, _, err := experiment.RunOnce(cfg, app(), experiment.CondBoth, "random", i)
 		if err != nil {
@@ -73,6 +75,8 @@ func BenchmarkTable1MRI(b *testing.B) {
 
 func BenchmarkTable1Full(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		rows, err := experiment.RunTable1(cfg)
@@ -88,6 +92,8 @@ func BenchmarkTable1Full(b *testing.B) {
 func BenchmarkHalvingHeadline(b *testing.B) {
 	cfg := benchConfig()
 	var ratio float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		rows, err := experiment.RunTable1(cfg)
@@ -107,6 +113,7 @@ func BenchmarkHalvingHeadline(b *testing.B) {
 
 func BenchmarkFig4Avoidance(b *testing.B) {
 	avoided := 0
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFig4(0)
 		if err != nil {
@@ -138,8 +145,8 @@ func selectionSnapshot(n int) *topology.Snapshot {
 func benchSelection(b *testing.B, n int, algo string) {
 	s := selectionSnapshot(n)
 	req := core.Request{M: n / 4}
-	b.ResetTimer()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Select(algo, s, req, nil); err != nil {
 			b.Fatal(err)
@@ -159,6 +166,8 @@ func BenchmarkFig3Balanced400(b *testing.B) { benchSelection(b, 400, core.AlgoBa
 
 func BenchmarkAblationAlgorithms(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		cells, err := experiment.RunAlgorithmAblation(cfg)
@@ -174,6 +183,8 @@ func BenchmarkAblationAlgorithms(b *testing.B) {
 func BenchmarkAblationGreedyGap(b *testing.B) {
 	cfg := benchConfig()
 	var paperRatio float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		gap, err := experiment.RunGreedyGapAblation(cfg)
@@ -186,9 +197,12 @@ func BenchmarkAblationGreedyGap(b *testing.B) {
 }
 
 func BenchmarkMigration(b *testing.B) {
+	cfg := experiment.Default()
 	var speedup float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunMigration(experiment.Default())
+		res, err := experiment.RunMigration(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,6 +213,8 @@ func BenchmarkMigration(b *testing.B) {
 
 func BenchmarkAblationQueryModes(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		cells, err := experiment.RunModeAblation(cfg)
@@ -213,6 +229,8 @@ func BenchmarkAblationQueryModes(b *testing.B) {
 
 func BenchmarkAblationPattern(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		cells, err := experiment.RunPatternAblation(cfg)
@@ -228,6 +246,8 @@ func BenchmarkAblationPattern(b *testing.B) {
 func BenchmarkAblationHeterogeneous(b *testing.B) {
 	cfg := benchConfig()
 	var ratio float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		cells, err := experiment.RunHeteroAblation(cfg)
@@ -242,6 +262,8 @@ func BenchmarkAblationHeterogeneous(b *testing.B) {
 func BenchmarkAutosize(b *testing.B) {
 	cfg := benchConfig()
 	var regret float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		results, err := experiment.RunAutosize(cfg)
@@ -257,6 +279,8 @@ func BenchmarkAutosize(b *testing.B) {
 
 func BenchmarkSweepLoad(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		if _, err := experiment.RunLoadSweep(cfg); err != nil {
@@ -267,6 +291,8 @@ func BenchmarkSweepLoad(b *testing.B) {
 
 func BenchmarkSweepTraffic(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		if _, err := experiment.RunTrafficSweep(cfg); err != nil {
@@ -277,6 +303,8 @@ func BenchmarkSweepTraffic(b *testing.B) {
 
 func BenchmarkSweepPollingPeriod(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		if _, err := experiment.RunPeriodSweep(cfg); err != nil {
@@ -286,9 +314,12 @@ func BenchmarkSweepPollingPeriod(b *testing.B) {
 }
 
 func BenchmarkFailover(b *testing.B) {
+	cfg := benchConfig()
 	avoided := 0
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunFailover(benchConfig())
+		res, err := experiment.RunFailover(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

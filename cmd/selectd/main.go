@@ -14,6 +14,11 @@
 //	curl localhost:8800/healthz
 //	curl localhost:8800/snapshot?mode=window
 //	curl -d '{"m":4,"algo":"balanced"}' localhost:8800/select
+//	curl localhost:8800/metrics          # Prometheus text exposition
+//	curl localhost:8800/debug/vars       # JSON registry dump
+//	curl localhost:8800/decisions?n=5    # recent placement audit entries
+//
+// With -debug, net/http/pprof profiling is served under /debug/pprof/.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"time"
@@ -38,15 +44,27 @@ func main() {
 		nodeCnt = flag.Int("nodes", 0, "agent count for topology discovery")
 		stdin   = flag.Bool("stdin", false, "read a topology document from stdin and serve a synthetic source")
 		period  = flag.Duration("period", 2*time.Second, "measurement polling period")
+		debug   = flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*listen, *agents, *nodeCnt, *stdin, *period); err != nil {
+	if err := run(*listen, *agents, *nodeCnt, *stdin, *period, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration) error {
+// mountPprof adds the net/http/pprof handlers to a mux. The handlers are
+// mounted explicitly rather than via the package's DefaultServeMux side
+// effect so profiling stays opt-in behind -debug.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration, debug bool) error {
 	var src remos.Source
 	switch {
 	case stdin:
@@ -99,6 +117,10 @@ func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration) e
 		DefaultMode: remos.Window,
 		Seed:        time.Now().UnixNano(),
 	})
+	start := time.Now()
+	svc.Registry().NewGaugeFunc("process_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(start).Seconds() })
 	// Background measurement loop.
 	go func() {
 		t := time.NewTicker(period)
@@ -112,7 +134,12 @@ func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration) e
 		return err
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if debug {
+		mountPprof(mux)
+	}
 	fmt.Printf("selectd: measuring %d nodes, serving on %s\n",
 		src.Topology().NumNodes(), listen)
-	return http.ListenAndServe(listen, svc.Handler())
+	return http.ListenAndServe(listen, mux)
 }

@@ -24,6 +24,13 @@ type Options struct {
 	// removes every edge tied for the minimum, which is required for the
 	// greedy argument to hold when several links carry equal load.
 	PaperSingleEdgeRemoval bool
+
+	// Observer, when non-nil, receives one SweepStep per evaluation round
+	// of the sweep procedures (MaxBandwidth, Balanced): which edges were
+	// deleted at which threshold, every candidate node set scored, and
+	// whether the best improved. It is the decision audit hook a service
+	// answers "why these nodes" with. A nil Observer costs nothing.
+	Observer func(SweepStep)
 }
 
 // MaxCompute selects the m eligible compute nodes with the highest
@@ -176,8 +183,9 @@ func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool)
 	found := false
 
 	// evaluate scores all qualifying components of the current graph and
-	// reports whether any improved on the best so far.
-	evaluate := func() bool {
+	// reports whether any improved on the best so far. A non-nil step
+	// records every candidate for the observer.
+	evaluate := func(step *SweepStep) bool {
 		improved := false
 		for _, comp := range g.Components(aliveFn) {
 			if !containsAll(comp, pinned) {
@@ -199,6 +207,9 @@ func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool)
 				} else {
 					score = res.PairMinBW
 				}
+				if step != nil {
+					step.Candidates = append(step.Candidates, SweepCandidate{Nodes: nodes, Score: score})
+				}
 				if !found || score > bestScore {
 					bestScore = score
 					best = res
@@ -207,24 +218,48 @@ func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool)
 				}
 			}
 		}
+		if step != nil {
+			step.Improved = improved
+		}
 		return improved
 	}
 
-	evaluate() // step 1: initial selection on the full graph
+	// observed wraps evaluate with SweepStep construction and delivery
+	// when an observer is installed.
+	observed := func(round int, threshold float64, removed []int) bool {
+		if opts.Observer == nil {
+			return evaluate(nil)
+		}
+		step := SweepStep{Round: round, Threshold: threshold, RemovedLinks: removed}
+		improved := evaluate(&step)
+		opts.Observer(step)
+		return improved
+	}
 
+	observed(0, 0, nil) // step 1: initial selection on the full graph
+
+	round := 1
 	for i := 0; i < len(order); {
 		// Remove the minimum-metric edge — and, unless reproducing the
 		// paper's literal single-edge removal, all edges tied with it.
 		v := metric(order[i])
+		var removed []int
 		alive[order[i]] = false
+		if opts.Observer != nil {
+			removed = append(removed, order[i])
+		}
 		i++
 		if !opts.PaperSingleEdgeRemoval {
 			for i < len(order) && metric(order[i]) == v {
 				alive[order[i]] = false
+				if opts.Observer != nil {
+					removed = append(removed, order[i])
+				}
 				i++
 			}
 		}
-		improved := evaluate()
+		improved := observed(round, v, removed)
+		round++
 		if opts.PaperEarlyStop && !improved {
 			break
 		}

@@ -72,13 +72,21 @@ func Algorithms() []string {
 // Select dispatches by algorithm name. src is required only for
 // AlgoRandom; a nil src makes random selection an error.
 func Select(algo string, s *topology.Snapshot, req Request, src *randx.Source) (Result, error) {
+	return SelectOpt(algo, s, req, src, Options{})
+}
+
+// SelectOpt dispatches like Select with explicit Options. The sweep
+// procedures (bandwidth, balanced) honour every option including the
+// decision-trace Observer; the other algorithms have no sweep and ignore
+// them.
+func SelectOpt(algo string, s *topology.Snapshot, req Request, src *randx.Source, opts Options) (Result, error) {
 	switch algo {
 	case AlgoCompute:
 		return MaxCompute(s, req)
 	case AlgoBandwidth:
-		return MaxBandwidth(s, req)
+		return MaxBandwidthOpt(s, req, opts)
 	case AlgoBalanced:
-		return Balanced(s, req)
+		return BalancedOpt(s, req, opts)
 	case AlgoStatic:
 		return Static(s, req)
 	case AlgoRandom:

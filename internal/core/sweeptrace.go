@@ -2,27 +2,29 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"nodeselect/internal/topology"
 )
 
-// SweepStep records one edge-deletion round of the balanced sweep: which
-// threshold was processed, which candidate (if any) each surviving
-// component produced, and whether the best-so-far improved. It makes the
-// Figure 3 procedure's execution inspectable — for debugging a surprising
-// selection, and for teaching what the algorithm actually does.
+// SweepStep records one edge-deletion round of a sweep procedure
+// (MaxBandwidth or Balanced): which threshold was processed, which
+// candidate (if any) each surviving component produced, and whether the
+// best-so-far improved. It makes the Figure 2/3 procedures' execution
+// inspectable — for debugging a surprising selection, for a service's
+// decision audit log, and for teaching what the algorithm actually does.
 type SweepStep struct {
 	// Round is the removal round (0 = the initial whole-graph evaluation).
 	Round int
-	// Threshold is the fractional-bandwidth value whose edge tier was
-	// removed before this evaluation (0 for round 0).
+	// Threshold is the edge-metric value whose tier was removed before
+	// this evaluation (0 for round 0): fractional availability for the
+	// balanced sweep, absolute available bandwidth for the
+	// maximize-bandwidth sweep.
 	Threshold float64
 	// RemovedLinks lists the link IDs deleted this round.
 	RemovedLinks []int
 	// Candidates are the node sets evaluated this round with their
-	// balanced scores, one per qualifying component.
+	// objective scores, one per qualifying component.
 	Candidates []SweepCandidate
 	// Improved reports whether any candidate beat the best so far.
 	Improved bool
@@ -35,99 +37,16 @@ type SweepCandidate struct {
 }
 
 // BalancedTrace runs the balanced selection while recording every round.
-// It returns the final result and the step log. The selection is identical
-// to Balanced's.
+// It returns the final result and the step log; on a selection error the
+// steps gathered so far are still returned for diagnosis. The selection
+// is identical to Balanced's — it is BalancedOpt with an Options.Observer
+// that collects the steps.
 func BalancedTrace(s *topology.Snapshot, req Request) (Result, []SweepStep, error) {
-	eligible, err := req.validate(s)
-	if err != nil {
-		return Result{}, nil, err
-	}
-	g := s.Graph
-	pinned := req.pinnedSet()
-	isEligible := make(map[int]bool, len(eligible))
-	for _, id := range eligible {
-		isEligible[id] = true
-	}
-	priority := req.priority()
-
-	alive := make([]bool, g.NumLinks())
-	for l := range alive {
-		alive[l] = req.linkUsable(s, l)
-	}
-	aliveFn := func(l int) bool { return alive[l] }
-	order := make([]int, 0, g.NumLinks())
-	for l := 0; l < g.NumLinks(); l++ {
-		if alive[l] {
-			order = append(order, l)
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		fi, fj := linkFactor(s, order[i], req), linkFactor(s, order[j], req)
-		if fi != fj {
-			return fi < fj
-		}
-		return order[i] < order[j]
-	})
-
-	var best Result
-	bestScore := -1.0
-	found := false
 	var steps []SweepStep
-
-	evaluate := func(step *SweepStep) {
-		for _, comp := range g.Components(aliveFn) {
-			if !containsAll(comp, pinned) {
-				continue
-			}
-			cands := filterNodes(comp, func(id int) bool { return isEligible[id] })
-			for _, pool := range candidatePools(s, cands, req) {
-				nodes := topCPUNodes(s, pool, req.M, pinned)
-				if nodes == nil || !pairLatencyOK(s, nodes, req) {
-					continue
-				}
-				res := Score(s, nodes, req)
-				if req.MinBW > 0 && res.PairMinBW < req.MinBW {
-					continue
-				}
-				score := res.MinCPU
-				if v := priority * res.MinBWFactor; v < score {
-					score = v
-				}
-				step.Candidates = append(step.Candidates, SweepCandidate{Nodes: nodes, Score: score})
-				if !found || score > bestScore {
-					bestScore = score
-					best = res
-					found = true
-					step.Improved = true
-				}
-			}
-		}
-	}
-
-	step := SweepStep{Round: 0}
-	evaluate(&step)
-	steps = append(steps, step)
-	round := 1
-	for i := 0; i < len(order); {
-		v := linkFactor(s, order[i], req)
-		st := SweepStep{Round: round, Threshold: v}
-		alive[order[i]] = false
-		st.RemovedLinks = append(st.RemovedLinks, order[i])
-		i++
-		for i < len(order) && linkFactor(s, order[i], req) == v {
-			alive[order[i]] = false
-			st.RemovedLinks = append(st.RemovedLinks, order[i])
-			i++
-		}
-		evaluate(&st)
-		steps = append(steps, st)
-		round++
-	}
-	if !found {
-		return Result{}, steps, fmt.Errorf("%w: no component provides %d connected eligible compute nodes",
-			ErrNoFeasibleSet, req.M)
-	}
-	return best, steps, nil
+	res, err := BalancedOpt(s, req, Options{
+		Observer: func(st SweepStep) { steps = append(steps, st) },
+	})
+	return res, steps, err
 }
 
 // FormatSweepTrace renders a step log with node names.

@@ -1,0 +1,373 @@
+// Package metrics is a small, dependency-free instrumentation library for
+// the long-running pieces of the stack (the measurement collector, the
+// placement service, the daemons): counters, gauges and fixed-bucket
+// histograms collected in a Registry that renders the Prometheus text
+// exposition format and a JSON dump for /debug/vars-style introspection.
+//
+// All metric updates are lock-free atomic operations, so instrumenting a
+// hot path (a selection request, a poll loop) costs a handful of atomic
+// adds. Registration is not hot-path: metrics are created once at startup
+// and duplicate or malformed names panic, treating misregistration as a
+// programming error in the style of expvar and prometheus/client_golang.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value (requests served, errors
+// seen). Adding a negative delta panics.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds v, which must be non-negative.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decreased")
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+// Gauge is a value that can go up and down (samples retained, window
+// span, queue depth).
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+// GaugeFunc is a gauge whose value is computed at collection time — for
+// values the program already tracks elsewhere (clock readings, pool
+// sizes).
+type GaugeFunc func() float64
+
+// Histogram accumulates observations into a fixed set of cumulative
+// buckets, plus a running sum and count — enough to derive rates and
+// quantile estimates downstream. Buckets are upper bounds in increasing
+// order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; per-bucket (non-cumulative)
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("metrics: duplicate histogram bucket %g", bounds[i]))
+		}
+	}
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], +1) {
+		bounds = bounds[:n-1] // +Inf is implicit
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v, i.e. the Prometheus le-bucket the value lands in.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the usual way to
+// time a request or poll.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound (le); the final
+	// bucket is +Inf.
+	UpperBound float64
+	// Count is the cumulative number of observations <= UpperBound.
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time reading of a histogram. Buckets
+// are cumulative, ending with the +Inf bucket (equal to Count). The
+// reading is not atomic across buckets — fine for monitoring, as with
+// any scrape-based system.
+type HistogramSnapshot struct {
+	Buckets []BucketCount
+	Sum     float64
+	Count   uint64
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Buckets: make([]BucketCount, len(h.bounds)+1)}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out.Buckets[i] = BucketCount{UpperBound: h.bounds[i], Count: cum}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out.Buckets[len(h.bounds)] = BucketCount{UpperBound: math.Inf(1), Count: cum}
+	out.Sum = h.sum.value()
+	out.Count = h.count.Load()
+	return out
+}
+
+// DefBuckets is a latency bucket scheme spanning 100µs to 10s, suited to
+// both in-process selection times and network RPC round-trips.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// LinearBuckets returns count buckets starting at start, spaced by width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count < 1 {
+		panic("metrics: LinearBuckets needs at least one bucket")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count buckets starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if count < 1 || start <= 0 || factor <= 1 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// vec is the shared child table behind the *Vec types.
+type vec[T any] struct {
+	mu     sync.RWMutex
+	labels []string
+	kids   map[string]*child[T]
+	make   func() *T
+}
+
+type child[T any] struct {
+	values []string
+	m      *T
+}
+
+func newVec[T any](labels []string, mk func() *T) *vec[T] {
+	return &vec[T]{labels: labels, kids: map[string]*child[T]{}, make: mk}
+}
+
+func (v *vec[T]) with(values []string) *T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	c, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return c.m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[key]; ok {
+		return c.m
+	}
+	c = &child[T]{values: append([]string(nil), values...), m: v.make()}
+	v.kids[key] = c
+	return c.m
+}
+
+// children returns the label sets and metrics, sorted by label values for
+// deterministic rendering.
+func (v *vec[T]) children() []*child[T] {
+	v.mu.RLock()
+	out := make([]*child[T], 0, len(v.kids))
+	for _, c := range v.kids {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CounterVec is a counter partitioned by label values (e.g. requests by
+// algorithm and mode).
+type CounterVec struct{ v *vec[Counter] }
+
+// With returns the counter for the given label values, creating it on
+// first use. The number of values must match the declared labels.
+func (c *CounterVec) With(values ...string) *Counter { return c.v.with(values) }
+
+// GaugeVec is a gauge partitioned by label values.
+type GaugeVec struct{ v *vec[Gauge] }
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(values) }
+
+// Metric type names as rendered in TYPE lines and JSON dumps.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one registered metric name with its metadata and backing
+// metric (scalar or vec).
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	metric any // *Counter | *Gauge | GaugeFunc | *Histogram | *CounterVec | *GaugeVec
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Registry holds a set of named metrics and renders them. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, m any) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, labels: labels, metric: m}
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, typeCounter, nil, c)
+	return c
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: vec needs at least one label")
+	}
+	c := &CounterVec{v: newVec(labels, func() *Counter { return &Counter{} })}
+	r.register(name, help, typeCounter, labels, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, typeGauge, nil, g)
+	return g
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: vec needs at least one label")
+	}
+	g := &GaugeVec{v: newVec(labels, func() *Gauge { return &Gauge{} })}
+	r.register(name, help, typeGauge, labels, g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge computed by fn at collection time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, nil, GaugeFunc(fn))
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(name, help, typeHistogram, nil, h)
+	return h
+}
+
+// sorted returns the families in name order.
+func (r *Registry) sorted() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

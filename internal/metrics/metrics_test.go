@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Requests served.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("value = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("depth", "")
+	g.Set(4)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("value = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency", "", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.7, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: a value exactly at a bound lands in that bound's bucket.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le %g): count %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, +1) {
+		t.Error("last bucket not +Inf")
+	}
+	if s.Count != 5 || math.Abs(s.Sum-6.15) > 1e-9 {
+		t.Errorf("count %d sum %v", s.Count, s.Sum)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0.1, 0.1, 3)
+	if lin[0] != 0.1 || math.Abs(lin[2]-0.3) > 1e-12 {
+		t.Fatalf("linear = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Fatalf("exponential = %v", exp)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("events_total", "", "kind", "class")
+	v.With("start", "bg").Inc()
+	v.With("start", "bg").Inc()
+	v.With("end", "app").Add(3)
+	if got := v.With("start", "bg").Value(); got != 2 {
+		t.Fatalf("child value = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.NewCounter("bad name!", "")
+}
+
+// sampleLine matches a valid exposition sample line.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("polls_total", "Polls taken.")
+	c.Add(7)
+	g := r.NewGauge("window_samples", "Samples retained.")
+	g.Set(16)
+	r.NewGaugeFunc("clock_seconds", "", func() float64 { return 42 })
+	h := r.NewHistogram("select_seconds", "Selection latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	v := r.NewCounterVec("requests_total", "", "algo", "mode")
+	v.With("balanced", "window").Inc()
+	v.With(`we"ird`, "a\\b").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP polls_total Polls taken.",
+		"# TYPE polls_total counter",
+		"polls_total 7",
+		"# TYPE window_samples gauge",
+		"window_samples 16",
+		"clock_seconds 42",
+		"# TYPE select_seconds histogram",
+		`select_seconds_bucket{le="0.01"} 1`,
+		`select_seconds_bucket{le="0.1"} 2`,
+		`select_seconds_bucket{le="+Inf"} 2`,
+		"select_seconds_count 2",
+		`requests_total{algo="balanced",mode="window"} 1`,
+		`requests_total{algo="we\"ird",mode="a\\b"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	// Families render in sorted name order.
+	if strings.Index(out, "# TYPE clock_seconds") > strings.Index(out, "# TYPE polls_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("polls_total", "Polls.").Add(3)
+	h := r.NewHistogram("lat", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	v := r.NewCounterVec("errs_total", "", "class")
+	v.With("no_data").Inc()
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type   string   `json:"type"`
+		Value  *float64 `json:"value"`
+		Count  *uint64  `json:"count"`
+		Sum    *float64 `json:"sum"`
+		Values []struct {
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"values"`
+		Buckets []struct {
+			LE    any    `json:"le"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if p := out["polls_total"]; p.Type != "counter" || p.Value == nil || *p.Value != 3 {
+		t.Errorf("polls_total = %+v", p)
+	}
+	if h := out["lat"]; h.Count == nil || *h.Count != 2 || len(h.Buckets) != 2 {
+		t.Errorf("lat = %+v", h)
+	} else if h.Buckets[1].LE != "+Inf" {
+		t.Errorf("inf bucket rendered as %v", h.Buckets[1].LE)
+	}
+	if e := out["errs_total"]; len(e.Values) != 1 || e.Values[0].Labels["class"] != "no_data" {
+		t.Errorf("errs_total = %+v", e)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n_total", "")
+	h := r.NewHistogram("h", "", []float64{0.5})
+	v := r.NewCounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j%2) * 0.9)
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 || s.Buckets[0].Count != 4000 {
+		t.Fatalf("histogram = %+v", s)
+	}
+	if v.With("a").Value()+v.With("b").Value() != 8000 {
+		t.Fatal("vec lost updates")
+	}
+}

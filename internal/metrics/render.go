@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a sample value the way the Prometheus text format
+// expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp escapes a HELP line body.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {k="v",...}; extra appends a pre-rendered pair
+// (used for histogram le labels). Empty input renders nothing.
+func labelString(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, names[i], escapeLabel(values[i]))
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and vec
+// children sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sorted() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		var err error
+		switch m := f.metric.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatValue(m.Value()))
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatValue(m.Value()))
+		case GaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatValue(m()))
+		case *Histogram:
+			err = writeHistogram(w, f.name, "", m.Snapshot())
+		case *CounterVec:
+			for _, c := range m.v.children() {
+				if _, err = fmt.Fprintf(w, "%s%s %s\n",
+					f.name, labelString(f.labels, c.values, ""), formatValue(c.m.Value())); err != nil {
+					break
+				}
+			}
+		case *GaugeVec:
+			for _, c := range m.v.children() {
+				if _, err = fmt.Fprintf(w, "%s%s %s\n",
+					f.name, labelString(f.labels, c.values, ""), formatValue(c.m.Value())); err != nil {
+					break
+				}
+			}
+		default:
+			err = fmt.Errorf("metrics: unknown metric type %T", f.metric)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count series.
+// labels, when non-empty, is a pre-rendered label body without braces.
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) error {
+	for _, b := range s.Buckets {
+		le := fmt.Sprintf(`le="%s"`, formatValue(b.UpperBound))
+		body := le
+		if labels != "" {
+			body = labels + "," + le
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, body, b.Count); err != nil {
+			return err
+		}
+	}
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, brace, formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, brace, s.Count)
+	return err
+}
+
+// jsonSample is one labeled scalar value in the JSON dump.
+type jsonSample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// jsonBucket is one cumulative bucket in the JSON dump.
+type jsonBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// jsonFamily is one metric family in the JSON dump.
+type jsonFamily struct {
+	Type    string       `json:"type"`
+	Help    string       `json:"help,omitempty"`
+	Value   *float64     `json:"value,omitempty"`
+	Values  []jsonSample `json:"values,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+// WriteJSON dumps the registry as a single JSON object keyed by metric
+// name — the /debug/vars view of the same data the Prometheus endpoint
+// serves.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]jsonFamily{}
+	for _, f := range r.sorted() {
+		jf := jsonFamily{Type: f.typ, Help: f.help}
+		scalar := func(v float64) { jf.Value = &v }
+		switch m := f.metric.(type) {
+		case *Counter:
+			scalar(m.Value())
+		case *Gauge:
+			scalar(m.Value())
+		case GaugeFunc:
+			scalar(m())
+		case *Histogram:
+			s := m.Snapshot()
+			jf.Count, jf.Sum = &s.Count, &s.Sum
+			for _, b := range s.Buckets {
+				jf.Buckets = append(jf.Buckets, jsonBucket{LE: b.UpperBound, Count: b.Count})
+			}
+		case *CounterVec:
+			for _, c := range m.v.children() {
+				jf.Values = append(jf.Values, jsonSample{Labels: labelMap(f.labels, c.values), Value: c.m.Value()})
+			}
+		case *GaugeVec:
+			for _, c := range m.v.children() {
+				jf.Values = append(jf.Values, jsonSample{Labels: labelMap(f.labels, c.values), Value: c.m.Value()})
+			}
+		}
+		out[f.name] = jf
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func labelMap(names, values []string) map[string]string {
+	m := make(map[string]string, len(names))
+	for i := range names {
+		m[names[i]] = values[i]
+	}
+	return m
+}
+
+// Handler serves the Prometheus text exposition of the registry — mount
+// it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON dump of the registry — mount it at
+// /debug/vars.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}
+
+// +Inf in the JSON dump marshals as the string "+Inf", since JSON has no
+// infinity literal.
+func (b jsonBucket) MarshalJSON() ([]byte, error) {
+	le := any(b.LE)
+	if math.IsInf(b.LE, +1) {
+		le = "+Inf"
+	}
+	return json.Marshal(map[string]any{"le": le, "count": b.Count})
+}

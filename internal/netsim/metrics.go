@@ -1,0 +1,38 @@
+package netsim
+
+import "nodeselect/internal/metrics"
+
+// EventMetrics counts simulator lifecycle events by kind into a metrics
+// registry, through the same Observer hook trace.Recorder uses. Install
+// with net.SetObserver(m.Observe), or chain with MultiObserver to keep a
+// recorder attached as well.
+type EventMetrics struct {
+	// Events is netsim_events_total{kind}.
+	Events *metrics.CounterVec
+}
+
+// NewEventMetrics registers the simulator's event counters on reg.
+func NewEventMetrics(reg *metrics.Registry) *EventMetrics {
+	return &EventMetrics{
+		Events: reg.NewCounterVec("netsim_events_total",
+			"Simulator lifecycle events observed, by kind.", "kind"),
+	}
+}
+
+// Observe implements Observer.
+func (m *EventMetrics) Observe(ev Event) {
+	m.Events.With(ev.Kind.String()).Inc()
+}
+
+// MultiObserver fans one event stream out to several observers in order
+// (nil entries are skipped). It lets metrics and a trace recorder share
+// the network's single observer slot.
+func MultiObserver(obs ...Observer) Observer {
+	return func(ev Event) {
+		for _, o := range obs {
+			if o != nil {
+				o(ev)
+			}
+		}
+	}
+}

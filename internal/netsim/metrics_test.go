@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"nodeselect/internal/metrics"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/topology"
+)
+
+func TestEventMetricsCountsByKind(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddComputeNode("a")
+	g.AddComputeNode("b")
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	e := sim.NewEngine()
+	n := New(e, g, Config{})
+
+	reg := metrics.NewRegistry()
+	em := NewEventMetrics(reg)
+	var seen int
+	n.SetObserver(MultiObserver(nil, em.Observe, func(Event) { seen++ }))
+
+	n.StartTask(0, 1, Application, nil)
+	n.StartFlow(0, 1, 12.5e6, Background, nil)
+	n.FailLink(0)
+	n.RepairLink(0)
+	e.Run()
+
+	if seen == 0 {
+		t.Fatal("MultiObserver did not fan out")
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	body := b.String()
+	for _, want := range []string{
+		`netsim_events_total{kind="task-start"} 1`,
+		`netsim_events_total{kind="task-end"} 1`,
+		`netsim_events_total{kind="flow-start"} 1`,
+		`netsim_events_total{kind="flow-end"} 1`,
+		`netsim_events_total{kind="link-fail"} 1`,
+		`netsim_events_total{kind="link-repair"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type Agent struct {
 	node  int
 	links []int
 
+	// OnRequest, when non-nil, is called with each request's op as it is
+	// served (for request counting). Set it before Listen; it may be
+	// called from multiple connection goroutines concurrently.
+	OnRequest func(op string)
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -101,6 +106,9 @@ func (a *Agent) serve(conn net.Conn) {
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
 			return // EOF or protocol error: drop the connection
+		}
+		if a.OnRequest != nil {
+			a.OnRequest(req.Op)
 		}
 		var resp any
 		switch req.Op {

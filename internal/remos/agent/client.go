@@ -30,6 +30,8 @@ type NetSource struct {
 	// cache of the last read per node, refreshed by refresh().
 	lastRead []ReadResponse
 	fresh    []bool
+
+	metrics *ClientMetrics // optional, see SetMetrics
 }
 
 // Dial connects to one agent per node. addrs is indexed by node ID and
@@ -92,9 +94,9 @@ func (ns *NetSource) Close() {
 func (ns *NetSource) Refresh() error {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	for node, conn := range ns.conns {
+	for node := range ns.conns {
 		var rr ReadResponse
-		if err := roundTrip(conn, OpRead, &rr); err != nil {
+		if err := ns.timedRead(node, &rr); err != nil {
 			return fmt.Errorf("agent: read node %d: %w", node, err)
 		}
 		ns.lastRead[node] = rr
@@ -109,7 +111,7 @@ func (ns *NetSource) ensure(node int) *ReadResponse {
 	defer ns.mu.Unlock()
 	if !ns.fresh[node] {
 		var rr ReadResponse
-		if err := roundTrip(ns.conns[node], OpRead, &rr); err == nil {
+		if err := ns.timedRead(node, &rr); err == nil {
 			ns.lastRead[node] = rr
 			ns.fresh[node] = true
 		}

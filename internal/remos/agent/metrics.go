@@ -1,0 +1,52 @@
+package agent
+
+import (
+	"time"
+
+	"nodeselect/internal/metrics"
+)
+
+// ClientMetrics instruments a NetSource's wire traffic: one histogram of
+// agent RPC round-trip times and per-node error counts — the visibility
+// an SNMP poller needs to tell a slow agent from a dead one.
+type ClientMetrics struct {
+	// RPCSeconds is the round-trip time of one agent read
+	// (remos_agent_rpc_seconds).
+	RPCSeconds *metrics.Histogram
+	// Errors counts failed agent reads by node name
+	// (remos_agent_errors_total).
+	Errors *metrics.CounterVec
+}
+
+// NewClientMetrics registers the agent client metric set on reg.
+func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		RPCSeconds: reg.NewHistogram("remos_agent_rpc_seconds", "Agent RPC round-trip time.", nil),
+		Errors:     reg.NewCounterVec("remos_agent_errors_total", "Failed agent reads, by node.", "node"),
+	}
+}
+
+// SetMetrics attaches a metric set to the source (nil detaches).
+func (ns *NetSource) SetMetrics(m *ClientMetrics) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.metrics = m
+}
+
+// timedRead performs one instrumented read round-trip to a node's agent.
+// Callers must hold ns.mu.
+func (ns *NetSource) timedRead(node int, out *ReadResponse) error {
+	m := ns.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	err := roundTrip(ns.conns[node], OpRead, out)
+	if m != nil {
+		m.RPCSeconds.ObserveSince(t0)
+		if err != nil {
+			m.Errors.With(ns.graph.Node(node).Name).Inc()
+		}
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"nodeselect/internal/sim"
 	"nodeselect/internal/topology"
@@ -102,6 +103,7 @@ type Collector struct {
 	graph   *topology.Graph
 	samples []sample // ring, oldest first
 	polls   int
+	metrics *CollectorMetrics // optional, see SetMetrics
 }
 
 // NewCollector builds a collector over src. Call Poll (or Start, to attach
@@ -118,6 +120,10 @@ func (c *Collector) Polls() int { return c.polls }
 
 // Poll takes one sample from the source now.
 func (c *Collector) Poll() {
+	var t0 time.Time
+	if c.metrics != nil {
+		t0 = time.Now()
+	}
 	nNodes := c.graph.NumNodes()
 	nLinks := c.graph.NumLinks()
 	s := sample{
@@ -145,6 +151,13 @@ func (c *Collector) Poll() {
 		c.samples = c.samples[1:]
 	}
 	c.polls++
+	if m := c.metrics; m != nil {
+		m.Polls.Inc()
+		m.PollSeconds.ObserveSince(t0)
+		m.WindowSamples.Set(float64(len(c.samples)))
+		m.WindowSpanSeconds.Set(s.time - c.samples[0].time)
+		m.LastSampleTime.Set(s.time)
+	}
 }
 
 // Start attaches the collector to a simulation engine, polling every
@@ -158,6 +171,20 @@ func (c *Collector) Start(engine *sim.Engine) (stop func()) {
 // backgroundOnly true, the application's own load and traffic are excluded
 // from the answer.
 func (c *Collector) Snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot, error) {
+	s, err := c.snapshot(mode, backgroundOnly)
+	if m := c.metrics; m != nil {
+		if err != nil {
+			m.QueryErrors.Inc()
+		} else {
+			m.Queries.With(mode.String()).Inc()
+		}
+	}
+	return s, err
+}
+
+// snapshot is Snapshot without the metrics accounting, so the Trend
+// fallback recursion counts as one query.
+func (c *Collector) snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot, error) {
 	if len(c.samples) == 0 {
 		return nil, ErrNoData
 	}
@@ -238,7 +265,7 @@ func (c *Collector) Snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot
 	case Trend:
 		if len(c.samples) < 3 {
 			// Too little history to fit a slope; fall back to Current.
-			return c.Snapshot(Current, backgroundOnly)
+			return c.snapshot(Current, backgroundOnly)
 		}
 		// Per-interval used bandwidth and per-sample loads, with their
 		// midpoint (resp. sample) times, fitted and extrapolated one

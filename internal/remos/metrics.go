@@ -1,0 +1,49 @@
+package remos
+
+import "nodeselect/internal/metrics"
+
+// CollectorMetrics instruments a Collector: how often it polls, how long
+// each poll takes in wall time, how fresh the retained sample window is,
+// and how queries break down by mode. The paper's framework is only
+// trustworthy when the measurement pipeline is demonstrably live — a
+// stale window gauge is the first thing to check when a placement looks
+// wrong.
+type CollectorMetrics struct {
+	// Polls counts samples taken (remos_polls_total).
+	Polls *metrics.Counter
+	// PollSeconds is the wall-clock duration of each Poll
+	// (remos_poll_seconds).
+	PollSeconds *metrics.Histogram
+	// WindowSamples is the number of samples currently retained
+	// (remos_window_samples).
+	WindowSamples *metrics.Gauge
+	// WindowSpanSeconds is the measurement-time span covered by the
+	// retained window (remos_window_span_seconds).
+	WindowSpanSeconds *metrics.Gauge
+	// LastSampleTime is the measurement clock of the newest sample
+	// (remos_last_sample_time_seconds).
+	LastSampleTime *metrics.Gauge
+	// Queries counts snapshot queries by mode (remos_queries_total).
+	Queries *metrics.CounterVec
+	// QueryErrors counts snapshot queries that failed, dominated by
+	// ErrNoData before the window fills (remos_query_errors_total).
+	QueryErrors *metrics.Counter
+}
+
+// NewCollectorMetrics registers the collector metric set on reg.
+func NewCollectorMetrics(reg *metrics.Registry) *CollectorMetrics {
+	return &CollectorMetrics{
+		Polls:             reg.NewCounter("remos_polls_total", "Measurement samples taken."),
+		PollSeconds:       reg.NewHistogram("remos_poll_seconds", "Wall-clock duration of one measurement poll.", nil),
+		WindowSamples:     reg.NewGauge("remos_window_samples", "Samples retained in the history window."),
+		WindowSpanSeconds: reg.NewGauge("remos_window_span_seconds", "Measurement-time span covered by the retained window."),
+		LastSampleTime:    reg.NewGauge("remos_last_sample_time_seconds", "Measurement clock of the newest retained sample."),
+		Queries:           reg.NewCounterVec("remos_queries_total", "Snapshot queries answered, by mode.", "mode"),
+		QueryErrors:       reg.NewCounter("remos_query_errors_total", "Snapshot queries that failed."),
+	}
+}
+
+// SetMetrics attaches a metric set to the collector (nil detaches). The
+// collector is unsynchronized, so call this before polling starts, from
+// the same goroutine discipline that drives Poll.
+func (c *Collector) SetMetrics(m *CollectorMetrics) { c.metrics = m }

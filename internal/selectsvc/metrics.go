@@ -1,0 +1,51 @@
+package selectsvc
+
+import "nodeselect/internal/metrics"
+
+// minresourceBuckets spans the balanced objective's useful range: fine
+// steps across [0,1] (fractional availability) plus headroom for
+// priority-weighted scores above 1. Bounds are built as i/20 rather than
+// accumulated 0.05 steps so the le labels render cleanly ("0.15", not
+// "0.15000000000000002").
+var minresourceBuckets = func() []float64 {
+	out := make([]float64, 0, 23)
+	for i := 1; i <= 20; i++ {
+		out = append(out, float64(i)/20)
+	}
+	return append(out, 1.25, 1.5, 2)
+}()
+
+// svcMetrics is the service's own metric set (the collector and agent
+// client register theirs separately on the same registry).
+type svcMetrics struct {
+	// selectsvc_requests_total{algo,mode}
+	requests *metrics.CounterVec
+	// selectsvc_errors_total{class}: bad_request | no_data | infeasible |
+	// internal
+	errors *metrics.CounterVec
+	// selectsvc_select_seconds: wall-clock latency of /select
+	latency *metrics.Histogram
+	// selectsvc_minresource: balanced objective of each returned placement
+	minresource *metrics.Histogram
+	// selectsvc_last_minresource: the most recent placement's objective
+	lastMinresource *metrics.Gauge
+	// selectsvc_decisions_total: audit entries recorded
+	decisions *metrics.Counter
+}
+
+func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
+	return &svcMetrics{
+		requests: reg.NewCounterVec("selectsvc_requests_total",
+			"Placement requests served, by algorithm and query mode.", "algo", "mode"),
+		errors: reg.NewCounterVec("selectsvc_errors_total",
+			"Placement requests failed, by error class.", "class"),
+		latency: reg.NewHistogram("selectsvc_select_seconds",
+			"Wall-clock latency of one placement request.", nil),
+		minresource: reg.NewHistogram("selectsvc_minresource",
+			"Balanced objective (minresource) of returned placements.", minresourceBuckets),
+		lastMinresource: reg.NewGauge("selectsvc_last_minresource",
+			"Balanced objective of the most recent placement."),
+		decisions: reg.NewCounter("selectsvc_decisions_total",
+			"Decisions recorded in the audit ring."),
+	}
+}

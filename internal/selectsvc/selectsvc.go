@@ -5,19 +5,31 @@
 // stack of the paper: measurement (internal/remos), the application
 // specification interface (internal/appspec), and the selection procedures
 // (internal/core).
+//
+// The service is fully observable: every layer reports into a
+// metrics.Registry served at /metrics (Prometheus text format) and
+// /debug/vars (JSON), and every placement request is recorded in a
+// bounded audit ring served at /decisions — including, for the sweep
+// algorithms, the round-by-round edge-deletion trace that explains why
+// those nodes were chosen.
 package selectsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"nodeselect/internal/appspec"
 	"nodeselect/internal/core"
+	"nodeselect/internal/metrics"
 	"nodeselect/internal/randx"
 	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
 	"nodeselect/internal/topology"
 )
 
@@ -37,6 +49,13 @@ type Config struct {
 	DefaultMode remos.Mode
 	// Seed seeds the random-baseline stream.
 	Seed int64
+	// Registry receives the service's metrics (and the collector's and
+	// agent client's). Nil creates a private registry; either way the
+	// registry is served at /metrics and /debug/vars. A registry must
+	// not be shared between two Services — metric names would collide.
+	Registry *metrics.Registry
+	// AuditSize bounds the decision audit ring (default 64).
+	AuditSize int
 }
 
 // Service is the placement daemon. Create with New, drive polling with
@@ -48,17 +67,41 @@ type Service struct {
 	cfg       Config
 	rng       *randx.Source
 	selects   int
+
+	registry *metrics.Registry
+	metrics  *svcMetrics
+	audit    *auditRing
 }
 
 // New builds a service over a measurement source.
 func New(src remos.Source, cfg Config) *Service {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	auditSize := cfg.AuditSize
+	if auditSize <= 0 {
+		auditSize = 64
+	}
+	collector := remos.NewCollector(src, cfg.Collector)
+	collector.SetMetrics(remos.NewCollectorMetrics(reg))
+	if ns, ok := src.(*agent.NetSource); ok {
+		ns.SetMetrics(agent.NewClientMetrics(reg))
+	}
 	return &Service{
 		src:       src,
-		collector: remos.NewCollector(src, cfg.Collector),
+		collector: collector,
 		cfg:       cfg,
 		rng:       randx.New(cfg.Seed).Split("selectd"),
+		registry:  reg,
+		metrics:   newSvcMetrics(reg),
+		audit:     newAuditRing(auditSize),
 	}
 }
+
+// Registry returns the service's metrics registry, for callers that want
+// to add their own instruments alongside.
+func (s *Service) Registry() *metrics.Registry { return s.registry }
 
 // Poll takes one measurement sample (refreshing the source if it needs it).
 func (s *Service) Poll() error {
@@ -79,6 +122,10 @@ func (s *Service) Polls() int {
 	defer s.mu.Unlock()
 	return s.collector.Polls()
 }
+
+// Decisions returns up to n recent audit entries, newest first (n <= 0
+// means all retained).
+func (s *Service) Decisions(n int) []Decision { return s.audit.recent(n) }
 
 // SelectRequest is the POST /select body. Either Spec or M must be given.
 type SelectRequest struct {
@@ -116,15 +163,21 @@ type SelectResponse struct {
 
 // Handler returns the service's HTTP handler:
 //
-//	GET  /topology  — the measured topology document
-//	GET  /snapshot  — topology + current snapshot (?mode=window...)
-//	GET  /healthz   — liveness and poll count
-//	POST /select    — run a placement (SelectRequest -> SelectResponse)
+//	GET  /topology   — the measured topology document
+//	GET  /snapshot   — topology + current snapshot (?mode=window...)
+//	GET  /healthz    — liveness, poll count, decision count
+//	GET  /decisions  — recent placement decisions with traces (?n=10)
+//	GET  /metrics    — Prometheus text exposition of the registry
+//	GET  /debug/vars — JSON dump of the registry
+//	POST /select     — run a placement (SelectRequest -> SelectResponse)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topology", s.handleTopology)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /decisions", s.handleDecisions)
+	mux.Handle("GET /metrics", s.registry.Handler())
+	mux.Handle("GET /debug/vars", s.registry.JSONHandler())
 	mux.HandleFunc("POST /select", s.handleSelect)
 	return mux
 }
@@ -156,14 +209,19 @@ func (s *Service) parseMode(name string) (remos.Mode, error) {
 	}
 }
 
+// snapshotFor answers a snapshot under an already-parsed mode.
+func (s *Service) snapshotFor(mode remos.Mode) (*topology.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collector.Snapshot(mode, false)
+}
+
 func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
 	mode, err := s.parseMode(modeName)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.collector.Snapshot(mode, false)
+	return s.snapshotFor(mode)
 }
 
 func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -184,31 +242,99 @@ func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	resp := map[string]any{"polls": s.collector.Polls(), "selects": s.selects}
+	polls := s.collector.Polls()
+	selects := s.selects
 	s.mu.Unlock()
+	resp := map[string]any{
+		"polls":     polls,
+		"selects":   selects,
+		"decisions": s.audit.size(),
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
+func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad n %q", q), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.audit.recent(n))
+}
+
+// classifyError maps a selection failure to its metrics class.
+func classifyError(err error) string {
+	switch {
+	case errors.Is(err, remos.ErrNoData):
+		return "no_data"
+	case errors.Is(err, core.ErrTooFewNodes), errors.Is(err, core.ErrNoFeasibleSet):
+		return "infeasible"
+	case errors.Is(err, core.ErrBadRequest):
+		return "bad_request"
+	default:
+		return "internal"
+	}
+}
+
 func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	d := Decision{Wall: t0}
+
+	// finish records the decision in the audit ring (success and failure
+	// alike) and observes the request latency.
+	finish := func() {
+		d.DurationSeconds = time.Since(t0).Seconds()
+		s.metrics.latency.Observe(d.DurationSeconds)
+		s.audit.add(d)
+		s.metrics.decisions.Inc()
+	}
+	fail := func(status int, class string, err error) {
+		d.Error = err.Error()
+		d.ErrorClass = class
+		s.metrics.errors.With(class).Inc()
+		finish()
+		http.Error(w, err.Error(), status)
+	}
+
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	snap, err := s.snapshot(req.Mode)
-	if err != nil {
-		status := http.StatusBadRequest
-		if err == remos.ErrNoData {
-			status = http.StatusServiceUnavailable
-		}
-		http.Error(w, err.Error(), status)
+		fail(http.StatusBadRequest, "bad_request", fmt.Errorf("bad request: %w", err))
 		return
 	}
 	algo := req.Algo
 	if algo == "" {
 		algo = core.AlgoBalanced
 	}
+	d.Algo = algo
+	d.M = req.M
+	if req.Spec != nil {
+		d.Spec = req.Spec.Name
+	}
+	mode, err := s.parseMode(req.Mode)
+	if err != nil {
+		d.Mode = req.Mode
+		fail(http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	d.Mode = mode.String()
+	s.metrics.requests.With(algo, d.Mode).Inc()
+
+	snap, err := s.snapshotFor(mode)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == remos.ErrNoData {
+			status = http.StatusServiceUnavailable
+		}
+		fail(status, classifyError(err), err)
+		return
+	}
+	d.MeasuredAt = snap.Time
 	g := snap.Graph
 
 	s.mu.Lock()
@@ -220,7 +346,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if req.Spec != nil {
 		place, err := appspec.SelectForSpec(snap, req.Spec, algo, src)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			fail(http.StatusUnprocessableEntity, classifyError(err), err)
 			return
 		}
 		resp.Nodes = nodeNames(g, place.Nodes)
@@ -231,6 +357,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.MinCPU = place.Score.MinCPU
 		resp.PairMinBW = finite(place.Score.PairMinBW)
 		resp.MinResource = place.Score.MinResource
+		d.M = len(place.Nodes)
 	} else {
 		creq := core.Request{
 			M:               req.M,
@@ -244,14 +371,23 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		for _, name := range req.Pin {
 			id := g.NodeByName(name)
 			if id < 0 {
-				http.Error(w, fmt.Sprintf("unknown pinned node %q", name), http.StatusUnprocessableEntity)
+				fail(http.StatusUnprocessableEntity, "bad_request",
+					fmt.Errorf("unknown pinned node %q", name))
 				return
 			}
 			creq.Pinned = append(creq.Pinned, id)
 		}
-		res, err := core.Select(algo, snap, creq, src)
+		// The sweep algorithms report their decision trace; the others
+		// have no sweep to trace.
+		var opts core.Options
+		var steps []core.SweepStep
+		if algo == core.AlgoBalanced || algo == core.AlgoBandwidth {
+			opts.Observer = func(st core.SweepStep) { steps = append(steps, st) }
+		}
+		res, err := core.SelectOpt(algo, snap, creq, src, opts)
+		d.Trace, d.TraceTruncated = decisionRounds(g, steps)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			fail(http.StatusUnprocessableEntity, classifyError(err), err)
 			return
 		}
 		resp.Nodes = res.Names(g)
@@ -259,6 +395,14 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.PairMinBW = finite(res.PairMinBW)
 		resp.MinResource = res.MinResource
 	}
+
+	d.Nodes = resp.Nodes
+	d.MinCPU = resp.MinCPU
+	d.PairMinBW = resp.PairMinBW
+	d.MinResource = resp.MinResource
+	s.metrics.minresource.Observe(resp.MinResource)
+	s.metrics.lastMinresource.Set(resp.MinResource)
+	finish()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

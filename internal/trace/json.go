@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nodeselect/internal/netsim"
+)
+
+// jsonEvent is the wire form of one event: kinds and classes by name,
+// endpoints by numeric ID (names are a rendering concern; IDs round-trip
+// losslessly whether or not a topology is attached).
+type jsonEvent struct {
+	Time   float64 `json:"time"`
+	Kind   string  `json:"kind"`
+	Class  string  `json:"class"`
+	Node   int     `json:"node"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Link   int     `json:"link"`
+	Demand float64 `json:"demand_s,omitempty"`
+	Bytes  float64 `json:"bytes,omitempty"`
+}
+
+// jsonTimeline is the document WriteJSON produces and ReadJSON consumes.
+type jsonTimeline struct {
+	Events  []jsonEvent `json:"events"`
+	Dropped int         `json:"dropped,omitempty"`
+}
+
+// kindNames maps wire names back to kinds; built from the String forms so
+// the two stay in sync.
+var kindNames = func() map[string]netsim.EventKind {
+	out := map[string]netsim.EventKind{}
+	for _, k := range []netsim.EventKind{
+		netsim.TaskStart, netsim.TaskEnd, netsim.TaskCancel,
+		netsim.FlowStart, netsim.FlowEnd, netsim.FlowCancel,
+		netsim.LinkFail, netsim.LinkRepair,
+	} {
+		out[k.String()] = k
+	}
+	return out
+}()
+
+// WriteJSON renders the timeline as a JSON document:
+//
+//	{"events": [{"time":..., "kind":"flow-start", ...}, ...], "dropped": 0}
+//
+// ReadJSON parses it back.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := jsonTimeline{Events: make([]jsonEvent, len(r.events)), Dropped: r.dropped}
+	for i, ev := range r.events {
+		doc.Events[i] = jsonEvent{
+			Time: ev.Time, Kind: ev.Kind.String(), Class: ev.Class.String(),
+			Node: ev.Node, Src: ev.Src, Dst: ev.Dst, Link: ev.Link,
+			Demand: ev.Demand, Bytes: ev.Bytes,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a WriteJSON document back into events and the dropped
+// count. Unknown kind or class names are an error.
+func ReadJSON(rd io.Reader) ([]netsim.Event, int, error) {
+	var doc jsonTimeline
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, 0, fmt.Errorf("trace: bad JSON timeline: %w", err)
+	}
+	events := make([]netsim.Event, len(doc.Events))
+	for i, je := range doc.Events {
+		kind, ok := kindNames[je.Kind]
+		if !ok {
+			return nil, 0, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+		}
+		var cls netsim.Class
+		switch je.Class {
+		case "background":
+			cls = netsim.Background
+		case "application":
+			cls = netsim.Application
+		default:
+			return nil, 0, fmt.Errorf("trace: unknown class %q", je.Class)
+		}
+		events[i] = netsim.Event{
+			Time: je.Time, Kind: kind, Class: cls,
+			Node: je.Node, Src: je.Src, Dst: je.Dst, Link: je.Link,
+			Demand: je.Demand, Bytes: je.Bytes,
+		}
+	}
+	return events, doc.Dropped, nil
+}

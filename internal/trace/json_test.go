@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/netsim"
+)
+
+// TestJSONRoundTrip renders a real simulated timeline to JSON and parses
+// it back, expecting an exact event-for-event match.
+func TestJSONRoundTrip(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 0)
+	n.SetObserver(rec.Observe)
+
+	n.StartTask(0, 1, netsim.Application, nil)
+	n.StartFlow(0, 1, 12.5e6, netsim.Background, nil)
+	n.FailLink(0)
+	n.RepairLink(0)
+	e.Run()
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if !reflect.DeepEqual(events, rec.Events()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", events, rec.Events())
+	}
+}
+
+func TestJSONDroppedCount(t *testing.T) {
+	e, n := smallNet()
+	rec := NewRecorder(n.Graph(), nil, 2)
+	n.SetObserver(rec.Observe)
+	for i := 0; i < 3; i++ {
+		n.StartTask(0, 0.1, netsim.Background, nil)
+	}
+	e.Run()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("events = %d, want 2", len(events))
+	}
+	if dropped != rec.Dropped() || dropped == 0 {
+		t.Errorf("dropped = %d, want %d (nonzero)", dropped, rec.Dropped())
+	}
+}
+
+func TestReadJSONRejectsUnknownNames(t *testing.T) {
+	if _, _, err := ReadJSON(strings.NewReader(
+		`{"events":[{"kind":"teleport","class":"background"}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, err := ReadJSON(strings.NewReader(
+		`{"events":[{"kind":"task-start","class":"mystery"}]}`)); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("truncated document accepted")
+	}
+}
