@@ -2,10 +2,11 @@
 # runs must pass before a change is committed.
 
 GO ?= go
+FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race bench fmt fuzz chaos
 
-check: vet build race
+check: vet build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +19,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short smoke runs of every fuzz target (go test -fuzz takes exactly one
+# anchored target per invocation). Raise FUZZTIME for a real session.
+fuzz:
+	$(GO) test ./internal/remos/agent -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/remos/agent -run='^$$' -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/remos/agent -run='^$$' -fuzz='^FuzzChaosCorruptFrame$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzParseGraph$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzReadDocument$$' -fuzztime=$(FUZZTIME)
+
+# Fault-schedule scenario against a real loopback agent fleet, race
+# detector on: hung/crashed agents, degraded service, full recovery.
+chaos:
+	$(GO) test -race ./internal/experiment -run='^TestChaosSchedule$$' -v
+	$(GO) run -race ./cmd/expt -run chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, chaos, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -84,6 +84,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runFailover(cfg)
 	case "autosize":
 		return runAutosize(cfg)
+	case "chaos":
+		return runChaos(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -215,6 +217,18 @@ func runAutosize(cfg experiment.Config) error {
 		return err
 	}
 	fmt.Print(experiment.FormatAutosize(res))
+	return nil
+}
+
+// runChaos exercises the real measurement plane (loopback agents behind
+// fault-injecting proxies), not the simulation, so it is not part of
+// -run all: its timeouts are wall-clock.
+func runChaos(cfg experiment.Config) error {
+	res, err := experiment.RunChaos(experiment.ChaosOptions{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatChaos(res))
 	return nil
 }
 

@@ -19,6 +19,15 @@
 //	curl localhost:8800/decisions?n=5    # recent placement audit entries
 //
 // With -debug, net/http/pprof profiling is served under /debug/pprof/.
+//
+// The measurement transport is fault tolerant: -connect-timeout and
+// -io-timeout bound every agent operation, -allow-partial starts the
+// service on the reachable subset of the fleet (unreachable agents are
+// reported, served from last-known-good data, and redialed in the
+// background), -max-stale caps how old served measurements may get, and
+// -exclude-stale keeps nodes beyond that cap out of placements. /healthz
+// reports "ok", "degraded" (some measurements stale; still serving, HTTP
+// 200) or "unhealthy" (nothing recent enough to serve, HTTP 503).
 package main
 
 import (
@@ -37,17 +46,34 @@ import (
 	"nodeselect/internal/topology"
 )
 
+// options carries the parsed command line.
+type options struct {
+	listen, agents string
+	nodeCnt        int
+	stdin, debug   bool
+	period         time.Duration
+
+	connectTimeout, ioTimeout time.Duration
+	allowPartial              bool
+	maxStale                  time.Duration
+	excludeStale              bool
+}
+
 func main() {
-	var (
-		listen  = flag.String("listen", "127.0.0.1:8800", "HTTP listen address")
-		agents  = flag.String("agents", "", "base agent address (node i at port+i)")
-		nodeCnt = flag.Int("nodes", 0, "agent count for topology discovery")
-		stdin   = flag.Bool("stdin", false, "read a topology document from stdin and serve a synthetic source")
-		period  = flag.Duration("period", 2*time.Second, "measurement polling period")
-		debug   = flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
-	)
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8800", "HTTP listen address")
+	flag.StringVar(&o.agents, "agents", "", "base agent address (node i at port+i)")
+	flag.IntVar(&o.nodeCnt, "nodes", 0, "agent count for topology discovery")
+	flag.BoolVar(&o.stdin, "stdin", false, "read a topology document from stdin and serve a synthetic source")
+	flag.DurationVar(&o.period, "period", 2*time.Second, "measurement polling period")
+	flag.BoolVar(&o.debug, "debug", false, "serve net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&o.connectTimeout, "connect-timeout", 2*time.Second, "agent TCP connect deadline")
+	flag.DurationVar(&o.ioTimeout, "io-timeout", 2*time.Second, "agent request/response deadline")
+	flag.BoolVar(&o.allowPartial, "allow-partial", false, "start with the reachable subset of the agent fleet (discovery still needs all agents)")
+	flag.DurationVar(&o.maxStale, "max-stale", 0, "serve last-known-good measurements at most this old; 0 = forever")
+	flag.BoolVar(&o.excludeStale, "exclude-stale", false, "drop nodes with stale measurements from /select candidates (needs -max-stale)")
 	flag.Parse()
-	if err := run(*listen, *agents, *nodeCnt, *stdin, *period, *debug); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
 		os.Exit(1)
 	}
@@ -64,7 +90,9 @@ func mountPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration, debug bool) error {
+func run(o options) error {
+	listen, agents, nodeCnt := o.listen, o.agents, o.nodeCnt
+	stdin, period, debug := o.stdin, o.period, o.debug
 	var src remos.Source
 	switch {
 	case stdin:
@@ -103,19 +131,41 @@ func run(listen, agents string, nodeCnt int, stdin bool, period time.Duration, d
 		for i := range addrs {
 			addrs[i] = net.JoinHostPort(host, strconv.Itoa(base+i))
 		}
-		ns, err := agent.DiscoverSource(addrs)
+		dc := agent.DialConfig{
+			ConnectTimeout: o.connectTimeout,
+			IOTimeout:      o.ioTimeout,
+			AllowPartial:   o.allowPartial,
+			Seed:           time.Now().UnixNano(),
+		}
+		ns, err := dc.DiscoverSource(addrs)
 		if err != nil {
 			return err
+		}
+		if un := ns.Unreachable(); len(un) > 0 {
+			g := ns.Topology()
+			names := make([]string, len(un))
+			for i, id := range un {
+				names[i] = g.Node(id).Name
+			}
+			fmt.Printf("selectd: starting degraded, %d/%d agents unreachable: %v\n",
+				len(un), nodeCnt, names)
 		}
 		src = ns
 	default:
 		return fmt.Errorf("either -stdin or -agents is required")
 	}
 
+	if o.excludeStale && o.maxStale <= 0 {
+		return fmt.Errorf("-exclude-stale needs -max-stale")
+	}
 	svc := selectsvc.New(src, selectsvc.Config{
-		Collector:   remos.CollectorConfig{Period: period.Seconds()},
-		DefaultMode: remos.Window,
-		Seed:        time.Now().UnixNano(),
+		Collector: remos.CollectorConfig{
+			Period:      period.Seconds(),
+			MaxStaleAge: o.maxStale.Seconds(),
+		},
+		DefaultMode:  remos.Window,
+		Seed:         time.Now().UnixNano(),
+		ExcludeStale: o.excludeStale,
 	})
 	start := time.Now()
 	svc.Registry().NewGaugeFunc("process_uptime_seconds",

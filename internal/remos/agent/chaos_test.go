@@ -1,0 +1,216 @@
+package agent
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nodeselect/internal/remos"
+)
+
+// chaosDialConfig keeps chaos tests fast: tight deadlines, no retries
+// unless a test overrides them.
+func chaosDialConfig() DialConfig {
+	return DialConfig{
+		ConnectTimeout:   200 * time.Millisecond,
+		IOTimeout:        200 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		AllowPartial:     true,
+		Seed:             1,
+	}
+}
+
+// TestKillAndRestartMidPoll is the crash-recovery satellite: an agent dies
+// between polls, the source keeps answering node queries from its
+// last-known-good cache, and after the agent's restart the next refresh
+// returns live data.
+func TestKillAndRestartMidPoll(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	victim := g.MustNode("m2")
+	src.SetLoad(victim, 1.5)
+
+	cf, err := StartChaosFleet(src, 1, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	ns, err := chaosDialConfig().Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	if err := ns.Refresh(); err != nil {
+		t.Fatalf("healthy refresh: %v", err)
+	}
+	if got := ns.NodeLoad(victim, false); got != 1.5 {
+		t.Fatalf("live load = %v, want 1.5", got)
+	}
+
+	// Kill the victim's agent path mid-poll.
+	cf.Proxies[victim].Pause()
+	src.SetLoad(victim, 9) // the crashed agent can no longer report this
+	err = ns.Refresh()
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("refresh with crashed agent: %v, want PartialError", err)
+	}
+	if _, failed := pe.Failed[victim]; !failed || len(pe.Failed) != 1 {
+		t.Fatalf("failed set = %v, want just node %d", pe.Nodes(), victim)
+	}
+	// Queries keep answering from last-known-good: the stale cache still
+	// holds 1.5, and the freshness reporter flags the node.
+	if got := ns.NodeLoad(victim, false); got != 1.5 {
+		t.Fatalf("stale load = %v, want cached 1.5", got)
+	}
+	if ns.NodeOK(victim) {
+		t.Fatal("crashed node reported fresh")
+	}
+
+	// Restart: resume the proxy, wait out the breaker cooldown, refresh.
+	cf.Proxies[victim].Resume()
+	time.Sleep(150 * time.Millisecond)
+	if err := ns.Refresh(); err != nil {
+		t.Fatalf("refresh after restart: %v", err)
+	}
+	if got := ns.NodeLoad(victim, false); got != 9 {
+		t.Fatalf("post-restart load = %v, want live 9", got)
+	}
+	if !ns.NodeOK(victim) {
+		t.Fatal("restarted node still reported stale")
+	}
+}
+
+// TestBreakerFastFail verifies the circuit breaker: after BreakerThreshold
+// consecutive failures the node fails fast (no timeout burned), and a
+// half-open probe after the cooldown closes it again.
+func TestBreakerFastFail(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	cf, err := StartChaosFleet(src, 1, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	cfg := chaosDialConfig()
+	ns, err := cfg.Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	victim := g.MustNode("m1")
+	cf.Proxies[victim].Pause()
+	// Burn through the threshold.
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		if err := ns.Refresh(); err == nil {
+			t.Fatal("refresh succeeded against a crashed agent")
+		}
+	}
+	// Open breaker: the next failure must be fast (no connect timeout).
+	t0 := time.Now()
+	err = ns.Refresh()
+	fastFail := time.Since(t0)
+	var pe *PartialError
+	if !errors.As(err, &pe) || !errors.Is(pe.Failed[victim], ErrBreakerOpen) {
+		t.Fatalf("open-breaker refresh: %v, want ErrBreakerOpen for node %d", err, victim)
+	}
+	if fastFail > cfg.ConnectTimeout/2 {
+		t.Errorf("open-breaker refresh took %v, want fast-fail", fastFail)
+	}
+
+	// Repair and let the cooldown elapse: the half-open probe recovers.
+	cf.Proxies[victim].Resume()
+	time.Sleep(cfg.BreakerCooldown + 50*time.Millisecond)
+	if err := ns.Refresh(); err != nil {
+		t.Fatalf("half-open probe refresh: %v", err)
+	}
+	if !ns.NodeOK(victim) {
+		t.Fatal("node stale after breaker recovery")
+	}
+}
+
+// TestCorruptFramesTolerated verifies that a byte-corrupting agent path
+// yields errors (and stale cache service), never panics or bad data.
+func TestCorruptFramesTolerated(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	victim := g.MustNode("m3")
+	src.SetLoad(victim, 0.25)
+	cf, err := StartChaosFleet(src, 1, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+
+	ns, err := chaosDialConfig().Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	if err := ns.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	cf.Proxies[victim].Set(ChaosConfig{CorruptRate: 1})
+	src.SetLoad(victim, 7)
+	if err := ns.Refresh(); err == nil {
+		t.Fatal("refresh through corrupting proxy succeeded")
+	}
+	if got := ns.NodeLoad(victim, false); got != 0.25 {
+		t.Fatalf("load after corruption = %v, want cached 0.25", got)
+	}
+
+	cf.Proxies[victim].Set(ChaosConfig{})
+	// The corrupted exchange dropped the connection; breaker may need a
+	// cooldown before letting a probe through.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := ns.Refresh(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never recovered from corruption")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := ns.NodeLoad(victim, false); got != 7 {
+		t.Fatalf("recovered load = %v, want 7", got)
+	}
+}
+
+// TestDialAllowPartial verifies the partial-dial satellite: with one agent
+// down, Dial succeeds on the reachable subset and reports the rest.
+func TestDialAllowPartial(t *testing.T) {
+	g := testbedGraph()
+	src := remos.NewStaticSource(g)
+	cf, err := StartChaosFleet(src, 1, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	victim := g.MustNode("m1")
+	cf.Proxies[victim].Pause()
+
+	cfg := chaosDialConfig()
+	ns, err := cfg.Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatalf("partial dial failed: %v", err)
+	}
+	defer ns.Close()
+	unreachable := ns.Unreachable()
+	if len(unreachable) != 1 || unreachable[0] != victim {
+		t.Fatalf("unreachable = %v, want [%d]", unreachable, victim)
+	}
+
+	// Without AllowPartial the same fleet refuses to dial.
+	strict := cfg
+	strict.AllowPartial = false
+	if _, err := strict.Dial(g, cf.Addrs()); err == nil {
+		t.Fatal("strict dial succeeded with a crashed agent")
+	}
+}

@@ -1,10 +1,12 @@
 package agent
 
 import (
+	"errors"
 	"fmt"
-	"net"
 	"sync"
+	"time"
 
+	"nodeselect/internal/randx"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/topology"
 )
@@ -16,38 +18,62 @@ var _ remos.Source = (*NetSource)(nil)
 // NetSource therefore generates the same steady per-node query traffic an
 // SNMP poll loop would.
 //
+// The transport degrades rather than fails: every operation runs under a
+// deadline with bounded retry (DialConfig), dropped connections are
+// redialed, a per-agent circuit breaker fails fast on dead nodes, and a
+// node whose agent is unreachable keeps answering queries from its last
+// good reading — callers learn about the degradation through NodeOK,
+// LinkOK and the PartialError a Refresh returns.
+//
 // Counter reads across agents are not atomic — exactly as with SNMP — so a
 // windowed Collector (which rates counter deltas over multi-second
 // intervals) is the intended consumer.
 type NetSource struct {
-	graph *topology.Graph
+	graph  *topology.Graph
+	cfg    DialConfig
+	agents []*agentConn // indexed by node ID
 
-	mu        sync.Mutex
-	conns     []net.Conn // indexed by node ID
-	addrs     []string
 	linkOwner []int // node owning each link
 
-	// cache of the last read per node, refreshed by refresh().
+	mu sync.Mutex
+	// cache of the last good read per node, refreshed by Refresh/ensure.
 	lastRead []ReadResponse
-	fresh    []bool
+	fresh    []bool // cache valid for the current poll cycle
+	live     []bool // most recent read attempt succeeded
+	everRead []bool // node has answered at least once
+
+	unreachable []int // nodes that failed at Dial time (AllowPartial)
 
 	metrics *ClientMetrics // optional, see SetMetrics
 }
 
-// Dial connects to one agent per node. addrs is indexed by node ID and
-// must cover every node of g. The agents' reported names are verified
-// against the graph.
+// Dial connects to one agent per node with default fault-tolerance
+// settings. addrs is indexed by node ID and must cover every node of g.
+// The agents' reported names are verified against the graph.
 func Dial(g *topology.Graph, addrs []string) (*NetSource, error) {
+	return DialConfig{}.Dial(g, addrs)
+}
+
+// Dial connects to one agent per node under this configuration. With
+// AllowPartial set, unreachable agents do not fail the fleet: the source
+// starts with the reachable subset, reports the rest via Unreachable, and
+// redials them on later use. An agent that answers with the wrong node
+// identity is always fatal — that is a deployment error, not an outage.
+func (cfg DialConfig) Dial(g *topology.Graph, addrs []string) (*NetSource, error) {
 	if len(addrs) != g.NumNodes() {
 		return nil, fmt.Errorf("agent: %d addresses for %d nodes", len(addrs), g.NumNodes())
 	}
+	cfg = cfg.withDefaults()
+	n := g.NumNodes()
 	ns := &NetSource{
 		graph:     g,
-		addrs:     addrs,
-		conns:     make([]net.Conn, g.NumNodes()),
+		cfg:       cfg,
+		agents:    make([]*agentConn, n),
 		linkOwner: make([]int, g.NumLinks()),
-		lastRead:  make([]ReadResponse, g.NumNodes()),
-		fresh:     make([]bool, g.NumNodes()),
+		lastRead:  make([]ReadResponse, n),
+		fresh:     make([]bool, n),
+		live:      make([]bool, n),
+		everRead:  make([]bool, n),
 	}
 	for l := 0; l < g.NumLinks(); l++ {
 		link := g.Link(l)
@@ -57,66 +83,174 @@ func Dial(g *topology.Graph, addrs []string) (*NetSource, error) {
 		}
 		ns.linkOwner[l] = lo
 	}
+	seed := randx.New(cfg.Seed)
 	for node := range addrs {
-		conn, err := net.Dial("tcp", addrs[node])
-		if err != nil {
+		ns.agents[node] = &agentConn{
+			node:     node,
+			addr:     addrs[node],
+			wantName: g.Node(node).Name,
+			rng:      seed.Split(fmt.Sprintf("backoff/%d", node)),
+		}
+	}
+	// Initial connect + identity check, in parallel like a Refresh.
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for node := range ns.agents {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			ac := ns.agents[node]
+			ac.mu.Lock()
+			defer ac.mu.Unlock()
+			// Retry the initial connect like any operation; an identity
+			// mismatch is permanent and exempt.
+			for attempt := 1; ; attempt++ {
+				errs[node] = ac.connect(cfg, nil)
+				if errs[node] == nil || errors.Is(errs[node], ErrIdentity) ||
+					attempt >= cfg.MaxAttempts {
+					return
+				}
+				time.Sleep(cfg.backoff(attempt, ac.rng))
+			}
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !cfg.AllowPartial || errors.Is(err, ErrIdentity) {
 			ns.Close()
 			return nil, fmt.Errorf("agent: dial node %d: %w", node, err)
 		}
-		ns.conns[node] = conn
-		var info InfoResponse
-		if err := roundTrip(conn, OpInfo, &info); err != nil {
-			ns.Close()
-			return nil, fmt.Errorf("agent: info from node %d: %w", node, err)
-		}
-		if want := g.Node(node).Name; info.Node != want {
-			ns.Close()
-			return nil, fmt.Errorf("agent: node %d identifies as %q, want %q", node, info.Node, want)
-		}
+		ns.unreachable = append(ns.unreachable, node)
 	}
 	return ns, nil
 }
 
+// Unreachable returns the nodes that could not be reached when the source
+// was dialed with AllowPartial, in ascending order. They are retried
+// automatically by later reads.
+func (ns *NetSource) Unreachable() []int {
+	out := make([]int, len(ns.unreachable))
+	copy(out, ns.unreachable)
+	return out
+}
+
+// Config returns the transport configuration in effect (defaults filled).
+func (ns *NetSource) Config() DialConfig { return ns.cfg }
+
 // Close tears down all agent connections.
 func (ns *NetSource) Close() {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	for _, c := range ns.conns {
-		if c != nil {
-			c.Close()
+	for _, ac := range ns.agents {
+		if ac != nil {
+			ac.close()
 		}
 	}
 }
 
-// Refresh pulls a fresh reading from every agent. Collector.Poll calls
-// NodeLoad/LinkBits many times per sample; Refresh lets one poll translate
-// into exactly one read per agent.
-func (ns *NetSource) Refresh() error {
+// call performs an instrumented, fault-tolerant round trip to one node.
+func (ns *NetSource) call(node int, op string, out any) error {
 	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	for node := range ns.conns {
-		var rr ReadResponse
-		if err := ns.timedRead(node, &rr); err != nil {
-			return fmt.Errorf("agent: read node %d: %w", node, err)
+	m := ns.metrics
+	ns.mu.Unlock()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	err := ns.agents[node].call(ns.cfg, op, out, m)
+	if m != nil {
+		m.RPCSeconds.ObserveSince(t0)
+		if err != nil {
+			m.Errors.With(ns.graph.Node(node).Name).Inc()
 		}
-		ns.lastRead[node] = rr
-		ns.fresh[node] = true
+	}
+	return err
+}
+
+// Refresh pulls a fresh reading from every agent, in parallel so one slow
+// node bounds the wall time instead of summing into it. A node whose
+// agent fails keeps its last good reading and is marked not-OK; if any
+// node failed, Refresh returns a *PartialError naming them while the
+// source keeps serving last-known-good data for those nodes.
+func (ns *NetSource) Refresh() error {
+	n := len(ns.agents)
+	reads := make([]ReadResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			errs[node] = ns.call(node, OpRead, &reads[node])
+		}(node)
+	}
+	wg.Wait()
+
+	ns.mu.Lock()
+	var failed map[int]error
+	for node := 0; node < n; node++ {
+		if errs[node] == nil {
+			ns.lastRead[node] = reads[node]
+			ns.fresh[node] = true
+			ns.live[node] = true
+			ns.everRead[node] = true
+		} else {
+			ns.live[node] = false
+			// The stale cache (if any) keeps answering queries.
+			ns.fresh[node] = ns.everRead[node]
+			if failed == nil {
+				failed = make(map[int]error)
+			}
+			failed[node] = errs[node]
+		}
+	}
+	ns.mu.Unlock()
+	if failed != nil {
+		return &PartialError{Failed: failed, Total: n}
 	}
 	return nil
 }
 
-// ensure fetches a reading for node if none is cached yet.
-func (ns *NetSource) ensure(node int) *ReadResponse {
+// ensure returns a reading for node, fetching one if none is cached for
+// the current cycle. On failure the last good reading is served.
+func (ns *NetSource) ensure(node int) ReadResponse {
+	ns.mu.Lock()
+	if ns.fresh[node] {
+		rr := ns.lastRead[node]
+		ns.mu.Unlock()
+		return rr
+	}
+	ns.mu.Unlock()
+
+	var rr ReadResponse
+	err := ns.call(node, OpRead, &rr)
+
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	if !ns.fresh[node] {
-		var rr ReadResponse
-		if err := ns.timedRead(node, &rr); err == nil {
-			ns.lastRead[node] = rr
-			ns.fresh[node] = true
-		}
+	if err == nil {
+		ns.lastRead[node] = rr
+		ns.fresh[node] = true
+		ns.live[node] = true
+		ns.everRead[node] = true
+		return rr
 	}
-	return &ns.lastRead[node]
+	ns.live[node] = false
+	ns.fresh[node] = ns.everRead[node]
+	return ns.lastRead[node]
+}
+
+// NodeOK reports whether the node's most recent read attempt succeeded —
+// false means queries for it are answered from a stale cache.
+func (ns *NetSource) NodeOK(node int) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.live[node]
+}
+
+// LinkOK reports whether the link's owning agent is currently readable.
+func (ns *NetSource) LinkOK(link int) bool {
+	return ns.NodeOK(ns.linkOwner[link])
 }
 
 // Topology implements remos.Source.
@@ -128,7 +262,7 @@ func (ns *NetSource) Now() float64 {
 	defer ns.mu.Unlock()
 	t := 0.0
 	for i := range ns.lastRead {
-		if ns.fresh[i] && ns.lastRead[i].Time > t {
+		if ns.everRead[i] && ns.lastRead[i].Time > t {
 			t = ns.lastRead[i].Time
 		}
 	}

@@ -1,0 +1,293 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nodeselect/internal/randx"
+)
+
+// Transport errors. NodeError wraps them with the failing node's identity
+// so callers can attribute a failure without parsing messages.
+var (
+	// ErrBreakerOpen reports a call short-circuited because the node's
+	// circuit breaker is open: the agent failed repeatedly and the cooldown
+	// since the last failure has not yet elapsed.
+	ErrBreakerOpen = errors.New("agent: circuit breaker open")
+	// ErrIdentity reports an agent identifying as a different node than
+	// the address mapping expects — a deployment error, never retried.
+	ErrIdentity = errors.New("agent: node identity mismatch")
+)
+
+// NodeError attributes a transport failure to one node.
+type NodeError struct {
+	// Node is the dense node ID the call addressed.
+	Node int
+	// Addr is the agent address dialed.
+	Addr string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("agent: node %d (%s): %v", e.Node, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// PartialError reports a fleet operation that failed on some nodes while
+// succeeding on the rest. Callers that can degrade (the collector) treat
+// it as a partial success; callers that cannot treat it as an error.
+type PartialError struct {
+	// Failed maps node IDs to their individual failures.
+	Failed map[int]error
+	// Total is the number of nodes the operation addressed.
+	Total int
+}
+
+// Error implements error, naming the failed nodes in ID order.
+func (e *PartialError) Error() string {
+	ids := e.Nodes()
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("node %d: %v", id, e.Failed[id]))
+	}
+	return fmt.Sprintf("agent: %d/%d agents failed: %s", len(ids), e.Total, strings.Join(parts, "; "))
+}
+
+// Nodes returns the failed node IDs in ascending order.
+func (e *PartialError) Nodes() []int {
+	ids := make([]int, 0, len(e.Failed))
+	for id := range e.Failed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// DialConfig tunes the fault tolerance of the agent transport: per-
+// operation deadlines, bounded retry with exponential backoff and jitter,
+// and a per-agent circuit breaker. The zero value selects defaults suited
+// to a LAN measurement fabric.
+type DialConfig struct {
+	// ConnectTimeout bounds one TCP connect (default 2s).
+	ConnectTimeout time.Duration
+	// IOTimeout bounds one request/response round trip on an established
+	// connection (default 2s).
+	IOTimeout time.Duration
+	// MaxAttempts is the number of tries per operation, including the
+	// first (default 3). Each failed attempt drops the connection so the
+	// next one redials.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry (default 25ms);
+	// successive retries double it up to BackoffMax (default 500ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter is the fraction of each backoff randomly shaved off, in
+	// [0, 1] (default 0.5), decorrelating retry storms across nodes.
+	Jitter float64
+	// BreakerThreshold is the number of consecutive failed operations
+	// after which the node's breaker opens (default 3). While open, calls
+	// fail fast with ErrBreakerOpen; after BreakerCooldown (default 2s) a
+	// single half-open probe is allowed through.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AllowPartial lets Dial succeed with the reachable subset of the
+	// fleet instead of failing outright; unreachable nodes are reported
+	// by NetSource.Unreachable and redialed on later use.
+	AllowPartial bool
+	// Seed seeds the jitter stream (deterministic per node).
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c DialConfig) withDefaults() DialConfig {
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 2 * time.Second
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		c.Jitter = 0.5
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	return c
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (c DialConfig) backoff(attempt int, rng *randx.Source) time.Duration {
+	d := c.BackoffBase
+	for i := 1; i < attempt && d < c.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	if c.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - c.Jitter*rng.Float64()))
+	}
+	return d
+}
+
+// Breaker states, exposed through the remos_agent_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// agentConn is the connection state of one node's agent. Its mutex is
+// held for the whole of a call, serializing operations per node while
+// letting a parallel Refresh fan out across nodes.
+type agentConn struct {
+	mu       sync.Mutex
+	node     int
+	addr     string
+	wantName string // expected node name, verified on every (re)connect
+	conn     net.Conn
+	rng      *randx.Source
+
+	// Breaker state: consecutive failures and, once open, the earliest
+	// time a half-open probe may go through.
+	fails     int
+	openUntil time.Time
+}
+
+// roundTripTimeout performs one round trip under a deadline covering both
+// the write and the read.
+func roundTripTimeout(conn net.Conn, op string, out any, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	return roundTrip(conn, op, out)
+}
+
+// connect dials the agent and verifies its identity. Callers hold ac.mu.
+func (ac *agentConn) connect(cfg DialConfig, m *ClientMetrics) error {
+	conn, err := net.DialTimeout("tcp", ac.addr, cfg.ConnectTimeout)
+	if err != nil {
+		return err
+	}
+	var info InfoResponse
+	if err := roundTripTimeout(conn, OpInfo, &info, cfg.IOTimeout); err != nil {
+		conn.Close()
+		return fmt.Errorf("info: %w", err)
+	}
+	if ac.wantName != "" && info.Node != ac.wantName {
+		conn.Close()
+		return fmt.Errorf("%w: agent identifies as %q, want %q", ErrIdentity, info.Node, ac.wantName)
+	}
+	ac.conn = conn
+	if m != nil {
+		m.Reconnects.Inc()
+	}
+	return nil
+}
+
+// tryOnce performs one attempt of op, (re)connecting if needed. Callers
+// hold ac.mu. On failure the connection is dropped so the next attempt
+// redials.
+func (ac *agentConn) tryOnce(cfg DialConfig, op string, out any, m *ClientMetrics) error {
+	if ac.conn == nil {
+		if err := ac.connect(cfg, m); err != nil {
+			return err
+		}
+	}
+	if err := roundTripTimeout(ac.conn, op, out, cfg.IOTimeout); err != nil {
+		ac.conn.Close()
+		ac.conn = nil
+		return err
+	}
+	return nil
+}
+
+// call performs op against the node with retry, backoff and the circuit
+// breaker. It returns nil on success or a *NodeError.
+func (ac *agentConn) call(cfg DialConfig, op string, out any, m *ClientMetrics) error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+
+	attempts := cfg.MaxAttempts
+	if ac.fails >= cfg.BreakerThreshold {
+		if time.Now().Before(ac.openUntil) {
+			return &NodeError{Node: ac.node, Addr: ac.addr, Err: ErrBreakerOpen}
+		}
+		// Half-open: let exactly one probe through, with no retries, so a
+		// still-dead agent costs one timeout per cooldown instead of a
+		// full retry ladder.
+		attempts = 1
+		if m != nil {
+			m.BreakerState.With(ac.wantName).Set(breakerHalfOpen)
+		}
+	}
+
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(cfg.backoff(attempt-1, ac.rng))
+			if m != nil {
+				m.Retries.Inc()
+			}
+		}
+		if err = ac.tryOnce(cfg, op, out, m); err == nil {
+			if ac.fails >= cfg.BreakerThreshold && m != nil {
+				m.BreakerCloses.Inc()
+			}
+			ac.fails = 0
+			if m != nil {
+				m.BreakerState.With(ac.wantName).Set(breakerClosed)
+			}
+			return nil
+		}
+		if errors.Is(err, ErrIdentity) {
+			break // a misdeployed agent will not fix itself mid-call
+		}
+	}
+	wasOpen := ac.fails >= cfg.BreakerThreshold
+	ac.fails++
+	if ac.fails >= cfg.BreakerThreshold {
+		ac.openUntil = time.Now().Add(cfg.BreakerCooldown)
+		if m != nil {
+			m.BreakerState.With(ac.wantName).Set(breakerOpen)
+			if !wasOpen {
+				m.BreakerOpens.Inc()
+			}
+		}
+	}
+	return &NodeError{Node: ac.node, Addr: ac.addr, Err: err}
+}
+
+// close drops the connection.
+func (ac *agentConn) close() {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.conn != nil {
+		ac.conn.Close()
+		ac.conn = nil
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
+	"nodeselect/internal/randx"
 	"nodeselect/internal/topology"
 )
 
@@ -14,19 +16,42 @@ import (
 // agents were deployed in); the reconstructed graph assigns node and link
 // IDs so that subsequent ReadResponse link counters align.
 func Discover(addrs []string) (*topology.Graph, error) {
+	return DialConfig{}.Discover(addrs)
+}
+
+// Discover assembles the topology from the agents under this transport
+// configuration's connect and I/O deadlines.
+func (dc DialConfig) Discover(addrs []string) (*topology.Graph, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("agent: no agents to discover from")
 	}
+	cfg := dc.withDefaults()
+	rng := randx.New(cfg.Seed).Split("discover")
 	infos := make([]InfoResponse, len(addrs))
 	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return nil, fmt.Errorf("agent: discover dial %s: %w", addr, err)
+		// Discovery retries like any other operation: a flaky path must
+		// not abort startup when a later attempt would have answered.
+		var lastErr error
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				time.Sleep(cfg.backoff(attempt-1, rng))
+			}
+			conn, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
+			if err != nil {
+				lastErr = fmt.Errorf("agent: discover dial %s: %w", addr, err)
+				continue
+			}
+			err = roundTripTimeout(conn, OpInfo, &infos[i], cfg.IOTimeout)
+			conn.Close()
+			if err != nil {
+				lastErr = fmt.Errorf("agent: discover info %s: %w", addr, err)
+				continue
+			}
+			lastErr = nil
+			break
 		}
-		err = roundTrip(conn, OpInfo, &infos[i])
-		conn.Close()
-		if err != nil {
-			return nil, fmt.Errorf("agent: discover info %s: %w", addr, err)
+		if lastErr != nil {
+			return nil, lastErr
 		}
 	}
 
@@ -105,9 +130,17 @@ func Discover(addrs []string) (*topology.Graph, error) {
 // DiscoverSource discovers the topology and dials the agents as a
 // measurement source, the zero-configuration entry point for a collector.
 func DiscoverSource(addrs []string) (*NetSource, error) {
-	g, err := Discover(addrs)
+	return DialConfig{}.DiscoverSource(addrs)
+}
+
+// DiscoverSource discovers the topology and dials the agents under this
+// transport configuration. Discovery itself needs every agent answering
+// (a node missing from discovery would vanish from the topology, not
+// degrade), so AllowPartial only applies to the subsequent dial.
+func (cfg DialConfig) DiscoverSource(addrs []string) (*NetSource, error) {
+	g, err := cfg.Discover(addrs)
 	if err != nil {
 		return nil, err
 	}
-	return Dial(g, addrs)
+	return cfg.Dial(g, addrs)
 }

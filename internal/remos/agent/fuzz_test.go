@@ -29,6 +29,39 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzChaosCorruptFrame replays the chaos proxy's corruption against the
+// frame decoder: any body, mangled exactly as the proxy mangles it and
+// wrapped in a valid length header, must produce an error or a value —
+// never a panic. This is the fuzz twin of the ChaosProxy CorruptRate path.
+func FuzzChaosCorruptFrame(f *testing.F) {
+	valid, err := json.Marshal(ReadResponse{Time: 1, Load: 0.5,
+		Links: map[int]LinkReading{0: {Bits: 1e6}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"op":"read"}`))
+	f.Add([]byte{})
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var buf bytes.Buffer
+		if err := writeCorruptFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		var rr ReadResponse
+		_ = ReadFrame(&buf, &rr) // must not panic
+		// Truncated corruption: lop bytes off the end as a dropped
+		// connection would and decode again.
+		full := buf.Bytes()
+		for _, cut := range []int{1, 4, len(full) / 2} {
+			if cut < len(full) {
+				var v ReadResponse
+				_ = ReadFrame(bytes.NewReader(full[:len(full)-cut]), &v)
+			}
+		}
+	})
+}
+
 // FuzzFrameRoundTrip checks that anything the encoder writes, the decoder
 // reads back identically.
 func FuzzFrameRoundTrip(f *testing.F) {

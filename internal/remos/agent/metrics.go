@@ -1,21 +1,31 @@
 package agent
 
-import (
-	"time"
+import "nodeselect/internal/metrics"
 
-	"nodeselect/internal/metrics"
-)
-
-// ClientMetrics instruments a NetSource's wire traffic: one histogram of
-// agent RPC round-trip times and per-node error counts — the visibility
-// an SNMP poller needs to tell a slow agent from a dead one.
+// ClientMetrics instruments a NetSource's wire traffic and its fault-
+// tolerance machinery: round-trip times, per-node errors, retries,
+// reconnects, and the per-node circuit breaker state — the visibility an
+// SNMP poller needs to tell a slow agent from a dead one.
 type ClientMetrics struct {
-	// RPCSeconds is the round-trip time of one agent read
-	// (remos_agent_rpc_seconds).
+	// RPCSeconds is the round-trip time of one agent operation, retries
+	// included (remos_agent_rpc_seconds).
 	RPCSeconds *metrics.Histogram
-	// Errors counts failed agent reads by node name
+	// Errors counts failed agent operations by node name
 	// (remos_agent_errors_total).
 	Errors *metrics.CounterVec
+	// Retries counts retry attempts after a failed try
+	// (remos_agent_retries_total).
+	Retries *metrics.Counter
+	// Reconnects counts TCP (re)connections established after the initial
+	// dial or a dropped connection (remos_agent_reconnects_total).
+	Reconnects *metrics.Counter
+	// BreakerState is the per-node circuit breaker state: 0 closed,
+	// 1 half-open, 2 open (remos_agent_breaker_state).
+	BreakerState *metrics.GaugeVec
+	// BreakerOpens and BreakerCloses count breaker transitions to open and
+	// back to closed (remos_agent_breaker_opens_total / _closes_total).
+	BreakerOpens  *metrics.Counter
+	BreakerCloses *metrics.Counter
 }
 
 // NewClientMetrics registers the agent client metric set on reg.
@@ -23,6 +33,12 @@ func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
 	return &ClientMetrics{
 		RPCSeconds: reg.NewHistogram("remos_agent_rpc_seconds", "Agent RPC round-trip time.", nil),
 		Errors:     reg.NewCounterVec("remos_agent_errors_total", "Failed agent reads, by node.", "node"),
+		Retries:    reg.NewCounter("remos_agent_retries_total", "Agent RPC retry attempts."),
+		Reconnects: reg.NewCounter("remos_agent_reconnects_total", "Agent TCP connections established."),
+		BreakerState: reg.NewGaugeVec("remos_agent_breaker_state",
+			"Per-node circuit breaker state: 0 closed, 1 half-open, 2 open.", "node"),
+		BreakerOpens:  reg.NewCounter("remos_agent_breaker_opens_total", "Circuit breaker open transitions."),
+		BreakerCloses: reg.NewCounter("remos_agent_breaker_closes_total", "Circuit breaker recoveries to closed."),
 	}
 }
 
@@ -31,22 +47,4 @@ func (ns *NetSource) SetMetrics(m *ClientMetrics) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	ns.metrics = m
-}
-
-// timedRead performs one instrumented read round-trip to a node's agent.
-// Callers must hold ns.mu.
-func (ns *NetSource) timedRead(node int, out *ReadResponse) error {
-	m := ns.metrics
-	var t0 time.Time
-	if m != nil {
-		t0 = time.Now()
-	}
-	err := roundTrip(ns.conns[node], OpRead, out)
-	if m != nil {
-		m.RPCSeconds.ObserveSince(t0)
-		if err != nil {
-			m.Errors.With(ns.graph.Node(node).Name).Inc()
-		}
-	}
-	return err
 }

@@ -63,6 +63,12 @@ type CollectorConfig struct {
 	// ForecastAlpha is the exponential smoothing coefficient applied to
 	// per-interval measurements in Forecast mode (default 0.3).
 	ForecastAlpha float64
+	// MaxStaleAge, when positive, is the maximum age in seconds a
+	// last-known-good measurement may be served with. Entities beyond it
+	// count as stale in Health, and once every compute node exceeds it,
+	// queries fail with a StaleError instead of answering from data that
+	// old. Zero disables the ceiling: degraded data is served forever.
+	MaxStaleAge float64
 }
 
 func (c CollectorConfig) period() float64 {
@@ -97,6 +103,14 @@ type sample struct {
 }
 
 // Collector polls a Source and answers Remos queries from the history.
+//
+// A collector over a partially failing source (see FreshnessReporter)
+// degrades instead of failing: a node or link whose agent cannot be read
+// keeps its last-known-good values in new samples — link counters are
+// extrapolated at the last good rate so every query mode keeps producing
+// the last-good estimate rather than an optimistic idle link — and the
+// entity's age is tracked for Health, Freshness and the MaxStaleAge
+// ceiling.
 type Collector struct {
 	src     Source
 	cfg     CollectorConfig
@@ -104,12 +118,30 @@ type Collector struct {
 	samples []sample // ring, oldest first
 	polls   int
 	metrics *CollectorMetrics // optional, see SetMetrics
+
+	// Freshness bookkeeping: consecutive polls since an entity was last
+	// read live (0 = live at the latest poll), and the last live counter
+	// rates used to extrapolate a stale link's counters.
+	nodeSince  []int
+	linkSince  []int
+	linkRate   []float64
+	linkRateBG []float64
+	degraded   bool // latest poll served any entity from stale cache
 }
 
 // NewCollector builds a collector over src. Call Poll (or Start, to attach
 // it to a simulation engine) to begin gathering samples.
 func NewCollector(src Source, cfg CollectorConfig) *Collector {
-	return &Collector{src: src, cfg: cfg, graph: src.Topology()}
+	g := src.Topology()
+	return &Collector{
+		src:        src,
+		cfg:        cfg,
+		graph:      g,
+		nodeSince:  make([]int, g.NumNodes()),
+		linkSince:  make([]int, g.NumLinks()),
+		linkRate:   make([]float64, g.NumLinks()),
+		linkRateBG: make([]float64, g.NumLinks()),
+	}
 }
 
 // Graph returns the measured topology.
@@ -146,6 +178,7 @@ func (c *Collector) Poll() {
 		s.bitsBG[l] = c.src.LinkBits(l, true)
 		s.up[l] = c.src.LinkUp(l)
 	}
+	c.applyFreshness(&s)
 	c.samples = append(c.samples, s)
 	if len(c.samples) > c.cfg.history() {
 		c.samples = c.samples[1:]
@@ -157,7 +190,151 @@ func (c *Collector) Poll() {
 		m.WindowSamples.Set(float64(len(c.samples)))
 		m.WindowSpanSeconds.Set(s.time - c.samples[0].time)
 		m.LastSampleTime.Set(s.time)
+		if c.degraded {
+			m.DegradedPolls.Inc()
+		}
+		h := c.Health()
+		m.StaleNodes.Set(float64(h.StaleNodes))
+		m.DegradedNodes.Set(float64(h.DegradedNodes))
+		m.StaleLinks.Set(float64(h.StaleLinks))
+		m.DegradedLinks.Set(float64(h.DegradedLinks))
+		m.FreshFraction.Set(h.FreshFraction)
 	}
+}
+
+// applyFreshness folds the source's per-entity read outcomes into the new
+// sample: ages advance for entities that could not be read, and a stale
+// link's counters are extrapolated at the last live rate so the sample
+// window keeps encoding the last-known-good estimate instead of a frozen
+// counter (which every mode would misread as an idle link).
+func (c *Collector) applyFreshness(s *sample) {
+	fr, _ := c.src.(FreshnessReporter)
+	c.degraded = false
+	var prev *sample
+	if len(c.samples) > 0 {
+		prev = &c.samples[len(c.samples)-1]
+	}
+	for i := 0; i < c.graph.NumNodes(); i++ {
+		if c.graph.Node(i).Kind != topology.Compute {
+			continue
+		}
+		if fr == nil || fr.NodeOK(i) {
+			c.nodeSince[i] = 0
+		} else {
+			// The source already served its cached last-good load.
+			c.nodeSince[i]++
+			c.degraded = true
+		}
+	}
+	for l := 0; l < c.graph.NumLinks(); l++ {
+		if fr == nil || fr.LinkOK(l) {
+			// Update the last-live rate only across an interval whose both
+			// ends were live; a recovery interval spans synthesized
+			// counters and would corrupt the estimate.
+			if prev != nil && c.linkSince[l] == 0 {
+				if dt := s.time - prev.time; dt > 0 {
+					c.linkRate[l] = rateOver(prev.bits[l], s.bits[l], dt)
+					c.linkRateBG[l] = rateOver(prev.bitsBG[l], s.bitsBG[l], dt)
+				}
+			}
+			c.linkSince[l] = 0
+			continue
+		}
+		c.degraded = true
+		if prev != nil {
+			dt := s.time - prev.time
+			if dt < 0 {
+				dt = 0
+			}
+			s.bits[l] = prev.bits[l] + c.linkRate[l]*dt
+			s.bitsBG[l] = prev.bitsBG[l] + c.linkRateBG[l]*dt
+			s.up[l] = prev.up[l]
+		}
+		c.linkSince[l]++
+	}
+}
+
+// entityAge converts a polls-since-live count to seconds. Poll counts
+// rather than measurement clocks age the data even when every agent is
+// down and the measurement clock has stopped advancing.
+func (c *Collector) entityAge(since int) float64 {
+	return float64(since) * c.cfg.period()
+}
+
+// Health summarizes the freshness of the collector's current view.
+func (c *Collector) Health() Health {
+	var h Health
+	if c.polls == 0 {
+		h.State = HealthStale
+		return h
+	}
+	max := c.cfg.MaxStaleAge
+	classify := func(since int) int {
+		age := c.entityAge(since)
+		if age > h.MaxAgeSeconds {
+			h.MaxAgeSeconds = age
+		}
+		switch {
+		case since == 0:
+			return 0
+		case max > 0 && age > max:
+			return 2
+		default:
+			return 1
+		}
+	}
+	for i := 0; i < c.graph.NumNodes(); i++ {
+		if c.graph.Node(i).Kind != topology.Compute {
+			continue
+		}
+		switch classify(c.nodeSince[i]) {
+		case 0:
+			h.FreshNodes++
+		case 1:
+			h.DegradedNodes++
+		case 2:
+			h.StaleNodes++
+		}
+	}
+	for l := 0; l < c.graph.NumLinks(); l++ {
+		switch classify(c.linkSince[l]) {
+		case 0:
+			h.FreshLinks++
+		case 1:
+			h.DegradedLinks++
+		case 2:
+			h.StaleLinks++
+		}
+	}
+	nodes := h.FreshNodes + h.DegradedNodes + h.StaleNodes
+	links := h.FreshLinks + h.DegradedLinks + h.StaleLinks
+	if total := nodes + links; total > 0 {
+		h.FreshFraction = float64(h.FreshNodes+h.FreshLinks) / float64(total)
+	}
+	switch {
+	case nodes > 0 && h.StaleNodes == nodes:
+		h.State = HealthStale
+	case h.FreshNodes == nodes && h.FreshLinks == links:
+		h.State = HealthOK
+	default:
+		h.State = HealthDegraded
+	}
+	return h
+}
+
+// Freshness reports the per-entity measurement ages of the current view.
+func (c *Collector) Freshness() Freshness {
+	f := Freshness{
+		NodeAge: make([]float64, c.graph.NumNodes()),
+		LinkAge: make([]float64, c.graph.NumLinks()),
+	}
+	for i := range f.NodeAge {
+		f.NodeAge[i] = c.entityAge(c.nodeSince[i])
+	}
+	for l := range f.LinkAge {
+		f.LinkAge[l] = c.entityAge(c.linkSince[l])
+	}
+	return f
 }
 
 // Start attaches the collector to a simulation engine, polling every
@@ -177,6 +354,9 @@ func (c *Collector) Snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot
 			m.QueryErrors.Inc()
 		} else {
 			m.Queries.With(mode.String()).Inc()
+			if c.degraded {
+				m.DegradedQueries.Inc()
+			}
 		}
 	}
 	return s, err
@@ -187,6 +367,23 @@ func (c *Collector) Snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot
 func (c *Collector) snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot, error) {
 	if len(c.samples) == 0 {
 		return nil, ErrNoData
+	}
+	// Answer from last-known-good data while any compute node is within
+	// the staleness ceiling; beyond it, a typed error beats serving a view
+	// of a network that may no longer exist.
+	if max := c.cfg.MaxStaleAge; max > 0 {
+		minAge := math.Inf(1)
+		for i := 0; i < c.graph.NumNodes(); i++ {
+			if c.graph.Node(i).Kind != topology.Compute {
+				continue
+			}
+			if age := c.entityAge(c.nodeSince[i]); age < minAge {
+				minAge = age
+			}
+		}
+		if minAge > max {
+			return nil, &StaleError{AgeSeconds: minAge, MaxAge: max}
+		}
 	}
 	out := topology.NewSnapshot(c.graph)
 	last := c.samples[len(c.samples)-1]

@@ -28,6 +28,20 @@ type CollectorMetrics struct {
 	// QueryErrors counts snapshot queries that failed, dominated by
 	// ErrNoData before the window fills (remos_query_errors_total).
 	QueryErrors *metrics.Counter
+	// DegradedPolls counts polls that served at least one entity from a
+	// stale cache (remos_degraded_polls_total); DegradedQueries counts
+	// snapshots answered while degraded (remos_degraded_queries_total).
+	DegradedPolls   *metrics.Counter
+	DegradedQueries *metrics.Counter
+	// StaleNodes/DegradedNodes and StaleLinks/DegradedLinks gauge the
+	// entity counts of the Health summary (remos_stale_nodes,
+	// remos_degraded_nodes, remos_stale_links, remos_degraded_links);
+	// FreshFraction is its live fraction (remos_fresh_fraction).
+	StaleNodes    *metrics.Gauge
+	DegradedNodes *metrics.Gauge
+	StaleLinks    *metrics.Gauge
+	DegradedLinks *metrics.Gauge
+	FreshFraction *metrics.Gauge
 }
 
 // NewCollectorMetrics registers the collector metric set on reg.
@@ -40,6 +54,13 @@ func NewCollectorMetrics(reg *metrics.Registry) *CollectorMetrics {
 		LastSampleTime:    reg.NewGauge("remos_last_sample_time_seconds", "Measurement clock of the newest retained sample."),
 		Queries:           reg.NewCounterVec("remos_queries_total", "Snapshot queries answered, by mode.", "mode"),
 		QueryErrors:       reg.NewCounter("remos_query_errors_total", "Snapshot queries that failed."),
+		DegradedPolls:     reg.NewCounter("remos_degraded_polls_total", "Polls serving any entity from stale cache."),
+		DegradedQueries:   reg.NewCounter("remos_degraded_queries_total", "Snapshot queries answered while degraded."),
+		StaleNodes:        reg.NewGauge("remos_stale_nodes", "Compute nodes beyond the staleness ceiling."),
+		DegradedNodes:     reg.NewGauge("remos_degraded_nodes", "Compute nodes served from last-known-good data."),
+		StaleLinks:        reg.NewGauge("remos_stale_links", "Links beyond the staleness ceiling."),
+		DegradedLinks:     reg.NewGauge("remos_degraded_links", "Links served from last-known-good data."),
+		FreshFraction:     reg.NewGauge("remos_fresh_fraction", "Fraction of entities read live at the latest poll."),
 	}
 }
 

@@ -62,6 +62,11 @@ type Decision struct {
 	MinCPU      float64 `json:"min_cpu,omitempty"`
 	PairMinBW   float64 `json:"pair_min_bw,omitempty"`
 	MinResource float64 `json:"min_resource,omitempty"`
+	// Degraded marks a decision computed while part of the measurement
+	// fleet was stale — some inputs were last-known-good values, with
+	// DataAgeSeconds the age of the oldest of them.
+	Degraded       bool    `json:"degraded,omitempty"`
+	DataAgeSeconds float64 `json:"data_age_seconds,omitempty"`
 	// DurationSeconds is the wall-clock time spent serving the request.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// Error carries the failure, with ErrorClass one of bad_request,

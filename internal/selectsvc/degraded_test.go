@@ -1,0 +1,175 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+	"time"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// newDegradedService builds a service over a real loopback agent fleet
+// fronted by chaos proxies, with tight deadlines and a staleness ceiling.
+func newDegradedService(t *testing.T) (*Service, *remos.StaticSource, *agent.ChaosFleet, *topology.Graph) {
+	t.Helper()
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	// Every compute node carries load except m-5: the most attractive
+	// candidate is exactly the one whose agent we will crash.
+	for _, id := range g.ComputeNodes() {
+		src.SetLoad(id, 1)
+	}
+	src.SetLoad(g.MustNode("m-5"), 0)
+
+	cf, err := agent.StartChaosFleet(src, 1, agent.ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cf.Close)
+	ns, err := agent.DialConfig{
+		ConnectTimeout:   200 * time.Millisecond,
+		IOTimeout:        200 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		AllowPartial:     true,
+		Seed:             1,
+	}.Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+
+	svc := New(ns, Config{
+		Collector:    remos.CollectorConfig{Period: 1, History: 8, MaxStaleAge: 2.5},
+		DefaultMode:  remos.Current,
+		Seed:         1,
+		ExcludeStale: true,
+	})
+	for i := 0; i < 2; i++ {
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		src.Advance(1)
+	}
+	return svc, src, cf, g
+}
+
+// TestServiceDegradesAndRecovers drives the service through a crashed
+// agent: /healthz turns degraded (but stays 200), /select keeps answering
+// with the degradation declared, the stale node is excluded from
+// candidacy, and repair restores full health.
+func TestServiceDegradesAndRecovers(t *testing.T) {
+	svc, src, cf, g := newDegradedService(t)
+	h := svc.Handler()
+
+	resp := decodeHealth(t, do(t, h, "GET", "/healthz", nil), http.StatusOK)
+	if resp["state"] != StateOK {
+		t.Fatalf("baseline state = %v", resp["state"])
+	}
+
+	// Crash m-5's agent and age it past the staleness ceiling.
+	victim := g.MustNode("m-5")
+	cf.Proxies[victim].Pause()
+	for i := 0; i < 4; i++ {
+		src.Advance(1)
+		svc.Poll() // partial poll: must not error out the loop
+	}
+
+	resp = decodeHealth(t, do(t, h, "GET", "/healthz", nil), http.StatusOK)
+	if resp["state"] != StateDegraded {
+		t.Fatalf("faulted state = %v, want degraded", resp["state"])
+	}
+	if resp["partial_polls"].(float64) < 4 {
+		t.Fatalf("partial_polls = %v", resp["partial_polls"])
+	}
+	meas := resp["measurements"].(map[string]any)
+	if meas["state"] != remos.HealthDegraded || meas["stale_nodes"].(float64) != 1 {
+		t.Fatalf("measurements = %v", meas)
+	}
+
+	// Selection keeps working, declares the degradation, and does not
+	// place on the invisible node even though it looks idle.
+	w := do(t, h, "POST", "/select", SelectRequest{M: 4})
+	if w.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", w.Code, w.Body)
+	}
+	var sel SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sel); err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Degraded || sel.DataAgeSeconds <= 2.5 {
+		t.Fatalf("degradation not declared: %+v", sel)
+	}
+	if !slices.Contains(sel.StaleNodes, "m-5") {
+		t.Fatalf("stale nodes = %v, want m-5 listed", sel.StaleNodes)
+	}
+	if slices.Contains(sel.Nodes, "m-5") {
+		t.Fatalf("stale node selected: %v", sel.Nodes)
+	}
+
+	// The audit trail records the stale-served request.
+	dec := svc.Decisions(1)
+	if len(dec) != 1 || !dec[0].Degraded || dec[0].DataAgeSeconds <= 2.5 {
+		t.Fatalf("audit entry = %+v", dec)
+	}
+
+	// Repair: resume, wait out the breaker cooldown, and poll live again.
+	cf.Proxies[victim].Resume()
+	time.Sleep(150 * time.Millisecond)
+	src.Advance(1)
+	if err := svc.Poll(); err != nil {
+		t.Fatalf("post-repair poll: %v", err)
+	}
+	resp = decodeHealth(t, do(t, h, "GET", "/healthz", nil), http.StatusOK)
+	if resp["state"] != StateOK {
+		t.Fatalf("post-repair state = %v", resp["state"])
+	}
+}
+
+// TestServiceUnhealthyWhenAllStale: with the whole fleet down past the
+// ceiling, /healthz turns 503 and /select fails typed rather than serving
+// a view of a network that may be gone.
+func TestServiceUnhealthyWhenAllStale(t *testing.T) {
+	svc, src, cf, _ := newDegradedService(t)
+	h := svc.Handler()
+
+	for _, p := range cf.Proxies {
+		p.Pause()
+	}
+	for i := 0; i < 4; i++ {
+		src.Advance(1)
+		svc.Poll()
+	}
+
+	resp := decodeHealth(t, do(t, h, "GET", "/healthz", nil), http.StatusServiceUnavailable)
+	if resp["state"] != StateUnhealthy {
+		t.Fatalf("state = %v, want unhealthy", resp["state"])
+	}
+	w := do(t, h, "POST", "/select", SelectRequest{M: 4})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("select status = %d, want 503: %s", w.Code, w.Body)
+	}
+	dec := svc.Decisions(1)
+	if len(dec) != 1 || dec[0].ErrorClass != "stale" {
+		t.Fatalf("audit entry = %+v", dec)
+	}
+}
+
+func decodeHealth(t *testing.T, w *httptest.ResponseRecorder, wantStatus int) map[string]any {
+	t.Helper()
+	if w.Code != wantStatus {
+		t.Fatalf("healthz status = %d, want %d: %s", w.Code, wantStatus, w.Body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

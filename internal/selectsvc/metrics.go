@@ -31,6 +31,14 @@ type svcMetrics struct {
 	lastMinresource *metrics.Gauge
 	// selectsvc_decisions_total: audit entries recorded
 	decisions *metrics.Counter
+	// selectsvc_partial_polls_total: polls that refreshed only part of the
+	// agent fleet and served the rest from last-known-good data
+	partialPolls *metrics.Counter
+	// selectsvc_health_state: 0 ok, 1 degraded, 2 unhealthy
+	healthState *metrics.Gauge
+	// selectsvc_degraded_selects_total: placements computed while some
+	// measurement inputs were last-known-good rather than live
+	degradedSelects *metrics.Counter
 }
 
 func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
@@ -47,5 +55,11 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 			"Balanced objective of the most recent placement."),
 		decisions: reg.NewCounter("selectsvc_decisions_total",
 			"Decisions recorded in the audit ring."),
+		partialPolls: reg.NewCounter("selectsvc_partial_polls_total",
+			"Polls that refreshed only part of the agent fleet."),
+		healthState: reg.NewGauge("selectsvc_health_state",
+			"Service health: 0 ok, 1 degraded, 2 unhealthy."),
+		degradedSelects: reg.NewCounter("selectsvc_degraded_selects_total",
+			"Placements computed from partially stale measurements."),
 	}
 }

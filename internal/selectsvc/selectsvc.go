@@ -56,6 +56,11 @@ type Config struct {
 	Registry *metrics.Registry
 	// AuditSize bounds the decision audit ring (default 64).
 	AuditSize int
+	// ExcludeStale drops compute nodes whose measurements have outlived
+	// Collector.MaxStaleAge from plain /select candidates: better to
+	// place on a node we can see than on one that may be gone. Requires
+	// Collector.MaxStaleAge > 0; spec-based requests are not filtered.
+	ExcludeStale bool
 }
 
 // Service is the placement daemon. Create with New, drive polling with
@@ -67,6 +72,12 @@ type Service struct {
 	cfg       Config
 	rng       *randx.Source
 	selects   int
+
+	// lastPollErr is the most recent Poll failure ("" when the last poll
+	// succeeded, possibly partially); partialPolls counts polls that
+	// succeeded on a subset of the fleet.
+	lastPollErr  string
+	partialPolls int
 
 	registry *metrics.Registry
 	metrics  *svcMetrics
@@ -103,17 +114,71 @@ func New(src remos.Source, cfg Config) *Service {
 // to add their own instruments alongside.
 func (s *Service) Registry() *metrics.Registry { return s.registry }
 
-// Poll takes one measurement sample (refreshing the source if it needs it).
+// Poll takes one measurement sample (refreshing the source if it needs
+// it). A partial refresh — some agents unreachable — still polls: the
+// collector records the failed entities as stale and the service serves
+// last-known-good data, reporting the degradation through Healthz. Only a
+// total refresh failure with no prior data aborts the sample.
 func (s *Service) Poll() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.src.(Refresher); ok {
 		if err := r.Refresh(); err != nil {
-			return err
+			var pe *agent.PartialError
+			if !errors.As(err, &pe) {
+				s.lastPollErr = err.Error()
+				return err
+			}
+			// Degraded, not dead: sample what we have.
+			s.partialPolls++
+			s.metrics.partialPolls.Inc()
 		}
 	}
+	s.lastPollErr = ""
 	s.collector.Poll()
+	s.metrics.healthState.Set(healthLevel(s.healthLocked().State))
 	return nil
+}
+
+// healthLocked summarizes the collector's freshness. Callers hold s.mu.
+func (s *Service) healthLocked() remos.Health { return s.collector.Health() }
+
+// Health states of the service, surfaced in /healthz.
+const (
+	// StateOK: the latest poll read the whole fleet live.
+	StateOK = "ok"
+	// StateDegraded: serving, but some measurements are last-known-good.
+	StateDegraded = "degraded"
+	// StateUnhealthy: nothing worth serving — no samples yet, or every
+	// compute node's data has outlived the staleness ceiling.
+	StateUnhealthy = "unhealthy"
+)
+
+// healthLevel renders a state as the selectsvc_health_state gauge value.
+func healthLevel(state string) float64 {
+	switch state {
+	case StateOK: // == remos.HealthOK
+		return 0
+	case StateDegraded: // == remos.HealthDegraded
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Health reports the service state and the collector's freshness summary.
+func (s *Service) Health() (string, remos.Health) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.healthLocked()
+	switch h.State {
+	case remos.HealthOK:
+		return StateOK, h
+	case remos.HealthDegraded:
+		return StateDegraded, h
+	default:
+		return StateUnhealthy, h
+	}
 }
 
 // Polls reports how many samples have been collected.
@@ -159,6 +224,16 @@ type SelectResponse struct {
 	PairMinBW   float64             `json:"pair_min_bw"`
 	MinResource float64             `json:"min_resource"`
 	MeasuredAt  float64             `json:"measured_at"`
+	// Degraded marks a placement computed while part of the measurement
+	// fleet was unreadable: some inputs are last-known-good values.
+	Degraded bool `json:"degraded,omitempty"`
+	// DataAgeSeconds is the age of the oldest measurement that informed
+	// the placement (0 when everything was read live).
+	DataAgeSeconds float64 `json:"data_age_seconds,omitempty"`
+	// StaleNodes names compute nodes whose measurements were stale when
+	// the placement was computed (and, with ExcludeStale, were therefore
+	// removed from candidacy).
+	StaleNodes []string `json:"stale_nodes,omitempty"`
 }
 
 // Handler returns the service's HTTP handler:
@@ -209,11 +284,16 @@ func (s *Service) parseMode(name string) (remos.Mode, error) {
 	}
 }
 
-// snapshotFor answers a snapshot under an already-parsed mode.
-func (s *Service) snapshotFor(mode remos.Mode) (*topology.Snapshot, error) {
+// snapshotFor answers a snapshot under an already-parsed mode, along with
+// the freshness view it was computed under.
+func (s *Service) snapshotFor(mode remos.Mode) (*topology.Snapshot, remos.Health, remos.Freshness, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.collector.Snapshot(mode, false)
+	snap, err := s.collector.Snapshot(mode, false)
+	if err != nil {
+		return nil, remos.Health{}, remos.Freshness{}, err
+	}
+	return snap, s.collector.Health(), s.collector.Freshness(), nil
 }
 
 func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
@@ -221,14 +301,15 @@ func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.snapshotFor(mode)
+	snap, _, _, err := s.snapshotFor(mode)
+	return snap, err
 }
 
 func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.snapshot(r.URL.Query().Get("mode"))
 	if err != nil {
 		status := http.StatusBadRequest
-		if err == remos.ErrNoData {
+		if errors.Is(err, remos.ErrNoData) || errors.Is(err, remos.ErrStale) {
 			status = http.StatusServiceUnavailable
 		}
 		http.Error(w, err.Error(), status)
@@ -244,13 +325,34 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	polls := s.collector.Polls()
 	selects := s.selects
+	health := s.healthLocked()
+	partial := s.partialPolls
+	pollErr := s.lastPollErr
 	s.mu.Unlock()
+	state := StateUnhealthy
+	switch health.State {
+	case remos.HealthOK:
+		state = StateOK
+	case remos.HealthDegraded:
+		state = StateDegraded
+	}
 	resp := map[string]any{
-		"polls":     polls,
-		"selects":   selects,
-		"decisions": s.audit.size(),
+		"state":         state,
+		"polls":         polls,
+		"partial_polls": partial,
+		"selects":       selects,
+		"decisions":     s.audit.size(),
+		"measurements":  health,
+	}
+	if pollErr != "" {
+		resp["last_poll_error"] = pollErr
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Degraded still serves placements from last-known-good data, so it
+	// stays 200 for load balancers; only unhealthy is a real 503.
+	if state == StateUnhealthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	json.NewEncoder(w).Encode(resp)
 }
 
@@ -273,6 +375,8 @@ func classifyError(err error) string {
 	switch {
 	case errors.Is(err, remos.ErrNoData):
 		return "no_data"
+	case errors.Is(err, remos.ErrStale):
+		return "stale"
 	case errors.Is(err, core.ErrTooFewNodes), errors.Is(err, core.ErrNoFeasibleSet):
 		return "infeasible"
 	case errors.Is(err, core.ErrBadRequest):
@@ -325,10 +429,10 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	d.Mode = mode.String()
 	s.metrics.requests.With(algo, d.Mode).Inc()
 
-	snap, err := s.snapshotFor(mode)
+	snap, health, fresh, err := s.snapshotFor(mode)
 	if err != nil {
 		status := http.StatusBadRequest
-		if err == remos.ErrNoData {
+		if errors.Is(err, remos.ErrNoData) || errors.Is(err, remos.ErrStale) {
 			status = http.StatusServiceUnavailable
 		}
 		fail(status, classifyError(err), err)
@@ -337,12 +441,36 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	d.MeasuredAt = snap.Time
 	g := snap.Graph
 
+	// Staleness annotation: a degraded fleet still answers, but the caller
+	// (and the audit trail) should know which inputs were last-known-good.
+	degraded := health.State != remos.HealthOK
+	maxStale := s.cfg.Collector.MaxStaleAge
+	var staleNodes []string
+	if degraded && maxStale > 0 {
+		for _, id := range g.ComputeNodes() {
+			if id < len(fresh.NodeAge) && fresh.NodeAge[id] > maxStale {
+				staleNodes = append(staleNodes, g.Node(id).Name)
+			}
+		}
+		sort.Strings(staleNodes)
+	}
+	d.Degraded = degraded
+	d.DataAgeSeconds = health.MaxAgeSeconds
+	if degraded {
+		s.metrics.degradedSelects.Inc()
+	}
+
 	s.mu.Lock()
 	src := s.rng.SplitN(s.selects)
 	s.selects++
 	s.mu.Unlock()
 
 	resp := SelectResponse{MeasuredAt: snap.Time}
+	if degraded {
+		resp.Degraded = true
+		resp.DataAgeSeconds = health.MaxAgeSeconds
+		resp.StaleNodes = staleNodes
+	}
 	if req.Spec != nil {
 		place, err := appspec.SelectForSpec(snap, req.Spec, algo, src)
 		if err != nil {
@@ -367,6 +495,12 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			MinCPU:          req.MinCPU,
 			MinMemoryMB:     req.MinMemoryMB,
 			MaxPairLatency:  req.MaxPairLatency,
+		}
+		if s.cfg.ExcludeStale && maxStale > 0 {
+			ages := fresh.NodeAge
+			creq.Eligible = func(node int) bool {
+				return node >= len(ages) || ages[node] <= maxStale
+			}
 		}
 		for _, name := range req.Pin {
 			id := g.NodeByName(name)
