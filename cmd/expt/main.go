@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, chaos, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, chaos, contention, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -86,8 +86,10 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runAutosize(cfg)
 	case "chaos":
 		return runChaos(cfg)
+	case "contention":
+		return runContention(cfg)
 	case "all":
-		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration"} {
+		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
 			if err := dispatch(r, cfg, verbose); err != nil {
 				return err
@@ -223,6 +225,15 @@ func runAutosize(cfg experiment.Config) error {
 // runChaos exercises the real measurement plane (loopback agents behind
 // fault-injecting proxies), not the simulation, so it is not part of
 // -run all: its timeouts are wall-clock.
+func runContention(cfg experiment.Config) error {
+	res, err := experiment.RunContention(experiment.ContentionOptions{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatContention(res))
+	return nil
+}
+
 func runChaos(cfg experiment.Config) error {
 	res, err := experiment.RunChaos(experiment.ChaosOptions{Seed: cfg.Seed})
 	if err != nil {

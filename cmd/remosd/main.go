@@ -28,7 +28,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -37,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"nodeselect/internal/metrics"
@@ -177,6 +180,7 @@ func run(listen string, tick time.Duration, httpAddr string, debug bool, chaos c
 			chaos.hang, chaos.drop, chaos.corrupt, chaos.delay, chaos.delayDur, chaos.seed)
 	}
 
+	var server *http.Server
 	if httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
@@ -192,8 +196,9 @@ func run(listen string, tick time.Duration, httpAddr string, debug bool, chaos c
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
+		server = &http.Server{Addr: httpAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(httpAddr, mux); err != nil {
+			if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "remosd: http:", err)
 			}
 		}()
@@ -202,7 +207,7 @@ func run(listen string, tick time.Duration, httpAddr string, debug bool, chaos c
 	fmt.Println("remosd: serving; ctrl-c to stop")
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	for {
@@ -211,7 +216,16 @@ func run(listen string, tick time.Duration, httpAddr string, debug bool, chaos c
 			src.Advance(tick.Seconds())
 			fm.ticks.Inc()
 		case <-stop:
+			// Graceful: drain in-flight observability requests before the
+			// deferred agent/proxy teardown closes the fleet.
 			fmt.Println("\nremosd: shutting down")
+			if server != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := server.Shutdown(ctx); err != nil {
+					server.Close()
+				}
+			}
 			return nil
 		}
 	}

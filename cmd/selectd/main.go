@@ -18,6 +18,20 @@
 //	curl localhost:8800/debug/vars       # JSON registry dump
 //	curl localhost:8800/decisions?n=5    # recent placement audit entries
 //
+// Multi-tenant admission control: a select with a "demand" reserves the
+// placement's CPU and bandwidth in a lease (renew/release via /leases).
+// With -lease-dir the reservation ledger is persisted to a write-ahead
+// log and survives restarts:
+//
+//	selectd ... -lease-dir /var/lib/selectd/leases
+//	curl -d '{"m":3,"demand":{"cpu":0.5,"bw":20e6},"lease_ttl":60}' localhost:8800/select
+//	curl localhost:8800/leases
+//	curl -X POST localhost:8800/leases/lease-0/renew -d '{"ttl":120}'
+//	curl -X DELETE localhost:8800/leases/lease-0
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// drain (5s budget) and the ledger is flushed before exit.
+//
 // With -debug, net/http/pprof profiling is served under /debug/pprof/.
 //
 // The measurement transport is fault tolerant: -connect-timeout and
@@ -31,15 +45,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
+	"nodeselect/internal/lease"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
 	"nodeselect/internal/selectsvc"
@@ -57,6 +76,10 @@ type options struct {
 	allowPartial              bool
 	maxStale                  time.Duration
 	excludeStale              bool
+
+	leaseDir              string
+	leaseTTL, leaseMaxTTL time.Duration
+	leaseSweep            time.Duration
 }
 
 func main() {
@@ -72,6 +95,10 @@ func main() {
 	flag.BoolVar(&o.allowPartial, "allow-partial", false, "start with the reachable subset of the agent fleet (discovery still needs all agents)")
 	flag.DurationVar(&o.maxStale, "max-stale", 0, "serve last-known-good measurements at most this old; 0 = forever")
 	flag.BoolVar(&o.excludeStale, "exclude-stale", false, "drop nodes with stale measurements from /select candidates (needs -max-stale)")
+	flag.StringVar(&o.leaseDir, "lease-dir", "", "directory for the reservation ledger's write-ahead log; leases survive restarts (empty = in-memory only)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "default lease time to live when a request names none")
+	flag.DurationVar(&o.leaseMaxTTL, "lease-max-ttl", 10*time.Minute, "ceiling on any requested lease TTL")
+	flag.DurationVar(&o.leaseSweep, "lease-sweep", 5*time.Second, "interval of the background lease-expiry sweeper")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
@@ -158,6 +185,26 @@ func run(o options) error {
 	if o.excludeStale && o.maxStale <= 0 {
 		return fmt.Errorf("-exclude-stale needs -max-stale")
 	}
+
+	// The reservation ledger. With -lease-dir it is backed by a write-ahead
+	// log, so active leases (reserved capacity) survive a daemon restart.
+	leaseOpts := lease.Options{DefaultTTL: o.leaseTTL, MaxTTL: o.leaseMaxTTL}
+	if o.leaseDir != "" {
+		w, err := lease.OpenWAL(o.leaseDir)
+		if err != nil {
+			return err
+		}
+		leaseOpts.WAL = w
+	}
+	ledger, err := lease.New(src.Topology(), leaseOpts)
+	if err != nil {
+		return err
+	}
+	if st := ledger.Stats(); st.Recovered > 0 || st.RecoverySkipped > 0 {
+		fmt.Printf("selectd: recovered %d leases from %s (%d skipped)\n",
+			st.Recovered, o.leaseDir, st.RecoverySkipped)
+	}
+
 	svc := selectsvc.New(src, selectsvc.Config{
 		Collector: remos.CollectorConfig{
 			Period:      period.Seconds(),
@@ -166,23 +213,36 @@ func run(o options) error {
 		DefaultMode:  remos.Window,
 		Seed:         time.Now().UnixNano(),
 		ExcludeStale: o.excludeStale,
+		Ledger:       ledger,
 	})
 	start := time.Now()
 	svc.Registry().NewGaugeFunc("process_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(start).Seconds() })
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Background measurement loop.
 	go func() {
 		t := time.NewTicker(period)
-		for range t.C {
-			if err := svc.Poll(); err != nil {
-				fmt.Fprintln(os.Stderr, "selectd: poll:", err)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := svc.Poll(); err != nil {
+					fmt.Fprintln(os.Stderr, "selectd: poll:", err)
+				}
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
 	if err := svc.Poll(); err != nil {
 		return err
 	}
+	// Expire abandoned leases even between polls and requests.
+	stopSweeper := ledger.StartSweeper(o.leaseSweep)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
@@ -191,5 +251,30 @@ func run(o options) error {
 	}
 	fmt.Printf("selectd: measuring %d nodes, serving on %s\n",
 		src.Topology().NumNodes(), listen)
-	return http.ListenAndServe(listen, mux)
+
+	server := &http.Server{Addr: listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		stopSweeper()
+		ledger.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush the lease ledger so reservations are on disk before exit.
+	fmt.Println("\nselectd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutErr := server.Shutdown(shutCtx)
+	if errors.Is(shutErr, context.DeadlineExceeded) {
+		server.Close()
+	}
+	stopSweeper()
+	if err := ledger.Close(); err != nil {
+		return fmt.Errorf("lease ledger close: %w", err)
+	}
+	return shutErr
 }

@@ -128,6 +128,22 @@ type Result struct {
 	// MaxPairLatency is the largest one-way path latency, in seconds,
 	// between any pair of selected nodes (0 when only one node).
 	MaxPairLatency float64
+
+	// BottleneckLink is the link ID at which PairMinBW is attained — the
+	// binding communication bottleneck of the placement — or -1 when the
+	// selection spans fewer than two nodes. Admission control uses it to
+	// name the constraint that limits a placement.
+	BottleneckLink int
+}
+
+// BottleneckName renders the bottleneck link as "a--b" endpoint names, or
+// "" when the result has no bottleneck link.
+func (r Result) BottleneckName(g *topology.Graph) string {
+	if r.BottleneckLink < 0 || r.BottleneckLink >= g.NumLinks() {
+		return ""
+	}
+	l := g.Link(r.BottleneckLink)
+	return g.Node(l.A).Name + "--" + g.Node(l.B).Name
 }
 
 // names renders the selected node names using the snapshot's graph.

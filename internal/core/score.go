@@ -15,10 +15,11 @@ import (
 // the set actually gets.
 func Score(s *topology.Snapshot, nodes []int, req Request) Result {
 	res := Result{
-		Nodes:       append([]int(nil), nodes...),
-		MinCPU:      math.Inf(1),
-		PairMinBW:   math.Inf(1),
-		MinBWFactor: math.Inf(1),
+		Nodes:          append([]int(nil), nodes...),
+		MinCPU:         math.Inf(1),
+		PairMinBW:      math.Inf(1),
+		MinBWFactor:    math.Inf(1),
+		BottleneckLink: -1,
 	}
 	sort.Ints(res.Nodes)
 	for _, id := range res.Nodes {
@@ -36,6 +37,7 @@ func Score(s *topology.Snapshot, nodes []int, req Request) Result {
 				bw := s.AvailBW[lid]
 				if bw < res.PairMinBW {
 					res.PairMinBW = bw
+					res.BottleneckLink = lid
 				}
 				if f := linkFactor(s, lid, req); f < res.MinBWFactor {
 					res.MinBWFactor = f

@@ -1,0 +1,268 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/lease"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// The contention experiment measures what the reservation ledger buys over
+// the paper's single-tenant procedure when several applications arrive
+// concurrently. Naive mode runs the selection sweep once per application
+// against the same measured snapshot — the measurement plane cannot see
+// intentions, so every application is steered to the same "best" nodes and
+// the network is oversubscribed before any of them starts. Leased mode
+// routes the same arrivals through lease.Acquire: each admission debits the
+// residual view the next application plans against, so commitments stay
+// within capacity and late arrivals are rejected with the binding
+// bottleneck named instead of silently degrading everyone.
+
+// ContentionOptions parameterizes the scenario.
+type ContentionOptions struct {
+	// Seed drives selection tie-breaking.
+	Seed int64
+	// Apps is the number of concurrent applications (default 4).
+	Apps int
+	// M is each application's node count (default 3).
+	M int
+	// Nodes and AccessBW shape the star testbed (default 8 nodes behind
+	// 100 Mbps access links).
+	Nodes    int
+	AccessBW float64
+	// DemandCPU and DemandBW are each application's per-node CPU fraction
+	// and per-flow bandwidth (default 0.4 and 30 Mbps).
+	DemandCPU float64
+	DemandBW  float64
+	// Algo is the selection algorithm (default balanced).
+	Algo string
+}
+
+func (o ContentionOptions) withDefaults() ContentionOptions {
+	if o.Apps <= 0 {
+		o.Apps = 4
+	}
+	if o.M <= 0 {
+		o.M = 3
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 8
+	}
+	if o.AccessBW <= 0 {
+		o.AccessBW = 100e6
+	}
+	if o.DemandCPU <= 0 {
+		o.DemandCPU = 0.4
+	}
+	if o.DemandBW <= 0 {
+		o.DemandBW = 30e6
+	}
+	if o.Algo == "" {
+		o.Algo = core.AlgoBalanced
+	}
+	return o
+}
+
+// ContentionOutcome summarizes one admission policy's end state.
+type ContentionOutcome struct {
+	// Placed is how many applications got a node set (naive places all of
+	// them; leased admits only what fits).
+	Placed int
+	// Rejected counts turned-away applications (always 0 for naive).
+	Rejected int
+	// Bottlenecks names the binding resource of each rejection.
+	Bottlenecks []string
+	// MaxNodeCPU is the largest summed CPU demand on any single node, as a
+	// fraction of the node (>1 = oversubscribed).
+	MaxNodeCPU float64
+	// MaxLinkLoad is the largest summed bandwidth demand on any single
+	// link, as a fraction of its capacity (>1 = oversubscribed).
+	MaxLinkLoad float64
+	// WorstRealizedBW is the worst per-flow bandwidth any placed
+	// application actually receives under proportional sharing of
+	// oversubscribed links.
+	WorstRealizedBW float64
+	// Violations counts placed applications whose realized bandwidth falls
+	// below what they asked for.
+	Violations int
+}
+
+// ContentionResult is the experiment's full outcome.
+type ContentionResult struct {
+	Opt           ContentionOptions
+	Naive, Leased ContentionOutcome
+	// ReadmittedAfterRelease reports the lifecycle demo: after one admitted
+	// application released its lease, a previously rejected one fit.
+	ReadmittedAfterRelease bool
+}
+
+// accounting tallies demand against a topology and answers the outcome
+// stats shared by both policies.
+type accounting struct {
+	g          *topology.Graph
+	placements [][]int
+	nodeCPU    []float64
+	linkBW     []float64
+}
+
+func newAccounting(g *topology.Graph) *accounting {
+	return &accounting{
+		g:       g,
+		nodeCPU: make([]float64, g.NumNodes()),
+		linkBW:  make([]float64, g.NumLinks()),
+	}
+}
+
+func (a *accounting) place(nodes []int, cpu, bw float64) {
+	a.placements = append(a.placements, nodes)
+	for _, id := range nodes {
+		a.nodeCPU[id] += cpu
+	}
+	for lid, k := range a.g.FlowLinkCounts(nodes) {
+		a.linkBW[lid] += float64(k) * bw
+	}
+}
+
+// fill computes the outcome stats: peak fractional loads and the realized
+// per-flow bandwidth under proportional fair sharing (a flow through an
+// oversubscribed link gets its proportional share of the capacity).
+func (a *accounting) fill(out *ContentionOutcome, bw float64) {
+	out.Placed = len(a.placements)
+	for _, c := range a.nodeCPU {
+		if c > out.MaxNodeCPU {
+			out.MaxNodeCPU = c
+		}
+	}
+	for lid, b := range a.linkBW {
+		if frac := b / a.g.Link(lid).Capacity; frac > out.MaxLinkLoad {
+			out.MaxLinkLoad = frac
+		}
+	}
+	out.WorstRealizedBW = bw
+	for _, nodes := range a.placements {
+		realized := bw
+		for lid := range a.g.FlowLinkCounts(nodes) {
+			if load := a.linkBW[lid]; load > a.g.Link(lid).Capacity {
+				if share := bw * a.g.Link(lid).Capacity / load; share < realized {
+					realized = share
+				}
+			}
+		}
+		if realized < bw-1e-6 {
+			out.Violations++
+		}
+		if realized < out.WorstRealizedBW {
+			out.WorstRealizedBW = realized
+		}
+	}
+}
+
+// contentionPlace adapts the selection sweep to the ledger's PlaceFunc,
+// raising the request floors to the demand the same way selectsvc does.
+func contentionPlace(opt ContentionOptions, src *randx.Source) lease.PlaceFunc {
+	return func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+		req := core.Request{M: opt.M, MinCPU: opt.DemandCPU, MinBW: minBW}
+		res, err := core.Select(opt.Algo, residual, req, src)
+		if err != nil {
+			return nil, err
+		}
+		return res.Nodes, nil
+	}
+}
+
+// RunContention runs both policies over the same arrivals and topology.
+func RunContention(opt ContentionOptions) (ContentionResult, error) {
+	opt = opt.withDefaults()
+	g := testbed.Star(opt.Nodes, opt.AccessBW)
+	snap := topology.NewSnapshot(g)
+	rng := randx.New(opt.Seed).Split("contention")
+	result := ContentionResult{Opt: opt}
+
+	// Naive: every application plans against the same measured snapshot.
+	naive := newAccounting(g)
+	for i := 0; i < opt.Apps; i++ {
+		res, err := core.Select(opt.Algo, snap, core.Request{M: opt.M}, rng.SplitN(i))
+		if err != nil {
+			return result, fmt.Errorf("naive app %d: %w", i, err)
+		}
+		naive.place(res.Nodes, opt.DemandCPU, opt.DemandBW)
+	}
+	naive.fill(&result.Naive, opt.DemandBW)
+
+	// Leased: the same arrivals pass through the reservation ledger.
+	ledger, err := lease.New(g, lease.Options{MaxTTL: time.Hour, DefaultTTL: time.Hour})
+	if err != nil {
+		return result, err
+	}
+	demand := lease.Demand{CPU: opt.DemandCPU, BW: opt.DemandBW}
+	leased := newAccounting(g)
+	var admitted []string // lease IDs in admission order
+	rejectedApps := 0
+	for i := 0; i < opt.Apps; i++ {
+		info, err := ledger.Acquire(snap, demand, time.Hour, contentionPlace(opt, rng.SplitN(opt.Apps+i)))
+		if err != nil {
+			rejectedApps++
+			result.Leased.Bottlenecks = append(result.Leased.Bottlenecks, admissionBottleneck(err))
+			continue
+		}
+		admitted = append(admitted, info.ID)
+		nodes := make([]int, 0, len(info.Nodes))
+		for _, name := range info.Nodes {
+			nodes = append(nodes, g.MustNode(name))
+		}
+		sort.Ints(nodes)
+		leased.place(nodes, opt.DemandCPU, opt.DemandBW)
+	}
+	leased.fill(&result.Leased, opt.DemandBW)
+	result.Leased.Rejected = rejectedApps
+
+	// Lifecycle demo: release the first admitted lease and retry one of the
+	// rejected arrivals — the freed capacity should readmit it.
+	if rejectedApps > 0 && len(admitted) > 0 {
+		if err := ledger.Release(admitted[0]); err != nil {
+			return result, err
+		}
+		_, err := ledger.Acquire(snap, demand, time.Hour, contentionPlace(opt, rng.Split("readmit")))
+		result.ReadmittedAfterRelease = err == nil
+	}
+	return result, nil
+}
+
+// admissionBottleneck extracts the named bottleneck from an admission
+// rejection (or renders the error itself for non-admission failures).
+func admissionBottleneck(err error) string {
+	var adm *lease.AdmissionError
+	if errors.As(err, &adm) {
+		return adm.Bottleneck
+	}
+	return err.Error()
+}
+
+// FormatContention renders the comparison as a compact report.
+func FormatContention(r ContentionResult) string {
+	var b strings.Builder
+	o := r.Opt
+	fmt.Fprintf(&b, "Multi-tenant contention: %d apps x (m=%d, cpu=%.2f, bw=%s) on a %d-node star (%s access)\n\n",
+		o.Apps, o.M, o.DemandCPU, topology.FormatBandwidth(o.DemandBW),
+		o.Nodes, topology.FormatBandwidth(o.AccessBW))
+	row := func(name string, c ContentionOutcome) {
+		fmt.Fprintf(&b, "%-8s placed %d  rejected %d  peak node %.2fx  peak link %.2fx  worst bw %s  violations %d\n",
+			name, c.Placed, c.Rejected, c.MaxNodeCPU, c.MaxLinkLoad,
+			topology.FormatBandwidth(c.WorstRealizedBW), c.Violations)
+	}
+	row("naive", r.Naive)
+	row("leased", r.Leased)
+	if len(r.Leased.Bottlenecks) > 0 {
+		fmt.Fprintf(&b, "\nrejections named their bottleneck: %s\n",
+			strings.Join(r.Leased.Bottlenecks, "; "))
+	}
+	fmt.Fprintf(&b, "released one lease -> rejected app readmitted: %v\n", r.ReadmittedAfterRelease)
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContentionLeasedBoundsOversubscription(t *testing.T) {
+	r, err := RunContention(ContentionOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.Opt
+
+	// Naive places everyone and oversubscribes: 4 apps' flows pile onto
+	// the same few access links, so someone's guarantee must break.
+	if r.Naive.Placed != o.Apps || r.Naive.Rejected != 0 {
+		t.Fatalf("naive outcome %+v", r.Naive)
+	}
+	if r.Naive.MaxLinkLoad <= 1 {
+		t.Fatalf("naive did not oversubscribe: peak link %.2fx", r.Naive.MaxLinkLoad)
+	}
+	if r.Naive.Violations == 0 || r.Naive.WorstRealizedBW >= o.DemandBW {
+		t.Fatalf("naive guarantees unexpectedly held: %+v", r.Naive)
+	}
+
+	// Leased admits only what fits: commitments stay within capacity and
+	// every admitted application keeps its full bandwidth.
+	if r.Leased.Placed == 0 {
+		t.Fatal("leased admitted nothing")
+	}
+	if r.Leased.MaxNodeCPU > 1+1e-9 || r.Leased.MaxLinkLoad > 1+1e-9 {
+		t.Fatalf("leased oversubscribed: %+v", r.Leased)
+	}
+	if r.Leased.Violations != 0 || r.Leased.WorstRealizedBW < o.DemandBW-1e-6 {
+		t.Fatalf("leased guarantees broken: %+v", r.Leased)
+	}
+
+	// The overflow is rejected, with the binding bottleneck named.
+	if r.Leased.Rejected == 0 {
+		t.Fatal("no application was rejected despite overdemand")
+	}
+	if len(r.Leased.Bottlenecks) != r.Leased.Rejected {
+		t.Fatalf("bottlenecks %v for %d rejections", r.Leased.Bottlenecks, r.Leased.Rejected)
+	}
+	for _, b := range r.Leased.Bottlenecks {
+		if b == "" {
+			t.Fatal("rejection without a named bottleneck")
+		}
+	}
+
+	// Lifecycle: releasing a lease makes room for a rejected arrival.
+	if !r.ReadmittedAfterRelease {
+		t.Fatal("released capacity did not readmit a rejected application")
+	}
+
+	out := FormatContention(r)
+	for _, want := range []string{"naive", "leased", "readmitted: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

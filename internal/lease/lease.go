@@ -1,0 +1,731 @@
+// Package lease implements the reservation ledger that makes concurrent
+// node selections contention-aware. The paper's algorithms answer "which
+// nodes are best right now?" against a Remos snapshot; on a shared network
+// with many simultaneous applications that is not enough — two callers
+// asking at the same instant get the same answer and oversubscribe the
+// same bottleneck. The ledger closes that window: every admitted placement
+// holds a lease that debits the fractional CPU of each selected node and
+// the bandwidth of each link its pairwise flows cross, and every selection
+// runs against the *residual* view of the snapshot (measured capacity
+// minus committed reservations). The existing Figure 2/3 sweeps consume
+// the residual snapshot unchanged, so each algorithm is automatically
+// contention-aware.
+//
+// Lifecycle: Acquire admits-or-rejects atomically (placement and
+// reservation happen in one critical section), Renew extends a lease's
+// TTL, Release returns its capacity, and an expiry sweep reclaims leases
+// whose clients crashed without releasing. An optional write-ahead log
+// persists every transition so a restarted daemon recovers its active
+// reservations (see wal.go).
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"nodeselect/internal/topology"
+)
+
+// Demand is what one placement debits from the network while its lease is
+// active.
+type Demand struct {
+	// CPU is the fraction of each selected node's computation capacity
+	// the application will consume, in [0, 1]. Zero debits no CPU.
+	CPU float64 `json:"cpu,omitempty"`
+	// BW is the bandwidth, in bits/second, of each pairwise flow between
+	// selected nodes. Every link on the static route between a selected
+	// pair is debited BW once per flow crossing it (all-pairs pattern).
+	// Zero debits no bandwidth.
+	BW float64 `json:"bw,omitempty"`
+}
+
+// Validate rejects malformed demands.
+func (d Demand) Validate() error {
+	if d.CPU < 0 || d.CPU > 1 || math.IsNaN(d.CPU) {
+		return fmt.Errorf("%w: cpu demand %v outside [0, 1]", ErrBadDemand, d.CPU)
+	}
+	if d.BW < 0 || math.IsNaN(d.BW) || math.IsInf(d.BW, 0) {
+		return fmt.Errorf("%w: bandwidth demand %v", ErrBadDemand, d.BW)
+	}
+	return nil
+}
+
+// Errors returned by the ledger.
+var (
+	// ErrBadDemand means the demand itself is malformed.
+	ErrBadDemand = errors.New("lease: malformed demand")
+	// ErrNotFound means the lease ID names no active lease (never issued,
+	// released, or expired).
+	ErrNotFound = errors.New("lease: no such lease")
+	// ErrRejected means admission control refused the placement: the
+	// residual network cannot host the demand. AdmissionError carries the
+	// binding bottleneck.
+	ErrRejected = errors.New("lease: admission rejected")
+)
+
+// AdmissionError is a rejection with the binding bottleneck named: the
+// node or link whose residual capacity falls short of the demand.
+type AdmissionError struct {
+	// Kind is "node" (CPU shortfall) or "link" (bandwidth shortfall).
+	Kind string
+	// Bottleneck names the binding resource: a node name, or a link as
+	// "a--b" endpoint names.
+	Bottleneck string
+	// Need and Have quantify the shortfall: CPU fractions for nodes,
+	// bits/second for links.
+	Need, Have float64
+}
+
+func (e *AdmissionError) Error() string {
+	if e.Kind == "link" {
+		return fmt.Sprintf("lease: admission rejected: link %s: need %s, have %s uncommitted",
+			e.Bottleneck, topology.FormatBandwidth(e.Need), topology.FormatBandwidth(e.Have))
+	}
+	return fmt.Sprintf("lease: admission rejected: node %s: need %.2f cpu, have %.2f uncommitted",
+		e.Bottleneck, e.Need, e.Have)
+}
+
+// Unwrap makes errors.Is(err, ErrRejected) hold.
+func (e *AdmissionError) Unwrap() error { return ErrRejected }
+
+// Lease is one active reservation. The ledger owns the struct; callers see
+// copies via Info.
+type Lease struct {
+	// ID is the ledger-unique lease name ("lease-N").
+	ID string
+	// Nodes is the placed compute node set, sorted by node ID.
+	Nodes []int
+	// Demand is the per-node CPU fraction and per-flow bandwidth debited.
+	Demand Demand
+	// Created and Expiry bound the lease's current term.
+	Created, Expiry time.Time
+	// linkBW[linkID] is the bandwidth debited from each link: flow
+	// multiplicity times Demand.BW.
+	linkBW map[int]float64
+}
+
+// Info is the externally visible form of a lease, JSON-ready for the
+// service's /leases endpoints.
+type Info struct {
+	ID    string   `json:"id"`
+	Nodes []string `json:"nodes"`
+	// CPU and BW echo the demand.
+	CPU float64 `json:"cpu,omitempty"`
+	BW  float64 `json:"bw,omitempty"`
+	// Links is the per-link bandwidth debit, keyed "a--b".
+	Links     map[string]float64 `json:"links,omitempty"`
+	CreatedAt time.Time          `json:"created_at"`
+	ExpiresAt time.Time          `json:"expires_at"`
+	// TTLSeconds is the remaining time to live at the moment the Info was
+	// taken.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// Options tunes a ledger.
+type Options struct {
+	// Now is the clock (default time.Now); injectable for tests.
+	Now func() time.Time
+	// DefaultTTL is used when Acquire/Renew receive a zero TTL (default
+	// 30s). MaxTTL caps any requested TTL (default 10m).
+	DefaultTTL, MaxTTL time.Duration
+	// WAL, when non-nil, persists every ledger transition; New replays it
+	// so active leases survive a restart. Open one with OpenWAL.
+	WAL *WAL
+	// PlaceAttempts bounds Acquire's bandwidth-floor escalation retries
+	// (default 3). See Acquire.
+	PlaceAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.DefaultTTL <= 0 {
+		o.DefaultTTL = 30 * time.Second
+	}
+	if o.MaxTTL <= 0 {
+		o.MaxTTL = 10 * time.Minute
+	}
+	if o.PlaceAttempts < 1 {
+		o.PlaceAttempts = 3
+	}
+	return o
+}
+
+// Stats counts ledger transitions since construction (recovery included in
+// Acquired). Monotonic; read a copy with Ledger.Stats.
+type Stats struct {
+	Acquired, Renewed, Released, Expired, Rejected int64
+	// Recovered counts leases replayed from the WAL at construction;
+	// RecoverySkipped counts WAL entries dropped because they had expired
+	// or named nodes absent from the current topology.
+	Recovered, RecoverySkipped int64
+}
+
+// Ledger is the reservation book: committed CPU per node, committed
+// bandwidth per link, and the active leases that own those debits. All
+// methods are safe for concurrent use; Acquire's placement callback runs
+// inside the ledger's critical section, which is what makes
+// admit-and-reserve atomic.
+type Ledger struct {
+	g   *topology.Graph
+	opt Options
+
+	mu      sync.Mutex
+	leases  map[string]*Lease
+	nodeCPU []float64 // committed CPU fraction per node
+	linkBW  []float64 // committed bandwidth per link
+	nextID  int64
+	stats   Stats
+	onEvent func(op string, l *Lease)
+	closed  bool
+}
+
+// New builds a ledger over the graph. When opts.WAL is set, the WAL's
+// recovered state (snapshot plus log replay) is installed: unexpired
+// leases are re-debited — recomputing link debits from the current graph's
+// routes — and the ID counter resumes past every ID ever issued.
+func New(g *topology.Graph, opts Options) (*Ledger, error) {
+	if g == nil {
+		return nil, fmt.Errorf("lease: ledger needs a graph")
+	}
+	opts = opts.withDefaults()
+	l := &Ledger{
+		g:       g,
+		opt:     opts,
+		leases:  make(map[string]*Lease),
+		nodeCPU: make([]float64, g.NumNodes()),
+		linkBW:  make([]float64, g.NumLinks()),
+	}
+	if opts.WAL != nil {
+		if err := l.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// SetOnEvent installs an observer for ledger transitions ("acquire",
+// "renew", "release", "expire"), called with the ledger locked — keep it
+// cheap (metric increments). Install before serving traffic.
+func (l *Ledger) SetOnEvent(fn func(op string, ls *Lease)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onEvent = fn
+}
+
+// Graph returns the topology the ledger reserves against.
+func (l *Ledger) Graph() *topology.Graph { return l.g }
+
+// Stats returns a copy of the transition counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Len reports the number of active leases.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.leases)
+}
+
+// Committed returns copies of the per-node CPU and per-link bandwidth
+// currently reserved.
+func (l *Ledger) Committed() (nodeCPU, linkBW []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]float64(nil), l.nodeCPU...), append([]float64(nil), l.linkBW...)
+}
+
+// MaxCommitted reports the tightest commitments: the largest reserved CPU
+// fraction on any node and the largest reserved fraction of any link's
+// capacity. Both are 0 on an empty ledger and never exceed what admission
+// allowed.
+func (l *Ledger) MaxCommitted() (cpuFrac, bwFrac float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.nodeCPU {
+		cpuFrac = math.Max(cpuFrac, c)
+	}
+	for lid, bw := range l.linkBW {
+		bwFrac = math.Max(bwFrac, bw/l.g.Link(lid).Capacity)
+	}
+	return cpuFrac, bwFrac
+}
+
+// clampTTL applies the default and ceiling.
+func (l *Ledger) clampTTL(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		ttl = l.opt.DefaultTTL
+	}
+	if ttl > l.opt.MaxTTL {
+		ttl = l.opt.MaxTTL
+	}
+	return ttl
+}
+
+// event fires the observer. Callers hold l.mu.
+func (l *Ledger) event(op string, ls *Lease) {
+	if l.onEvent != nil {
+		l.onEvent(op, ls)
+	}
+}
+
+// minResidualCPU keeps residual load averages finite when a node's
+// capacity is fully committed.
+const minResidualCPU = 1e-9
+
+// residualLocked returns the snapshot with committed reservations
+// subtracted: each node's CPU fraction is reduced by its committed
+// fraction (re-expressed as a load average, so Snapshot.CPU reports the
+// uncommitted capacity) and each link's available bandwidth by its
+// committed bandwidth, clamped at zero. With no active leases the
+// snapshot is returned as-is (callers treat snapshots as read-only).
+// Callers hold l.mu.
+func (l *Ledger) residualLocked(snap *topology.Snapshot) *topology.Snapshot {
+	if len(l.leases) == 0 {
+		return snap
+	}
+	r := snap.Clone()
+	for id, committed := range l.nodeCPU {
+		if committed <= 0 {
+			continue
+		}
+		cpu := r.CPU(id) - committed
+		if cpu < minResidualCPU {
+			cpu = minResidualCPU
+		}
+		r.LoadAvg[id] = 1/cpu - 1
+	}
+	for lid, committed := range l.linkBW {
+		if committed <= 0 {
+			continue
+		}
+		r.SetAvailBW(lid, r.AvailBW[lid]-committed)
+	}
+	return r
+}
+
+// Residual returns the residual view of snap: measured capacities minus
+// committed reservations, after sweeping expired leases. The selection
+// algorithms consume it exactly like a raw snapshot.
+func (l *Ledger) Residual(snap *topology.Snapshot) *topology.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked(l.opt.Now())
+	return l.residualLocked(snap)
+}
+
+// PlaceFunc computes a placement on the residual view. minBW is the
+// bandwidth floor the ledger asks the placer to honour — at least the
+// demand's per-flow bandwidth, escalated by Acquire when a chosen set's
+// per-link flow multiplicity needs more than one flow's worth. A placer
+// is free to ignore it; admission is checked independently afterwards.
+type PlaceFunc func(residual *topology.Snapshot, minBW float64) ([]int, error)
+
+// Acquire runs the whole admit-or-reject sequence in one critical
+// section: sweep expired leases, build the residual view, call place on
+// it, verify the chosen set's debits fit the residual capacity, and — only
+// if they do — commit the reservation and issue a lease. Rejections leave
+// the ledger untouched and name the binding bottleneck via AdmissionError
+// (or return the placer's own error when no feasible set exists at all).
+//
+// A single-flow bandwidth floor is necessary but not sufficient: a link
+// crossed by k of the placement's flows must hold k times the per-flow
+// demand. When the post-placement check finds such a shortfall, Acquire
+// retries with the floor raised to the failing multiplicity's requirement,
+// up to Options.PlaceAttempts times, before rejecting.
+func (l *Ledger) Acquire(snap *topology.Snapshot, d Demand, ttl time.Duration, place PlaceFunc) (Info, error) {
+	if err := d.Validate(); err != nil {
+		return Info{}, err
+	}
+	if snap == nil || snap.Graph != l.g {
+		return Info{}, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
+	}
+	ttl = l.clampTTL(ttl)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.opt.Now()
+	l.sweepLocked(now)
+
+	minBW := d.BW
+	var lastAdm *AdmissionError
+	for attempt := 0; attempt < l.opt.PlaceAttempts; attempt++ {
+		residual := l.residualLocked(snap)
+		nodes, err := place(residual, minBW)
+		if err != nil {
+			l.stats.Rejected++
+			// The escalated floor made placement infeasible: the previous
+			// round's admission shortfall is the real, nameable bottleneck.
+			if lastAdm != nil {
+				return Info{}, lastAdm
+			}
+			return Info{}, err
+		}
+		debits, adm := l.admissionCheck(residual, nodes, d)
+		if adm == nil {
+			return l.commitLocked(nodes, d, debits, now, ttl)
+		}
+		lastAdm = adm
+		if adm.Kind == "link" && adm.Need > minBW {
+			minBW = adm.Need
+			continue
+		}
+		break
+	}
+	l.stats.Rejected++
+	return Info{}, lastAdm
+}
+
+// admissionCheck computes the per-link debits for a candidate placement
+// and verifies the residual view can host them plus the per-node CPU
+// demand. It returns the debit map on success, or the binding bottleneck.
+// Callers hold l.mu.
+func (l *Ledger) admissionCheck(residual *topology.Snapshot, nodes []int, d Demand) (map[int]float64, *AdmissionError) {
+	const eps = 1e-9
+	if d.CPU > 0 {
+		for _, id := range nodes {
+			if have := residual.CPU(id); have < d.CPU-eps {
+				return nil, &AdmissionError{
+					Kind: "node", Bottleneck: l.g.Node(id).Name,
+					Need: d.CPU, Have: have,
+				}
+			}
+		}
+	}
+	debits := make(map[int]float64)
+	if d.BW > 0 {
+		for lid, flows := range l.g.FlowLinkCounts(nodes) {
+			debits[lid] = float64(flows) * d.BW
+		}
+		for lid, need := range debits {
+			if have := residual.AvailBW[lid]; have < need-eps {
+				link := l.g.Link(lid)
+				return nil, &AdmissionError{
+					Kind:       "link",
+					Bottleneck: l.g.Node(link.A).Name + "--" + l.g.Node(link.B).Name,
+					Need:       need, Have: have,
+				}
+			}
+		}
+	}
+	return debits, nil
+}
+
+// commitLocked records an admitted placement: WAL first (an append failure
+// aborts the admit), then the in-memory debits. Callers hold l.mu.
+func (l *Ledger) commitLocked(nodes []int, d Demand, debits map[int]float64, now time.Time, ttl time.Duration) (Info, error) {
+	ls := &Lease{
+		ID:      fmt.Sprintf("lease-%d", l.nextID),
+		Nodes:   append([]int(nil), nodes...),
+		Demand:  d,
+		Created: now,
+		Expiry:  now.Add(ttl),
+		linkBW:  debits,
+	}
+	sort.Ints(ls.Nodes)
+	if l.opt.WAL != nil {
+		if err := l.opt.WAL.append(acquireRecord(l.g, ls)); err != nil {
+			return Info{}, fmt.Errorf("lease: wal: %w", err)
+		}
+	}
+	l.nextID++
+	for _, id := range ls.Nodes {
+		l.nodeCPU[id] += d.CPU
+	}
+	for lid, bw := range debits {
+		l.linkBW[lid] += bw
+	}
+	l.leases[ls.ID] = ls
+	l.stats.Acquired++
+	l.event("acquire", ls)
+	l.maybeCompactLocked()
+	return l.infoLocked(ls), nil
+}
+
+// Renew extends a lease's term to now + ttl (the default TTL when ttl is
+// zero, capped at MaxTTL).
+func (l *Ledger) Renew(id string, ttl time.Duration) (Info, error) {
+	ttl = l.clampTTL(ttl)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.opt.Now()
+	l.sweepLocked(now)
+	ls, ok := l.leases[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	ls.Expiry = now.Add(ttl)
+	if l.opt.WAL != nil {
+		if err := l.opt.WAL.append(walRecord{Op: opRenew, ID: id, ExpiryUnixMS: ls.Expiry.UnixMilli()}); err != nil {
+			return Info{}, fmt.Errorf("lease: wal: %w", err)
+		}
+	}
+	l.stats.Renewed++
+	l.event("renew", ls)
+	l.maybeCompactLocked()
+	return l.infoLocked(ls), nil
+}
+
+// Release returns a lease's capacity to the pool.
+func (l *Ledger) Release(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked(l.opt.Now())
+	ls, ok := l.leases[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if l.opt.WAL != nil {
+		if err := l.opt.WAL.append(walRecord{Op: opRelease, ID: id}); err != nil {
+			return fmt.Errorf("lease: wal: %w", err)
+		}
+	}
+	l.dropLocked(ls)
+	l.stats.Released++
+	l.event("release", ls)
+	l.maybeCompactLocked()
+	return nil
+}
+
+// dropLocked credits a lease's debits back and forgets it. Callers hold
+// l.mu and handle WAL and stats themselves.
+func (l *Ledger) dropLocked(ls *Lease) {
+	for _, id := range ls.Nodes {
+		l.nodeCPU[id] -= ls.Demand.CPU
+		if l.nodeCPU[id] < 0 {
+			l.nodeCPU[id] = 0 // float drift guard
+		}
+	}
+	for lid, bw := range ls.linkBW {
+		l.linkBW[lid] -= bw
+		if l.linkBW[lid] < 0 {
+			l.linkBW[lid] = 0
+		}
+	}
+	delete(l.leases, ls.ID)
+}
+
+// sweepLocked expires leases whose term has passed. Callers hold l.mu.
+func (l *Ledger) sweepLocked(now time.Time) int {
+	var expired []*Lease
+	for _, ls := range l.leases {
+		if !ls.Expiry.After(now) {
+			expired = append(expired, ls)
+		}
+	}
+	// Deterministic order for WAL contents and observers.
+	sort.Slice(expired, func(i, j int) bool { return expired[i].ID < expired[j].ID })
+	for _, ls := range expired {
+		if l.opt.WAL != nil {
+			// Expiry is derivable from timestamps at recovery; a failed
+			// append must not keep dead capacity reserved, so log best-effort.
+			l.opt.WAL.append(walRecord{Op: opExpire, ID: ls.ID})
+		}
+		l.dropLocked(ls)
+		l.stats.Expired++
+		l.event("expire", ls)
+	}
+	return len(expired)
+}
+
+// Sweep expires overdue leases now and reports how many were reclaimed.
+// Every ledger operation also sweeps lazily; call Sweep (or StartSweeper)
+// so crashed clients' capacity returns even when no traffic arrives.
+func (l *Ledger) Sweep() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sweepLocked(l.opt.Now())
+}
+
+// StartSweeper runs Sweep every interval until the returned stop function
+// is called.
+func (l *Ledger) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				l.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// infoLocked renders a lease for external consumption. Callers hold l.mu.
+func (l *Ledger) infoLocked(ls *Lease) Info {
+	now := l.opt.Now()
+	info := Info{
+		ID:         ls.ID,
+		Nodes:      make([]string, len(ls.Nodes)),
+		CPU:        ls.Demand.CPU,
+		BW:         ls.Demand.BW,
+		CreatedAt:  ls.Created,
+		ExpiresAt:  ls.Expiry,
+		TTLSeconds: ls.Expiry.Sub(now).Seconds(),
+	}
+	for i, id := range ls.Nodes {
+		info.Nodes[i] = l.g.Node(id).Name
+	}
+	sort.Strings(info.Nodes)
+	if len(ls.linkBW) > 0 {
+		info.Links = make(map[string]float64, len(ls.linkBW))
+		for lid, bw := range ls.linkBW {
+			link := l.g.Link(lid)
+			info.Links[l.g.Node(link.A).Name+"--"+l.g.Node(link.B).Name] = bw
+		}
+	}
+	return info
+}
+
+// Get returns one active lease.
+func (l *Ledger) Get(id string) (Info, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked(l.opt.Now())
+	ls, ok := l.leases[id]
+	if !ok {
+		return Info{}, false
+	}
+	return l.infoLocked(ls), true
+}
+
+// Active lists the active leases, ordered by issue (lease-N ascending).
+func (l *Ledger) Active() []Info {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked(l.opt.Now())
+	out := make([]Info, 0, len(l.leases))
+	for _, ls := range l.leases {
+		out = append(out, l.infoLocked(ls))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return leaseSeq(out[i].ID) < leaseSeq(out[j].ID)
+	})
+	return out
+}
+
+// leaseSeq extracts N from "lease-N" (-1 when unparseable).
+func leaseSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "lease-%d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Close flushes the WAL (writing a final snapshot of the active leases)
+// and closes it. The ledger stays usable in memory but persists nothing
+// further. Safe to call more than once.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.opt.WAL == nil {
+		l.closed = true
+		return nil
+	}
+	l.closed = true
+	if err := l.opt.WAL.compact(l.activeRecordsLocked()); err != nil {
+		l.opt.WAL.close()
+		return err
+	}
+	return l.opt.WAL.close()
+}
+
+// activeRecordsLocked renders the active leases as WAL acquire records.
+// Callers hold l.mu.
+func (l *Ledger) activeRecordsLocked() []walRecord {
+	out := make([]walRecord, 0, len(l.leases))
+	for _, ls := range l.leases {
+		out = append(out, acquireRecord(l.g, ls))
+	}
+	sort.Slice(out, func(i, j int) bool { return leaseSeq(out[i].ID) < leaseSeq(out[j].ID) })
+	return out
+}
+
+// maybeCompactLocked snapshots and truncates the WAL once enough records
+// accumulate. Callers hold l.mu.
+func (l *Ledger) maybeCompactLocked() {
+	if l.opt.WAL == nil || !l.opt.WAL.due() {
+		return
+	}
+	// Compaction failure is not fatal: the log keeps growing and remains
+	// replayable; the next threshold crossing retries.
+	l.opt.WAL.compact(l.activeRecordsLocked())
+}
+
+// recover replays the WAL into the ledger: unexpired leases are
+// re-admitted without re-running admission control (they were admitted
+// before the restart), with link debits recomputed from the current
+// graph's routes. Leases naming nodes absent from the topology, or whose
+// expiry has passed, are skipped and counted.
+func (l *Ledger) recover() error {
+	active, maxSeq, err := l.opt.WAL.load()
+	if err != nil {
+		return fmt.Errorf("lease: wal recovery: %w", err)
+	}
+	now := l.opt.Now()
+	l.nextID = maxSeq + 1
+	for _, rec := range active {
+		expiry := time.UnixMilli(rec.ExpiryUnixMS)
+		if !expiry.After(now) {
+			l.stats.RecoverySkipped++
+			continue
+		}
+		nodes := make([]int, 0, len(rec.Nodes))
+		known := true
+		for _, name := range rec.Nodes {
+			id := l.g.NodeByName(name)
+			if id < 0 {
+				known = false
+				break
+			}
+			nodes = append(nodes, id)
+		}
+		if !known {
+			l.stats.RecoverySkipped++
+			continue
+		}
+		sort.Ints(nodes)
+		d := Demand{CPU: rec.CPU, BW: rec.BW}
+		debits := make(map[int]float64)
+		if d.BW > 0 {
+			for lid, flows := range l.g.FlowLinkCounts(nodes) {
+				debits[lid] = float64(flows) * d.BW
+			}
+		}
+		ls := &Lease{
+			ID:      rec.ID,
+			Nodes:   nodes,
+			Demand:  d,
+			Created: time.UnixMilli(rec.CreatedUnixMS),
+			Expiry:  expiry,
+			linkBW:  debits,
+		}
+		for _, id := range nodes {
+			l.nodeCPU[id] += d.CPU
+		}
+		for lid, bw := range debits {
+			l.linkBW[lid] += bw
+		}
+		l.leases[ls.ID] = ls
+		l.stats.Recovered++
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package lease
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nodeselect/internal/topology"
+)
+
+// The ledger's persistence is an append-only JSON-lines write-ahead log
+// plus a periodic snapshot of the active leases. Every transition appends
+// one record (synced to disk before the in-memory state changes, so an
+// admitted lease is never lost); once enough records accumulate the log is
+// compacted: the active set is written to a snapshot file and the log
+// truncated. Recovery loads the snapshot and replays the log on top,
+// tolerating a torn final line from a crash mid-append.
+//
+// Records carry node *names* rather than IDs and no link debits: debits
+// are recomputed from the current topology's routes at recovery, so a
+// restart against a re-discovered (but equivalent) topology stays
+// consistent, and one against a changed topology degrades by skipping
+// leases whose nodes no longer exist.
+
+// WAL record operations.
+const (
+	opAcquire = "acquire"
+	opRenew   = "renew"
+	opRelease = "release"
+	opExpire  = "expire"
+)
+
+// walRecord is one logged transition (and, for acquire, the full lease).
+type walRecord struct {
+	Op    string   `json:"op"`
+	ID    string   `json:"id"`
+	Nodes []string `json:"nodes,omitempty"`
+	CPU   float64  `json:"cpu,omitempty"`
+	BW    float64  `json:"bw,omitempty"`
+	// Timestamps are unix milliseconds so records are compact and
+	// timezone-free.
+	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
+	ExpiryUnixMS  int64 `json:"expiry_unix_ms,omitempty"`
+}
+
+// acquireRecord renders a lease as its WAL form.
+func acquireRecord(g *topology.Graph, ls *Lease) walRecord {
+	rec := walRecord{
+		Op:            opAcquire,
+		ID:            ls.ID,
+		Nodes:         make([]string, len(ls.Nodes)),
+		CPU:           ls.Demand.CPU,
+		BW:            ls.Demand.BW,
+		CreatedUnixMS: ls.Created.UnixMilli(),
+		ExpiryUnixMS:  ls.Expiry.UnixMilli(),
+	}
+	for i, id := range ls.Nodes {
+		rec.Nodes[i] = g.Node(id).Name
+	}
+	return rec
+}
+
+// walSnapshot is the snapshot file's document.
+type walSnapshot struct {
+	// Active holds one acquire-shaped record per live lease.
+	Active []walRecord `json:"active"`
+	// NextSeq preserves the ID counter across compactions, so IDs are
+	// never reused even when the log of issued leases is compacted away.
+	NextSeq int64 `json:"next_seq"`
+}
+
+// WAL persists ledger transitions under one directory.
+type WAL struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	records int   // records in the current log segment
+	maxSeq  int64 // highest lease sequence ever observed
+	// CompactEvery is the record count that triggers snapshot+truncate
+	// (default 256); settable before the ledger starts using the WAL.
+	CompactEvery int
+}
+
+func (w *WAL) logPath() string  { return filepath.Join(w.dir, "ledger.wal.jsonl") }
+func (w *WAL) snapPath() string { return filepath.Join(w.dir, "ledger.snap.json") }
+
+// Dir returns the WAL's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// OpenWAL opens (creating as needed) the ledger persistence under dir.
+// Hand the result to lease.New via Options.WAL; New performs recovery.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lease: wal dir: %w", err)
+	}
+	w := &WAL{dir: dir, CompactEvery: 256}
+	f, err := os.OpenFile(w.logPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lease: wal log: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// load reads the snapshot and replays the log, returning the active
+// acquire-shaped records and the highest lease sequence number observed
+// anywhere (so the ledger resumes IDs without reuse).
+func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	maxSeq = -1
+	live := make(map[string]*walRecord)
+	var order []string
+
+	note := func(id string) {
+		if seq := leaseSeq(id); seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+
+	if data, err := os.ReadFile(w.snapPath()); err == nil {
+		var snap walSnapshot
+		if jerr := json.Unmarshal(data, &snap); jerr != nil {
+			return nil, 0, fmt.Errorf("snapshot %s: %w", w.snapPath(), jerr)
+		}
+		if snap.NextSeq-1 > maxSeq {
+			maxSeq = snap.NextSeq - 1
+		}
+		for i := range snap.Active {
+			rec := snap.Active[i]
+			note(rec.ID)
+			live[rec.ID] = &rec
+			order = append(order, rec.ID)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, 0, err
+	}
+
+	// Replay the log segment. A torn final line (crash mid-append) ends
+	// the replay; everything before it is intact because appends are
+	// synced in order.
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return nil, 0, err
+	}
+	sc := bufio.NewScanner(w.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w.records = 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			break
+		}
+		w.records++
+		note(rec.ID)
+		switch rec.Op {
+		case opAcquire:
+			r := rec
+			live[rec.ID] = &r
+			order = append(order, rec.ID)
+		case opRenew:
+			if cur, ok := live[rec.ID]; ok {
+				cur.ExpiryUnixMS = rec.ExpiryUnixMS
+			}
+		case opRelease, opExpire:
+			delete(live, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if _, err := w.f.Seek(0, 2); err != nil {
+		return nil, 0, err
+	}
+
+	seen := make(map[string]bool, len(live))
+	for _, id := range order {
+		if rec, ok := live[id]; ok && !seen[id] {
+			seen[id] = true
+			active = append(active, *rec)
+		}
+	}
+	w.maxSeq = maxSeq
+	return active, maxSeq, nil
+}
+
+// append writes one record and syncs it to disk. The ledger calls this
+// *before* mutating in-memory state, so a crash never loses an
+// acknowledged transition.
+func (w *WAL) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("wal closed")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.records++
+	if seq := leaseSeq(rec.ID); seq > w.maxSeq {
+		w.maxSeq = seq
+	}
+	return nil
+}
+
+// due reports whether the log segment has grown past the compaction
+// threshold.
+func (w *WAL) due() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f != nil && w.records >= w.CompactEvery
+}
+
+// compact writes the active set to the snapshot file (atomically, via a
+// temp file and rename) and truncates the log segment.
+func (w *WAL) compact(active []walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("wal closed")
+	}
+	nextSeq := w.maxSeq + 1
+	for _, rec := range active {
+		if seq := leaseSeq(rec.ID); seq >= nextSeq {
+			nextSeq = seq + 1
+		}
+	}
+	doc, err := json.Marshal(walSnapshot{Active: active, NextSeq: nextSeq})
+	if err != nil {
+		return err
+	}
+	tmp := w.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, w.snapPath()); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	w.records = 0
+	w.maxSeq = nextSeq - 1
+	return nil
+}
+
+// close releases the log file handle.
+func (w *WAL) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -67,12 +67,17 @@ type Decision struct {
 	// DataAgeSeconds the age of the oldest of them.
 	Degraded       bool    `json:"degraded,omitempty"`
 	DataAgeSeconds float64 `json:"data_age_seconds,omitempty"`
+	// LeaseID names the reservation issued for a leased request.
+	LeaseID string `json:"lease_id,omitempty"`
 	// DurationSeconds is the wall-clock time spent serving the request.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// Error carries the failure, with ErrorClass one of bad_request,
-	// no_data, infeasible or internal.
+	// no_data, stale, infeasible, rejected, not_found or internal.
 	Error      string `json:"error,omitempty"`
 	ErrorClass string `json:"error_class,omitempty"`
+	// Bottleneck names the binding resource of an admission rejection
+	// ("node" name or "a--b" link).
+	Bottleneck string `json:"bottleneck,omitempty"`
 	// Trace is the sweep's round log, oldest first.
 	Trace []DecisionRound `json:"trace,omitempty"`
 	// TraceTruncated marks a trace cut off at maxTraceRounds rounds.

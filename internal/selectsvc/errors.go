@@ -1,0 +1,84 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/lease"
+	"nodeselect/internal/remos"
+)
+
+// apiError is the JSON error envelope every failing endpoint returns:
+// the message, a machine-readable class, the HTTP status echoed in the
+// body, and — for admission rejections — the binding bottleneck.
+type apiError struct {
+	Error  string `json:"error"`
+	Class  string `json:"class"`
+	Status int    `json:"status"`
+	// Bottleneck names the resource that blocked an admission ("node X" /
+	// "link a--b" semantics live in the message; this is the bare name).
+	Bottleneck string `json:"bottleneck,omitempty"`
+}
+
+// writeError renders the envelope. Every handler error path funnels
+// through here so clients can rely on one error shape.
+func writeError(w http.ResponseWriter, status int, class, bottleneck string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{
+		Error: err.Error(), Class: class, Status: status, Bottleneck: bottleneck,
+	})
+}
+
+// Error classes, also used as the selectsvc_errors_total{class} label.
+const (
+	classBadRequest = "bad_request"
+	classNoData     = "no_data"
+	classStale      = "stale"
+	classInfeasible = "infeasible"
+	classRejected   = "rejected"
+	classNotFound   = "not_found"
+	classInternal   = "internal"
+)
+
+// classifyError maps a failure to its class.
+func classifyError(err error) string {
+	switch {
+	case errors.Is(err, remos.ErrNoData):
+		return classNoData
+	case errors.Is(err, remos.ErrStale):
+		return classStale
+	case errors.Is(err, lease.ErrRejected):
+		return classRejected
+	case errors.Is(err, lease.ErrNotFound):
+		return classNotFound
+	case errors.Is(err, lease.ErrBadDemand):
+		return classBadRequest
+	case errors.Is(err, core.ErrTooFewNodes), errors.Is(err, core.ErrNoFeasibleSet):
+		return classInfeasible
+	case errors.Is(err, core.ErrBadRequest):
+		return classBadRequest
+	default:
+		return classInternal
+	}
+}
+
+// statusFor maps an error class to its HTTP status.
+func statusFor(class string) int {
+	switch class {
+	case classBadRequest:
+		return http.StatusBadRequest
+	case classNoData, classStale:
+		return http.StatusServiceUnavailable
+	case classInfeasible:
+		return http.StatusUnprocessableEntity
+	case classRejected:
+		return http.StatusConflict
+	case classNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

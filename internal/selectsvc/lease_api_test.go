@@ -1,0 +1,377 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// newStarService builds a service over an idle star: n unloaded nodes, each
+// behind a 100 Mbps access link. Capacity math is then exact — a lease of
+// {cpu, bw} debits cpu per selected node and (m-1)*bw per access link.
+func newStarService(t *testing.T, n int, cfg Config) (*Service, *topology.Graph) {
+	t.Helper()
+	g := testbed.Star(n, 100e6)
+	src := remos.NewStaticSource(g)
+	if cfg.DefaultMode == 0 {
+		cfg.DefaultMode = remos.Current
+	}
+	svc := New(src, cfg)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	return svc, g
+}
+
+func decodeJSON[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	return v
+}
+
+func TestLeaseLifecycleOverHTTP(t *testing.T) {
+	svc, _ := newStarService(t, 8, Config{})
+	h := svc.Handler()
+
+	// Acquire via POST /select with a demand.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 3, Demand: &lease.Demand{CPU: 0.3, BW: 20e6}, LeaseTTL: 60,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	if resp.Lease == nil {
+		t.Fatal("no lease in response")
+	}
+	// TTLSeconds is the *remaining* lifetime, so a hair under the request.
+	if len(resp.Nodes) != 3 || resp.Lease.TTLSeconds > 60 || resp.Lease.TTLSeconds < 59 {
+		t.Fatalf("lease %+v nodes %v", resp.Lease, resp.Nodes)
+	}
+	id := resp.Lease.ID
+
+	// It shows up in GET /leases with its commitments.
+	w = do(t, h, "GET", "/leases", nil)
+	list := decodeJSON[struct {
+		Leases         []lease.Info `json:"leases"`
+		MaxCPU         float64      `json:"max_cpu_committed"`
+		MaxBWCommitted float64      `json:"max_bw_committed"`
+	}](t, w.Body.Bytes())
+	if len(list.Leases) != 1 || list.Leases[0].ID != id {
+		t.Fatalf("lease list %+v", list)
+	}
+	if list.MaxCPU != 0.3 {
+		t.Fatalf("max cpu committed %v", list.MaxCPU)
+	}
+	// 3 nodes on a star: each access link carries 2 of the 3 flows.
+	if want := 2 * 20e6 / 100e6; list.MaxBWCommitted != want {
+		t.Fatalf("max bw committed %v, want %v", list.MaxBWCommitted, want)
+	}
+
+	// Renew extends the expiry.
+	w = do(t, h, "POST", "/leases/"+id+"/renew", map[string]float64{"ttl": 120})
+	if w.Code != http.StatusOK {
+		t.Fatalf("renew status %d: %s", w.Code, w.Body)
+	}
+	info := decodeJSON[lease.Info](t, w.Body.Bytes())
+	if info.TTLSeconds > 120 || info.TTLSeconds < 119 {
+		t.Fatalf("renewed ttl %v", info.TTLSeconds)
+	}
+
+	// Release returns the capacity.
+	w = do(t, h, "DELETE", "/leases/"+id, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("release status %d: %s", w.Code, w.Body)
+	}
+	if svc.Ledger().Len() != 0 {
+		t.Fatal("lease survived release")
+	}
+
+	// Releasing again is a structured 404.
+	w = do(t, h, "DELETE", "/leases/"+id, nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("double release status %d", w.Code)
+	}
+	env := decodeJSON[apiError](t, w.Body.Bytes())
+	if env.Class != classNotFound || env.Status != http.StatusNotFound {
+		t.Fatalf("envelope %+v", env)
+	}
+}
+
+func TestAdmissionRejectionNamesBottleneck(t *testing.T) {
+	svc, _ := newStarService(t, 4, Config{})
+	h := svc.Handler()
+
+	// m=3 on a star puts 2 flows on each selected access link, so 60 Mbps
+	// per flow needs 120 Mbps through a 100 Mbps link: unadmittable at any
+	// placement, and escalation cannot fix it.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 3, Demand: &lease.Demand{BW: 60e6}, LeaseTTL: 30,
+	})
+	if w.Code != http.StatusConflict {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	env := decodeJSON[apiError](t, w.Body.Bytes())
+	if env.Class != classRejected || env.Status != http.StatusConflict {
+		t.Fatalf("envelope %+v", env)
+	}
+	if env.Bottleneck == "" {
+		t.Fatalf("rejection does not name its bottleneck: %+v", env)
+	}
+	if svc.Ledger().Len() != 0 {
+		t.Fatal("rejected lease left state behind")
+	}
+
+	// The rejection is visible in the audit trail and the metrics.
+	ds := svc.Decisions(1)
+	if len(ds) != 1 || ds[0].ErrorClass != classRejected || ds[0].Bottleneck == "" {
+		t.Fatalf("audit decision %+v", ds)
+	}
+	m := do(t, h, "GET", "/metrics", nil).Body.String()
+	for _, want := range []string{
+		`selectsvc_admission_rejects_total{kind="link"} 1`,
+		`selectsvc_errors_total{class="rejected"} 1`,
+	} {
+		if !containsLine(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestContentionClassifiedAsRejected(t *testing.T) {
+	svc, _ := newStarService(t, 4, Config{})
+	h := svc.Handler()
+
+	// First tenant reserves most of every node.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 4, Demand: &lease.Demand{CPU: 0.9}, LeaseTTL: 300,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("first tenant status %d: %s", w.Code, w.Body)
+	}
+	// The same ask now fails — not because the network can't host it, but
+	// because the first tenant holds the capacity: 409, not 422.
+	w = do(t, h, "POST", "/select", SelectRequest{
+		M: 4, Demand: &lease.Demand{CPU: 0.9}, LeaseTTL: 300,
+	})
+	if w.Code != http.StatusConflict {
+		t.Fatalf("second tenant status %d: %s", w.Code, w.Body)
+	}
+	env := decodeJSON[apiError](t, w.Body.Bytes())
+	if env.Class != classRejected {
+		t.Fatalf("envelope %+v", env)
+	}
+	// An unleased (advisory) select still works: it sees the residual view
+	// but carries no floors of its own.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 2}); w.Code != http.StatusOK {
+		t.Fatalf("advisory select status %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestErrorEnvelopeEverywhere drives every distinct error path and checks
+// the one JSON envelope shape comes back: error, class, and the echoed
+// status.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	svc, _ := newStarService(t, 4, Config{})
+	h := svc.Handler()
+
+	cases := []struct {
+		name, method, path string
+		body               any
+		status             int
+		class              string
+	}{
+		{"select bad mode", "POST", "/select", SelectRequest{M: 2, Mode: "psychic"}, 400, classBadRequest},
+		{"select bad algo", "POST", "/select", SelectRequest{M: 2, Algo: "vibes"}, 400, classBadRequest},
+		{"select infeasible", "POST", "/select", SelectRequest{M: 99}, 422, classInfeasible},
+		{"select ghost pin", "POST", "/select", SelectRequest{M: 2, Pin: []string{"ghost"}}, 422, classInfeasible},
+		{"select bad demand", "POST", "/select",
+			SelectRequest{M: 2, Demand: &lease.Demand{CPU: 1.5}}, 400, classBadRequest},
+		{"snapshot bad mode", "GET", "/snapshot?mode=psychic", nil, 400, classBadRequest},
+		{"snapshot bad view", "GET", "/snapshot?view=sideways", nil, 400, classBadRequest},
+		{"decisions bad n", "GET", "/decisions?n=bogus", nil, 400, classBadRequest},
+		{"renew unknown lease", "POST", "/leases/lease-99/renew", nil, 404, classNotFound},
+		{"release unknown lease", "DELETE", "/leases/lease-99", nil, 404, classNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, h, tc.method, tc.path, tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d (%s)", w.Code, tc.status, w.Body)
+			}
+			env := decodeJSON[apiError](t, w.Body.Bytes())
+			if env.Class != tc.class || env.Status != tc.status || env.Error == "" {
+				t.Fatalf("envelope %+v, want class %q status %d", env, tc.class, tc.status)
+			}
+		})
+	}
+}
+
+// TestConcurrentLeasedSelects hammers POST /select from many goroutines
+// (run under -race) and then checks the ledger's books: no node's CPU and
+// no link's bandwidth may ever be committed past capacity, no matter how
+// the admissions interleave.
+func TestConcurrentLeasedSelects(t *testing.T) {
+	const nodes, workers = 8, 24
+	svc, g := newStarService(t, nodes, Config{})
+	h := svc.Handler()
+
+	var wg sync.WaitGroup
+	codes := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := do(t, h, "POST", "/select", SelectRequest{
+				M: 2, Demand: &lease.Demand{CPU: 0.5, BW: 10e6}, LeaseTTL: 300,
+			})
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+
+	admitted, rejected := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			admitted++
+		case http.StatusConflict, http.StatusUnprocessableEntity:
+			rejected++
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, code)
+		}
+	}
+	// 8 idle nodes at 0.5 CPU each fit at most 16 node-slots = 8 two-node
+	// leases; with 24 attempts some must be admitted and some rejected.
+	if admitted == 0 || admitted > nodes {
+		t.Fatalf("admitted %d of %d (rejected %d)", admitted, workers, rejected)
+	}
+	if admitted+rejected != workers {
+		t.Fatalf("admitted %d + rejected %d != %d", admitted, rejected, workers)
+	}
+	nodeCPU, linkBW := svc.Ledger().Committed()
+	for id, c := range nodeCPU {
+		if c > 1+1e-9 {
+			t.Errorf("node %s oversubscribed: %v CPU committed", g.Node(id).Name, c)
+		}
+	}
+	for lid, b := range linkBW {
+		if capacity := g.Link(lid).Capacity; b > capacity+1e-3 {
+			t.Errorf("link %d oversubscribed: %v of %v committed", lid, b, capacity)
+		}
+	}
+	if svc.Ledger().Len() != admitted {
+		t.Fatalf("ledger holds %d leases, admitted %d", svc.Ledger().Len(), admitted)
+	}
+}
+
+// TestLeaseSurvivesServiceRestart runs two Services over the same WAL
+// directory in sequence, as a restarted selectd would.
+func TestLeaseSurvivesServiceRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := testbed.Star(4, 100e6)
+
+	start := func() *Service {
+		w, err := lease.OpenWAL(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledger, err := lease.New(g, lease.Options{WAL: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := remos.NewStaticSource(g)
+		svc := New(src, Config{DefaultMode: remos.Current, Ledger: ledger})
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		src.Advance(2)
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	svc1 := start()
+	w := do(t, svc1.Handler(), "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.4, BW: 5e6}, LeaseTTL: 600,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	id := resp.Lease.ID
+	wantCPU, wantBW := svc1.Ledger().Committed()
+	if err := svc1.Ledger().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := start()
+	defer svc2.Ledger().Close()
+	got, ok := svc2.Ledger().Get(id)
+	if !ok {
+		t.Fatalf("lease %s lost across restart", id)
+	}
+	if got.CPU != 0.4 || got.BW != 5e6 {
+		t.Fatalf("recovered lease %+v", got)
+	}
+	gotCPU, gotBW := svc2.Ledger().Committed()
+	for i := range wantCPU {
+		if gotCPU[i] != wantCPU[i] {
+			t.Fatalf("node %d cpu %v != %v after restart", i, gotCPU[i], wantCPU[i])
+		}
+	}
+	for i := range wantBW {
+		if gotBW[i] != wantBW[i] {
+			t.Fatalf("link %d bw %v != %v after restart", i, gotBW[i], wantBW[i])
+		}
+	}
+	// New leases keep advancing the ID sequence.
+	w = do(t, svc2.Handler(), "POST", "/select", SelectRequest{M: 1, LeaseTTL: 60})
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-restart select status %d: %s", w.Code, w.Body)
+	}
+	resp2 := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	if resp2.Lease.ID == id {
+		t.Fatalf("lease ID %s reused after restart", id)
+	}
+}
+
+// containsLine reports whether a metrics exposition contains the exact
+// sample line.
+func containsLine(body, line string) bool {
+	for _, l := range splitLines(body) {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package selectsvc
 
-import "nodeselect/internal/metrics"
+import (
+	"nodeselect/internal/lease"
+	"nodeselect/internal/metrics"
+)
 
 // minresourceBuckets spans the balanced objective's useful range: fine
 // steps across [0,1] (fractional availability) plus headroom for
@@ -39,6 +42,13 @@ type svcMetrics struct {
 	// selectsvc_degraded_selects_total: placements computed while some
 	// measurement inputs were last-known-good rather than live
 	degradedSelects *metrics.Counter
+	// selectsvc_lease_ops_total{op}: ledger transitions — acquire | renew |
+	// release | expire (fed by the ledger's event observer, so expiries from
+	// the background sweeper are counted too)
+	leaseOps *metrics.CounterVec
+	// selectsvc_admission_rejects_total{kind}: leased requests turned away
+	// at admission, by binding resource kind (node | link)
+	admissionRejects *metrics.CounterVec
 }
 
 func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
@@ -61,5 +71,24 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 			"Service health: 0 ok, 1 degraded, 2 unhealthy."),
 		degradedSelects: reg.NewCounter("selectsvc_degraded_selects_total",
 			"Placements computed from partially stale measurements."),
+		leaseOps: reg.NewCounterVec("selectsvc_lease_ops_total",
+			"Reservation ledger transitions, by operation.", "op"),
+		admissionRejects: reg.NewCounterVec("selectsvc_admission_rejects_total",
+			"Leased placements rejected at admission, by binding resource kind.", "kind"),
 	}
+}
+
+// registerLeaseGauges exposes the ledger's live commitment state. These are
+// GaugeFuncs — sampled at scrape time — because the ledger already owns the
+// state and keeping a parallel counter in sync would just invite drift.
+func registerLeaseGauges(reg *metrics.Registry, l *lease.Ledger) {
+	reg.NewGaugeFunc("selectsvc_leases_active",
+		"Active (unexpired) leases in the reservation ledger.",
+		func() float64 { return float64(l.Len()) })
+	reg.NewGaugeFunc("selectsvc_lease_max_cpu_committed",
+		"Largest committed CPU fraction across nodes (1 = some node fully reserved).",
+		func() float64 { cpu, _ := l.MaxCommitted(); return cpu })
+	reg.NewGaugeFunc("selectsvc_lease_max_bw_committed",
+		"Largest committed bandwidth fraction across links (1 = some link fully reserved).",
+		func() float64 { _, bw := l.MaxCommitted(); return bw })
 }

@@ -170,10 +170,10 @@ func TestErrorBodiesAndClasses(t *testing.T) {
 		class  string
 	}{
 		{"malformed json", "{", http.StatusBadRequest, "bad request", "bad_request"},
-		{"unknown algo", `{"m":2,"algo":"vibes"}`, http.StatusUnprocessableEntity, "unknown algorithm", "bad_request"},
+		{"unknown algo", `{"m":2,"algo":"vibes"}`, http.StatusBadRequest, "unknown algorithm", "bad_request"},
 		{"unknown mode", `{"m":2,"mode":"psychic"}`, http.StatusBadRequest, "unknown mode", "bad_request"},
 		{"too many nodes", `{"m":99}`, http.StatusUnprocessableEntity, "not enough eligible", "infeasible"},
-		{"ghost pin", `{"m":2,"pin":["ghost"]}`, http.StatusUnprocessableEntity, "unknown pinned node", "bad_request"},
+		{"ghost pin", `{"m":2,"pin":["ghost"]}`, http.StatusUnprocessableEntity, "unknown pinned node", "infeasible"},
 		{"impossible floor", `{"m":3,"min_bw":1e15}`, http.StatusUnprocessableEntity, "no feasible node set", "infeasible"},
 	}
 	for _, tc := range cases {
@@ -193,10 +193,10 @@ func TestErrorBodiesAndClasses(t *testing.T) {
 	// The error classes all landed in the counter vec.
 	w := do(t, h, "GET", "/metrics", nil)
 	body := w.Body.String()
-	if !strings.Contains(body, `selectsvc_errors_total{class="bad_request"} 4`) {
+	if !strings.Contains(body, `selectsvc_errors_total{class="bad_request"} 3`) {
 		t.Errorf("bad_request errors not counted:\n%s", body)
 	}
-	if !strings.Contains(body, `selectsvc_errors_total{class="infeasible"} 2`) {
+	if !strings.Contains(body, `selectsvc_errors_total{class="infeasible"} 3`) {
 		t.Errorf("infeasible errors not counted:\n%s", body)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 
 	"nodeselect/internal/appspec"
 	"nodeselect/internal/core"
+	"nodeselect/internal/lease"
 	"nodeselect/internal/metrics"
 	"nodeselect/internal/randx"
 	"nodeselect/internal/remos"
@@ -61,6 +63,12 @@ type Config struct {
 	// place on a node we can see than on one that may be gone. Requires
 	// Collector.MaxStaleAge > 0; spec-based requests are not filtered.
 	ExcludeStale bool
+	// Ledger is the reservation ledger backing admission control and the
+	// lease API. Nil creates a private in-memory ledger over the source's
+	// topology; pass a WAL-backed one (lease.New with lease.OpenWAL) so
+	// active leases survive restarts. The service installs the ledger's
+	// event observer for its metrics.
+	Ledger *lease.Ledger
 }
 
 // Service is the placement daemon. Create with New, drive polling with
@@ -82,6 +90,7 @@ type Service struct {
 	registry *metrics.Registry
 	metrics  *svcMetrics
 	audit    *auditRing
+	ledger   *lease.Ledger
 }
 
 // New builds a service over a measurement source.
@@ -99,7 +108,13 @@ func New(src remos.Source, cfg Config) *Service {
 	if ns, ok := src.(*agent.NetSource); ok {
 		ns.SetMetrics(agent.NewClientMetrics(reg))
 	}
-	return &Service{
+	ledger := cfg.Ledger
+	if ledger == nil {
+		// An in-memory ledger cannot fail to construct over a live source's
+		// topology.
+		ledger, _ = lease.New(src.Topology(), lease.Options{})
+	}
+	s := &Service{
 		src:       src,
 		collector: collector,
 		cfg:       cfg,
@@ -107,8 +122,16 @@ func New(src remos.Source, cfg Config) *Service {
 		registry:  reg,
 		metrics:   newSvcMetrics(reg),
 		audit:     newAuditRing(auditSize),
+		ledger:    ledger,
 	}
+	ledger.SetOnEvent(func(op string, _ *lease.Lease) { s.metrics.leaseOps.With(op).Inc() })
+	registerLeaseGauges(reg, ledger)
+	return s
 }
+
+// Ledger returns the service's reservation ledger, for callers that drive
+// sweeping or shutdown themselves (cmd/selectd).
+func (s *Service) Ledger() *lease.Ledger { return s.ledger }
 
 // Registry returns the service's metrics registry, for callers that want
 // to add their own instruments alongside.
@@ -137,6 +160,9 @@ func (s *Service) Poll() error {
 	s.lastPollErr = ""
 	s.collector.Poll()
 	s.metrics.healthState.Set(healthLevel(s.healthLocked().State))
+	// Reclaim capacity from crashed clients even when no requests arrive:
+	// the poll loop doubles as the lease expiry heartbeat.
+	s.ledger.Sweep()
 	return nil
 }
 
@@ -214,7 +240,20 @@ type SelectRequest struct {
 	// Spec is a full application specification; when present it
 	// overrides M and the floors above.
 	Spec *appspec.Spec `json:"spec,omitempty"`
+	// Demand, when present, makes the request *leased*: the placement is
+	// admitted against the residual network view (capacity minus other
+	// applications' reservations) and, on success, the demand is debited
+	// for the lease's lifetime. Rejections are HTTP 409 with the binding
+	// bottleneck named.
+	Demand *lease.Demand `json:"demand,omitempty"`
+	// LeaseTTL is the lease's time to live in seconds (service default
+	// when zero). Setting it without Demand leases a zero demand — the
+	// placement is tracked but debits nothing.
+	LeaseTTL float64 `json:"lease_ttl,omitempty"`
 }
+
+// leased reports whether the request asks for admission control.
+func (r SelectRequest) leased() bool { return r.Demand != nil || r.LeaseTTL > 0 }
 
 // SelectResponse is the POST /select reply.
 type SelectResponse struct {
@@ -234,17 +273,29 @@ type SelectResponse struct {
 	// the placement was computed (and, with ExcludeStale, were therefore
 	// removed from candidacy).
 	StaleNodes []string `json:"stale_nodes,omitempty"`
+	// Lease is present on leased requests: the reservation that now backs
+	// the placement. Renew it before ExpiresAt or the capacity returns to
+	// the pool.
+	Lease *lease.Info `json:"lease,omitempty"`
 }
 
 // Handler returns the service's HTTP handler:
 //
-//	GET  /topology   — the measured topology document
-//	GET  /snapshot   — topology + current snapshot (?mode=window...)
-//	GET  /healthz    — liveness, poll count, decision count
-//	GET  /decisions  — recent placement decisions with traces (?n=10)
-//	GET  /metrics    — Prometheus text exposition of the registry
-//	GET  /debug/vars — JSON dump of the registry
-//	POST /select     — run a placement (SelectRequest -> SelectResponse)
+//	GET    /topology          — the measured topology document
+//	GET    /snapshot          — topology + current snapshot (?mode=window,
+//	                            ?view=residual for capacity minus leases)
+//	GET    /healthz           — liveness, poll count, decision count
+//	GET    /decisions         — recent placement decisions with traces (?n=10)
+//	GET    /metrics           — Prometheus text exposition of the registry
+//	GET    /debug/vars        — JSON dump of the registry
+//	POST   /select            — run a placement (SelectRequest -> SelectResponse);
+//	                            with "demand"/"lease_ttl", admit-and-reserve
+//	GET    /leases            — active leases and commitment summary
+//	POST   /leases/{id}/renew — extend a lease ({"ttl": seconds}, optional body)
+//	DELETE /leases/{id}       — release a lease
+//
+// Every error response is the JSON envelope {error, class, status,
+// bottleneck?}.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topology", s.handleTopology)
@@ -254,6 +305,9 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.registry.Handler())
 	mux.Handle("GET /debug/vars", s.registry.JSONHandler())
 	mux.HandleFunc("POST /select", s.handleSelect)
+	mux.HandleFunc("GET /leases", s.handleLeases)
+	mux.HandleFunc("POST /leases/{id}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("DELETE /leases/{id}", s.handleLeaseRelease)
 	return mux
 }
 
@@ -263,7 +317,7 @@ func (s *Service) handleTopology(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := topology.WriteDocument(w, g, nil); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, classInternal, "", err)
 	}
 }
 
@@ -308,16 +362,25 @@ func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
 func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.snapshot(r.URL.Query().Get("mode"))
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, remos.ErrNoData) || errors.Is(err, remos.ErrStale) {
-			status = http.StatusServiceUnavailable
+		class := classifyError(err)
+		if class == classInternal {
+			class = classBadRequest
 		}
-		http.Error(w, err.Error(), status)
+		writeError(w, statusFor(class), class, "", err)
+		return
+	}
+	switch view := r.URL.Query().Get("view"); view {
+	case "", "raw":
+	case "residual":
+		snap = s.ledger.Residual(snap)
+	default:
+		writeError(w, http.StatusBadRequest, classBadRequest, "",
+			fmt.Errorf("unknown view %q (want raw or residual)", view))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := topology.WriteDocument(w, snap.Graph, snap); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, classInternal, "", err)
 	}
 }
 
@@ -361,29 +424,14 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			http.Error(w, fmt.Sprintf("bad n %q", q), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, classBadRequest, "",
+				fmt.Errorf("bad n %q", q))
 			return
 		}
 		n = v
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.audit.recent(n))
-}
-
-// classifyError maps a selection failure to its metrics class.
-func classifyError(err error) string {
-	switch {
-	case errors.Is(err, remos.ErrNoData):
-		return "no_data"
-	case errors.Is(err, remos.ErrStale):
-		return "stale"
-	case errors.Is(err, core.ErrTooFewNodes), errors.Is(err, core.ErrNoFeasibleSet):
-		return "infeasible"
-	case errors.Is(err, core.ErrBadRequest):
-		return "bad_request"
-	default:
-		return "internal"
-	}
 }
 
 func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -398,17 +446,24 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.audit.add(d)
 		s.metrics.decisions.Inc()
 	}
-	fail := func(status int, class string, err error) {
+	fail := func(class string, err error) {
+		// Admission rejections carry the binding bottleneck; surface it in
+		// the envelope and the audit trail, and count it by resource kind.
+		var adm *lease.AdmissionError
+		if errors.As(err, &adm) {
+			d.Bottleneck = adm.Bottleneck
+			s.metrics.admissionRejects.With(adm.Kind).Inc()
+		}
 		d.Error = err.Error()
 		d.ErrorClass = class
 		s.metrics.errors.With(class).Inc()
 		finish()
-		http.Error(w, err.Error(), status)
+		writeError(w, statusFor(class), class, d.Bottleneck, err)
 	}
 
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		fail(http.StatusBadRequest, "bad_request", fmt.Errorf("bad request: %w", err))
+		fail(classBadRequest, fmt.Errorf("bad request: %w", err))
 		return
 	}
 	algo := req.Algo
@@ -423,19 +478,32 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	mode, err := s.parseMode(req.Mode)
 	if err != nil {
 		d.Mode = req.Mode
-		fail(http.StatusBadRequest, "bad_request", err)
+		fail(classBadRequest, err)
 		return
 	}
 	d.Mode = mode.String()
 	s.metrics.requests.With(algo, d.Mode).Inc()
 
+	leased := req.leased()
+	var demand lease.Demand
+	if req.Demand != nil {
+		demand = *req.Demand
+	}
+	if leased {
+		if err := demand.Validate(); err != nil {
+			fail(classBadRequest, err)
+			return
+		}
+	}
+	ttl := time.Duration(req.LeaseTTL * float64(time.Second))
+
 	snap, health, fresh, err := s.snapshotFor(mode)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, remos.ErrNoData) || errors.Is(err, remos.ErrStale) {
-			status = http.StatusServiceUnavailable
+		class := classifyError(err)
+		if class == classInternal {
+			class = classBadRequest
 		}
-		fail(status, classifyError(err), err)
+		fail(class, err)
 		return
 	}
 	d.MeasuredAt = snap.Time
@@ -471,10 +539,35 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.DataAgeSeconds = health.MaxAgeSeconds
 		resp.StaleNodes = staleNodes
 	}
+	// Both branches place via a lease.PlaceFunc: leased requests hand it to
+	// Acquire, which admits and reserves inside the ledger's critical
+	// section; advisory (unleased) requests call it directly on the residual
+	// view, so they too respect capacity already promised to other tenants.
 	if req.Spec != nil {
-		place, err := appspec.SelectForSpec(snap, req.Spec, algo, src)
+		var place appspec.Placement
+		placeFn := func(residual *topology.Snapshot, _ float64) ([]int, error) {
+			// Specs carry their own floors, so the escalated minBW is
+			// ignored; admission is still checked on the chosen set.
+			p, err := appspec.SelectForSpec(residual, req.Spec, algo, src)
+			if err != nil {
+				return nil, err
+			}
+			place = p
+			return p.Nodes, nil
+		}
+		var err error
+		if leased {
+			var info lease.Info
+			info, err = s.ledger.Acquire(snap, demand, ttl, placeFn)
+			if err == nil {
+				resp.Lease = &info
+				d.LeaseID = info.ID
+			}
+		} else {
+			_, err = placeFn(s.ledger.Residual(snap), 0)
+		}
 		if err != nil {
-			fail(http.StatusUnprocessableEntity, classifyError(err), err)
+			fail(classifyError(err), err)
 			return
 		}
 		resp.Nodes = nodeNames(g, place.Nodes)
@@ -487,7 +580,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.MinResource = place.Score.MinResource
 		d.M = len(place.Nodes)
 	} else {
-		creq := core.Request{
+		base := core.Request{
 			M:               req.M,
 			ComputePriority: req.Priority,
 			RefCapacity:     req.RefCapacity,
@@ -498,18 +591,17 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.cfg.ExcludeStale && maxStale > 0 {
 			ages := fresh.NodeAge
-			creq.Eligible = func(node int) bool {
+			base.Eligible = func(node int) bool {
 				return node >= len(ages) || ages[node] <= maxStale
 			}
 		}
 		for _, name := range req.Pin {
 			id := g.NodeByName(name)
 			if id < 0 {
-				fail(http.StatusUnprocessableEntity, "bad_request",
-					fmt.Errorf("unknown pinned node %q", name))
+				fail(classInfeasible, fmt.Errorf("unknown pinned node %q", name))
 				return
 			}
-			creq.Pinned = append(creq.Pinned, id)
+			base.Pinned = append(base.Pinned, id)
 		}
 		// The sweep algorithms report their decision trace; the others
 		// have no sweep to trace.
@@ -518,10 +610,54 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		if algo == core.AlgoBalanced || algo == core.AlgoBandwidth {
 			opts.Observer = func(st core.SweepStep) { steps = append(steps, st) }
 		}
-		res, err := core.SelectOpt(algo, snap, creq, src, opts)
+		var res core.Result
+		placeFn := func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+			creq := base
+			// The demand's floors steer the sweep toward nodes and links
+			// with enough uncommitted headroom; minBW rises when Acquire
+			// escalates after a flow-multiplicity shortfall.
+			if demand.CPU > creq.MinCPU {
+				creq.MinCPU = demand.CPU
+			}
+			if minBW > creq.MinBW {
+				creq.MinBW = minBW
+			}
+			steps = steps[:0]
+			r, err := core.SelectOpt(algo, residual, creq, src, opts)
+			if err != nil {
+				return nil, err
+			}
+			res = r
+			return r.Nodes, nil
+		}
+		var err error
+		if leased {
+			var info lease.Info
+			info, err = s.ledger.Acquire(snap, demand, ttl, placeFn)
+			if err == nil {
+				resp.Lease = &info
+				d.LeaseID = info.ID
+			}
+		} else {
+			_, err = placeFn(s.ledger.Residual(snap), 0)
+		}
 		d.Trace, d.TraceTruncated = decisionRounds(g, steps)
 		if err != nil {
-			fail(http.StatusUnprocessableEntity, classifyError(err), err)
+			class := classifyError(err)
+			if leased && class == classInfeasible {
+				// No feasible set on the residual view. Probe the raw
+				// snapshot without the demand floors: if a set exists there,
+				// the blocker is capacity reserved by other leases — a
+				// contention rejection, not an infeasible request — and the
+				// probe's bottleneck link is the best available hint.
+				if probe, perr := core.SelectOpt(algo, snap, base, src, core.Options{}); perr == nil {
+					class = classRejected
+					d.Bottleneck = probe.BottleneckName(g)
+					err = fmt.Errorf("%w: free capacity is reserved by other leases (bottleneck near %s): %v",
+						lease.ErrRejected, d.Bottleneck, err)
+				}
+			}
+			fail(class, err)
 			return
 		}
 		resp.Nodes = res.Names(g)
@@ -539,6 +675,52 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	finish()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleLeases lists the active leases plus the ledger's commitment
+// summary — the operator's view of who holds what.
+func (s *Service) handleLeases(w http.ResponseWriter, _ *http.Request) {
+	leases := s.ledger.Active()
+	if leases == nil {
+		leases = []lease.Info{}
+	}
+	cpu, bw := s.ledger.MaxCommitted()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"leases":            leases,
+		"max_cpu_committed": cpu,
+		"max_bw_committed":  bw,
+	})
+}
+
+func (s *Service) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		TTL float64 `json:"ttl"` // seconds; 0 = service default
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, classBadRequest, "",
+			fmt.Errorf("bad renew body: %w", err))
+		return
+	}
+	info, err := s.ledger.Renew(r.PathValue("id"), time.Duration(body.TTL*float64(time.Second)))
+	if err != nil {
+		class := classifyError(err)
+		writeError(w, statusFor(class), class, "", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Service) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.ledger.Release(id); err != nil {
+		class := classifyError(err)
+		writeError(w, statusFor(class), class, "", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"released": id})
 }
 
 func nodeNames(g *topology.Graph, ids []int) []string {

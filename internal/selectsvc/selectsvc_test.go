@@ -197,8 +197,8 @@ func TestSelectErrors(t *testing.T) {
 	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Pin: []string{"ghost"}}); w.Code != http.StatusUnprocessableEntity {
 		t.Errorf("ghost pin status %d", w.Code)
 	}
-	// Unknown algorithm.
-	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Algo: "vibes"}); w.Code != http.StatusUnprocessableEntity {
+	// Unknown algorithm: a malformed request (core.ErrBadRequest), so 400.
+	if w := do(t, h, "POST", "/select", SelectRequest{M: 2, Algo: "vibes"}); w.Code != http.StatusBadRequest {
 		t.Errorf("bad algo status %d", w.Code)
 	}
 	// Unknown mode.

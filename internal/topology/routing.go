@@ -109,6 +109,24 @@ func (g *Graph) PathLatency(a, b int) float64 {
 	return sum
 }
 
+// FlowLinkCounts returns, for the all-pairs flow pattern over the given
+// nodes, how many pairwise flows cross each link: counts[linkID] is the
+// number of unordered node pairs whose static route uses the link. Links
+// carried by no flow are absent from the map. This is the multiplicity a
+// reservation ledger must debit per link: a link shared by k flows of an
+// application demanding B bits/second per flow carries k*B.
+func (g *Graph) FlowLinkCounts(nodes []int) map[int]int {
+	counts := make(map[int]int)
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			for _, lid := range g.Route(nodes[i], nodes[j]) {
+				counts[lid]++
+			}
+		}
+	}
+	return counts
+}
+
 // PathBottleneck returns the minimum of value(linkID) over the route from a
 // to b. For a == b it returns +Inf semantics via ok=false: the second
 // return value reports whether the route has at least one link.
