@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench fmt fuzz chaos
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos
 
 check: vet build race fuzz
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test ./internal/remos/agent -run='^$$' -fuzz='^FuzzChaosCorruptFrame$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzParseGraph$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzReadDocument$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzSweepEquivalence$$' -fuzztime=$(FUZZTIME)
 
 # Fault-schedule scenario against a real loopback agent fleet, race
 # detector on: hung/crashed agents, degraded service, full recovery.
@@ -37,6 +38,18 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Old-vs-new selection sweep comparison: the refsweep build tag forces the
+# paper-literal reference sweep under the same benchmark names, so the two
+# runs differ only in the algorithm. Five counts each, then cmd/benchdiff
+# reports mean ± CI95, speedup, and a Welch t-test p-value (exit 1 on a
+# statistically significant regression).
+BENCHDIFF_PATTERN ?= BenchmarkFig2MaxBandwidth|BenchmarkFig3Balanced
+BENCHDIFF_COUNT ?= 5
+benchdiff:
+	$(GO) test -tags refsweep -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -count $(BENCHDIFF_COUNT) . > /tmp/benchdiff-old.txt
+	$(GO) test -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -count $(BENCHDIFF_COUNT) . > /tmp/benchdiff-new.txt
+	$(GO) run ./cmd/benchdiff /tmp/benchdiff-old.txt /tmp/benchdiff-new.txt
 
 fmt:
 	gofmt -l -w $(shell $(GO) list -f '{{.Dir}}' ./...)

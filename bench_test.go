@@ -19,12 +19,18 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"nodeselect/internal/apps"
 	"nodeselect/internal/core"
 	"nodeselect/internal/experiment"
 	"nodeselect/internal/randx"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/selectsvc"
 	"nodeselect/internal/testbed"
 	"nodeselect/internal/topology"
 )
@@ -163,6 +169,47 @@ func BenchmarkFig3Balanced50(b *testing.B)  { benchSelection(b, 50, core.AlgoBal
 func BenchmarkFig3Balanced100(b *testing.B) { benchSelection(b, 100, core.AlgoBalanced) }
 func BenchmarkFig3Balanced200(b *testing.B) { benchSelection(b, 200, core.AlgoBalanced) }
 func BenchmarkFig3Balanced400(b *testing.B) { benchSelection(b, 400, core.AlgoBalanced) }
+
+// benchServiceSelect measures the whole service stack under concurrent
+// load: parallel clients POSTing the same /select shape against a 200-node
+// loaded tree. With the plan cache on (size 0 → default), all requests
+// after the first are singleflighted hits; with it off (-1), every request
+// recomputes the full selection sweep.
+func benchServiceSelect(b *testing.B, cacheSize int) {
+	src, err := remos.FromSnapshot(selectionSnapshot(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := selectsvc.New(src, selectsvc.Config{
+		Seed:          1,
+		DefaultMode:   remos.Current,
+		PlanCacheSize: cacheSize,
+	})
+	if err := svc.Poll(); err != nil {
+		b.Fatal(err)
+	}
+	h := svc.Handler()
+	body, err := json.Marshal(selectsvc.SelectRequest{M: 50, Algo: "bandwidth"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := httptest.NewRequest("POST", "/select", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				b.Errorf("select: status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkServiceSelect200Cached(b *testing.B)   { benchServiceSelect(b, 0) }
+func BenchmarkServiceSelect200Uncached(b *testing.B) { benchServiceSelect(b, -1) }
 
 func BenchmarkAblationAlgorithms(b *testing.B) {
 	cfg := benchConfig()

@@ -1,0 +1,124 @@
+// Command benchdiff compares two `go test -bench` output files the way
+// benchstat does — per-benchmark mean ± 95% CI, speedup, and a Welch
+// two-sample t-test p-value — using only the repository's own statistics
+// package (no external tooling). `make benchdiff` feeds it the Figure 2/3
+// selection benchmarks built with and without the refsweep tag, making the
+// old-vs-new comparison a one-command check:
+//
+//	go test -tags refsweep -bench 'Fig2|Fig3' -count 5 . > /tmp/old.txt
+//	go test               -bench 'Fig2|Fig3' -count 5 . > /tmp/new.txt
+//	go run ./cmd/benchdiff /tmp/old.txt /tmp/new.txt
+//
+// Exit status is 1 when any benchmark regressed significantly (new slower
+// than old with p < 0.05), so the target can gate CI.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"nodeselect/internal/stats"
+)
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkFig2MaxBandwidth200-8   50   39123456 ns/op   25 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+)\s+ns/op`)
+
+// parse reads a -bench output file into name -> ns/op sample.
+func parse(path string) (map[string]*stats.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*stats.Sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		s, ok := out[m[1]]
+		if !ok {
+			s = &stats.Sample{}
+			out[m[1]] = s
+		}
+		s.Add(v)
+	}
+	return out, sc.Err()
+}
+
+// fmtNs renders nanoseconds at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD NEW  (two `go test -bench` output files)")
+		os.Exit(2)
+	}
+	old, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	new_, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range old {
+		if _, ok := new_[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+		os.Exit(2)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-40s %16s %16s %9s %9s\n", "benchmark", "old (mean±CI95)", "new (mean±CI95)", "speedup", "p")
+	regressed := false
+	for _, name := range names {
+		o, n := old[name], new_[name]
+		tt := stats.WelchT(o, n)
+		speedup := o.Mean() / n.Mean()
+		sig := ""
+		switch {
+		case tt.P >= 0.05:
+			sig = " (not significant)"
+		case speedup < 1:
+			sig = " (REGRESSION)"
+			regressed = true
+		}
+		fmt.Printf("%-40s %8s±%-7s %8s±%-7s %8.2fx %9.2g%s\n",
+			name,
+			fmtNs(o.Mean()), fmtNs(o.CI95()),
+			fmtNs(n.Mean()), fmtNs(n.CI95()),
+			speedup, tt.P, sig)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}

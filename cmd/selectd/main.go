@@ -80,6 +80,8 @@ type options struct {
 	leaseDir              string
 	leaseTTL, leaseMaxTTL time.Duration
 	leaseSweep            time.Duration
+
+	planCache int
 }
 
 func main() {
@@ -99,6 +101,7 @@ func main() {
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "default lease time to live when a request names none")
 	flag.DurationVar(&o.leaseMaxTTL, "lease-max-ttl", 10*time.Minute, "ceiling on any requested lease TTL")
 	flag.DurationVar(&o.leaseSweep, "lease-sweep", 5*time.Second, "interval of the background lease-expiry sweeper")
+	flag.IntVar(&o.planCache, "plan-cache", 0, "max plans memoized per snapshot/ledger epoch (0 = default 256, negative = disable caching)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
@@ -210,10 +213,11 @@ func run(o options) error {
 			Period:      period.Seconds(),
 			MaxStaleAge: o.maxStale.Seconds(),
 		},
-		DefaultMode:  remos.Window,
-		Seed:         time.Now().UnixNano(),
-		ExcludeStale: o.excludeStale,
-		Ledger:       ledger,
+		DefaultMode:   remos.Window,
+		Seed:          time.Now().UnixNano(),
+		ExcludeStale:  o.excludeStale,
+		Ledger:        ledger,
+		PlanCacheSize: o.planCache,
 	})
 	start := time.Now()
 	svc.Registry().NewGaugeFunc("process_uptime_seconds",

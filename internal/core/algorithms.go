@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"nodeselect/internal/topology"
 )
@@ -122,7 +121,120 @@ func BalancedOpt(s *topology.Snapshot, req Request, opts Options) (Result, error
 	return sweepSelect(s, req, opts, true)
 }
 
-// sweepSelect is the shared bottleneck-edge-deletion sweep behind
+// ReferenceMaxBandwidth runs the literal edge-deletion form of Figure 2,
+// bypassing the union-find fast path. It is the oracle the differential
+// tests and the `make benchdiff` baseline compare against.
+func ReferenceMaxBandwidth(s *topology.Snapshot, req Request) (Result, error) {
+	return referenceSweepSelect(s, req, Options{}, false)
+}
+
+// ReferenceMaxBandwidthOpt is ReferenceMaxBandwidth with explicit Options.
+func ReferenceMaxBandwidthOpt(s *topology.Snapshot, req Request, opts Options) (Result, error) {
+	return referenceSweepSelect(s, req, opts, false)
+}
+
+// ReferenceBalanced runs the literal edge-deletion form of Figure 3,
+// bypassing the union-find fast path.
+func ReferenceBalanced(s *topology.Snapshot, req Request) (Result, error) {
+	return referenceSweepSelect(s, req, Options{}, true)
+}
+
+// ReferenceBalancedOpt is ReferenceBalanced with explicit Options.
+func ReferenceBalancedOpt(s *topology.Snapshot, req Request, opts Options) (Result, error) {
+	return referenceSweepSelect(s, req, opts, true)
+}
+
+// sweepSelect dispatches between the union-find fast path and the
+// reference edge-deletion loop. The fast path produces bit-identical
+// results and traces for the default sweep semantics; the paper-literal
+// ablation variants (early stop, single-edge removal) change the
+// enumeration itself and keep the literal implementation.
+func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool) (Result, error) {
+	if forceReferenceSweep || opts.PaperEarlyStop || opts.PaperSingleEdgeRemoval {
+		return referenceSweepSelect(s, req, opts, balanced)
+	}
+	return fastSweepSelect(s, req, opts, balanced)
+}
+
+// poolCandidates enumerates the candidate node sets one component
+// contributes to a sweep round: for every pool of the component's sorted
+// eligible candidates, the top-CPU m nodes, filtered by the latency
+// ceiling and the bandwidth floor, scored with the round objective. Both
+// sweep implementations funnel through this one function so their
+// candidate streams — values and order — cannot diverge. A non-nil memo
+// caches the pure pool-set -> (result, score, keep) evaluation across
+// components, which the fast path exploits heavily: consecutive components
+// of the merge hierarchy usually re-select the same top-CPU node set.
+func poolCandidates(s *topology.Snapshot, cands []int, req Request, pinned map[int]bool,
+	balanced bool, priority float64, memo map[string]poolEval,
+	yield func(nodes []int, score float64, res Result)) {
+	for _, pool := range candidatePools(s, cands, req) {
+		nodes := topCPUNodes(s, pool, req.M, pinned)
+		if nodes == nil {
+			continue
+		}
+		if memo != nil {
+			key := nodeSetKey(nodes)
+			e, ok := memo[key]
+			if !ok {
+				e = evalPool(s, nodes, req, balanced, priority)
+				memo[key] = e
+			}
+			if e.keep {
+				yield(nodes, e.score, e.res)
+			}
+			continue
+		}
+		e := evalPool(s, nodes, req, balanced, priority)
+		if e.keep {
+			yield(nodes, e.score, e.res)
+		}
+	}
+}
+
+// poolEval is the memoized outcome of scoring one concrete node set.
+type poolEval struct {
+	res   Result
+	score float64
+	keep  bool
+}
+
+// evalPool applies the latency ceiling, scores the set, and applies the
+// bandwidth floor — the pure per-candidate part of a sweep round.
+func evalPool(s *topology.Snapshot, nodes []int, req Request, balanced bool, priority float64) poolEval {
+	if !pairLatencyOK(s, nodes, req) {
+		return poolEval{}
+	}
+	res := Score(s, nodes, req)
+	if req.MinBW > 0 && res.PairMinBW < req.MinBW {
+		return poolEval{}
+	}
+	var score float64
+	if balanced {
+		score = math.Min(res.MinCPU, priority*res.MinBWFactor)
+	} else {
+		score = res.PairMinBW
+	}
+	return poolEval{res: res, score: score, keep: true}
+}
+
+// nodeSetKey encodes a sorted node-ID set as a compact string key for the
+// pool memo (varint bytes; self-delimiting, so distinct sets cannot
+// collide).
+func nodeSetKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*2+4)
+	for _, id := range nodes {
+		v := uint(id)
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// referenceSweepSelect is the literal bottleneck-edge-deletion sweep behind
 // MaxBandwidth (balanced = false) and Balanced (balanced = true).
 //
 // The sweep enumerates candidate sets exactly as Figures 2 and 3 do —
@@ -135,7 +247,7 @@ func BalancedOpt(s *topology.Snapshot, req Request, opts Options) (Result, error
 // argument is preserved (and verified against brute force in the tests);
 // on cyclic static-routing topologies the actual-score form avoids
 // crediting a component with connectivity its fixed routes cannot use.
-func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool) (Result, error) {
+func referenceSweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool) (Result, error) {
 	eligible, err := req.validate(s)
 	if err != nil {
 		return Result{}, err
@@ -164,19 +276,7 @@ func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool)
 	aliveFn := func(l int) bool { return alive[l] }
 
 	// Edges sorted by increasing metric, for removal order.
-	order := make([]int, 0, g.NumLinks())
-	for l := 0; l < g.NumLinks(); l++ {
-		if alive[l] {
-			order = append(order, l)
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		mi, mj := metric(order[i]), metric(order[j])
-		if mi != mj {
-			return mi < mj
-		}
-		return order[i] < order[j]
-	})
+	order := g.OrderLinks(aliveFn, metric)
 
 	var best Result
 	bestScore := math.Inf(-1)
@@ -192,31 +292,18 @@ func sweepSelect(s *topology.Snapshot, req Request, opts Options, balanced bool)
 				continue
 			}
 			cands := filterNodes(comp, func(id int) bool { return isEligible[id] })
-			for _, pool := range candidatePools(s, cands, req) {
-				nodes := topCPUNodes(s, pool, req.M, pinned)
-				if nodes == nil || !pairLatencyOK(s, nodes, req) {
-					continue
-				}
-				res := Score(s, nodes, req)
-				if req.MinBW > 0 && res.PairMinBW < req.MinBW {
-					continue
-				}
-				var score float64
-				if balanced {
-					score = math.Min(res.MinCPU, priority*res.MinBWFactor)
-				} else {
-					score = res.PairMinBW
-				}
-				if step != nil {
-					step.Candidates = append(step.Candidates, SweepCandidate{Nodes: nodes, Score: score})
-				}
-				if !found || score > bestScore {
-					bestScore = score
-					best = res
-					found = true
-					improved = true
-				}
-			}
+			poolCandidates(s, cands, req, pinned, balanced, priority, nil,
+				func(nodes []int, score float64, res Result) {
+					if step != nil {
+						step.Candidates = append(step.Candidates, SweepCandidate{Nodes: nodes, Score: score})
+					}
+					if !found || score > bestScore {
+						bestScore = score
+						best = res
+						found = true
+						improved = true
+					}
+				})
 		}
 		if step != nil {
 			step.Improved = improved

@@ -33,7 +33,8 @@ func Score(s *topology.Snapshot, nodes []int, req Request) Result {
 	for i := 0; i < len(res.Nodes); i++ {
 		for j := i + 1; j < len(res.Nodes); j++ {
 			a, b := res.Nodes[i], res.Nodes[j]
-			for _, lid := range s.Graph.Route(a, b) {
+			lat := 0.0
+			s.Graph.WalkRoute(a, b, func(lid int) {
 				bw := s.AvailBW[lid]
 				if bw < res.PairMinBW {
 					res.PairMinBW = bw
@@ -42,8 +43,9 @@ func Score(s *topology.Snapshot, nodes []int, req Request) Result {
 				if f := linkFactor(s, lid, req); f < res.MinBWFactor {
 					res.MinBWFactor = f
 				}
-			}
-			if lat := s.Graph.PathLatency(a, b); lat > res.MaxPairLatency {
+				lat += s.Graph.Link(lid).Latency
+			})
+			if lat > res.MaxPairLatency {
 				res.MaxPairLatency = lat
 			}
 		}

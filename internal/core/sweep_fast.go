@@ -1,0 +1,9 @@
+//go:build !refsweep
+
+package core
+
+// forceReferenceSweep routes every sweep through the literal edge-deletion
+// loop when the refsweep build tag is set. The default build uses the
+// union-find fast path; `make benchdiff` builds the benchmarks twice —
+// with and without the tag — to measure old vs new under identical names.
+const forceReferenceSweep = false

@@ -1,0 +1,8 @@
+//go:build refsweep
+
+package core
+
+// forceReferenceSweep routes every sweep through the literal edge-deletion
+// loop when the refsweep build tag is set. See sweep_fast.go for the
+// default.
+const forceReferenceSweep = true

@@ -180,6 +180,7 @@ type Ledger struct {
 	nodeCPU []float64 // committed CPU fraction per node
 	linkBW  []float64 // committed bandwidth per link
 	nextID  int64
+	version uint64
 	stats   Stats
 	onEvent func(op string, l *Lease)
 	closed  bool
@@ -216,6 +217,17 @@ func (l *Ledger) SetOnEvent(fn func(op string, ls *Lease)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.onEvent = fn
+}
+
+// Version returns a monotonic counter bumped on every capacity-changing
+// transition: acquire, release, expiry, and WAL recovery. Renewals do not
+// change residual capacity and do not bump it. A plan cached against one
+// version can never be served once the counter moves — versions are never
+// reused, so there is no ABA window.
+func (l *Ledger) Version() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
 }
 
 // Graph returns the topology the ledger reserves against.
@@ -444,6 +456,7 @@ func (l *Ledger) commitLocked(nodes []int, d Demand, debits map[int]float64, now
 		l.linkBW[lid] += bw
 	}
 	l.leases[ls.ID] = ls
+	l.version++
 	l.stats.Acquired++
 	l.event("acquire", ls)
 	l.maybeCompactLocked()
@@ -511,6 +524,7 @@ func (l *Ledger) dropLocked(ls *Lease) {
 		}
 	}
 	delete(l.leases, ls.ID)
+	l.version++
 }
 
 // sweepLocked expires leases whose term has passed. Callers hold l.mu.
@@ -725,6 +739,7 @@ func (l *Ledger) recover() error {
 			l.linkBW[lid] += bw
 		}
 		l.leases[ls.ID] = ls
+		l.version++
 		l.stats.Recovered++
 	}
 	return nil

@@ -78,6 +78,12 @@ type Decision struct {
 	// Bottleneck names the binding resource of an admission rejection
 	// ("node" name or "a--b" link).
 	Bottleneck string `json:"bottleneck,omitempty"`
+	// Cache reports how the plan cache served this decision: "hit" (an
+	// identical request was already answered under the same snapshot
+	// epoch and ledger version), "miss" (computed and cached), or
+	// "bypass" (leased, spec, or randomized requests, which are never
+	// cached). Empty when the cache is disabled.
+	Cache string `json:"cache,omitempty"`
 	// Trace is the sweep's round log, oldest first.
 	Trace []DecisionRound `json:"trace,omitempty"`
 	// TraceTruncated marks a trace cut off at maxTraceRounds rounds.

@@ -49,6 +49,9 @@ type svcMetrics struct {
 	// selectsvc_admission_rejects_total{kind}: leased requests turned away
 	// at admission, by binding resource kind (node | link)
 	admissionRejects *metrics.CounterVec
+	// selectsvc_plan_cache_requests_total{result}: how the plan cache
+	// served each plain /select — hit | miss | bypass
+	planCacheRequests *metrics.CounterVec
 }
 
 func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
@@ -75,7 +78,21 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 			"Reservation ledger transitions, by operation.", "op"),
 		admissionRejects: reg.NewCounterVec("selectsvc_admission_rejects_total",
 			"Leased placements rejected at admission, by binding resource kind.", "kind"),
+		planCacheRequests: reg.NewCounterVec("selectsvc_plan_cache_requests_total",
+			"Plan cache outcomes for /select requests: hit, miss, or bypass.", "result"),
 	}
+}
+
+// registerPlanCacheGauges exposes the plan cache's internal state. Like the
+// lease gauges these are GaugeFuncs sampled at scrape time — the cache owns
+// the counters and flush bookkeeping happens under its lock.
+func registerPlanCacheGauges(reg *metrics.Registry, c *planCache) {
+	reg.NewGaugeFunc("selectsvc_plan_cache_entries",
+		"Plans cached for the current (snapshot, ledger) epoch.",
+		func() float64 { _, _, _, n := c.counters(); return float64(n) })
+	reg.NewGaugeFunc("selectsvc_plan_cache_invalidations_total",
+		"Whole-cache flushes caused by a snapshot update or lease commit.",
+		func() float64 { _, _, inv, _ := c.counters(); return float64(inv) })
 }
 
 // registerLeaseGauges exposes the ledger's live commitment state. These are

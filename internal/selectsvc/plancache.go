@@ -1,0 +1,127 @@
+package selectsvc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nodeselect/internal/core"
+)
+
+// planEpoch identifies one immutable view of the world a plan was computed
+// against: the collector's poll counter (every snapshot mode is a pure
+// function of the collected series) and the lease ledger's monotonic
+// version (the residual view is raw capacity minus committed reservations).
+// Either counter moving means every cached plan may be stale, so the cache
+// flushes whole-epoch — both counters only ever grow, so an entry keyed
+// under an old epoch can never be mistaken for current (no ABA).
+type planEpoch struct {
+	polls  int
+	ledger uint64
+}
+
+// cachedPlan is the complete outcome of one selection computation — enough
+// to replay the response and the audit entry without rerunning the sweep.
+// Failures are cached too: an infeasible request is a pure function of the
+// same epoch inputs as a successful one.
+type cachedPlan struct {
+	res       core.Result
+	trace     []DecisionRound
+	truncated bool
+	err       error
+	errClass  string
+}
+
+// planEntry is one singleflight slot: the first requester computes and
+// publishes, concurrent identical requests block on ready.
+type planEntry struct {
+	ready chan struct{}
+	plan  cachedPlan
+}
+
+// publish installs the plan and releases every waiter. Must be called
+// exactly once.
+func (e *planEntry) publish(p cachedPlan) {
+	e.plan = p
+	close(e.ready)
+}
+
+// planCache memoizes selection plans per (epoch, canonical request shape).
+// Entries are evicted FIFO beyond the size bound; the whole cache flushes
+// when the epoch moves (snapshot update or ledger commit).
+type planCache struct {
+	size int
+
+	// The mutex guards epoch/entries/order; waiting on an entry's ready
+	// channel happens outside it.
+	mu      sync.Mutex
+	epoch   planEpoch
+	entries map[string]*planEntry
+	order   []string
+
+	hits, misses, invalidations int
+}
+
+// newPlanCache builds a cache bounded to size entries. Size <= 0 is
+// rejected by the caller (the service treats negative as disabled and zero
+// as the default).
+func newPlanCache(size int) *planCache {
+	return &planCache{
+		size:    size,
+		entries: make(map[string]*planEntry),
+	}
+}
+
+// acquire returns the entry for the key under the given epoch and whether
+// the caller owns the computation (true: compute and publish; false: wait
+// on ready). An epoch move flushes every entry first.
+func (c *planCache) acquire(epoch planEpoch, key string) (entry *planEntry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		if len(c.entries) > 0 {
+			c.invalidations++
+		}
+		c.epoch = epoch
+		c.entries = make(map[string]*planEntry)
+		c.order = c.order[:0]
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e, false
+	}
+	c.misses++
+	e := &planEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	if len(c.order) > c.size {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		// Waiters on an evicted entry keep their own pointer; eviction only
+		// makes future identical requests recompute.
+		delete(c.entries, evict)
+	}
+	return e, true
+}
+
+// counters returns a consistent snapshot of the hit/miss/invalidation
+// counts and the live entry count.
+func (c *planCache) counters() (hits, misses, invalidations, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations, len(c.entries)
+}
+
+// planKey canonicalizes the request shape: two requests with the same key
+// are answered identically within one epoch. Pins are sorted so pin order
+// does not defeat the cache. Spec, leased, and random-algorithm requests
+// are never keyed (the caller bypasses the cache for them).
+func planKey(mode, algo string, req SelectRequest) string {
+	pins := append([]string(nil), req.Pin...)
+	sort.Strings(pins)
+	return fmt.Sprintf("%s|%s|%d|%g|%g|%g|%g|%g|%g|%s",
+		mode, algo, req.M, req.Priority, req.RefCapacity, req.MinBW,
+		req.MinCPU, req.MinMemoryMB, req.MaxPairLatency,
+		strings.Join(pins, ","))
+}

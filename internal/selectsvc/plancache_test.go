@@ -1,0 +1,308 @@
+package selectsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/topology"
+)
+
+// idleCacheService builds a service over an idle star topology of n equal
+// compute nodes — every selection outcome is then a pure function of the
+// lease ledger's residual view, which is what the cache tests manipulate.
+func idleCacheService(t *testing.T, n int, cfg Config) (*Service, *topology.Graph) {
+	t.Helper()
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	for i := 0; i < n; i++ {
+		id := g.AddComputeNode(fmt.Sprintf("c%02d", i))
+		g.Connect(hub, id, 100e6, topology.LinkOpts{})
+	}
+	src := remos.NewStaticSource(g)
+	cfg.DefaultMode = remos.Current
+	svc := New(src, cfg)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	return svc, g
+}
+
+func selectNodes(t *testing.T, h http.Handler, body any) []string {
+	t.Helper()
+	w := do(t, h, "POST", "/select", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("select: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Nodes
+}
+
+// TestPlanCacheHitMissInvalidate drives the full cache lifecycle through
+// the HTTP surface: miss then hit on identical requests (with identical
+// responses and traces), whole-cache invalidation on a snapshot poll and
+// on a lease commit, and bypass labels for leased and random requests.
+func TestPlanCacheHitMissInvalidate(t *testing.T) {
+	svc, _ := idleCacheService(t, 6, Config{Seed: 1})
+	h := svc.Handler()
+	req := SelectRequest{M: 2, Algo: "bandwidth"}
+
+	first := selectNodes(t, h, req)
+	second := selectNodes(t, h, req)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached answer diverged: %v vs %v", first, second)
+	}
+	decs := svc.Decisions(2) // newest first
+	if decs[1].Cache != "miss" || decs[0].Cache != "hit" {
+		t.Fatalf("cache fields = %q, %q; want miss, hit", decs[1].Cache, decs[0].Cache)
+	}
+	if !reflect.DeepEqual(decs[0].Trace, decs[1].Trace) {
+		t.Fatal("hit served a different trace than the miss recorded")
+	}
+	if hits, misses, _, entries := svc.plans.counters(); hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("counters = %d hits, %d misses, %d entries", hits, misses, entries)
+	}
+
+	// A different shape misses; re-asking it hits.
+	selectNodes(t, h, SelectRequest{M: 3, Algo: "bandwidth"})
+	if d := svc.Decisions(1)[0]; d.Cache != "miss" {
+		t.Fatalf("new shape: cache = %q, want miss", d.Cache)
+	}
+
+	// Pin order must not defeat the canonical key.
+	selectNodes(t, h, SelectRequest{M: 2, Algo: "bandwidth", Pin: []string{"c01", "c00"}})
+	selectNodes(t, h, SelectRequest{M: 2, Algo: "bandwidth", Pin: []string{"c00", "c01"}})
+	if d := svc.Decisions(1)[0]; d.Cache != "hit" {
+		t.Fatalf("reordered pins: cache = %q, want hit", d.Cache)
+	}
+
+	// A poll moves the snapshot epoch: everything cached is flushed.
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	selectNodes(t, h, req)
+	if d := svc.Decisions(1)[0]; d.Cache != "miss" {
+		t.Fatalf("after poll: cache = %q, want miss", d.Cache)
+	}
+	if _, _, inv, _ := svc.plans.counters(); inv != 1 {
+		t.Fatalf("invalidations = %d, want 1", inv)
+	}
+
+	// A lease commit moves the ledger version: flushed again. The leased
+	// request itself is a bypass.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Algo: "bandwidth", Demand: &demand09, LeaseTTL: 60,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select: status %d: %s", w.Code, w.Body.String())
+	}
+	if d := svc.Decisions(1)[0]; d.Cache != "bypass" {
+		t.Fatalf("leased: cache = %q, want bypass", d.Cache)
+	}
+	selectNodes(t, h, req)
+	if d := svc.Decisions(1)[0]; d.Cache != "miss" {
+		t.Fatalf("after lease commit: cache = %q, want miss", d.Cache)
+	}
+	if _, _, inv, _ := svc.plans.counters(); inv != 2 {
+		t.Fatalf("invalidations = %d, want 2", inv)
+	}
+
+	// Random placements are never cached.
+	selectNodes(t, h, SelectRequest{M: 2, Algo: "random"})
+	if d := svc.Decisions(1)[0]; d.Cache != "bypass" {
+		t.Fatalf("random: cache = %q, want bypass", d.Cache)
+	}
+}
+
+var demand09 = lease.Demand{CPU: 0.9}
+
+// TestPlanCacheDisabled checks that a negative size turns the cache off
+// entirely: no cache annotations, no plans state.
+func TestPlanCacheDisabled(t *testing.T) {
+	svc, _ := idleCacheService(t, 4, Config{Seed: 1, PlanCacheSize: -1})
+	if svc.plans != nil {
+		t.Fatal("plans cache built despite PlanCacheSize < 0")
+	}
+	h := svc.Handler()
+	req := SelectRequest{M: 2, Algo: "bandwidth"}
+	selectNodes(t, h, req)
+	selectNodes(t, h, req)
+	for _, d := range svc.Decisions(2) {
+		if d.Cache != "" {
+			t.Fatalf("cache = %q with caching disabled, want empty", d.Cache)
+		}
+	}
+}
+
+// TestPlanCacheFailureCached checks that deterministic failures are cached
+// too: the second infeasible request is a hit with the same error class.
+func TestPlanCacheFailureCached(t *testing.T) {
+	svc, _ := idleCacheService(t, 4, Config{Seed: 1})
+	h := svc.Handler()
+	req := SelectRequest{M: 3, Algo: "bandwidth", MinBW: 1e12} // unsatisfiable floor
+	for i, want := range []string{"miss", "hit"} {
+		w := do(t, h, "POST", "/select", req)
+		if w.Code == http.StatusOK {
+			t.Fatalf("request %d unexpectedly succeeded", i)
+		}
+		d := svc.Decisions(1)[0]
+		if d.Cache != want || d.ErrorClass != classInfeasible {
+			t.Fatalf("request %d: cache=%q class=%q, want %s/%s",
+				i, d.Cache, d.ErrorClass, want, classInfeasible)
+		}
+	}
+}
+
+// TestPlanCacheSingleflight fires identical concurrent requests within one
+// epoch and checks exactly one computation happened (one miss, the rest
+// hits) and that everyone got the same nodes.
+func TestPlanCacheSingleflight(t *testing.T) {
+	svc, _ := idleCacheService(t, 8, Config{Seed: 1})
+	h := svc.Handler()
+	const workers = 16
+	body, err := json.Marshal(SelectRequest{M: 3, Algo: "balanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := httptest.NewRequest("POST", "/select", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				t.Errorf("worker %d: status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			var resp SelectResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = resp.Nodes
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < workers; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("worker %d got %v, worker 0 got %v", i, results[i], results[0])
+		}
+	}
+	hits, misses, _, _ := svc.plans.counters()
+	if misses != 1 || hits != workers-1 {
+		t.Fatalf("singleflight: %d misses, %d hits; want 1, %d", misses, hits, workers-1)
+	}
+}
+
+// TestPlanCacheLeaseRace is the cache-correctness race test: concurrent
+// plain selects hammer the cache while leases that flip the optimal
+// placement are acquired and released. After every acquire (release), a
+// probe select sharing the hammering requests' cache key must reflect the
+// post-commit residual — never a plan computed before the commit it raced
+// with. Run under -race (make check does).
+func TestPlanCacheLeaseRace(t *testing.T) {
+	svc, _ := idleCacheService(t, 6, Config{Seed: 1})
+	h := svc.Handler()
+	// All nodes idle and equal: compute selection tie-breaks to c00, c01.
+	req := SelectRequest{M: 2, Algo: "compute"}
+
+	// The hammer goroutines must not call t.Fatal (wrong goroutine), so
+	// they issue raw requests and only flag non-2xx statuses.
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r := httptest.NewRequest("POST", "/select", bytes.NewReader(body))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, r)
+					if rec.Code != http.StatusOK {
+						t.Errorf("hammer select: status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Poller: moves the snapshot epoch concurrently with lease churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := svc.Poll(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	contains := func(nodes []string, name string) bool {
+		for _, n := range nodes {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 40; i++ {
+		// Reserve nearly all CPU on the tie-break winners: the optimal
+		// placement flips to c02, c03.
+		w := do(t, h, "POST", "/select", SelectRequest{
+			M: 2, Algo: "compute", Pin: []string{"c00", "c01"},
+			Demand: &demand09, LeaseTTL: 60,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("acquire %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		var resp SelectResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if nodes := selectNodes(t, h, req); contains(nodes, "c00") || contains(nodes, "c01") {
+			t.Fatalf("iteration %d: select after acquire returned %v — a plan from before the lease commit", i, nodes)
+		}
+		if w := do(t, h, "DELETE", "/leases/"+resp.Lease.ID, nil); w.Code != http.StatusOK {
+			t.Fatalf("release %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		if nodes := selectNodes(t, h, req); !contains(nodes, "c00") || !contains(nodes, "c01") {
+			t.Fatalf("iteration %d: select after release returned %v — a plan from before the release", i, nodes)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

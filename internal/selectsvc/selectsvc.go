@@ -69,7 +69,17 @@ type Config struct {
 	// active leases survive restarts. The service installs the ledger's
 	// event observer for its metrics.
 	Ledger *lease.Ledger
+	// PlanCacheSize bounds the per-snapshot plan cache: identical plain
+	// /select requests within one (snapshot, ledger version) epoch are
+	// answered from a memoized plan, with concurrent identical requests
+	// computing once (singleflight). Zero means the default (256);
+	// negative disables caching entirely. Leased, spec, and random-
+	// algorithm requests always bypass the cache.
+	PlanCacheSize int
 }
+
+// defaultPlanCacheSize bounds the plan cache when the config does not.
+const defaultPlanCacheSize = 256
 
 // Service is the placement daemon. Create with New, drive polling with
 // Poll (or an external ticker calling it), and serve HTTP with Handler.
@@ -91,6 +101,7 @@ type Service struct {
 	metrics  *svcMetrics
 	audit    *auditRing
 	ledger   *lease.Ledger
+	plans    *planCache // nil when disabled
 }
 
 // New builds a service over a measurement source.
@@ -114,6 +125,14 @@ func New(src remos.Source, cfg Config) *Service {
 		// topology.
 		ledger, _ = lease.New(src.Topology(), lease.Options{})
 	}
+	var plans *planCache
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = defaultPlanCacheSize
+		}
+		plans = newPlanCache(size)
+	}
 	s := &Service{
 		src:       src,
 		collector: collector,
@@ -123,15 +142,29 @@ func New(src remos.Source, cfg Config) *Service {
 		metrics:   newSvcMetrics(reg),
 		audit:     newAuditRing(auditSize),
 		ledger:    ledger,
+		plans:     plans,
 	}
 	ledger.SetOnEvent(func(op string, _ *lease.Lease) { s.metrics.leaseOps.With(op).Inc() })
 	registerLeaseGauges(reg, ledger)
+	if plans != nil {
+		registerPlanCacheGauges(reg, plans)
+	}
 	return s
 }
 
 // Ledger returns the service's reservation ledger, for callers that drive
 // sweeping or shutdown themselves (cmd/selectd).
 func (s *Service) Ledger() *lease.Ledger { return s.ledger }
+
+// cacheBypass labels decisions the plan cache deliberately does not serve
+// (leased, spec, or randomized requests): "bypass" while the cache is
+// enabled, "" when it is disabled and no cache field applies at all.
+func (s *Service) cacheBypass() string {
+	if s.plans == nil {
+		return ""
+	}
+	return "bypass"
+}
 
 // Registry returns the service's metrics registry, for callers that want
 // to add their own instruments alongside.
@@ -339,15 +372,18 @@ func (s *Service) parseMode(name string) (remos.Mode, error) {
 }
 
 // snapshotFor answers a snapshot under an already-parsed mode, along with
-// the freshness view it was computed under.
-func (s *Service) snapshotFor(mode remos.Mode) (*topology.Snapshot, remos.Health, remos.Freshness, error) {
+// the freshness view it was computed under and the poll counter the
+// snapshot was derived from. The poll counter is read under the same lock
+// as the snapshot so the plan cache's epoch can never pair a stale
+// snapshot with a newer counter.
+func (s *Service) snapshotFor(mode remos.Mode) (*topology.Snapshot, remos.Health, remos.Freshness, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap, err := s.collector.Snapshot(mode, false)
 	if err != nil {
-		return nil, remos.Health{}, remos.Freshness{}, err
+		return nil, remos.Health{}, remos.Freshness{}, 0, err
 	}
-	return snap, s.collector.Health(), s.collector.Freshness(), nil
+	return snap, s.collector.Health(), s.collector.Freshness(), s.collector.Polls(), nil
 }
 
 func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
@@ -355,7 +391,7 @@ func (s *Service) snapshot(modeName string) (*topology.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap, _, _, err := s.snapshotFor(mode)
+	snap, _, _, _, err := s.snapshotFor(mode)
 	return snap, err
 }
 
@@ -443,6 +479,9 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	finish := func() {
 		d.DurationSeconds = time.Since(t0).Seconds()
 		s.metrics.latency.Observe(d.DurationSeconds)
+		if d.Cache != "" {
+			s.metrics.planCacheRequests.With(d.Cache).Inc()
+		}
 		s.audit.add(d)
 		s.metrics.decisions.Inc()
 	}
@@ -497,7 +536,13 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	ttl := time.Duration(req.LeaseTTL * float64(time.Second))
 
-	snap, health, fresh, err := s.snapshotFor(mode)
+	// The ledger version is read before the snapshot (and hence before any
+	// residual view derived from it): if a lease commit races with this
+	// request, the plan is cached under the pre-commit version and the
+	// commit's version bump makes it unservable — a cached plan can never
+	// outlive the ledger state it was computed from.
+	ledgerVersion := s.ledger.Version()
+	snap, health, fresh, polls, err := s.snapshotFor(mode)
 	if err != nil {
 		class := classifyError(err)
 		if class == classInternal {
@@ -544,6 +589,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// section; advisory (unleased) requests call it directly on the residual
 	// view, so they too respect capacity already promised to other tenants.
 	if req.Spec != nil {
+		d.Cache = s.cacheBypass()
 		var place appspec.Placement
 		placeFn := func(residual *topology.Snapshot, _ float64) ([]int, error) {
 			// Specs carry their own floors, so the escalated minBW is
@@ -630,35 +676,81 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			res = r
 			return r.Nodes, nil
 		}
-		var err error
 		if leased {
-			var info lease.Info
-			info, err = s.ledger.Acquire(snap, demand, ttl, placeFn)
+			info, err := s.ledger.Acquire(snap, demand, ttl, placeFn)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID
 			}
-		} else {
-			_, err = placeFn(s.ledger.Residual(snap), 0)
-		}
-		d.Trace, d.TraceTruncated = decisionRounds(g, steps)
-		if err != nil {
-			class := classifyError(err)
-			if leased && class == classInfeasible {
-				// No feasible set on the residual view. Probe the raw
-				// snapshot without the demand floors: if a set exists there,
-				// the blocker is capacity reserved by other leases — a
-				// contention rejection, not an infeasible request — and the
-				// probe's bottleneck link is the best available hint.
-				if probe, perr := core.SelectOpt(algo, snap, base, src, core.Options{}); perr == nil {
-					class = classRejected
-					d.Bottleneck = probe.BottleneckName(g)
-					err = fmt.Errorf("%w: free capacity is reserved by other leases (bottleneck near %s): %v",
-						lease.ErrRejected, d.Bottleneck, err)
+			d.Trace, d.TraceTruncated = decisionRounds(g, steps)
+			d.Cache = s.cacheBypass()
+			if err != nil {
+				class := classifyError(err)
+				if class == classInfeasible {
+					// No feasible set on the residual view. Probe the raw
+					// snapshot without the demand floors: if a set exists there,
+					// the blocker is capacity reserved by other leases — a
+					// contention rejection, not an infeasible request — and the
+					// probe's bottleneck link is the best available hint.
+					if probe, perr := core.SelectOpt(algo, snap, base, src, core.Options{}); perr == nil {
+						class = classRejected
+						d.Bottleneck = probe.BottleneckName(g)
+						err = fmt.Errorf("%w: free capacity is reserved by other leases (bottleneck near %s): %v",
+							lease.ErrRejected, d.Bottleneck, err)
+					}
 				}
+				fail(class, err)
+				return
 			}
-			fail(class, err)
-			return
+		} else {
+			compute := func() cachedPlan {
+				var p cachedPlan
+				_, err := placeFn(s.ledger.Residual(snap), 0)
+				p.res = res
+				p.trace, p.truncated = decisionRounds(g, steps)
+				if err != nil {
+					p.err = err
+					p.errClass = classifyError(err)
+				}
+				return p
+			}
+			var plan cachedPlan
+			if s.plans != nil && algo != core.AlgoRandom {
+				epoch := planEpoch{polls: polls, ledger: ledgerVersion}
+				entry, owner := s.plans.acquire(epoch, planKey(d.Mode, algo, req))
+				if owner {
+					d.Cache = "miss"
+					func() {
+						// Waiters must be released even if the computation
+						// panics, or identical concurrent requests hang.
+						published := false
+						defer func() {
+							if !published {
+								entry.publish(cachedPlan{
+									err:      fmt.Errorf("plan computation aborted"),
+									errClass: classInternal,
+								})
+							}
+						}()
+						plan = compute()
+						entry.publish(plan)
+						published = true
+					}()
+				} else {
+					d.Cache = "hit"
+					<-entry.ready
+					plan = entry.plan
+				}
+			} else {
+				d.Cache = s.cacheBypass()
+				plan = compute()
+			}
+			d.Trace, d.TraceTruncated = plan.trace, plan.truncated
+			if plan.err != nil {
+				fail(plan.errClass, plan.err)
+				return
+			}
+			res = plan.res
 		}
 		resp.Nodes = res.Names(g)
 		resp.MinCPU = res.MinCPU

@@ -74,6 +74,26 @@ func (g *Graph) Route(a, b int) []int {
 	return out
 }
 
+// WalkRoute visits the link IDs on the static route from a to b, in path
+// order, without allocating. It visits nothing when a == b and panics when
+// b is unreachable, exactly as Route does. The hot selection paths (all-
+// pairs scoring) use this form; Route remains for callers that want the
+// path materialized.
+func (g *Graph) WalkRoute(a, b int, visit func(linkID int)) {
+	if a == b {
+		return
+	}
+	rt := g.Routes()
+	if rt.hops[a*rt.n+b] < 0 {
+		panic(fmt.Sprintf("topology: no route from node %d to node %d", a, b))
+	}
+	for u := a; u != b; {
+		lid := rt.next[u*rt.n+b]
+		visit(lid)
+		u = g.links[lid].Other(u)
+	}
+}
+
 // Reachable reports whether b is reachable from a over the static routes.
 func (g *Graph) Reachable(a, b int) bool {
 	if a == b {
@@ -103,9 +123,7 @@ func (g *Graph) PathNodes(a, b int) []int {
 // PathLatency returns the sum of link latencies along the route from a to b.
 func (g *Graph) PathLatency(a, b int) float64 {
 	sum := 0.0
-	for _, lid := range g.Route(a, b) {
-		sum += g.links[lid].Latency
-	}
+	g.WalkRoute(a, b, func(lid int) { sum += g.links[lid].Latency })
 	return sum
 }
 

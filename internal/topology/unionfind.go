@@ -1,0 +1,97 @@
+package topology
+
+import "sort"
+
+// UnionFind is a disjoint-set forest over the dense node IDs of a graph,
+// with union-by-size, path compression, and a member list per set
+// maintained by merging the smaller list into the larger. It is the
+// machinery behind the selection sweep's fast path: processing edges in
+// descending bandwidth order and unioning endpoints enumerates exactly the
+// connected components the paper's edge-deletion loop (Figures 2 and 3)
+// visits, without recomputing components from scratch after every removal.
+type UnionFind struct {
+	parent  []int
+	members [][]int
+	minID   []int
+}
+
+// NewUnionFind returns n singleton sets, one per ID in [0, n).
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent:  make([]int, n),
+		members: make([][]int, n),
+		minID:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		u.parent[i] = i
+		u.members[i] = []int{i}
+		u.minID[i] = i
+	}
+	return u
+}
+
+// Find returns the root of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and returns the surviving root
+// and the absorbed root. When a and b are already in one set it returns
+// (root, -1) and changes nothing. The absorbed root's member list is
+// appended to the winner's; after Union the loser must no longer be used
+// as a set handle.
+func (u *UnionFind) Union(a, b int) (winner, loser int) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra, -1
+	}
+	if len(u.members[ra]) < len(u.members[rb]) {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.members[ra] = append(u.members[ra], u.members[rb]...)
+	u.members[rb] = nil
+	if u.minID[rb] < u.minID[ra] {
+		u.minID[ra] = u.minID[rb]
+	}
+	return ra, rb
+}
+
+// Members returns the member IDs of the set rooted at root, in no
+// particular order. The slice is owned by the structure: it is valid until
+// the next Union involving the set and must not be modified.
+func (u *UnionFind) Members(root int) []int { return u.members[root] }
+
+// Size returns the number of members of the set rooted at root.
+func (u *UnionFind) Size(root int) int { return len(u.members[root]) }
+
+// MinID returns the smallest member ID of the set rooted at root — the
+// component identity the sweep's deterministic tie-breaking orders by.
+func (u *UnionFind) MinID(root int) int { return u.minID[root] }
+
+// OrderLinks returns the IDs of links passing alive (nil means all),
+// sorted by ascending metric with ties broken by ascending link ID — the
+// exact removal order of the Figure 2/3 sweeps. Both the reference
+// edge-deletion loop and the union-find fast path (which walks the same
+// order backwards) derive their processing order from this one helper so
+// the two can never disagree on tie handling.
+func (g *Graph) OrderLinks(alive func(linkID int) bool, metric func(linkID int) float64) []int {
+	order := make([]int, 0, g.NumLinks())
+	for l := 0; l < g.NumLinks(); l++ {
+		if alive == nil || alive(l) {
+			order = append(order, l)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		mi, mj := metric(order[i]), metric(order[j])
+		if mi != mj {
+			return mi < mj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
