@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, chaos, contention, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -74,6 +74,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runAblation(cfg, verbose)
 	case "migration":
 		return runMigration(cfg)
+	case "rebalance":
+		return runRebalance(cfg)
 	case "modes":
 		return runModes(cfg)
 	case "hetero":
@@ -89,7 +91,7 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 	case "contention":
 		return runContention(cfg)
 	case "all":
-		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "contention"} {
+		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
 			if err := dispatch(r, cfg, verbose); err != nil {
 				return err
@@ -249,5 +251,14 @@ func runMigration(cfg experiment.Config) error {
 		return err
 	}
 	fmt.Print(experiment.FormatMigration(res))
+	return nil
+}
+
+func runRebalance(cfg experiment.Config) error {
+	res, err := experiment.RunRebalance(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatRebalance(res))
 	return nil
 }

@@ -29,8 +29,20 @@
 //	curl -X POST localhost:8800/leases/lease-0/renew -d '{"ttl":120}'
 //	curl -X DELETE localhost:8800/leases/lease-0
 //
+// Long-running applications: with -rebalance the daemon re-scores every
+// active lease each measurement epoch and publishes migration proposals
+// when a sustained load shift makes a better placement available:
+//
+//	selectd ... -rebalance -rebalance-min-gain 0.25
+//	curl localhost:8800/migrations
+//	curl -X POST localhost:8800/migrations/lease-0/apply
+//
+// With -rebalance-auto confirmed proposals are applied without operator
+// intervention (atomic reserve-new-then-release-old handover).
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
-// drain (5s budget) and the ledger is flushed before exit.
+// drain (5s budget), the rebalance controller stops (waiting out any
+// in-flight handover), and the ledger is flushed before exit.
 //
 // With -debug, net/http/pprof profiling is served under /debug/pprof/.
 //
@@ -59,6 +71,7 @@ import (
 	"time"
 
 	"nodeselect/internal/lease"
+	"nodeselect/internal/rebalance"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
 	"nodeselect/internal/selectsvc"
@@ -82,6 +95,14 @@ type options struct {
 	leaseSweep            time.Duration
 
 	planCache int
+
+	rebalance        bool
+	rebalanceAuto    bool
+	rebalanceMinGain float64
+	rebalanceCost    float64
+	rebalanceConfirm int
+	rebalanceCool    time.Duration
+	rebalanceBudget  int
 }
 
 func main() {
@@ -102,6 +123,13 @@ func main() {
 	flag.DurationVar(&o.leaseMaxTTL, "lease-max-ttl", 10*time.Minute, "ceiling on any requested lease TTL")
 	flag.DurationVar(&o.leaseSweep, "lease-sweep", 5*time.Second, "interval of the background lease-expiry sweeper")
 	flag.IntVar(&o.planCache, "plan-cache", 0, "max plans memoized per snapshot/ledger epoch (0 = default 256, negative = disable caching)")
+	flag.BoolVar(&o.rebalance, "rebalance", false, "run the placement rebalance controller in advisory mode (proposals via /migrations, applied on request)")
+	flag.BoolVar(&o.rebalanceAuto, "rebalance-auto", false, "apply confirmed migration proposals automatically (implies -rebalance)")
+	flag.Float64Var(&o.rebalanceMinGain, "rebalance-min-gain", 0.25, "minimum relative minresource gain before a migration is proposed")
+	flag.Float64Var(&o.rebalanceCost, "rebalance-cost", 0, "fixed handover cost subtracted from the candidate score before the gain test")
+	flag.IntVar(&o.rebalanceConfirm, "rebalance-confirm", 2, "consecutive epochs the advisor must repeat a destination before it becomes a proposal")
+	flag.DurationVar(&o.rebalanceCool, "rebalance-cooldown", time.Minute, "per-lease quiet period after a handover before it may move again")
+	flag.IntVar(&o.rebalanceBudget, "rebalance-budget", 1, "maximum new proposals (advisory) or handovers (auto) per epoch")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
@@ -208,7 +236,7 @@ func run(o options) error {
 			st.Recovered, o.leaseDir, st.RecoverySkipped)
 	}
 
-	svc := selectsvc.New(src, selectsvc.Config{
+	cfg := selectsvc.Config{
 		Collector: remos.CollectorConfig{
 			Period:      period.Seconds(),
 			MaxStaleAge: o.maxStale.Seconds(),
@@ -218,7 +246,18 @@ func run(o options) error {
 		ExcludeStale:  o.excludeStale,
 		Ledger:        ledger,
 		PlanCacheSize: o.planCache,
-	})
+	}
+	if o.rebalance || o.rebalanceAuto {
+		cfg.Rebalance = &rebalance.Policy{
+			MinGain:       o.rebalanceMinGain,
+			MigrationCost: o.rebalanceCost,
+			ConfirmEpochs: o.rebalanceConfirm,
+			Cooldown:      o.rebalanceCool,
+			MaxPerEpoch:   o.rebalanceBudget,
+			Auto:          o.rebalanceAuto,
+		}
+	}
+	svc := selectsvc.New(src, cfg)
 	start := time.Now()
 	svc.Registry().NewGaugeFunc("process_uptime_seconds",
 		"Seconds since the daemon started.",
@@ -261,14 +300,17 @@ func run(o options) error {
 	go func() { errc <- server.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		svc.StopRebalance()
 		stopSweeper()
 		ledger.Close()
 		return err
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// flush the lease ledger so reservations are on disk before exit.
+	// Graceful shutdown: stop accepting, drain in-flight requests, stop
+	// the rebalance controller (Close blocks until any in-flight handover
+	// has committed to the ledger), then flush the ledger so reservations
+	// — including that last handover — are on disk before exit.
 	fmt.Println("\nselectd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -276,6 +318,7 @@ func run(o options) error {
 	if errors.Is(shutErr, context.DeadlineExceeded) {
 		server.Close()
 	}
+	svc.StopRebalance()
 	stopSweeper()
 	if err := ledger.Close(); err != nil {
 		return fmt.Errorf("lease ledger close: %w", err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"nodeselect/internal/topology"
 )
@@ -55,7 +56,7 @@ func AdviseMigration(s *topology.Snapshot, current []int, req Request, policy Mi
 	if err != nil {
 		return MigrationAdvice{}, err
 	}
-	cur := Score(s, current, req)
+	cur := scoreCurrent(s, current, req)
 	adv := MigrationAdvice{Current: cur, Candidate: cand}
 	candidateValue := cand.MinResource - policy.MigrationCost
 	if cur.MinResource <= 0 {
@@ -75,6 +76,42 @@ func AdviseMigration(s *topology.Snapshot, current []int, req Request, policy Mi
 		adv.Move = adv.Gain > 0
 	}
 	return adv, nil
+}
+
+// scoreCurrent scores the application's existing placement. Unlike a
+// candidate set, the current set can contain nodes the snapshot no longer
+// vouches for — pruned from a re-discovered topology, demoted to
+// non-compute, excluded by the request's eligibility (how the service
+// marks stale/unreachable measurements), or partitioned from the rest of
+// the set. Score would panic or mis-score such a set; for migration
+// advice the right answer is a zero-minresource Result, so the one
+// migration that matters most — off a dead node — is strongly
+// recommended rather than blocked by an error.
+func scoreCurrent(s *topology.Snapshot, current []int, req Request) Result {
+	dead := false
+	for _, id := range current {
+		if id < 0 || id >= s.Graph.NumNodes() || s.Graph.Node(id).Kind != topology.Compute ||
+			(req.Eligible != nil && !req.Eligible(id)) {
+			dead = true
+			break
+		}
+	}
+	if !dead {
+		for i := 0; i < len(current) && !dead; i++ {
+			for j := i + 1; j < len(current); j++ {
+				if !s.Graph.Reachable(current[i], current[j]) {
+					dead = true
+					break
+				}
+			}
+		}
+	}
+	if dead {
+		res := Result{Nodes: append([]int(nil), current...), BottleneckLink: -1}
+		sort.Ints(res.Nodes)
+		return res
+	}
+	return Score(s, current, req)
 }
 
 // sameNodes reports whether two sorted node slices are identical.

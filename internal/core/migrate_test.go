@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"nodeselect/internal/topology"
+)
+
+// A current placement naming a node that has been pruned from the
+// re-discovered topology must degrade to zero minresource — strongly
+// recommending the move — rather than panic or error (issue-5 satellite
+// regression: the one migration that matters most must not be blocked).
+func TestAdviseMigrationDeadNodeInCurrent(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	for _, current := range [][]int{{0, 7}, {-1, 0}} {
+		adv, err := AdviseMigration(s, current, Request{M: 2}, MigrationPolicy{MinGain: 0.25})
+		if err != nil {
+			t.Fatalf("current %v: %v", current, err)
+		}
+		if adv.Current.MinResource != 0 {
+			t.Fatalf("current %v scored %v, want 0 for a dead placement", current, adv.Current.MinResource)
+		}
+		if !adv.Move {
+			t.Fatalf("current %v: must recommend moving off a pruned node", current)
+		}
+		if adv.Gain <= 0 {
+			t.Fatalf("current %v: gain = %v, want positive", current, adv.Gain)
+		}
+	}
+}
+
+// A node the request's eligibility excludes — how the service marks
+// unreachable/stale measurements — counts as dead for the current set.
+func TestAdviseMigrationStaleNodeInCurrent(t *testing.T) {
+	g := chain(4)
+	s := topology.NewSnapshot(g)
+	notOne := func(id int) bool { return id != 1 }
+	adv, err := AdviseMigration(s, []int{0, 1}, Request{M: 2, Eligible: notOne}, MigrationPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Current.MinResource != 0 {
+		t.Fatalf("stale current scored %v, want 0", adv.Current.MinResource)
+	}
+	if !adv.Move {
+		t.Fatal("must recommend moving off a stale node")
+	}
+	for _, id := range adv.Candidate.Nodes {
+		if id == 1 {
+			t.Fatalf("candidate %v includes the excluded node", adv.Candidate.Nodes)
+		}
+	}
+}
+
+// A current set split across partitioned components would panic Score's
+// route walk; it must instead score as dead.
+func TestAdviseMigrationPartitionedCurrent(t *testing.T) {
+	g := topology.NewGraph()
+	for i := 0; i < 4; i++ {
+		g.AddComputeNode(nodeName(i))
+	}
+	g.Connect(0, 1, 100e6, topology.LinkOpts{})
+	g.Connect(2, 3, 100e6, topology.LinkOpts{})
+	s := topology.NewSnapshot(g)
+
+	adv, err := AdviseMigration(s, []int{0, 2}, Request{M: 2}, MigrationPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Current.MinResource != 0 {
+		t.Fatalf("partitioned current scored %v, want 0", adv.Current.MinResource)
+	}
+	if !adv.Move {
+		t.Fatal("must recommend moving off a partitioned placement")
+	}
+	if len(adv.Candidate.Nodes) != 2 || !g.Reachable(adv.Candidate.Nodes[0], adv.Candidate.Nodes[1]) {
+		t.Fatalf("candidate %v is not a connected pair", adv.Candidate.Nodes)
+	}
+}

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nodeselect/internal/apps"
+	"nodeselect/internal/core"
+	"nodeselect/internal/lease"
+	"nodeselect/internal/netsim"
+	"nodeselect/internal/rebalance"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/sim"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// RebalanceResult compares a long-running leased job under three
+// controller modes after competing load lands on its initial nodes
+// mid-run: stay (controller off), advisory (proposals wait one operator
+// check before being applied), and auto (confirmed proposals applied
+// immediately).
+type RebalanceResult struct {
+	// StayElapsed, AdvisoryElapsed and AutoElapsed are the total job
+	// times under each mode.
+	StayElapsed, AdvisoryElapsed, AutoElapsed float64
+	// AdvisoryAt and AutoAt are the simulation times of the handover
+	// (0 when the mode never migrated).
+	AdvisoryAt, AutoAt float64
+	// FromNodes is the initial placement; AdvisoryTo and AutoTo are the
+	// destinations each mode handed over to (empty if it never moved).
+	FromNodes, AdvisoryTo, AutoTo []string
+}
+
+// Controller modes the rebalance experiment compares.
+const (
+	rebalStay = iota
+	rebalAdvisory
+	rebalAuto
+)
+
+// rebalanceJob runs the 60-round loosely synchronous workload with the
+// continuous re-placement controller in the given mode. Unlike
+// migrationJob, which consults core.AdviseMigration directly, this drives
+// the production stack: a shaped lease in the reservation ledger and a
+// rebalance.Controller ticked once per check epoch, with the handover
+// executed through Ledger.Migrate.
+func rebalanceJob(mode int) (elapsed, movedAt float64, from, to []string, err error) {
+	const (
+		rounds      = 60
+		loadAfter   = 10
+		competitors = 4
+		stateBytes  = 64e6
+		checkEvery  = 5
+	)
+	e := sim.NewEngine()
+	net := netsim.New(e, testbed.CMU(), netsim.Config{LoadAvgWindow: 30})
+	g := net.Graph()
+	col := remos.NewCollector(remos.NewSimSource(net), remos.CollectorConfig{Period: 2, History: 10})
+	col.Start(e)
+	e.RunUntil(30)
+
+	// The controller and ledger share a clock derived from the simulation,
+	// so cooldowns and TTLs run on simulated — not wall — time.
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	simNow := func() time.Time { return base.Add(time.Duration(e.Now() * float64(time.Second))) }
+
+	req := core.Request{M: 4}
+	snap, err := col.Snapshot(remos.Window, true)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	sel, err := core.Balanced(snap, req)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	nodes := sel.Nodes
+	from = sel.Names(g)
+
+	ledger, err := lease.New(g, lease.Options{Now: simNow, MaxTTL: 2 * time.Hour})
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	defer ledger.Close()
+	shape := &lease.Shape{M: req.M, Algo: core.AlgoBalanced}
+	info, err := ledger.AcquireShaped(snap, lease.Demand{CPU: 0.05}, time.Hour, shape,
+		func(*topology.Snapshot, float64) ([]int, error) { return nodes, nil })
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+
+	ctl := rebalance.New(ledger, rebalance.Policy{
+		MinGain:       0.5,
+		ConfirmEpochs: 2,
+		Cooldown:      10 * time.Minute,
+		Auto:          mode == rebalAuto,
+		Now:           simNow,
+	}, nil)
+	defer ctl.Close()
+
+	// handover re-homes the running job onto the ledger's (new) node set,
+	// paying the per-node state transfer.
+	handover := func(names []string) error {
+		next := make([]int, len(names))
+		for i, name := range names {
+			next[i] = g.MustNode(name)
+		}
+		done, need := 0, len(nodes)
+		for i := range nodes {
+			if nodes[i] == next[i] {
+				need--
+				continue
+			}
+			net.StartFlow(nodes[i], next[i], stateBytes, netsim.Application, func() { done++ })
+		}
+		e.RunWhile(func() bool { return done < need })
+		nodes = next
+		to = names
+		movedAt = e.Now()
+		return nil
+	}
+
+	iter := apps.DefaultFFT()
+	iter.Iterations = 1
+	start := e.Now()
+
+	for round := 0; round < rounds; round++ {
+		if round == loadAfter {
+			for _, id := range nodes {
+				for k := 0; k < competitors; k++ {
+					net.StartTask(id, 1e9, netsim.Background, nil)
+				}
+			}
+		}
+		if mode != rebalStay && round > loadAfter && round%checkEvery == 0 {
+			bg, err := col.Snapshot(remos.Window, true)
+			if err != nil {
+				return 0, 0, from, to, err
+			}
+			// Advisory: the operator acts one check after the proposal was
+			// raised — apply what the previous epoch left pending, then
+			// tick. Auto applies inside Tick itself.
+			if mode == rebalAdvisory {
+				for _, p := range ctl.Proposals() {
+					if _, err := ctl.Apply(bg, p.Lease); err != nil {
+						return 0, 0, from, to, err
+					}
+				}
+			}
+			ctl.Tick(bg, rebalance.Epoch{Polls: round, Ledger: ledger.Version()}, false)
+			cur, ok := ledger.Get(info.ID)
+			if !ok {
+				return 0, 0, from, to, fmt.Errorf("experiment: lease %s vanished", info.ID)
+			}
+			if to == nil && !sameStrings(cur.Nodes, from) || to != nil && !sameStrings(cur.Nodes, to) {
+				if err := handover(cur.Nodes); err != nil {
+					return 0, 0, from, to, err
+				}
+			}
+		}
+		if _, err := apps.Run(net, iter, nodes); err != nil {
+			return 0, 0, from, to, err
+		}
+	}
+	return e.Now() - start, movedAt, from, to, nil
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunRebalance runs the stay, advisory and auto controller modes on
+// identical scenarios and combines the outcomes.
+func RunRebalance(cfg Config) (RebalanceResult, error) {
+	_ = cfg // the scenario is deterministic; cfg reserved for future knobs
+	var res RebalanceResult
+	var err error
+	if res.StayElapsed, _, res.FromNodes, _, err = rebalanceJob(rebalStay); err != nil {
+		return res, fmt.Errorf("experiment: rebalance stay: %w", err)
+	}
+	if res.AdvisoryElapsed, res.AdvisoryAt, _, res.AdvisoryTo, err = rebalanceJob(rebalAdvisory); err != nil {
+		return res, fmt.Errorf("experiment: rebalance advisory: %w", err)
+	}
+	if res.AutoElapsed, res.AutoAt, _, res.AutoTo, err = rebalanceJob(rebalAuto); err != nil {
+		return res, fmt.Errorf("experiment: rebalance auto: %w", err)
+	}
+	return res, nil
+}
+
+// FormatRebalance renders the controller-mode comparison.
+func FormatRebalance(r RebalanceResult) string {
+	var b strings.Builder
+	b.WriteString("Continuous re-placement: 60-round leased job, competitors arrive at round 10\n")
+	fmt.Fprintf(&b, "  stay (controller off):   %.1f s\n", r.StayElapsed)
+	fmt.Fprintf(&b, "  advisory (operator lag): %.1f s", r.AdvisoryElapsed)
+	if len(r.AdvisoryTo) > 0 {
+		fmt.Fprintf(&b, "  moved at t=%.1fs -> %s", r.AdvisoryAt, strings.Join(r.AdvisoryTo, ","))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  auto:                    %.1f s", r.AutoElapsed)
+	if len(r.AutoTo) > 0 {
+		fmt.Fprintf(&b, "  moved at t=%.1fs -> %s", r.AutoAt, strings.Join(r.AutoTo, ","))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  initial nodes: %s\n", strings.Join(r.FromNodes, ","))
+	if r.AdvisoryElapsed > 0 && r.AutoElapsed > 0 && r.StayElapsed > 0 {
+		fmt.Fprintf(&b, "  speedup over stay: advisory %.2fx, auto %.2fx\n",
+			r.StayElapsed/r.AdvisoryElapsed, r.StayElapsed/r.AutoElapsed)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRebalanceControllerBeatsStay(t *testing.T) {
+	res, err := RunRebalance(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AdvisoryTo) == 0 || len(res.AutoTo) == 0 {
+		t.Fatalf("controller never migrated: advisory=%v auto=%v", res.AdvisoryTo, res.AutoTo)
+	}
+	if res.AdvisoryElapsed >= res.StayElapsed {
+		t.Fatalf("advisory (%v) did not beat stay (%v)", res.AdvisoryElapsed, res.StayElapsed)
+	}
+	if res.AutoElapsed >= res.StayElapsed {
+		t.Fatalf("auto (%v) did not beat stay (%v)", res.AutoElapsed, res.StayElapsed)
+	}
+	// Auto applies at confirmation; advisory waits for the operator's
+	// next check, so it cannot move earlier.
+	if res.AutoAt > res.AdvisoryAt {
+		t.Errorf("auto moved at %v, after advisory at %v", res.AutoAt, res.AdvisoryAt)
+	}
+	if len(res.FromNodes) == 0 {
+		t.Error("initial placement not recorded")
+	}
+	out := FormatRebalance(res)
+	for _, want := range []string{"stay", "advisory", "auto", "speedup over stay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

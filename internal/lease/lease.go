@@ -59,13 +59,55 @@ var (
 	// ErrBadDemand means the demand itself is malformed.
 	ErrBadDemand = errors.New("lease: malformed demand")
 	// ErrNotFound means the lease ID names no active lease (never issued,
-	// released, or expired).
+	// released, or long since reclaimed).
 	ErrNotFound = errors.New("lease: no such lease")
+	// ErrExpired means the lease's term had already passed when the
+	// operation arrived — the reservation is dead even if the TTL sweeper
+	// has not reclaimed it yet. Renewing must not resurrect it.
+	ErrExpired = errors.New("lease: lease expired")
 	// ErrRejected means admission control refused the placement: the
 	// residual network cannot host the demand. AdmissionError carries the
 	// binding bottleneck.
 	ErrRejected = errors.New("lease: admission rejected")
+	// ErrClosed means the ledger has been closed: its release/flush path is
+	// gone, so capacity-moving transitions are refused rather than half
+	// persisted.
+	ErrClosed = errors.New("lease: ledger closed")
 )
+
+// Shape records the originating placement request of a lease — enough for a
+// re-placement controller to re-run the same selection later (node count,
+// algorithm, floors, pins) without the original caller. Pins are node
+// *names* so a shape recovered from the WAL survives topology re-discovery.
+type Shape struct {
+	// M is the requested node count.
+	M int `json:"m,omitempty"`
+	// Algo names the selection algorithm the placement was computed with.
+	Algo string `json:"algo,omitempty"`
+	// Mode names the measurement query mode of the original request.
+	Mode string `json:"mode,omitempty"`
+	// Priority, RefCapacity, MinBW, MinCPU, MinMemoryMB and MaxPairLatency
+	// mirror core.Request's floors and weights.
+	Priority       float64 `json:"priority,omitempty"`
+	RefCapacity    float64 `json:"ref_capacity,omitempty"`
+	MinBW          float64 `json:"min_bw,omitempty"`
+	MinCPU         float64 `json:"min_cpu,omitempty"`
+	MinMemoryMB    float64 `json:"min_memory_mb,omitempty"`
+	MaxPairLatency float64 `json:"max_pair_latency,omitempty"`
+	// Pin lists node names that must be part of any placement.
+	Pin []string `json:"pin,omitempty"`
+}
+
+// clone returns a deep copy (nil-safe), so ledger internals never alias
+// caller-visible Infos.
+func (s *Shape) clone() *Shape {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Pin = append([]string(nil), s.Pin...)
+	return &c
+}
 
 // AdmissionError is a rejection with the binding bottleneck named: the
 // node or link whose residual capacity falls short of the demand.
@@ -101,6 +143,10 @@ type Lease struct {
 	Nodes []int
 	// Demand is the per-node CPU fraction and per-flow bandwidth debited.
 	Demand Demand
+	// Shape is the originating request, when the caller recorded one; nil
+	// for leases acquired without it (the re-placement controller skips
+	// those).
+	Shape *Shape
 	// Created and Expiry bound the lease's current term.
 	Created, Expiry time.Time
 	// linkBW[linkID] is the bandwidth debited from each link: flow
@@ -117,9 +163,12 @@ type Info struct {
 	CPU float64 `json:"cpu,omitempty"`
 	BW  float64 `json:"bw,omitempty"`
 	// Links is the per-link bandwidth debit, keyed "a--b".
-	Links     map[string]float64 `json:"links,omitempty"`
-	CreatedAt time.Time          `json:"created_at"`
-	ExpiresAt time.Time          `json:"expires_at"`
+	Links map[string]float64 `json:"links,omitempty"`
+	// Request is the originating request shape, when recorded at acquire
+	// time — what the rebalance controller re-runs selection with.
+	Request   *Shape    `json:"request,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	ExpiresAt time.Time `json:"expires_at"`
 	// TTLSeconds is the remaining time to live at the moment the Info was
 	// taken.
 	TTLSeconds float64 `json:"ttl_seconds"`
@@ -159,7 +208,7 @@ func (o Options) withDefaults() Options {
 // Stats counts ledger transitions since construction (recovery included in
 // Acquired). Monotonic; read a copy with Ledger.Stats.
 type Stats struct {
-	Acquired, Renewed, Released, Expired, Rejected int64
+	Acquired, Renewed, Released, Expired, Rejected, Migrated int64
 	// Recovered counts leases replayed from the WAL at construction;
 	// RecoverySkipped counts WAL entries dropped because they had expired
 	// or named nodes absent from the current topology.
@@ -304,8 +353,14 @@ func (l *Ledger) residualLocked(snap *topology.Snapshot) *topology.Snapshot {
 	if len(l.leases) == 0 {
 		return snap
 	}
+	return residualFrom(snap, l.nodeCPU, l.linkBW)
+}
+
+// residualFrom applies committed per-node CPU and per-link bandwidth
+// debits to a copy of snap.
+func residualFrom(snap *topology.Snapshot, nodeCPU, linkBW []float64) *topology.Snapshot {
 	r := snap.Clone()
-	for id, committed := range l.nodeCPU {
+	for id, committed := range nodeCPU {
 		if committed <= 0 {
 			continue
 		}
@@ -315,7 +370,7 @@ func (l *Ledger) residualLocked(snap *topology.Snapshot) *topology.Snapshot {
 		}
 		r.LoadAvg[id] = 1/cpu - 1
 	}
-	for lid, committed := range l.linkBW {
+	for lid, committed := range linkBW {
 		if committed <= 0 {
 			continue
 		}
@@ -332,6 +387,41 @@ func (l *Ledger) Residual(snap *topology.Snapshot) *topology.Snapshot {
 	defer l.mu.Unlock()
 	l.sweepLocked(l.opt.Now())
 	return l.residualLocked(snap)
+}
+
+// ResidualExcluding returns the residual view of snap with the named
+// lease's own debits credited back — the network as every *other* tenant
+// loads it. The paper's §3.3 migration caveat requires exactly this view:
+// an application deciding whether to move must not count its own
+// reservation as competing load, or staying put always looks congested.
+func (l *Ledger) ResidualExcluding(snap *topology.Snapshot, id string) (*topology.Snapshot, error) {
+	if snap == nil || snap.Graph != l.g {
+		return nil, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweepLocked(l.opt.Now())
+	ls, ok := l.leases[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if len(l.leases) == 1 {
+		// The excluded lease is the only tenant: the residual is the raw view.
+		return snap, nil
+	}
+	nodeCPU := append([]float64(nil), l.nodeCPU...)
+	linkBW := append([]float64(nil), l.linkBW...)
+	for _, nid := range ls.Nodes {
+		if nodeCPU[nid] -= ls.Demand.CPU; nodeCPU[nid] < 0 {
+			nodeCPU[nid] = 0
+		}
+	}
+	for lid, bw := range ls.linkBW {
+		if linkBW[lid] -= bw; linkBW[lid] < 0 {
+			linkBW[lid] = 0
+		}
+	}
+	return residualFrom(snap, nodeCPU, linkBW), nil
 }
 
 // PlaceFunc computes a placement on the residual view. minBW is the
@@ -354,6 +444,14 @@ type PlaceFunc func(residual *topology.Snapshot, minBW float64) ([]int, error)
 // retries with the floor raised to the failing multiplicity's requirement,
 // up to Options.PlaceAttempts times, before rejecting.
 func (l *Ledger) Acquire(snap *topology.Snapshot, d Demand, ttl time.Duration, place PlaceFunc) (Info, error) {
+	return l.AcquireShaped(snap, d, ttl, nil, place)
+}
+
+// AcquireShaped is Acquire with the originating request shape recorded on
+// the lease (and in the WAL): the rebalance controller needs it to re-run
+// the same selection against fresher conditions after admission. A nil
+// shape behaves exactly like Acquire; such leases are never re-placed.
+func (l *Ledger) AcquireShaped(snap *topology.Snapshot, d Demand, ttl time.Duration, shape *Shape, place PlaceFunc) (Info, error) {
 	if err := d.Validate(); err != nil {
 		return Info{}, err
 	}
@@ -383,7 +481,7 @@ func (l *Ledger) Acquire(snap *topology.Snapshot, d Demand, ttl time.Duration, p
 		}
 		debits, adm := l.admissionCheck(residual, nodes, d)
 		if adm == nil {
-			return l.commitLocked(nodes, d, debits, now, ttl)
+			return l.commitLocked(nodes, d, shape, debits, now, ttl)
 		}
 		lastAdm = adm
 		if adm.Kind == "link" && adm.Need > minBW {
@@ -394,6 +492,107 @@ func (l *Ledger) Acquire(snap *topology.Snapshot, d Demand, ttl time.Duration, p
 	}
 	l.stats.Rejected++
 	return Info{}, lastAdm
+}
+
+// Migrate atomically moves an active lease to a new node set: the handover
+// is reserve-new-then-release-old in one critical section, so there is no
+// instant at which either the old or the new placement is unbacked by a
+// reservation, and no instant of oversubscription. The new set's debits
+// are admission-checked against the residual view that still includes the
+// lease's own current reservation — the new set must fit *alongside* the
+// old one; if it cannot, Migrate rejects with the binding bottleneck and
+// the lease keeps its current nodes. The place callback receives that
+// residual view and the lease's per-flow bandwidth demand as the floor;
+// returning the current node set is a successful no-op. The lease keeps
+// its ID, demand, shape and expiry — migration does not extend the term.
+func (l *Ledger) Migrate(snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
+	if snap == nil || snap.Graph != l.g {
+		return Info{}, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		// The release-old path (WAL flush) is gone; committing the
+		// reserve-new half now could never be durably released.
+		return Info{}, ErrClosed
+	}
+	now := l.opt.Now()
+	ls, ok := l.leases[id]
+	if ok && !ls.Expiry.After(now) {
+		l.sweepLocked(now)
+		return Info{}, fmt.Errorf("%w: %q expired at %s", ErrExpired, id, ls.Expiry.Format(time.RFC3339))
+	}
+	l.sweepLocked(now)
+	if ls, ok = l.leases[id]; !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+
+	residual := l.residualLocked(snap)
+	nodes, err := place(residual, ls.Demand.BW)
+	if err != nil {
+		l.stats.Rejected++
+		return Info{}, err
+	}
+	nodes = append([]int(nil), nodes...)
+	sort.Ints(nodes)
+	if sameNodeSet(nodes, ls.Nodes) {
+		return l.infoLocked(ls), nil
+	}
+	debits, adm := l.admissionCheck(residual, nodes, ls.Demand)
+	if adm != nil {
+		l.stats.Rejected++
+		return Info{}, adm
+	}
+
+	// WAL first, like every transition: the migrate record carries the full
+	// new lease state, so replay after a crash lands on exactly one of the
+	// two placements, never a mixture.
+	moved := *ls
+	moved.Nodes = nodes
+	moved.linkBW = debits
+	if l.opt.WAL != nil {
+		rec := acquireRecord(l.g, &moved)
+		rec.Op = opMigrate
+		if err := l.opt.WAL.append(rec); err != nil {
+			return Info{}, fmt.Errorf("lease: wal: %w", err)
+		}
+	}
+	for _, nid := range nodes {
+		l.nodeCPU[nid] += ls.Demand.CPU
+	}
+	for lid, bw := range debits {
+		l.linkBW[lid] += bw
+	}
+	for _, nid := range ls.Nodes {
+		if l.nodeCPU[nid] -= ls.Demand.CPU; l.nodeCPU[nid] < 0 {
+			l.nodeCPU[nid] = 0
+		}
+	}
+	for lid, bw := range ls.linkBW {
+		if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
+			l.linkBW[lid] = 0
+		}
+	}
+	ls.Nodes = nodes
+	ls.linkBW = debits
+	l.version++
+	l.stats.Migrated++
+	l.event("migrate", ls)
+	l.maybeCompactLocked()
+	return l.infoLocked(ls), nil
+}
+
+// sameNodeSet reports whether two sorted node slices are identical.
+func sameNodeSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // admissionCheck computes the per-link debits for a candidate placement
@@ -433,11 +632,12 @@ func (l *Ledger) admissionCheck(residual *topology.Snapshot, nodes []int, d Dema
 
 // commitLocked records an admitted placement: WAL first (an append failure
 // aborts the admit), then the in-memory debits. Callers hold l.mu.
-func (l *Ledger) commitLocked(nodes []int, d Demand, debits map[int]float64, now time.Time, ttl time.Duration) (Info, error) {
+func (l *Ledger) commitLocked(nodes []int, d Demand, shape *Shape, debits map[int]float64, now time.Time, ttl time.Duration) (Info, error) {
 	ls := &Lease{
 		ID:      fmt.Sprintf("lease-%d", l.nextID),
 		Nodes:   append([]int(nil), nodes...),
 		Demand:  d,
+		Shape:   shape.clone(),
 		Created: now,
 		Expiry:  now.Add(ttl),
 		linkBW:  debits,
@@ -464,12 +664,23 @@ func (l *Ledger) commitLocked(nodes []int, d Demand, debits map[int]float64, now
 }
 
 // Renew extends a lease's term to now + ttl (the default TTL when ttl is
-// zero, capped at MaxTTL).
+// zero, capped at MaxTTL). A lease whose term has already passed cannot be
+// renewed — even if the TTL sweeper has not reclaimed it yet. Its capacity
+// is conceptually returned the moment the clock passes Expiry, and other
+// admissions may have been granted on that basis, so resurrecting the
+// reservation could oversubscribe; the caller gets the typed ErrExpired
+// (distinct from ErrNotFound) and must re-admit through Acquire.
 func (l *Ledger) Renew(id string, ttl time.Duration) (Info, error) {
 	ttl = l.clampTTL(ttl)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.opt.Now()
+	// The expiry check must precede the sweep: sweeping first would reclaim
+	// the overdue lease and misreport it as never having existed.
+	if ls, ok := l.leases[id]; ok && !ls.Expiry.After(now) {
+		l.sweepLocked(now)
+		return Info{}, fmt.Errorf("%w: %q expired at %s", ErrExpired, id, ls.Expiry.Format(time.RFC3339))
+	}
 	l.sweepLocked(now)
 	ls, ok := l.leases[id]
 	if !ok {
@@ -590,6 +801,7 @@ func (l *Ledger) infoLocked(ls *Lease) Info {
 		Nodes:      make([]string, len(ls.Nodes)),
 		CPU:        ls.Demand.CPU,
 		BW:         ls.Demand.BW,
+		Request:    ls.Shape.clone(),
 		CreatedAt:  ls.Created,
 		ExpiresAt:  ls.Expiry,
 		TTLSeconds: ls.Expiry.Sub(now).Seconds(),
@@ -728,6 +940,7 @@ func (l *Ledger) recover() error {
 			ID:      rec.ID,
 			Nodes:   nodes,
 			Demand:  d,
+			Shape:   rec.Shape.clone(),
 			Created: time.UnixMilli(rec.CreatedUnixMS),
 			Expiry:  expiry,
 			linkBW:  debits,

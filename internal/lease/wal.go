@@ -31,15 +31,22 @@ const (
 	opRenew   = "renew"
 	opRelease = "release"
 	opExpire  = "expire"
+	// opMigrate carries the full post-handover lease state (same ID, new
+	// nodes): replay lands on exactly one of the two placements.
+	opMigrate = "migrate"
 )
 
-// walRecord is one logged transition (and, for acquire, the full lease).
+// walRecord is one logged transition (and, for acquire/migrate, the full
+// lease).
 type walRecord struct {
 	Op    string   `json:"op"`
 	ID    string   `json:"id"`
 	Nodes []string `json:"nodes,omitempty"`
 	CPU   float64  `json:"cpu,omitempty"`
 	BW    float64  `json:"bw,omitempty"`
+	// Shape preserves the originating request across restarts so the
+	// rebalance controller can keep re-placing recovered leases.
+	Shape *Shape `json:"shape,omitempty"`
 	// Timestamps are unix milliseconds so records are compact and
 	// timezone-free.
 	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
@@ -54,6 +61,7 @@ func acquireRecord(g *topology.Graph, ls *Lease) walRecord {
 		Nodes:         make([]string, len(ls.Nodes)),
 		CPU:           ls.Demand.CPU,
 		BW:            ls.Demand.BW,
+		Shape:         ls.Shape,
 		CreatedUnixMS: ls.Created.UnixMilli(),
 		ExpiryUnixMS:  ls.Expiry.UnixMilli(),
 	}
@@ -161,7 +169,11 @@ func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
 		w.records++
 		note(rec.ID)
 		switch rec.Op {
-		case opAcquire:
+		case opAcquire, opMigrate:
+			// A migrate record is a full replacement of the lease's state;
+			// replaying it over the original acquire (or over a snapshot
+			// entry) lands on the post-handover placement. The order slice
+			// dedups on first occurrence, so re-appending the ID is safe.
 			r := rec
 			live[rec.ID] = &r
 			order = append(order, rec.ID)

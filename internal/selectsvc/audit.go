@@ -43,6 +43,10 @@ type DecisionRound struct {
 type Decision struct {
 	// ID increases by one per request, never reused.
 	ID int64 `json:"id"`
+	// Kind distinguishes audit entries: empty for placement requests,
+	// "rebalance_propose" / "rebalance_apply" / "rebalance_apply_failed"
+	// for re-placement controller actions.
+	Kind string `json:"kind,omitempty"`
 	// Wall is the server wall-clock time of the request.
 	Wall time.Time `json:"wall"`
 	// MeasuredAt is the measurement clock of the snapshot answered from
@@ -55,8 +59,12 @@ type Decision struct {
 	M int `json:"m"`
 	// Spec names the application specification, for spec requests.
 	Spec string `json:"spec,omitempty"`
-	// Nodes is the returned placement (empty on error).
-	Nodes []string `json:"nodes,omitempty"`
+	// Nodes is the returned placement (empty on error). For rebalance
+	// entries it is the proposed destination set, with FromNodes the set
+	// the lease held and Gain the expected relative improvement.
+	Nodes     []string `json:"nodes,omitempty"`
+	FromNodes []string `json:"from_nodes,omitempty"`
+	Gain      float64  `json:"gain,omitempty"`
 	// MinCPU, PairMinBW and MinResource score the returned placement as
 	// in SelectResponse.
 	MinCPU      float64 `json:"min_cpu,omitempty"`

@@ -40,6 +40,7 @@ const (
 	classInfeasible = "infeasible"
 	classRejected   = "rejected"
 	classNotFound   = "not_found"
+	classExpired    = "expired"
 	classInternal   = "internal"
 )
 
@@ -52,6 +53,10 @@ func classifyError(err error) string {
 		return classStale
 	case errors.Is(err, lease.ErrRejected):
 		return classRejected
+	case errors.Is(err, lease.ErrExpired):
+		// Distinct from not_found: the lease existed but its term passed —
+		// the client must re-admit through /select, not retry the renew.
+		return classExpired
 	case errors.Is(err, lease.ErrNotFound):
 		return classNotFound
 	case errors.Is(err, lease.ErrBadDemand):
@@ -78,6 +83,8 @@ func statusFor(class string) int {
 		return http.StatusConflict
 	case classNotFound:
 		return http.StatusNotFound
+	case classExpired:
+		return http.StatusGone
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,306 @@
+package selectsvc
+
+import (
+	"net/http"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/rebalance"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/testbed"
+)
+
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+type migrationsPage struct {
+	Proposals []rebalance.Proposal `json:"proposals"`
+	Auto      bool                 `json:"auto"`
+}
+
+// The acceptance-criteria walk: admit a lease, shift load onto its nodes,
+// watch a proposal appear in GET /migrations with positive gain, apply it,
+// and verify the ledger moved the reservation with no oversubscription.
+func TestMigrationLifecycleOverHTTP(t *testing.T) {
+	g := testbed.Star(8, 100e6)
+	src := remos.NewStaticSource(g)
+	svc := New(src, Config{
+		DefaultMode: remos.Current,
+		Seed:        1,
+		Rebalance:   &rebalance.Policy{MinGain: 0.1, ConfirmEpochs: 2, MaxPerEpoch: 2},
+	})
+	poll := func() {
+		t.Helper()
+		src.Advance(1)
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	poll()
+	h := svc.Handler()
+
+	// Admit a leased placement; the request shape rides on the lease.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.2, BW: 10e6}, LeaseTTL: 600,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	sel := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	id := sel.Lease.ID
+	if sel.Lease.Request == nil || sel.Lease.Request.M != 2 {
+		t.Fatalf("lease did not record its request shape: %+v", sel.Lease)
+	}
+
+	// Quiet network: no proposals.
+	w = do(t, h, "GET", "/migrations", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("migrations status %d: %s", w.Code, w.Body)
+	}
+	page := decodeJSON[migrationsPage](t, w.Body.Bytes())
+	if len(page.Proposals) != 0 || page.Auto {
+		t.Fatalf("quiet network page = %+v", page)
+	}
+
+	// Load lands on the lease's nodes. Two epochs: debounce, then propose.
+	for _, name := range sel.Nodes {
+		src.SetLoad(g.MustNode(name), 4)
+	}
+	poll()
+	poll()
+	page = decodeJSON[migrationsPage](t, do(t, h, "GET", "/migrations", nil).Body.Bytes())
+	if len(page.Proposals) != 1 {
+		t.Fatalf("proposals after load shift = %+v", page)
+	}
+	p := page.Proposals[0]
+	if p.Lease != id || p.Gain <= 0.1 {
+		t.Fatalf("proposal = %+v", p)
+	}
+	if !slices.Equal(p.From, sel.Nodes) {
+		t.Fatalf("proposal from %v, lease held %v", p.From, sel.Nodes)
+	}
+	for _, name := range p.To {
+		if slices.Contains(sel.Nodes, name) {
+			t.Fatalf("proposal keeps a loaded node: %v", p.To)
+		}
+	}
+
+	// Apply the handover; the lease moves and nothing oversubscribes.
+	w = do(t, h, "POST", "/migrations/"+id+"/apply", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("apply status %d: %s", w.Code, w.Body)
+	}
+	moved := decodeJSON[lease.Info](t, w.Body.Bytes())
+	if moved.ID != id || !slices.Equal(moved.Nodes, p.To) {
+		t.Fatalf("applied lease = %+v, want nodes %v", moved, p.To)
+	}
+	cpu, bw := svc.Ledger().MaxCommitted()
+	if cpu > 1 || bw > 1 {
+		t.Fatalf("oversubscribed after handover: cpu=%v bw=%v", cpu, bw)
+	}
+	got, ok := svc.Ledger().Get(id)
+	if !ok || !slices.Equal(got.Nodes, p.To) {
+		t.Fatalf("ledger shows %+v after handover", got)
+	}
+
+	// The proposal is consumed; a second apply is a 404.
+	page = decodeJSON[migrationsPage](t, do(t, h, "GET", "/migrations", nil).Body.Bytes())
+	if len(page.Proposals) != 0 {
+		t.Fatalf("applied proposal still listed: %+v", page)
+	}
+	if w := do(t, h, "POST", "/migrations/"+id+"/apply", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("re-apply status %d, want 404", w.Code)
+	}
+
+	// The audit trail tells the story: propose then apply, with the
+	// from/to sets and the gain.
+	var kinds []string
+	for _, d := range svc.Decisions(0) {
+		if d.Kind != "" {
+			kinds = append(kinds, d.Kind)
+			if d.LeaseID != id || len(d.FromNodes) != 2 || d.Gain <= 0 {
+				t.Fatalf("rebalance audit entry = %+v", d)
+			}
+		}
+	}
+	slices.Sort(kinds)
+	if !slices.Equal(kinds, []string{"rebalance_apply", "rebalance_propose"}) {
+		t.Fatalf("audit kinds = %v", kinds)
+	}
+}
+
+// Without the controller configured, the migration endpoints are 404s.
+func TestMigrationEndpointsDisabled(t *testing.T) {
+	svc, _ := newStarService(t, 4, Config{})
+	h := svc.Handler()
+	if w := do(t, h, "GET", "/migrations", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("GET /migrations status %d, want 404", w.Code)
+	}
+	if w := do(t, h, "POST", "/migrations/lease-0/apply", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("apply status %d, want 404", w.Code)
+	}
+}
+
+// Renewing a lease whose term passed (but which the sweeper has not yet
+// reclaimed) is 410 Gone with the "expired" class — not a resurrection and
+// not a 404.
+func TestRenewExpiredLeaseIsGone(t *testing.T) {
+	g := testbed.Star(6, 100e6)
+	src := remos.NewStaticSource(g)
+	clock := newTestClock()
+	ledger, err := lease.New(src.Topology(), lease.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(src, Config{DefaultMode: remos.Current, Seed: 1, Ledger: ledger})
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.2}, LeaseTTL: 30,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	id := decodeJSON[SelectResponse](t, w.Body.Bytes()).Lease.ID
+
+	clock.Advance(time.Minute) // past expiry; no sweep has run
+	w = do(t, h, "POST", "/leases/"+id+"/renew", map[string]float64{"ttl": 60})
+	if w.Code != http.StatusGone {
+		t.Fatalf("renew-after-expiry status %d, want 410: %s", w.Code, w.Body)
+	}
+	envelope := decodeJSON[apiError](t, w.Body.Bytes())
+	if envelope.Class != classExpired {
+		t.Fatalf("error class %q, want %q", envelope.Class, classExpired)
+	}
+	// The reservation stayed dead: the capacity is free for a fresh admit.
+	if svc.Ledger().Len() != 0 {
+		t.Fatal("expired lease still active after rejected renew")
+	}
+}
+
+// Chaos-harness case: agents flap (pause/resume) while the controller
+// evaluates. Degraded snapshots must suppress proposals — no migration
+// decisions on stale data — and rebalance_skipped_degraded must count the
+// suppressed epochs. Run under -race via make check / make chaos.
+func TestRebalanceSuppressedDuringAgentFlap(t *testing.T) {
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	cf, err := agent.StartChaosFleet(src, 1, agent.ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cf.Close)
+	ns, err := agent.DialConfig{
+		ConnectTimeout:   200 * time.Millisecond,
+		IOTimeout:        200 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		AllowPartial:     true,
+		Seed:             1,
+	}.Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+
+	svc := New(ns, Config{
+		Collector:   remos.CollectorConfig{Period: 1, History: 8, MaxStaleAge: 2.5},
+		DefaultMode: remos.Current,
+		Seed:        1,
+		Rebalance:   &rebalance.Policy{MinGain: 0.1, ConfirmEpochs: 1},
+	})
+	poll := func() {
+		t.Helper()
+		src.Advance(1)
+		svc.Poll() // partial polls must not abort the loop
+	}
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	poll()
+	h := svc.Handler()
+
+	// Admit a lease, then load its nodes so the advisor wants to move it.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.2}, LeaseTTL: 600,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	sel := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	for _, name := range sel.Nodes {
+		src.SetLoad(g.MustNode(name), 4)
+	}
+
+	// Flap: pause one agent and age it past the staleness ceiling. Every
+	// poll during the flap is a degraded epoch the controller must skip.
+	victim := g.MustNode("m-16")
+	cf.Proxies[victim].Pause()
+	for i := 0; i < 4; i++ {
+		poll()
+	}
+	if state, _ := svc.Health(); state != StateDegraded {
+		t.Fatalf("state = %v, want degraded during flap", state)
+	}
+	skipped := svc.rebal.Metrics().SkippedDegraded()
+	if skipped == 0 {
+		t.Fatal("rebalance_skipped_degraded did not increment during the flap")
+	}
+	page := decodeJSON[migrationsPage](t, do(t, h, "GET", "/migrations", nil).Body.Bytes())
+	if len(page.Proposals) != 0 {
+		t.Fatalf("controller proposed on stale data: %+v", page.Proposals)
+	}
+	if st := svc.Ledger().Stats(); st.Migrated != 0 {
+		t.Fatal("controller migrated on stale data")
+	}
+
+	// Resume: once the fleet reads live again, the sustained load shift
+	// finally produces a proposal.
+	cf.Proxies[victim].Resume()
+	time.Sleep(150 * time.Millisecond) // breaker cooldown
+	poll()
+	if state, _ := svc.Health(); state != StateOK {
+		t.Fatalf("state = %v after resume, want ok", state)
+	}
+	poll()
+	page = decodeJSON[migrationsPage](t, do(t, h, "GET", "/migrations", nil).Body.Bytes())
+	if len(page.Proposals) != 1 {
+		t.Fatalf("proposals after recovery = %+v", page)
+	}
+	if got := svc.rebal.Metrics().SkippedDegraded(); got != skipped {
+		t.Fatalf("healthy epochs still counted as skipped: %v -> %v", skipped, got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"nodeselect/internal/lease"
 	"nodeselect/internal/metrics"
 	"nodeselect/internal/randx"
+	"nodeselect/internal/rebalance"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
 	"nodeselect/internal/topology"
@@ -76,6 +77,13 @@ type Config struct {
 	// negative disables caching entirely. Leased, spec, and random-
 	// algorithm requests always bypass the cache.
 	PlanCacheSize int
+	// Rebalance, when non-nil, runs the continuous re-placement
+	// controller: every poll re-scores active shaped leases against the
+	// residual snapshot (excluding each lease's own reservation) and
+	// raises migration proposals, served at /migrations. With
+	// Policy.Auto they are applied immediately; otherwise they wait for
+	// POST /migrations/{lease}/apply.
+	Rebalance *rebalance.Policy
 }
 
 // defaultPlanCacheSize bounds the plan cache when the config does not.
@@ -102,6 +110,7 @@ type Service struct {
 	audit    *auditRing
 	ledger   *lease.Ledger
 	plans    *planCache // nil when disabled
+	rebal    *rebalance.Controller
 }
 
 // New builds a service over a measurement source.
@@ -149,6 +158,33 @@ func New(src remos.Source, cfg Config) *Service {
 	if plans != nil {
 		registerPlanCacheGauges(reg, plans)
 	}
+	if cfg.Rebalance != nil {
+		s.rebal = rebalance.New(ledger, *cfg.Rebalance, reg)
+		// Controller actions join the same audit trail as placements, so
+		// GET /decisions tells the whole story of where a lease has been.
+		s.rebal.SetOnEvent(func(ev rebalance.Event) {
+			d := Decision{
+				Wall:        time.Now(),
+				Kind:        "rebalance_" + ev.Op,
+				LeaseID:     ev.Proposal.Lease,
+				Nodes:       ev.Proposal.To,
+				FromNodes:   ev.Proposal.From,
+				Gain:        ev.Proposal.Gain,
+				MinResource: ev.Proposal.CandidateScore,
+				Bottleneck:  ev.Proposal.Bottleneck,
+			}
+			if ev.Err != nil {
+				d.Error = ev.Err.Error()
+				d.ErrorClass = classifyError(ev.Err)
+				var adm *lease.AdmissionError
+				if errors.As(ev.Err, &adm) {
+					d.Bottleneck = adm.Bottleneck
+				}
+			}
+			s.audit.add(d)
+			s.metrics.decisions.Inc()
+		})
+	}
 	return s
 }
 
@@ -174,8 +210,18 @@ func (s *Service) Registry() *metrics.Registry { return s.registry }
 // it). A partial refresh — some agents unreachable — still polls: the
 // collector records the failed entities as stale and the service serves
 // last-known-good data, reporting the degradation through Healthz. Only a
-// total refresh failure with no prior data aborts the sample.
+// total refresh failure with no prior data aborts the sample. After a
+// successful sample the rebalance controller (when configured) runs one
+// evaluation epoch.
 func (s *Service) Poll() error {
+	if err := s.pollOnce(); err != nil {
+		return err
+	}
+	s.rebalanceTick()
+	return nil
+}
+
+func (s *Service) pollOnce() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.src.(Refresher); ok {
@@ -197,6 +243,36 @@ func (s *Service) Poll() error {
 	// the poll loop doubles as the lease expiry heartbeat.
 	s.ledger.Sweep()
 	return nil
+}
+
+// rebalanceTick runs one controller epoch outside s.mu (the controller
+// takes the ledger's lock; nesting it inside the service lock would
+// invite an ordering hazard with request handlers). The ledger version is
+// read before the snapshot for the same conservative reason the plan
+// cache does it: a racing commit makes the epoch stale, which only causes
+// an extra evaluation next poll.
+func (s *Service) rebalanceTick() {
+	if s.rebal == nil {
+		return
+	}
+	version := s.ledger.Version()
+	snap, health, _, polls, err := s.snapshotFor(s.cfg.DefaultMode)
+	if err != nil {
+		return // nothing measured yet; next poll retries
+	}
+	s.rebal.Tick(snap, rebalance.Epoch{Polls: polls, Ledger: version},
+		health.State != remos.HealthOK)
+}
+
+// StopRebalance stops the re-placement controller, blocking until any
+// in-flight evaluation or handover completes — call it before flushing
+// and closing the ledger on shutdown, so the reserve-new half of a
+// migration can never land after the release-old path is gone. No-op when
+// the controller is disabled.
+func (s *Service) StopRebalance() {
+	if s.rebal != nil {
+		s.rebal.Close()
+	}
 }
 
 // healthLocked summarizes the collector's freshness. Callers hold s.mu.
@@ -326,6 +402,8 @@ type SelectResponse struct {
 //	GET    /leases            — active leases and commitment summary
 //	POST   /leases/{id}/renew — extend a lease ({"ttl": seconds}, optional body)
 //	DELETE /leases/{id}       — release a lease
+//	GET    /migrations        — pending migration proposals (rebalance on)
+//	POST   /migrations/{id}/apply — execute a proposal's handover
 //
 // Every error response is the JSON envelope {error, class, status,
 // bottleneck?}.
@@ -341,6 +419,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /leases", s.handleLeases)
 	mux.HandleFunc("POST /leases/{id}/renew", s.handleLeaseRenew)
 	mux.HandleFunc("DELETE /leases/{id}", s.handleLeaseRelease)
+	mux.HandleFunc("GET /migrations", s.handleMigrations)
+	mux.HandleFunc("POST /migrations/{id}/apply", s.handleMigrationApply)
 	return mux
 }
 
@@ -677,7 +757,22 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			return r.Nodes, nil
 		}
 		if leased {
-			info, err := s.ledger.Acquire(snap, demand, ttl, placeFn)
+			// Record the originating request shape on the lease (and in the
+			// WAL): it is what the rebalance controller re-runs the selection
+			// with when deciding whether this placement is still the best one.
+			shape := &lease.Shape{
+				M:              req.M,
+				Algo:           algo,
+				Mode:           d.Mode,
+				Priority:       req.Priority,
+				RefCapacity:    req.RefCapacity,
+				MinBW:          req.MinBW,
+				MinCPU:         req.MinCPU,
+				MinMemoryMB:    req.MinMemoryMB,
+				MaxPairLatency: req.MaxPairLatency,
+				Pin:            req.Pin,
+			}
+			info, err := s.ledger.AcquireShaped(snap, demand, ttl, shape, placeFn)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID
@@ -798,6 +893,59 @@ func (s *Service) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		class := classifyError(err)
 		writeError(w, statusFor(class), class, "", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleMigrations lists the rebalance controller's pending proposals —
+// for each, the lease, the from/to node sets, the expected gain, and the
+// candidate placement's bottleneck.
+func (s *Service) handleMigrations(w http.ResponseWriter, _ *http.Request) {
+	if s.rebal == nil {
+		writeError(w, http.StatusNotFound, classNotFound, "",
+			errors.New("rebalance controller is not enabled"))
+		return
+	}
+	props := s.rebal.Proposals()
+	if props == nil {
+		props = []rebalance.Proposal{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"proposals": props,
+		"auto":      s.rebal.Auto(),
+	})
+}
+
+// handleMigrationApply executes a pending proposal: an atomic
+// reserve-new-then-release-old handover through the ledger, re-checked for
+// admission at apply time. 409 with the binding bottleneck when the new
+// set no longer fits alongside the old; 410 when the lease expired in the
+// meantime.
+func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
+	if s.rebal == nil {
+		writeError(w, http.StatusNotFound, classNotFound, "",
+			errors.New("rebalance controller is not enabled"))
+		return
+	}
+	snap, _, _, _, err := s.snapshotFor(s.cfg.DefaultMode)
+	if err != nil {
+		class := classifyError(err)
+		writeError(w, statusFor(class), class, "", err)
+		return
+	}
+	info, err := s.rebal.Apply(snap, r.PathValue("id"))
+	if err != nil {
+		class := classifyError(err)
+		var bottleneck string
+		var adm *lease.AdmissionError
+		if errors.As(err, &adm) {
+			bottleneck = adm.Bottleneck
+			s.metrics.admissionRejects.With(adm.Kind).Inc()
+		}
+		writeError(w, statusFor(class), class, bottleneck, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
