@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench benchdiff fmt fuzz chaos
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo
 
 check: vet build race fuzz
 
@@ -50,6 +50,17 @@ benchdiff:
 	$(GO) test -tags refsweep -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -count $(BENCHDIFF_COUNT) . > /tmp/benchdiff-old.txt
 	$(GO) test -run '^$$' -bench '$(BENCHDIFF_PATTERN)' -count $(BENCHDIFF_COUNT) . > /tmp/benchdiff-new.txt
 	$(GO) run ./cmd/benchdiff /tmp/benchdiff-old.txt /tmp/benchdiff-new.txt
+
+# Sustained-load SLO harness: hammers an in-process selectd with /select,
+# writes the machine-readable latency/error report to slo.json, then gates
+# it. The p99 budget has ~50x headroom over the healthy cached path, so it
+# only trips on real regressions (a broken plan cache, per-request sweeps),
+# not CI noise; p999 is left ungated because single GC pauses own it.
+SLO_P99_BUDGET_MS ?= 5
+SLO_ERROR_BUDGET ?= 0.001
+slo:
+	$(GO) run ./cmd/expt -run slo -slo-out slo.json
+	$(GO) run ./cmd/benchdiff -slo slo.json -p99-budget-ms $(SLO_P99_BUDGET_MS) -error-budget $(SLO_ERROR_BUDGET)
 
 fmt:
 	gofmt -l -w $(shell $(GO) list -f '{{.Dir}}' ./...)

@@ -175,16 +175,18 @@ func BenchmarkFig3Balanced400(b *testing.B) { benchSelection(b, 400, core.AlgoBa
 // loaded tree. With the plan cache on (size 0 → default), all requests
 // after the first are singleflighted hits; with it off (-1), every request
 // recomputes the full selection sweep.
-func benchServiceSelect(b *testing.B, cacheSize int) {
+func benchServiceSelect(b *testing.B, cacheSize int, traceOff bool) {
 	src, err := remos.FromSnapshot(selectionSnapshot(200))
 	if err != nil {
 		b.Fatal(err)
 	}
-	svc := selectsvc.New(src, selectsvc.Config{
+	cfg := selectsvc.Config{
 		Seed:          1,
 		DefaultMode:   remos.Current,
 		PlanCacheSize: cacheSize,
-	})
+	}
+	cfg.Trace.Disabled = traceOff
+	svc := selectsvc.New(src, cfg)
 	if err := svc.Poll(); err != nil {
 		b.Fatal(err)
 	}
@@ -208,8 +210,13 @@ func benchServiceSelect(b *testing.B, cacheSize int) {
 	})
 }
 
-func BenchmarkServiceSelect200Cached(b *testing.B)   { benchServiceSelect(b, 0) }
-func BenchmarkServiceSelect200Uncached(b *testing.B) { benchServiceSelect(b, -1) }
+func BenchmarkServiceSelect200Cached(b *testing.B)   { benchServiceSelect(b, 0, false) }
+func BenchmarkServiceSelect200Uncached(b *testing.B) { benchServiceSelect(b, -1, false) }
+
+// The NoTrace variant pins the request-tracing overhead on the hot cached
+// path: Cached vs CachedNoTrace differ only in reqtrace span capture and
+// tail sampling (the X-Request-ID middleware runs in both).
+func BenchmarkServiceSelect200CachedNoTrace(b *testing.B) { benchServiceSelect(b, 0, true) }
 
 func BenchmarkAblationAlgorithms(b *testing.B) {
 	cfg := benchConfig()

@@ -11,16 +11,29 @@
 //
 // Exit status is 1 when any benchmark regressed significantly (new slower
 // than old with p < 0.05), so the target can gate CI.
+//
+// With -slo the command instead gates a loadgen SLO report (the slo.json
+// that `make slo` writes) against absolute budgets and, optionally, a
+// baseline report from an earlier run:
+//
+//	benchdiff -slo slo.json -p99-budget-ms 5 -error-budget 0.001
+//	benchdiff -slo slo.json -slo-baseline old-slo.json -p99-tolerance 1.25
+//
+// Exit status 1 when any enforced budget is blown or the new p99 exceeds
+// the baseline's by more than the tolerance factor.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 
+	"nodeselect/internal/loadgen"
 	"nodeselect/internal/stats"
 )
 
@@ -56,6 +69,55 @@ func parse(path string) (map[string]*stats.Sample, error) {
 	return out, sc.Err()
 }
 
+// readSLO loads one slo.json report.
+func readSLO(path string) (loadgen.SLOReport, error) {
+	var rep loadgen.SLOReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// sloGate checks a report against absolute budgets and (optionally) a
+// baseline report's p99, returning the process exit code.
+func sloGate(path, baselinePath string, budget loadgen.SLOBudget, p99Tolerance float64) int {
+	rep, err := readSLO(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	fmt.Printf("%s: p50 %.3fms  p99 %.3fms  p999 %.3fms  error rate %.4f  (%d requests)\n",
+		path, rep.LatencyMs.P50, rep.LatencyMs.P99, rep.LatencyMs.P999, rep.ErrorRate, rep.Requests)
+	failed := false
+	if err := rep.Check(budget); err != nil {
+		fmt.Printf("SLO REGRESSION: %v\n", err)
+		failed = true
+	}
+	if baselinePath != "" {
+		base, err := readSLO(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 2
+		}
+		limit := base.LatencyMs.P99 * p99Tolerance
+		fmt.Printf("baseline %s: p99 %.3fms, tolerance %.2fx -> limit %.3fms\n",
+			baselinePath, base.LatencyMs.P99, p99Tolerance, limit)
+		if rep.LatencyMs.P99 > limit {
+			fmt.Printf("SLO REGRESSION: p99 %.3fms exceeds baseline limit %.3fms\n", rep.LatencyMs.P99, limit)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("SLO ok")
+	return 0
+}
+
 // fmtNs renders nanoseconds at a human scale.
 func fmtNs(ns float64) string {
 	switch {
@@ -71,16 +133,35 @@ func fmtNs(ns float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD NEW  (two `go test -bench` output files)")
+	var (
+		sloFile      = flag.String("slo", "", "gate this slo.json report instead of comparing bench files")
+		sloBaseline  = flag.String("slo-baseline", "", "baseline slo.json to compare the -slo report against")
+		p99Budget    = flag.Float64("p99-budget-ms", 0, "with -slo: fail when p99 exceeds this many ms (0 = not enforced)")
+		p999Budget   = flag.Float64("p999-budget-ms", 0, "with -slo: fail when p999 exceeds this many ms (0 = not enforced)")
+		errBudget    = flag.Float64("error-budget", 0, "with -slo: fail when the 5xx error rate exceeds this (0 = not enforced)")
+		p99Tolerance = flag.Float64("p99-tolerance", 1.25, "with -slo-baseline: fail when p99 exceeds baseline p99 times this")
+	)
+	flag.Parse()
+
+	if *sloFile != "" {
+		os.Exit(sloGate(*sloFile, *sloBaseline, loadgen.SLOBudget{
+			MaxP99Ms:     *p99Budget,
+			MaxP999Ms:    *p999Budget,
+			MaxErrorRate: *errBudget,
+		}, *p99Tolerance))
+	}
+
+	args := flag.Args()
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD NEW  (two `go test -bench` output files), or benchdiff -slo slo.json")
 		os.Exit(2)
 	}
-	old, err := parse(os.Args[1])
+	old, err := parse(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	new_, err := parse(os.Args[2])
+	new_, err := parse(args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -30,6 +31,9 @@ func main() {
 		verbose = flag.Bool("v", false, "print extra detail")
 		csvOut  = flag.Bool("csv", false, "emit table1 as CSV for plotting")
 	)
+	flag.StringVar(&sloOut, "slo-out", "", "with -run slo: also write the report JSON to this file")
+	flag.IntVar(&sloRequests, "slo-requests", 0, "with -run slo: measured request count (default 5000)")
+	flag.BoolVar(&sloNoTrace, "slo-notrace", false, "with -run slo: disable request tracing (overhead baseline)")
 	flag.Parse()
 
 	cfg := experiment.Default()
@@ -90,6 +94,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runChaos(cfg)
 	case "contention":
 		return runContention(cfg)
+	case "slo":
+		return runSLO(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -260,5 +266,39 @@ func runRebalance(cfg experiment.Config) error {
 		return err
 	}
 	fmt.Print(experiment.FormatRebalance(res))
+	return nil
+}
+
+// sloOut, sloRequests and sloNoTrace are set from flags before dispatch.
+var (
+	sloOut      string
+	sloRequests int
+	sloNoTrace  bool
+)
+
+// runSLO drives the sustained-load harness against an in-process selectd
+// and prints the latency/error summary; -slo-out also writes the
+// machine-readable report for the benchdiff -slo CI gate. Like chaos it
+// measures wall-clock, so it is not part of -run all.
+func runSLO(cfg experiment.Config) error {
+	rep, err := experiment.RunSLO(experiment.SLOOptions{
+		Seed:     cfg.Seed,
+		Requests: sloRequests,
+		NoTrace:  sloNoTrace,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatSLO(rep))
+	if sloOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(sloOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", sloOut)
+	}
 	return nil
 }

@@ -74,6 +74,7 @@ import (
 	"nodeselect/internal/rebalance"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/selectsvc"
 	"nodeselect/internal/topology"
 )
@@ -103,6 +104,11 @@ type options struct {
 	rebalanceConfirm int
 	rebalanceCool    time.Duration
 	rebalanceBudget  int
+
+	traceOff      bool
+	traceCapacity int
+	traceSlow     time.Duration
+	traceSample   float64
 }
 
 func main() {
@@ -130,6 +136,10 @@ func main() {
 	flag.IntVar(&o.rebalanceConfirm, "rebalance-confirm", 2, "consecutive epochs the advisor must repeat a destination before it becomes a proposal")
 	flag.DurationVar(&o.rebalanceCool, "rebalance-cooldown", time.Minute, "per-lease quiet period after a handover before it may move again")
 	flag.IntVar(&o.rebalanceBudget, "rebalance-budget", 1, "maximum new proposals (advisory) or handovers (auto) per epoch")
+	flag.BoolVar(&o.traceOff, "trace-off", false, "disable request tracing (X-Request-ID correlation stays on)")
+	flag.IntVar(&o.traceCapacity, "trace-capacity", 0, "retained traces per class — error/slow and sampled (0 = default 128)")
+	flag.DurationVar(&o.traceSlow, "trace-slow", 0, "latency above which a trace is always retained (0 = default 250ms)")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of fast healthy traces to keep, 0..1 (0 = default 0.1, negative = none)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
@@ -246,6 +256,12 @@ func run(o options) error {
 		ExcludeStale:  o.excludeStale,
 		Ledger:        ledger,
 		PlanCacheSize: o.planCache,
+		Trace: reqtrace.Config{
+			Disabled:      o.traceOff,
+			Capacity:      o.traceCapacity,
+			SlowThreshold: o.traceSlow,
+			SampleRate:    o.traceSample,
+		},
 	}
 	if o.rebalance || o.rebalanceAuto {
 		cfg.Rebalance = &rebalance.Policy{

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/reqtrace"
+	"nodeselect/internal/topology"
+)
+
+// SelectCtx is SelectOpt with the sweep timed as a "core.sweep" span on the
+// context's trace (a no-op on untraced contexts). The span records the
+// algorithm and, on success, the winning set's minresource.
+func SelectCtx(ctx context.Context, algo string, s *topology.Snapshot, req Request, src *randx.Source, opts Options) (Result, error) {
+	span := reqtrace.StartChild(ctx, "core.sweep")
+	defer span.End()
+	span.SetAttr("algo", algo)
+	res, err := SelectOpt(algo, s, req, src, opts)
+	if err != nil {
+		span.Fail(err)
+	} else {
+		span.SetAttr("minresource", fmt.Sprintf("%.4g", res.MinResource))
+	}
+	return res, err
+}
+
+// AdviseMigrationCtx is AdviseMigration timed as a "core.advise" span on
+// the context's trace.
+func AdviseMigrationCtx(ctx context.Context, s *topology.Snapshot, current []int, req Request, policy MigrationPolicy) (MigrationAdvice, error) {
+	span := reqtrace.StartChild(ctx, "core.advise")
+	defer span.End()
+	adv, err := AdviseMigration(s, current, req, policy)
+	if err != nil {
+		span.Fail(err)
+	} else if adv.Move {
+		span.SetAttr("move", "true")
+	}
+	return adv, err
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -167,7 +168,7 @@ func (a *accounting) fill(out *ContentionOutcome, bw float64) {
 // contentionPlace adapts the selection sweep to the ledger's PlaceFunc,
 // raising the request floors to the demand the same way selectsvc does.
 func contentionPlace(opt ContentionOptions, src *randx.Source) lease.PlaceFunc {
-	return func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+	return func(_ context.Context, residual *topology.Snapshot, minBW float64) ([]int, error) {
 		req := core.Request{M: opt.M, MinCPU: opt.DemandCPU, MinBW: minBW}
 		res, err := core.Select(opt.Algo, residual, req, src)
 		if err != nil {
@@ -206,7 +207,7 @@ func RunContention(opt ContentionOptions) (ContentionResult, error) {
 	var admitted []string // lease IDs in admission order
 	rejectedApps := 0
 	for i := 0; i < opt.Apps; i++ {
-		info, err := ledger.Acquire(snap, demand, time.Hour, contentionPlace(opt, rng.SplitN(opt.Apps+i)))
+		info, err := ledger.Acquire(context.Background(), snap, demand, time.Hour, contentionPlace(opt, rng.SplitN(opt.Apps+i)))
 		if err != nil {
 			rejectedApps++
 			result.Leased.Bottlenecks = append(result.Leased.Bottlenecks, admissionBottleneck(err))
@@ -226,10 +227,10 @@ func RunContention(opt ContentionOptions) (ContentionResult, error) {
 	// Lifecycle demo: release the first admitted lease and retry one of the
 	// rejected arrivals — the freed capacity should readmit it.
 	if rejectedApps > 0 && len(admitted) > 0 {
-		if err := ledger.Release(admitted[0]); err != nil {
+		if err := ledger.Release(context.Background(), admitted[0]); err != nil {
 			return result, err
 		}
-		_, err := ledger.Acquire(snap, demand, time.Hour, contentionPlace(opt, rng.Split("readmit")))
+		_, err := ledger.Acquire(context.Background(), snap, demand, time.Hour, contentionPlace(opt, rng.Split("readmit")))
 		result.ReadmittedAfterRelease = err == nil
 	}
 	return result, nil

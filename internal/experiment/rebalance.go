@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -84,8 +85,8 @@ func rebalanceJob(mode int) (elapsed, movedAt float64, from, to []string, err er
 	}
 	defer ledger.Close()
 	shape := &lease.Shape{M: req.M, Algo: core.AlgoBalanced}
-	info, err := ledger.AcquireShaped(snap, lease.Demand{CPU: 0.05}, time.Hour, shape,
-		func(*topology.Snapshot, float64) ([]int, error) { return nodes, nil })
+	info, err := ledger.AcquireShaped(context.Background(), snap, lease.Demand{CPU: 0.05}, time.Hour, shape,
+		func(context.Context, *topology.Snapshot, float64) ([]int, error) { return nodes, nil })
 	if err != nil {
 		return 0, 0, nil, nil, err
 	}
@@ -143,12 +144,12 @@ func rebalanceJob(mode int) (elapsed, movedAt float64, from, to []string, err er
 			// tick. Auto applies inside Tick itself.
 			if mode == rebalAdvisory {
 				for _, p := range ctl.Proposals() {
-					if _, err := ctl.Apply(bg, p.Lease); err != nil {
+					if _, err := ctl.Apply(context.Background(), bg, p.Lease); err != nil {
 						return 0, 0, from, to, err
 					}
 				}
 			}
-			ctl.Tick(bg, rebalance.Epoch{Polls: round, Ledger: ledger.Version()}, false)
+			ctl.Tick(context.Background(), bg, rebalance.Epoch{Polls: round, Ledger: ledger.Version()}, false)
 			cur, ok := ledger.Get(info.ID)
 			if !ok {
 				return 0, 0, from, to, fmt.Errorf("experiment: lease %s vanished", info.ID)

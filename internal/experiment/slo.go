@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"nodeselect/internal/loadgen"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/selectsvc"
+	"nodeselect/internal/testbed"
+)
+
+// SLOOptions parameterizes the sustained-load SLO run: an in-process
+// selectd over the CMU testbed topology, hammered with plain /select
+// requests, the per-request latencies reduced to the percentile summary in
+// loadgen.SLOReport.
+type SLOOptions struct {
+	// Seed randomizes the background load painted onto the topology.
+	Seed int64
+	// Requests, Warmup, Concurrency mirror loadgen.SLOConfig.
+	Requests    int
+	Warmup      int
+	Concurrency int
+	// M is the node count each /select asks for (default 4).
+	M int
+	// NoTrace disables request tracing — used to measure the tracing
+	// overhead by differencing a traced and an untraced run.
+	NoTrace bool
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.Requests <= 0 {
+		o.Requests = 5000
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.M <= 0 {
+		o.M = 4
+	}
+	return o
+}
+
+// RunSLO stands up an in-process placement service (static CMU-testbed
+// source, plan cache on, tracing per options) and runs the sustained-load
+// harness against its handler. The returned report is what `make slo`
+// writes to slo.json and what cmd/benchdiff's -slo mode gates on.
+func RunSLO(opt SLOOptions) (loadgen.SLOReport, error) {
+	opt = opt.withDefaults()
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	rng := randx.New(opt.Seed).Split("slo")
+	for _, id := range g.ComputeNodes() {
+		src.SetLoad(id, 2*rng.Float64())
+	}
+	cfg := selectsvc.Config{
+		Collector:   remos.CollectorConfig{History: 8},
+		DefaultMode: remos.Current,
+		Seed:        opt.Seed,
+	}
+	cfg.Trace.Disabled = opt.NoTrace
+	svc := selectsvc.New(src, cfg)
+	if err := svc.Poll(); err != nil {
+		return loadgen.SLOReport{}, fmt.Errorf("slo: initial poll: %w", err)
+	}
+	return loadgen.RunSLO(loadgen.SLOConfig{
+		Handler:     svc.Handler(),
+		Body:        []byte(fmt.Sprintf(`{"m": %d}`, opt.M)),
+		Requests:    opt.Requests,
+		Warmup:      opt.Warmup,
+		Concurrency: opt.Concurrency,
+	})
+}
+
+// FormatSLO renders a report as a human-readable block (slo.json carries
+// the same numbers machine-readably).
+func FormatSLO(r loadgen.SLOReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO run: %s, %d requests, concurrency %d\n", r.Target, r.Requests, r.Concurrency)
+	fmt.Fprintf(&b, "  throughput  %.0f req/s over %.2fs\n", r.ThroughputRPS, r.DurationSeconds)
+	fmt.Fprintf(&b, "  latency ms  p50 %.3f  p90 %.3f  p99 %.3f  p999 %.3f  max %.3f\n",
+		r.LatencyMs.P50, r.LatencyMs.P90, r.LatencyMs.P99, r.LatencyMs.P999, r.LatencyMs.Max)
+	fmt.Fprintf(&b, "  errors      %d (rate %.4f), statuses %v\n", r.Errors, r.ErrorRate, r.StatusClasses)
+	return b.String()
+}

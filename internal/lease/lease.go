@@ -20,6 +20,7 @@
 package lease
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/topology"
 )
 
@@ -429,7 +431,10 @@ func (l *Ledger) ResidualExcluding(snap *topology.Snapshot, id string) (*topolog
 // demand's per-flow bandwidth, escalated by Acquire when a chosen set's
 // per-link flow multiplicity needs more than one flow's worth. A placer
 // is free to ignore it; admission is checked independently afterwards.
-type PlaceFunc func(residual *topology.Snapshot, minBW float64) ([]int, error)
+// The context carries the request's trace; placers that run a selection
+// sweep should thread it through so the sweep's span lands in the same
+// trace as the ledger's own.
+type PlaceFunc func(ctx context.Context, residual *topology.Snapshot, minBW float64) ([]int, error)
 
 // Acquire runs the whole admit-or-reject sequence in one critical
 // section: sweep expired leases, build the residual view, call place on
@@ -443,15 +448,27 @@ type PlaceFunc func(residual *topology.Snapshot, minBW float64) ([]int, error)
 // demand. When the post-placement check finds such a shortfall, Acquire
 // retries with the floor raised to the failing multiplicity's requirement,
 // up to Options.PlaceAttempts times, before rejecting.
-func (l *Ledger) Acquire(snap *topology.Snapshot, d Demand, ttl time.Duration, place PlaceFunc) (Info, error) {
-	return l.AcquireShaped(snap, d, ttl, nil, place)
+func (l *Ledger) Acquire(ctx context.Context, snap *topology.Snapshot, d Demand, ttl time.Duration, place PlaceFunc) (Info, error) {
+	return l.AcquireShaped(ctx, snap, d, ttl, nil, place)
 }
 
 // AcquireShaped is Acquire with the originating request shape recorded on
 // the lease (and in the WAL): the rebalance controller needs it to re-run
 // the same selection against fresher conditions after admission. A nil
 // shape behaves exactly like Acquire; such leases are never re-placed.
-func (l *Ledger) AcquireShaped(snap *topology.Snapshot, d Demand, ttl time.Duration, shape *Shape, place PlaceFunc) (Info, error) {
+func (l *Ledger) AcquireShaped(ctx context.Context, snap *topology.Snapshot, d Demand, ttl time.Duration, shape *Shape, place PlaceFunc) (Info, error) {
+	ctx, span := reqtrace.StartSpan(ctx, "lease.acquire")
+	defer span.End()
+	info, err := l.acquireShaped(ctx, snap, d, ttl, shape, place)
+	if err != nil {
+		span.Fail(err)
+	} else {
+		span.SetAttr("lease", info.ID)
+	}
+	return info, err
+}
+
+func (l *Ledger) acquireShaped(ctx context.Context, snap *topology.Snapshot, d Demand, ttl time.Duration, shape *Shape, place PlaceFunc) (Info, error) {
 	if err := d.Validate(); err != nil {
 		return Info{}, err
 	}
@@ -469,8 +486,12 @@ func (l *Ledger) AcquireShaped(snap *topology.Snapshot, d Demand, ttl time.Durat
 	var lastAdm *AdmissionError
 	for attempt := 0; attempt < l.opt.PlaceAttempts; attempt++ {
 		residual := l.residualLocked(snap)
-		nodes, err := place(residual, minBW)
+		placeCtx, placeSpan := reqtrace.StartSpan(ctx, "lease.place")
+		placeSpan.SetAttr("attempt", fmt.Sprint(attempt))
+		nodes, err := place(placeCtx, residual, minBW)
 		if err != nil {
+			placeSpan.Fail(err)
+			placeSpan.End()
 			l.stats.Rejected++
 			// The escalated floor made placement infeasible: the previous
 			// round's admission shortfall is the real, nameable bottleneck.
@@ -479,9 +500,10 @@ func (l *Ledger) AcquireShaped(snap *topology.Snapshot, d Demand, ttl time.Durat
 			}
 			return Info{}, err
 		}
+		placeSpan.End()
 		debits, adm := l.admissionCheck(residual, nodes, d)
 		if adm == nil {
-			return l.commitLocked(nodes, d, shape, debits, now, ttl)
+			return l.commitLocked(ctx, nodes, d, shape, debits, now, ttl)
 		}
 		lastAdm = adm
 		if adm.Kind == "link" && adm.Need > minBW {
@@ -505,7 +527,18 @@ func (l *Ledger) AcquireShaped(snap *topology.Snapshot, d Demand, ttl time.Durat
 // residual view and the lease's per-flow bandwidth demand as the floor;
 // returning the current node set is a successful no-op. The lease keeps
 // its ID, demand, shape and expiry — migration does not extend the term.
-func (l *Ledger) Migrate(snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
+func (l *Ledger) Migrate(ctx context.Context, snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
+	ctx, span := reqtrace.StartSpan(ctx, "lease.migrate")
+	span.SetAttr("lease", id)
+	defer span.End()
+	info, err := l.migrate(ctx, snap, id, place)
+	if err != nil {
+		span.Fail(err)
+	}
+	return info, err
+}
+
+func (l *Ledger) migrate(ctx context.Context, snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
 	if snap == nil || snap.Graph != l.g {
 		return Info{}, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
 	}
@@ -528,11 +561,15 @@ func (l *Ledger) Migrate(snap *topology.Snapshot, id string, place PlaceFunc) (I
 	}
 
 	residual := l.residualLocked(snap)
-	nodes, err := place(residual, ls.Demand.BW)
+	placeCtx, placeSpan := reqtrace.StartSpan(ctx, "lease.place")
+	nodes, err := place(placeCtx, residual, ls.Demand.BW)
 	if err != nil {
+		placeSpan.Fail(err)
+		placeSpan.End()
 		l.stats.Rejected++
 		return Info{}, err
 	}
+	placeSpan.End()
 	nodes = append([]int(nil), nodes...)
 	sort.Ints(nodes)
 	if sameNodeSet(nodes, ls.Nodes) {
@@ -553,7 +590,7 @@ func (l *Ledger) Migrate(snap *topology.Snapshot, id string, place PlaceFunc) (I
 	if l.opt.WAL != nil {
 		rec := acquireRecord(l.g, &moved)
 		rec.Op = opMigrate
-		if err := l.opt.WAL.append(rec); err != nil {
+		if err := l.opt.WAL.append(ctx, rec); err != nil {
 			return Info{}, fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -632,7 +669,7 @@ func (l *Ledger) admissionCheck(residual *topology.Snapshot, nodes []int, d Dema
 
 // commitLocked records an admitted placement: WAL first (an append failure
 // aborts the admit), then the in-memory debits. Callers hold l.mu.
-func (l *Ledger) commitLocked(nodes []int, d Demand, shape *Shape, debits map[int]float64, now time.Time, ttl time.Duration) (Info, error) {
+func (l *Ledger) commitLocked(ctx context.Context, nodes []int, d Demand, shape *Shape, debits map[int]float64, now time.Time, ttl time.Duration) (Info, error) {
 	ls := &Lease{
 		ID:      fmt.Sprintf("lease-%d", l.nextID),
 		Nodes:   append([]int(nil), nodes...),
@@ -644,7 +681,7 @@ func (l *Ledger) commitLocked(nodes []int, d Demand, shape *Shape, debits map[in
 	}
 	sort.Ints(ls.Nodes)
 	if l.opt.WAL != nil {
-		if err := l.opt.WAL.append(acquireRecord(l.g, ls)); err != nil {
+		if err := l.opt.WAL.append(ctx, acquireRecord(l.g, ls)); err != nil {
 			return Info{}, fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -670,7 +707,18 @@ func (l *Ledger) commitLocked(nodes []int, d Demand, shape *Shape, debits map[in
 // admissions may have been granted on that basis, so resurrecting the
 // reservation could oversubscribe; the caller gets the typed ErrExpired
 // (distinct from ErrNotFound) and must re-admit through Acquire.
-func (l *Ledger) Renew(id string, ttl time.Duration) (Info, error) {
+func (l *Ledger) Renew(ctx context.Context, id string, ttl time.Duration) (Info, error) {
+	ctx, span := reqtrace.StartSpan(ctx, "lease.renew")
+	span.SetAttr("lease", id)
+	defer span.End()
+	info, err := l.renew(ctx, id, ttl)
+	if err != nil {
+		span.Fail(err)
+	}
+	return info, err
+}
+
+func (l *Ledger) renew(ctx context.Context, id string, ttl time.Duration) (Info, error) {
 	ttl = l.clampTTL(ttl)
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -688,7 +736,7 @@ func (l *Ledger) Renew(id string, ttl time.Duration) (Info, error) {
 	}
 	ls.Expiry = now.Add(ttl)
 	if l.opt.WAL != nil {
-		if err := l.opt.WAL.append(walRecord{Op: opRenew, ID: id, ExpiryUnixMS: ls.Expiry.UnixMilli()}); err != nil {
+		if err := l.opt.WAL.append(ctx, walRecord{Op: opRenew, ID: id, ExpiryUnixMS: ls.Expiry.UnixMilli()}); err != nil {
 			return Info{}, fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -699,7 +747,18 @@ func (l *Ledger) Renew(id string, ttl time.Duration) (Info, error) {
 }
 
 // Release returns a lease's capacity to the pool.
-func (l *Ledger) Release(id string) error {
+func (l *Ledger) Release(ctx context.Context, id string) error {
+	ctx, span := reqtrace.StartSpan(ctx, "lease.release")
+	span.SetAttr("lease", id)
+	defer span.End()
+	err := l.release(ctx, id)
+	if err != nil {
+		span.Fail(err)
+	}
+	return err
+}
+
+func (l *Ledger) release(ctx context.Context, id string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sweepLocked(l.opt.Now())
@@ -708,7 +767,7 @@ func (l *Ledger) Release(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if l.opt.WAL != nil {
-		if err := l.opt.WAL.append(walRecord{Op: opRelease, ID: id}); err != nil {
+		if err := l.opt.WAL.append(ctx, walRecord{Op: opRelease, ID: id}); err != nil {
 			return fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -752,7 +811,7 @@ func (l *Ledger) sweepLocked(now time.Time) int {
 		if l.opt.WAL != nil {
 			// Expiry is derivable from timestamps at recovery; a failed
 			// append must not keep dead capacity reserved, so log best-effort.
-			l.opt.WAL.append(walRecord{Op: opExpire, ID: ls.ID})
+			l.opt.WAL.append(context.Background(), walRecord{Op: opExpire, ID: ls.ID})
 		}
 		l.dropLocked(ls)
 		l.stats.Expired++

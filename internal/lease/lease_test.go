@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -37,7 +38,7 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 // balancedPlace adapts core's balanced algorithm to a PlaceFunc.
 func balancedPlace(m int, cpuFloor float64) PlaceFunc {
-	return func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+	return func(_ context.Context, residual *topology.Snapshot, minBW float64) ([]int, error) {
 		res, err := core.Balanced(residual, core.Request{M: m, MinBW: minBW, MinCPU: cpuFloor})
 		if err != nil {
 			return nil, err
@@ -60,7 +61,7 @@ func TestAcquireDebitsAndRelease(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 6, Options{Now: clock.Now})
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.4, BW: 30e6}, time.Minute, balancedPlace(3, 0.4))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.4, BW: 30e6}, time.Minute, balancedPlace(3, 0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestAcquireDebitsAndRelease(t *testing.T) {
 		}
 	}
 
-	if err := l.Release(info.ID); err != nil {
+	if err := l.Release(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
 	if l.Len() != 0 {
@@ -128,7 +129,7 @@ func TestAcquireDebitsAndRelease(t *testing.T) {
 	if r := l.Residual(snap); r != snap {
 		t.Fatal("empty ledger should return the snapshot unchanged")
 	}
-	if err := l.Release(info.ID); !errors.Is(err, ErrNotFound) {
+	if err := l.Release(context.Background(), info.ID); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double release err = %v", err)
 	}
 }
@@ -141,11 +142,11 @@ func TestAdmissionRejectsAndNamesBottleneck(t *testing.T) {
 
 	// Two 3-node apps exhaust all 6 access links (60e6 of 100e6 each).
 	for i := 0; i < 2; i++ {
-		if _, err := l.Acquire(snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0)); err != nil {
+		if _, err := l.Acquire(context.Background(), snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0)); err != nil {
 			t.Fatalf("app %d: %v", i, err)
 		}
 	}
-	_, err := l.Acquire(snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0))
+	_, err := l.Acquire(context.Background(), snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0))
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -171,12 +172,12 @@ func TestAdmissionRejectsAndNamesBottleneck(t *testing.T) {
 func TestAdmissionRejectsOnCPU(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 3, Options{Now: clock.Now})
-	if _, err := l.Acquire(snap, Demand{CPU: 0.7}, time.Minute, balancedPlace(3, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.7}, time.Minute, balancedPlace(3, 0)); err != nil {
 		t.Fatal(err)
 	}
 	// All three nodes hold only 0.3 uncommitted; the placer ignores the
 	// CPU floor here, so the post-check must catch it.
-	_, err := l.Acquire(snap, Demand{CPU: 0.7}, time.Minute, balancedPlace(3, 0))
+	_, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.7}, time.Minute, balancedPlace(3, 0))
 	var adm *AdmissionError
 	if !errors.As(err, &adm) || adm.Kind != "node" {
 		t.Fatalf("err = %v", err)
@@ -194,7 +195,7 @@ func TestFloorEscalation(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 12, Options{Now: clock.Now})
 	for i := 0; i < 4; i++ {
-		info, err := l.Acquire(snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0))
+		info, err := l.Acquire(context.Background(), snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0))
 		if err != nil {
 			t.Fatalf("app %d: %v", i, err)
 		}
@@ -203,7 +204,7 @@ func TestFloorEscalation(t *testing.T) {
 		}
 	}
 	// 12 nodes / 3 per app = full; the fifth is rejected.
-	if _, err := l.Acquire(snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0)); !errors.Is(err, ErrRejected) {
+	if _, err := l.Acquire(context.Background(), snap, Demand{BW: 30e6}, time.Minute, balancedPlace(3, 0)); !errors.Is(err, ErrRejected) {
 		t.Fatalf("fifth app err = %v", err)
 	}
 	// No link ever oversubscribed.
@@ -218,13 +219,13 @@ func TestFloorEscalation(t *testing.T) {
 func TestRenewAndExpiry(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 6, Options{Now: clock.Now})
-	info, err := l.Acquire(snap, Demand{CPU: 0.5}, 10*time.Second, balancedPlace(2, 0))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.5}, 10*time.Second, balancedPlace(2, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	clock.Advance(8 * time.Second)
-	renewed, err := l.Renew(info.ID, 10*time.Second)
+	renewed, err := l.Renew(context.Background(), info.ID, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestRenewAndExpiry(t *testing.T) {
 	if n := l.Sweep(); n != 1 {
 		t.Fatalf("swept %d leases, want 1", n)
 	}
-	if _, err := l.Renew(info.ID, 0); !errors.Is(err, ErrNotFound) {
+	if _, err := l.Renew(context.Background(), info.ID, 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("renew after expiry err = %v", err)
 	}
 	nodeCPU, _ := l.Committed()
@@ -259,14 +260,14 @@ func TestTTLClamping(t *testing.T) {
 	l, snap := newStarLedger(t, 4, Options{
 		Now: clock.Now, DefaultTTL: 7 * time.Second, MaxTTL: 20 * time.Second,
 	})
-	a, err := l.Acquire(snap, Demand{}, 0, balancedPlace(1, 0))
+	a, err := l.Acquire(context.Background(), snap, Demand{}, 0, balancedPlace(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.TTLSeconds != 7 {
 		t.Fatalf("default ttl = %v", a.TTLSeconds)
 	}
-	b, err := l.Acquire(snap, Demand{}, time.Hour, balancedPlace(1, 0))
+	b, err := l.Acquire(context.Background(), snap, Demand{}, time.Hour, balancedPlace(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestBadDemand(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 3, Options{Now: clock.Now})
 	for _, d := range []Demand{{CPU: -0.1}, {CPU: 1.5}, {BW: -1}, {BW: math.Inf(1)}} {
-		if _, err := l.Acquire(snap, d, 0, balancedPlace(1, 0)); !errors.Is(err, ErrBadDemand) {
+		if _, err := l.Acquire(context.Background(), snap, d, 0, balancedPlace(1, 0)); !errors.Is(err, ErrBadDemand) {
 			t.Fatalf("demand %+v err = %v", d, err)
 		}
 	}
@@ -290,10 +291,10 @@ func TestEvents(t *testing.T) {
 	l, snap := newStarLedger(t, 6, Options{Now: clock.Now})
 	var ops []string
 	l.SetOnEvent(func(op string, _ *Lease) { ops = append(ops, op) })
-	info, _ := l.Acquire(snap, Demand{}, time.Minute, balancedPlace(1, 0))
-	l.Renew(info.ID, time.Minute)
-	l.Release(info.ID)
-	info2, _ := l.Acquire(snap, Demand{}, time.Second, balancedPlace(1, 0))
+	info, _ := l.Acquire(context.Background(), snap, Demand{}, time.Minute, balancedPlace(1, 0))
+	l.Renew(context.Background(), info.ID, time.Minute)
+	l.Release(context.Background(), info.ID)
+	info2, _ := l.Acquire(context.Background(), snap, Demand{}, time.Second, balancedPlace(1, 0))
 	_ = info2
 	clock.Advance(2 * time.Second)
 	l.Sweep()
@@ -328,7 +329,7 @@ func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			place := func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+			place := func(_ context.Context, residual *topology.Snapshot, minBW float64) ([]int, error) {
 				res, err := core.SelectOpt(core.AlgoBalanced, residual,
 					core.Request{M: 2, MinBW: minBW, MinCPU: demand.CPU}, src, core.Options{})
 				if err != nil {
@@ -336,7 +337,7 @@ func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
 				}
 				return res.Nodes, nil
 			}
-			if _, err := l.Acquire(snap, demand, time.Minute, place); err == nil {
+			if _, err := l.Acquire(context.Background(), snap, demand, time.Minute, place); err == nil {
 				mu.Lock()
 				admitted++
 				mu.Unlock()
@@ -369,7 +370,7 @@ func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
 
 func TestStartSweeper(t *testing.T) {
 	l, snap := newStarLedger(t, 4, Options{})
-	if _, err := l.Acquire(snap, Demand{}, 30*time.Millisecond, balancedPlace(1, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), snap, Demand{}, 30*time.Millisecond, balancedPlace(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	stop := l.StartSweeper(10 * time.Millisecond)

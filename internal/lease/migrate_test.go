@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // fixedPlace is a PlaceFunc that ignores the residual view and returns a
 // predetermined node set — handy for steering handovers in tests.
 func fixedPlace(nodes ...int) PlaceFunc {
-	return func(*topology.Snapshot, float64) ([]int, error) {
+	return func(context.Context, *topology.Snapshot, float64) ([]int, error) {
 		return append([]int(nil), nodes...), nil
 	}
 }
@@ -25,13 +26,13 @@ func TestRenewExpiredLeaseRejects(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 4, Options{Now: clock.Now})
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.8}, time.Minute, fixedPlace(1, 2))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.8}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute) // past expiry; no sweep has run
 
-	_, err = l.Renew(info.ID, time.Minute)
+	_, err = l.Renew(context.Background(), info.ID, time.Minute)
 	if !errors.Is(err, ErrExpired) {
 		t.Fatalf("renew after expiry: err = %v, want ErrExpired", err)
 	}
@@ -40,7 +41,7 @@ func TestRenewExpiredLeaseRejects(t *testing.T) {
 	}
 	// The reservation must not have been resurrected: the capacity is free
 	// again, so a conflicting admission on the same nodes succeeds.
-	if _, err := l.Acquire(snap, Demand{CPU: 0.8}, time.Minute, fixedPlace(1, 2)); err != nil {
+	if _, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.8}, time.Minute, fixedPlace(1, 2)); err != nil {
 		t.Fatalf("capacity not reclaimed after rejected renew: %v", err)
 	}
 	if st := l.Stats(); st.Expired != 1 || st.Renewed != 0 {
@@ -55,13 +56,13 @@ func TestMigrateHandover(t *testing.T) {
 	var ops []string
 	l.SetOnEvent(func(op string, ls *Lease) { ops = append(ops, op) })
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.5, BW: 20e6}, 5*time.Minute, fixedPlace(1, 2, 3))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.5, BW: 20e6}, 5*time.Minute, fixedPlace(1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	v0 := l.Version()
 
-	moved, err := l.Migrate(snap, info.ID, fixedPlace(4, 5, 6))
+	moved, err := l.Migrate(context.Background(), snap, info.ID, fixedPlace(4, 5, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,13 +122,13 @@ func TestMigrateRejectsWhenNewSetCannotFitAlongside(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 4, Options{Now: clock.Now})
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.6}, time.Minute, fixedPlace(1, 2))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.6}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	v0 := l.Version()
 
-	_, err = l.Migrate(snap, info.ID, fixedPlace(2, 3))
+	_, err = l.Migrate(context.Background(), snap, info.ID, fixedPlace(2, 3))
 	var adm *AdmissionError
 	if !errors.As(err, &adm) {
 		t.Fatalf("migrate onto an overlapping node: err = %v, want AdmissionError", err)
@@ -155,13 +156,13 @@ func TestMigrateSameNodesIsNoOp(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 4, Options{Now: clock.Now})
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.4, BW: 10e6}, time.Minute, fixedPlace(1, 2))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.4, BW: 10e6}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	v0 := l.Version()
 
-	same, err := l.Migrate(snap, info.ID, fixedPlace(2, 1)) // unsorted on purpose
+	same, err := l.Migrate(context.Background(), snap, info.ID, fixedPlace(2, 1)) // unsorted on purpose
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,27 +181,27 @@ func TestMigrateErrors(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 4, Options{Now: clock.Now})
 
-	if _, err := l.Migrate(snap, "lease-99", fixedPlace(1)); !errors.Is(err, ErrNotFound) {
+	if _, err := l.Migrate(context.Background(), snap, "lease-99", fixedPlace(1)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("migrate of unknown lease: err = %v, want ErrNotFound", err)
 	}
 
-	info, err := l.Acquire(snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(1, 2))
+	info, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Minute)
-	if _, err := l.Migrate(snap, info.ID, fixedPlace(3)); !errors.Is(err, ErrExpired) {
+	if _, err := l.Migrate(context.Background(), snap, info.ID, fixedPlace(3)); !errors.Is(err, ErrExpired) {
 		t.Fatalf("migrate of expired lease: err = %v, want ErrExpired", err)
 	}
 
-	info2, err := l.Acquire(snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(1, 2))
+	info2, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Migrate(snap, info2.ID, fixedPlace(3)); !errors.Is(err, ErrClosed) {
+	if _, err := l.Migrate(context.Background(), snap, info2.ID, fixedPlace(3)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("migrate on a closed ledger: err = %v, want ErrClosed", err)
 	}
 }
@@ -209,11 +210,11 @@ func TestResidualExcluding(t *testing.T) {
 	clock := newFakeClock()
 	l, snap := newStarLedger(t, 6, Options{Now: clock.Now})
 
-	a, err := l.Acquire(snap, Demand{CPU: 0.5, BW: 30e6}, time.Minute, fixedPlace(1, 2))
+	a, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.5, BW: 30e6}, time.Minute, fixedPlace(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := l.Acquire(snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(2, 3))
+	b, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.3}, time.Minute, fixedPlace(2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestResidualExcluding(t *testing.T) {
 	}
 
 	// Sole tenant: excluding the only lease yields the raw snapshot.
-	if err := l.Release(b.ID); err != nil {
+	if err := l.Release(context.Background(), b.ID); err != nil {
 		t.Fatal(err)
 	}
 	resid, err = l.ResidualExcluding(snap, a.ID)
@@ -262,14 +263,14 @@ func TestWALPersistsShapeAndMigration(t *testing.T) {
 	snap := newSnap(l)
 
 	shape := &Shape{M: 3, Algo: "balanced", MinBW: 10e6, MinCPU: 0.4, Pin: []string{"n-1"}}
-	info, err := l.AcquireShaped(snap, Demand{CPU: 0.4, BW: 10e6}, 10*time.Minute, shape, fixedPlace(1, 2, 3))
+	info, err := l.AcquireShaped(context.Background(), snap, Demand{CPU: 0.4, BW: 10e6}, 10*time.Minute, shape, fixedPlace(1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Request == nil || info.Request.M != 3 || info.Request.Algo != "balanced" {
 		t.Fatalf("acquire info shape = %+v", info.Request)
 	}
-	if _, err := l.Migrate(snap, info.ID, fixedPlace(4, 5, 6)); err != nil {
+	if _, err := l.Migrate(context.Background(), snap, info.ID, fixedPlace(4, 5, 6)); err != nil {
 		t.Fatal(err)
 	}
 

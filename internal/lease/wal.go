@@ -2,12 +2,14 @@ package lease
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/topology"
 )
 
@@ -51,6 +53,10 @@ type walRecord struct {
 	// timezone-free.
 	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
 	ExpiryUnixMS  int64 `json:"expiry_unix_ms,omitempty"`
+	// RequestID correlates the record with the request trace that caused
+	// the transition — the same ID the service echoed in X-Request-ID.
+	// Background transitions (expiry sweeps) log without one.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // acquireRecord renders a lease as its WAL form.
@@ -205,8 +211,23 @@ func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
 
 // append writes one record and syncs it to disk. The ledger calls this
 // *before* mutating in-memory state, so a crash never loses an
-// acknowledged transition.
-func (w *WAL) append(rec walRecord) error {
+// acknowledged transition. The record is stamped with the context's
+// trace ID, and the write+fsync is timed as a "wal.fsync" span — fsync is
+// the one disk wait on the admission path, so it gets its own span.
+func (w *WAL) append(ctx context.Context, rec walRecord) error {
+	if rec.RequestID == "" {
+		rec.RequestID = reqtrace.TraceID(ctx)
+	}
+	span := reqtrace.StartChild(ctx, "wal.fsync")
+	defer span.End()
+	err := w.appendRecord(rec)
+	if err != nil {
+		span.Fail(err)
+	}
+	return err
+}
+
+func (w *WAL) appendRecord(rec walRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

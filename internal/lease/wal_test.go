@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,18 +70,18 @@ func TestWALRestartRecoversActiveLeases(t *testing.T) {
 	l, dir := newWALLedger(t, 8, clock)
 	snap := newSnap(l)
 
-	a, err := l.Acquire(snap, Demand{CPU: 0.3, BW: 20e6}, time.Minute, balancedPlace(3, 0))
+	a, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.3, BW: 20e6}, time.Minute, balancedPlace(3, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := l.Acquire(snap, Demand{CPU: 0.2}, 2*time.Minute, balancedPlace(2, 0))
+	b, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.2}, 2*time.Minute, balancedPlace(2, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Release(b.ID); err != nil {
+	if err := l.Release(context.Background(), b.ID); err != nil {
 		t.Fatal(err)
 	}
-	c, err := l.Acquire(snap, Demand{BW: 10e6}, 30*time.Second, balancedPlace(2, 0))
+	c, err := l.Acquire(context.Background(), snap, Demand{BW: 10e6}, 30*time.Second, balancedPlace(2, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestWALRestartRecoversActiveLeases(t *testing.T) {
 	}
 	// IDs continue past everything ever issued (b was released, its ID is
 	// still burned).
-	d, err := l2.Acquire(newSnap(l2), Demand{}, time.Minute, balancedPlace(1, 0))
+	d, err := l2.Acquire(context.Background(), newSnap(l2), Demand{}, time.Minute, balancedPlace(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,10 +122,10 @@ func TestWALRecoverySkipsExpired(t *testing.T) {
 	clock := newFakeClock()
 	l, dir := newWALLedger(t, 4, clock)
 	snap := newSnap(l)
-	if _, err := l.Acquire(snap, Demand{}, 10*time.Second, balancedPlace(1, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), snap, Demand{}, 10*time.Second, balancedPlace(1, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Acquire(snap, Demand{}, 10*time.Minute, balancedPlace(1, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), snap, Demand{}, 10*time.Minute, balancedPlace(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Minute) // first lease dead, second alive
@@ -140,11 +141,11 @@ func TestWALRecoverySkipsExpired(t *testing.T) {
 func TestWALRenewSurvivesRestart(t *testing.T) {
 	clock := newFakeClock()
 	l, dir := newWALLedger(t, 4, clock)
-	info, err := l.Acquire(newSnap(l), Demand{}, 10*time.Second, balancedPlace(1, 0))
+	info, err := l.Acquire(context.Background(), newSnap(l), Demand{}, 10*time.Second, balancedPlace(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Renew(info.ID, 10*time.Minute); err != nil {
+	if _, err := l.Renew(context.Background(), info.ID, 10*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Minute) // past the original expiry, within the renewal
@@ -173,11 +174,11 @@ func TestWALCompaction(t *testing.T) {
 	snap := newSnap(l)
 	// Churn enough acquire+release pairs to cross the threshold.
 	for i := 0; i < 10; i++ {
-		info, err := l.Acquire(snap, Demand{}, time.Minute, balancedPlace(1, 0))
+		info, err := l.Acquire(context.Background(), snap, Demand{}, time.Minute, balancedPlace(1, 0))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := l.Release(info.ID); err != nil {
+		if err := l.Release(context.Background(), info.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func TestWALCompaction(t *testing.T) {
 		t.Fatalf("no snapshot written: %v", err)
 	}
 	// Keep one live lease, restart, verify it survives compaction + replay.
-	live, err := l.Acquire(snap, Demand{CPU: 0.1}, time.Minute, balancedPlace(1, 0))
+	live, err := l.Acquire(context.Background(), snap, Demand{CPU: 0.1}, time.Minute, balancedPlace(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestWALCompaction(t *testing.T) {
 	if _, ok := l2.Get(live.ID); !ok {
 		t.Fatal("live lease lost after compaction and restart")
 	}
-	if next, err := l2.Acquire(snap, Demand{}, time.Minute, balancedPlace(1, 0)); err != nil {
+	if next, err := l2.Acquire(context.Background(), snap, Demand{}, time.Minute, balancedPlace(1, 0)); err != nil {
 		t.Fatal(err)
 	} else if leaseSeq(next.ID) <= leaseSeq(live.ID) {
 		t.Fatalf("ID %s reused after compaction (last was %s)", next.ID, live.ID)
@@ -210,7 +211,7 @@ func TestWALCompaction(t *testing.T) {
 func TestWALToleratesTornTail(t *testing.T) {
 	clock := newFakeClock()
 	l, dir := newWALLedger(t, 4, clock)
-	if _, err := l.Acquire(newSnap(l), Demand{}, time.Minute, balancedPlace(1, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), newSnap(l), Demand{}, time.Minute, balancedPlace(1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -239,7 +240,7 @@ func TestWALToleratesTornTail(t *testing.T) {
 func TestWALRecoverySkipsUnknownNodes(t *testing.T) {
 	clock := newFakeClock()
 	l, dir := newWALLedger(t, 4, clock)
-	if _, err := l.Acquire(newSnap(l), Demand{CPU: 0.2}, time.Hour, balancedPlace(2, 0)); err != nil {
+	if _, err := l.Acquire(context.Background(), newSnap(l), Demand{CPU: 0.2}, time.Hour, balancedPlace(2, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -268,7 +269,7 @@ func TestAcquireFailsWhenWALUnwritable(t *testing.T) {
 	if err := l.Close(); err != nil { // closes the WAL file
 		t.Fatal(err)
 	}
-	_, err := l.Acquire(newSnap(l), Demand{}, time.Minute, balancedPlace(1, 0))
+	_, err := l.Acquire(context.Background(), newSnap(l), Demand{}, time.Minute, balancedPlace(1, 0))
 	if err == nil {
 		t.Fatal("acquire succeeded with a closed WAL")
 	}

@@ -261,6 +261,15 @@ type GaugeVec struct{ v *vec[Gauge] }
 // use.
 func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(values) }
 
+// HistogramVec is a histogram partitioned by label values (e.g. request
+// latency by route and status class). Every child shares the same bucket
+// bounds.
+type HistogramVec struct{ v *vec[Histogram] }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (h *HistogramVec) With(values ...string) *Histogram { return h.v.with(values) }
+
 // Metric type names as rendered in TYPE lines and JSON dumps.
 const (
 	typeCounter   = "counter"
@@ -275,7 +284,7 @@ type family struct {
 	help   string
 	typ    string
 	labels []string
-	metric any // *Counter | *Gauge | GaugeFunc | *Histogram | *CounterVec | *GaugeVec
+	metric any // *Counter | *Gauge | GaugeFunc | *Histogram | *CounterVec | *GaugeVec | *HistogramVec
 }
 
 var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
@@ -357,6 +366,23 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 	}
 	h := newHistogram(buckets)
 	r.register(name, help, typeHistogram, nil, h)
+	return h
+}
+
+// NewHistogramVec registers and returns a labeled histogram family with
+// the given bucket upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: vec needs at least one label")
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	// Validate the bounds once up front so a bad scheme panics at
+	// registration, not on first Observe.
+	newHistogram(buckets)
+	h := &HistogramVec{v: newVec(labels, func() *Histogram { return newHistogram(buckets) })}
+	r.register(name, help, typeHistogram, labels, h)
 	return h
 }
 

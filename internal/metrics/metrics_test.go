@@ -240,3 +240,112 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatal("vec lost updates")
 	}
 }
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("http_request_seconds", "Request latency.", []float64{0.01, 0.1}, "route", "status_class")
+	hv.With("select", "2xx").Observe(0.005)
+	hv.With("select", "2xx").Observe(0.05)
+	hv.With("select", "5xx").Observe(0.2)
+
+	// Same label values return the same child.
+	if hv.With("select", "2xx") != hv.With("select", "2xx") {
+		t.Fatal("With not stable for equal label values")
+	}
+	if s := hv.With("select", "2xx").Snapshot(); s.Count != 2 || s.Buckets[0].Count != 1 {
+		t.Fatalf("2xx snapshot = %+v", s)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{route="select",status_class="2xx",le="0.01"} 1`,
+		`http_request_seconds_bucket{route="select",status_class="2xx",le="+Inf"} 2`,
+		`http_request_seconds_count{route="select",status_class="2xx"} 2`,
+		`http_request_seconds_bucket{route="select",status_class="5xx",le="0.1"} 0`,
+		`http_request_seconds_count{route="select",status_class="5xx"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must still be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestHistogramVecJSON(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("lat", "", []float64{1}, "route")
+	hv.With("select").Observe(0.5)
+	hv.With("select").Observe(2)
+	hv.With("traces").Observe(0.1)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type       string `json:"type"`
+		Histograms []struct {
+			Labels  map[string]string `json:"labels"`
+			Count   uint64            `json:"count"`
+			Sum     float64           `json:"sum"`
+			Buckets []struct {
+				LE    any    `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	f := out["lat"]
+	if f.Type != "histogram" || len(f.Histograms) != 2 {
+		t.Fatalf("lat = %+v", f)
+	}
+	// Children sort by label values: "select" before "traces".
+	sel := f.Histograms[0]
+	if sel.Labels["route"] != "select" || sel.Count != 2 || sel.Sum != 2.5 {
+		t.Errorf("select child = %+v", sel)
+	}
+	if len(sel.Buckets) != 2 || sel.Buckets[0].Count != 1 || sel.Buckets[1].LE != "+Inf" {
+		t.Errorf("select buckets = %+v", sel.Buckets)
+	}
+}
+
+func TestHistogramVecValidation(t *testing.T) {
+	r := NewRegistry()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no labels did not panic")
+			}
+		}()
+		r.NewHistogramVec("h1", "", nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate buckets did not panic at registration")
+			}
+		}()
+		r.NewHistogramVec("h2", "", []float64{1, 1}, "route")
+	}()
+	hv := r.NewHistogramVec("h3", "", nil, "route")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong label cardinality did not panic")
+			}
+		}()
+		hv.With("a", "b")
+	}()
+}

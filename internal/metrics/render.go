@@ -60,6 +60,19 @@ func labelString(names, values []string, extra string) string {
 	return b.String()
 }
 
+// labelBody renders k="v",... without the surrounding braces — the form
+// writeHistogram needs so it can splice in the le pair.
+func labelBody(names, values []string) string {
+	var b strings.Builder
+	for i := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, names[i], escapeLabel(values[i]))
+	}
+	return b.String()
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), families sorted by name and vec
 // children sorted by label values.
@@ -94,6 +107,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, c := range m.v.children() {
 				if _, err = fmt.Fprintf(w, "%s%s %s\n",
 					f.name, labelString(f.labels, c.values, ""), formatValue(c.m.Value())); err != nil {
+					break
+				}
+			}
+		case *HistogramVec:
+			for _, c := range m.v.children() {
+				if err = writeHistogram(w, f.name, labelBody(f.labels, c.values), c.m.Snapshot()); err != nil {
 					break
 				}
 			}
@@ -143,15 +162,24 @@ type jsonBucket struct {
 	Count uint64  `json:"count"`
 }
 
+// jsonHistogram is one labeled histogram child in the JSON dump.
+type jsonHistogram struct {
+	Labels  map[string]string `json:"labels"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []jsonBucket      `json:"buckets"`
+}
+
 // jsonFamily is one metric family in the JSON dump.
 type jsonFamily struct {
-	Type    string       `json:"type"`
-	Help    string       `json:"help,omitempty"`
-	Value   *float64     `json:"value,omitempty"`
-	Values  []jsonSample `json:"values,omitempty"`
-	Count   *uint64      `json:"count,omitempty"`
-	Sum     *float64     `json:"sum,omitempty"`
-	Buckets []jsonBucket `json:"buckets,omitempty"`
+	Type       string          `json:"type"`
+	Help       string          `json:"help,omitempty"`
+	Value      *float64        `json:"value,omitempty"`
+	Values     []jsonSample    `json:"values,omitempty"`
+	Count      *uint64         `json:"count,omitempty"`
+	Sum        *float64        `json:"sum,omitempty"`
+	Buckets    []jsonBucket    `json:"buckets,omitempty"`
+	Histograms []jsonHistogram `json:"histograms,omitempty"`
 }
 
 // WriteJSON dumps the registry as a single JSON object keyed by metric
@@ -182,6 +210,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		case *GaugeVec:
 			for _, c := range m.v.children() {
 				jf.Values = append(jf.Values, jsonSample{Labels: labelMap(f.labels, c.values), Value: c.m.Value()})
+			}
+		case *HistogramVec:
+			for _, c := range m.v.children() {
+				s := c.m.Snapshot()
+				jh := jsonHistogram{Labels: labelMap(f.labels, c.values), Count: s.Count, Sum: s.Sum}
+				for _, b := range s.Buckets {
+					jh.Buckets = append(jh.Buckets, jsonBucket{LE: b.UpperBound, Count: b.Count})
+				}
+				jf.Histograms = append(jf.Histograms, jh)
 			}
 		}
 		out[f.name] = jf

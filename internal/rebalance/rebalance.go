@@ -28,6 +28,7 @@
 package rebalance
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"nodeselect/internal/core"
 	"nodeselect/internal/lease"
 	"nodeselect/internal/metrics"
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/topology"
 )
 
@@ -134,6 +136,9 @@ type Event struct {
 	Proposal Proposal
 	// Err is set on apply_failed.
 	Err error
+	// RequestID is the trace ID of the request (or poll) that drove the
+	// action — empty for untraced ticks.
+	RequestID string
 }
 
 // Metrics is the controller's instrument set.
@@ -282,8 +287,19 @@ func (c *Controller) Close() {
 // Tick runs one evaluation round against snap under the given epoch.
 // Same-epoch ticks are no-ops; degraded ticks consume the epoch without
 // evaluating (no migration decisions on stale measurements). Returns the
-// number of proposals raised this round.
-func (c *Controller) Tick(snap *topology.Snapshot, epoch Epoch, degraded bool) int {
+// number of proposals raised this round. The context carries the driving
+// poll's trace; the round is timed as a "rebalance.tick" span.
+func (c *Controller) Tick(ctx context.Context, snap *topology.Snapshot, epoch Epoch, degraded bool) int {
+	ctx, span := reqtrace.StartSpan(ctx, "rebalance.tick")
+	defer span.End()
+	raised := c.tick(ctx, snap, epoch, degraded)
+	if raised > 0 {
+		span.SetAttr("proposals", fmt.Sprint(raised))
+	}
+	return raised
+}
+
+func (c *Controller) tick(ctx context.Context, snap *topology.Snapshot, epoch Epoch, degraded bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -312,7 +328,7 @@ func (c *Controller) Tick(snap *topology.Snapshot, epoch Epoch, degraded bool) i
 			// with, so the lease is never re-placed.
 			continue
 		}
-		adv, ok := c.evaluateLocked(snap, info)
+		adv, ok := c.evaluateLocked(ctx, snap, info)
 		if !ok {
 			continue
 		}
@@ -362,7 +378,7 @@ func (c *Controller) Tick(snap *topology.Snapshot, epoch Epoch, degraded bool) i
 		if !existed {
 			c.m.proposals.Inc()
 			raised++
-			c.event(Event{Op: "propose", Proposal: *p})
+			c.event(Event{Op: "propose", Proposal: *p, RequestID: reqtrace.TraceID(ctx)})
 			budget--
 		}
 		c.pending[p.Lease] = p
@@ -370,7 +386,7 @@ func (c *Controller) Tick(snap *topology.Snapshot, epoch Epoch, degraded bool) i
 			if existed {
 				budget--
 			}
-			c.applyLocked(snap, p, now)
+			c.applyLocked(ctx, snap, p, now)
 		}
 	}
 	// Leases that were released or expired take their controller state with
@@ -390,7 +406,7 @@ func (c *Controller) Tick(snap *topology.Snapshot, epoch Epoch, degraded bool) i
 
 // evaluateLocked scores one lease's placement against the residual view
 // excluding its own reservation. Callers hold c.mu.
-func (c *Controller) evaluateLocked(snap *topology.Snapshot, info lease.Info) (core.MigrationAdvice, bool) {
+func (c *Controller) evaluateLocked(ctx context.Context, snap *topology.Snapshot, info lease.Info) (core.MigrationAdvice, bool) {
 	residual, err := c.ledger.ResidualExcluding(snap, info.ID)
 	if err != nil {
 		// Raced with release/expiry; the post-loop cleanup handles state.
@@ -425,7 +441,7 @@ func (c *Controller) evaluateLocked(snap *topology.Snapshot, info lease.Info) (c
 		// the policy's measurement-driven algorithm instead.
 		algo = c.policy.Algorithm
 	}
-	adv, err := core.AdviseMigration(residual, current, req, core.MigrationPolicy{
+	adv, err := core.AdviseMigrationCtx(ctx, residual, current, req, core.MigrationPolicy{
 		Algorithm:     algo,
 		MinGain:       c.policy.MinGain,
 		MigrationCost: c.policy.MigrationCost,
@@ -443,7 +459,18 @@ func (c *Controller) evaluateLocked(snap *topology.Snapshot, info lease.Info) (c
 // cooldown. Unknown lease IDs return lease.ErrNotFound; a proposal whose
 // new set no longer fits returns the binding-bottleneck AdmissionError
 // (and stays pending — conditions may improve).
-func (c *Controller) Apply(snap *topology.Snapshot, leaseID string) (lease.Info, error) {
+func (c *Controller) Apply(ctx context.Context, snap *topology.Snapshot, leaseID string) (lease.Info, error) {
+	ctx, span := reqtrace.StartSpan(ctx, "rebalance.apply")
+	span.SetAttr("lease", leaseID)
+	defer span.End()
+	info, err := c.apply(ctx, snap, leaseID)
+	if err != nil {
+		span.Fail(err)
+	}
+	return info, err
+}
+
+func (c *Controller) apply(ctx context.Context, snap *topology.Snapshot, leaseID string) (lease.Info, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -453,18 +480,18 @@ func (c *Controller) Apply(snap *topology.Snapshot, leaseID string) (lease.Info,
 	if !ok {
 		return lease.Info{}, fmt.Errorf("%w: no pending migration for %q", lease.ErrNotFound, leaseID)
 	}
-	return c.applyLocked(snap, p, c.policy.Now())
+	return c.applyLocked(ctx, snap, p, c.policy.Now())
 }
 
 // applyLocked performs the handover. Callers hold c.mu.
-func (c *Controller) applyLocked(snap *topology.Snapshot, p *Proposal, now time.Time) (lease.Info, error) {
+func (c *Controller) applyLocked(ctx context.Context, snap *topology.Snapshot, p *Proposal, now time.Time) (lease.Info, error) {
 	g := c.ledger.Graph()
 	target := make([]int, 0, len(p.To))
 	for _, name := range p.To {
 		id := g.NodeByName(name)
 		if id < 0 {
 			err := fmt.Errorf("%w: proposed node %q no longer exists", lease.ErrNotFound, name)
-			c.failLocked(p, err)
+			c.failLocked(ctx, p, err)
 			return lease.Info{}, err
 		}
 		target = append(target, id)
@@ -474,26 +501,26 @@ func (c *Controller) applyLocked(snap *topology.Snapshot, p *Proposal, now time.
 		// until the migrate below completes.
 		c.testHookBeforeMigrate()
 	}
-	info, err := c.ledger.Migrate(snap, p.Lease, func(*topology.Snapshot, float64) ([]int, error) {
+	info, err := c.ledger.Migrate(ctx, snap, p.Lease, func(context.Context, *topology.Snapshot, float64) ([]int, error) {
 		return target, nil
 	})
 	if err != nil {
-		c.failLocked(p, err)
+		c.failLocked(ctx, p, err)
 		return lease.Info{}, err
 	}
 	c.m.applied.Inc()
 	c.cooldown[p.Lease] = now.Add(c.policy.Cooldown)
 	delete(c.pending, p.Lease)
 	delete(c.streaks, p.Lease)
-	c.event(Event{Op: "apply", Proposal: *p})
+	c.event(Event{Op: "apply", Proposal: *p, RequestID: reqtrace.TraceID(ctx)})
 	return info, nil
 }
 
 // failLocked records a failed handover attempt. The proposal stays pending
 // unless the lease itself is gone. Callers hold c.mu.
-func (c *Controller) failLocked(p *Proposal, err error) {
+func (c *Controller) failLocked(ctx context.Context, p *Proposal, err error) {
 	c.m.applyFailures.Inc()
-	c.event(Event{Op: "apply_failed", Proposal: *p, Err: err})
+	c.event(Event{Op: "apply_failed", Proposal: *p, Err: err, RequestID: reqtrace.TraceID(ctx)})
 }
 
 // sameNames reports whether two sorted name slices are identical.

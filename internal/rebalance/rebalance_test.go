@@ -1,6 +1,7 @@
 package rebalance
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -43,7 +44,7 @@ type fixture struct {
 }
 
 func place(nodes ...int) lease.PlaceFunc {
-	return func(*topology.Snapshot, float64) ([]int, error) {
+	return func(context.Context, *topology.Snapshot, float64) ([]int, error) {
 		return append([]int(nil), nodes...), nil
 	}
 }
@@ -57,7 +58,7 @@ func newFixture(t *testing.T, n int) *fixture {
 		t.Fatal(err)
 	}
 	shape := &lease.Shape{M: 2, Algo: core.AlgoBalanced}
-	info, err := l.AcquireShaped(topology.NewSnapshot(g), lease.Demand{CPU: 0.1}, time.Hour, shape, place(1, 2))
+	info, err := l.AcquireShaped(context.Background(), topology.NewSnapshot(g), lease.Demand{CPU: 0.1}, time.Hour, shape, place(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,17 +80,17 @@ func TestTickDebouncesThenProposes(t *testing.T) {
 	f.loadCurrent()
 
 	v := f.ledger.Version()
-	if n := c.Tick(f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 0 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 0 {
 		t.Fatalf("first advice epoch raised %d proposals, want 0 (debounce)", n)
 	}
 	if got := c.m.suppressed.With("debounce").Value(); got != 1 {
 		t.Fatalf("debounce suppressions = %v, want 1", got)
 	}
 	// Same epoch again: a no-op, must not advance the streak.
-	if n := c.Tick(f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 0 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 0 {
 		t.Fatal("same-epoch tick must be a no-op")
 	}
-	if n := c.Tick(f.snap, Epoch{Polls: 2, Ledger: v}, false); n != 1 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 2, Ledger: v}, false); n != 1 {
 		t.Fatal("second consecutive advice epoch must raise the proposal")
 	}
 
@@ -119,7 +120,7 @@ func TestTickDebouncesThenProposes(t *testing.T) {
 		t.Fatalf("events = %+v, want one propose", events)
 	}
 	// Re-confirming epochs update the proposal without recounting it.
-	c.Tick(f.snap, Epoch{Polls: 3, Ledger: v}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 3, Ledger: v}, false)
 	if got := c.m.proposals.Value(); got != 1 {
 		t.Fatalf("proposals_total = %v after re-confirmation, want 1", got)
 	}
@@ -132,7 +133,7 @@ func TestDegradedTickSuppressesEvaluation(t *testing.T) {
 
 	v := f.ledger.Version()
 	for polls := 1; polls <= 3; polls++ {
-		if n := c.Tick(f.snap, Epoch{Polls: polls, Ledger: v}, true); n != 0 {
+		if n := c.Tick(context.Background(), f.snap, Epoch{Polls: polls, Ledger: v}, true); n != 0 {
 			t.Fatal("degraded tick must not raise proposals")
 		}
 	}
@@ -143,7 +144,7 @@ func TestDegradedTickSuppressesEvaluation(t *testing.T) {
 		t.Fatalf("evaluations = %v during degraded epochs, want 0", got)
 	}
 	// Health restored: the next epoch evaluates and proposes.
-	if n := c.Tick(f.snap, Epoch{Polls: 4, Ledger: v}, false); n != 1 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 4, Ledger: v}, false); n != 1 {
 		t.Fatal("healthy tick after degradation must propose")
 	}
 }
@@ -154,7 +155,7 @@ func TestAdviceLapseClearsProposal(t *testing.T) {
 	f.loadCurrent()
 
 	v := f.ledger.Version()
-	if n := c.Tick(f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 1 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: v}, false); n != 1 {
 		t.Fatal("want a proposal while the placement is loaded")
 	}
 	// Load moves off the current nodes onto everything else: staying is
@@ -164,7 +165,7 @@ func TestAdviceLapseClearsProposal(t *testing.T) {
 	for id := 3; id <= 6; id++ {
 		f.snap.SetLoad(id, 4)
 	}
-	c.Tick(f.snap, Epoch{Polls: 2, Ledger: v}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 2, Ledger: v}, false)
 	if props := c.Proposals(); len(props) != 0 {
 		t.Fatalf("lapsed advice left proposals pending: %v", props)
 	}
@@ -179,10 +180,10 @@ func TestBudgetLimitsProposalsPerEpoch(t *testing.T) {
 	}
 	idle := topology.NewSnapshot(g)
 	shape := &lease.Shape{M: 2, Algo: core.AlgoBalanced}
-	if _, err := l.AcquireShaped(idle, lease.Demand{CPU: 0.1}, time.Hour, shape, place(1, 2)); err != nil {
+	if _, err := l.AcquireShaped(context.Background(), idle, lease.Demand{CPU: 0.1}, time.Hour, shape, place(1, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.AcquireShaped(idle, lease.Demand{CPU: 0.1}, time.Hour, shape, place(3, 4)); err != nil {
+	if _, err := l.AcquireShaped(context.Background(), idle, lease.Demand{CPU: 0.1}, time.Hour, shape, place(3, 4)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -191,14 +192,14 @@ func TestBudgetLimitsProposalsPerEpoch(t *testing.T) {
 		snap.SetLoad(id, 4) // both leases badly placed
 	}
 	c := New(l, Policy{ConfirmEpochs: 1, MaxPerEpoch: 1, MinGain: 0.1, Now: clock.Now}, nil)
-	if n := c.Tick(snap, Epoch{Polls: 1, Ledger: l.Version()}, false); n != 1 {
+	if n := c.Tick(context.Background(), snap, Epoch{Polls: 1, Ledger: l.Version()}, false); n != 1 {
 		t.Fatalf("raised %d proposals under a budget of 1", n)
 	}
 	if got := c.m.suppressed.With("budget").Value(); got != 1 {
 		t.Fatalf("budget suppressions = %v, want 1", got)
 	}
 	// Next epoch the budget resets and the second lease gets its turn.
-	if n := c.Tick(snap, Epoch{Polls: 2, Ledger: l.Version()}, false); n != 1 {
+	if n := c.Tick(context.Background(), snap, Epoch{Polls: 2, Ledger: l.Version()}, false); n != 1 {
 		t.Fatal("budget must reset on the next epoch")
 	}
 	if len(c.Proposals()) != 2 {
@@ -216,7 +217,7 @@ func TestAutoAppliesAndCoolsDown(t *testing.T) {
 	c.SetOnEvent(func(ev Event) { events = append(events, ev) })
 	f.loadCurrent()
 
-	c.Tick(f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
 	if got := c.m.applied.Value(); got != 1 {
 		t.Fatalf("applied = %v, want 1 in auto mode", got)
 	}
@@ -246,7 +247,7 @@ func TestAutoAppliesAndCoolsDown(t *testing.T) {
 	}
 	f.snap.SetLoad(1, 0)
 	f.snap.SetLoad(2, 0)
-	c.Tick(f.snap, Epoch{Polls: 2, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 2, Ledger: f.ledger.Version()}, false)
 	if got := c.m.suppressed.With("cooldown").Value(); got != 1 {
 		t.Fatalf("cooldown suppressions = %v, want 1", got)
 	}
@@ -255,7 +256,7 @@ func TestAutoAppliesAndCoolsDown(t *testing.T) {
 	}
 	// After the cooldown, the sustained advice goes through again.
 	f.clock.Advance(2 * time.Minute)
-	c.Tick(f.snap, Epoch{Polls: 3, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 3, Ledger: f.ledger.Version()}, false)
 	if st := f.ledger.Stats(); st.Migrated != 2 {
 		t.Fatalf("ledger stats = %+v, want the post-cooldown migration", st)
 	}
@@ -265,12 +266,12 @@ func TestApplyAdvisoryHandover(t *testing.T) {
 	f := newFixture(t, 6)
 	c := New(f.ledger, Policy{ConfirmEpochs: 1, MinGain: 0.1, Now: f.clock.Now}, nil)
 	f.loadCurrent()
-	c.Tick(f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
 
-	if _, err := c.Apply(f.snap, "lease-404"); !errors.Is(err, lease.ErrNotFound) {
+	if _, err := c.Apply(context.Background(), f.snap, "lease-404"); !errors.Is(err, lease.ErrNotFound) {
 		t.Fatalf("apply of unknown lease: err = %v, want ErrNotFound", err)
 	}
-	info, err := c.Apply(f.snap, f.info.ID)
+	info, err := c.Apply(context.Background(), f.snap, f.info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestApplyAdvisoryHandover(t *testing.T) {
 		t.Fatal("applied proposal still pending")
 	}
 	// Applying twice: the proposal is gone.
-	if _, err := c.Apply(f.snap, f.info.ID); !errors.Is(err, lease.ErrNotFound) {
+	if _, err := c.Apply(context.Background(), f.snap, f.info.ID); !errors.Is(err, lease.ErrNotFound) {
 		t.Fatalf("second apply: err = %v, want ErrNotFound", err)
 	}
 }
@@ -292,16 +293,16 @@ func TestApplyRejectedKeepsProposalPending(t *testing.T) {
 	f := newFixture(t, 4) // star of 4: current {1,2}, only {3,4} left
 	c := New(f.ledger, Policy{ConfirmEpochs: 1, MinGain: 0.1, Now: f.clock.Now}, nil)
 	f.loadCurrent()
-	if n := c.Tick(f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false); n != 1 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false); n != 1 {
 		t.Fatal("want a proposal")
 	}
 	// A competitor takes nearly all CPU on the proposed destination before
 	// the operator applies: the handover's at-apply-time admission check
 	// must reject, and the proposal survives for when capacity returns.
-	if _, err := f.ledger.Acquire(f.snap, lease.Demand{CPU: 0.95}, time.Hour, place(3, 4)); err != nil {
+	if _, err := f.ledger.Acquire(context.Background(), f.snap, lease.Demand{CPU: 0.95}, time.Hour, place(3, 4)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Apply(f.snap, f.info.ID)
+	_, err := c.Apply(context.Background(), f.snap, f.info.ID)
 	var adm *lease.AdmissionError
 	if !errors.As(err, &adm) {
 		t.Fatalf("apply onto reserved nodes: err = %v, want AdmissionError", err)
@@ -325,14 +326,14 @@ func TestUnshapedLeaseNeverRebalanced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Acquire(topology.NewSnapshot(g), lease.Demand{CPU: 0.1}, time.Hour, place(1, 2)); err != nil {
+	if _, err := l.Acquire(context.Background(), topology.NewSnapshot(g), lease.Demand{CPU: 0.1}, time.Hour, place(1, 2)); err != nil {
 		t.Fatal(err)
 	}
 	snap := topology.NewSnapshot(g)
 	snap.SetLoad(1, 4)
 	snap.SetLoad(2, 4)
 	c := New(l, Policy{ConfirmEpochs: 1, Now: clock.Now}, nil)
-	if n := c.Tick(snap, Epoch{Polls: 1, Ledger: l.Version()}, false); n != 0 {
+	if n := c.Tick(context.Background(), snap, Epoch{Polls: 1, Ledger: l.Version()}, false); n != 0 {
 		t.Fatal("a lease without a recorded shape must never be proposed")
 	}
 	if got := c.m.evaluations.Value(); got != 0 {
@@ -344,14 +345,14 @@ func TestReleasedLeaseDropsControllerState(t *testing.T) {
 	f := newFixture(t, 6)
 	c := New(f.ledger, Policy{ConfirmEpochs: 1, MinGain: 0.1, Now: f.clock.Now}, nil)
 	f.loadCurrent()
-	c.Tick(f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false)
 	if len(c.Proposals()) != 1 {
 		t.Fatal("want a proposal")
 	}
-	if err := f.ledger.Release(f.info.ID); err != nil {
+	if err := f.ledger.Release(context.Background(), f.info.ID); err != nil {
 		t.Fatal(err)
 	}
-	c.Tick(f.snap, Epoch{Polls: 2, Ledger: f.ledger.Version()}, false)
+	c.Tick(context.Background(), f.snap, Epoch{Polls: 2, Ledger: f.ledger.Version()}, false)
 	if props := c.Proposals(); len(props) != 0 {
 		t.Fatalf("released lease left proposals pending: %v", props)
 	}
@@ -364,7 +365,7 @@ func TestCloseBlocksUntilHandoverCompletes(t *testing.T) {
 	f := newFixture(t, 6)
 	c := New(f.ledger, Policy{ConfirmEpochs: 1, MinGain: 0.1, Now: f.clock.Now}, nil)
 	f.loadCurrent()
-	if n := c.Tick(f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false); n != 1 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 1, Ledger: f.ledger.Version()}, false); n != 1 {
 		t.Fatal("want a proposal")
 	}
 
@@ -376,7 +377,7 @@ func TestCloseBlocksUntilHandoverCompletes(t *testing.T) {
 	}
 	applyDone := make(chan error, 1)
 	go func() {
-		_, err := c.Apply(f.snap, f.info.ID)
+		_, err := c.Apply(context.Background(), f.snap, f.info.ID)
 		applyDone <- err
 	}()
 	<-entered
@@ -403,10 +404,10 @@ func TestCloseBlocksUntilHandoverCompletes(t *testing.T) {
 	if err := f.ledger.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Apply(f.snap, f.info.ID); !errors.Is(err, lease.ErrClosed) {
+	if _, err := c.Apply(context.Background(), f.snap, f.info.ID); !errors.Is(err, lease.ErrClosed) {
 		t.Fatalf("apply after Close: err = %v, want ErrClosed", err)
 	}
-	if n := c.Tick(f.snap, Epoch{Polls: 2, Ledger: 99}, false); n != 0 {
+	if n := c.Tick(context.Background(), f.snap, Epoch{Polls: 2, Ledger: 99}, false); n != 0 {
 		t.Fatal("tick after Close must be a no-op")
 	}
 	if st := f.ledger.Stats(); st.Migrated != 1 {

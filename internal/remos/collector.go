@@ -1,11 +1,13 @@
 package remos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/sim"
 	"nodeselect/internal/topology"
 )
@@ -151,7 +153,15 @@ func (c *Collector) Graph() *topology.Graph { return c.graph }
 func (c *Collector) Polls() int { return c.polls }
 
 // Poll takes one sample from the source now.
-func (c *Collector) Poll() {
+func (c *Collector) Poll() { c.PollCtx(context.Background()) }
+
+// PollCtx is Poll with the sample read timed as a "collector.sample" span
+// on the context's trace. The span is the per-poll unit the trace view
+// surfaces: when one agent answers slowly, the sample span is where the
+// wait shows up.
+func (c *Collector) PollCtx(ctx context.Context) {
+	span := reqtrace.StartChild(ctx, "collector.sample")
+	defer span.End()
 	var t0 time.Time
 	if c.metrics != nil {
 		t0 = time.Now()

@@ -1,0 +1,533 @@
+// Package reqtrace is the control plane's request tracing layer: every
+// request (and every background poll) runs under a trace identified by a
+// ULID-style ID, and each subsystem it crosses — request handling, the
+// plan cache, the selection sweep, the lease ledger's critical sections,
+// WAL fsyncs, rebalance evaluation, collector polls — records a span with
+// its wall-clock duration and a few attributes. The span tree answers the
+// question the scalar latency histogram cannot: *where inside one slow
+// request the time went*.
+//
+// Spans travel through context.Context. A handler (or the poll loop)
+// opens the root span with Tracer.StartTrace; layers below open children
+// with the package-level StartSpan, which is a cheap no-op when the
+// context carries no trace — library code can instrument unconditionally.
+//
+// Completed traces land in a bounded in-memory Store with tail sampling:
+// the keep/drop decision is made when the trace *finishes*, so error
+// traces and traces slower than a threshold are always retained, while
+// fast, healthy traces are kept only with a configurable probability.
+// That inverts head sampling's blind spot — the interesting traces are
+// exactly the slow and broken ones, and they are never the ones dropped.
+package reqtrace
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Attribute lists marshal as a JSON object.
+type Attr struct {
+	Key, Value string
+}
+
+// attrList renders as {"k":"v",...} so trace consumers see an object, not
+// an array of pairs.
+type attrList []Attr
+
+func (a attrList) MarshalJSON() ([]byte, error) {
+	m := make(map[string]string, len(a))
+	for _, kv := range a {
+		m[kv.Key] = kv.Value
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON accepts the object form back, so clients (and tests) can
+// round-trip a served trace. Key order is not preserved.
+func (a *attrList) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*a = (*a)[:0]
+	for k, v := range m {
+		*a = append(*a, Attr{k, v})
+	}
+	return nil
+}
+
+// SpanData is the completed, stored form of a span.
+type SpanData struct {
+	// ID and Parent identify the span within its trace; the root span has
+	// Parent 0. IDs are unique within a trace, not globally.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name says what ran: "select", "core.sweep", "lease.acquire",
+	// "wal.fsync", "collector.poll", ...
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurationSeconds is the span's wall-clock duration.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Attrs carries small key/value annotations: cache=hit,
+	// bottleneck=link, attempt=2.
+	Attrs attrList `json:"attrs,omitempty"`
+	// Error is the failure recorded with Fail, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// Retention reasons: why a completed trace was kept in the store.
+const (
+	// RetainedError: the trace recorded at least one span error.
+	RetainedError = "error"
+	// RetainedSlow: the root span outlived Config.SlowThreshold.
+	RetainedSlow = "slow"
+	// RetainedSampled: a fast, healthy trace kept by the probabilistic
+	// sampler.
+	RetainedSampled = "sampled"
+)
+
+// Trace is one completed request: its identity, outcome, and span tree.
+type Trace struct {
+	// ID is the trace's request ID — the value echoed in X-Request-ID,
+	// stamped into audit entries and WAL records.
+	ID string `json:"id"`
+	// Kind groups traces by what they are: "select", "lease_renew",
+	// "poll", ... — the /traces?kind= filter key.
+	Kind  string    `json:"kind"`
+	Start time.Time `json:"start"`
+	// DurationSeconds is the root span's duration.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Status is "ok" or "error" (any span failed).
+	Status string `json:"status"`
+	// Retained says why the store kept this trace: error, slow, or
+	// sampled.
+	Retained string `json:"retained,omitempty"`
+	// Spans is the span tree, in completion order; the root span has
+	// Parent 0.
+	Spans []SpanData `json:"spans"`
+}
+
+// StatusOK / StatusError are the two trace outcomes.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
+// active is one in-flight trace accumulating finished spans.
+type active struct {
+	tracer *Tracer
+	id     string
+	kind   string
+	start  time.Time
+	ra     *rootAlloc // containing allocation, for the inline buffers
+
+	mu       sync.Mutex
+	nextID   uint64
+	spanUsed int // spans handed out of ra.spbuf
+	handles  int // *Span handles created (root + newSpan)
+	finished int // End calls that consumed a handle
+	spans    []SpanData
+	errs     int
+	final    *Trace // set when the root span ends
+}
+
+// newSpan allocates a child span, served from the trace's inline span
+// buffer while it lasts.
+func (a *active) newSpan(parent uint64, name string) *Span {
+	a.mu.Lock()
+	a.nextID++
+	id := a.nextID
+	a.handles++
+	var s *Span
+	if a.ra != nil && a.spanUsed < len(a.ra.spbuf) {
+		s = &a.ra.spbuf[a.spanUsed]
+		a.spanUsed++
+	}
+	a.mu.Unlock()
+	if s == nil {
+		s = &Span{}
+	}
+	*s = Span{t: a, id: id, parent: parent, name: name, start: time.Now()}
+	return s
+}
+
+// Span is the in-flight handle for one span. All methods are safe on a
+// nil receiver — code below an untraced entry point pays only a nil
+// check. A Span's mutating methods (SetAttr, Fail, End) are meant for the
+// goroutine that started it.
+type Span struct {
+	t      *active
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	// abuf backs the first attrs entries so the common one-or-two-attr
+	// span allocates nothing for them (the Span outlives the trace's use
+	// of the slice, so handing out its array is safe).
+	abuf   [2]Attr
+	errMsg string
+	ended  bool
+}
+
+// SetAttr annotates the span. Last write wins is NOT implemented — repeat
+// keys append; keep attributes one-shot.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = s.abuf[:0]
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Fail marks the span (and therefore its trace) as failed. A nil err is
+// ignored.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// End completes the span and records it in its trace. Ending the root
+// span finalizes the trace and offers it to the tracer's store; child
+// spans ending after that are dropped. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.start)
+	a := s.t
+	a.mu.Lock()
+	a.finished++
+	if a.final != nil {
+		a.mu.Unlock()
+		return
+	}
+	a.spans = append(a.spans, SpanData{
+		ID:              s.id,
+		Parent:          s.parent,
+		Name:            s.name,
+		Start:           s.start,
+		DurationSeconds: dur.Seconds(),
+		Attrs:           s.attrs,
+		Error:           s.errMsg,
+	})
+	if s.errMsg != "" {
+		a.errs++
+	}
+	if s.parent != 0 {
+		a.mu.Unlock()
+		return
+	}
+	// Root span: finalize, reusing the root allocation's Trace slot.
+	var tr *Trace
+	if a.ra != nil {
+		tr = &a.ra.tr
+	} else {
+		tr = new(Trace)
+	}
+	*tr = Trace{
+		ID:              a.id,
+		Kind:            a.kind,
+		Start:           a.start,
+		DurationSeconds: dur.Seconds(),
+		Status:          StatusOK,
+		Spans:           a.spans,
+	}
+	if a.errs > 0 {
+		tr.Status = StatusError
+	}
+	a.final = tr
+	a.mu.Unlock()
+	a.tracer.offer(tr)
+}
+
+// Trace returns the finalized trace — valid on the root span after End,
+// nil before (and on child spans or a nil receiver). It returns the trace
+// whether or not the sampler retained it, which is how the poll loop
+// keeps its latest span tree for grafting into degraded selects.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.t.final
+}
+
+// Graft copies another trace's completed spans into this span's trace as
+// a subtree rooted under s: span IDs are re-allocated (parents remapped;
+// orphans attach to s), so a degraded select can carry the measurement
+// plane's last poll tree inside its own trace. No-op on a nil receiver.
+func (s *Span) Graft(spans []SpanData) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	a := s.t
+	remap := make(map[uint64]uint64, len(spans))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.final != nil {
+		return
+	}
+	for _, sd := range spans {
+		a.nextID++
+		remap[sd.ID] = a.nextID
+	}
+	for _, sd := range spans {
+		sd2 := sd
+		sd2.ID = remap[sd.ID]
+		if p, ok := remap[sd.Parent]; ok && sd.Parent != 0 {
+			sd2.Parent = p
+		} else {
+			sd2.Parent = s.id
+		}
+		a.spans = append(a.spans, sd2)
+	}
+}
+
+// ctxKey carries the current *Span.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying span as the current span.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// Current returns the context's current span, nil when untraced.
+func Current(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// TraceID returns the context's trace (request) ID, "" when untraced.
+func TraceID(ctx context.Context) string {
+	if s := Current(ctx); s != nil {
+		return s.t.id
+	}
+	return ""
+}
+
+// StartSpan opens a child of the context's current span. When the context
+// carries no trace it returns ctx unchanged and a nil span, whose methods
+// are all no-ops — instrumented library code needs no enabled check.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := StartChild(ctx, name)
+	if s == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartChild opens a child of the context's current span WITHOUT deriving
+// a new context — for leaf sections that start no spans of their own
+// (snapshot reads, fsyncs, sweep waits). Skipping the context allocation
+// keeps these spans nearly free on the hot path. Nil when untraced.
+func StartChild(ctx context.Context, name string) *Span {
+	parent := Current(ctx)
+	if parent == nil {
+		return nil
+	}
+	return parent.t.newSpan(parent.id, name)
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Disabled turns tracing off entirely: StartTrace returns a nil span
+	// and nothing is recorded or stored.
+	Disabled bool
+	// Capacity bounds each retention class (error/slow traces and sampled
+	// fast traces are evicted independently, so a flood of fast traffic
+	// can never push an error trace out). Default 128 per class.
+	Capacity int
+	// SlowThreshold is the root-span duration at or beyond which a trace
+	// is always retained (default 250ms).
+	SlowThreshold time.Duration
+	// SampleRate is the probability a fast, healthy trace is retained:
+	// 0 means the default (0.1), negative keeps none, >= 1 keeps all.
+	SampleRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 128
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	switch {
+	case c.SampleRate == 0:
+		c.SampleRate = 0.1
+	case c.SampleRate < 0:
+		c.SampleRate = 0
+	case c.SampleRate > 1:
+		c.SampleRate = 1
+	}
+	return c
+}
+
+// Tracer creates traces and retains completed ones in its Store.
+type Tracer struct {
+	cfg   Config
+	store *Store
+}
+
+// NewTracer builds a tracer with the given sampling policy.
+func NewTracer(cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{cfg: cfg, store: newStore(cfg.Capacity)}
+}
+
+// Store returns the tracer's completed-trace store.
+func (t *Tracer) Store() *Store { return t.store }
+
+// StartTrace opens a new trace and its root span. id is the request ID to
+// adopt (a client's X-Request-ID); empty generates a ULID-style one. The
+// returned context carries the root span for StartSpan below. On a
+// disabled tracer (or nil receiver) the span is nil and ctx is returned
+// unchanged.
+func (t *Tracer) StartTrace(ctx context.Context, kind, name, id string) (context.Context, *Span) {
+	if t == nil || t.cfg.Disabled {
+		return ctx, nil
+	}
+	if id == "" {
+		id = NewID()
+	}
+	// One allocation covers the trace bookkeeping, its root span, and
+	// space for a typical request's spans — the per-request floor of the
+	// tracing overhead budget. Dropped traces hand it back via Recycle,
+	// so the steady-state cached-select path allocates no trace memory.
+	ra := raPool.Get().(*rootAlloc)
+	a := &ra.a
+	*a = active{tracer: t, id: id, kind: kind, start: time.Now(), ra: ra,
+		nextID: 1, handles: 1, spans: ra.sbuf[:0]}
+	root := &ra.root
+	*root = Span{t: a, id: 1, name: name, start: a.start}
+	return ContextWithSpan(ctx, root), root
+}
+
+// rootAlloc packs everything StartTrace needs into one heap object: the
+// active trace, its root span, inline buffers for the first child spans
+// and their records, and the finalized Trace.
+type rootAlloc struct {
+	a     active
+	root  Span
+	spbuf [2]Span
+	sbuf  [3]SpanData
+	tr    Trace
+}
+
+var raPool = sync.Pool{New: func() any { return new(rootAlloc) }}
+
+// Recycle returns a dropped trace's backing allocation to the pool. Only
+// the owner of the root span may call it, after End, and only when no
+// references to the trace or its spans remain — in this codebase that is
+// the HTTP middleware, which created the trace and outlives every handler
+// span. Retained traces (the store serves them), traces with un-ended
+// spans (a straggler still holds a handle), and unfinalized traces are
+// left to the garbage collector. No-op on nil or non-root spans.
+func (s *Span) Recycle() {
+	if s == nil {
+		return
+	}
+	a := s.t
+	if a == nil || a.ra == nil || s != &a.ra.root {
+		return
+	}
+	a.mu.Lock()
+	ok := a.final != nil && a.final.Retained == "" && a.finished == a.handles
+	a.mu.Unlock()
+	if ok {
+		raPool.Put(a.ra)
+	}
+}
+
+// offer applies the tail-sampling decision to a completed trace. The
+// decision is lock-free for dropped traces, so the hot path only touches
+// the store mutex for the (typically small) retained fraction.
+func (t *Tracer) offer(tr *Trace) {
+	t.store.completed.Add(1)
+	switch {
+	case tr.Status == StatusError:
+		tr.Retained = RetainedError
+	case tr.DurationSeconds >= t.cfg.SlowThreshold.Seconds():
+		tr.Retained = RetainedSlow
+	case t.cfg.SampleRate > 0 && rand.Float64() < t.cfg.SampleRate:
+		tr.Retained = RetainedSampled
+	default:
+		t.store.dropped.Add(1)
+		return
+	}
+	t.store.keep(tr)
+}
+
+// Crockford base32, the ULID alphabet.
+const ulidAlphabet = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+// NewID returns a 26-character ULID-style identifier: 48 bits of unix
+// milliseconds followed by 80 random bits, Crockford-base32 encoded. IDs
+// sort roughly by creation time, which keeps trace listings and log greps
+// chronological for free.
+func NewID() string {
+	var b [16]byte
+	ms := uint64(time.Now().UnixMilli())
+	b[0] = byte(ms >> 40)
+	b[1] = byte(ms >> 32)
+	b[2] = byte(ms >> 24)
+	b[3] = byte(ms >> 16)
+	b[4] = byte(ms >> 8)
+	b[5] = byte(ms)
+	r1, r2 := rand.Uint64(), rand.Uint64()
+	b[6] = byte(r1 >> 56)
+	b[7] = byte(r1 >> 48)
+	b[8] = byte(r1 >> 40)
+	b[9] = byte(r1 >> 32)
+	b[10] = byte(r1 >> 24)
+	b[11] = byte(r1 >> 16)
+	b[12] = byte(r1 >> 8)
+	b[13] = byte(r1)
+	b[14] = byte(r2 >> 8)
+	b[15] = byte(r2)
+	// 16 bytes = 128 bits; base32 needs 26 symbols for 130, so the first
+	// symbol encodes only 3 bits (the ULID spec's layout).
+	var out [26]byte
+	out[0] = ulidAlphabet[b[0]>>5]
+	bits, nbits, pos := uint64(b[0])&0x1f, 5, 1
+	for i := 1; i < 16; i++ {
+		bits = bits<<8 | uint64(b[i])
+		nbits += 8
+		for nbits >= 5 {
+			nbits -= 5
+			out[pos] = ulidAlphabet[(bits>>uint(nbits))&0x1f]
+			pos++
+		}
+	}
+	return string(out[:])
+}
+
+// ValidID reports whether a client-supplied request ID is acceptable to
+// adopt as a trace ID: 1–64 characters drawn from [A-Za-z0-9._-]. Anything
+// else (empty, oversized, control characters, header-splitting attempts)
+// is rejected and a fresh ULID is generated instead.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,547 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// alwaysKeep retains every completed trace, so structural tests never
+// race the sampler.
+func alwaysKeep() *Tracer {
+	return NewTracer(Config{SampleRate: 1})
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := alwaysKeep()
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "req-1")
+	if root == nil {
+		t.Fatal("root span is nil")
+	}
+	if got := TraceID(ctx); got != "req-1" {
+		t.Fatalf("TraceID = %q, want req-1", got)
+	}
+
+	ctx2, child := StartSpan(ctx, "core.sweep")
+	child.SetAttr("algo", "balanced")
+	_, grand := StartSpan(ctx2, "wal.fsync")
+	grand.Fail(errors.New("disk full"))
+	grand.End()
+	child.End()
+	root.End()
+
+	trace, ok := tr.Store().Get("req-1")
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if trace.Status != StatusError {
+		t.Fatalf("status = %q, want error (a span failed)", trace.Status)
+	}
+	if trace.Retained != RetainedError {
+		t.Fatalf("retained = %q, want error", trace.Retained)
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(trace.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range trace.Spans {
+		byName[s.Name] = s
+	}
+	if byName["select"].Parent != 0 {
+		t.Fatal("root span should have parent 0")
+	}
+	if byName["core.sweep"].Parent != byName["select"].ID {
+		t.Fatal("core.sweep should be a child of select")
+	}
+	if byName["wal.fsync"].Parent != byName["core.sweep"].ID {
+		t.Fatal("wal.fsync should be a child of core.sweep")
+	}
+	if byName["wal.fsync"].Error != "disk full" {
+		t.Fatalf("span error = %q", byName["wal.fsync"].Error)
+	}
+	if len(byName["core.sweep"].Attrs) != 1 || byName["core.sweep"].Attrs[0] != (Attr{"algo", "balanced"}) {
+		t.Fatalf("attrs = %v", byName["core.sweep"].Attrs)
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("expected nil span for untraced context")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should be unchanged")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.Fail(errors.New("x"))
+	sp.Graft([]SpanData{{ID: 1}})
+	sp.End()
+	if sp.Trace() != nil {
+		t.Fatal("nil span has no trace")
+	}
+	if TraceID(ctx) != "" {
+		t.Fatal("untraced context has no trace ID")
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := NewTracer(Config{Disabled: true})
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "")
+	if root != nil {
+		t.Fatal("disabled tracer must return a nil root")
+	}
+	if Current(ctx) != nil {
+		t.Fatal("disabled tracer must not install a span")
+	}
+	var nilTracer *Tracer
+	if _, sp := nilTracer.StartTrace(ctx, "x", "x", ""); sp != nil {
+		t.Fatal("nil tracer must return a nil root")
+	}
+}
+
+func TestTailSamplingPolicy(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: -1, SlowThreshold: 10 * time.Millisecond})
+
+	// Fast, healthy trace with rate 0: dropped.
+	_, root := tr.StartTrace(context.Background(), "select", "select", "fast")
+	root.End()
+	if _, ok := tr.Store().Get("fast"); ok {
+		t.Fatal("fast healthy trace should have been dropped at rate 0")
+	}
+
+	// Error trace: always kept.
+	_, root = tr.StartTrace(context.Background(), "select", "select", "bad")
+	root.Fail(errors.New("boom"))
+	root.End()
+	got, ok := tr.Store().Get("bad")
+	if !ok || got.Retained != RetainedError {
+		t.Fatalf("error trace not retained as error: %+v ok=%v", got, ok)
+	}
+
+	// Slow trace: always kept.
+	_, root = tr.StartTrace(context.Background(), "select", "select", "slow")
+	time.Sleep(15 * time.Millisecond)
+	root.End()
+	got, ok = tr.Store().Get("slow")
+	if !ok || got.Retained != RetainedSlow {
+		t.Fatalf("slow trace not retained as slow: %+v ok=%v", got, ok)
+	}
+
+	st := tr.Store().Stats()
+	if st.Completed != 3 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want completed 3 dropped 1", st)
+	}
+}
+
+func TestSampledRate(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, Capacity: 2048})
+	for i := 0; i < 100; i++ {
+		_, root := tr.StartTrace(context.Background(), "select", "select", "")
+		root.End()
+	}
+	if st := tr.Store().Stats(); st.RetainedSampled != 100 {
+		t.Fatalf("rate 1 should retain everything, got %+v", st)
+	}
+}
+
+func TestEvictionKeepsImportantTraces(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, Capacity: 4})
+
+	_, root := tr.StartTrace(context.Background(), "select", "select", "err-0")
+	root.Fail(errors.New("boom"))
+	root.End()
+
+	// Flood with fast healthy traces far past capacity.
+	for i := 0; i < 50; i++ {
+		_, r := tr.StartTrace(context.Background(), "select", "select", fmt.Sprintf("ok-%d", i))
+		r.End()
+	}
+
+	if _, ok := tr.Store().Get("err-0"); !ok {
+		t.Fatal("error trace was evicted by healthy traffic")
+	}
+	st := tr.Store().Stats()
+	if st.RetainedSampled != 4 {
+		t.Fatalf("sampled ring should be at capacity 4, got %d", st.RetainedSampled)
+	}
+	if st.RetainedImportant != 1 {
+		t.Fatalf("important ring should hold the error trace, got %d", st.RetainedImportant)
+	}
+	if st.Evicted != 46 {
+		t.Fatalf("evicted = %d, want 46", st.Evicted)
+	}
+	// Eviction removes by-ID access too.
+	if _, ok := tr.Store().Get("ok-0"); ok {
+		t.Fatal("evicted trace still reachable by ID")
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, SlowThreshold: 5 * time.Millisecond})
+
+	_, a := tr.StartTrace(context.Background(), "select", "select", "a")
+	a.End()
+	_, b := tr.StartTrace(context.Background(), "poll", "collector.poll", "b")
+	b.Fail(errors.New("agent down"))
+	b.End()
+	_, c := tr.StartTrace(context.Background(), "select", "select", "c")
+	time.Sleep(8 * time.Millisecond)
+	c.End()
+
+	if got := tr.Store().List(Filter{}); len(got) != 3 {
+		t.Fatalf("unfiltered list = %d traces, want 3", len(got))
+	}
+	if got := tr.Store().List(Filter{Kind: "poll"}); len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("kind filter = %v", ids(got))
+	}
+	if got := tr.Store().List(Filter{Status: StatusError}); len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("status filter = %v", ids(got))
+	}
+	if got := tr.Store().List(Filter{MinDuration: 5 * time.Millisecond}); len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("min duration filter = %v", ids(got))
+	}
+	if got := tr.Store().List(Filter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit = %d traces, want 2", len(got))
+	}
+	// Newest first.
+	got := tr.Store().List(Filter{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.After(got[i-1].Start) {
+			t.Fatal("list not newest-first")
+		}
+	}
+}
+
+func ids(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.ID
+	}
+	return out
+}
+
+func TestGraft(t *testing.T) {
+	tr := alwaysKeep()
+
+	// A finished "poll" trace to graft from.
+	ctxP, pollRoot := tr.StartTrace(context.Background(), "poll", "collector.poll", "poll-1")
+	_, refresh := StartSpan(ctxP, "source.refresh")
+	refresh.End()
+	pollRoot.End()
+	pollSpans := pollRoot.Trace().Spans
+
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "sel-1")
+	_, snap := StartSpan(ctx, "snapshot")
+	snap.End()
+	root.Graft(pollSpans)
+	root.End()
+
+	trace, ok := tr.Store().Get("sel-1")
+	if !ok {
+		t.Fatal("select trace not retained")
+	}
+	if len(trace.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4 (root, snapshot, grafted poll root + child)", len(trace.Spans))
+	}
+	byName := map[string]SpanData{}
+	seen := map[uint64]bool{}
+	for _, s := range trace.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after graft", s.ID)
+		}
+		seen[s.ID] = true
+		byName[s.Name] = s
+	}
+	if byName["collector.poll"].Parent != byName["select"].ID {
+		t.Fatal("grafted poll root should hang under the select root")
+	}
+	if byName["source.refresh"].Parent != byName["collector.poll"].ID {
+		t.Fatal("grafted child should keep its remapped parent")
+	}
+}
+
+func TestLateChildEndIsDropped(t *testing.T) {
+	tr := alwaysKeep()
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "late")
+	_, child := StartSpan(ctx, "slowpoke")
+	root.End()
+	child.End() // after finalize: dropped
+	trace, _ := tr.Store().Get("late")
+	if len(trace.Spans) != 1 {
+		t.Fatalf("late child should be dropped, got %d spans", len(trace.Spans))
+	}
+	// End is idempotent.
+	root.End()
+	if st := tr.Store().Stats(); st.Completed != 1 {
+		t.Fatalf("double End finalized twice: %+v", st)
+	}
+}
+
+// TestTraceJSONRoundTrip: a served trace decodes back losslessly enough
+// for clients — attrs marshal as an object and unmarshal into the list.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := alwaysKeep()
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "rt-1")
+	_, sp := StartSpan(ctx, "core.sweep")
+	sp.SetAttr("algo", "balanced")
+	sp.End()
+	root.End()
+	orig, _ := tr.Store().Get("rt-1")
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	if got.ID != "rt-1" || len(got.Spans) != 2 {
+		t.Fatalf("round-tripped trace %+v", got)
+	}
+	for _, s := range got.Spans {
+		if s.Name == "core.sweep" {
+			if len(s.Attrs) != 1 || s.Attrs[0] != (Attr{"algo", "balanced"}) {
+				t.Fatalf("round-tripped attrs %v", s.Attrs)
+			}
+		}
+	}
+	if !json.Valid(data) || !bytes.Contains(data, []byte(`"attrs":{"algo":"balanced"}`)) {
+		t.Fatalf("attrs not rendered as an object: %s", data)
+	}
+}
+
+func TestNewIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 26 {
+			t.Fatalf("ULID length %d, want 26: %q", len(id), id)
+		}
+		for _, c := range id {
+			if !strings.ContainsRune(ulidAlphabet, c) {
+				t.Fatalf("ULID %q contains %q outside the Crockford alphabet", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ULID %q", id)
+		}
+		seen[id] = true
+	}
+	// Timestamp prefix sorts: an ID minted ≥2ms later compares greater.
+	a := NewID()
+	time.Sleep(3 * time.Millisecond)
+	if b := NewID(); !(a < b) {
+		t.Fatalf("ULIDs not time-ordered: %q then %q", a, b)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	good := []string{"a", "req-123", "01J8ZXGVQH.ABC_def", strings.Repeat("x", 64)}
+	for _, id := range good {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", strings.Repeat("x", 65), "has space", "new\nline", "semi;colon", "héllo"}
+	for _, id := range bad {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+}
+
+// TestConcurrentRecordAndQuery hammers the tracer from many goroutines
+// while readers list and get — the -race proof for the span store.
+func TestConcurrentRecordAndQuery(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, Capacity: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.StartTrace(context.Background(), "select", "select", "")
+				ctx2, sp := StartSpan(ctx, "core.sweep")
+				sp.SetAttr("worker", fmt.Sprint(w))
+				_, wal := StartSpan(ctx2, "wal.fsync")
+				if i%7 == 0 {
+					wal.Fail(errors.New("synthetic"))
+				}
+				wal.End()
+				sp.End()
+				root.End()
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, trc := range tr.Store().List(Filter{Limit: 10}) {
+					tr.Store().Get(trc.ID)
+				}
+				tr.Store().Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if st := tr.Store().Stats(); st.Completed != 800 {
+		t.Fatalf("completed = %d, want 800", st.Completed)
+	}
+}
+
+// TestConcurrentSiblingSpans exercises sibling spans ended from separate
+// goroutines under one trace (the SLO harness shape).
+func TestConcurrentSiblingSpans(t *testing.T) {
+	tr := alwaysKeep()
+	ctx, root := tr.StartTrace(context.Background(), "poll", "collector.poll", "par")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, fmt.Sprintf("agent-%d", i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	trace, _ := tr.Store().Get("par")
+	if len(trace.Spans) != 9 {
+		t.Fatalf("got %d spans, want 9", len(trace.Spans))
+	}
+}
+
+func TestRecycleReusesDroppedAllocation(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: -1}) // drop every healthy trace
+	// Churn traces through the pool: each iteration must see a clean
+	// trace even when its allocation was just recycled.
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("drop-%d", i)
+		ctx, root := tr.StartTrace(context.Background(), "select", "select", id)
+		a := StartChild(ctx, "snapshot")
+		a.SetAttr("mode", "window")
+		a.End()
+		b := StartChild(ctx, "plan_cache")
+		b.End()
+		root.End()
+		final := root.Trace()
+		if final == nil || final.ID != id || len(final.Spans) != 3 {
+			t.Fatalf("iter %d: trace = %+v, want 3 spans for %s", i, final, id)
+		}
+		for _, sd := range final.Spans {
+			if sd.Name != "select" && sd.Name != "snapshot" && sd.Name != "plan_cache" {
+				t.Fatalf("iter %d: stale span %q leaked into trace", i, sd.Name)
+			}
+		}
+		root.Recycle()
+	}
+	if st := tr.Store().Stats(); st.RetainedImportant+st.RetainedSampled != 0 {
+		t.Fatalf("retained %d traces, want 0", st.RetainedImportant+st.RetainedSampled)
+	}
+}
+
+func TestRecycleNeverPoolsRetainedTrace(t *testing.T) {
+	tr := alwaysKeep()
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "keep-1")
+	c := StartChild(ctx, "core.sweep")
+	c.SetAttr("algo", "balanced")
+	c.End()
+	root.End()
+	root.Recycle() // must be a no-op: the store serves this trace
+
+	// Churn more traces through the pool; if the retained trace's
+	// allocation had been pooled, these would overwrite its spans.
+	drop := NewTracer(Config{SampleRate: -1})
+	for i := 0; i < 20; i++ {
+		ctx2, r2 := drop.StartTrace(context.Background(), "poll", "poll", "")
+		StartChild(ctx2, "collector.poll").End()
+		r2.End()
+		r2.Recycle()
+	}
+
+	got, ok := tr.Store().Get("keep-1")
+	if !ok {
+		t.Fatal("retained trace vanished")
+	}
+	if len(got.Spans) != 2 || got.Spans[0].Name != "core.sweep" {
+		t.Fatalf("retained trace corrupted: %+v", got.Spans)
+	}
+	if len(got.Spans[0].Attrs) != 1 || got.Spans[0].Attrs[0] != (Attr{"algo", "balanced"}) {
+		t.Fatalf("retained trace attrs corrupted: %v", got.Spans[0].Attrs)
+	}
+}
+
+func TestRecycleSkipsTraceWithOutstandingSpans(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: -1})
+	ctx, root := tr.StartTrace(context.Background(), "select", "select", "straggler-1")
+	late := StartChild(ctx, "lease.sweep")
+	root.End()
+	root.Recycle() // must skip: late's handle is still outstanding
+	late.End()     // dropped (after finalize), but must stay harmless
+
+	// The next trace must not share state with the unrecycled one.
+	ctx2, r2 := tr.StartTrace(context.Background(), "select", "select", "straggler-2")
+	StartChild(ctx2, "snapshot").End()
+	r2.End()
+	if final := r2.Trace(); len(final.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(final.Spans), final.Spans)
+	}
+
+	// Recycle on non-root and nil spans is a no-op.
+	late.Recycle()
+	var nilSpan *Span
+	nilSpan.Recycle()
+}
+
+func TestConcurrentTraceRecycle(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("c-%d-%d", g, i)
+				ctx, root := tr.StartTrace(context.Background(), "select", "select", id)
+				sp := StartChild(ctx, "core.sweep")
+				sp.SetAttr("i", "x")
+				sp.End()
+				root.End()
+				if final := root.Trace(); final == nil || final.ID != id {
+					t.Errorf("goroutine %d iter %d: wrong trace %+v", g, i, final)
+					return
+				}
+				root.Recycle()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every retained trace the store serves must still be intact.
+	for _, sum := range tr.Store().List(Filter{}) {
+		if got, ok := tr.Store().Get(sum.ID); !ok || len(got.Spans) != 2 {
+			t.Fatalf("retained trace %s corrupted: %+v", sum.ID, got)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package reqtrace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store retains completed traces under the tail-sampling policy. Two
+// independent FIFO rings back it: one for *important* traces (errors and
+// slow requests) and one for probabilistically sampled fast traces. The
+// split is the retention guarantee — however heavy the healthy traffic,
+// sampled traces only ever evict other sampled traces, so the error that
+// happened an hour ago is still there when someone goes looking.
+type Store struct {
+	mu        sync.Mutex
+	important ring
+	sampled   ring
+	byID      map[string]*Trace
+
+	completed atomic.Uint64
+	dropped   atomic.Uint64
+	evicted   atomic.Uint64
+}
+
+// ring is a bounded FIFO of traces.
+type ring struct {
+	buf []*Trace
+	cap int
+}
+
+// push appends, returning the evicted oldest entry when full.
+func (r *ring) push(tr *Trace) *Trace {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, tr)
+		return nil
+	}
+	old := r.buf[0]
+	copy(r.buf, r.buf[1:])
+	r.buf[len(r.buf)-1] = tr
+	return old
+}
+
+func newStore(capacity int) *Store {
+	return &Store{
+		important: ring{cap: capacity},
+		sampled:   ring{cap: capacity},
+		byID:      map[string]*Trace{},
+	}
+}
+
+// keep files a retained trace under its class.
+func (s *Store) keep(tr *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &s.sampled
+	if tr.Retained == RetainedError || tr.Retained == RetainedSlow {
+		r = &s.important
+	}
+	if old := r.push(tr); old != nil {
+		delete(s.byID, old.ID)
+		s.evicted.Add(1)
+	}
+	// Duplicate IDs (a client reusing an X-Request-ID) keep the newest
+	// trace reachable by ID; the older one remains listable until evicted.
+	s.byID[tr.ID] = tr
+}
+
+// Get returns one retained trace by ID.
+func (s *Store) Get(id string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.byID[id]
+	return tr, ok
+}
+
+// Filter selects traces for List. Zero values match everything.
+type Filter struct {
+	// Kind matches Trace.Kind exactly ("select", "poll", ...).
+	Kind string
+	// Status matches Trace.Status ("ok" or "error").
+	Status string
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// Limit bounds the result (default 50, <= 0 means the default).
+	Limit int
+}
+
+// List returns retained traces matching f, newest first.
+func (s *Store) List(f Filter) []*Trace {
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	s.mu.Lock()
+	out := make([]*Trace, 0, len(s.important.buf)+len(s.sampled.buf))
+	for _, r := range []*ring{&s.important, &s.sampled} {
+		for _, tr := range r.buf {
+			if f.Kind != "" && tr.Kind != f.Kind {
+				continue
+			}
+			if f.Status != "" && tr.Status != f.Status {
+				continue
+			}
+			if tr.DurationSeconds < f.MinDuration.Seconds() {
+				continue
+			}
+			out = append(out, tr)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Stats is a point-in-time reading of the store's sampling counters.
+type Stats struct {
+	// Completed counts every finished trace offered to the sampler;
+	// Dropped the ones the sampler let go; Evicted the retained ones later
+	// pushed out by ring capacity.
+	Completed, Dropped, Evicted uint64
+	// RetainedImportant and RetainedSampled are the live ring sizes.
+	RetainedImportant, RetainedSampled int
+}
+
+// Stats reads the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	imp, smp := len(s.important.buf), len(s.sampled.buf)
+	s.mu.Unlock()
+	return Stats{
+		Completed:         s.completed.Load(),
+		Dropped:           s.dropped.Load(),
+		Evicted:           s.evicted.Load(),
+		RetainedImportant: imp,
+		RetainedSampled:   smp,
+	}
+}

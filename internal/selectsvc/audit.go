@@ -47,6 +47,12 @@ type Decision struct {
 	// "rebalance_propose" / "rebalance_apply" / "rebalance_apply_failed"
 	// for re-placement controller actions.
 	Kind string `json:"kind,omitempty"`
+	// RequestID is the request's correlation ID (the X-Request-ID header,
+	// echoed or minted): the key that links this entry to the client's
+	// response and to GET /traces/{id}. Empty for decisions with no
+	// originating request, like auto-applied rebalance handovers raised by
+	// the background poll.
+	RequestID string `json:"request_id,omitempty"`
 	// Wall is the server wall-clock time of the request.
 	Wall time.Time `json:"wall"`
 	// MeasuredAt is the measurement clock of the snapshot answered from

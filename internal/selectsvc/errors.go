@@ -1,6 +1,7 @@
 package selectsvc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -12,7 +13,8 @@ import (
 
 // apiError is the JSON error envelope every failing endpoint returns:
 // the message, a machine-readable class, the HTTP status echoed in the
-// body, and — for admission rejections — the binding bottleneck.
+// body, the request's correlation ID, and — for admission rejections —
+// the binding bottleneck.
 type apiError struct {
 	Error  string `json:"error"`
 	Class  string `json:"class"`
@@ -20,15 +22,20 @@ type apiError struct {
 	// Bottleneck names the resource that blocked an admission ("node X" /
 	// "link a--b" semantics live in the message; this is the bare name).
 	Bottleneck string `json:"bottleneck,omitempty"`
+	// RequestID echoes the X-Request-ID header, so a client quoting an
+	// error can be matched to its audit entry and trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeError renders the envelope. Every handler error path funnels
-// through here so clients can rely on one error shape.
-func writeError(w http.ResponseWriter, status int, class, bottleneck string, err error) {
+// through here so clients can rely on one error shape. The context is the
+// request's (for the correlation ID).
+func writeError(ctx context.Context, w http.ResponseWriter, status int, class, bottleneck string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(apiError{
 		Error: err.Error(), Class: class, Status: status, Bottleneck: bottleneck,
+		RequestID: requestID(ctx),
 	})
 }
 

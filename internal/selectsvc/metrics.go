@@ -3,6 +3,7 @@ package selectsvc
 import (
 	"nodeselect/internal/lease"
 	"nodeselect/internal/metrics"
+	"nodeselect/internal/reqtrace"
 )
 
 // minresourceBuckets spans the balanced objective's useful range: fine
@@ -52,6 +53,10 @@ type svcMetrics struct {
 	// selectsvc_plan_cache_requests_total{result}: how the plan cache
 	// served each plain /select — hit | miss | bypass
 	planCacheRequests *metrics.CounterVec
+	// selectsvc_http_request_seconds{route,status_class}: per-endpoint
+	// request latency, observed by the correlation middleware for every
+	// route (including the meta-endpoints that are not traced)
+	httpLatency *metrics.HistogramVec
 }
 
 func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
@@ -80,7 +85,32 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 			"Leased placements rejected at admission, by binding resource kind.", "kind"),
 		planCacheRequests: reg.NewCounterVec("selectsvc_plan_cache_requests_total",
 			"Plan cache outcomes for /select requests: hit, miss, or bypass.", "result"),
+		httpLatency: reg.NewHistogramVec("selectsvc_http_request_seconds",
+			"HTTP request latency, by route and status class.", nil,
+			"route", "status_class"),
 	}
+}
+
+// registerTraceGauges exposes the trace store's retention counters, so an
+// operator can see at a glance whether the tail sampler is dropping,
+// retaining, or evicting — and how much.
+func registerTraceGauges(reg *metrics.Registry, t *reqtrace.Tracer) {
+	st := t.Store()
+	reg.NewGaugeFunc("selectsvc_traces_completed_total",
+		"Traces finished (retained or not) since start.",
+		func() float64 { return float64(st.Stats().Completed) })
+	reg.NewGaugeFunc("selectsvc_traces_retained",
+		"Traces currently retained in the store, across both rings.",
+		func() float64 {
+			s := st.Stats()
+			return float64(s.RetainedImportant + s.RetainedSampled)
+		})
+	reg.NewGaugeFunc("selectsvc_traces_dropped_total",
+		"Healthy fast traces dropped by the tail sampler.",
+		func() float64 { return float64(st.Stats().Dropped) })
+	reg.NewGaugeFunc("selectsvc_traces_evicted_total",
+		"Retained traces later evicted by ring capacity.",
+		func() float64 { return float64(st.Stats().Evicted) })
 }
 
 // registerPlanCacheGauges exposes the plan cache's internal state. Like the

@@ -15,6 +15,7 @@
 package selectsvc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"nodeselect/internal/rebalance"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/topology"
 )
 
@@ -84,6 +86,12 @@ type Config struct {
 	// Policy.Auto they are applied immediately; otherwise they wait for
 	// POST /migrations/{lease}/apply.
 	Rebalance *rebalance.Policy
+	// Trace tunes request tracing (span capture and tail sampling); the
+	// zero value traces with the defaults (128 traces per retention
+	// class, 250ms slow threshold, 10% sampling of fast healthy
+	// requests). Set Trace.Disabled to turn tracing off; X-Request-ID
+	// echoing and request_id correlation keep working regardless.
+	Trace reqtrace.Config
 }
 
 // defaultPlanCacheSize bounds the plan cache when the config does not.
@@ -111,6 +119,8 @@ type Service struct {
 	ledger   *lease.Ledger
 	plans    *planCache // nil when disabled
 	rebal    *rebalance.Controller
+	tracer   *reqtrace.Tracer
+	lastPoll pollSpans
 }
 
 // New builds a service over a measurement source.
@@ -152,9 +162,11 @@ func New(src remos.Source, cfg Config) *Service {
 		audit:     newAuditRing(auditSize),
 		ledger:    ledger,
 		plans:     plans,
+		tracer:    reqtrace.NewTracer(cfg.Trace),
 	}
 	ledger.SetOnEvent(func(op string, _ *lease.Lease) { s.metrics.leaseOps.With(op).Inc() })
 	registerLeaseGauges(reg, ledger)
+	registerTraceGauges(reg, s.tracer)
 	if plans != nil {
 		registerPlanCacheGauges(reg, plans)
 	}
@@ -166,6 +178,7 @@ func New(src remos.Source, cfg Config) *Service {
 			d := Decision{
 				Wall:        time.Now(),
 				Kind:        "rebalance_" + ev.Op,
+				RequestID:   ev.RequestID,
 				LeaseID:     ev.Proposal.Lease,
 				Nodes:       ev.Proposal.To,
 				FromNodes:   ev.Proposal.From,
@@ -214,18 +227,36 @@ func (s *Service) Registry() *metrics.Registry { return s.registry }
 // successful sample the rebalance controller (when configured) runs one
 // evaluation epoch.
 func (s *Service) Poll() error {
-	if err := s.pollOnce(); err != nil {
-		return err
+	// Each poll runs under its own trace (kind "poll") so the measurement
+	// plane's cost — agent refresh round-trips above all — is visible per
+	// cycle. The finished span tree is retained in lastPoll regardless of
+	// what the tail sampler keeps, because degraded selects graft it into
+	// their own traces to show where the fleet's time went.
+	ctx, root := s.tracer.StartTrace(context.Background(), "poll", "collector.poll", "")
+	err := s.pollOnce(ctx)
+	if err == nil {
+		s.rebalanceTick(ctx)
+	} else {
+		root.Fail(err)
 	}
-	s.rebalanceTick()
-	return nil
+	root.End()
+	if tr := root.Trace(); tr != nil {
+		s.lastPoll.set(tr.Spans)
+	}
+	return err
 }
 
-func (s *Service) pollOnce() error {
+func (s *Service) pollOnce(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.src.(Refresher); ok {
-		if err := r.Refresh(); err != nil {
+		_, span := reqtrace.StartSpan(ctx, "source.refresh")
+		err := r.Refresh()
+		if err != nil {
+			span.Fail(err)
+		}
+		span.End()
+		if err != nil {
 			var pe *agent.PartialError
 			if !errors.As(err, &pe) {
 				s.lastPollErr = err.Error()
@@ -237,11 +268,13 @@ func (s *Service) pollOnce() error {
 		}
 	}
 	s.lastPollErr = ""
-	s.collector.Poll()
+	s.collector.PollCtx(ctx)
 	s.metrics.healthState.Set(healthLevel(s.healthLocked().State))
 	// Reclaim capacity from crashed clients even when no requests arrive:
 	// the poll loop doubles as the lease expiry heartbeat.
+	sweep := reqtrace.StartChild(ctx, "lease.sweep")
 	s.ledger.Sweep()
+	sweep.End()
 	return nil
 }
 
@@ -251,7 +284,7 @@ func (s *Service) pollOnce() error {
 // read before the snapshot for the same conservative reason the plan
 // cache does it: a racing commit makes the epoch stale, which only causes
 // an extra evaluation next poll.
-func (s *Service) rebalanceTick() {
+func (s *Service) rebalanceTick(ctx context.Context) {
 	if s.rebal == nil {
 		return
 	}
@@ -260,7 +293,7 @@ func (s *Service) rebalanceTick() {
 	if err != nil {
 		return // nothing measured yet; next poll retries
 	}
-	s.rebal.Tick(snap, rebalance.Epoch{Polls: polls, Ledger: version},
+	s.rebal.Tick(ctx, snap, rebalance.Epoch{Polls: polls, Ledger: version},
 		health.State != remos.HealthOK)
 }
 
@@ -404,9 +437,13 @@ type SelectResponse struct {
 //	DELETE /leases/{id}       — release a lease
 //	GET    /migrations        — pending migration proposals (rebalance on)
 //	POST   /migrations/{id}/apply — execute a proposal's handover
+//	GET    /traces            — retained request traces (?kind, ?status,
+//	                            ?min_duration=50ms, ?n=20)
+//	GET    /traces/{id}       — one trace's full span tree
 //
-// Every error response is the JSON envelope {error, class, status,
-// bottleneck?}.
+// Every response carries an X-Request-ID header (echoed from the request
+// when valid, minted otherwise); every error response is the JSON envelope
+// {error, class, status, request_id, bottleneck?}.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topology", s.handleTopology)
@@ -421,16 +458,18 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /leases/{id}", s.handleLeaseRelease)
 	mux.HandleFunc("GET /migrations", s.handleMigrations)
 	mux.HandleFunc("POST /migrations/{id}/apply", s.handleMigrationApply)
-	return mux
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleTraceByID)
+	return s.middleware(mux)
 }
 
-func (s *Service) handleTopology(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleTopology(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	g := s.collector.Graph()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := topology.WriteDocument(w, g, nil); err != nil {
-		writeError(w, http.StatusInternalServerError, classInternal, "", err)
+		writeError(r.Context(), w, http.StatusInternalServerError, classInternal, "", err)
 	}
 }
 
@@ -482,7 +521,7 @@ func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		if class == classInternal {
 			class = classBadRequest
 		}
-		writeError(w, statusFor(class), class, "", err)
+		writeError(r.Context(), w, statusFor(class), class, "", err)
 		return
 	}
 	switch view := r.URL.Query().Get("view"); view {
@@ -490,13 +529,13 @@ func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	case "residual":
 		snap = s.ledger.Residual(snap)
 	default:
-		writeError(w, http.StatusBadRequest, classBadRequest, "",
+		writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
 			fmt.Errorf("unknown view %q (want raw or residual)", view))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := topology.WriteDocument(w, snap.Graph, snap); err != nil {
-		writeError(w, http.StatusInternalServerError, classInternal, "", err)
+		writeError(r.Context(), w, http.StatusInternalServerError, classInternal, "", err)
 	}
 }
 
@@ -540,7 +579,7 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, classBadRequest, "",
+			writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
 				fmt.Errorf("bad n %q", q))
 			return
 		}
@@ -552,7 +591,8 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	d := Decision{Wall: t0}
+	ctx := r.Context()
+	d := Decision{Wall: t0, RequestID: requestID(ctx)}
 
 	// finish records the decision in the audit ring (success and failure
 	// alike) and observes the request latency.
@@ -577,7 +617,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		d.ErrorClass = class
 		s.metrics.errors.With(class).Inc()
 		finish()
-		writeError(w, statusFor(class), class, d.Bottleneck, err)
+		writeError(r.Context(), w, statusFor(class), class, d.Bottleneck, err)
 	}
 
 	var req SelectRequest
@@ -622,7 +662,9 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// commit's version bump makes it unservable — a cached plan can never
 	// outlive the ledger state it was computed from.
 	ledgerVersion := s.ledger.Version()
+	snapSpan := reqtrace.StartChild(ctx, "snapshot")
 	snap, health, fresh, polls, err := s.snapshotFor(mode)
+	snapSpan.End()
 	if err != nil {
 		class := classifyError(err)
 		if class == classInternal {
@@ -651,6 +693,11 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	d.DataAgeSeconds = health.MaxAgeSeconds
 	if degraded {
 		s.metrics.degradedSelects.Inc()
+		// A degraded select's latency story lives partly in the measurement
+		// plane: graft the latest poll's span tree into this trace so
+		// GET /traces/{id} shows where the fleet's time went (typically a
+		// slow or timed-out agent under collector.poll).
+		reqtrace.Current(ctx).Graft(s.lastPoll.get())
 	}
 
 	s.mu.Lock()
@@ -671,11 +718,15 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if req.Spec != nil {
 		d.Cache = s.cacheBypass()
 		var place appspec.Placement
-		placeFn := func(residual *topology.Snapshot, _ float64) ([]int, error) {
+		placeFn := func(pctx context.Context, residual *topology.Snapshot, _ float64) ([]int, error) {
 			// Specs carry their own floors, so the escalated minBW is
 			// ignored; admission is still checked on the chosen set.
+			_, span := reqtrace.StartSpan(pctx, "core.sweep")
+			defer span.End()
+			span.SetAttr("algo", algo)
 			p, err := appspec.SelectForSpec(residual, req.Spec, algo, src)
 			if err != nil {
+				span.Fail(err)
 				return nil, err
 			}
 			place = p
@@ -684,13 +735,13 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if leased {
 			var info lease.Info
-			info, err = s.ledger.Acquire(snap, demand, ttl, placeFn)
+			info, err = s.ledger.Acquire(ctx, snap, demand, ttl, placeFn)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID
 			}
 		} else {
-			_, err = placeFn(s.ledger.Residual(snap), 0)
+			_, err = placeFn(ctx, s.ledger.Residual(snap), 0)
 		}
 		if err != nil {
 			fail(classifyError(err), err)
@@ -737,7 +788,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			opts.Observer = func(st core.SweepStep) { steps = append(steps, st) }
 		}
 		var res core.Result
-		placeFn := func(residual *topology.Snapshot, minBW float64) ([]int, error) {
+		placeFn := func(pctx context.Context, residual *topology.Snapshot, minBW float64) ([]int, error) {
 			creq := base
 			// The demand's floors steer the sweep toward nodes and links
 			// with enough uncommitted headroom; minBW rises when Acquire
@@ -749,7 +800,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				creq.MinBW = minBW
 			}
 			steps = steps[:0]
-			r, err := core.SelectOpt(algo, residual, creq, src, opts)
+			r, err := core.SelectCtx(pctx, algo, residual, creq, src, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -772,7 +823,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				MaxPairLatency: req.MaxPairLatency,
 				Pin:            req.Pin,
 			}
-			info, err := s.ledger.AcquireShaped(snap, demand, ttl, shape, placeFn)
+			info, err := s.ledger.AcquireShaped(ctx, snap, demand, ttl, shape, placeFn)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID
@@ -798,9 +849,9 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		} else {
-			compute := func() cachedPlan {
+			compute := func(cctx context.Context) cachedPlan {
 				var p cachedPlan
-				_, err := placeFn(s.ledger.Residual(snap), 0)
+				_, err := placeFn(cctx, s.ledger.Residual(snap), 0)
 				p.res = res
 				p.trace, p.truncated = decisionRounds(g, steps)
 				if err != nil {
@@ -815,6 +866,11 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				entry, owner := s.plans.acquire(epoch, planKey(d.Mode, algo, req))
 				if owner {
 					d.Cache = "miss"
+					// The sweep runs under the plan_cache span's context, so
+					// core.sweep nests beneath it in the trace; on a hit the
+					// span instead times the wait for the owner's result.
+					cctx, span := reqtrace.StartSpan(ctx, "plan_cache")
+					span.SetAttr("cache", "miss")
 					func() {
 						// Waiters must be released even if the computation
 						// panics, or identical concurrent requests hang.
@@ -827,18 +883,22 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 								})
 							}
 						}()
-						plan = compute()
+						plan = compute(cctx)
 						entry.publish(plan)
 						published = true
 					}()
+					span.End()
 				} else {
 					d.Cache = "hit"
+					span := reqtrace.StartChild(ctx, "plan_cache")
+					span.SetAttr("cache", "hit")
 					<-entry.ready
+					span.End()
 					plan = entry.plan
 				}
 			} else {
 				d.Cache = s.cacheBypass()
-				plan = compute()
+				plan = compute(ctx)
 			}
 			d.Trace, d.TraceTruncated = plan.trace, plan.truncated
 			if plan.err != nil {
@@ -885,14 +945,14 @@ func (s *Service) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 		TTL float64 `json:"ttl"` // seconds; 0 = service default
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, classBadRequest, "",
+		writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
 			fmt.Errorf("bad renew body: %w", err))
 		return
 	}
-	info, err := s.ledger.Renew(r.PathValue("id"), time.Duration(body.TTL*float64(time.Second)))
+	info, err := s.ledger.Renew(r.Context(), r.PathValue("id"), time.Duration(body.TTL*float64(time.Second)))
 	if err != nil {
 		class := classifyError(err)
-		writeError(w, statusFor(class), class, "", err)
+		writeError(r.Context(), w, statusFor(class), class, "", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -902,9 +962,9 @@ func (s *Service) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 // handleMigrations lists the rebalance controller's pending proposals —
 // for each, the lease, the from/to node sets, the expected gain, and the
 // candidate placement's bottleneck.
-func (s *Service) handleMigrations(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleMigrations(w http.ResponseWriter, r *http.Request) {
 	if s.rebal == nil {
-		writeError(w, http.StatusNotFound, classNotFound, "",
+		writeError(r.Context(), w, http.StatusNotFound, classNotFound, "",
 			errors.New("rebalance controller is not enabled"))
 		return
 	}
@@ -926,17 +986,17 @@ func (s *Service) handleMigrations(w http.ResponseWriter, _ *http.Request) {
 // meantime.
 func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
 	if s.rebal == nil {
-		writeError(w, http.StatusNotFound, classNotFound, "",
+		writeError(r.Context(), w, http.StatusNotFound, classNotFound, "",
 			errors.New("rebalance controller is not enabled"))
 		return
 	}
 	snap, _, _, _, err := s.snapshotFor(s.cfg.DefaultMode)
 	if err != nil {
 		class := classifyError(err)
-		writeError(w, statusFor(class), class, "", err)
+		writeError(r.Context(), w, statusFor(class), class, "", err)
 		return
 	}
-	info, err := s.rebal.Apply(snap, r.PathValue("id"))
+	info, err := s.rebal.Apply(r.Context(), snap, r.PathValue("id"))
 	if err != nil {
 		class := classifyError(err)
 		var bottleneck string
@@ -945,7 +1005,7 @@ func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
 			bottleneck = adm.Bottleneck
 			s.metrics.admissionRejects.With(adm.Kind).Inc()
 		}
-		writeError(w, statusFor(class), class, bottleneck, err)
+		writeError(r.Context(), w, statusFor(class), class, bottleneck, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -954,9 +1014,9 @@ func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.ledger.Release(id); err != nil {
+	if err := s.ledger.Release(r.Context(), id); err != nil {
 		class := classifyError(err)
-		writeError(w, statusFor(class), class, "", err)
+		writeError(r.Context(), w, statusFor(class), class, "", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,269 @@
+package selectsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nodeselect/internal/reqtrace"
+)
+
+// ctxKeyRequestID carries the request's correlation ID independently of
+// the tracer, so X-Request-ID echoing, the error envelope, and audit
+// entries keep working when tracing is disabled or the route is untraced.
+type ctxKeyRequestID struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID{}, id)
+}
+
+// requestID returns the request's correlation ID, "" outside a request.
+// Traced requests carry the ID in the trace itself; the separate context
+// key serves untraced routes and disabled tracing.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(ctxKeyRequestID{}).(string); ok {
+		return id
+	}
+	return reqtrace.TraceID(ctx)
+}
+
+// routeLabel maps a request to its metric/trace route label. Go 1.22's
+// ServeMux knows the matched pattern but does not expose it, so the label
+// is derived by hand — a bounded set, never the raw path (which would blow
+// up metric cardinality via {id} segments).
+func routeLabel(method, path string) string {
+	switch {
+	case path == "/select":
+		return "select"
+	case path == "/topology":
+		return "topology"
+	case path == "/snapshot":
+		return "snapshot"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/decisions":
+		return "decisions"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/debug/vars":
+		return "debug_vars"
+	case path == "/leases":
+		return "leases"
+	case strings.HasPrefix(path, "/leases/"):
+		if method == http.MethodDelete {
+			return "lease_release"
+		}
+		return "lease_renew"
+	case path == "/migrations":
+		return "migrations"
+	case strings.HasPrefix(path, "/migrations/"):
+		return "migration_apply"
+	case path == "/traces":
+		return "traces"
+	case strings.HasPrefix(path, "/traces/"):
+		return "trace_get"
+	default:
+		return "other"
+	}
+}
+
+// tracedRoute reports whether a route's requests get a trace of their own.
+// The observability meta-endpoints (scrapes, health probes, the trace API
+// itself) are excluded — tracing the act of reading traces would fill the
+// sampled ring with noise.
+func tracedRoute(route string) bool {
+	switch route {
+	case "metrics", "debug_vars", "healthz", "traces", "trace_get", "decisions":
+		return false
+	}
+	return true
+}
+
+// statusText interns the common status codes so stamping the root span's
+// status attribute does not allocate on the hot path.
+func statusText(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusGone:
+		return "410"
+	case http.StatusUnprocessableEntity:
+		return "422"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	default:
+		return strconv.Itoa(status)
+	}
+}
+
+// statusClass buckets an HTTP status for the latency histogram's label.
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// middleware wraps the mux with the request-correlation layer: adopt or
+// mint the X-Request-ID (echoed on every response), open the root span for
+// traced routes, and observe per-route request latency labeled by status
+// class. Root spans of failed requests (status >= 400) are marked failed,
+// which is what makes the tail sampler always retain them.
+func (s *Service) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if !reqtrace.ValidID(id) {
+			id = reqtrace.NewID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		route := routeLabel(r.Method, r.URL.Path)
+		ctx := r.Context()
+		var root *reqtrace.Span
+		if tracedRoute(route) {
+			ctx, root = s.tracer.StartTrace(ctx, route, route, id)
+		}
+		if root == nil {
+			// Untraced (meta-endpoint or tracing off): the correlation ID
+			// rides its own context key instead of the trace.
+			ctx = withRequestID(ctx, id)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if root != nil {
+			root.SetAttr("status", statusText(sw.status))
+			if sw.status >= 400 {
+				root.Fail(fmt.Errorf("HTTP %d", sw.status))
+			}
+			root.End()
+			// The handler has returned and nothing downstream holds span
+			// handles, so a dropped trace's allocation can be reused.
+			root.Recycle()
+		}
+		s.metrics.httpLatency.With(route, statusClass(sw.status)).ObserveSince(t0)
+	})
+}
+
+// pollSpans retains the latest completed poll trace's span tree, for
+// grafting into degraded selects: when part of the fleet is unreadable the
+// time "lost" is in the measurement plane, not the request, and the graft
+// makes that visible from the select's own trace.
+type pollSpans struct {
+	mu    sync.Mutex
+	spans []reqtrace.SpanData
+}
+
+func (p *pollSpans) set(spans []reqtrace.SpanData) {
+	p.mu.Lock()
+	p.spans = spans
+	p.mu.Unlock()
+}
+
+func (p *pollSpans) get() []reqtrace.SpanData {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spans
+}
+
+// traceSummary is one row of GET /traces.
+type traceSummary struct {
+	ID              string    `json:"id"`
+	Kind            string    `json:"kind"`
+	Status          string    `json:"status"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Retained        string    `json:"retained"`
+	Spans           int       `json:"spans"`
+}
+
+// handleTraces lists retained traces, newest first. Filters: ?kind=select,
+// ?status=error, ?min_duration=50ms (Go duration syntax), ?n=20.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := reqtrace.Filter{Kind: q.Get("kind"), Status: q.Get("status")}
+	if md := q.Get("min_duration"); md != "" {
+		dur, err := time.ParseDuration(md)
+		if err != nil || dur < 0 {
+			writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
+				fmt.Errorf("bad min_duration %q (want a duration like 50ms)", md))
+			return
+		}
+		f.MinDuration = dur
+	}
+	if n := q.Get("n"); n != "" {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 0 {
+			writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
+				fmt.Errorf("bad n %q", n))
+			return
+		}
+		f.Limit = v
+	}
+	if st := f.Status; st != "" && st != reqtrace.StatusOK && st != reqtrace.StatusError {
+		writeError(r.Context(), w, http.StatusBadRequest, classBadRequest, "",
+			fmt.Errorf("bad status %q (want ok or error)", st))
+		return
+	}
+	traces := s.tracer.Store().List(f)
+	out := make([]traceSummary, len(traces))
+	for i, tr := range traces {
+		out[i] = traceSummary{
+			ID:              tr.ID,
+			Kind:            tr.Kind,
+			Status:          tr.Status,
+			Start:           tr.Start,
+			DurationSeconds: tr.DurationSeconds,
+			Retained:        tr.Retained,
+			Spans:           len(tr.Spans),
+		}
+	}
+	stats := s.tracer.Store().Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"traces": out,
+		"stats":  stats,
+	})
+}
+
+// handleTraceByID serves one retained trace's full span tree.
+func (s *Service) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tracer.Store().Get(id)
+	if !ok {
+		writeError(r.Context(), w, http.StatusNotFound, classNotFound, "",
+			fmt.Errorf("no retained trace %q (dropped by sampling, evicted, or never seen)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(tr)
+}

@@ -1,0 +1,342 @@
+package selectsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/reqtrace"
+	"nodeselect/internal/testbed"
+)
+
+// doWithID is do() plus an X-Request-ID header on the request.
+func doWithID(t *testing.T, h http.Handler, method, path, id string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = httptest.NewRequest(method, path, bytes.NewReader(data))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	if id != "" {
+		r.Header.Set("X-Request-ID", id)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// TestTraceLinksRequestAcrossSubsystems is the end-to-end correlation
+// proof: one client-chosen request ID comes back in the response header,
+// names the audit entry, and resolves via GET /traces/{id} to a span tree
+// that crosses the service, admission, core-sweep, and WAL layers.
+func TestTraceLinksRequestAcrossSubsystems(t *testing.T) {
+	g := testbed.Star(8, 100e6)
+	w, err := lease.OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := lease.New(g, lease.Options{WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := remos.NewStaticSource(g)
+	svc := New(src, Config{
+		DefaultMode: remos.Current,
+		Ledger:      ledger,
+		Trace:       reqtrace.Config{SampleRate: 1},
+	})
+	defer svc.Ledger().Close()
+	for i := 0; i < 2; i++ {
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		src.Advance(2)
+	}
+	h := svc.Handler()
+
+	const reqID = "e2e-leased-select-1"
+	resp := doWithID(t, h, "POST", "/select", reqID, SelectRequest{
+		M: 3, Demand: &lease.Demand{CPU: 0.3, BW: 10e6}, LeaseTTL: 60,
+	})
+	if resp.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", resp.Code, resp.Body)
+	}
+
+	// Link 1: the response echoes the client's ID.
+	if got := resp.Header().Get("X-Request-ID"); got != reqID {
+		t.Fatalf("X-Request-ID = %q, want %q", got, reqID)
+	}
+
+	// Link 2: the audit entry carries the same ID.
+	ds := svc.Decisions(1)
+	if len(ds) != 1 || ds[0].RequestID != reqID {
+		t.Fatalf("audit decision request_id = %+v, want %q", ds, reqID)
+	}
+
+	// Link 3: GET /traces/{id} resolves the ID to the full span tree.
+	tw := do(t, h, "GET", "/traces/"+reqID, nil)
+	if tw.Code != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", tw.Code, tw.Body)
+	}
+	tr := decodeJSON[reqtrace.Trace](t, tw.Body.Bytes())
+	if tr.ID != reqID || tr.Status != reqtrace.StatusOK {
+		t.Fatalf("trace header %+v", tr)
+	}
+	byName := map[string]reqtrace.SpanData{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = s
+	}
+	// One request's spans cross four subsystems: the HTTP/service layer
+	// (select root, snapshot), the lease ledger (lease.acquire,
+	// lease.place), the core sweep, and the WAL (wal.fsync).
+	for _, want := range []string{
+		"select", "snapshot", "lease.acquire", "lease.place", "core.sweep", "wal.fsync",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("span %q missing from trace (got %d spans)", want, len(tr.Spans))
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// The tree hangs together: admission under the request root, placement
+	// under admission, the sweep under placement.
+	if byName["select"].Parent != 0 {
+		t.Errorf("select root has parent %d", byName["select"].Parent)
+	}
+	if byName["lease.acquire"].Parent != byName["select"].ID {
+		t.Error("lease.acquire is not a child of the select root")
+	}
+	if byName["lease.place"].Parent != byName["lease.acquire"].ID {
+		t.Error("lease.place is not a child of lease.acquire")
+	}
+	if byName["core.sweep"].Parent != byName["lease.place"].ID {
+		t.Error("core.sweep is not a child of lease.place")
+	}
+}
+
+// TestDegradedSelectTraceShowsCollectorPoll is the chaos acceptance
+// criterion: with a proxy delaying one agent, the trace of a degraded
+// select must contain the grafted measurement-plane spans, and the
+// slowest span in the tree must be the collector poll — the request
+// itself was fast; the staleness it served came from the fleet.
+func TestDegradedSelectTraceShowsCollectorPoll(t *testing.T) {
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	for _, id := range g.ComputeNodes() {
+		src.SetLoad(id, 1)
+	}
+	src.SetLoad(g.MustNode("m-5"), 0)
+
+	cf, err := agent.StartChaosFleet(src, 1, agent.ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cf.Close)
+	ns, err := agent.DialConfig{
+		ConnectTimeout:   200 * time.Millisecond,
+		IOTimeout:        200 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		AllowPartial:     true,
+		Seed:             1,
+	}.Dial(g, cf.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+
+	svc := New(ns, Config{
+		Collector:    remos.CollectorConfig{Period: 1, History: 8, MaxStaleAge: 2.5},
+		DefaultMode:  remos.Current,
+		Seed:         1,
+		ExcludeStale: true,
+		Trace:        reqtrace.Config{SampleRate: 1},
+	})
+	for i := 0; i < 2; i++ {
+		if err := svc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		src.Advance(1)
+	}
+	h := svc.Handler()
+
+	// Hang m-5's proxy and age it past the staleness ceiling.
+	cf.Proxies[g.MustNode("m-5")].Pause()
+	for i := 0; i < 4; i++ {
+		src.Advance(1)
+		svc.Poll()
+	}
+	// The breaker has opened by now, so the last polls skipped the dead
+	// agent quickly. Wait out the cooldown and poll once more: this
+	// half-open attempt fails against the paused proxy, and that poll —
+	// real network round-trips to the whole fleet plus the failed retry —
+	// is the one a degraded select grafts.
+	time.Sleep(150 * time.Millisecond)
+	src.Advance(1)
+	svc.Poll()
+
+	w := do(t, h, "POST", "/select", SelectRequest{M: 4})
+	if w.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", w.Code, w.Body)
+	}
+	sel := decodeJSON[SelectResponse](t, w.Body.Bytes())
+	if !sel.Degraded {
+		t.Fatalf("select not degraded: %+v", sel)
+	}
+	id := w.Header().Get("X-Request-ID")
+	if !reqtrace.ValidID(id) {
+		t.Fatalf("minted request ID %q invalid", id)
+	}
+
+	tw := do(t, h, "GET", "/traces/"+id, nil)
+	if tw.Code != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", tw.Code, tw.Body)
+	}
+	tr := decodeJSON[reqtrace.Trace](t, tw.Body.Bytes())
+	var slowest reqtrace.SpanData
+	var pollSpan, root reqtrace.SpanData
+	for _, s := range tr.Spans {
+		if s.DurationSeconds > slowest.DurationSeconds {
+			slowest = s
+		}
+		switch s.Name {
+		case "collector.poll":
+			pollSpan = s
+		case "select":
+			root = s
+		}
+	}
+	if pollSpan.Name == "" {
+		t.Fatalf("no grafted collector.poll span in trace (%d spans)", len(tr.Spans))
+	}
+	if pollSpan.Parent != root.ID {
+		t.Errorf("grafted poll hangs under span %d, want select root %d", pollSpan.Parent, root.ID)
+	}
+	// The acceptance criterion: the fleet's measurement round-trips (and
+	// the failed attempt against the paused agent) dominate the in-memory
+	// request work, so the slowest span in the tree is the collector poll.
+	if slowest.Name != "collector.poll" {
+		t.Errorf("slowest span is %q (%.6fs), want collector.poll (%.6fs)",
+			slowest.Name, slowest.DurationSeconds, pollSpan.DurationSeconds)
+	}
+}
+
+// TestRequestIDMintedAndInErrorEnvelope covers the no-header and
+// bad-header paths: the service mints a ULID, echoes it, stamps it into
+// the error envelope, and retains the failed request's trace.
+func TestRequestIDMintedAndInErrorEnvelope(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	h := svc.Handler()
+
+	// No header: a ULID is minted and echoed.
+	w := do(t, h, "POST", "/select", SelectRequest{M: 4})
+	if w.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", w.Code, w.Body)
+	}
+	minted := w.Header().Get("X-Request-ID")
+	if len(minted) != 26 || !reqtrace.ValidID(minted) {
+		t.Fatalf("minted ID %q, want a 26-char ULID", minted)
+	}
+
+	// A header the service cannot trust is replaced, not echoed.
+	w = doWithID(t, h, "POST", "/select", "has space", SelectRequest{M: 4})
+	if got := w.Header().Get("X-Request-ID"); got == "has space" || !reqtrace.ValidID(got) {
+		t.Fatalf("invalid client ID echoed back: %q", got)
+	}
+
+	// A failing request carries its ID in the JSON envelope, and the
+	// error trace is always retained by the tail sampler.
+	w = doWithID(t, h, "POST", "/select", "err-req-7", SelectRequest{M: 99})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible status %d", w.Code)
+	}
+	env := decodeJSON[apiError](t, w.Body.Bytes())
+	if env.RequestID != "err-req-7" {
+		t.Fatalf("envelope request_id = %q, want err-req-7", env.RequestID)
+	}
+	tw := do(t, h, "GET", "/traces/err-req-7", nil)
+	if tw.Code != http.StatusOK {
+		t.Fatalf("error trace not retained: %d %s", tw.Code, tw.Body)
+	}
+	tr := decodeJSON[reqtrace.Trace](t, tw.Body.Bytes())
+	if tr.Status != reqtrace.StatusError || tr.Retained != reqtrace.RetainedError {
+		t.Fatalf("error trace %+v, want status error / retained error", tr)
+	}
+}
+
+// TestTracesEndpoint drives the list API: filters, limits, stats, and the
+// structured errors for bad parameters and unknown IDs.
+func TestTracesEndpoint(t *testing.T) {
+	svc, _, _ := newTestService(t)
+	svc.tracer = reqtrace.NewTracer(reqtrace.Config{SampleRate: 1})
+	h := svc.Handler()
+
+	doWithID(t, h, "POST", "/select", "ok-1", SelectRequest{M: 4})
+	doWithID(t, h, "POST", "/select", "ok-2", SelectRequest{M: 3})
+	doWithID(t, h, "POST", "/select", "bad-1", SelectRequest{M: 99})
+
+	w := do(t, h, "GET", "/traces", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("traces status %d: %s", w.Code, w.Body)
+	}
+	var list struct {
+		Traces []traceSummary `json:"traces"`
+		Stats  reqtrace.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 3 || list.Stats.Completed != 3 {
+		t.Fatalf("list = %d traces, stats %+v", len(list.Traces), list.Stats)
+	}
+	// Newest first: the failed select leads.
+	if list.Traces[0].ID != "bad-1" || list.Traces[0].Status != reqtrace.StatusError {
+		t.Fatalf("newest trace %+v", list.Traces[0])
+	}
+
+	w = do(t, h, "GET", "/traces?status=error", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].ID != "bad-1" {
+		t.Fatalf("status filter = %+v", list.Traces)
+	}
+
+	w = do(t, h, "GET", "/traces?kind=select&n=1", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Kind != "select" {
+		t.Fatalf("kind+n filter = %+v", list.Traces)
+	}
+
+	for _, path := range []string{
+		"/traces?min_duration=bogus", "/traces?min_duration=-5ms",
+		"/traces?n=bogus", "/traces?status=weird",
+	} {
+		if w := do(t, h, "GET", path, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("GET %s status %d, want 400", path, w.Code)
+		}
+	}
+	w = do(t, h, "GET", "/traces/no-such-id", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d", w.Code)
+	}
+	env := decodeJSON[apiError](t, w.Body.Bytes())
+	if env.Class != classNotFound {
+		t.Fatalf("envelope %+v", env)
+	}
+}
