@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha
 
 check: vet build race fuzz
 
@@ -35,6 +35,14 @@ fuzz:
 chaos:
 	$(GO) test -race ./internal/experiment -run='^TestChaosSchedule$$' -v
 	$(GO) run -race ./cmd/expt -run chaos
+
+# Replicated-ledger fault-injection harness, race detector on: a 3-replica
+# in-process cluster put through kill-the-leader, follower-partition, and
+# torn-append schedules. Fails when any acked lease is lost, any lease is
+# double-admitted, or failover misses its budget; writes ha.json for CI.
+ha:
+	$(GO) test -race ./internal/experiment -run='^TestHASchedules$$' -v
+	$(GO) run -race ./cmd/expt -run ha -ha-out ha.json
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -34,6 +34,7 @@ func main() {
 	flag.StringVar(&sloOut, "slo-out", "", "with -run slo: also write the report JSON to this file")
 	flag.IntVar(&sloRequests, "slo-requests", 0, "with -run slo: measured request count (default 5000)")
 	flag.BoolVar(&sloNoTrace, "slo-notrace", false, "with -run slo: disable request tracing (overhead baseline)")
+	flag.StringVar(&haOut, "ha-out", "", "with -run ha: also write the report JSON to this file")
 	flag.Parse()
 
 	cfg := experiment.Default()
@@ -96,6 +97,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runContention(cfg)
 	case "slo":
 		return runSLO(cfg)
+	case "ha":
+		return runHA(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -299,6 +302,35 @@ func runSLO(cfg experiment.Config) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", sloOut)
+	}
+	return nil
+}
+
+// haOut is set from the -ha-out flag before dispatch.
+var haOut string
+
+// runHA drives the replicated-ledger fault-injection harness: a 3-replica
+// in-process cluster put through kill-the-leader, follower-partition, and
+// torn-append schedules. Exits non-zero when any invariant fails, so the
+// CI ha job gates on it directly. Wall-clock timing, so not in -run all.
+func runHA(cfg experiment.Config) error {
+	rep, err := experiment.RunHA(experiment.HAOptions{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatHA(rep))
+	if haOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(haOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", haOut)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("ha harness failed: an invariant did not hold (see report above)")
 	}
 	return nil
 }

@@ -44,6 +44,18 @@
 // drain (5s budget), the rebalance controller stops (waiting out any
 // in-flight handover), and the ledger is flushed before exit.
 //
+// High availability: with -replica-id the daemon joins a replicated
+// cluster. The lease ledger's transitions are streamed through a
+// leader-based replicated log (quorum fsync before any acknowledgement),
+// so acknowledged reservations survive the loss of a minority of
+// replicas; followers serve reads annotated with X-Replica-Role/Term/
+// Commit-Lag and bounce writes to the leader with a 307:
+//
+//	selectd ... -replica-id a -replica-dir /var/lib/selectd/a \
+//	  -replica-listen 127.0.0.1:8811 \
+//	  -replica-peers b=http://h2:8811,c=http://h3:8811 \
+//	  -peer-urls a=http://h1:8800,b=http://h2:8800,c=http://h3:8800
+//
 // With -debug, net/http/pprof profiling is served under /debug/pprof/.
 //
 // The measurement transport is fault tolerant: -connect-timeout and
@@ -66,7 +78,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +88,7 @@ import (
 	"nodeselect/internal/rebalance"
 	"nodeselect/internal/remos"
 	"nodeselect/internal/remos/agent"
+	"nodeselect/internal/replica"
 	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/selectsvc"
 	"nodeselect/internal/topology"
@@ -109,6 +124,14 @@ type options struct {
 	traceCapacity int
 	traceSlow     time.Duration
 	traceSample   float64
+
+	replicaID       string
+	replicaPeers    string
+	replicaListen   string
+	replicaDir      string
+	peerClientURLs  string
+	electionTimeout time.Duration
+	heartbeat       time.Duration
 }
 
 func main() {
@@ -140,6 +163,13 @@ func main() {
 	flag.IntVar(&o.traceCapacity, "trace-capacity", 0, "retained traces per class — error/slow and sampled (0 = default 128)")
 	flag.DurationVar(&o.traceSlow, "trace-slow", 0, "latency above which a trace is always retained (0 = default 250ms)")
 	flag.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of fast healthy traces to keep, 0..1 (0 = default 0.1, negative = none)")
+	flag.StringVar(&o.replicaID, "replica-id", "", "this replica's name in a replicated cluster (empty = standalone)")
+	flag.StringVar(&o.replicaPeers, "replica-peers", "", "comma-separated id=url pairs of the OTHER replicas' RPC endpoints (e.g. b=http://h2:8811,c=http://h3:8811)")
+	flag.StringVar(&o.replicaListen, "replica-listen", "", "listen address for the replica RPC server (required with -replica-peers)")
+	flag.StringVar(&o.replicaDir, "replica-dir", "", "directory for the replicated log and term state (required with -replica-id)")
+	flag.StringVar(&o.peerClientURLs, "peer-urls", "", "comma-separated id=url pairs of every replica's CLIENT endpoint, for 307 write redirects")
+	flag.DurationVar(&o.electionTimeout, "election-timeout", 500*time.Millisecond, "replica heartbeat-loss timeout before a new election")
+	flag.DurationVar(&o.heartbeat, "replica-heartbeat", 100*time.Millisecond, "leader append/heartbeat interval")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "selectd:", err)
@@ -227,8 +257,19 @@ func run(o options) error {
 		return fmt.Errorf("-exclude-stale needs -max-stale")
 	}
 
+	replicated := o.replicaID != ""
+	if replicated && o.leaseDir != "" {
+		return fmt.Errorf("-lease-dir and -replica-id are mutually exclusive: a replicated ledger's durability is the replicated log under -replica-dir")
+	}
+	if replicated && o.replicaDir == "" {
+		return fmt.Errorf("-replica-id needs -replica-dir")
+	}
+
 	// The reservation ledger. With -lease-dir it is backed by a write-ahead
 	// log, so active leases (reserved capacity) survive a daemon restart.
+	// In a replicated cluster the ledger is built bare here and wired to
+	// the replica node below: durability and recovery come from the
+	// replicated log instead of a local WAL.
 	leaseOpts := lease.Options{DefaultTTL: o.leaseTTL, MaxTTL: o.leaseMaxTTL}
 	if o.leaseDir != "" {
 		w, err := lease.OpenWAL(o.leaseDir)
@@ -244,6 +285,48 @@ func run(o options) error {
 	if st := ledger.Stats(); st.Recovered > 0 || st.RecoverySkipped > 0 {
 		fmt.Printf("selectd: recovered %d leases from %s (%d skipped)\n",
 			st.Recovered, o.leaseDir, st.RecoverySkipped)
+	}
+
+	// Cluster bootstrap: start the consensus node around the ledger's
+	// Apply, then hand the ledger its Replicate. The ledger's ID counter is
+	// advanced past every lease sequence anywhere in the recovered log —
+	// committed or rolled back — so no ID is ever reused across failover.
+	var node *replica.Node
+	var peerRPC, peerClients map[string]string
+	if replicated {
+		peerRPC, err = parsePeerList(o.replicaPeers)
+		if err != nil {
+			return fmt.Errorf("-replica-peers: %w", err)
+		}
+		peerClients, err = parsePeerList(o.peerClientURLs)
+		if err != nil {
+			return fmt.Errorf("-peer-urls: %w", err)
+		}
+		if len(peerRPC) > 0 && o.replicaListen == "" {
+			return fmt.Errorf("-replica-peers needs -replica-listen")
+		}
+		peerIDs := make([]string, 0, len(peerRPC))
+		for id := range peerRPC {
+			peerIDs = append(peerIDs, id)
+		}
+		sort.Strings(peerIDs)
+		node, err = replica.Start(replica.Config{
+			ID:              o.replicaID,
+			Peers:           peerIDs,
+			Dir:             o.replicaDir,
+			Transport:       &replica.HTTPTransport{Self: o.replicaID, PeerURLs: peerRPC},
+			Apply:           ledger.Apply,
+			ElectionTimeout: o.electionTimeout,
+			Heartbeat:       o.heartbeat,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Stop()
+		ledger.SetReplicator(node)
+		ledger.AdvanceSeq(node.MaxLeaseSeq())
+		fmt.Printf("selectd: replica %s with peers %v, log at %s\n",
+			o.replicaID, peerIDs, o.replicaDir)
 	}
 
 	cfg := selectsvc.Config{
@@ -262,6 +345,10 @@ func run(o options) error {
 			SlowThreshold: o.traceSlow,
 			SampleRate:    o.traceSample,
 		},
+	}
+	if node != nil {
+		cfg.Replica = node
+		cfg.PeerClientURLs = peerClients
 	}
 	if o.rebalance || o.rebalanceAuto {
 		cfg.Rebalance = &rebalance.Policy{
@@ -313,11 +400,25 @@ func run(o options) error {
 
 	server := &http.Server{Addr: listen, Handler: mux}
 	errc := make(chan error, 1)
+	// The replica RPC plane gets its own listener so peer traffic (votes,
+	// log streams) is never queued behind client requests.
+	var replicaServer *http.Server
+	if node != nil && o.replicaListen != "" {
+		replicaServer = &http.Server{Addr: o.replicaListen, Handler: replica.Handler(node)}
+		go func() {
+			if err := replicaServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("replica server: %w", err)
+			}
+		}()
+	}
 	go func() { errc <- server.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		svc.StopRebalance()
 		stopSweeper()
+		if replicaServer != nil {
+			replicaServer.Close()
+		}
 		ledger.Close()
 		return err
 	case <-ctx.Done():
@@ -336,8 +437,31 @@ func run(o options) error {
 	}
 	svc.StopRebalance()
 	stopSweeper()
+	if replicaServer != nil {
+		replicaServer.Close()
+	}
+	if node != nil {
+		node.Stop() // flushes and closes the replicated log
+	}
 	if err := ledger.Close(); err != nil {
 		return fmt.Errorf("lease ledger close: %w", err)
 	}
 	return shutErr
+}
+
+// parsePeerList parses "id=url,id=url" into a map; empty input is an
+// empty map.
+func parsePeerList(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad peer entry %q (want id=url)", part)
+		}
+		out[id] = url
+	}
+	return out, nil
 }

@@ -75,6 +75,11 @@ var (
 	// gone, so capacity-moving transitions are refused rather than half
 	// persisted.
 	ErrClosed = errors.New("lease: ledger closed")
+	// ErrNotLeader means this replica cannot commit transitions: in a
+	// replicated cluster only the leader may propose. Replicator
+	// implementations wrap it (carrying a leader hint) so the service can
+	// redirect the client.
+	ErrNotLeader = errors.New("lease: not the cluster leader")
 )
 
 // Shape records the originating placement request of a lease — enough for a
@@ -154,6 +159,30 @@ type Lease struct {
 	// linkBW[linkID] is the bandwidth debited from each link: flow
 	// multiplicity times Demand.BW.
 	linkBW map[int]float64
+
+	// Replication bookkeeping (all zero on a non-replicated ledger, where
+	// every transition completes inside one critical section).
+	//
+	// pending marks an acquire that has reserved its debits but whose
+	// record has not yet been committed by the replication quorum: the
+	// lease is invisible to reads and immune to sweeps until the commit
+	// finalizes it (or a quorum failure rolls it back).
+	pending bool
+	// inflight counts replication proposals outstanding against this lease
+	// (renew, release, migrate, expire). The sweeper must not propose an
+	// expiry while one is in flight, and conflicting capacity-moving
+	// proposals are refused rather than interleaved.
+	inflight int
+	// handoverVer is the ledger version at which an in-flight
+	// reserve-new-alongside-old migration handover reserved its new debits
+	// (nonzero while the handover awaits quorum commit); pendingNodes and
+	// pendingLinkBW hold that reserve-new half. The TTL sweep checks
+	// handoverVer so it can never expire a lease mid-handover — expiring
+	// the old half while the new half is uncommitted would strand the new
+	// debits and resurrect the lease when the migrate record lands.
+	handoverVer   uint64
+	pendingNodes  []int
+	pendingLinkBW map[int]float64
 }
 
 // Info is the externally visible form of a lease, JSON-ready for the
@@ -189,6 +218,24 @@ type Options struct {
 	// PlaceAttempts bounds Acquire's bandwidth-floor escalation retries
 	// (default 3). See Acquire.
 	PlaceAttempts int
+	// Replicator, when non-nil, turns the ledger into one replica of a
+	// replicated cluster: every transition is proposed through it and takes
+	// effect only via Apply, in replicated-log order, on every replica.
+	// Mutually exclusive with WAL — a replicated ledger's durability lives
+	// in the replica log, and a second local WAL would double-apply on
+	// restart. Usually installed after construction via SetReplicator
+	// (the replica node needs the ledger's Apply first).
+	Replicator Replicator
+}
+
+// Replicator commits ledger transitions to a replication quorum. Replicate
+// returns only after rec is durable on a majority AND applied to the local
+// ledger (via Apply); any error means the record may or may not commit
+// later — callers roll back optimistic state and let Apply reconcile a
+// late commit. Implementations wrap ErrNotLeader when this replica cannot
+// propose.
+type Replicator interface {
+	Replicate(ctx context.Context, rec *Record) error
 }
 
 func (o Options) withDefaults() Options {
@@ -253,12 +300,28 @@ func New(g *topology.Graph, opts Options) (*Ledger, error) {
 		nodeCPU: make([]float64, g.NumNodes()),
 		linkBW:  make([]float64, g.NumLinks()),
 	}
+	if opts.WAL != nil && opts.Replicator != nil {
+		return nil, fmt.Errorf("lease: WAL and Replicator are mutually exclusive (the replica log is the durability layer)")
+	}
 	if opts.WAL != nil {
 		if err := l.recover(); err != nil {
 			return nil, err
 		}
 	}
 	return l, nil
+}
+
+// SetReplicator installs the replication layer after construction —
+// the replica node is built around the ledger's Apply, so neither can be
+// complete before the other. Install before serving traffic; panics if the
+// ledger already has a WAL.
+func (l *Ledger) SetReplicator(r Replicator) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opt.WAL != nil {
+		panic("lease: SetReplicator on a WAL-backed ledger")
+	}
+	l.opt.Replicator = r
 }
 
 // SetOnEvent installs an observer for ledger transitions ("acquire",
@@ -476,12 +539,29 @@ func (l *Ledger) acquireShaped(ctx context.Context, snap *topology.Snapshot, d D
 		return Info{}, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
 	}
 	ttl = l.clampTTL(ttl)
+	if l.replicator() != nil {
+		return l.acquireReplicated(ctx, snap, d, ttl, shape, place)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.opt.Now()
 	l.sweepLocked(now)
+	nodes, debits, err := l.placeAdmitLocked(ctx, snap, d, place)
+	if err != nil {
+		return Info{}, err
+	}
+	return l.commitLocked(ctx, nodes, d, shape, debits, now, ttl)
+}
 
+// placeAdmitLocked runs the place-then-admission-check loop with
+// bandwidth-floor escalation: a single-flow floor is necessary but not
+// sufficient (a link crossed by k flows needs k times the per-flow demand),
+// so a link shortfall raises the floor and retries, up to
+// Options.PlaceAttempts times. Returns the admitted node set and its link
+// debits, or the last binding bottleneck (the placer's own error when no
+// feasible set exists at all). Callers hold l.mu.
+func (l *Ledger) placeAdmitLocked(ctx context.Context, snap *topology.Snapshot, d Demand, place PlaceFunc) ([]int, map[int]float64, error) {
 	minBW := d.BW
 	var lastAdm *AdmissionError
 	for attempt := 0; attempt < l.opt.PlaceAttempts; attempt++ {
@@ -496,14 +576,14 @@ func (l *Ledger) acquireShaped(ctx context.Context, snap *topology.Snapshot, d D
 			// The escalated floor made placement infeasible: the previous
 			// round's admission shortfall is the real, nameable bottleneck.
 			if lastAdm != nil {
-				return Info{}, lastAdm
+				return nil, nil, lastAdm
 			}
-			return Info{}, err
+			return nil, nil, err
 		}
 		placeSpan.End()
 		debits, adm := l.admissionCheck(residual, nodes, d)
 		if adm == nil {
-			return l.commitLocked(ctx, nodes, d, shape, debits, now, ttl)
+			return nodes, debits, nil
 		}
 		lastAdm = adm
 		if adm.Kind == "link" && adm.Need > minBW {
@@ -513,7 +593,15 @@ func (l *Ledger) acquireShaped(ctx context.Context, snap *topology.Snapshot, d D
 		break
 	}
 	l.stats.Rejected++
-	return Info{}, lastAdm
+	return nil, nil, lastAdm
+}
+
+// replicator reads the installed Replicator under the lock (SetReplicator
+// may install it after New).
+func (l *Ledger) replicator() Replicator {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.opt.Replicator
 }
 
 // Migrate atomically moves an active lease to a new node set: the handover
@@ -541,6 +629,9 @@ func (l *Ledger) Migrate(ctx context.Context, snap *topology.Snapshot, id string
 func (l *Ledger) migrate(ctx context.Context, snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
 	if snap == nil || snap.Graph != l.g {
 		return Info{}, fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
+	}
+	if l.replicator() != nil {
+		return l.migrateReplicated(ctx, snap, id, place)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -589,7 +680,7 @@ func (l *Ledger) migrate(ctx context.Context, snap *topology.Snapshot, id string
 	moved.linkBW = debits
 	if l.opt.WAL != nil {
 		rec := acquireRecord(l.g, &moved)
-		rec.Op = opMigrate
+		rec.Op = OpMigrate
 		if err := l.opt.WAL.append(ctx, rec); err != nil {
 			return Info{}, fmt.Errorf("lease: wal: %w", err)
 		}
@@ -720,6 +811,9 @@ func (l *Ledger) Renew(ctx context.Context, id string, ttl time.Duration) (Info,
 
 func (l *Ledger) renew(ctx context.Context, id string, ttl time.Duration) (Info, error) {
 	ttl = l.clampTTL(ttl)
+	if l.replicator() != nil {
+		return l.renewReplicated(ctx, id, ttl)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.opt.Now()
@@ -736,7 +830,7 @@ func (l *Ledger) renew(ctx context.Context, id string, ttl time.Duration) (Info,
 	}
 	ls.Expiry = now.Add(ttl)
 	if l.opt.WAL != nil {
-		if err := l.opt.WAL.append(ctx, walRecord{Op: opRenew, ID: id, ExpiryUnixMS: ls.Expiry.UnixMilli()}); err != nil {
+		if err := l.opt.WAL.append(ctx, Record{Op: OpRenew, ID: id, ExpiryUnixMS: ls.Expiry.UnixMilli()}); err != nil {
 			return Info{}, fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -759,6 +853,9 @@ func (l *Ledger) Release(ctx context.Context, id string) error {
 }
 
 func (l *Ledger) release(ctx context.Context, id string) error {
+	if l.replicator() != nil {
+		return l.releaseReplicated(ctx, id)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sweepLocked(l.opt.Now())
@@ -767,7 +864,7 @@ func (l *Ledger) release(ctx context.Context, id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if l.opt.WAL != nil {
-		if err := l.opt.WAL.append(ctx, walRecord{Op: opRelease, ID: id}); err != nil {
+		if err := l.opt.WAL.append(ctx, Record{Op: OpRelease, ID: id}); err != nil {
 			return fmt.Errorf("lease: wal: %w", err)
 		}
 	}
@@ -793,15 +890,37 @@ func (l *Ledger) dropLocked(ls *Lease) {
 			l.linkBW[lid] = 0
 		}
 	}
+	// A committed release/expire lands while a reserve-new-alongside-old
+	// handover is still awaiting quorum: return the new half's debits too,
+	// or they would leak forever.
+	if ls.pendingLinkBW != nil {
+		for _, id := range ls.pendingNodes {
+			if l.nodeCPU[id] -= ls.Demand.CPU; l.nodeCPU[id] < 0 {
+				l.nodeCPU[id] = 0
+			}
+		}
+		for lid, bw := range ls.pendingLinkBW {
+			if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
+				l.linkBW[lid] = 0
+			}
+		}
+		ls.pendingNodes, ls.pendingLinkBW, ls.handoverVer = nil, nil, 0
+	}
 	delete(l.leases, ls.ID)
 	l.version++
 }
 
 // sweepLocked expires leases whose term has passed. Callers hold l.mu.
+// On a replicated ledger this is a no-op: expiry is a replicated
+// transition proposed by the leader's Sweep and applied everywhere in log
+// order — a local drop here would fork replicas whose clocks disagree.
 func (l *Ledger) sweepLocked(now time.Time) int {
+	if l.opt.Replicator != nil {
+		return 0
+	}
 	var expired []*Lease
 	for _, ls := range l.leases {
-		if !ls.Expiry.After(now) {
+		if !ls.Expiry.After(now) && !l.transitionInFlightLocked(ls) {
 			expired = append(expired, ls)
 		}
 	}
@@ -811,7 +930,7 @@ func (l *Ledger) sweepLocked(now time.Time) int {
 		if l.opt.WAL != nil {
 			// Expiry is derivable from timestamps at recovery; a failed
 			// append must not keep dead capacity reserved, so log best-effort.
-			l.opt.WAL.append(context.Background(), walRecord{Op: opExpire, ID: ls.ID})
+			l.opt.WAL.append(context.Background(), Record{Op: OpExpire, ID: ls.ID})
 		}
 		l.dropLocked(ls)
 		l.stats.Expired++
@@ -820,10 +939,27 @@ func (l *Ledger) sweepLocked(now time.Time) int {
 	return len(expired)
 }
 
+// transitionInFlightLocked reports whether a lease has an uncommitted
+// replication proposal against it. The TTL sweep must skip such leases —
+// canonically a reserve-new-alongside-old handover (handoverVer nonzero):
+// expiring the old half mid-handover would strand the reserved new debits
+// and then resurrect the lease when the migrate record commits. Callers
+// hold l.mu.
+func (l *Ledger) transitionInFlightLocked(ls *Lease) bool {
+	return ls.pending || ls.inflight > 0 || ls.handoverVer != 0
+}
+
 // Sweep expires overdue leases now and reports how many were reclaimed.
 // Every ledger operation also sweeps lazily; call Sweep (or StartSweeper)
-// so crashed clients' capacity returns even when no traffic arrives.
+// so crashed clients' capacity returns even when no traffic arrives. On a
+// replicated ledger Sweep instead *proposes* an expiry per due lease
+// through the Replicator — effective only on the leader (followers get
+// ErrNotLeader and reclaim nothing; the committed expiry reaches them
+// through Apply).
 func (l *Ledger) Sweep() int {
+	if r := l.replicator(); r != nil {
+		return l.sweepReplicated(r)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.sweepLocked(l.opt.Now())
@@ -885,7 +1021,9 @@ func (l *Ledger) Get(id string) (Info, bool) {
 	defer l.mu.Unlock()
 	l.sweepLocked(l.opt.Now())
 	ls, ok := l.leases[id]
-	if !ok {
+	if !ok || ls.pending {
+		// A pending lease's acquire has not committed: it does not exist
+		// yet as far as any reader is concerned.
 		return Info{}, false
 	}
 	return l.infoLocked(ls), true
@@ -898,6 +1036,9 @@ func (l *Ledger) Active() []Info {
 	l.sweepLocked(l.opt.Now())
 	out := make([]Info, 0, len(l.leases))
 	for _, ls := range l.leases {
+		if ls.pending {
+			continue
+		}
 		out = append(out, l.infoLocked(ls))
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -913,6 +1054,19 @@ func leaseSeq(id string) int64 {
 		return -1
 	}
 	return n
+}
+
+// AdvanceSeq raises the lease-ID counter past seq. A freshly elected
+// leader calls it with the highest sequence in its replicated log, so IDs
+// it issues can never collide with ones a predecessor acked (Apply also
+// advances the counter record by record, but the log may contain rolled-
+// back proposals whose IDs must still never be reused).
+func (l *Ledger) AdvanceSeq(seq int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= l.nextID {
+		l.nextID = seq + 1
+	}
 }
 
 // Close flushes the WAL (writing a final snapshot of the active leases)
@@ -935,8 +1089,8 @@ func (l *Ledger) Close() error {
 
 // activeRecordsLocked renders the active leases as WAL acquire records.
 // Callers hold l.mu.
-func (l *Ledger) activeRecordsLocked() []walRecord {
-	out := make([]walRecord, 0, len(l.leases))
+func (l *Ledger) activeRecordsLocked() []Record {
+	out := make([]Record, 0, len(l.leases))
 	for _, ls := range l.leases {
 		out = append(out, acquireRecord(l.g, ls))
 	}

@@ -1,0 +1,478 @@
+package lease
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nodeselect/internal/reqtrace"
+	"nodeselect/internal/topology"
+)
+
+// Replicated operation: with Options.Replicator installed the ledger is one
+// replica of a cluster, and a transition is no longer a single critical
+// section — it cannot be, because holding the lock across a replication
+// quorum round-trip would freeze every read for milliseconds per write.
+// Instead each write runs in three phases:
+//
+//  1. Under the lock: validate, run admission against the residual view,
+//     and *optimistically reserve* the outcome (a pending lease, a
+//     reserve-new-alongside-old handover, an inflight marker). The
+//     reservation debits capacity immediately, so a concurrent admission
+//     cannot double-count it, but stays invisible to readers.
+//  2. Unlocked: propose the record through the Replicator, which returns
+//     once a majority has fsynced it AND Apply has run locally.
+//  3. Under the lock again: observe what Apply did. Success means Apply
+//     finalized the reservation; failure rolls the optimistic half back
+//     (and if the record still commits later — a quorum ack can race an
+//     error — Apply reconciles by installing from the record itself).
+//
+// Apply is the only place committed records mutate replica state, and it
+// runs in log order on every replica, leader included. That is what makes
+// the cluster's ledgers converge: the leader's optimistic reservations are
+// bookkeeping around Apply, never a substitute for it.
+
+// acquireReplicated is the replicated admission path. Phase 1 reserves a
+// pending lease so no concurrent admission can grant the same capacity
+// while the quorum round-trip is in flight; the client is acked only after
+// commit, so failover never loses an acked admission (it may leak a
+// *rolled-back* one into the log, where it sits invisible-until-TTL and is
+// reclaimed by the leader's sweep — capacity is temporarily conservative,
+// never oversubscribed).
+func (l *Ledger) acquireReplicated(ctx context.Context, snap *topology.Snapshot, d Demand, ttl time.Duration, shape *Shape, place PlaceFunc) (Info, error) {
+	l.mu.Lock()
+	r := l.opt.Replicator
+	now := l.opt.Now()
+	nodes, debits, err := l.placeAdmitLocked(ctx, snap, d, place)
+	if err != nil {
+		l.mu.Unlock()
+		return Info{}, err
+	}
+	ls := &Lease{
+		ID:      fmt.Sprintf("lease-%d", l.nextID),
+		Nodes:   append([]int(nil), nodes...),
+		Demand:  d,
+		Shape:   shape.clone(),
+		Created: now,
+		Expiry:  now.Add(ttl),
+		linkBW:  debits,
+		pending: true,
+	}
+	sort.Ints(ls.Nodes)
+	l.nextID++
+	for _, id := range ls.Nodes {
+		l.nodeCPU[id] += d.CPU
+	}
+	for lid, bw := range debits {
+		l.linkBW[lid] += bw
+	}
+	l.leases[ls.ID] = ls
+	l.version++
+	rec := acquireRecord(l.g, ls)
+	rec.RequestID = reqtrace.TraceID(ctx)
+	l.mu.Unlock()
+
+	err = r.Replicate(ctx, &rec)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.leases[ls.ID]
+	if err != nil {
+		if cur != nil && cur.pending {
+			// The commit did not (visibly) happen: return the reservation.
+			// If the record commits after all, Apply re-installs it from the
+			// record — the ID is burned either way (AdvanceSeq/Apply keep the
+			// counter past it).
+			l.dropLocked(cur)
+			return Info{}, err
+		}
+		if cur != nil {
+			// Apply finalized before the error surfaced (commit raced a
+			// timeout): the acked, replicated state wins over the error.
+			return l.infoLocked(cur), nil
+		}
+		return Info{}, err
+	}
+	if cur == nil {
+		return Info{}, fmt.Errorf("lease: %q vanished during commit", ls.ID)
+	}
+	return l.infoLocked(cur), nil
+}
+
+// renewReplicated proposes a term extension. The new expiry is stamped
+// into the record so every replica lands on the identical timestamp.
+func (l *Ledger) renewReplicated(ctx context.Context, id string, ttl time.Duration) (Info, error) {
+	l.mu.Lock()
+	r := l.opt.Replicator
+	now := l.opt.Now()
+	ls, ok := l.leases[id]
+	if !ok || ls.pending {
+		l.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !ls.Expiry.After(now) {
+		l.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q expired at %s", ErrExpired, id, ls.Expiry.Format(time.RFC3339))
+	}
+	ls.inflight++
+	rec := Record{Op: OpRenew, ID: id, ExpiryUnixMS: now.Add(ttl).UnixMilli(), RequestID: reqtrace.TraceID(ctx)}
+	l.mu.Unlock()
+
+	err := r.Replicate(ctx, &rec)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur := l.leases[id]; cur != nil {
+		cur.inflight--
+		if err != nil {
+			return Info{}, err
+		}
+		return l.infoLocked(cur), nil
+	}
+	if err != nil {
+		return Info{}, err
+	}
+	// The renew committed but a competing expire/release landed right after
+	// it in the log: the lease is gone and must be re-admitted.
+	return Info{}, fmt.Errorf("%w: %q", ErrExpired, id)
+}
+
+// releaseReplicated proposes returning a lease's capacity.
+func (l *Ledger) releaseReplicated(ctx context.Context, id string) error {
+	l.mu.Lock()
+	r := l.opt.Replicator
+	ls, ok := l.leases[id]
+	if !ok || ls.pending {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if ls.handoverVer != 0 {
+		// A release interleaved into an uncommitted handover would leave the
+		// migrate record to resurrect the lease on replay; refuse instead.
+		l.mu.Unlock()
+		return fmt.Errorf("%w: lease %q has a migration handover in flight", ErrRejected, id)
+	}
+	ls.inflight++
+	rec := Record{Op: OpRelease, ID: id, RequestID: reqtrace.TraceID(ctx)}
+	l.mu.Unlock()
+
+	err := r.Replicate(ctx, &rec)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur := l.leases[id]; cur != nil {
+		cur.inflight--
+		return err // still present: only possible when the proposal failed
+	}
+	// Gone — released by this commit, or expired just before it. The
+	// capacity is returned either way, which is all Release promises.
+	return nil
+}
+
+// migrateReplicated is the replicated reserve-new-alongside-old handover.
+// Phase 1 debits the new placement next to the old one and marks the lease
+// with handoverVer (the ledger version of the reservation), which shields
+// it from TTL expiry and conflicting proposals until the quorum decides.
+func (l *Ledger) migrateReplicated(ctx context.Context, snap *topology.Snapshot, id string, place PlaceFunc) (Info, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Info{}, ErrClosed
+	}
+	r := l.opt.Replicator
+	now := l.opt.Now()
+	ls, ok := l.leases[id]
+	if !ok || ls.pending {
+		l.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !ls.Expiry.After(now) {
+		l.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q expired at %s", ErrExpired, id, ls.Expiry.Format(time.RFC3339))
+	}
+	if ls.inflight > 0 || ls.handoverVer != 0 {
+		l.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: lease %q has a transition in flight", ErrRejected, id)
+	}
+	residual := l.residualLocked(snap)
+	placeCtx, placeSpan := reqtrace.StartSpan(ctx, "lease.place")
+	nodes, err := place(placeCtx, residual, ls.Demand.BW)
+	if err != nil {
+		placeSpan.Fail(err)
+		placeSpan.End()
+		l.stats.Rejected++
+		l.mu.Unlock()
+		return Info{}, err
+	}
+	placeSpan.End()
+	nodes = append([]int(nil), nodes...)
+	sort.Ints(nodes)
+	if sameNodeSet(nodes, ls.Nodes) {
+		info := l.infoLocked(ls)
+		l.mu.Unlock()
+		return info, nil
+	}
+	debits, adm := l.admissionCheck(residual, nodes, ls.Demand)
+	if adm != nil {
+		l.stats.Rejected++
+		l.mu.Unlock()
+		return Info{}, adm
+	}
+	for _, nid := range nodes {
+		l.nodeCPU[nid] += ls.Demand.CPU
+	}
+	for lid, bw := range debits {
+		l.linkBW[lid] += bw
+	}
+	ls.pendingNodes, ls.pendingLinkBW = nodes, debits
+	l.version++
+	ls.handoverVer = l.version
+	moved := *ls
+	moved.Nodes = nodes
+	moved.linkBW = debits
+	rec := acquireRecord(l.g, &moved)
+	rec.Op = OpMigrate
+	rec.RequestID = reqtrace.TraceID(ctx)
+	l.mu.Unlock()
+
+	err = r.Replicate(ctx, &rec)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.leases[id]
+	if cur == nil {
+		// Unreachable by construction (handoverVer blocks release, expiry
+		// and rival proposals), kept for defense in depth.
+		if err == nil {
+			err = fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return Info{}, err
+	}
+	if cur.handoverVer != 0 {
+		// Apply did not finalize the handover: return the new half's debits.
+		for _, nid := range cur.pendingNodes {
+			if l.nodeCPU[nid] -= cur.Demand.CPU; l.nodeCPU[nid] < 0 {
+				l.nodeCPU[nid] = 0
+			}
+		}
+		for lid, bw := range cur.pendingLinkBW {
+			if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
+				l.linkBW[lid] = 0
+			}
+		}
+		cur.pendingNodes, cur.pendingLinkBW, cur.handoverVer = nil, nil, 0
+		l.version++
+		if err == nil {
+			err = fmt.Errorf("lease: migrate %q committed without applying", id)
+		}
+		return Info{}, err
+	}
+	return l.infoLocked(cur), nil
+}
+
+// sweepTimeout bounds how long one expiry proposal may wait on the quorum
+// before the sweeper gives up and retries on its next tick.
+const sweepTimeout = 5 * time.Second
+
+// sweepReplicated proposes an expiry record per due lease. Each record is
+// stamped with the expiry the sweeper saw, so Apply on every replica can
+// deterministically ignore the expiry when a renew outran it. The first
+// proposal error aborts the pass — lost leadership or a lost quorum makes
+// the remaining proposals pointless; they retry next tick (on whoever
+// leads then).
+func (l *Ledger) sweepReplicated(r Replicator) int {
+	l.mu.Lock()
+	now := l.opt.Now()
+	type due struct {
+		id     string
+		expiry int64
+	}
+	var dues []due
+	for _, ls := range l.leases {
+		if !ls.Expiry.After(now) && !l.transitionInFlightLocked(ls) {
+			ls.inflight++
+			dues = append(dues, due{ls.ID, ls.Expiry.UnixMilli()})
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(dues, func(i, j int) bool { return dues[i].id < dues[j].id })
+	n := 0
+	for i, d := range dues {
+		ctx, cancel := context.WithTimeout(context.Background(), sweepTimeout)
+		rec := Record{Op: OpExpire, ID: d.id, ExpiryUnixMS: d.expiry}
+		err := r.Replicate(ctx, &rec)
+		cancel()
+		l.mu.Lock()
+		if cur := l.leases[d.id]; cur != nil {
+			cur.inflight--
+		}
+		if err != nil {
+			for _, rest := range dues[i+1:] {
+				if cur := l.leases[rest.id]; cur != nil {
+					cur.inflight--
+				}
+			}
+			l.mu.Unlock()
+			break
+		}
+		l.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Apply installs one committed transition. The replication layer calls it
+// in log order on every replica — leader included, where it doubles as the
+// finalizer for the proposal's optimistic reservation. It must be
+// deterministic: given the same record sequence, every replica's ledger
+// converges to identical leases, debits and stats, regardless of local
+// clocks (which is why expiry decisions compare against the record's
+// stamp, never time.Now).
+func (l *Ledger) Apply(rec Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq := rec.Seq(); seq >= l.nextID {
+		l.nextID = seq + 1
+	}
+	switch rec.Op {
+	case OpNoop:
+	case OpAcquire:
+		if ls, ok := l.leases[rec.ID]; ok {
+			if ls.pending {
+				// Finalize the proposer's own reservation: debits are already
+				// in place, the lease just becomes visible.
+				ls.pending = false
+				l.version++
+				l.stats.Acquired++
+				l.event("acquire", ls)
+				return
+			}
+			// Same ID already live (log replayed over a warm ledger):
+			// replace wholesale rather than double-debit.
+			l.dropLocked(ls)
+		}
+		if ls := l.installRecordLocked(rec); ls != nil {
+			l.stats.Acquired++
+			l.event("acquire", ls)
+		}
+	case OpMigrate:
+		ls, ok := l.leases[rec.ID]
+		if ok && ls.handoverVer != 0 && l.nodeNamesMatchLocked(rec.Nodes, ls.pendingNodes) {
+			// Finalize the proposer's reserve-new-alongside-old handover:
+			// the new half is already debited, so return the old half and
+			// promote.
+			for _, nid := range ls.Nodes {
+				if l.nodeCPU[nid] -= ls.Demand.CPU; l.nodeCPU[nid] < 0 {
+					l.nodeCPU[nid] = 0
+				}
+			}
+			for lid, bw := range ls.linkBW {
+				if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
+					l.linkBW[lid] = 0
+				}
+			}
+			ls.Nodes, ls.linkBW = ls.pendingNodes, ls.pendingLinkBW
+			ls.pendingNodes, ls.pendingLinkBW, ls.handoverVer = nil, nil, 0
+			l.version++
+			l.stats.Migrated++
+			l.event("migrate", ls)
+			return
+		}
+		// Follower (or replay) path: a migrate record carries the full
+		// post-handover lease, so it is a wholesale replacement.
+		if ok {
+			l.dropLocked(ls)
+		}
+		if ls := l.installRecordLocked(rec); ls != nil {
+			l.stats.Migrated++
+			l.event("migrate", ls)
+		}
+	case OpRenew:
+		if ls, ok := l.leases[rec.ID]; ok {
+			ls.Expiry = time.UnixMilli(rec.ExpiryUnixMS)
+			l.stats.Renewed++
+			l.event("renew", ls)
+		}
+	case OpRelease:
+		if ls, ok := l.leases[rec.ID]; ok {
+			l.dropLocked(ls)
+			l.stats.Released++
+			l.event("release", ls)
+		}
+	case OpExpire:
+		ls, ok := l.leases[rec.ID]
+		if !ok {
+			return
+		}
+		if rec.ExpiryUnixMS != 0 && ls.Expiry.UnixMilli() > rec.ExpiryUnixMS {
+			// A renew committed between the sweep's proposal and this
+			// record: the term the proposer saw expire has been superseded,
+			// and every replica skips the drop by the same comparison.
+			return
+		}
+		l.dropLocked(ls)
+		l.stats.Expired++
+		l.event("expire", ls)
+	}
+}
+
+// installRecordLocked creates a lease wholesale from an acquire- or
+// migrate-shaped record: node names resolved against the current topology,
+// link debits recomputed from its routes. Records naming unknown nodes are
+// skipped (counted in RecoverySkipped) — same degradation as WAL recovery
+// after a topology change. No expiry clock check happens here: applying is
+// deterministic, and reclaiming overdue leases is the sweep's job. Callers
+// hold l.mu.
+func (l *Ledger) installRecordLocked(rec Record) *Lease {
+	nodes := make([]int, 0, len(rec.Nodes))
+	for _, name := range rec.Nodes {
+		id := l.g.NodeByName(name)
+		if id < 0 {
+			l.stats.RecoverySkipped++
+			return nil
+		}
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+	d := Demand{CPU: rec.CPU, BW: rec.BW}
+	debits := make(map[int]float64)
+	if d.BW > 0 {
+		for lid, flows := range l.g.FlowLinkCounts(nodes) {
+			debits[lid] = float64(flows) * d.BW
+		}
+	}
+	ls := &Lease{
+		ID:      rec.ID,
+		Nodes:   nodes,
+		Demand:  d,
+		Shape:   rec.Shape.clone(),
+		Created: time.UnixMilli(rec.CreatedUnixMS),
+		Expiry:  time.UnixMilli(rec.ExpiryUnixMS),
+		linkBW:  debits,
+	}
+	for _, id := range nodes {
+		l.nodeCPU[id] += d.CPU
+	}
+	for lid, bw := range debits {
+		l.linkBW[lid] += bw
+	}
+	l.leases[ls.ID] = ls
+	l.version++
+	return ls
+}
+
+// nodeNamesMatchLocked reports whether the record's node names are exactly
+// the given node IDs (both sides sorted the same way: IDs ascending, names
+// in ID order). Callers hold l.mu.
+func (l *Ledger) nodeNamesMatchLocked(names []string, ids []int) bool {
+	if len(names) != len(ids) {
+		return false
+	}
+	for i, id := range ids {
+		if l.g.Node(id).Name != names[i] {
+			return false
+		}
+	}
+	return true
+}

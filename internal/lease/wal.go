@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -19,7 +20,9 @@ import (
 // admitted lease is never lost); once enough records accumulate the log is
 // compacted: the active set is written to a snapshot file and the log
 // truncated. Recovery loads the snapshot and replays the log on top,
-// tolerating a torn final line from a crash mid-append.
+// tolerating a torn final line from a crash mid-append: the prefix is
+// recovered, a warning is logged, and the file is truncated back to the
+// last intact record so later appends never concatenate onto torn bytes.
 //
 // Records carry node *names* rather than IDs and no link debits: debits
 // are recomputed from the current topology's routes at recovery, so a
@@ -27,22 +30,29 @@ import (
 // consistent, and one against a changed topology degrades by skipping
 // leases whose nodes no longer exist.
 
-// WAL record operations.
+// WAL record operations. The same record framing is the unit of log
+// replication in internal/replica, so the constants are exported.
 const (
-	opAcquire = "acquire"
-	opRenew   = "renew"
-	opRelease = "release"
-	opExpire  = "expire"
-	// opMigrate carries the full post-handover lease state (same ID, new
+	OpAcquire = "acquire"
+	OpRenew   = "renew"
+	OpRelease = "release"
+	OpExpire  = "expire"
+	// OpMigrate carries the full post-handover lease state (same ID, new
 	// nodes): replay lands on exactly one of the two placements.
-	opMigrate = "migrate"
+	OpMigrate = "migrate"
+	// OpNoop is a replication barrier: a freshly elected leader appends one
+	// to commit its predecessors' tail (a leader may only count replicas
+	// for entries of its own term). It changes no ledger state.
+	OpNoop = "noop"
 )
 
-// walRecord is one logged transition (and, for acquire/migrate, the full
-// lease).
-type walRecord struct {
+// Record is one logged transition (and, for acquire/migrate, the full
+// lease). It doubles as the replicated log entry streamed between selectd
+// replicas: the leader stamps Term and Index before fsyncing, so every
+// replica's log is comparable line-for-line.
+type Record struct {
 	Op    string   `json:"op"`
-	ID    string   `json:"id"`
+	ID    string   `json:"id,omitempty"`
 	Nodes []string `json:"nodes,omitempty"`
 	CPU   float64  `json:"cpu,omitempty"`
 	BW    float64  `json:"bw,omitempty"`
@@ -50,19 +60,31 @@ type walRecord struct {
 	// rebalance controller can keep re-placing recovered leases.
 	Shape *Shape `json:"shape,omitempty"`
 	// Timestamps are unix milliseconds so records are compact and
-	// timezone-free.
+	// timezone-free. On an expire record, ExpiryUnixMS snapshots the
+	// expiry the proposer saw: replicated replay drops the lease only if
+	// its applied expiry is not newer, so a renew that committed first
+	// deterministically wins on every replica.
 	CreatedUnixMS int64 `json:"created_unix_ms,omitempty"`
 	ExpiryUnixMS  int64 `json:"expiry_unix_ms,omitempty"`
 	// RequestID correlates the record with the request trace that caused
 	// the transition — the same ID the service echoed in X-Request-ID.
 	// Background transitions (expiry sweeps) log without one.
 	RequestID string `json:"request_id,omitempty"`
+	// Term and Index are the replication stamps: the leader's election term
+	// and the record's position in the replicated log. Zero on a
+	// single-node WAL.
+	Term  uint64 `json:"term,omitempty"`
+	Index uint64 `json:"index,omitempty"`
 }
 
+// Seq extracts the record's lease sequence number ("lease-N" → N), -1 when
+// the ID is not ledger-issued.
+func (r Record) Seq() int64 { return leaseSeq(r.ID) }
+
 // acquireRecord renders a lease as its WAL form.
-func acquireRecord(g *topology.Graph, ls *Lease) walRecord {
-	rec := walRecord{
-		Op:            opAcquire,
+func acquireRecord(g *topology.Graph, ls *Lease) Record {
+	rec := Record{
+		Op:            OpAcquire,
 		ID:            ls.ID,
 		Nodes:         make([]string, len(ls.Nodes)),
 		CPU:           ls.Demand.CPU,
@@ -80,10 +102,45 @@ func acquireRecord(g *topology.Graph, ls *Lease) walRecord {
 // walSnapshot is the snapshot file's document.
 type walSnapshot struct {
 	// Active holds one acquire-shaped record per live lease.
-	Active []walRecord `json:"active"`
+	Active []Record `json:"active"`
 	// NextSeq preserves the ID counter across compactions, so IDs are
 	// never reused even when the log of issued leases is compacted away.
 	NextSeq int64 `json:"next_seq"`
+}
+
+// ScanRecords reads JSON-lines records from f (which must be positioned at
+// the start), returning the decoded prefix, the byte length of that intact
+// prefix, and whether a torn (truncated or half-written) trailing line was
+// found. A torn line ends the scan: everything before it is trustworthy
+// because appends are synced in order. Shared by the ledger WAL and the
+// replica log, whose on-disk framing is the same.
+func ScanRecords(f *os.File) (recs []Record, goodLen int64, torn bool, err error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		// +1 for the newline the scanner stripped.
+		lineLen := int64(len(line)) + 1
+		if len(line) == 0 {
+			goodLen += lineLen
+			continue
+		}
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			return recs, goodLen, true, nil
+		}
+		recs = append(recs, rec)
+		goodLen += lineLen
+	}
+	if serr := sc.Err(); serr != nil {
+		// A line past the scanner's buffer ceiling is torn garbage, not a
+		// reason to lose the intact prefix.
+		if serr == bufio.ErrTooLong {
+			return recs, goodLen, true, nil
+		}
+		return nil, 0, false, serr
+	}
+	return recs, goodLen, false, nil
 }
 
 // WAL persists ledger transitions under one directory.
@@ -97,6 +154,9 @@ type WAL struct {
 	// CompactEvery is the record count that triggers snapshot+truncate
 	// (default 256); settable before the ledger starts using the WAL.
 	CompactEvery int
+	// Logf receives recovery warnings (torn-tail truncation); defaults to
+	// the standard logger. Settable before recovery runs.
+	Logf func(format string, args ...any)
 }
 
 func (w *WAL) logPath() string  { return filepath.Join(w.dir, "ledger.wal.jsonl") }
@@ -111,7 +171,7 @@ func OpenWAL(dir string) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lease: wal dir: %w", err)
 	}
-	w := &WAL{dir: dir, CompactEvery: 256}
+	w := &WAL{dir: dir, CompactEvery: 256, Logf: log.Printf}
 	f, err := os.OpenFile(w.logPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lease: wal log: %w", err)
@@ -123,11 +183,11 @@ func OpenWAL(dir string) (*WAL, error) {
 // load reads the snapshot and replays the log, returning the active
 // acquire-shaped records and the highest lease sequence number observed
 // anywhere (so the ledger resumes IDs without reuse).
-func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
+func (w *WAL) load() (active []Record, maxSeq int64, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	maxSeq = -1
-	live := make(map[string]*walRecord)
+	live := make(map[string]*Record)
 	var order []string
 
 	note := func(id string) {
@@ -156,26 +216,31 @@ func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
 
 	// Replay the log segment. A torn final line (crash mid-append) ends
 	// the replay; everything before it is intact because appends are
-	// synced in order.
+	// synced in order. The torn bytes are truncated away so the next
+	// append starts a fresh line instead of merging into garbage.
 	if _, err := w.f.Seek(0, 0); err != nil {
 		return nil, 0, err
 	}
-	sc := bufio.NewScanner(w.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	recs, goodLen, torn, err := ScanRecords(w.f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if torn {
+		if w.Logf != nil {
+			w.Logf("lease: wal %s: torn trailing record (crash mid-append); recovering %d intact records and truncating to %d bytes",
+				w.logPath(), len(recs), goodLen)
+		}
+		if err := w.f.Truncate(goodLen); err != nil {
+			return nil, 0, fmt.Errorf("truncating torn wal tail: %w", err)
+		}
+	}
 	w.records = 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec walRecord
-		if jerr := json.Unmarshal(line, &rec); jerr != nil {
-			break
-		}
+	for i := range recs {
+		rec := recs[i]
 		w.records++
 		note(rec.ID)
 		switch rec.Op {
-		case opAcquire, opMigrate:
+		case OpAcquire, OpMigrate:
 			// A migrate record is a full replacement of the lease's state;
 			// replaying it over the original acquire (or over a snapshot
 			// entry) lands on the post-handover placement. The order slice
@@ -183,16 +248,13 @@ func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
 			r := rec
 			live[rec.ID] = &r
 			order = append(order, rec.ID)
-		case opRenew:
+		case OpRenew:
 			if cur, ok := live[rec.ID]; ok {
 				cur.ExpiryUnixMS = rec.ExpiryUnixMS
 			}
-		case opRelease, opExpire:
+		case OpRelease, OpExpire:
 			delete(live, rec.ID)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, err
 	}
 	if _, err := w.f.Seek(0, 2); err != nil {
 		return nil, 0, err
@@ -214,7 +276,7 @@ func (w *WAL) load() (active []walRecord, maxSeq int64, err error) {
 // acknowledged transition. The record is stamped with the context's
 // trace ID, and the write+fsync is timed as a "wal.fsync" span — fsync is
 // the one disk wait on the admission path, so it gets its own span.
-func (w *WAL) append(ctx context.Context, rec walRecord) error {
+func (w *WAL) append(ctx context.Context, rec Record) error {
 	if rec.RequestID == "" {
 		rec.RequestID = reqtrace.TraceID(ctx)
 	}
@@ -227,7 +289,7 @@ func (w *WAL) append(ctx context.Context, rec walRecord) error {
 	return err
 }
 
-func (w *WAL) appendRecord(rec walRecord) error {
+func (w *WAL) appendRecord(rec Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -260,7 +322,7 @@ func (w *WAL) due() bool {
 
 // compact writes the active set to the snapshot file (atomically, via a
 // temp file and rename) and truncates the log segment.
-func (w *WAL) compact(active []walRecord) error {
+func (w *WAL) compact(active []Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

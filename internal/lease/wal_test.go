@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -234,6 +235,62 @@ func TestWALToleratesTornTail(t *testing.T) {
 	// The torn record is dropped; the snapshot's lease survives.
 	if l2.Len() != 1 {
 		t.Fatalf("recovered %d leases", l2.Len())
+	}
+}
+
+// TestWALCrashMidAppend simulates the canonical torn-tail crash: the
+// process dies halfway through writing a record, leaving intact lines plus
+// a partial one. Recovery must keep the intact prefix, warn, and truncate
+// the file so the next append starts a fresh line instead of gluing JSON
+// onto the torn bytes (which would corrupt the *following* restart too).
+func TestWALCrashMidAppend(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	g := starGraph(4)
+	expiry := clock.Now().Add(time.Hour).UnixMilli()
+	intact := fmt.Sprintf(`{"op":"acquire","id":"lease-0","nodes":["n-1"],"cpu":0.2,"expiry_unix_ms":%d}`, expiry) + "\n"
+	torn := `{"op":"acquire","id":"lease-1","nodes":["n-2"],"cpu":0.2,"expi`
+	logPath := filepath.Join(dir, "ledger.wal.jsonl")
+	if err := os.WriteFile(logPath, []byte(intact+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	w.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	l, err := New(g, Options{Now: clock.Now, WAL: w})
+	if err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("recovered %d leases, want the 1 intact record", l.Len())
+	}
+	if _, ok := l.Get("lease-0"); !ok {
+		t.Fatal("intact prefix record lost")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "torn") {
+		t.Fatalf("want one torn-tail warning, got %q", warnings)
+	}
+	if fi, err := os.Stat(logPath); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() != int64(len(intact)) {
+		t.Fatalf("log is %d bytes after recovery, want truncation to the %d-byte intact prefix", fi.Size(), len(intact))
+	}
+
+	// Appends after recovery must land on their own lines: acquire again,
+	// restart again, and both leases must survive the second replay.
+	if _, err := l.Acquire(context.Background(), topology.NewSnapshot(g), Demand{CPU: 0.1}, time.Hour, balancedPlace(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l2 := reopen(t, l, dir, Options{Now: clock.Now})
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Fatalf("second restart recovered %d leases, want 2", l2.Len())
 	}
 }
 

@@ -1,0 +1,330 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nodeselect/internal/lease"
+)
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		Follower:  "follower",
+		Candidate: "candidate",
+		Leader:    "leader",
+		Role(9):   "Role(9)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestNotLeaderError(t *testing.T) {
+	withHint := &NotLeaderError{Leader: "b"}
+	if !errors.Is(withHint, lease.ErrNotLeader) {
+		t.Fatal("NotLeaderError must unwrap to lease.ErrNotLeader")
+	}
+	if !strings.Contains(withHint.Error(), "leader is b") {
+		t.Errorf("Error() = %q, want the leader hint", withHint.Error())
+	}
+	noHint := &NotLeaderError{}
+	if !strings.Contains(noHint.Error(), "no leader known") {
+		t.Errorf("Error() = %q, want the no-leader wording", noHint.Error())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ElectionTimeout != 500*time.Millisecond || c.Heartbeat != 100*time.Millisecond {
+		t.Fatalf("defaults: ET %v HB %v", c.ElectionTimeout, c.Heartbeat)
+	}
+	if c.Seed == 0 || c.Logf == nil {
+		t.Fatal("defaults: seed and logger must be filled in")
+	}
+	// A heartbeat at or past the election timeout would make every term a
+	// re-election; it is forced down instead.
+	c = Config{ElectionTimeout: 100 * time.Millisecond, Heartbeat: 200 * time.Millisecond}.withDefaults()
+	if c.Heartbeat != 25*time.Millisecond {
+		t.Fatalf("oversized heartbeat forced to %v, want 25ms", c.Heartbeat)
+	}
+}
+
+// TestTornReplicaLogRecovery crashes mid-append by hand: a valid prefix
+// plus half a record. openLog must warn, truncate, and serve the prefix.
+func TestTornReplicaLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []lease.Record{
+		{Op: lease.OpNoop, Term: 1, Index: 1},
+		{Op: lease.OpAcquire, ID: "lease-0", Nodes: []string{"m-1"}, CPU: 0.1, Term: 1, Index: 2},
+	}
+	if err := l.append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "replica.log.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"acquire","id":"lease-1","term":1,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warned string
+	l2, err := openLog(dir, func(format string, args ...any) {
+		warned = fmt.Sprintf(format, args...)
+	})
+	if err != nil {
+		t.Fatalf("recovery over torn log: %v", err)
+	}
+	defer l2.close()
+	if !strings.Contains(warned, "torn") {
+		t.Errorf("no torn-tail warning logged; got %q", warned)
+	}
+	if l2.lastIndex() != 2 || l2.entry(2).ID != "lease-0" {
+		t.Fatalf("recovered %d entries, want the 2 intact ones", l2.lastIndex())
+	}
+	// The truncation must be durable: appending continues the sequence.
+	if err := l2.append(lease.Record{Op: lease.OpNoop, Term: 2, Index: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if l2.lastTerm() != 2 || l2.termAt(3) != 2 {
+		t.Fatalf("post-recovery append: lastTerm %d termAt(3) %d", l2.lastTerm(), l2.termAt(3))
+	}
+}
+
+// TestLogRejectsMisindexedEntries: a log whose stamped indices do not run
+// 1..n is corrupt and must be refused, not silently renumbered.
+func TestLogRejectsMisindexedEntries(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.append(lease.Record{Op: lease.OpNoop, Term: 1, Index: 5}); err != nil {
+		t.Fatal(err)
+	}
+	l.close()
+	if _, err := openLog(dir, nil); err == nil {
+		t.Fatal("openLog accepted a log whose first entry is stamped index 5")
+	}
+}
+
+func TestTruncateFromRewritesDisk(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := l.append(lease.Record{Op: lease.OpNoop, Term: 1, Index: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.truncateFrom(3); err != nil {
+		t.Fatal(err)
+	}
+	// Truncating past the end is a no-op, not an error.
+	if err := l.truncateFrom(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.append(lease.Record{Op: lease.OpNoop, Term: 2, Index: 3}); err != nil {
+		t.Fatal(err)
+	}
+	l.close()
+	l2, err := openLog(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen after truncate: %v", err)
+	}
+	defer l2.close()
+	if l2.lastIndex() != 3 || l2.termAt(3) != 2 {
+		t.Fatalf("disk log after truncate+append: %d entries, termAt(3)=%d", l2.lastIndex(), l2.termAt(3))
+	}
+	if got := l2.slice(2, 3); len(got) != 2 {
+		t.Fatalf("slice(2,3) returned %d entries", len(got))
+	}
+}
+
+func TestTermStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := loadTermState(dir)
+	if err != nil || st.Term != 0 {
+		t.Fatalf("missing term state: %+v, %v", st, err)
+	}
+	if err := saveTermState(dir, termState{Term: 7, VotedFor: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = loadTermState(dir)
+	if err != nil || st.Term != 7 || st.VotedFor != "b" {
+		t.Fatalf("round trip: %+v, %v", st, err)
+	}
+	// Corrupt state is an error, not a silent fresh start (that could
+	// double-vote in an old term).
+	if err := os.WriteFile(termPath(dir), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTermState(dir); err == nil {
+		t.Fatal("loadTermState accepted corrupt JSON")
+	}
+}
+
+// TestHandlerErrorPaths covers the RPC server's rejection branches.
+func TestHandlerErrorPaths(t *testing.T) {
+	n, err := Start(Config{
+		ID: "solo", Dir: t.TempDir(), Transport: NewMemTransport(),
+		Apply: func(lease.Record) {}, ElectionTimeout: 50 * time.Millisecond,
+		Seed: 1, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	srv := httptest.NewServer(Handler(n))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/replica/vote", "", http.StatusMethodNotAllowed},
+		{"POST", "/replica/vote", "{bad json", http.StatusBadRequest},
+		{"GET", "/replica/append", "", http.StatusMethodNotAllowed},
+		{"POST", "/replica/append", "not json at all", http.StatusBadRequest},
+		{"POST", "/replica/status", "", http.StatusMethodNotAllowed},
+		{"GET", "/replica/status", "", http.StatusOK},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestHTTPTransportErrors covers the client-side failure branches: unknown
+// peer, unreachable peer, and a non-200 reply.
+func TestHTTPTransportErrors(t *testing.T) {
+	tr := &HTTPTransport{Self: "a", PeerURLs: map[string]string{
+		"down": "http://127.0.0.1:1",
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := tr.RequestVote(ctx, "ghost", VoteRequest{}); err == nil ||
+		!strings.Contains(err.Error(), "no URL for peer") {
+		t.Errorf("unknown peer: %v", err)
+	}
+	if _, err := tr.AppendEntries(ctx, "down", AppendRequest{}); err == nil {
+		t.Error("unreachable peer: want an error")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "replica draining", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	tr.PeerURLs["busy"] = srv.URL
+	if _, err := tr.RequestVote(ctx, "busy", VoteRequest{}); err == nil ||
+		!strings.Contains(err.Error(), "replica draining") {
+		t.Errorf("non-200 reply: %v", err)
+	}
+}
+
+// TestMemTransportFaults covers the fault-injection switchboard the HA
+// harness depends on: delays, intercepts, and partitions.
+func TestMemTransportFaults(t *testing.T) {
+	tr := NewMemTransport()
+	n, err := Start(Config{
+		ID: "a", Dir: t.TempDir(), Transport: tr,
+		Apply: func(lease.Record) {}, ElectionTimeout: 50 * time.Millisecond,
+		Seed: 1, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	tr.Register(n)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
+	tr.SetDelay(5 * time.Millisecond)
+	t0 := time.Now()
+	if _, err := tr.RequestVote(ctx, "a", VoteRequest{Term: 1, Candidate: "x"}); err != nil {
+		t.Fatalf("delayed delivery: %v", err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Error("SetDelay did not delay delivery")
+	}
+	tr.SetDelay(0)
+
+	tr.SetIntercept(func(from, to string, req any) error {
+		if _, ok := req.(AppendRequest); ok {
+			return fmt.Errorf("append dropped")
+		}
+		return nil
+	})
+	if _, err := tr.AppendEntries(ctx, "a", AppendRequest{}); err == nil {
+		t.Error("intercept did not drop the append")
+	}
+	if _, err := tr.RequestVote(ctx, "a", VoteRequest{Term: 1, Candidate: "x"}); err != nil {
+		t.Errorf("intercept dropped a vote it should pass: %v", err)
+	}
+	tr.SetIntercept(nil)
+
+	tr.Partition("a", "b")
+	if _, err := tr.RequestVote(ctx, "a", VoteRequest{Term: 1, Candidate: "b"}); err == nil {
+		t.Error("partitioned link delivered")
+	}
+	tr.Heal("a", "b")
+	if _, err := tr.RequestVote(ctx, "a", VoteRequest{Term: 1, Candidate: "b"}); err != nil {
+		t.Errorf("healed link still cut: %v", err)
+	}
+	if _, err := tr.AppendEntries(ctx, "nobody", AppendRequest{}); err == nil {
+		t.Error("delivery to an unregistered node succeeded")
+	}
+}
+
+// TestLeaderID exercises the leader-hint accessor through a real election.
+func TestLeaderID(t *testing.T) {
+	tr := NewMemTransport()
+	n, err := Start(Config{
+		ID: "solo", Dir: t.TempDir(), Transport: tr,
+		Apply: func(lease.Record) {}, ElectionTimeout: 40 * time.Millisecond,
+		Seed: 1, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	tr.Register(n)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.IsLeader() && n.LeaderID() == "solo" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("single node never led itself: leader %q", n.LeaderID())
+}

@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTPTransport carries replica RPCs over HTTP POST with JSON bodies —
+// the wire used by real selectd clusters. Peer IDs map to base URLs
+// (e.g. "b" -> "http://10.0.0.2:7601"); the RPCs live under /replica/.
+type HTTPTransport struct {
+	// Self is the local replica's ID, stamped as the caller on requests.
+	Self string
+	// PeerURLs maps peer replica IDs to their base URLs (no trailing slash
+	// required).
+	PeerURLs map[string]string
+	// Client is the HTTP client to use (http.DefaultClient when nil).
+	// Per-call deadlines come from the RPC context.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) post(ctx context.Context, peer, path string, req, reply any) error {
+	base, ok := t.PeerURLs[peer]
+	if !ok {
+		return fmt.Errorf("replica: no URL for peer %q", peer)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: %s%s: %s: %s", peer, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(reply)
+}
+
+func (t *HTTPTransport) RequestVote(ctx context.Context, peer string, req VoteRequest) (VoteReply, error) {
+	var reply VoteReply
+	err := t.post(ctx, peer, "/replica/vote", req, &reply)
+	return reply, err
+}
+
+func (t *HTTPTransport) AppendEntries(ctx context.Context, peer string, req AppendRequest) (AppendReply, error) {
+	var reply AppendReply
+	err := t.post(ctx, peer, "/replica/append", req, &reply)
+	return reply, err
+}
+
+// Handler serves the replica RPC endpoints for n:
+//
+//	POST /replica/vote    — RequestVote
+//	POST /replica/append  — AppendEntries
+//	GET  /replica/status  — Status (JSON), for debugging and the harness
+//
+// Mount it on the peer-facing server (cmd/selectd runs it on a separate
+// listener from the client API).
+func Handler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replica/vote", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, func(req VoteRequest) VoteReply { return n.HandleVote(req) })
+	})
+	mux.HandleFunc("/replica/append", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, func(req AppendRequest) AppendReply { return n.HandleAppend(req) })
+	})
+	mux.HandleFunc("/replica/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Status())
+	})
+	return mux
+}
+
+// rpc decodes a JSON request, invokes the handler, and encodes the reply.
+func rpc[Req, Reply any](w http.ResponseWriter, r *http.Request, handle func(Req) Reply) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(handle(req))
+}

@@ -1,0 +1,215 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodeselect/internal/lease"
+)
+
+// The replicated log reuses the lease WAL's on-disk framing: JSON lines of
+// lease.Record, each stamped with the term it was proposed in and its
+// 1-based position. Appends fsync before the node acknowledges anything
+// built on them (a vote, a quorum ack), which is what makes "a majority
+// has it" mean "a majority will still have it after a crash". A conflict
+// with a newer leader's log truncates the tail by rewriting the file — a
+// rare, small operation (only uncommitted entries can be truncated).
+
+// raftLog is the disk-backed entry sequence. Callers synchronize (the
+// owning Node holds its mutex around every call).
+type raftLog struct {
+	path    string
+	f       *os.File
+	entries []lease.Record // entries[i] has Index i+1
+}
+
+// openLog opens (creating as needed) the log at dir/replica.log.jsonl and
+// recovers its entries, truncating a torn tail like the lease WAL does.
+func openLog(dir string, logf func(string, ...any)) (*raftLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: log dir: %w", err)
+	}
+	path := filepath.Join(dir, "replica.log.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replica: log: %w", err)
+	}
+	recs, goodLen, torn, err := lease.ScanRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replica: log recovery: %w", err)
+	}
+	if torn {
+		if logf != nil {
+			logf("replica: log %s: torn trailing record (crash mid-append); recovering %d intact entries and truncating to %d bytes", path, len(recs), goodLen)
+		}
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("replica: truncating torn log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Entries carry their index; trust positions only when consistent.
+	for i, rec := range recs {
+		if rec.Index != uint64(i+1) {
+			f.Close()
+			return nil, fmt.Errorf("replica: log %s: entry %d stamped index %d", path, i+1, rec.Index)
+		}
+	}
+	return &raftLog{path: path, f: f, entries: recs}, nil
+}
+
+func (l *raftLog) lastIndex() uint64 { return uint64(len(l.entries)) }
+
+func (l *raftLog) lastTerm() uint64 {
+	if len(l.entries) == 0 {
+		return 0
+	}
+	return l.entries[len(l.entries)-1].Term
+}
+
+// termAt returns the term of the entry at idx (0 for the empty prefix).
+func (l *raftLog) termAt(idx uint64) uint64 {
+	if idx == 0 || idx > l.lastIndex() {
+		return 0
+	}
+	return l.entries[idx-1].Term
+}
+
+// entry returns a copy of the record at idx (1-based; idx must be valid).
+func (l *raftLog) entry(idx uint64) lease.Record { return l.entries[idx-1] }
+
+// slice returns copies of entries [from, to] inclusive, 1-based.
+func (l *raftLog) slice(from, to uint64) []lease.Record {
+	if from < 1 {
+		from = 1
+	}
+	if to > l.lastIndex() || from > to {
+		return nil
+	}
+	return append([]lease.Record(nil), l.entries[from-1:to]...)
+}
+
+// append writes entries to disk (one fsync for the batch) and extends the
+// in-memory sequence. Entries must already be stamped with consecutive
+// indices continuing the log.
+func (l *raftLog) append(recs ...lease.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.entries = append(l.entries, recs...)
+	return nil
+}
+
+// truncateFrom discards entries at idx and beyond (1-based), rewriting the
+// file so the on-disk log matches. Used when a newer leader's log
+// contradicts an uncommitted suffix.
+func (l *raftLog) truncateFrom(idx uint64) error {
+	if idx > l.lastIndex() {
+		return nil
+	}
+	keep := l.entries[:idx-1]
+	var buf []byte
+	for _, rec := range keep {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f.Close()
+	l.f = f
+	l.entries = append([]lease.Record(nil), keep...)
+	return nil
+}
+
+func (l *raftLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// maxLeaseSeq reports the highest lease sequence number anywhere in the
+// log — rolled-back proposals included — so a new leader can advance the
+// ledger's ID counter past every ID that ever hit a majority's disk.
+func (l *raftLog) maxLeaseSeq() int64 {
+	max := int64(-1)
+	for _, rec := range l.entries {
+		if seq := rec.Seq(); seq > max {
+			max = seq
+		}
+	}
+	return max
+}
+
+// termState is the durable election state: the highest term seen and the
+// vote cast in it. It must hit disk before any vote reply leaves the node,
+// or a crash+restart could double-vote in one term.
+type termState struct {
+	Term     uint64 `json:"term"`
+	VotedFor string `json:"voted_for,omitempty"`
+}
+
+func termPath(dir string) string { return filepath.Join(dir, "replica.term.json") }
+
+func loadTermState(dir string) (termState, error) {
+	var st termState
+	data, err := os.ReadFile(termPath(dir))
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("replica: term state %s: %w", termPath(dir), err)
+	}
+	return st, nil
+}
+
+func saveTermState(dir string, st termState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := termPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, termPath(dir))
+}

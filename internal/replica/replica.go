@@ -1,0 +1,762 @@
+// Package replica turns the single-process lease ledger into a 3-replica
+// (or any-odd-N) highly available control plane. It is a compact Raft-style
+// state machine: a term-numbered leader election (randomized heartbeat
+// timeout → candidate → majority vote, with term and vote persisted before
+// any reply leaves the node), leader-to-follower log streaming with a
+// prefix-consistency check, and quorum commit — an admission is
+// acknowledged only after a majority has fsynced its record. Committed
+// records are applied, in log order, to the local ledger on every replica;
+// the ledger's own two-phase transitions (lease.Replicator) ride on
+// Replicate.
+//
+// Failover preserves every acknowledged reservation by construction:
+// acknowledged means on a majority's disks, every electable leader's log
+// contains a majority's records (the vote rejects candidates with stale
+// logs), and a new leader commits its whole backlog — via a no-op barrier
+// entry in its own term — before serving its first proposal. TTL sweeping
+// re-arms on the new leader automatically because sweeps are proposals:
+// whoever leads proposes expiries, everyone else's sweeps bounce with
+// NotLeaderError.
+package replica
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/reqtrace"
+)
+
+// Role is a replica's place in the current term.
+type Role int
+
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// NotLeaderError rejects a proposal on a non-leader, carrying the best
+// known leader so the service can redirect the client. Unwraps to
+// lease.ErrNotLeader.
+type NotLeaderError struct {
+	// Leader is the replica ID of the last known leader ("" when unknown,
+	// e.g. mid-election).
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "replica: not the leader (no leader known)"
+	}
+	return fmt.Sprintf("replica: not the leader (leader is %s)", e.Leader)
+}
+
+func (e *NotLeaderError) Unwrap() error { return lease.ErrNotLeader }
+
+// Config wires one replica.
+type Config struct {
+	// ID is this replica's name; Peers are the *other* replicas' IDs. An
+	// empty Peers list is a single-node cluster (commits immediately).
+	ID    string
+	Peers []string
+	// Dir holds the durable state: replica.log.jsonl and replica.term.json.
+	Dir string
+	// Transport carries votes and appends to peers.
+	Transport Transport
+	// Apply consumes committed records in log order (lease.Ledger.Apply).
+	Apply func(rec lease.Record)
+	// ElectionTimeout is the base heartbeat-loss timeout T; each election
+	// waits a randomized span in [T, 2T) so replicas rarely tie. Default 500ms.
+	ElectionTimeout time.Duration
+	// Heartbeat is the leader's idle append interval. Default 100ms.
+	Heartbeat time.Duration
+	// Seed fixes the election jitter for deterministic tests (0 = from the
+	// clock).
+	Seed int64
+	// Logf receives role transitions and recovery warnings (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+	// OnRole, when set, observes every (role, term) transition. Called with
+	// the node's lock held — record and return, never call back into the
+	// node.
+	OnRole func(role Role, term uint64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 500 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.Heartbeat >= c.ElectionTimeout {
+		c.Heartbeat = c.ElectionTimeout / 4
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Node is one replica: a disk-backed log, the election state machine, and
+// the apply loop feeding committed records to the ledger.
+type Node struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on commit/apply/role changes
+
+	role     Role
+	term     uint64
+	votedFor string
+	leader   string // last known leader ID ("" when unknown)
+
+	log          *raftLog
+	commitIndex  uint64
+	lastApplied  uint64
+	leaderCommit uint64 // highest cluster commit index heard from any leader
+	readyIndex   uint64 // leader: index of this term's no-op barrier
+
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	inflight    map[string]bool
+	lastAck     map[string]time.Time // leader: last successful append ack per peer
+	lastContact time.Time            // follower: last valid leader/candidate contact
+
+	electionReset time.Time
+	electionSpan  time.Duration
+	rng           *randx.Source
+
+	stopping bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Start opens the durable state and runs the replica. The node begins as a
+// follower; with no reachable peers it elects itself after one timeout
+// (single-node clusters lead immediately in practice).
+func Start(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("replica: node needs an ID")
+	}
+	if cfg.Transport == nil && len(cfg.Peers) > 0 {
+		return nil, fmt.Errorf("replica: peers without a transport")
+	}
+	st, err := loadTermState(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	lg, err := openLog(cfg.Dir, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:        cfg,
+		role:       Follower,
+		term:       st.Term,
+		votedFor:   st.VotedFor,
+		log:        lg,
+		nextIndex:  make(map[string]uint64),
+		matchIndex: make(map[string]uint64),
+		inflight:   make(map[string]bool),
+		lastAck:    make(map[string]time.Time),
+		rng:        randx.New(cfg.Seed),
+		done:       make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.mu.Lock()
+	n.resetElectionLocked()
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go n.run()
+	go n.applyLoop()
+	return n, nil
+}
+
+// Stop halts the replica and closes its log. Safe to call once; concurrent
+// Replicate calls return errors.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopping {
+		n.mu.Unlock()
+		return
+	}
+	n.stopping = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+	n.mu.Lock()
+	n.log.close()
+	n.mu.Unlock()
+}
+
+// resetElectionLocked restarts the heartbeat-loss clock with fresh jitter.
+func (n *Node) resetElectionLocked() {
+	n.electionReset = time.Now()
+	n.electionSpan = n.cfg.ElectionTimeout + time.Duration(n.rng.Float64()*float64(n.cfg.ElectionTimeout))
+}
+
+// persistLocked writes term and vote durably. Must succeed before any
+// reply that promises them leaves the node.
+func (n *Node) persistLocked() error {
+	return saveTermState(n.cfg.Dir, termState{Term: n.term, VotedFor: n.votedFor})
+}
+
+// setRoleLocked transitions role (and optionally term) with observer and
+// log notification.
+func (n *Node) setRoleLocked(role Role) {
+	if n.role == role {
+		return
+	}
+	n.role = role
+	n.cfg.Logf("replica %s: %s at term %d", n.cfg.ID, role, n.term)
+	if n.cfg.OnRole != nil {
+		n.cfg.OnRole(role, n.term)
+	}
+	n.cond.Broadcast()
+}
+
+// stepDownLocked adopts a newer term as a follower.
+func (n *Node) stepDownLocked(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+		n.leader = ""
+		if err := n.persistLocked(); err != nil {
+			n.cfg.Logf("replica %s: persisting term %d: %v", n.cfg.ID, term, err)
+		}
+	}
+	n.setRoleLocked(Follower)
+	n.resetElectionLocked()
+}
+
+// run is the timer loop: followers and candidates start elections when the
+// heartbeat goes quiet; leaders send (possibly empty) appends every
+// heartbeat interval.
+func (n *Node) run() {
+	defer n.wg.Done()
+	tick := n.cfg.Heartbeat / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var lastBeat time.Time
+	for {
+		select {
+		case <-n.done:
+			return
+		case now := <-t.C:
+			n.mu.Lock()
+			switch n.role {
+			case Leader:
+				if now.Sub(lastBeat) >= n.cfg.Heartbeat {
+					lastBeat = now
+					n.mu.Unlock()
+					n.broadcast()
+					continue
+				}
+			default:
+				if now.Sub(n.electionReset) >= n.electionSpan {
+					n.startElectionLocked()
+				}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// startElectionLocked opens a new term and solicits votes. Callers hold
+// n.mu; vote counting happens in reply goroutines.
+func (n *Node) startElectionLocked() {
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.leader = ""
+	if err := n.persistLocked(); err != nil {
+		n.cfg.Logf("replica %s: persisting candidacy at term %d: %v", n.cfg.ID, n.term, err)
+		return // cannot safely self-vote without durability
+	}
+	n.setRoleLocked(Candidate)
+	n.resetElectionLocked()
+	term := n.term
+	req := VoteRequest{
+		Term:         term,
+		Candidate:    n.cfg.ID,
+		LastLogIndex: n.log.lastIndex(),
+		LastLogTerm:  n.log.lastTerm(),
+	}
+	votes := 1 // self
+	majority := (len(n.cfg.Peers)+1)/2 + 1
+	if votes >= majority {
+		n.becomeLeaderLocked()
+		return
+	}
+	for _, peer := range n.cfg.Peers {
+		peer := peer
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
+			reply, err := n.cfg.Transport.RequestVote(ctx, peer, req)
+			cancel()
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if reply.Term > n.term {
+				n.stepDownLocked(reply.Term)
+				return
+			}
+			if n.role != Candidate || n.term != term || !reply.Granted {
+				return
+			}
+			votes++
+			if votes >= majority {
+				n.becomeLeaderLocked()
+			}
+		}()
+	}
+}
+
+// becomeLeaderLocked installs leader state and appends this term's no-op
+// barrier: a leader may only count replicas for entries of its own term,
+// so the barrier is what commits the predecessors' tail — and readiness
+// (serving proposals) waits for it to apply, so the ledger has replayed
+// the full committed backlog before the first post-failover admission.
+func (n *Node) becomeLeaderLocked() {
+	n.setRoleLocked(Leader)
+	n.leader = n.cfg.ID
+	next := n.log.lastIndex() + 1
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = next
+		n.matchIndex[p] = 0
+		n.lastAck[p] = time.Time{}
+	}
+	noop := lease.Record{Op: lease.OpNoop, Term: n.term, Index: next}
+	if err := n.log.append(noop); err != nil {
+		n.cfg.Logf("replica %s: appending term barrier: %v; stepping down", n.cfg.ID, err)
+		n.setRoleLocked(Follower)
+		return
+	}
+	n.readyIndex = next
+	n.advanceCommitLocked()
+	go n.broadcast()
+}
+
+// broadcast kicks an append toward every peer (deduplicated per peer by
+// the inflight map).
+func (n *Node) broadcast() {
+	n.mu.Lock()
+	if n.role != Leader || n.stopping {
+		n.mu.Unlock()
+		return
+	}
+	peers := n.cfg.Peers
+	n.mu.Unlock()
+	for _, p := range peers {
+		n.sendAppend(p)
+	}
+}
+
+// sendAppend ships the peer's next log suffix (or a heartbeat).
+func (n *Node) sendAppend(peer string) {
+	n.mu.Lock()
+	if n.role != Leader || n.stopping || n.inflight[peer] {
+		n.mu.Unlock()
+		return
+	}
+	n.inflight[peer] = true
+	term := n.term
+	next := n.nextIndex[peer]
+	if next < 1 {
+		next = 1
+	}
+	prev := next - 1
+	req := AppendRequest{
+		Term:         term,
+		Leader:       n.cfg.ID,
+		PrevIndex:    prev,
+		PrevTerm:     n.log.termAt(prev),
+		Entries:      n.log.slice(next, n.log.lastIndex()),
+		LeaderCommit: n.commitIndex,
+	}
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
+		reply, err := n.cfg.Transport.AppendEntries(ctx, peer, req)
+		cancel()
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.inflight[peer] = false
+		if err != nil {
+			return // next heartbeat retries
+		}
+		if reply.Term > n.term {
+			n.stepDownLocked(reply.Term)
+			return
+		}
+		if n.role != Leader || n.term != term {
+			return
+		}
+		if reply.Success {
+			if m := prev + uint64(len(req.Entries)); m > n.matchIndex[peer] {
+				n.matchIndex[peer] = m
+			}
+			n.nextIndex[peer] = n.matchIndex[peer] + 1
+			n.lastAck[peer] = time.Now()
+			n.advanceCommitLocked()
+			if n.nextIndex[peer] <= n.log.lastIndex() {
+				go n.sendAppend(peer) // more backlog: keep streaming
+			}
+			return
+		}
+		// Consistency miss: back up to the follower's hint and retry. The
+		// hint is at most lastIndex on the follower, so this terminates.
+		if reply.MatchIndex < prev {
+			n.nextIndex[peer] = reply.MatchIndex + 1
+		} else if prev > 0 {
+			n.nextIndex[peer] = prev
+		}
+		go n.sendAppend(peer)
+	}()
+}
+
+// advanceCommitLocked moves the commit index to the highest current-term
+// entry held by a majority. Counting only current-term entries is the
+// classic safety rule: a prior-term entry on a majority can still be
+// overwritten, but committing one current-term entry commits the whole
+// prefix beneath it.
+func (n *Node) advanceCommitLocked() {
+	for idx := n.log.lastIndex(); idx > n.commitIndex; idx-- {
+		if n.log.termAt(idx) != n.term {
+			break
+		}
+		count := 1 // self
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count*2 > len(n.cfg.Peers)+1 {
+			n.commitIndex = idx
+			if idx > n.leaderCommit {
+				n.leaderCommit = idx
+			}
+			n.cond.Broadcast()
+			break
+		}
+	}
+}
+
+// applyLoop feeds committed entries to cfg.Apply in order, outside the
+// node lock (the ledger takes its own).
+func (n *Node) applyLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for n.lastApplied >= n.commitIndex && !n.stopping {
+			n.cond.Wait()
+		}
+		if n.stopping {
+			n.mu.Unlock()
+			return
+		}
+		idx := n.lastApplied + 1
+		rec := n.log.entry(idx)
+		n.mu.Unlock()
+		if n.cfg.Apply != nil {
+			n.cfg.Apply(rec)
+		}
+		n.mu.Lock()
+		n.lastApplied = idx
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+}
+
+// HandleVote is the RequestVote RPC entry point (called by transports).
+// Term and vote are persisted before the reply is returned.
+func (n *Node) HandleVote(req VoteRequest) VoteReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Term < n.term {
+		return VoteReply{Term: n.term, Granted: false}
+	}
+	if req.Term > n.term {
+		n.stepDownLocked(req.Term)
+	}
+	// The up-to-date check is what carries acknowledged records through
+	// failover: a candidate missing a majority-held entry cannot win a
+	// majority of votes.
+	upToDate := req.LastLogTerm > n.log.lastTerm() ||
+		(req.LastLogTerm == n.log.lastTerm() && req.LastLogIndex >= n.log.lastIndex())
+	if (n.votedFor == "" || n.votedFor == req.Candidate) && upToDate {
+		n.votedFor = req.Candidate
+		if err := n.persistLocked(); err != nil {
+			n.cfg.Logf("replica %s: persisting vote for %s: %v", n.cfg.ID, req.Candidate, err)
+			return VoteReply{Term: n.term, Granted: false}
+		}
+		n.resetElectionLocked()
+		return VoteReply{Term: n.term, Granted: true}
+	}
+	return VoteReply{Term: n.term, Granted: false}
+}
+
+// HandleAppend is the AppendEntries RPC entry point (called by
+// transports). Entries are fsynced before the success reply: the leader's
+// quorum count must mean "on disk", not "in a buffer".
+func (n *Node) HandleAppend(req AppendRequest) AppendReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Term < n.term {
+		return AppendReply{Term: n.term, Success: false}
+	}
+	if req.Term > n.term || n.role != Follower {
+		n.stepDownLocked(req.Term)
+	}
+	n.leader = req.Leader
+	n.lastContact = time.Now()
+	n.resetElectionLocked()
+
+	if req.PrevIndex > 0 &&
+		(n.log.lastIndex() < req.PrevIndex || n.log.termAt(req.PrevIndex) != req.PrevTerm) {
+		hint := n.log.lastIndex()
+		if req.PrevIndex-1 < hint {
+			hint = req.PrevIndex - 1
+		}
+		return AppendReply{Term: n.term, Success: false, MatchIndex: hint}
+	}
+
+	// Skip duplicates, truncate the first conflict, append the rest as one
+	// fsynced batch.
+	idx := req.PrevIndex
+	var fresh []lease.Record
+	for i, rec := range req.Entries {
+		idx++
+		if idx <= n.log.lastIndex() {
+			if n.log.termAt(idx) == rec.Term {
+				continue
+			}
+			if err := n.log.truncateFrom(idx); err != nil {
+				n.cfg.Logf("replica %s: truncating conflicting suffix at %d: %v", n.cfg.ID, idx, err)
+				return AppendReply{Term: n.term, Success: false, MatchIndex: idx - 1}
+			}
+		}
+		fresh = req.Entries[i:]
+		break
+	}
+	if len(fresh) > 0 {
+		if err := n.log.append(fresh...); err != nil {
+			n.cfg.Logf("replica %s: appending %d entries: %v", n.cfg.ID, len(fresh), err)
+			return AppendReply{Term: n.term, Success: false, MatchIndex: n.log.lastIndex()}
+		}
+	}
+	match := req.PrevIndex + uint64(len(req.Entries))
+	if req.LeaderCommit > n.leaderCommit {
+		n.leaderCommit = req.LeaderCommit
+	}
+	if req.LeaderCommit > n.commitIndex {
+		ci := req.LeaderCommit
+		if last := n.log.lastIndex(); ci > last {
+			ci = last
+		}
+		n.commitIndex = ci
+		n.cond.Broadcast()
+	}
+	return AppendReply{Term: n.term, Success: true, MatchIndex: match}
+}
+
+// proposeTimeout bounds Replicate when the caller's context carries no
+// deadline of its own.
+const proposeTimeout = 10 * time.Second
+
+// Replicate implements lease.Replicator: stamp, fsync locally, stream to
+// the quorum, and return once the record is committed AND applied to the
+// local ledger. Only the leader accepts; followers reject with
+// NotLeaderError carrying the leader hint. A freshly elected leader holds
+// proposals until its no-op barrier applies (the committed backlog is
+// replayed), which keeps lease IDs collision-free across failover.
+func (n *Node) Replicate(ctx context.Context, rec *lease.Record) error {
+	span := reqtrace.StartChild(ctx, "replica.propose")
+	defer span.End()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, proposeTimeout)
+		defer cancel()
+	}
+	stopWake := context.AfterFunc(ctx, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer stopWake()
+
+	n.mu.Lock()
+	for n.role == Leader && n.lastApplied < n.readyIndex && ctx.Err() == nil && !n.stopping {
+		n.cond.Wait()
+	}
+	if n.role != Leader || n.stopping {
+		err := &NotLeaderError{Leader: n.leader}
+		n.mu.Unlock()
+		span.Fail(err)
+		return err
+	}
+	if ctx.Err() != nil {
+		n.mu.Unlock()
+		span.Fail(ctx.Err())
+		return ctx.Err()
+	}
+	term := n.term
+	idx := n.log.lastIndex() + 1
+	rec.Term, rec.Index = term, idx
+	lspan := reqtrace.StartChild(ctx, "replica.append.local")
+	err := n.log.append(*rec)
+	lspan.End()
+	if err != nil {
+		n.mu.Unlock()
+		span.Fail(err)
+		return fmt.Errorf("replica: local append: %w", err)
+	}
+	n.advanceCommitLocked() // single-node clusters commit here
+	n.mu.Unlock()
+	n.broadcast()
+
+	qspan := reqtrace.StartChild(ctx, "replica.quorum.wait")
+	defer qspan.End()
+	n.mu.Lock()
+	for n.lastApplied < idx && ctx.Err() == nil && !n.stopping {
+		n.cond.Wait()
+	}
+	if n.lastApplied >= idx {
+		sameTerm := n.log.termAt(idx) == term
+		n.mu.Unlock()
+		if !sameTerm {
+			// A newer leader overwrote the slot before it committed: the
+			// proposal is gone, not just slow.
+			err := &NotLeaderError{Leader: ""}
+			qspan.Fail(err)
+			span.Fail(err)
+			return err
+		}
+		return nil
+	}
+	var werr error
+	if n.stopping {
+		werr = fmt.Errorf("replica: node stopped during commit wait")
+	} else {
+		werr = fmt.Errorf("replica: commit wait: %w", ctx.Err())
+	}
+	n.mu.Unlock()
+	qspan.Fail(werr)
+	span.Fail(werr)
+	return werr
+}
+
+// Status is a point-in-time view of the replica, served by /healthz and
+// the metrics gauges.
+type Status struct {
+	ID           string `json:"id"`
+	Role         string `json:"role"`
+	Term         uint64 `json:"term"`
+	Leader       string `json:"leader,omitempty"`
+	CommitIndex  uint64 `json:"commit_index"`
+	LastApplied  uint64 `json:"last_applied"`
+	LastLogIndex uint64 `json:"last_log_index"`
+	// CommitLag is how many records the cluster has committed that this
+	// replica has not yet applied — the staleness bound a follower read
+	// carries.
+	CommitLag uint64 `json:"commit_lag"`
+	// HasQuorum reports whether this replica believes a quorum is intact: a
+	// leader with recent acks from a majority, or a follower with recent
+	// leader contact.
+	HasQuorum bool `json:"has_quorum"`
+	// SinceContactSeconds is the age of the last leader contact (followers
+	// only; 0 on a leader).
+	SinceContactSeconds float64 `json:"since_contact_seconds,omitempty"`
+}
+
+// Status snapshots the replica's state.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := Status{
+		ID:           n.cfg.ID,
+		Role:         n.role.String(),
+		Term:         n.term,
+		Leader:       n.leader,
+		CommitIndex:  n.commitIndex,
+		LastApplied:  n.lastApplied,
+		LastLogIndex: n.log.lastIndex(),
+	}
+	if hi := n.leaderCommit; hi > n.lastApplied {
+		st.CommitLag = hi - n.lastApplied
+	}
+	fresh := 2 * n.cfg.ElectionTimeout
+	switch n.role {
+	case Leader:
+		count := 1
+		for _, p := range n.cfg.Peers {
+			if ack := n.lastAck[p]; !ack.IsZero() && time.Since(ack) < fresh {
+				count++
+			}
+		}
+		st.HasQuorum = count*2 > len(n.cfg.Peers)+1
+	case Follower:
+		if !n.lastContact.IsZero() {
+			st.SinceContactSeconds = time.Since(n.lastContact).Seconds()
+			st.HasQuorum = time.Since(n.lastContact) < fresh
+		}
+	}
+	return st
+}
+
+// MaxLeaseSeq reports the highest lease sequence anywhere in the log (see
+// lease.Ledger.AdvanceSeq).
+func (n *Node) MaxLeaseSeq() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.log.maxLeaseSeq()
+}
+
+// ID returns the replica's name.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// LeaderID returns the last known leader ("" when unknown).
+func (n *Node) LeaderID() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader
+}
+
+// IsLeader reports whether this replica currently leads.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == Leader
+}

@@ -1,0 +1,542 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/randx"
+)
+
+// recorder collects the records a node applied, in order.
+type recorder struct {
+	mu   sync.Mutex
+	recs []lease.Record
+}
+
+func (r *recorder) apply(rec lease.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs = append(r.recs, rec)
+}
+
+func (r *recorder) ids() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, rec := range r.recs {
+		if rec.Op != lease.OpNoop {
+			out = append(out, rec.ID)
+		}
+	}
+	return out
+}
+
+type cluster struct {
+	tr    *MemTransport
+	nodes map[string]*Node
+	recs  map[string]*recorder
+	ids   []string
+}
+
+func clusterIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	return ids
+}
+
+func startNode(t *testing.T, c *cluster, id, dir string, seed int64, onRole func(Role, uint64)) *Node {
+	t.Helper()
+	var peers []string
+	for _, p := range c.ids {
+		if p != id {
+			peers = append(peers, p)
+		}
+	}
+	rec := c.recs[id]
+	n, err := Start(Config{
+		ID:              id,
+		Peers:           peers,
+		Dir:             dir,
+		Transport:       c.tr,
+		Apply:           rec.apply,
+		ElectionTimeout: 60 * time.Millisecond,
+		Heartbeat:       15 * time.Millisecond,
+		Seed:            seed,
+		Logf:            func(string, ...any) {},
+		OnRole:          onRole,
+	})
+	if err != nil {
+		t.Fatalf("start %s: %v", id, err)
+	}
+	c.nodes[id] = n
+	c.tr.Register(n)
+	return n
+}
+
+// newCluster boots n replicas on a shared MemTransport.
+func newCluster(t *testing.T, n int, seed int64) *cluster {
+	t.Helper()
+	c := &cluster{
+		tr:    NewMemTransport(),
+		nodes: make(map[string]*Node),
+		recs:  make(map[string]*recorder),
+		ids:   clusterIDs(n),
+	}
+	base := t.TempDir()
+	for i, id := range c.ids {
+		c.recs[id] = &recorder{}
+		startNode(t, c, id, filepath.Join(base, id), seed+int64(i)*7919, nil)
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.Stop()
+		}
+	})
+	return c
+}
+
+// waitLeader blocks until exactly one live node leads, and returns it.
+func waitLeader(t *testing.T, c *cluster, timeout time.Duration) *Node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var leaders []*Node
+		for _, n := range c.nodes {
+			if n.IsLeader() {
+				leaders = append(leaders, n)
+			}
+		}
+		if len(leaders) == 1 {
+			return leaders[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no single leader within %v", timeout)
+	return nil
+}
+
+// waitConverged blocks until every live node has applied through the given
+// index and their applied sequences agree.
+func waitConverged(t *testing.T, c *cluster, idx uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, n := range c.nodes {
+			if n.Status().LastApplied < idx {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			var want []string
+			for id, n := range c.nodes {
+				got := c.recs[id].ids()
+				_ = n
+				if want == nil {
+					want = got
+					continue
+				}
+				if len(got) != len(want) {
+					ok = false
+					break
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for id, n := range c.nodes {
+		t.Logf("%s: %+v applied=%v", id, n.Status(), c.recs[id].ids())
+	}
+	t.Fatalf("cluster did not converge to applied index %d within %v", idx, timeout)
+}
+
+func propose(t *testing.T, n *Node, id string) uint64 {
+	t.Helper()
+	rec := lease.Record{Op: lease.OpAcquire, ID: id, Nodes: []string{"a"}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n.Replicate(ctx, &rec); err != nil {
+		t.Fatalf("replicate %s via %s: %v", id, n.ID(), err)
+	}
+	return rec.Index
+}
+
+func TestElectAndReplicate(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	ld := waitLeader(t, c, 3*time.Second)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		last = propose(t, ld, fmt.Sprintf("lease-%d", i))
+	}
+	waitConverged(t, c, last, 3*time.Second)
+	for id := range c.nodes {
+		got := c.recs[id].ids()
+		if len(got) != 5 {
+			t.Fatalf("%s applied %d records, want 5: %v", id, len(got), got)
+		}
+	}
+	st := ld.Status()
+	if !st.HasQuorum || st.Role != "leader" {
+		t.Fatalf("leader status %+v", st)
+	}
+}
+
+func TestFollowerRejectsProposal(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	ld := waitLeader(t, c, 3*time.Second)
+	// Let the leader's heartbeat announce itself everywhere.
+	waitConverged(t, c, 1, 3*time.Second)
+	for id, n := range c.nodes {
+		if n == ld {
+			continue
+		}
+		rec := lease.Record{Op: lease.OpAcquire, ID: "lease-9"}
+		err := n.Replicate(context.Background(), &rec)
+		if err == nil {
+			t.Fatalf("follower %s accepted a proposal", id)
+		}
+		if !errors.Is(err, lease.ErrNotLeader) {
+			t.Fatalf("follower %s rejected with %v, want lease.ErrNotLeader", id, err)
+		}
+		var nle *NotLeaderError
+		if !errors.As(err, &nle) || nle.Leader != ld.ID() {
+			t.Fatalf("follower %s error %v lacks leader hint %s", id, err, ld.ID())
+		}
+	}
+}
+
+func TestFailoverPreservesAcknowledged(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	ld := waitLeader(t, c, 3*time.Second)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = propose(t, ld, fmt.Sprintf("lease-%d", i))
+	}
+	waitConverged(t, c, last, 3*time.Second)
+
+	// Crash the leader: stop the process and cut its endpoint.
+	c.tr.Unregister(ld.ID())
+	ld.Stop()
+	delete(c.nodes, ld.ID())
+	oldID := ld.ID()
+
+	start := time.Now()
+	newLd := waitLeader(t, c, 3*time.Second)
+	t.Logf("failover %s -> %s in %v", oldID, newLd.ID(), time.Since(start))
+
+	// Every acknowledged record must survive, and the new leader must
+	// serve proposals (readiness barrier passed).
+	idx := propose(t, newLd, "lease-3")
+	waitConverged(t, c, idx, 3*time.Second)
+	got := c.recs[newLd.ID()].ids()
+	want := []string{"lease-0", "lease-1", "lease-2", "lease-3"}
+	if len(got) != len(want) {
+		t.Fatalf("post-failover applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-failover applied %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsolatedLeaderCannotCommit(t *testing.T) {
+	c := newCluster(t, 3, 4)
+	ld := waitLeader(t, c, 3*time.Second)
+	waitConverged(t, c, 1, 3*time.Second)
+	c.tr.Isolate(ld.ID())
+
+	// A proposal on the cut-off leader must not be acknowledged.
+	rec := lease.Record{Op: lease.OpAcquire, ID: "lease-0"}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	err := ld.Replicate(ctx, &rec)
+	cancel()
+	if err == nil {
+		t.Fatalf("isolated leader acknowledged a proposal")
+	}
+
+	// The majority side elects a fresh leader and keeps serving.
+	deadline := time.Now().Add(3 * time.Second)
+	var newLd *Node
+	for time.Now().Before(deadline) {
+		for _, n := range c.nodes {
+			if n != ld && n.IsLeader() {
+				newLd = n
+			}
+		}
+		if newLd != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLd == nil {
+		t.Fatalf("majority did not elect a new leader")
+	}
+	idx := propose(t, newLd, "lease-1")
+
+	// Heal: the stale leader steps down and converges; the unacknowledged
+	// record must not resurrect anywhere.
+	c.tr.HealAll()
+	waitConverged(t, c, idx, 3*time.Second)
+	for id := range c.nodes {
+		for _, got := range c.recs[id].ids() {
+			if got == "lease-0" {
+				t.Fatalf("%s applied the unacknowledged record lease-0", id)
+			}
+		}
+	}
+	if ld.IsLeader() {
+		t.Fatalf("stale leader did not step down after heal")
+	}
+}
+
+func TestRestartRecoversTermAndLog(t *testing.T) {
+	c := &cluster{
+		tr:    NewMemTransport(),
+		nodes: make(map[string]*Node),
+		recs:  map[string]*recorder{"n0": {}},
+		ids:   []string{"n0"},
+	}
+	dir := t.TempDir()
+	n := startNode(t, c, "n0", dir, 1, nil)
+	ld := waitLeader(t, c, 3*time.Second)
+	if ld != n {
+		t.Fatalf("single node did not lead")
+	}
+	idx := propose(t, n, "lease-7")
+	if got := n.MaxLeaseSeq(); got != 7 {
+		t.Fatalf("MaxLeaseSeq = %d, want 7", got)
+	}
+	term := n.Status().Term
+	n.Stop()
+	c.tr.Unregister("n0")
+	delete(c.nodes, "n0")
+
+	c.recs["n0"] = &recorder{}
+	n2 := startNode(t, c, "n0", dir, 2, nil)
+	defer n2.Stop()
+	st := n2.Status()
+	if st.Term < term {
+		t.Fatalf("restart lost term: %d < %d", st.Term, term)
+	}
+	if st.LastLogIndex < idx {
+		t.Fatalf("restart lost log: last index %d < %d", st.LastLogIndex, idx)
+	}
+	waitLeader(t, c, 3*time.Second)
+	waitConverged(t, c, idx, 3*time.Second)
+	got := c.recs["n0"].ids()
+	if len(got) != 1 || got[0] != "lease-7" {
+		t.Fatalf("restart replayed %v, want [lease-7]", got)
+	}
+	if got := n2.MaxLeaseSeq(); got != 7 {
+		t.Fatalf("restarted MaxLeaseSeq = %d, want 7", got)
+	}
+}
+
+func TestHTTPTransport(t *testing.T) {
+	ids := clusterIDs(3)
+	urls := make(map[string]string)
+	nodes := make(map[string]*Node)
+	recs := make(map[string]*recorder)
+	servers := make(map[string]*httptest.Server)
+
+	// Handlers resolve the node lazily: the server must exist before the
+	// node so peers know each other's URLs up front.
+	for _, id := range ids {
+		id := id
+		srv := httptest.NewServer(lazyHandler(func() *Node { return nodes[id] }))
+		defer srv.Close()
+		servers[id] = srv
+		urls[id] = srv.URL
+	}
+	base := t.TempDir()
+	for i, id := range ids {
+		var peers []string
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		recs[id] = &recorder{}
+		n, err := Start(Config{
+			ID:              id,
+			Peers:           peers,
+			Dir:             filepath.Join(base, id),
+			Transport:       &HTTPTransport{Self: id, PeerURLs: urls},
+			Apply:           recs[id].apply,
+			ElectionTimeout: 100 * time.Millisecond,
+			Heartbeat:       25 * time.Millisecond,
+			Seed:            int64(i + 1),
+			Logf:            func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatalf("start %s: %v", id, err)
+		}
+		nodes[id] = n
+		defer n.Stop()
+	}
+	var ld *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && ld == nil {
+		for _, n := range nodes {
+			if n.IsLeader() {
+				ld = n
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ld == nil {
+		t.Fatalf("no leader over HTTP transport")
+	}
+	idx := propose(t, ld, "lease-1")
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, n := range nodes {
+			if n.Status().LastApplied < idx {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("HTTP cluster did not converge")
+}
+
+// lazyHandler defers node resolution to request time, so the HTTP servers
+// can come up before the nodes they front.
+func lazyHandler(get func() *Node) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := get()
+		if n == nil {
+			http.Error(w, "replica not ready", http.StatusServiceUnavailable)
+			return
+		}
+		Handler(n).ServeHTTP(w, r)
+	})
+}
+
+// TestElectionSafety is the satellite property test: across 500 randomized
+// partition/heal events (20 seeded schedules x 25 events), no term may ever
+// see two leaders. Leadership is recorded at transition time via
+// Config.OnRole, so even a leadership that lasts one tick is checked.
+func TestElectionSafety(t *testing.T) {
+	schedules, events := 20, 25
+	if testing.Short() {
+		schedules = 4
+	}
+	for s := 0; s < schedules; s++ {
+		s := s
+		t.Run(fmt.Sprintf("schedule-%02d", s), func(t *testing.T) {
+			t.Parallel()
+			var (
+				mu        sync.Mutex
+				leaderFor = make(map[uint64]string)
+			)
+			c := &cluster{
+				tr:    NewMemTransport(),
+				nodes: make(map[string]*Node),
+				recs:  make(map[string]*recorder),
+				ids:   clusterIDs(3),
+			}
+			base := t.TempDir()
+			for i, id := range c.ids {
+				id := id
+				c.recs[id] = &recorder{}
+				onRole := func(role Role, term uint64) {
+					if role != Leader {
+						return
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					if prev, ok := leaderFor[term]; ok && prev != id {
+						t.Errorf("term %d has two leaders: %s and %s", term, prev, id)
+						return
+					}
+					leaderFor[term] = id
+				}
+				n, err := Start(Config{
+					ID:              id,
+					Peers:           peersOf(c.ids, id),
+					Dir:             filepath.Join(base, id),
+					Transport:       c.tr,
+					Apply:           c.recs[id].apply,
+					ElectionTimeout: 25 * time.Millisecond,
+					Heartbeat:       8 * time.Millisecond,
+					Seed:            int64(s*1000 + i + 1),
+					Logf:            func(string, ...any) {},
+					OnRole:          onRole,
+				})
+				if err != nil {
+					t.Fatalf("start %s: %v", id, err)
+				}
+				c.nodes[id] = n
+				c.tr.Register(n)
+			}
+			defer func() {
+				for _, n := range c.nodes {
+					n.Stop()
+				}
+			}()
+
+			rng := randx.New(int64(s) + 42)
+			for e := 0; e < events; e++ {
+				switch rng.Intn(4) {
+				case 0: // cut one random pair
+					a := c.ids[rng.Intn(len(c.ids))]
+					b := c.ids[rng.Intn(len(c.ids))]
+					if a != b {
+						c.tr.Partition(a, b)
+					}
+				case 1: // isolate one node entirely
+					c.tr.Isolate(c.ids[rng.Intn(len(c.ids))])
+				case 2: // heal one random pair
+					a := c.ids[rng.Intn(len(c.ids))]
+					b := c.ids[rng.Intn(len(c.ids))]
+					if a != b {
+						c.tr.Heal(a, b)
+					}
+				case 3: // heal everything
+					c.tr.HealAll()
+				}
+				time.Sleep(time.Duration(3+rng.Intn(10)) * time.Millisecond)
+			}
+			// Heal and let the survivors settle: the invariant must also
+			// hold through the final converging elections.
+			c.tr.HealAll()
+			waitLeader(t, c, 3*time.Second)
+		})
+	}
+}
+
+func peersOf(ids []string, self string) []string {
+	var peers []string
+	for _, p := range ids {
+		if p != self {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}

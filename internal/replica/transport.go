@@ -1,0 +1,186 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"nodeselect/internal/lease"
+)
+
+// VoteRequest asks a peer for its vote in an election.
+type VoteRequest struct {
+	Term         uint64 `json:"term"`
+	Candidate    string `json:"candidate"`
+	LastLogIndex uint64 `json:"last_log_index"`
+	LastLogTerm  uint64 `json:"last_log_term"`
+}
+
+// VoteReply answers a VoteRequest.
+type VoteReply struct {
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// AppendRequest streams log entries (or, empty, a heartbeat) from the
+// leader. PrevIndex/PrevTerm anchor the entries: the follower accepts only
+// if its own log matches at that position, which inductively keeps every
+// follower's log a prefix-consistent copy of the leader's.
+type AppendRequest struct {
+	Term         uint64         `json:"term"`
+	Leader       string         `json:"leader"`
+	PrevIndex    uint64         `json:"prev_index"`
+	PrevTerm     uint64         `json:"prev_term"`
+	Entries      []lease.Record `json:"entries,omitempty"`
+	LeaderCommit uint64         `json:"leader_commit"`
+}
+
+// AppendReply answers an AppendRequest. On success MatchIndex is the
+// highest index known replicated on the follower; on a consistency miss it
+// hints where the leader should back up to.
+type AppendReply struct {
+	Term       uint64 `json:"term"`
+	Success    bool   `json:"success"`
+	MatchIndex uint64 `json:"match_index"`
+}
+
+// Transport carries replica RPCs. Implementations: MemTransport (tests and
+// the fault-injection harness) and HTTPTransport (selectd clusters).
+type Transport interface {
+	RequestVote(ctx context.Context, peer string, req VoteRequest) (VoteReply, error)
+	AppendEntries(ctx context.Context, peer string, req AppendRequest) (AppendReply, error)
+}
+
+// MemTransport connects Nodes in-process with injectable faults: pairwise
+// partitions, per-message delay, and an arbitrary intercept hook. All
+// faults are symmetric checks applied per message, so a partition drops
+// requests in both directions the moment it is set.
+type MemTransport struct {
+	mu        sync.Mutex
+	nodes     map[string]*Node
+	cut       map[string]bool // "a|b" with a<b: pair cannot talk
+	delay     time.Duration
+	intercept func(from, to string, req any) error
+}
+
+// NewMemTransport builds an empty in-process transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{nodes: make(map[string]*Node), cut: make(map[string]bool)}
+}
+
+// Register attaches a node. Re-registering an ID replaces the old node
+// (the harness's crash/restart path).
+func (t *MemTransport) Register(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[n.cfg.ID] = n
+}
+
+// Unregister detaches a node, simulating a crashed process: messages to it
+// fail like a dead TCP endpoint.
+func (t *MemTransport) Unregister(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.nodes, id)
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Partition cuts the link between a and b (both directions).
+func (t *MemTransport) Partition(a, b string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut[pairKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (t *MemTransport) Heal(a, b string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cut, pairKey(a, b))
+}
+
+// Isolate cuts every link touching id.
+func (t *MemTransport) Isolate(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for other := range t.nodes {
+		if other != id {
+			t.cut[pairKey(id, other)] = true
+		}
+	}
+}
+
+// HealAll removes every partition.
+func (t *MemTransport) HealAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut = make(map[string]bool)
+}
+
+// SetDelay adds a fixed latency to every delivered message.
+func (t *MemTransport) SetDelay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delay = d
+}
+
+// SetIntercept installs a hook consulted before each delivery; a non-nil
+// return drops the message with that error. Used to inject targeted faults
+// (delayed or refused appends) without cutting the whole link.
+func (t *MemTransport) SetIntercept(fn func(from, to string, req any) error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.intercept = fn
+}
+
+// deliver resolves faults and the target for one message from->to.
+func (t *MemTransport) deliver(ctx context.Context, from, to string, req any) (*Node, error) {
+	t.mu.Lock()
+	cut := t.cut[pairKey(from, to)]
+	delay := t.delay
+	n := t.nodes[to]
+	hook := t.intercept
+	t.mu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("replica: partition between %s and %s", from, to)
+	}
+	if hook != nil {
+		if err := hook(from, to, req); err != nil {
+			return nil, err
+		}
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if n == nil {
+		return nil, fmt.Errorf("replica: %s is down", to)
+	}
+	return n, nil
+}
+
+func (t *MemTransport) RequestVote(ctx context.Context, peer string, req VoteRequest) (VoteReply, error) {
+	n, err := t.deliver(ctx, req.Candidate, peer, req)
+	if err != nil {
+		return VoteReply{}, err
+	}
+	return n.HandleVote(req), nil
+}
+
+func (t *MemTransport) AppendEntries(ctx context.Context, peer string, req AppendRequest) (AppendReply, error) {
+	n, err := t.deliver(ctx, req.Leader, peer, req)
+	if err != nil {
+		return AppendReply{}, err
+	}
+	return n.HandleAppend(req), nil
+}

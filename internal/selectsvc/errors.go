@@ -48,6 +48,7 @@ const (
 	classRejected   = "rejected"
 	classNotFound   = "not_found"
 	classExpired    = "expired"
+	classNotLeader  = "not_leader"
 	classInternal   = "internal"
 )
 
@@ -64,6 +65,10 @@ func classifyError(err error) string {
 		// Distinct from not_found: the lease existed but its term passed —
 		// the client must re-admit through /select, not retry the renew.
 		return classExpired
+	case errors.Is(err, lease.ErrNotLeader):
+		// A write slipped past the redirect guard as leadership changed
+		// hands; the client should re-resolve the leader and retry.
+		return classNotLeader
 	case errors.Is(err, lease.ErrNotFound):
 		return classNotFound
 	case errors.Is(err, lease.ErrBadDemand):
@@ -92,6 +97,8 @@ func statusFor(class string) int {
 		return http.StatusNotFound
 	case classExpired:
 		return http.StatusGone
+	case classNotLeader:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

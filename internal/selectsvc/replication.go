@@ -1,0 +1,149 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"nodeselect/internal/metrics"
+	"nodeselect/internal/replica"
+)
+
+// This file is the service's view of a replicated selectd cluster. The
+// consensus machinery lives in internal/replica and feeds the ledger via
+// lease.Replicator; what the HTTP layer adds is the cluster etiquette:
+// writes are accepted only on the leader (followers answer 307 to the
+// leader's client URL when it is known, 503 "not_leader" while an election
+// is in flight), every response is annotated with the replica's role,
+// term, and commit lag so follower reads carry their staleness bound, and
+// /healthz and /metrics report the replication plane's health alongside
+// the measurement plane's.
+
+// ClusterNode is the replication surface the service consumes — satisfied
+// by *replica.Node, narrow enough for tests to fake.
+type ClusterNode interface {
+	Status() replica.Status
+	IsLeader() bool
+	LeaderID() string
+}
+
+// replicaWriteGuard intercepts a mutating request on a non-leader: 307 to
+// the leader's client URL when one is known (307 preserves the method and
+// body, so the client replays the exact write), 503 with class
+// "not_leader" while no leader is known. Returns true when it answered
+// the request. Leadership can still be lost between this check and the
+// ledger commit; that race is caught by the ledger itself, whose
+// lease.ErrNotLeader also classifies as "not_leader".
+func (s *Service) replicaWriteGuard(w http.ResponseWriter, r *http.Request) bool {
+	n := s.cfg.Replica
+	if n == nil || n.IsLeader() {
+		return false
+	}
+	leader := n.LeaderID()
+	if base, ok := s.cfg.PeerClientURLs[leader]; ok && leader != "" {
+		target := strings.TrimRight(base, "/") + r.URL.Path
+		if q := r.URL.RawQuery; q != "" {
+			target += "?" + q
+		}
+		if s.replicaRedirects != nil {
+			s.replicaRedirects.Inc()
+		}
+		w.Header().Set("Location", target)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		json.NewEncoder(w).Encode(map[string]string{
+			"redirect": target,
+			"leader":   leader,
+		})
+		return true
+	}
+	writeError(r.Context(), w, http.StatusServiceUnavailable, classNotLeader, "",
+		fmt.Errorf("this replica is a %s and no leader is known (election in progress); retry shortly",
+			n.Status().Role))
+	return true
+}
+
+// annotateReplica stamps the replica headers every clustered response
+// carries. X-Replica-Commit-Lag is the number of committed records this
+// replica has not yet applied — the staleness bound of a follower read
+// (0 on the leader and on caught-up followers).
+func (s *Service) annotateReplica(h http.Header) {
+	n := s.cfg.Replica
+	if n == nil {
+		return
+	}
+	st := n.Status()
+	h.Set("X-Replica-Role", st.Role)
+	h.Set("X-Replica-Term", fmt.Sprintf("%d", st.Term))
+	h.Set("X-Replica-Commit-Lag", fmt.Sprintf("%d", st.CommitLag))
+}
+
+// replicationHealth builds the /healthz "replication" block. The block's
+// own state is "ok" or "degraded": a replica without a quorum (a leader
+// that lost its followers, a follower that lost its leader) keeps serving
+// reads but cannot make progress on writes, which is degradation, not
+// death.
+func (s *Service) replicationHealth() (map[string]any, bool) {
+	n := s.cfg.Replica
+	if n == nil {
+		return nil, false
+	}
+	st := n.Status()
+	state := StateOK
+	if !st.HasQuorum {
+		state = StateDegraded
+	}
+	block := map[string]any{
+		"state":          state,
+		"id":             st.ID,
+		"role":           st.Role,
+		"term":           st.Term,
+		"commit_index":   st.CommitIndex,
+		"last_applied":   st.LastApplied,
+		"last_log_index": st.LastLogIndex,
+		"commit_lag":     st.CommitLag,
+		"has_quorum":     st.HasQuorum,
+	}
+	if st.Leader != "" {
+		block["leader"] = st.Leader
+	}
+	if st.SinceContactSeconds > 0 {
+		block["since_contact_seconds"] = st.SinceContactSeconds
+	}
+	return block, state == StateDegraded
+}
+
+// roleLevel renders a role as the replica_role gauge value.
+func roleLevel(role string) float64 {
+	switch role {
+	case "candidate":
+		return 1
+	case "leader":
+		return 2
+	default: // follower
+		return 0
+	}
+}
+
+// registerReplicaGauges exposes the replication plane's state. GaugeFuncs
+// sampled at scrape time, like the lease gauges: the node owns the state.
+func registerReplicaGauges(reg *metrics.Registry, n ClusterNode) {
+	reg.NewGaugeFunc("replica_role",
+		"This replica's role: 0 follower, 1 candidate, 2 leader.",
+		func() float64 { return roleLevel(n.Status().Role) })
+	reg.NewGaugeFunc("replica_term",
+		"The replica's current election term.",
+		func() float64 { return float64(n.Status().Term) })
+	reg.NewGaugeFunc("replica_commit_lag",
+		"Committed records not yet applied locally (follower read staleness bound).",
+		func() float64 { return float64(n.Status().CommitLag) })
+	reg.NewGaugeFunc("replica_has_quorum",
+		"1 when this replica sees an intact quorum, 0 when replication is degraded.",
+		func() float64 {
+			if n.Status().HasQuorum {
+				return 1
+			}
+			return 0
+		})
+}

@@ -1,0 +1,193 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/replica"
+	"nodeselect/internal/testbed"
+)
+
+// fakeCluster is a scriptable ClusterNode: the test flips role/leader to
+// simulate elections without running consensus.
+type fakeCluster struct {
+	role   string
+	leader string
+	term   uint64
+	lag    uint64
+	quorum bool
+}
+
+func (f *fakeCluster) Status() replica.Status {
+	return replica.Status{
+		ID: "self", Role: f.role, Term: f.term, Leader: f.leader,
+		CommitLag: f.lag, HasQuorum: f.quorum,
+	}
+}
+func (f *fakeCluster) IsLeader() bool   { return f.role == "leader" }
+func (f *fakeCluster) LeaderID() string { return f.leader }
+
+func newClusteredService(t *testing.T, fc *fakeCluster) *Service {
+	t.Helper()
+	g := testbed.CMU()
+	src := remos.NewStaticSource(g)
+	svc := New(src, Config{
+		DefaultMode:    remos.Current,
+		Seed:           1,
+		Replica:        fc,
+		PeerClientURLs: map[string]string{"ldr": "http://leader.example:8800"},
+	})
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(2)
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// Followers must bounce every mutating endpoint to the leader with a 307
+// (method- and body-preserving) while reads keep serving locally.
+func TestFollowerRedirectsWrites(t *testing.T) {
+	fc := &fakeCluster{role: "follower", leader: "ldr", term: 3, lag: 2, quorum: true}
+	svc := newClusteredService(t, fc)
+	h := svc.Handler()
+
+	writes := []struct {
+		method, path string
+		body         any
+	}{
+		{"POST", "/select", SelectRequest{M: 2, Demand: &lease.Demand{CPU: 0.1}, LeaseTTL: 30}},
+		{"POST", "/leases/lease-0/renew", map[string]float64{"ttl": 60}},
+		{"DELETE", "/leases/lease-0", nil},
+	}
+	for _, wr := range writes {
+		w := do(t, h, wr.method, wr.path, wr.body)
+		if w.Code != http.StatusTemporaryRedirect {
+			t.Fatalf("%s %s on follower: status %d, want 307: %s", wr.method, wr.path, w.Code, w.Body)
+		}
+		loc := w.Header().Get("Location")
+		if !strings.HasPrefix(loc, "http://leader.example:8800") || !strings.HasSuffix(loc, wr.path) {
+			t.Fatalf("%s %s Location = %q", wr.method, wr.path, loc)
+		}
+	}
+
+	// Advisory (unleased) selects are reads: any replica answers them.
+	w := do(t, h, "POST", "/select", SelectRequest{M: 2})
+	if w.Code != http.StatusOK {
+		t.Fatalf("advisory select on follower: status %d: %s", w.Code, w.Body)
+	}
+	// And every response carries the follower's staleness annotation.
+	if got := w.Header().Get("X-Replica-Role"); got != "follower" {
+		t.Fatalf("X-Replica-Role = %q", got)
+	}
+	if got := w.Header().Get("X-Replica-Term"); got != "3" {
+		t.Fatalf("X-Replica-Term = %q", got)
+	}
+	if got := w.Header().Get("X-Replica-Commit-Lag"); got != "2" {
+		t.Fatalf("X-Replica-Commit-Lag = %q", got)
+	}
+}
+
+// Mid-election there is no leader to redirect to: writes get a 503 with
+// class not_leader, never a hang or a local commit.
+func TestNoLeaderWritesUnavailable(t *testing.T) {
+	fc := &fakeCluster{role: "candidate", leader: "", term: 4, quorum: false}
+	svc := newClusteredService(t, fc)
+	w := do(t, svc.Handler(), "POST", "/select",
+		SelectRequest{M: 2, Demand: &lease.Demand{CPU: 0.1}, LeaseTTL: 30})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body)
+	}
+	var e apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Class != classNotLeader {
+		t.Fatalf("class = %q, want %q", e.Class, classNotLeader)
+	}
+}
+
+// The leader takes writes directly — the guard must not get in the way.
+func TestLeaderServesWrites(t *testing.T) {
+	fc := &fakeCluster{role: "leader", leader: "self", term: 2, quorum: true}
+	svc := newClusteredService(t, fc)
+	w := do(t, svc.Handler(), "POST", "/select",
+		SelectRequest{M: 2, Demand: &lease.Demand{CPU: 0.1}, LeaseTTL: 30})
+	if w.Code != http.StatusOK {
+		t.Fatalf("leased select on leader: status %d: %s", w.Code, w.Body)
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lease == nil {
+		t.Fatalf("no lease in response: %s", w.Body)
+	}
+}
+
+// /healthz must grow a replication block and degrade on lost quorum.
+func TestHealthzReplicationBlock(t *testing.T) {
+	fc := &fakeCluster{role: "leader", leader: "self", term: 2, quorum: true}
+	svc := newClusteredService(t, fc)
+
+	read := func() (string, map[string]any) {
+		w := do(t, svc.Handler(), "GET", "/healthz", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("healthz status %d: %s", w.Code, w.Body)
+		}
+		var resp map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := resp["replication"].(map[string]any)
+		if !ok {
+			t.Fatalf("no replication block: %s", w.Body)
+		}
+		return resp["state"].(string), rep
+	}
+
+	state, rep := read()
+	if state != StateOK || rep["state"] != StateOK {
+		t.Fatalf("quorate: state=%v replication.state=%v", state, rep["state"])
+	}
+	if rep["role"] != "leader" || rep["term"].(float64) != 2 {
+		t.Fatalf("replication block %v", rep)
+	}
+
+	fc.quorum = false
+	state, rep = read()
+	if state != StateDegraded || rep["state"] != StateDegraded {
+		t.Fatalf("lost quorum: state=%v replication.state=%v, want degraded", state, rep["state"])
+	}
+}
+
+// The replica_* gauges must be scrapeable and track the node's state.
+func TestReplicaGauges(t *testing.T) {
+	fc := &fakeCluster{role: "follower", leader: "ldr", term: 7, lag: 3, quorum: true}
+	svc := newClusteredService(t, fc)
+	w := do(t, svc.Handler(), "GET", "/metrics", nil)
+	body := w.Body.String()
+	for _, want := range []string{
+		"replica_role 0",
+		"replica_term 7",
+		"replica_commit_lag 3",
+		"replica_has_quorum 1",
+		"replica_write_redirects_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+	fc.role = "leader"
+	fc.lag = 0
+	w = do(t, svc.Handler(), "GET", "/metrics", nil)
+	if !strings.Contains(w.Body.String(), "replica_role 2") {
+		t.Fatalf("metrics did not track role change")
+	}
+}

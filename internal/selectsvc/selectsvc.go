@@ -92,6 +92,19 @@ type Config struct {
 	// requests). Set Trace.Disabled to turn tracing off; X-Request-ID
 	// echoing and request_id correlation keep working regardless.
 	Trace reqtrace.Config
+	// Replica, when non-nil, marks this service as one member of a
+	// replicated selectd cluster (usually the *replica.Node whose
+	// Replicate the ledger was wired to). Mutating endpoints are then
+	// accepted only on the leader — followers answer 307 to the leader's
+	// client URL (see PeerClientURLs) or 503 "not_leader" — every
+	// response carries X-Replica-Role/Term/Commit-Lag headers, /healthz
+	// grows a "replication" block (degraded on lost quorum), and
+	// replica_* gauges join the registry.
+	Replica ClusterNode
+	// PeerClientURLs maps replica IDs to their client-facing base URLs,
+	// used to build the Location of write redirects. Without an entry for
+	// the current leader, followers answer writes with 503 instead.
+	PeerClientURLs map[string]string
 }
 
 // defaultPlanCacheSize bounds the plan cache when the config does not.
@@ -121,6 +134,10 @@ type Service struct {
 	rebal    *rebalance.Controller
 	tracer   *reqtrace.Tracer
 	lastPoll pollSpans
+
+	// replicaRedirects counts writes bounced to the leader (clustered
+	// services only; nil otherwise).
+	replicaRedirects *metrics.Counter
 }
 
 // New builds a service over a measurement source.
@@ -167,6 +184,11 @@ func New(src remos.Source, cfg Config) *Service {
 	ledger.SetOnEvent(func(op string, _ *lease.Lease) { s.metrics.leaseOps.With(op).Inc() })
 	registerLeaseGauges(reg, ledger)
 	registerTraceGauges(reg, s.tracer)
+	if cfg.Replica != nil {
+		registerReplicaGauges(reg, cfg.Replica)
+		s.replicaRedirects = reg.NewCounter("replica_write_redirects_total",
+			"Mutating requests answered with a 307 redirect to the leader.")
+	}
 	if plans != nil {
 		registerPlanCacheGauges(reg, plans)
 	}
@@ -565,6 +587,16 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if pollErr != "" {
 		resp["last_poll_error"] = pollErr
 	}
+	// Clustered services also report the replication plane. Lost quorum
+	// degrades the whole service (writes cannot commit) but keeps it 200:
+	// follower reads still serve, annotated with their lag.
+	if rep, degraded := s.replicationHealth(); rep != nil {
+		resp["replication"] = rep
+		if degraded && state == StateOK {
+			state = StateDegraded
+			resp["state"] = state
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	// Degraded still serves placements from last-known-good data, so it
 	// stays 200 for load balancers; only unhealthy is a real 503.
@@ -623,6 +655,13 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(classBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	// Leased selects mutate the ledger, so only the cluster leader takes
+	// them; advisory selects are reads and any replica answers. No audit
+	// entry for a bounce — the decision happens (and is audited) on the
+	// leader.
+	if req.leased() && s.replicaWriteGuard(w, r) {
 		return
 	}
 	algo := req.Algo
@@ -941,6 +980,9 @@ func (s *Service) handleLeases(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Service) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	if s.replicaWriteGuard(w, r) {
+		return
+	}
 	var body struct {
 		TTL float64 `json:"ttl"` // seconds; 0 = service default
 	}
@@ -985,6 +1027,9 @@ func (s *Service) handleMigrations(w http.ResponseWriter, r *http.Request) {
 // set no longer fits alongside the old; 410 when the lease expired in the
 // meantime.
 func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
+	if s.replicaWriteGuard(w, r) {
+		return
+	}
 	if s.rebal == nil {
 		writeError(r.Context(), w, http.StatusNotFound, classNotFound, "",
 			errors.New("rebalance controller is not enabled"))
@@ -1013,6 +1058,9 @@ func (s *Service) handleMigrationApply(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	if s.replicaWriteGuard(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	if err := s.ledger.Release(r.Context(), id); err != nil {
 		class := classifyError(err)

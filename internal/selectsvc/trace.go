@@ -147,6 +147,9 @@ func (s *Service) middleware(next http.Handler) http.Handler {
 			id = reqtrace.NewID()
 		}
 		w.Header().Set("X-Request-ID", id)
+		// Clustered replicas stamp role/term/lag on every response, so a
+		// client reading from a follower knows exactly how stale it may be.
+		s.annotateReplica(w.Header())
 		route := routeLabel(r.Method, r.URL.Path)
 		ctx := r.Context()
 		var root *reqtrace.Span
