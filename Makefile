@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha gossip
 
 check: vet build race fuzz
 
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzParseGraph$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzReadDocument$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzSweepEquivalence$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gossip -run='^$$' -fuzz='^FuzzGossipFrame$$' -fuzztime=$(FUZZTIME)
 
 # Fault-schedule scenario against a real loopback agent fleet, race
 # detector on: hung/crashed agents, degraded service, full recovery.
@@ -43,6 +44,15 @@ chaos:
 ha:
 	$(GO) test -race ./internal/experiment -run='^TestHASchedules$$' -v
 	$(GO) run -race ./cmd/expt -run ha -ha-out ha.json
+
+# Gossip-plane convergence harness, race detector on: in-process meshes
+# at several fleet sizes, measuring propagation CDFs under churn, heal
+# after partition, and the staleness bound live entries stay inside.
+# Fails when p99 propagation or any bound is missed; writes gossip.json
+# for CI.
+gossip:
+	$(GO) test -race ./internal/experiment -run='^TestGossipConvergence$$' -v
+	$(GO) run -race ./cmd/expt -run gossip -gossip-out gossip.json
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

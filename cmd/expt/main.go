@@ -17,13 +17,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"nodeselect/internal/experiment"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, gossip, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -35,6 +37,8 @@ func main() {
 	flag.IntVar(&sloRequests, "slo-requests", 0, "with -run slo: measured request count (default 5000)")
 	flag.BoolVar(&sloNoTrace, "slo-notrace", false, "with -run slo: disable request tracing (overhead baseline)")
 	flag.StringVar(&haOut, "ha-out", "", "with -run ha: also write the report JSON to this file")
+	flag.StringVar(&gossipOut, "gossip-out", "", "with -run gossip: also write the report JSON to this file")
+	flag.StringVar(&gossipSizes, "gossip-sizes", "", "with -run gossip: comma-separated fleet sizes (default 50,100,200,500)")
 	flag.Parse()
 
 	cfg := experiment.Default()
@@ -99,6 +103,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runSLO(cfg)
 	case "ha":
 		return runHA(cfg)
+	case "gossip":
+		return runGossip(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -308,6 +314,49 @@ func runSLO(cfg experiment.Config) error {
 
 // haOut is set from the -ha-out flag before dispatch.
 var haOut string
+
+// gossipOut / gossipSizes are set from the -gossip-* flags before dispatch.
+var (
+	gossipOut   string
+	gossipSizes string
+)
+
+// runGossip drives the gossip-plane convergence experiment: in-process
+// meshes at several fleet sizes, measuring propagation-time CDFs under
+// churn, reconvergence after a healed partition, and the staleness bound
+// live entries stay inside. Exits non-zero when any bound is missed, so
+// the CI gossip job gates on it directly.
+func runGossip(cfg experiment.Config) error {
+	opts := experiment.GossipOptions{Seed: cfg.Seed}
+	if gossipSizes != "" {
+		for _, part := range strings.Split(gossipSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -gossip-sizes entry %q: %w", part, err)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+	rep, err := experiment.RunGossip(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatGossip(rep))
+	if gossipOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(gossipOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", gossipOut)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("gossip convergence failed: a bound was missed (see report above)")
+	}
+	return nil
+}
 
 // runHA drives the replicated-ledger fault-injection harness: a 3-replica
 // in-process cluster put through kill-the-leader, follower-partition, and

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGossipConvergence is the gossip-plane acceptance test on the
+// 100-agent in-process fleet: p99 propagation under 5 gossip rounds
+// despite churn, full reconvergence after a healed partition, and no
+// live snapshot entry older than the staleness bound while its origin
+// and observer stay live. Deterministic (manual clock, seeded mesh), so
+// it runs under -race in CI.
+func TestGossipConvergence(t *testing.T) {
+	rep, err := RunGossip(GossipOptions{Seed: 1, Sizes: []int{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sizes) != 1 {
+		t.Fatalf("got %d size results, want 1", len(rep.Sizes))
+	}
+	res := rep.Sizes[0]
+	if res.Agents != 100 {
+		t.Fatalf("agents = %d, want 100", res.Agents)
+	}
+	if res.Samples < 400 {
+		t.Fatalf("only %d propagation samples; CDF too thin", res.Samples)
+	}
+	if res.P99 >= 5 {
+		t.Fatalf("p99 propagation = %.1f rounds, want < 5", res.P99)
+	}
+	if !res.Converged {
+		t.Fatal("mesh did not reconverge after healed partition")
+	}
+	if res.MaxEntryAgeSeconds > res.StalenessBound {
+		t.Fatalf("live entry aged to %.1fs, bound %.1fs",
+			res.MaxEntryAgeSeconds, res.StalenessBound)
+	}
+	if !rep.Pass {
+		t.Fatal("report did not pass")
+	}
+
+	// Determinism: the same seed reproduces the same report exactly.
+	again, err := RunGossip(GossipOptions{Seed: 1, Sizes: []int{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Fatalf("same seed produced different reports:\n%+v\n%+v", rep, again)
+	}
+}
+
+func TestGossipRejectsTinyFleet(t *testing.T) {
+	if _, err := RunGossip(GossipOptions{Sizes: []int{1}}); err == nil {
+		t.Fatal("size-1 fleet accepted")
+	}
+}

@@ -1,0 +1,318 @@
+// Package gossip is the decentralized measurement plane: every agent
+// replicates its local observation (node load plus owned-link counters)
+// to its peers by rumor mongering, and periodic anti-entropy
+// reconciliation guarantees convergence even across partitions. Any peer
+// can then serve a full-fleet snapshot from its local store, with
+// per-entry ages bounding the staleness a consumer accepts.
+//
+// The protocol has two legs, both plain request/response exchanges over
+// the same length-prefixed framing the poll plane uses (so the chaos
+// proxy applies unchanged):
+//
+//   - Rumor mongering: an observation that is news to a node is "hot"
+//     and gets pushed to Fanout random live peers on each of the next
+//     RumorRounds rounds. Infection-style: O(log n) rounds to reach the
+//     fleet with high probability.
+//   - Anti-entropy: every AntiEntropyEvery rounds a node picks one
+//     random peer (dead peers included, so a healed partition is
+//     discovered), sends its digest — the exact origin → stamp summary
+//     of its store — and receives everything it is missing plus the
+//     peer's digest, then pushes back whatever the peer is missing.
+//     Eventually-consistent repair for anything rumors missed.
+//
+// Merges are last-writer-wins on hybrid logical clock stamps with the
+// origin's sequence number as tiebreak; an origin's reading replicates
+// wholesale, so no peer ever holds half of a newer observation.
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nodeselect/internal/measure"
+	"nodeselect/internal/randx"
+)
+
+// Default protocol parameters.
+const (
+	// DefaultFanout is how many peers a hot entry is pushed to per round.
+	DefaultFanout = 3
+	// DefaultRumorRounds is how many rounds an entry stays hot.
+	DefaultRumorRounds = 2
+	// DefaultAntiEntropyEvery is the round period of reconciliation.
+	DefaultAntiEntropyEvery = 4
+	// DefaultSuspectAfter / DefaultDeadAfter grade failing peers.
+	DefaultSuspectAfter = 10 * time.Second
+	DefaultDeadAfter    = 30 * time.Second
+)
+
+// Config assembles a gossip node.
+type Config struct {
+	// Name identifies this node on the mesh (its address, in TCP
+	// deployments).
+	Name string
+	// Origin is the dense node ID this node publishes observations for.
+	// A consumer that only listens (the collector's view of the mesh)
+	// sets Origin to -1 and never calls Publish.
+	Origin int
+	// Peers names the other mesh members this node exchanges with.
+	Peers []string
+	// Transport carries exchanges to peers.
+	Transport Transport
+	// Fanout, RumorRounds, AntiEntropyEvery tune the protocol; zero
+	// values take the defaults above.
+	Fanout           int
+	RumorRounds      int
+	AntiEntropyEvery int
+	// SuspectAfter / DeadAfter tune the failure detector; zero values
+	// take the defaults above.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Clock drives HLC stamps, entry ages and the failure detector
+	// (nil = system clock). Tests share one manual clock across nodes.
+	Clock measure.Clock
+	// Seed makes peer selection deterministic.
+	Seed int64
+	// Metrics instruments the node (nil = off).
+	Metrics *Metrics
+}
+
+// Node is one member of the gossip mesh. Tick drives it: the caller
+// (daemon ticker, experiment loop) invokes Tick once per gossip round.
+type Node struct {
+	cfg   Config
+	store *Store
+	hlc   *HLC
+	mem   *membership
+	rng   *randx.Source
+
+	mu     sync.Mutex
+	seq    uint64
+	rounds uint64
+	hot    map[int]int // origin → rounds of rumor life remaining
+}
+
+// New assembles a node from cfg.
+func New(cfg Config) *Node {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.RumorRounds <= 0 {
+		cfg.RumorRounds = DefaultRumorRounds
+	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = DefaultAntiEntropyEvery
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = DefaultDeadAfter
+	}
+	cfg.Clock = measure.Or(cfg.Clock)
+	return &Node{
+		cfg:   cfg,
+		store: NewStore(cfg.Clock),
+		hlc:   NewHLC(cfg.Clock),
+		mem:   newMembership(cfg.Clock, cfg.Peers, cfg.SuspectAfter, cfg.DeadAfter),
+		rng:   randx.New(cfg.Seed).Split("gossip/node/" + cfg.Name),
+		hot:   make(map[int]int),
+	}
+}
+
+// Name returns the node's mesh name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Store exposes the node's replica of the fleet's observations.
+func (n *Node) Store() *Store { return n.store }
+
+// PeerState grades one peer via the failure detector.
+func (n *Node) PeerState(peer string) PeerState { return n.mem.State(peer) }
+
+// PeerCounts tallies peers by failure-detector state.
+func (n *Node) PeerCounts() (alive, suspect, dead int) { return n.mem.Counts() }
+
+// Publish records this node's own fresh observation and marks it hot so
+// the next rounds rumor it out. The links map is copied.
+func (n *Node) Publish(simTime, load, loadBG float64, links map[int]LinkReading) Observation {
+	if n.cfg.Origin < 0 {
+		panic("gossip: consumer node (origin -1) cannot publish")
+	}
+	n.mu.Lock()
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+	obs := Observation{
+		Origin: n.cfg.Origin,
+		Seq:    seq,
+		Stamp:  n.hlc.Now(),
+		Time:   simTime,
+		Load:   load,
+		LoadBG: loadBG,
+		Links:  cloneLinks(links),
+	}
+	if n.store.Put(obs) {
+		n.cfg.Metrics.applied(1)
+		n.markHot(obs.Origin)
+	}
+	return obs
+}
+
+// markHot (re)arms rumor mongering for an origin.
+func (n *Node) markHot(origin int) {
+	n.mu.Lock()
+	n.hot[origin] = n.cfg.RumorRounds
+	n.mu.Unlock()
+}
+
+// apply merges received observations, returning how many were fresh.
+// Fresh entries become hot again so the rumor keeps spreading.
+func (n *Node) apply(entries []Observation) int {
+	applied := 0
+	for _, obs := range entries {
+		n.hlc.Observe(obs.Stamp)
+		if n.store.Put(obs) {
+			applied++
+			n.markHot(obs.Origin)
+		}
+	}
+	n.cfg.Metrics.applied(applied)
+	return applied
+}
+
+// Handle answers one incoming frame. It never returns nil; protocol
+// violations come back as TypeError frames.
+func (n *Node) Handle(req *Frame) *Frame {
+	if err := req.Validate(); err != nil {
+		return &Frame{Type: TypeError, From: n.cfg.Name, Error: err.Error()}
+	}
+	switch req.Type {
+	case TypePush:
+		applied := n.apply(req.Entries)
+		return &Frame{Type: TypeAck, From: n.cfg.Name, Applied: applied}
+	case TypeDigest:
+		// Answer with what the caller is missing plus our own digest so
+		// the caller can push back what we are missing.
+		return &Frame{
+			Type:    TypeDelta,
+			From:    n.cfg.Name,
+			Entries: n.store.DeltaSince(req.Digest),
+			Digest:  n.store.Digest(),
+		}
+	default:
+		return &Frame{
+			Type:  TypeError,
+			From:  n.cfg.Name,
+			Error: fmt.Sprintf("gossip: unexpected request type %q", req.Type),
+		}
+	}
+}
+
+// Tick runs one gossip round: rumor-monger hot entries to Fanout random
+// live peers, then — every AntiEntropyEvery rounds — reconcile with one
+// random peer (dead peers included, so healed partitions are found).
+func (n *Node) Tick() {
+	n.cfg.Metrics.incRounds()
+
+	// Snapshot and age the hot set under the lock; exchange outside it.
+	n.mu.Lock()
+	n.rounds++
+	round := n.rounds
+	hotOrigins := make([]int, 0, len(n.hot))
+	for origin, left := range n.hot {
+		hotOrigins = append(hotOrigins, origin)
+		if left <= 1 {
+			delete(n.hot, origin)
+		} else {
+			n.hot[origin] = left - 1
+		}
+	}
+	n.mu.Unlock()
+
+	if len(hotOrigins) > 0 {
+		entries := make([]Observation, 0, len(hotOrigins))
+		for _, origin := range hotOrigins {
+			if obs, ok := n.store.Get(origin); ok {
+				entries = append(entries, obs)
+			}
+		}
+		if len(entries) > 0 {
+			for _, peer := range n.pickPeers(n.mem.alivePeers(), n.cfg.Fanout) {
+				n.push(peer, entries)
+			}
+		}
+	}
+
+	if round%uint64(n.cfg.AntiEntropyEvery) == 0 {
+		if peers := n.pickPeers(n.mem.allPeers(), 1); len(peers) == 1 {
+			n.antiEntropy(peers[0])
+		}
+	}
+
+	n.cfg.Metrics.peerCounts(n.mem.Counts())
+}
+
+// pickPeers draws up to k distinct peers from candidates, uniformly.
+func (n *Node) pickPeers(candidates []string, k int) []string {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	n.mu.Lock()
+	perm := n.rng.Perm(len(candidates))
+	n.mu.Unlock()
+	out := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, candidates[i])
+	}
+	return out
+}
+
+// push sends entries to one peer and records the outcome.
+func (n *Node) push(peer string, entries []Observation) {
+	resp, err := n.cfg.Transport.Exchange(peer, &Frame{
+		Type:    TypePush,
+		From:    n.cfg.Name,
+		Entries: entries,
+	})
+	if err != nil {
+		n.mem.markFail(peer)
+		n.cfg.Metrics.pushDone(false)
+		return
+	}
+	_ = resp
+	n.mem.markOK(peer)
+	n.cfg.Metrics.pushDone(true)
+}
+
+// antiEntropy reconciles with one peer: send our digest, apply the delta
+// it returns, then push back whatever its digest shows it is missing.
+func (n *Node) antiEntropy(peer string) {
+	resp, err := n.cfg.Transport.Exchange(peer, &Frame{
+		Type:   TypeDigest,
+		From:   n.cfg.Name,
+		Digest: n.store.Digest(),
+	})
+	if err != nil || resp.Type != TypeDelta {
+		n.mem.markFail(peer)
+		n.cfg.Metrics.antiEntropyDone(false)
+		return
+	}
+	n.apply(resp.Entries)
+	if back := n.store.DeltaSince(resp.Digest); len(back) > 0 {
+		if _, err := n.cfg.Transport.Exchange(peer, &Frame{
+			Type:    TypePush,
+			From:    n.cfg.Name,
+			Entries: back,
+		}); err != nil {
+			n.mem.markFail(peer)
+			n.cfg.Metrics.antiEntropyDone(false)
+			return
+		}
+	}
+	n.mem.markOK(peer)
+	n.cfg.Metrics.antiEntropyDone(true)
+}

@@ -1,0 +1,370 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"nodeselect/internal/measure"
+	"nodeselect/internal/metrics"
+)
+
+func TestStampCompareAndAge(t *testing.T) {
+	a := Stamp{WallMS: 1000, Logical: 0}
+	b := Stamp{WallMS: 1000, Logical: 1}
+	c := Stamp{WallMS: 2000, Logical: 0}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("logical tiebreak broken")
+	}
+	if b.Compare(c) != -1 {
+		t.Fatal("wall ordering broken")
+	}
+	if !(Stamp{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero broken")
+	}
+	now := time.UnixMilli(3000)
+	if got := a.AgeAt(now); got != 2*time.Second {
+		t.Fatalf("age = %v, want 2s", got)
+	}
+	if got := (Stamp{WallMS: 9000}).AgeAt(now); got != 0 {
+		t.Fatalf("future stamp age = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestHLCMonotonicWithinOneMilli(t *testing.T) {
+	clk := measure.NewManual(time.UnixMilli(5000))
+	h := NewHLC(clk)
+	prev := h.Now()
+	for i := 0; i < 10; i++ {
+		cur := h.Now()
+		if cur.Compare(prev) <= 0 {
+			t.Fatalf("stamp %v not after %v", cur, prev)
+		}
+		prev = cur
+	}
+	clk.Advance(time.Second)
+	cur := h.Now()
+	if cur.WallMS != 6000 || cur.Logical != 0 {
+		t.Fatalf("advancing wall clock should reset logical: %+v", cur)
+	}
+}
+
+func TestHLCObserveAdoptsRemoteFuture(t *testing.T) {
+	clk := measure.NewManual(time.UnixMilli(5000))
+	h := NewHLC(clk)
+	h.Now()
+	// A remote stamp from a clock running 10s ahead.
+	remote := Stamp{WallMS: 15000, Logical: 3}
+	after := h.Observe(remote)
+	if after.Compare(remote) <= 0 {
+		t.Fatalf("observe must move past the remote stamp: %+v", after)
+	}
+	if next := h.Now(); next.Compare(after) <= 0 {
+		t.Fatalf("stamps after observe must keep increasing: %+v", next)
+	}
+}
+
+func TestStoreLastWriterWins(t *testing.T) {
+	s := NewStore(measure.NewManual(time.UnixMilli(1000)))
+	older := Observation{Origin: 2, Seq: 1, Stamp: Stamp{WallMS: 100}}
+	newer := Observation{Origin: 2, Seq: 2, Stamp: Stamp{WallMS: 200}, Load: 1.5}
+	if !s.Put(newer) {
+		t.Fatal("first put must apply")
+	}
+	if s.Put(older) {
+		t.Fatal("older stamp must not overwrite")
+	}
+	if s.Put(newer) {
+		t.Fatal("duplicate must not re-apply")
+	}
+	got, ok := s.Get(2)
+	if !ok || got.Load != 1.5 {
+		t.Fatalf("store kept the wrong observation: %+v", got)
+	}
+	// Equal stamps: sequence number breaks the tie.
+	tie := Observation{Origin: 2, Seq: 3, Stamp: newer.Stamp, Load: 9}
+	if !s.Put(tie) {
+		t.Fatal("higher seq at equal stamp must apply")
+	}
+	if s.Put(Observation{Origin: -1}) {
+		t.Fatal("negative origin must be rejected")
+	}
+}
+
+func TestStoreDigestDelta(t *testing.T) {
+	s := NewStore(nil)
+	for origin := 0; origin < 3; origin++ {
+		s.Put(Observation{Origin: origin, Seq: 1, Stamp: Stamp{WallMS: int64(100 * (origin + 1))}})
+	}
+	d := s.Digest()
+	if len(d) != 3 {
+		t.Fatalf("digest has %d origins, want 3", len(d))
+	}
+	// A peer missing origin 2 and holding an older origin 1.
+	peer := map[int]Stamp{0: d[0], 1: {WallMS: 50}}
+	delta := s.DeltaSince(peer)
+	if len(delta) != 2 || delta[0].Origin != 1 || delta[1].Origin != 2 {
+		t.Fatalf("delta = %+v, want origins 1,2", delta)
+	}
+	if got := s.DeltaSince(d); len(got) != 0 {
+		t.Fatalf("delta against own digest must be empty, got %d", len(got))
+	}
+}
+
+func TestStoreAges(t *testing.T) {
+	clk := measure.NewManual(time.UnixMilli(10_000))
+	s := NewStore(clk)
+	s.Put(Observation{Origin: 0, Seq: 1, Stamp: Stamp{WallMS: 10_000}})
+	clk.Advance(3 * time.Second)
+	if got := s.AgeSeconds(0); got != 3 {
+		t.Fatalf("age = %v, want 3", got)
+	}
+	if got := s.AgeSeconds(7); !math.IsInf(got, +1) {
+		t.Fatalf("age of unknown origin = %v, want +Inf", got)
+	}
+	if got := s.MaxAgeSeconds(nil); got != 3 {
+		t.Fatalf("max age = %v, want 3", got)
+	}
+	if got := s.MaxAgeSeconds([]int{0, 7}); !math.IsInf(got, +1) {
+		t.Fatalf("max age with missing origin = %v, want +Inf", got)
+	}
+}
+
+func TestMembershipGrading(t *testing.T) {
+	clk := measure.NewManual(time.Unix(100, 0))
+	m := newMembership(clk, []string{"a", "b"}, 10*time.Second, 30*time.Second)
+	if got := m.State("a"); got != PeerAlive {
+		t.Fatalf("fresh peer = %v, want alive", got)
+	}
+	m.markFail("a")
+	if got := m.State("a"); got != PeerAlive {
+		t.Fatalf("just-failed peer = %v, want alive (grace)", got)
+	}
+	clk.Advance(10 * time.Second)
+	if got := m.State("a"); got != PeerSuspect {
+		t.Fatalf("after suspectAfter = %v, want suspect", got)
+	}
+	clk.Advance(20 * time.Second)
+	if got := m.State("a"); got != PeerDead {
+		t.Fatalf("after deadAfter = %v, want dead", got)
+	}
+	if alive := m.alivePeers(); len(alive) != 1 || alive[0] != "b" {
+		t.Fatalf("alivePeers = %v, want [b]", alive)
+	}
+	if all := m.allPeers(); len(all) != 2 {
+		t.Fatalf("allPeers = %v, want both", all)
+	}
+	m.markOK("a")
+	if got := m.State("a"); got != PeerAlive {
+		t.Fatalf("recovered peer = %v, want alive", got)
+	}
+	a, s, d := m.Counts()
+	if a != 2 || s != 0 || d != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 2/0/0", a, s, d)
+	}
+}
+
+// meshNames returns n mesh member names.
+func meshNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("n%d", i)
+	}
+	return out
+}
+
+// buildMesh assembles n gossip nodes on one MemNetwork sharing clk.
+func buildMesh(n int, net *MemNetwork, clk measure.Clock, seed int64) []*Node {
+	names := meshNames(n)
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		peers := make([]string, 0, n-1)
+		for j, p := range names {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		nodes[i] = New(Config{
+			Name:      names[i],
+			Origin:    i,
+			Peers:     peers,
+			Transport: net.TransportFor(names[i]),
+			Clock:     clk,
+			Seed:      seed,
+		})
+		net.Join(nodes[i])
+	}
+	return nodes
+}
+
+// tickAll runs one gossip round on every node, advancing the shared
+// clock so stamps and failure detection progress.
+func tickAll(nodes []*Node, clk *measure.Manual) {
+	for _, n := range nodes {
+		n.Tick()
+	}
+	clk.Advance(time.Second)
+}
+
+// converged reports whether every node's store holds exactly the same
+// (origin → stamp) digest.
+func converged(nodes []*Node) bool {
+	want := nodes[0].Store().Digest()
+	for _, n := range nodes[1:] {
+		d := n.Store().Digest()
+		if len(d) != len(want) {
+			return false
+		}
+		for origin, st := range want {
+			if d[origin] != st {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRumorPropagation(t *testing.T) {
+	const n = 20
+	clk := measure.NewManual(time.Unix(1000, 0))
+	net := NewMemNetwork(1)
+	nodes := buildMesh(n, net, clk, 1)
+
+	nodes[0].Publish(1.0, 2.5, 2.0, map[int]LinkReading{3: {Bits: 1e6}})
+	rounds := 0
+	for ; rounds < 20 && !allHave(nodes, 0); rounds++ {
+		tickAll(nodes, clk)
+	}
+	if !allHave(nodes, 0) {
+		t.Fatalf("observation did not reach all %d nodes in %d rounds", n, rounds)
+	}
+	// Infection-style dissemination: well under the node count.
+	if rounds > 8 {
+		t.Fatalf("propagation took %d rounds, want O(log n)", rounds)
+	}
+	obs, _ := nodes[n-1].Store().Get(0)
+	if obs.Load != 2.5 || obs.Links[3].Bits != 1e6 {
+		t.Fatalf("replicated observation corrupted: %+v", obs)
+	}
+}
+
+// allHave reports whether every node's store has an entry for origin.
+func allHave(nodes []*Node, origin int) bool {
+	for _, n := range nodes {
+		if _, ok := n.Store().Get(origin); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAntiEntropyHealsPartition(t *testing.T) {
+	const n = 10
+	clk := measure.NewManual(time.Unix(1000, 0))
+	net := NewMemNetwork(2)
+	nodes := buildMesh(n, net, clk, 2)
+
+	// Split the mesh in half; each side publishes.
+	groups := make(map[string]int)
+	for i, name := range meshNames(n) {
+		groups[name] = i % 2
+	}
+	net.SetPartition(groups)
+	nodes[0].Publish(1.0, 1.0, 0.5, nil) // side 0
+	nodes[1].Publish(1.0, 4.0, 3.0, nil) // side 1
+	for r := 0; r < 10; r++ {
+		tickAll(nodes, clk)
+	}
+	if _, ok := nodes[1].Store().Get(0); ok {
+		t.Fatal("observation crossed the partition")
+	}
+
+	// Heal: anti-entropy must reconcile both sides.
+	net.Heal()
+	for r := 0; r < 40 && !(allHave(nodes, 0) && allHave(nodes, 1)); r++ {
+		tickAll(nodes, clk)
+	}
+	if !allHave(nodes, 0) || !allHave(nodes, 1) {
+		t.Fatal("mesh did not converge after heal")
+	}
+	if !converged(nodes) {
+		t.Fatal("digests disagree after heal")
+	}
+}
+
+func TestConsumerNodeCannotPublish(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n := New(Config{Name: "c", Origin: -1, Transport: &TCPTransport{}})
+	n.Publish(0, 0, 0, nil)
+}
+
+func TestHandleRejectsBadFrames(t *testing.T) {
+	n := New(Config{Name: "a", Origin: 0, Transport: &TCPTransport{}})
+	if resp := n.Handle(&Frame{Type: "bogus"}); resp.Type != TypeError {
+		t.Fatalf("bogus type answered %+v", resp)
+	}
+	if resp := n.Handle(&Frame{Type: TypeAck}); resp.Type != TypeError {
+		t.Fatalf("ack as a request answered %+v", resp)
+	}
+	if resp := n.Handle(&Frame{Type: TypePush, Entries: []Observation{{Origin: -3}}}); resp.Type != TypeError {
+		t.Fatalf("negative origin answered %+v", resp)
+	}
+}
+
+func TestMetricsInstrumentation(t *testing.T) {
+	clk := measure.NewManual(time.Unix(1000, 0))
+	net := NewMemNetwork(3)
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	names := []string{"a", "b"}
+	var nodes []*Node
+	for i, name := range names {
+		var nm *Metrics
+		if i == 0 {
+			nm = m
+		}
+		n := New(Config{
+			Name:      name,
+			Origin:    i,
+			Peers:     []string{names[1-i]},
+			Transport: net.TransportFor(name),
+			Clock:     clk,
+			Seed:      3,
+			Metrics:   nm,
+		})
+		net.Join(n)
+		nodes = append(nodes, n)
+	}
+	nodes[0].Publish(1, 1, 1, nil)
+	for r := 0; r < 6; r++ {
+		tickAll(nodes, clk)
+	}
+	if m.Rounds.Value() != 6 {
+		t.Fatalf("rounds = %v, want 6", m.Rounds.Value())
+	}
+	if m.PushesSent.Value() == 0 {
+		t.Fatal("no pushes recorded")
+	}
+	if m.EntriesApplied.Value() == 0 {
+		t.Fatal("no applies recorded")
+	}
+	if m.PeersAlive.Value() != 1 {
+		t.Fatalf("peers alive = %v, want 1", m.PeersAlive.Value())
+	}
+	// Kill the peer; the detector must grade it dead and the gauge follow.
+	net.Kill("b")
+	for r := 0; r < 40; r++ {
+		tickAll(nodes, clk)
+	}
+	if m.PeersDead.Value() != 1 {
+		t.Fatalf("peers dead = %v, want 1", m.PeersDead.Value())
+	}
+	if m.PushesFailed.Value() == 0 && m.AntiEntropyFailed.Value() == 0 {
+		t.Fatal("no failures recorded against a killed peer")
+	}
+}

@@ -1,0 +1,97 @@
+package gossip
+
+import (
+	"sync"
+	"time"
+
+	"nodeselect/internal/measure"
+)
+
+// Stamp is a hybrid logical clock timestamp: physical wall time in
+// milliseconds plus a logical counter that breaks ties between events in
+// the same millisecond (and keeps causality when clocks are skewed — a
+// node that sees a remote stamp ahead of its own wall clock adopts it
+// rather than issuing stamps from the past). Stamps totally order the
+// observations of the gossip plane; last-writer-wins merges compare them.
+type Stamp struct {
+	// WallMS is physical time in milliseconds since the Unix epoch.
+	WallMS int64 `json:"wall_ms"`
+	// Logical disambiguates events within one millisecond.
+	Logical uint32 `json:"logical"`
+}
+
+// Compare orders stamps: -1 when s < o, 0 when equal, +1 when s > o.
+func (s Stamp) Compare(o Stamp) int {
+	switch {
+	case s.WallMS < o.WallMS:
+		return -1
+	case s.WallMS > o.WallMS:
+		return 1
+	case s.Logical < o.Logical:
+		return -1
+	case s.Logical > o.Logical:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether the stamp is the zero value (no event).
+func (s Stamp) IsZero() bool { return s.WallMS == 0 && s.Logical == 0 }
+
+// AgeAt returns how old the stamp's physical component is at now,
+// clamped at zero (a stamp from a peer whose clock runs ahead is "fresh",
+// not negative-aged).
+func (s Stamp) AgeAt(now time.Time) time.Duration {
+	age := now.Sub(time.UnixMilli(s.WallMS))
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+// HLC issues hybrid logical clock stamps. Safe for concurrent use.
+type HLC struct {
+	mu    sync.Mutex
+	clock measure.Clock
+	last  Stamp
+}
+
+// NewHLC returns an HLC reading physical time from clock (nil = system).
+func NewHLC(clock measure.Clock) *HLC {
+	return &HLC{clock: measure.Or(clock)}
+}
+
+// Now issues a stamp for a local event: physical time when it has
+// advanced past the last stamp, otherwise the last stamp with the logical
+// counter bumped.
+func (h *HLC) Now() Stamp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wall := h.clock.Now().UnixMilli()
+	if wall > h.last.WallMS {
+		h.last = Stamp{WallMS: wall}
+	} else {
+		h.last.Logical++
+	}
+	return h.last
+}
+
+// Observe folds a remote stamp into the clock (a receive event), so
+// stamps issued here afterwards are greater than both the local past and
+// the remote event. It returns the updated local stamp.
+func (h *HLC) Observe(remote Stamp) Stamp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wall := h.clock.Now().UnixMilli()
+	switch {
+	case wall > h.last.WallMS && wall > remote.WallMS:
+		h.last = Stamp{WallMS: wall}
+	case remote.Compare(h.last) > 0:
+		h.last = remote
+		h.last.Logical++
+	default:
+		h.last.Logical++
+	}
+	return h.last
+}

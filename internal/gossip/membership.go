@@ -1,0 +1,172 @@
+package gossip
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"nodeselect/internal/measure"
+)
+
+// PeerState classifies a peer in the failure detector.
+type PeerState int
+
+const (
+	// PeerAlive: the most recent exchange with the peer succeeded, or it
+	// failed recently enough that no judgment is warranted yet.
+	PeerAlive PeerState = iota
+	// PeerSuspect: exchanges have been failing longer than SuspectAfter.
+	PeerSuspect
+	// PeerDead: exchanges have been failing longer than DeadAfter; the
+	// peer is dropped from rumor targets and only probed by anti-entropy.
+	PeerDead
+)
+
+// String names the state.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// membership is the per-node failure detector: it watches exchange
+// outcomes and ages peers through alive → suspect → dead, mirroring the
+// poll plane's circuit breaker (consecutive failures open it; time since
+// the last success grades the severity).
+type membership struct {
+	clock        measure.Clock
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+// peerHealth tracks one peer's exchange history.
+type peerHealth struct {
+	lastOK    time.Time // zero until the first success
+	failSince time.Time // zero while healthy; first failure of current run
+	fails     int       // consecutive failures
+}
+
+func newMembership(clock measure.Clock, peers []string, suspectAfter, deadAfter time.Duration) *membership {
+	m := &membership{
+		clock:        clock,
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		peers:        make(map[string]*peerHealth, len(peers)),
+	}
+	// Peers start alive with the clock running: a peer never heard from
+	// ages toward suspect/dead just like one that stopped answering.
+	now := clock.Now()
+	for _, p := range peers {
+		m.peers[p] = &peerHealth{lastOK: now}
+	}
+	return m
+}
+
+// markOK records a successful exchange with peer.
+func (m *membership) markOK(peer string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ph := m.peer(peer)
+	ph.lastOK = m.clock.Now()
+	ph.failSince = time.Time{}
+	ph.fails = 0
+}
+
+// markFail records a failed exchange with peer.
+func (m *membership) markFail(peer string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ph := m.peer(peer)
+	if ph.fails == 0 {
+		ph.failSince = m.clock.Now()
+	}
+	ph.fails++
+}
+
+// peer returns the health record, creating it for a previously unknown
+// peer (one learned after startup). Callers hold m.mu.
+func (m *membership) peer(name string) *peerHealth {
+	ph, ok := m.peers[name]
+	if !ok {
+		ph = &peerHealth{lastOK: m.clock.Now()}
+		m.peers[name] = ph
+	}
+	return ph
+}
+
+// state grades one peer. Callers hold m.mu.
+func (m *membership) state(ph *peerHealth) PeerState {
+	if ph.fails == 0 {
+		return PeerAlive
+	}
+	down := m.clock.Now().Sub(ph.failSince)
+	switch {
+	case down >= m.deadAfter:
+		return PeerDead
+	case down >= m.suspectAfter:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// State grades one peer by name.
+func (m *membership) State(peer string) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(m.peer(peer))
+}
+
+// alivePeers returns the peers not currently graded dead, sorted for
+// deterministic selection.
+func (m *membership) alivePeers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for name, ph := range m.peers {
+		if m.state(ph) != PeerDead {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allPeers returns every known peer, sorted. Anti-entropy draws from this
+// set so a dead peer keeps being probed and a healed partition is
+// discovered.
+func (m *membership) allPeers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for name := range m.peers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts tallies peers by state.
+func (m *membership) Counts() (alive, suspect, dead int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ph := range m.peers {
+		switch m.state(ph) {
+		case PeerAlive:
+			alive++
+		case PeerSuspect:
+			suspect++
+		default:
+			dead++
+		}
+	}
+	return
+}

@@ -1,0 +1,83 @@
+package gossip
+
+import "nodeselect/internal/metrics"
+
+// Metrics instruments one gossip node. All fields are optional as a
+// group: a nil *Metrics disables instrumentation.
+type Metrics struct {
+	// Rounds counts Tick invocations.
+	Rounds *metrics.Counter
+	// PushesSent / PushesFailed count rumor pushes by outcome.
+	PushesSent   *metrics.Counter
+	PushesFailed *metrics.Counter
+	// EntriesApplied counts observations merged as fresh (from pushes,
+	// deltas, or local publishes).
+	EntriesApplied *metrics.Counter
+	// AntiEntropyRuns / AntiEntropyFailed count reconciliation exchanges.
+	AntiEntropyRuns   *metrics.Counter
+	AntiEntropyFailed *metrics.Counter
+	// PeersAlive / PeersSuspect / PeersDead gauge the failure detector —
+	// the gossip plane's analogue of the poll plane's circuit-breaker
+	// state metrics.
+	PeersAlive   *metrics.Gauge
+	PeersSuspect *metrics.Gauge
+	PeersDead    *metrics.Gauge
+}
+
+// NewMetrics registers the gossip metric family on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Rounds:            r.NewCounter("gossip_rounds_total", "Gossip protocol rounds run."),
+		PushesSent:        r.NewCounter("gossip_pushes_sent_total", "Rumor push exchanges completed."),
+		PushesFailed:      r.NewCounter("gossip_pushes_failed_total", "Rumor push exchanges that failed."),
+		EntriesApplied:    r.NewCounter("gossip_entries_applied_total", "Observations merged as fresh."),
+		AntiEntropyRuns:   r.NewCounter("gossip_anti_entropy_total", "Anti-entropy reconciliations completed."),
+		AntiEntropyFailed: r.NewCounter("gossip_anti_entropy_failed_total", "Anti-entropy reconciliations that failed."),
+		PeersAlive:        r.NewGauge("gossip_peers_alive", "Peers graded alive by the failure detector."),
+		PeersSuspect:      r.NewGauge("gossip_peers_suspect", "Peers graded suspect by the failure detector."),
+		PeersDead:         r.NewGauge("gossip_peers_dead", "Peers graded dead by the failure detector."),
+	}
+}
+
+func (m *Metrics) incRounds() {
+	if m != nil {
+		m.Rounds.Inc()
+	}
+}
+
+func (m *Metrics) pushDone(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.PushesSent.Inc()
+	} else {
+		m.PushesFailed.Inc()
+	}
+}
+
+func (m *Metrics) applied(n int) {
+	if m != nil && n > 0 {
+		m.EntriesApplied.Add(float64(n))
+	}
+}
+
+func (m *Metrics) antiEntropyDone(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.AntiEntropyRuns.Inc()
+	} else {
+		m.AntiEntropyFailed.Inc()
+	}
+}
+
+func (m *Metrics) peerCounts(alive, suspect, dead int) {
+	if m == nil {
+		return
+	}
+	m.PeersAlive.Set(float64(alive))
+	m.PeersSuspect.Set(float64(suspect))
+	m.PeersDead.Set(float64(dead))
+}

@@ -1,0 +1,118 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nodeselect/internal/measure"
+	"nodeselect/internal/randx"
+)
+
+// TestRandomizedPartitionHeal is the convergence property test: under a
+// randomized schedule of partitions, heals, node kills/revives and
+// publishes, once the mesh is healed and quiet for a bounded number of
+// anti-entropy rounds, every live node's store holds the max-stamp
+// version of every published origin.
+func TestRandomizedPartitionHeal(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			runPartitionTrial(t, int64(trial))
+		})
+	}
+}
+
+func runPartitionTrial(t *testing.T, seed int64) {
+	const (
+		n      = 12
+		phases = 6
+	)
+	rng := randx.New(seed).Split("gossip/property")
+	clk := measure.NewManual(time.Unix(2000, 0))
+	net := NewMemNetwork(seed)
+	nodes := buildMesh(n, net, clk, seed)
+	names := meshNames(n)
+
+	published := make(map[int]bool)
+	publish := func(i int) {
+		if net.Down(names[i]) {
+			return
+		}
+		nodes[i].Publish(float64(i), rng.Float64()*4, rng.Float64(), map[int]LinkReading{
+			i: {Bits: rng.Float64() * 1e9},
+		})
+		published[i] = true
+	}
+
+	// Chaos phases: random partitions, kills, revives, publishes, ticks.
+	for phase := 0; phase < phases; phase++ {
+		switch rng.Intn(3) {
+		case 0: // random 2-way partition
+			groups := make(map[string]int)
+			for _, name := range names {
+				groups[name] = rng.Intn(2)
+			}
+			net.SetPartition(groups)
+		case 1: // kill one node
+			net.Kill(names[rng.Intn(n)])
+		case 2: // lossy network
+			net.SetDrop(0.3)
+		}
+		for i := 0; i < 3; i++ {
+			publish(rng.Intn(n))
+		}
+		for r := 0; r < 4; r++ {
+			tickAll(nodes, clk)
+		}
+	}
+
+	// Heal everything and run quiet rounds. Convergence must land within
+	// a bounded number of anti-entropy cycles: each cycle every node
+	// reconciles bidirectionally with one random peer, so the expected
+	// number of cycles to full convergence is O(log n); 12 cycles of the
+	// default every-4-rounds cadence is a generous deterministic bound.
+	net.Heal()
+	net.SetDrop(0)
+	for _, name := range names {
+		net.Revive(name)
+	}
+	const healRounds = 12 * DefaultAntiEntropyEvery
+	for r := 0; r < healRounds && !fullyConverged(nodes, published); r++ {
+		tickAll(nodes, clk)
+	}
+	if !fullyConverged(nodes, published) {
+		t.Fatalf("seed %d: mesh not converged after %d rounds", seed, healRounds)
+	}
+
+	// Every replica of every published origin is the max-stamp version.
+	for origin := range published {
+		var want Observation
+		for _, nd := range nodes {
+			if obs, ok := nd.Store().Get(origin); ok && obs.Newer(want) {
+				want = obs
+			}
+		}
+		for _, nd := range nodes {
+			got, ok := nd.Store().Get(origin)
+			if !ok {
+				t.Fatalf("seed %d: %s missing origin %d", seed, nd.Name(), origin)
+			}
+			if got.Stamp != want.Stamp || got.Seq != want.Seq {
+				t.Fatalf("seed %d: %s holds %+v for origin %d, want max-stamp %+v",
+					seed, nd.Name(), got.Stamp, origin, want.Stamp)
+			}
+		}
+	}
+}
+
+// fullyConverged reports whether every node holds every published origin
+// with identical digests.
+func fullyConverged(nodes []*Node, published map[int]bool) bool {
+	for origin := range published {
+		if !allHave(nodes, origin) {
+			return false
+		}
+	}
+	return converged(nodes)
+}

@@ -1,0 +1,136 @@
+package gossip
+
+import (
+	"nodeselect/internal/topology"
+)
+
+// DefaultFreshFor is how old (seconds) a gossiped observation may be and
+// still count as a live reading in the freshness pipeline.
+const DefaultFreshFor = 10.0
+
+// SnapshotSource adapts a gossip store as a remos.Source, making the
+// measurement collector one more consumer of the gossip stream: each
+// origin's observation supplies its node's load and its owned links'
+// counters, exactly the entities the poll-plane agent for that node
+// would have answered for. It also implements remos.FreshnessReporter
+// and remos.AgeReporter — an entry older than FreshFor counts as a
+// stale carry-forward, and its true age flows into the collector's
+// freshness accounting, so MaxStaleAge and the degraded /healthz states
+// mean the same thing in gossip mode as in poll mode.
+type SnapshotSource struct {
+	graph     *topology.Graph
+	store     *Store
+	linkOwner []int // node owning each link (lower-numbered endpoint)
+
+	// FreshFor is the age bound, in seconds, for a reading to count as
+	// fresh. Zero takes DefaultFreshFor.
+	FreshFor float64
+}
+
+// NewSnapshotSource returns a source answering for g from store.
+func NewSnapshotSource(g *topology.Graph, store *Store) *SnapshotSource {
+	s := &SnapshotSource{
+		graph:     g,
+		store:     store,
+		linkOwner: make([]int, g.NumLinks()),
+		FreshFor:  DefaultFreshFor,
+	}
+	// Same ownership rule as the agent fleet: a link belongs to its
+	// lower-numbered endpoint.
+	for l := 0; l < g.NumLinks(); l++ {
+		link := g.Link(l)
+		lo := link.A
+		if link.B < lo {
+			lo = link.B
+		}
+		s.linkOwner[l] = lo
+	}
+	return s
+}
+
+// Store exposes the backing gossip store.
+func (s *SnapshotSource) Store() *Store { return s.store }
+
+// Topology implements remos.Source.
+func (s *SnapshotSource) Topology() *topology.Graph { return s.graph }
+
+// Now implements remos.Source: the most recent measurement clock among
+// all stored observations, like the poll plane's "latest agent clock".
+func (s *SnapshotSource) Now() float64 {
+	t := 0.0
+	for _, obs := range s.store.Entries() {
+		if obs.Time > t {
+			t = obs.Time
+		}
+	}
+	return t
+}
+
+// NodeLoad implements remos.Source. An origin never heard from reads as
+// idle — and reports !NodeOK, so the collector grades it degraded rather
+// than trusting the zero.
+func (s *SnapshotSource) NodeLoad(node int, backgroundOnly bool) float64 {
+	obs, ok := s.store.Get(node)
+	if !ok {
+		return 0
+	}
+	if backgroundOnly {
+		return obs.LoadBG
+	}
+	return obs.Load
+}
+
+// LinkBits implements remos.Source from the owning origin's observation.
+func (s *SnapshotSource) LinkBits(link int, backgroundOnly bool) float64 {
+	obs, ok := s.store.Get(s.linkOwner[link])
+	if !ok {
+		return 0
+	}
+	reading, ok := obs.Links[link]
+	if !ok {
+		return 0
+	}
+	if backgroundOnly {
+		return reading.BitsBG
+	}
+	return reading.Bits
+}
+
+// LinkUp implements remos.Source.
+func (s *SnapshotSource) LinkUp(link int) bool {
+	obs, ok := s.store.Get(s.linkOwner[link])
+	if !ok {
+		return true
+	}
+	reading, ok := obs.Links[link]
+	return !ok || !reading.Down
+}
+
+func (s *SnapshotSource) freshFor() float64 {
+	if s.FreshFor <= 0 {
+		return DefaultFreshFor
+	}
+	return s.FreshFor
+}
+
+// NodeOK implements remos.FreshnessReporter: the node's observation
+// exists and is younger than FreshFor.
+func (s *SnapshotSource) NodeOK(node int) bool {
+	return s.store.AgeSeconds(node) <= s.freshFor()
+}
+
+// LinkOK implements remos.FreshnessReporter via the owning origin.
+func (s *SnapshotSource) LinkOK(link int) bool {
+	return s.NodeOK(s.linkOwner[link])
+}
+
+// NodeAgeSeconds implements remos.AgeReporter: the wall-clock age of the
+// node's observation (+Inf when never heard from).
+func (s *SnapshotSource) NodeAgeSeconds(node int) float64 {
+	return s.store.AgeSeconds(node)
+}
+
+// LinkAgeSeconds implements remos.AgeReporter via the owning origin.
+func (s *SnapshotSource) LinkAgeSeconds(link int) float64 {
+	return s.store.AgeSeconds(s.linkOwner[link])
+}

@@ -1,0 +1,281 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/measure"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// linkOwnerOf mirrors the fleet's ownership rule: a link belongs to its
+// lower-numbered endpoint.
+func linkOwnerOf(g *topology.Graph, l int) int {
+	link := g.Link(l)
+	if link.B < link.A {
+		return link.B
+	}
+	return link.A
+}
+
+// publishFrom publishes every node's current reading from src into the
+// mesh, the way a gossiping agent fleet would.
+func publishFrom(src remos.Source, nodes []*Node) {
+	g := src.Topology()
+	owned := make(map[int][]int)
+	for l := 0; l < g.NumLinks(); l++ {
+		o := linkOwnerOf(g, l)
+		owned[o] = append(owned[o], l)
+	}
+	for i, nd := range nodes {
+		links := make(map[int]LinkReading, len(owned[i]))
+		for _, l := range owned[i] {
+			links[l] = LinkReading{
+				Bits:   src.LinkBits(l, false),
+				BitsBG: src.LinkBits(l, true),
+				Down:   !src.LinkUp(l),
+			}
+		}
+		nd.Publish(src.Now(), src.NodeLoad(i, false), src.NodeLoad(i, true), links)
+	}
+}
+
+func TestSnapshotSourceServesGossipedReadings(t *testing.T) {
+	g := testbed.Figure1()
+	clk := measure.NewManual(time.Unix(3000, 0))
+	store := NewStore(clk)
+	snap := NewSnapshotSource(g, store)
+
+	// Nothing heard yet: loads read idle, links read up, nothing is OK.
+	if snap.NodeLoad(0, false) != 0 || !snap.LinkUp(0) || snap.NodeOK(0) {
+		t.Fatal("empty store must read idle, up, not-OK")
+	}
+	if !math.IsInf(snap.NodeAgeSeconds(0), +1) {
+		t.Fatal("unheard node must report +Inf age")
+	}
+
+	hlc := NewHLC(clk)
+	store.Put(Observation{
+		Origin: 0, Seq: 1, Stamp: hlc.Now(), Time: 7,
+		Load: 2.5, LoadBG: 1.5,
+		Links: map[int]LinkReading{0: {Bits: 4e6, BitsBG: 1e6}},
+	})
+	if snap.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", snap.Now())
+	}
+	if snap.NodeLoad(0, false) != 2.5 || snap.NodeLoad(0, true) != 1.5 {
+		t.Fatal("loads not served from the observation")
+	}
+	if owner := linkOwnerOf(g, 0); owner == 0 {
+		if snap.LinkBits(0, false) != 4e6 || snap.LinkBits(0, true) != 1e6 {
+			t.Fatal("link counters not served from the owner's observation")
+		}
+	}
+	if !snap.NodeOK(0) || snap.NodeAgeSeconds(0) != 0 {
+		t.Fatal("fresh entry must be OK at age 0")
+	}
+	clk.Advance(time.Duration(DefaultFreshFor+1) * time.Second)
+	if snap.NodeOK(0) {
+		t.Fatal("entry past FreshFor must not be OK")
+	}
+	if age := snap.NodeAgeSeconds(0); age != DefaultFreshFor+1 {
+		t.Fatalf("age = %v, want %v", age, DefaultFreshFor+1)
+	}
+}
+
+// TestCollectorOverSnapshotSource drives the whole freshness pipeline in
+// gossip-consumer mode on one manual clock: fresh entries are HealthOK,
+// aging entries degrade /healthz, and entries past MaxStaleAge turn
+// queries into StaleError — the same ladder poll mode climbs when agents
+// die.
+func TestCollectorOverSnapshotSource(t *testing.T) {
+	g := testbed.Figure1()
+	clk := measure.NewManual(time.Unix(3000, 0))
+	static := remos.NewStaticSource(g)
+	static.SetLoad(0, 2)
+
+	store := NewStore(clk)
+	snap := NewSnapshotSource(g, store)
+	hlc := NewHLC(clk)
+	fill := func() {
+		owned := make(map[int][]int)
+		for l := 0; l < g.NumLinks(); l++ {
+			o := linkOwnerOf(g, l)
+			owned[o] = append(owned[o], l)
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			links := make(map[int]LinkReading, len(owned[i]))
+			for _, l := range owned[i] {
+				links[l] = LinkReading{Bits: static.LinkBits(l, false), BitsBG: static.LinkBits(l, true)}
+			}
+			store.Put(Observation{
+				Origin: i, Seq: uint64(store.Version() + 1), Stamp: hlc.Now(), Time: static.Now(),
+				Load: static.NodeLoad(i, false), LoadBG: static.NodeLoad(i, true), Links: links,
+			})
+		}
+	}
+	fill()
+
+	col := remos.NewCollector(snap, remos.CollectorConfig{
+		Period: 2, MaxStaleAge: 30, Clock: clk,
+	})
+	col.Poll()
+	if h := col.Health(); h.State != remos.HealthOK {
+		t.Fatalf("fresh gossip view health = %s, want ok", h.State)
+	}
+
+	// The mesh stops hearing from everyone: entries age past FreshFor, so
+	// the next poll grades every entity degraded, with the true entry age
+	// folded into the reported ages.
+	clk.Advance(12 * time.Second)
+	static.Advance(12)
+	col.Poll()
+	h := col.Health()
+	if h.State != remos.HealthDegraded {
+		t.Fatalf("aged gossip view health = %s, want degraded", h.State)
+	}
+	compute := -1
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(i).Kind == topology.Compute {
+			compute = i
+			break
+		}
+	}
+	fr := col.Freshness()
+	// Entry age (12s) dominates the single-poll count aging; the fold must
+	// preserve it rather than restart from the poll counter.
+	if fr.NodeAge[compute] < 12 {
+		t.Fatalf("node age = %v, want >= 12 (source age folded in)", fr.NodeAge[compute])
+	}
+
+	// Past MaxStaleAge everywhere: queries fail typed.
+	clk.Advance(40 * time.Second)
+	static.Advance(40)
+	col.Poll()
+	if _, err := col.Snapshot(remos.Current, false); !errors.Is(err, remos.ErrStale) {
+		t.Fatalf("stale gossip view query error = %v, want ErrStale", err)
+	}
+
+	// Fresh observations arrive again: the pipeline recovers.
+	fill()
+	col.Poll()
+	if h := col.Health(); h.State != remos.HealthOK {
+		t.Fatalf("recovered health = %s, want ok", h.State)
+	}
+}
+
+// TestPollGossipSelectionEquivalence is the acceptance check that the
+// collector in gossip-consumer mode produces selection decisions
+// equivalent to poll mode on identical inputs, across the scenario
+// topology suite: the same static conditions are measured once directly
+// and once through a converged gossip mesh, and every deterministic
+// algorithm must pick the same nodes from either view.
+func TestPollGossipSelectionEquivalence(t *testing.T) {
+	rng := randx.New(77)
+	scenarios := map[string]*topology.Graph{
+		"cmu":      testbed.CMU(),
+		"figure1":  testbed.Figure1(),
+		"star":     testbed.Star(8, 10e6),
+		"dumbbell": testbed.Dumbbell(4, 100e6, 40e6),
+		"multi":    testbed.MultiCluster(3, 4, 100e6, 34e6),
+		"hetero":   testbed.HeteroClusters(),
+		"randtree": testbed.RandomTree(rng.Split("tree"), 24, []float64{10e6, 100e6}),
+	}
+	for name, g := range scenarios {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			srng := rng.Split("scenario/" + name)
+			static := remos.NewStaticSource(g)
+			for i := 0; i < g.NumNodes(); i++ {
+				if g.Node(i).Kind == topology.Compute {
+					static.SetLoad(i, srng.Float64()*4)
+				}
+			}
+			for l := 0; l < g.NumLinks(); l++ {
+				static.SetUsedBW(l, srng.Float64()*0.8*g.Link(l).Capacity)
+			}
+
+			// Poll mode: collector straight over the source.
+			pollCol := remos.NewCollector(static, remos.CollectorConfig{Period: 2})
+
+			// Gossip mode: an agent mesh publishing from the same source,
+			// with a consumer node joining as origin -1.
+			clk := measure.NewManual(time.Unix(5000, 0))
+			net := NewMemNetwork(9)
+			nodes := buildMesh(g.NumNodes(), net, clk, 9)
+			consumer := New(Config{
+				Name: "consumer", Origin: -1, Peers: meshNames(g.NumNodes()),
+				Transport: net.TransportFor("consumer"), Clock: clk, Seed: 9,
+			})
+			net.Join(consumer)
+			all := append(append([]*Node{}, nodes...), consumer)
+			gossipCol := remos.NewCollector(NewSnapshotSource(g, consumer.Store()),
+				remos.CollectorConfig{Period: 2, Clock: clk})
+
+			// caughtUp reports whether the consumer holds every publisher's
+			// own latest observation (stamp-exact, not mere presence).
+			caughtUp := func() bool {
+				for i, nd := range nodes {
+					want, ok := nd.Store().Get(i)
+					if !ok {
+						return false
+					}
+					got, ok := consumer.Store().Get(i)
+					if !ok || got.Stamp != want.Stamp {
+						return false
+					}
+				}
+				return true
+			}
+
+			// Two measurement epochs so Current mode has an interval.
+			for epoch := 0; epoch < 2; epoch++ {
+				publishFrom(static, nodes)
+				for r := 0; r < 200 && !caughtUp(); r++ {
+					for _, nd := range all {
+						nd.Tick()
+					}
+				}
+				if !caughtUp() {
+					t.Fatalf("consumer not caught up after epoch %d (%d/%d origins)",
+						epoch, consumer.Store().Len(), g.NumNodes())
+				}
+				pollCol.Poll()
+				gossipCol.Poll()
+				static.Advance(2)
+			}
+
+			req := core.Request{M: 3}
+			for _, algo := range []string{core.AlgoCompute, core.AlgoBandwidth, core.AlgoBalanced} {
+				for _, mode := range []remos.Mode{remos.Current, remos.Window} {
+					ps, err := pollCol.Snapshot(mode, false)
+					if err != nil {
+						t.Fatalf("%s/%s poll snapshot: %v", algo, mode, err)
+					}
+					gs, err := gossipCol.Snapshot(mode, false)
+					if err != nil {
+						t.Fatalf("%s/%s gossip snapshot: %v", algo, mode, err)
+					}
+					pr, perr := core.Select(algo, ps, req, nil)
+					gr, gerr := core.Select(algo, gs, req, nil)
+					if (perr == nil) != (gerr == nil) {
+						t.Fatalf("%s/%s: poll err %v vs gossip err %v", algo, mode, perr, gerr)
+					}
+					if perr != nil {
+						continue
+					}
+					if fmt.Sprint(pr.Nodes) != fmt.Sprint(gr.Nodes) {
+						t.Fatalf("%s/%s: poll picked %v, gossip picked %v", algo, mode, pr.Nodes, gr.Nodes)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package gossip
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"nodeselect/internal/measure"
+)
+
+// LinkReading is one owned link's counter state as carried by an
+// observation — the same shape an agent's OpRead reports, duplicated here
+// so the wire format of the gossip plane does not depend on the poll
+// plane's protocol package.
+type LinkReading struct {
+	// Bits is the cumulative bits carried (both directions, all traffic).
+	Bits float64 `json:"bits"`
+	// BitsBG is the cumulative bits excluding measured-application
+	// traffic.
+	BitsBG float64 `json:"bits_bg"`
+	// Down marks the link out of service.
+	Down bool `json:"down,omitempty"`
+}
+
+// Observation is one agent's complete local reading: its node's load
+// averages plus the counters of every link it owns, versioned by a
+// per-origin sequence number and an HLC stamp. An origin's reading is
+// replicated wholesale — the unit of convergence is the observation, so a
+// digest of (origin → stamp) pairs is exact and reconciliation can never
+// leave a peer holding half of a newer reading.
+type Observation struct {
+	// Origin is the dense node ID of the agent that measured this.
+	Origin int `json:"origin"`
+	// Seq is the origin's monotone publication counter; it breaks stamp
+	// ties and survives within one process lifetime (the stamp dominates
+	// across restarts).
+	Seq uint64 `json:"seq"`
+	// Stamp is the HLC stamp issued when the observation was published.
+	Stamp Stamp `json:"stamp"`
+	// Time is the origin's measurement clock in seconds (the simulation
+	// or synthetic-source clock, not wall time).
+	Time float64 `json:"time"`
+	// Load and LoadBG are the node's load averages (all classes /
+	// background only).
+	Load   float64 `json:"load"`
+	LoadBG float64 `json:"load_bg"`
+	// Links maps owned link IDs to their counters.
+	Links map[int]LinkReading `json:"links,omitempty"`
+}
+
+// Newer reports whether o supersedes old, comparing stamps first and
+// sequence numbers as the tiebreak.
+func (o Observation) Newer(old Observation) bool {
+	if c := o.Stamp.Compare(old.Stamp); c != 0 {
+		return c > 0
+	}
+	return o.Seq > old.Seq
+}
+
+// Store is a versioned, last-writer-wins replica of the fleet's
+// observations, keyed by origin. Safe for concurrent use.
+type Store struct {
+	clock measure.Clock
+
+	mu      sync.Mutex
+	entries map[int]Observation
+	version uint64 // bumped on every applied change, for change detection
+}
+
+// NewStore returns an empty store aging entries against clock (nil =
+// system clock).
+func NewStore(clock measure.Clock) *Store {
+	return &Store{clock: measure.Or(clock), entries: make(map[int]Observation)}
+}
+
+// Put merges one observation, keeping the newer of the stored and offered
+// versions. It reports whether the offered observation was fresh (applied).
+func (s *Store) Put(obs Observation) bool {
+	if obs.Origin < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.entries[obs.Origin]; ok && !obs.Newer(cur) {
+		return false
+	}
+	s.entries[obs.Origin] = obs
+	s.version++
+	return true
+}
+
+// Get returns the stored observation for origin, if any.
+func (s *Store) Get(origin int) (Observation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obs, ok := s.entries[origin]
+	return obs, ok
+}
+
+// Len returns the number of origins with a stored observation.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Version returns a counter bumped by every applied change — cheap
+// convergence detection for tests and experiments.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Digest summarizes the store as origin → stamp of the latest stored
+// observation. Digests are what anti-entropy exchanges compare: per-origin
+// stamps are exact (an origin's reading replicates wholesale), so the diff
+// a digest induces is everything one side is missing, nothing more.
+func (s *Store) Digest() map[int]Stamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := make(map[int]Stamp, len(s.entries))
+	for origin, obs := range s.entries {
+		d[origin] = obs.Stamp
+	}
+	return d
+}
+
+// DeltaSince returns the stored observations strictly newer than the
+// given digest (or absent from it), in origin order — the frames to send
+// a peer that advertised the digest.
+func (s *Store) DeltaSince(digest map[int]Stamp) []Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Observation
+	for origin, obs := range s.entries {
+		if st, ok := digest[origin]; !ok || obs.Stamp.Compare(st) > 0 {
+			out = append(out, obs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Entries returns every stored observation in origin order.
+func (s *Store) Entries() []Observation {
+	return s.DeltaSince(nil)
+}
+
+// AgeSeconds returns the age of origin's stored observation — wall time
+// now minus the observation's stamp — or +Inf when the origin has never
+// been heard from. The age is what bounded-staleness consumers compare
+// against their budget.
+func (s *Store) AgeSeconds(origin int) float64 {
+	s.mu.Lock()
+	obs, ok := s.entries[origin]
+	s.mu.Unlock()
+	if !ok {
+		return math.Inf(1)
+	}
+	return obs.Stamp.AgeAt(s.clock.Now()).Seconds()
+}
+
+// MaxAgeSeconds returns the oldest entry's age in seconds (0 for an empty
+// store), optionally restricted to the given origins (nil = all).
+func (s *Store) MaxAgeSeconds(origins []int) float64 {
+	s.mu.Lock()
+	now := s.clock.Now()
+	max := 0.0
+	if origins == nil {
+		for _, obs := range s.entries {
+			if a := obs.Stamp.AgeAt(now).Seconds(); a > max {
+				max = a
+			}
+		}
+		s.mu.Unlock()
+		return max
+	}
+	for _, origin := range origins {
+		if obs, ok := s.entries[origin]; ok {
+			if a := obs.Stamp.AgeAt(now).Seconds(); a > max {
+				max = a
+			}
+		} else {
+			max = math.Inf(1)
+		}
+	}
+	s.mu.Unlock()
+	return max
+}
+
+// clone returns a deep copy of one observation's link map so callers can
+// mutate their copy without racing the store.
+func cloneLinks(links map[int]LinkReading) map[int]LinkReading {
+	if links == nil {
+		return nil
+	}
+	out := make(map[int]LinkReading, len(links))
+	for id, r := range links {
+		out[id] = r
+	}
+	return out
+}

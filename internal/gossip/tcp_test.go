@@ -1,0 +1,149 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"nodeselect/internal/remos/agent"
+)
+
+// startTCPPair brings up two gossip nodes with real TCP servers. The
+// peers address each other by listen address; dialer timeouts are short
+// so fault tests finish quickly.
+func startTCPPair(t *testing.T) (a, b *Node, aAddr, bAddr string, cleanup func()) {
+	t.Helper()
+	// Bind servers first so each node can name the other's address as
+	// its peer. Nodes are constructed with placeholder peers and rebuilt
+	// once addresses are known — simplest with two staged servers.
+	ta := &TCPTransport{ConnectTimeout: time.Second, IOTimeout: time.Second}
+	tb := &TCPTransport{ConnectTimeout: time.Second, IOTimeout: time.Second}
+
+	// Stage 1: serve placeholder nodes just to claim ports.
+	tmpA := New(Config{Name: "a", Origin: 0, Transport: ta})
+	tmpB := New(Config{Name: "b", Origin: 1, Transport: tb})
+	sa, err := Serve(tmpA, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Serve(tmpB, "127.0.0.1:0")
+	if err != nil {
+		sa.Close()
+		t.Fatal(err)
+	}
+	sa.Close()
+	sb.Close()
+	aAddr, bAddr = sa.Addr(), sb.Addr()
+
+	// Stage 2: real nodes naming each other, served on the same ports.
+	a = New(Config{Name: aAddr, Origin: 0, Peers: []string{bAddr}, Transport: ta, Seed: 4})
+	b = New(Config{Name: bAddr, Origin: 1, Peers: []string{aAddr}, Transport: tb, Seed: 5})
+	sa2, err := Serve(a, aAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb2, err := Serve(b, bAddr)
+	if err != nil {
+		sa2.Close()
+		t.Fatal(err)
+	}
+	return a, b, aAddr, bAddr, func() {
+		sa2.Close()
+		sb2.Close()
+		ta.Close()
+		tb.Close()
+	}
+}
+
+func TestTCPReplication(t *testing.T) {
+	a, b, _, _, cleanup := startTCPPair(t)
+	defer cleanup()
+
+	a.Publish(1.5, 2.0, 1.0, map[int]LinkReading{0: {Bits: 7e6}})
+	b.Publish(1.5, 0.5, 0.25, nil)
+	for r := 0; r < 8; r++ {
+		a.Tick()
+		b.Tick()
+	}
+	got, ok := b.Store().Get(0)
+	if !ok || got.Load != 2.0 || got.Links[0].Bits != 7e6 {
+		t.Fatalf("b did not replicate a's observation: %+v (ok=%v)", got, ok)
+	}
+	if got, ok := a.Store().Get(1); !ok || got.Load != 0.5 {
+		t.Fatalf("a did not replicate b's observation: %+v (ok=%v)", got, ok)
+	}
+}
+
+// TestChaosProxyOnGossip fronts one gossip listener with the PR 2 chaos
+// proxy — the framing is identical, so the proxy forwards gossip frames
+// unchanged. A paused proxy (crashed peer) blocks dissemination and
+// degrades membership; a corrupting proxy mangles responses so the
+// sender sees clean failures; with the faults lifted the mesh converges
+// through the same proxy.
+func TestChaosProxyOnGossip(t *testing.T) {
+	// Backend node b with a real server.
+	tb := &TCPTransport{ConnectTimeout: time.Second, IOTimeout: 500 * time.Millisecond}
+	b := New(Config{Name: "b", Origin: 1, Transport: tb})
+	sb, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	proxy, err := agent.NewChaosProxy(sb.Addr(), 11, agent.ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.Pause() // crashed peer: refuses service entirely
+
+	// Node a only knows the proxy's address.
+	ta := &TCPTransport{ConnectTimeout: time.Second, IOTimeout: 500 * time.Millisecond}
+	defer ta.Close()
+	a := New(Config{
+		Name: "a", Origin: 0, Peers: []string{proxy.Addr()}, Transport: ta,
+		Seed: 6, SuspectAfter: time.Nanosecond, DeadAfter: time.Hour,
+	})
+
+	a.Publish(1, 3, 2, nil)
+	for r := 0; r < 6; r++ {
+		a.Tick()
+	}
+	if _, ok := b.Store().Get(0); ok {
+		t.Fatal("observation crossed a paused proxy")
+	}
+	if got := a.PeerState(proxy.Addr()); got != PeerSuspect {
+		t.Fatalf("peer state behind paused proxy = %v, want suspect", got)
+	}
+
+	// Corrupting proxy: the push body reaches b (faults land on whole
+	// responses), but a's decoder sees a mangled ack and must fail the
+	// exchange cleanly rather than panic or mark the peer healthy.
+	proxy.Resume()
+	proxy.Set(agent.ChaosConfig{CorruptRate: 1})
+	a.Publish(2, 3.25, 2.25, nil)
+	for r := 0; r < 6; r++ {
+		a.Tick()
+	}
+	if got := a.PeerState(proxy.Addr()); got != PeerSuspect {
+		t.Fatalf("peer state under corruption = %v, want suspect", got)
+	}
+
+	// Lift the faults: the same proxy now forwards cleanly and the rumor
+	// lands. Re-arm the rumor by republishing.
+	proxy.Set(agent.ChaosConfig{})
+	a.Publish(3, 3.5, 2.5, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a.Tick()
+		if obs, ok := b.Store().Get(0); ok && obs.Load == 3.5 {
+			break
+		}
+	}
+	obs, ok := b.Store().Get(0)
+	if !ok || obs.Load != 3.5 {
+		t.Fatalf("mesh did not converge after faults lifted: %+v (ok=%v)", obs, ok)
+	}
+	if got := a.PeerState(proxy.Addr()); got != PeerAlive {
+		t.Fatalf("peer state after recovery = %v, want alive", got)
+	}
+}

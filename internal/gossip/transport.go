@@ -1,0 +1,324 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nodeselect/internal/randx"
+)
+
+// Transport carries one request/response exchange to a named peer. The
+// in-memory implementation backs deterministic tests and the convergence
+// experiment; the TCP implementation backs real deployments (and routes
+// through the chaos proxy, which speaks the same framing).
+type Transport interface {
+	Exchange(peer string, req *Frame) (*Frame, error)
+}
+
+// Mesh transport errors.
+var (
+	// ErrUnreachable reports an exchange that could not reach the peer —
+	// killed, partitioned away, or its frame dropped by fault injection.
+	ErrUnreachable = errors.New("gossip: peer unreachable")
+)
+
+// MemNetwork is an in-process gossip mesh with fault injection: peers
+// exchange frames by direct call, and the network can kill peers, drop
+// frames probabilistically, and split the mesh into partitions. All
+// mutations are reproducible — the drop stream is seeded — so the
+// convergence experiment and the partition/heal property test are
+// deterministic.
+type MemNetwork struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	group map[string]int // partition group; absent = group 0
+	down  map[string]bool
+	drop  float64
+	rng   *randx.Source
+}
+
+// NewMemNetwork returns an empty mesh whose fault stream is seeded by
+// seed.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		nodes: make(map[string]*Node),
+		group: make(map[string]int),
+		down:  make(map[string]bool),
+		rng:   randx.New(seed).Split("gossip/mem"),
+	}
+}
+
+// Join registers a node under its name. The node's transport must be
+// m.TransportFor(name).
+func (m *MemNetwork) Join(n *Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.Name()] = n
+}
+
+// Kill takes a peer off the mesh: its exchanges fail and frames to it are
+// refused. Revive undoes it.
+func (m *MemNetwork) Kill(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[name] = true
+}
+
+// Revive restores a killed peer.
+func (m *MemNetwork) Revive(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.down, name)
+}
+
+// Down reports whether a peer is currently killed.
+func (m *MemNetwork) Down(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[name]
+}
+
+// SetPartition splits the mesh: peers exchange frames only within their
+// group. Unlisted peers are group 0. Heal clears it.
+func (m *MemNetwork) SetPartition(groups map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.group = make(map[string]int, len(groups))
+	for name, g := range groups {
+		m.group[name] = g
+	}
+}
+
+// Heal removes the partition.
+func (m *MemNetwork) Heal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.group = make(map[string]int)
+}
+
+// SetDrop sets the probability that any one exchange is dropped (the
+// request frame lost in flight).
+func (m *MemNetwork) SetDrop(rate float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drop = rate
+}
+
+// TransportFor returns the transport a node named from must use, so
+// partitions can be enforced per sender/receiver pair.
+func (m *MemNetwork) TransportFor(from string) Transport {
+	return &memTransport{net: m, from: from}
+}
+
+type memTransport struct {
+	net  *MemNetwork
+	from string
+}
+
+// Exchange implements Transport with the mesh's fault model applied.
+func (t *memTransport) Exchange(peer string, req *Frame) (*Frame, error) {
+	m := t.net
+	m.mu.Lock()
+	target := m.nodes[peer]
+	blocked := m.down[t.from] || m.down[peer] || m.group[t.from] != m.group[peer]
+	if !blocked && m.drop > 0 && m.rng.Float64() < m.drop {
+		blocked = true
+	}
+	m.mu.Unlock()
+	if target == nil {
+		return nil, fmt.Errorf("gossip: unknown peer %q", peer)
+	}
+	if blocked {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, t.from, peer)
+	}
+	resp := target.Handle(req)
+	if resp.Type == TypeError {
+		return nil, fmt.Errorf("gossip: peer %s rejected frame: %s", peer, resp.Error)
+	}
+	return resp, nil
+}
+
+// Server answers gossip frames for one node over TCP: each incoming
+// frame gets exactly one response frame, the request/response shape the
+// chaos proxy forwards.
+type Server struct {
+	node *Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a gossip listener for n on addr (e.g. "127.0.0.1:0").
+func Serve(n *Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: listen: %w", err)
+	}
+	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Frame
+		if err := ReadFrame(conn, &req); err != nil {
+			return // EOF, corrupt frame, or protocol error: drop the conn
+		}
+		if err := WriteFrame(conn, s.node.Handle(&req)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and severs every connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// TCPTransport exchanges frames with peers addressed by "host:port",
+// dialing on demand and reusing connections. Operations run under
+// deadlines; a failed exchange drops the connection so the next one
+// redials — the degradation model the membership detector expects.
+type TCPTransport struct {
+	// ConnectTimeout bounds one TCP connect (default 2s); IOTimeout
+	// bounds one request/response round trip (default 2s).
+	ConnectTimeout time.Duration
+	IOTimeout      time.Duration
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+func (t *TCPTransport) connectTimeout() time.Duration {
+	if t.ConnectTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return t.ConnectTimeout
+}
+
+func (t *TCPTransport) ioTimeout() time.Duration {
+	if t.IOTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return t.IOTimeout
+}
+
+// Exchange implements Transport.
+func (t *TCPTransport) Exchange(peer string, req *Frame) (*Frame, error) {
+	t.mu.Lock()
+	if t.conns == nil {
+		t.conns = make(map[string]net.Conn)
+	}
+	conn := t.conns[peer]
+	t.mu.Unlock()
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", peer, t.connectTimeout())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, peer, err)
+		}
+		t.mu.Lock()
+		// A racing exchange may have dialed first; keep one connection.
+		if prev := t.conns[peer]; prev != nil {
+			t.mu.Unlock()
+			c.Close()
+			conn = prev
+		} else {
+			t.conns[peer] = c
+			t.mu.Unlock()
+			conn = c
+		}
+	}
+	resp, err := t.roundTrip(conn, req)
+	if err != nil {
+		t.dropConn(peer, conn)
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, peer, err)
+	}
+	if resp.Type == TypeError {
+		return nil, fmt.Errorf("gossip: peer %s rejected frame: %s", peer, resp.Error)
+	}
+	return resp, nil
+}
+
+func (t *TCPTransport) roundTrip(conn net.Conn, req *Frame) (*Frame, error) {
+	if err := conn.SetDeadline(time.Now().Add(t.ioTimeout())); err != nil {
+		return nil, err
+	}
+	defer conn.SetDeadline(time.Time{})
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	var resp Frame
+	if err := ReadFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// dropConn closes and forgets a failed connection (if still current).
+func (t *TCPTransport) dropConn(peer string, conn net.Conn) {
+	conn.Close()
+	t.mu.Lock()
+	if t.conns[peer] == conn {
+		delete(t.conns, peer)
+	}
+	t.mu.Unlock()
+}
+
+// Close severs every cached connection.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for peer, conn := range t.conns {
+		conn.Close()
+		delete(t.conns, peer)
+	}
+}

@@ -1,0 +1,122 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The gossip wire protocol is length-prefixed JSON — deliberately the
+// same outer framing as the agent poll protocol (4-byte big-endian length,
+// bounded body), so the PR 2 chaos proxy can sit in front of a gossip
+// listener unchanged and inject hangs, drops, delays and corrupt frames
+// into the dissemination plane.
+
+// maxFrame bounds a frame body so a malformed or malicious peer cannot
+// force a huge allocation.
+const maxFrame = 1 << 20
+
+// Frame types.
+const (
+	// TypePush carries fresh observations, rumor-mongering style; the
+	// receiver answers with an ack naming how many were news to it.
+	TypePush = "push"
+	// TypeAck answers a push.
+	TypeAck = "ack"
+	// TypeDigest opens an anti-entropy exchange: the sender's full
+	// origin → stamp summary. The receiver answers with a delta.
+	TypeDigest = "digest"
+	// TypeDelta answers a digest: the observations the digest is missing,
+	// plus the responder's own digest so the initiator can push back what
+	// the responder is missing.
+	TypeDelta = "delta"
+	// TypeError reports a rejected request.
+	TypeError = "error"
+)
+
+// Frame is one gossip message, request or response.
+type Frame struct {
+	// Type is one of TypePush, TypeAck, TypeDigest, TypeDelta, TypeError.
+	Type string `json:"type"`
+	// From names the sending peer (its address in a TCP mesh).
+	From string `json:"from,omitempty"`
+	// Digest carries origin → stamp summaries (TypeDigest, TypeDelta).
+	Digest map[int]Stamp `json:"digest,omitempty"`
+	// Entries carries observations (TypePush, TypeDelta).
+	Entries []Observation `json:"entries,omitempty"`
+	// Applied reports how many pushed entries were fresh (TypeAck).
+	Applied int `json:"applied,omitempty"`
+	// Error carries the rejection reason (TypeError).
+	Error string `json:"error,omitempty"`
+}
+
+// Validate rejects frames no conforming peer would send: unknown types,
+// negative origins, and entry counts that cannot fit a real fleet.
+func (f *Frame) Validate() error {
+	switch f.Type {
+	case TypePush, TypeAck, TypeDigest, TypeDelta, TypeError:
+	default:
+		return fmt.Errorf("gossip: unknown frame type %q", f.Type)
+	}
+	for origin := range f.Digest {
+		if origin < 0 {
+			return fmt.Errorf("gossip: negative origin %d in digest", origin)
+		}
+	}
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if e.Origin < 0 {
+			return fmt.Errorf("gossip: negative origin %d in entry %d", e.Origin, i)
+		}
+		for link := range e.Links {
+			if link < 0 {
+				return fmt.Errorf("gossip: negative link %d in entry for origin %d", link, e.Origin)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFrame encodes f and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("gossip: encode: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("gossip: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("gossip: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("gossip: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame into f, enforcing the size
+// bound and Validate. It must survive arbitrary bytes — truncated
+// headers, oversized lengths, corrupt bodies — returning an error rather
+// than panicking (the fuzz target holds it to that).
+func ReadFrame(r io.Reader, f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("gossip: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("gossip: read body: %w", err)
+	}
+	if err := json.Unmarshal(body, f); err != nil {
+		return fmt.Errorf("gossip: decode: %w", err)
+	}
+	return f.Validate()
+}

@@ -1,0 +1,114 @@
+package gossip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypePush, From: "n1", Entries: []Observation{{
+			Origin: 4, Seq: 9, Stamp: Stamp{WallMS: 123456, Logical: 2},
+			Time: 8.5, Load: 1.25, LoadBG: 0.75,
+			Links: map[int]LinkReading{7: {Bits: 1e9, BitsBG: 5e8, Down: true}},
+		}}},
+		{Type: TypeAck, From: "n2", Applied: 3},
+		{Type: TypeDigest, From: "n3", Digest: map[int]Stamp{0: {WallMS: 1}, 5: {WallMS: 2, Logical: 9}}},
+		{Type: TypeDelta, Digest: map[int]Stamp{1: {WallMS: 7}}, Entries: []Observation{{Origin: 1, Seq: 1}}},
+		{Type: TypeError, Error: "nope"},
+	}
+	var buf bytes.Buffer
+	for i := range frames {
+		if err := WriteFrame(&buf, &frames[i]); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	for i := range frames {
+		var got Frame
+		if err := ReadFrame(&buf, &got); err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frames[i]) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, frames[i])
+		}
+	}
+	var extra Frame
+	if err := ReadFrame(&buf, &extra); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(hdr[:]), &f); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadFrameRejectsInvalid(t *testing.T) {
+	bad := []Frame{
+		{Type: "mystery"},
+		{Type: TypePush, Entries: []Observation{{Origin: -1}}},
+		{Type: TypeDigest, Digest: map[int]Stamp{-2: {}}},
+		{Type: TypePush, Entries: []Observation{{Origin: 1, Links: map[int]LinkReading{-4: {}}}}},
+	}
+	for i := range bad {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &bad[i]); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		var got Frame
+		if err := ReadFrame(&buf, &got); err == nil {
+			t.Fatalf("invalid frame %d accepted: %+v", i, got)
+		}
+	}
+}
+
+// FuzzGossipFrame holds the codec to its no-panic contract: arbitrary
+// bytes — truncated headers, lying lengths, corrupt JSON — must come
+// back as errors, and any frame that decodes must survive a re-encode
+// round trip.
+func FuzzGossipFrame(f *testing.F) {
+	seedFrames := []Frame{
+		{Type: TypePush, From: "n0", Entries: []Observation{{
+			Origin: 2, Seq: 5, Stamp: Stamp{WallMS: 99, Logical: 1},
+			Load: 0.5, Links: map[int]LinkReading{0: {Bits: 42}},
+		}}},
+		{Type: TypeDigest, Digest: map[int]Stamp{3: {WallMS: 10}}},
+		{Type: TypeAck, Applied: 1},
+	}
+	for i := range seedFrames {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &seedFrames[i]); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncation
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var frame Frame
+		if err := ReadFrame(bytes.NewReader(data), &frame); err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same frame.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &frame); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		var again Frame
+		if err := ReadFrame(&buf, &again); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(frame, again) {
+			t.Fatalf("round trip drifted: %+v vs %+v", frame, again)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package measure
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemClockAdvances(t *testing.T) {
+	c := System()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) == nil {
+		t.Fatal("Or(nil) must return the system clock")
+	}
+	m := NewManual(time.Unix(100, 0))
+	if Or(m) != Clock(m) {
+		t.Fatal("Or must pass a non-nil clock through")
+	}
+}
+
+func TestManual(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Advance, Now = %v", got)
+	}
+	m.Set(time.Unix(2000, 0))
+	if got := m.Now(); !got.Equal(time.Unix(2000, 0)) {
+		t.Fatalf("after Set, Now = %v", got)
+	}
+}
+
+func TestManualNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance must panic")
+		}
+	}()
+	NewManual(time.Unix(0, 0)).Advance(-time.Second)
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"nodeselect/internal/measure"
 	"nodeselect/internal/reqtrace"
 	"nodeselect/internal/sim"
 	"nodeselect/internal/topology"
@@ -71,6 +72,13 @@ type CollectorConfig struct {
 	// queries fail with a StaleError instead of answering from data that
 	// old. Zero disables the ceiling: degraded data is served forever.
 	MaxStaleAge float64
+	// Clock is the wall-clock seam (nil = system clock). The collector
+	// reads it only for instrumentation timing; freshness aging stays
+	// poll-count based (see entityAge) with any AgeReporter source age
+	// folded in — but sharing one measure.Clock with a gossip mesh keeps
+	// collector timing and gossip-entry ages on the same timebase in
+	// deterministic tests.
+	Clock measure.Clock
 }
 
 func (c CollectorConfig) period() float64 {
@@ -117,6 +125,7 @@ type Collector struct {
 	src     Source
 	cfg     CollectorConfig
 	graph   *topology.Graph
+	clock   measure.Clock
 	samples []sample // ring, oldest first
 	polls   int
 	metrics *CollectorMetrics // optional, see SetMetrics
@@ -129,6 +138,13 @@ type Collector struct {
 	linkRate   []float64
 	linkRateBG []float64
 	degraded   bool // latest poll served any entity from stale cache
+
+	// Source-reported age (AgeReporter) captured at the latest poll; zero
+	// for sources without the interface. An entity's total age is the max
+	// of this and the poll-count aging — both measure the same staleness
+	// from different clocks, so the larger bound wins.
+	nodeSrcAge []float64
+	linkSrcAge []float64
 }
 
 // NewCollector builds a collector over src. Call Poll (or Start, to attach
@@ -139,10 +155,13 @@ func NewCollector(src Source, cfg CollectorConfig) *Collector {
 		src:        src,
 		cfg:        cfg,
 		graph:      g,
+		clock:      measure.Or(cfg.Clock),
 		nodeSince:  make([]int, g.NumNodes()),
 		linkSince:  make([]int, g.NumLinks()),
 		linkRate:   make([]float64, g.NumLinks()),
 		linkRateBG: make([]float64, g.NumLinks()),
+		nodeSrcAge: make([]float64, g.NumNodes()),
+		linkSrcAge: make([]float64, g.NumLinks()),
 	}
 }
 
@@ -164,7 +183,7 @@ func (c *Collector) PollCtx(ctx context.Context) {
 	defer span.End()
 	var t0 time.Time
 	if c.metrics != nil {
-		t0 = time.Now()
+		t0 = c.clock.Now()
 	}
 	nNodes := c.graph.NumNodes()
 	nLinks := c.graph.NumLinks()
@@ -196,7 +215,7 @@ func (c *Collector) PollCtx(ctx context.Context) {
 	c.polls++
 	if m := c.metrics; m != nil {
 		m.Polls.Inc()
-		m.PollSeconds.ObserveSince(t0)
+		m.PollSeconds.Observe(c.clock.Now().Sub(t0).Seconds())
 		m.WindowSamples.Set(float64(len(c.samples)))
 		m.WindowSpanSeconds.Set(s.time - c.samples[0].time)
 		m.LastSampleTime.Set(s.time)
@@ -219,6 +238,7 @@ func (c *Collector) PollCtx(ctx context.Context) {
 // counter (which every mode would misread as an idle link).
 func (c *Collector) applyFreshness(s *sample) {
 	fr, _ := c.src.(FreshnessReporter)
+	ar, _ := c.src.(AgeReporter)
 	c.degraded = false
 	var prev *sample
 	if len(c.samples) > 0 {
@@ -227,6 +247,9 @@ func (c *Collector) applyFreshness(s *sample) {
 	for i := 0; i < c.graph.NumNodes(); i++ {
 		if c.graph.Node(i).Kind != topology.Compute {
 			continue
+		}
+		if ar != nil {
+			c.nodeSrcAge[i] = clampAge(ar.NodeAgeSeconds(i))
 		}
 		if fr == nil || fr.NodeOK(i) {
 			c.nodeSince[i] = 0
@@ -237,6 +260,9 @@ func (c *Collector) applyFreshness(s *sample) {
 		}
 	}
 	for l := 0; l < c.graph.NumLinks(); l++ {
+		if ar != nil {
+			c.linkSrcAge[l] = clampAge(ar.LinkAgeSeconds(l))
+		}
 		if fr == nil || fr.LinkOK(l) {
 			// Update the last-live rate only across an interval whose both
 			// ends were live; a recovery interval spans synthesized
@@ -264,11 +290,35 @@ func (c *Collector) applyFreshness(s *sample) {
 	}
 }
 
+// clampAge sanitizes a source-reported age: a never-observed entity
+// (+Inf) or a nonsense negative age contributes no base — poll-count
+// aging alone grades it, exactly as for sources without an AgeReporter.
+func clampAge(age float64) float64 {
+	if math.IsInf(age, +1) || math.IsNaN(age) || age < 0 {
+		return 0
+	}
+	return age
+}
+
 // entityAge converts a polls-since-live count to seconds. Poll counts
 // rather than measurement clocks age the data even when every agent is
 // down and the measurement clock has stopped advancing.
 func (c *Collector) entityAge(since int) float64 {
 	return float64(since) * c.cfg.period()
+}
+
+// nodeAge is a node's total measurement age: the larger of the
+// source-reported age captured at the latest poll (how old the reading
+// already was when it arrived over the mesh; zero for direct sources)
+// and the poll-count aging. Both clocks measure the same staleness, so
+// the tighter bound is their max, not their sum.
+func (c *Collector) nodeAge(node int) float64 {
+	return math.Max(c.nodeSrcAge[node], c.entityAge(c.nodeSince[node]))
+}
+
+// linkAge is a link's total measurement age, like nodeAge.
+func (c *Collector) linkAge(link int) float64 {
+	return math.Max(c.linkSrcAge[link], c.entityAge(c.linkSince[link]))
 }
 
 // Health summarizes the freshness of the collector's current view.
@@ -279,16 +329,19 @@ func (c *Collector) Health() Health {
 		return h
 	}
 	max := c.cfg.MaxStaleAge
-	classify := func(since int) int {
-		age := c.entityAge(since)
+	// An entity read live at the latest poll counts fresh even when its
+	// source-reported base age is nonzero (a gossiped reading is always a
+	// little old); the base age still feeds MaxAgeSeconds and, past the
+	// MaxStaleAge ceiling, demotes the entity to stale.
+	classify := func(since int, age float64) int {
 		if age > h.MaxAgeSeconds {
 			h.MaxAgeSeconds = age
 		}
 		switch {
-		case since == 0:
-			return 0
 		case max > 0 && age > max:
 			return 2
+		case since == 0:
+			return 0
 		default:
 			return 1
 		}
@@ -297,7 +350,7 @@ func (c *Collector) Health() Health {
 		if c.graph.Node(i).Kind != topology.Compute {
 			continue
 		}
-		switch classify(c.nodeSince[i]) {
+		switch classify(c.nodeSince[i], c.nodeAge(i)) {
 		case 0:
 			h.FreshNodes++
 		case 1:
@@ -307,7 +360,7 @@ func (c *Collector) Health() Health {
 		}
 	}
 	for l := 0; l < c.graph.NumLinks(); l++ {
-		switch classify(c.linkSince[l]) {
+		switch classify(c.linkSince[l], c.linkAge(l)) {
 		case 0:
 			h.FreshLinks++
 		case 1:
@@ -339,10 +392,10 @@ func (c *Collector) Freshness() Freshness {
 		LinkAge: make([]float64, c.graph.NumLinks()),
 	}
 	for i := range f.NodeAge {
-		f.NodeAge[i] = c.entityAge(c.nodeSince[i])
+		f.NodeAge[i] = c.nodeAge(i)
 	}
 	for l := range f.LinkAge {
-		f.LinkAge[l] = c.entityAge(c.linkSince[l])
+		f.LinkAge[l] = c.linkAge(l)
 	}
 	return f
 }
@@ -387,7 +440,7 @@ func (c *Collector) snapshot(mode Mode, backgroundOnly bool) (*topology.Snapshot
 			if c.graph.Node(i).Kind != topology.Compute {
 				continue
 			}
-			if age := c.entityAge(c.nodeSince[i]); age < minAge {
+			if age := c.nodeAge(i); age < minAge {
 				minAge = age
 			}
 		}

@@ -1,0 +1,102 @@
+package selectsvc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodeselect/internal/remos"
+	"nodeselect/internal/testbed"
+)
+
+// gatedSource wraps a StaticSource so a test can hold a poll in flight:
+// Now blocks while the gate is down. It exercises the shutdown-ordering
+// guarantee of StartPolling.
+type gatedSource struct {
+	*remos.StaticSource
+	mu      sync.Mutex
+	blocked chan struct{} // closed when a poll is waiting at the gate
+	gate    chan struct{} // polls proceed once closed
+	armed   bool
+}
+
+func newGatedSource() *gatedSource {
+	return &gatedSource{
+		StaticSource: remos.NewStaticSource(testbed.Figure1()),
+		blocked:      make(chan struct{}),
+		gate:         make(chan struct{}),
+	}
+}
+
+// arm makes the next Now call park until release.
+func (s *gatedSource) arm() {
+	s.mu.Lock()
+	s.armed = true
+	s.mu.Unlock()
+}
+
+func (s *gatedSource) Now() float64 {
+	s.mu.Lock()
+	wait := s.armed
+	if wait {
+		s.armed = false
+		close(s.blocked)
+	}
+	s.mu.Unlock()
+	if wait {
+		<-s.gate
+	}
+	return s.StaticSource.Now()
+}
+
+// TestStartPollingStopWaitsForInflightPoll holds a poll in flight at the
+// source and asserts the stop function does not return until that poll —
+// and the ledger sweep inside it — has finished. This is the regression
+// guard for the shutdown ordering bug where selectd closed the lease
+// ledger while a background poll could still be sweeping it.
+func TestStartPollingStopWaitsForInflightPoll(t *testing.T) {
+	src := newGatedSource()
+	svc := New(src, Config{DefaultMode: remos.Current, Seed: 1})
+
+	src.arm()
+	stop := svc.StartPolling(time.Millisecond, nil)
+
+	// Wait for a ticker-driven poll to park inside the source.
+	select {
+	case <-src.blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no poll reached the source gate")
+	}
+
+	var stopped atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		stop()
+		stopped.Store(true)
+		close(done)
+	}()
+
+	// With the poll still parked, stop must not have returned.
+	time.Sleep(20 * time.Millisecond)
+	if stopped.Load() {
+		t.Fatal("stop returned while a poll was still in flight")
+	}
+
+	close(src.gate) // release the parked poll
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not return after the in-flight poll finished")
+	}
+
+	polls := svc.Polls()
+	// After stop, no further polls may land (the ledger may already be
+	// closed by the caller at this point in the daemon's shutdown).
+	time.Sleep(10 * time.Millisecond)
+	if got := svc.Polls(); got != polls {
+		t.Fatalf("polls advanced after stop: %d -> %d", polls, got)
+	}
+
+	stop() // idempotent
+}

@@ -268,6 +268,40 @@ func (s *Service) Poll() error {
 	return err
 }
 
+// StartPolling runs Poll every interval in a background goroutine until
+// the returned stop function is called. Stop blocks until any in-flight
+// poll has returned — a poll sweeps the lease ledger, so the guarantee
+// callers need on shutdown is "no measurement ingestion after stop", in
+// the same spirit as StopRebalance: call stop strictly before flushing
+// and closing the ledger, and a sweep can never land on a closed ledger.
+// onErr, when non-nil, observes poll failures. Stop is idempotent.
+func (s *Service) StartPolling(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := s.Poll(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
 func (s *Service) pollOnce(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
