@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha gossip
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha gossip admit
 
 check: vet build race fuzz
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test ./internal/topology -run='^$$' -fuzz='^FuzzReadDocument$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzSweepEquivalence$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gossip -run='^$$' -fuzz='^FuzzGossipFrame$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/lease -run='^$$' -fuzz='^FuzzBatchWALRecord$$' -fuzztime=$(FUZZTIME)
 
 # Fault-schedule scenario against a real loopback agent fleet, race
 # detector on: hung/crashed agents, degraded service, full recovery.
@@ -79,6 +80,20 @@ SLO_ERROR_BUDGET ?= 0.001
 slo:
 	$(GO) run ./cmd/expt -run slo -slo-out slo.json
 	$(GO) run ./cmd/benchdiff -slo slo.json -p99-budget-ms $(SLO_P99_BUDGET_MS) -error-budget $(SLO_ERROR_BUDGET)
+
+# Epoch-batched admission benchmark: the serial-equivalence wall under the
+# race detector first (the correctness contract batching rides on), then
+# the sustained-load A/B — the same leased-select load against serial and
+# batched admission, both WAL-backed — written to admit.json and re-gated
+# by cmd/benchdiff from the raw per-rep throughput samples.
+ADMIT_MIN_SPEEDUP ?= 3
+ADMIT_MAX_P99_RATIO ?= 2
+ADMIT_ALPHA ?= 0.005
+admit:
+	$(GO) test -race ./internal/lease -run='^TestBatch' -v
+	$(GO) test -race ./internal/admission -v
+	$(GO) run ./cmd/expt -run admit -admit-out admit.json
+	$(GO) run ./cmd/benchdiff -admit admit.json -min-speedup $(ADMIT_MIN_SPEEDUP) -max-p99-ratio $(ADMIT_MAX_P99_RATIO) -admit-alpha $(ADMIT_ALPHA)
 
 fmt:
 	gofmt -l -w $(shell $(GO) list -f '{{.Dir}}' ./...)

@@ -21,6 +21,14 @@
 //
 // Exit status 1 when any enforced budget is blown or the new p99 exceeds
 // the baseline's by more than the tolerance factor.
+//
+// With -admit the command gates an admission A/B report (the admit.json
+// that `make admit` writes): the Welch t-test over the per-rep throughput
+// samples is recomputed here — the gate does not trust the producer's own
+// verdict — and checked against the speedup floor, significance level,
+// and tail-latency cap:
+//
+//	benchdiff -admit admit.json -min-speedup 3 -max-p99-ratio 2 -admit-alpha 0.005
 package main
 
 import (
@@ -118,6 +126,38 @@ func sloGate(path, baselinePath string, budget loadgen.SLOBudget, p99Tolerance f
 	return 0
 }
 
+// admitGate re-gates an admit.json report against the given thresholds,
+// recomputing the comparison from the raw per-rep throughput samples, and
+// returns the process exit code.
+func admitGate(path string, minSpeedup, maxP99Ratio, alpha float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	var rep loadgen.AdmitReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		return 2
+	}
+	if len(rep.Serial.ThroughputSamples) == 0 || len(rep.Batched.ThroughputSamples) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: missing throughput samples\n", path)
+		return 2
+	}
+	gated := loadgen.GateAdmit(rep.Serial, rep.Batched, minSpeedup, maxP99Ratio, alpha)
+	fmt.Printf("%s: serial %.0f selects/s, batched %.0f selects/s, speedup %.2fx (welch p %.4g), p99 ratio %.2fx\n",
+		path, gated.Serial.ThroughputRPS, gated.Batched.ThroughputRPS,
+		gated.Speedup, gated.WelchP, gated.P99Ratio)
+	if !gated.Pass {
+		for _, f := range gated.Failures {
+			fmt.Printf("ADMIT REGRESSION: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("admit ok")
+	return 0
+}
+
 // fmtNs renders nanoseconds at a human scale.
 func fmtNs(ns float64) string {
 	switch {
@@ -140,8 +180,16 @@ func main() {
 		p999Budget   = flag.Float64("p999-budget-ms", 0, "with -slo: fail when p999 exceeds this many ms (0 = not enforced)")
 		errBudget    = flag.Float64("error-budget", 0, "with -slo: fail when the 5xx error rate exceeds this (0 = not enforced)")
 		p99Tolerance = flag.Float64("p99-tolerance", 1.25, "with -slo-baseline: fail when p99 exceeds baseline p99 times this")
+		admitFile    = flag.String("admit", "", "gate this admit.json A/B report instead of comparing bench files")
+		minSpeedup   = flag.Float64("min-speedup", 3.0, "with -admit: fail when batched/serial throughput is below this")
+		maxP99Ratio  = flag.Float64("max-p99-ratio", 2.0, "with -admit: fail when batched p99 exceeds serial p99 times this")
+		admitAlpha   = flag.Float64("admit-alpha", 0.005, "with -admit: Welch t-test significance level for the speedup")
 	)
 	flag.Parse()
+
+	if *admitFile != "" {
+		os.Exit(admitGate(*admitFile, *minSpeedup, *maxP99Ratio, *admitAlpha))
+	}
 
 	if *sloFile != "" {
 		os.Exit(sloGate(*sloFile, *sloBaseline, loadgen.SLOBudget{

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, gossip, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, gossip, admit, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -39,6 +39,9 @@ func main() {
 	flag.StringVar(&haOut, "ha-out", "", "with -run ha: also write the report JSON to this file")
 	flag.StringVar(&gossipOut, "gossip-out", "", "with -run gossip: also write the report JSON to this file")
 	flag.StringVar(&gossipSizes, "gossip-sizes", "", "with -run gossip: comma-separated fleet sizes (default 50,100,200,500)")
+	flag.StringVar(&admitOut, "admit-out", "", "with -run admit: also write the report JSON to this file")
+	flag.IntVar(&admitRequests, "admit-requests", 0, "with -run admit: measured requests per rep (default 1500)")
+	flag.IntVar(&admitReps, "admit-reps", 0, "with -run admit: reps per admission mode (default 5)")
 	flag.Parse()
 
 	cfg := experiment.Default()
@@ -105,6 +108,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runHA(cfg)
 	case "gossip":
 		return runGossip(cfg)
+	case "admit":
+		return runAdmit(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -354,6 +359,45 @@ func runGossip(cfg experiment.Config) error {
 	}
 	if !rep.Pass {
 		return fmt.Errorf("gossip convergence failed: a bound was missed (see report above)")
+	}
+	return nil
+}
+
+// admitOut / admitRequests / admitReps are set from the -admit-* flags
+// before dispatch.
+var (
+	admitOut      string
+	admitRequests int
+	admitReps     int
+)
+
+// runAdmit drives the epoch-batched admission A/B benchmark: the same
+// sustained leased-select load against a serial-admission service and a
+// batched one, both WAL-backed, compared with Welch's t-test. Exits
+// non-zero when the speedup or tail-latency gate fails, so the CI admit
+// job gates on it directly. Wall-clock sensitive, so not part of -run all.
+func runAdmit(cfg experiment.Config) error {
+	rep, err := experiment.RunAdmit(experiment.AdmitOptions{
+		Seed:     cfg.Seed,
+		Requests: admitRequests,
+		Reps:     admitReps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatAdmit(rep))
+	if admitOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(admitOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", admitOut)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("admission benchmark failed its gate: %s", strings.Join(rep.Failures, "; "))
 	}
 	return nil
 }

@@ -122,6 +122,10 @@ type options struct {
 	leaseDir              string
 	leaseTTL, leaseMaxTTL time.Duration
 	leaseSweep            time.Duration
+	residualCheck         bool
+
+	batchWindow time.Duration
+	batchMax    int
 
 	planCache int
 
@@ -167,6 +171,9 @@ func main() {
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "default lease time to live when a request names none")
 	flag.DurationVar(&o.leaseMaxTTL, "lease-max-ttl", 10*time.Minute, "ceiling on any requested lease TTL")
 	flag.DurationVar(&o.leaseSweep, "lease-sweep", 5*time.Second, "interval of the background lease-expiry sweeper")
+	flag.BoolVar(&o.residualCheck, "residual-check", false, "cross-check the ledger's incremental residual view against a full recompute on every derivation (debug; panics on divergence)")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "epoch-batch admission window: queue concurrent leased selects up to this long and commit them as one WAL record (0 = serial admission)")
+	flag.IntVar(&o.batchMax, "batch-max", 64, "flush an admission batch early once it holds this many requests")
 	flag.IntVar(&o.planCache, "plan-cache", 0, "max plans memoized per snapshot/ledger epoch (0 = default 256, negative = disable caching)")
 	flag.BoolVar(&o.rebalance, "rebalance", false, "run the placement rebalance controller in advisory mode (proposals via /migrations, applied on request)")
 	flag.BoolVar(&o.rebalanceAuto, "rebalance-auto", false, "apply confirmed migration proposals automatically (implies -rebalance)")
@@ -338,7 +345,7 @@ func run(o options) error {
 	// In a replicated cluster the ledger is built bare here and wired to
 	// the replica node below: durability and recovery come from the
 	// replicated log instead of a local WAL.
-	leaseOpts := lease.Options{DefaultTTL: o.leaseTTL, MaxTTL: o.leaseMaxTTL}
+	leaseOpts := lease.Options{DefaultTTL: o.leaseTTL, MaxTTL: o.leaseMaxTTL, CrossCheck: o.residualCheck}
 	if o.leaseDir != "" {
 		w, err := lease.OpenWAL(o.leaseDir)
 		if err != nil {
@@ -408,6 +415,8 @@ func run(o options) error {
 		ExcludeStale:  o.excludeStale,
 		Ledger:        ledger,
 		PlanCacheSize: o.planCache,
+		BatchWindow:   o.batchWindow,
+		BatchMax:      o.batchMax,
 		Trace: reqtrace.Config{
 			Disabled:      o.traceOff,
 			Capacity:      o.traceCapacity,
@@ -477,6 +486,7 @@ func run(o options) error {
 		stopPolling()
 		stopGossip()
 		svc.StopRebalance()
+		svc.StopBatching()
 		stopSweeper()
 		if replicaServer != nil {
 			replicaServer.Close()
@@ -504,6 +514,9 @@ func run(o options) error {
 	stopPolling()
 	stopGossip()
 	svc.StopRebalance()
+	// Batched admissions drain before the ledger flushes: Close blocks
+	// until every queued acquire has committed (or failed) through the WAL.
+	svc.StopBatching()
 	stopSweeper()
 	if replicaServer != nil {
 		replicaServer.Close()

@@ -1,0 +1,256 @@
+// Package admission batches concurrent select+admit requests into ledger
+// epochs. A single leased select pays one ledger critical section, one
+// placement sweep and one WAL fsync; under concurrency those fsyncs
+// serialize and dominate. The pipeline queues requests for a short window
+// (or until the batch fills), then hands the whole window to
+// lease.Ledger.AcquireBatch, which solves it serially in a deterministic
+// priority order and commits the accepted set as one WAL record — one
+// fsync (one replication round when replicated) amortized over the batch.
+//
+// The batch outcome is exactly serial: AcquireBatch's contract is that
+// accept/reject decisions and post-batch residual vectors match replaying
+// the items one at a time in priority order, so batching changes
+// throughput and latency, never admission semantics.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodeselect/internal/lease"
+	"nodeselect/internal/metrics"
+	"nodeselect/internal/topology"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("admission: pipeline closed")
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Ledger is the reservation ledger batches commit against. Required.
+	Ledger *lease.Ledger
+	// Window is how long the collector waits after the first request of a
+	// batch for more to arrive (default 2ms — around ten WAL fsyncs'
+	// worth, so even two-request batches win).
+	Window time.Duration
+	// MaxBatch flushes a batch early once it holds this many requests
+	// (default 64).
+	MaxBatch int
+	// Registry receives the admission_batch_* metrics when non-nil.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Request is one admission submitted to the pipeline. Fields mirror
+// lease.Ledger.AcquireShaped, plus the deterministic ordering key.
+type Request struct {
+	// Snapshot is the residual base the caller selected against. The
+	// batch is solved against the snapshot of its *first* request (the
+	// epoch view); see Submit.
+	Snapshot *topology.Snapshot
+	Demand   lease.Demand
+	TTL      time.Duration
+	Shape    *lease.Shape
+	Place    lease.PlaceFunc
+	// Key orders items of equal demand deterministically — pass the
+	// client request ID.
+	Key string
+}
+
+// Receipt reports which batch carried a request.
+type Receipt struct {
+	// BatchID names the commit ("batch-N", N monotonic per pipeline).
+	BatchID string
+	// BatchSize is how many requests shared the commit.
+	BatchSize int
+}
+
+type pending struct {
+	item lease.BatchItem
+	snap *topology.Snapshot
+	done chan outcome
+}
+
+type outcome struct {
+	info    lease.Info
+	receipt Receipt
+	err     error
+}
+
+// Pipeline is the epoch-batch collector. One goroutine drains the queue,
+// cutting a batch when the window elapses or the batch fills, and commits
+// it through the ledger in a single call.
+type Pipeline struct {
+	cfg    Config
+	queue  chan pending
+	seq    atomic.Uint64 // arrival sequence
+	batch  atomic.Uint64 // batch ID sequence
+	depth  atomic.Int64  // requests queued or being solved
+	closed atomic.Bool
+	sendMu sync.RWMutex // guards queue against send-after-close
+	wg     sync.WaitGroup
+
+	mBatches  *metrics.Counter
+	mRequests *metrics.Counter
+	mSize     *metrics.Histogram
+	mWait     *metrics.Histogram
+}
+
+// New starts a pipeline's collector goroutine. Close releases it.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	if cfg.Ledger == nil {
+		panic("admission: Config.Ledger is required")
+	}
+	p := &Pipeline{
+		cfg: cfg,
+		// Buffer one full batch so submitters rarely block on the channel
+		// itself; backpressure comes from waiting on the outcome.
+		queue: make(chan pending, cfg.MaxBatch),
+	}
+	if reg := cfg.Registry; reg != nil {
+		p.mBatches = reg.NewCounter("admission_batches_total",
+			"Epoch batches committed through the admission pipeline.")
+		p.mRequests = reg.NewCounter("admission_batched_requests_total",
+			"Requests admitted or rejected through batched admission.")
+		p.mSize = reg.NewHistogram("admission_batch_size",
+			"Requests per committed batch.",
+			metrics.ExponentialBuckets(1, 2, 9))
+		p.mWait = reg.NewHistogram("admission_batch_wait_seconds",
+			"Time a request waits from submission to batch solve start.",
+			metrics.ExponentialBuckets(0.0001, 2, 12))
+		reg.NewGaugeFunc("admission_queue_depth",
+			"Requests queued or being solved by the admission pipeline.",
+			func() float64 { return float64(p.depth.Load()) })
+	}
+	p.wg.Add(1)
+	go p.collect()
+	return p
+}
+
+// Submit queues one admission and blocks until its batch commits (or the
+// request is rejected). The returned Receipt identifies the batch even on
+// rejection — a rejected request still rode a batch's solve.
+//
+// The batch solves against the snapshot of its first request. Within one
+// service poll epoch every submitter passes the same measurement view, so
+// this only matters across an epoch boundary, where the batch atomically
+// uses one epoch's view — the same rule a serial ledger applies anyway
+// (whoever enters the critical section first pins the view the others'
+// residuals derive from).
+func (p *Pipeline) Submit(ctx context.Context, req Request) (lease.Info, Receipt, error) {
+	if req.Snapshot == nil || req.Place == nil {
+		return lease.Info{}, Receipt{}, fmt.Errorf("admission: request needs a snapshot and a placer")
+	}
+	pn := pending{
+		item: lease.BatchItem{
+			Ctx:    ctx,
+			Demand: req.Demand,
+			TTL:    req.TTL,
+			Shape:  req.Shape,
+			Place:  req.Place,
+			Key:    req.Key,
+			Seq:    p.seq.Add(1),
+		},
+		snap: req.Snapshot,
+		done: make(chan outcome, 1),
+	}
+	p.sendMu.RLock()
+	if p.closed.Load() {
+		p.sendMu.RUnlock()
+		return lease.Info{}, Receipt{}, ErrClosed
+	}
+	p.depth.Add(1)
+	p.queue <- pn
+	p.sendMu.RUnlock()
+	out := <-pn.done
+	return out.info, out.receipt, out.err
+}
+
+// Close flushes queued requests into a final batch and stops the
+// collector. Safe to call more than once; Submit afterwards returns
+// ErrClosed.
+func (p *Pipeline) Close() {
+	p.sendMu.Lock()
+	already := p.closed.Swap(true)
+	if !already {
+		close(p.queue)
+	}
+	p.sendMu.Unlock()
+	p.wg.Wait()
+}
+
+// collect drains the queue into batches: the first request of a batch
+// starts the window timer, and the batch flushes when the timer fires,
+// the batch fills, or the queue closes.
+func (p *Pipeline) collect() {
+	defer p.wg.Done()
+	timer := time.NewTimer(p.cfg.Window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-p.queue
+		if !ok {
+			return
+		}
+		batch := []pending{first}
+		waitStart := time.Now()
+		timer.Reset(p.cfg.Window)
+	fill:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case pn, ok := <-p.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, pn)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		p.flush(batch, waitStart)
+	}
+}
+
+// flush solves one batch through the ledger and distributes outcomes.
+func (p *Pipeline) flush(batch []pending, waitStart time.Time) {
+	id := fmt.Sprintf("batch-%d", p.batch.Add(1))
+	items := make([]lease.BatchItem, len(batch))
+	for i, pn := range batch {
+		items[i] = pn.item
+	}
+	if p.mWait != nil {
+		p.mWait.ObserveSince(waitStart)
+	}
+	results := p.cfg.Ledger.AcquireBatch(context.Background(), batch[0].snap, items)
+	receipt := Receipt{BatchID: id, BatchSize: len(batch)}
+	for i, pn := range batch {
+		pn.done <- outcome{info: results[i].Info, receipt: receipt, err: results[i].Err}
+	}
+	p.depth.Add(-int64(len(batch)))
+	if p.mBatches != nil {
+		p.mBatches.Inc()
+		p.mRequests.Add(float64(len(batch)))
+		p.mSize.Observe(float64(len(batch)))
+	}
+}

@@ -1,0 +1,283 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/lease"
+	"nodeselect/internal/metrics"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+func balancedPlace(m int, cpuFloor float64) lease.PlaceFunc {
+	return func(_ context.Context, residual *topology.Snapshot, minBW float64) ([]int, error) {
+		res, err := core.Balanced(residual, core.Request{M: m, MinBW: minBW, MinCPU: cpuFloor})
+		if err != nil {
+			return nil, err
+		}
+		return res.Nodes, nil
+	}
+}
+
+func newStarPipeline(t *testing.T, n int, cfg Config) (*Pipeline, *lease.Ledger, *topology.Snapshot) {
+	t.Helper()
+	g := testbed.Star(n, 100e6)
+	l, err := lease.New(g, lease.Options{CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ledger = l
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p, l, topology.NewSnapshot(g)
+}
+
+// TestConcurrentSubmittersNeverOversubscribe is the race-mode admission
+// bound: 16 submitters chase capacity for exactly 8 half-node leases on a
+// 4-node star. Whatever batching the collector happens to cut, exactly 8
+// must be admitted and no node may exceed its capacity.
+func TestConcurrentSubmittersNeverOversubscribe(t *testing.T) {
+	p, l, snap := newStarPipeline(t, 4, Config{Window: time.Millisecond, MaxBatch: 4})
+
+	const submitters = 16
+	var wg sync.WaitGroup
+	accepted := make([]bool, submitters)
+	receipts := make([]Receipt, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, rcpt, err := p.Submit(context.Background(), Request{
+				Snapshot: snap,
+				Demand:   lease.Demand{CPU: 0.5},
+				TTL:      time.Hour,
+				Place:    balancedPlace(1, 0.5),
+				Key:      fmt.Sprintf("sub-%02d", i),
+			})
+			accepted[i] = err == nil
+			receipts[i] = rcpt
+		}(i)
+	}
+	wg.Wait()
+
+	got := 0
+	for i := range accepted {
+		if accepted[i] {
+			got++
+		}
+		if receipts[i].BatchID == "" || receipts[i].BatchSize < 1 {
+			t.Fatalf("submitter %d missing batch receipt: %+v (rejections ride batches too)", i, receipts[i])
+		}
+	}
+	if got != 8 {
+		t.Fatalf("admitted %d leases, capacity holds exactly 8", got)
+	}
+	nodeCPU, _ := l.Committed()
+	for id, c := range nodeCPU {
+		if c > 1.0+1e-9 {
+			t.Fatalf("node %d oversubscribed: %.3f committed of 1.0", id, c)
+		}
+	}
+}
+
+// TestShuffledArrivalDeterministicAssignment: the same request set,
+// arriving in different orders but always coalesced into a single batch,
+// must always get the same key→lease-ID assignment. MaxBatch equal to the
+// set size plus a generous window guarantees one batch per run.
+func TestShuffledArrivalDeterministicAssignment(t *testing.T) {
+	const n = 10
+	rng := rand.New(rand.NewSource(3))
+
+	run := func(perm []int) map[string]string {
+		p, _, snap := newStarPipeline(t, 6, Config{Window: 5 * time.Second, MaxBatch: n})
+		// Distinct demands and keys so priority order is nontrivial.
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		out := make(map[string]string, n)
+		for _, i := range perm {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key := fmt.Sprintf("req-%02d", i)
+				info, _, err := p.Submit(context.Background(), Request{
+					Snapshot: snap,
+					Demand:   lease.Demand{CPU: 0.1 + 0.1*float64(i%5)},
+					TTL:      time.Hour,
+					Place:    balancedPlace(1+i%2, 0.1),
+					Key:      key,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					out[key] = "rejected"
+				} else {
+					out[key] = info.ID
+				}
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	want := run(identity)
+	for trial := 0; trial < 3; trial++ {
+		got := run(rng.Perm(n))
+		for k, id := range want {
+			if got[k] != id {
+				t.Fatalf("trial %d: key %s assigned %s, want %s", trial, k, got[k], id)
+			}
+		}
+	}
+}
+
+// TestBatchCoalescing: submitters that all arrive inside one window share
+// a batch — same BatchID, BatchSize equal to the group.
+func TestBatchCoalescing(t *testing.T) {
+	const n = 6
+	p, _, snap := newStarPipeline(t, 8, Config{Window: 5 * time.Second, MaxBatch: n})
+
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, rcpt, err := p.Submit(context.Background(), Request{
+				Snapshot: snap,
+				Demand:   lease.Demand{CPU: 0.05},
+				TTL:      time.Hour,
+				Place:    balancedPlace(1, 0.05),
+				Key:      fmt.Sprintf("co-%d", i),
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+			ids[i], sizes[i] = rcpt.BatchID, rcpt.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submitter %d rode %s, submitter 0 rode %s (want one batch)", i, ids[i], ids[0])
+		}
+	}
+	if sizes[0] != n {
+		t.Fatalf("batch size %d, want %d", sizes[0], n)
+	}
+}
+
+// TestCloseFlushesQueuedRequests: Close must drain queued submissions
+// through a final batch — nobody left hanging — and later Submits fail
+// with ErrClosed.
+func TestCloseFlushesQueuedRequests(t *testing.T) {
+	p, l, snap := newStarPipeline(t, 4, Config{Window: time.Hour, MaxBatch: 64})
+
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = p.Submit(context.Background(), Request{
+				Snapshot: snap,
+				Demand:   lease.Demand{CPU: 0.1},
+				TTL:      time.Hour,
+				Place:    balancedPlace(1, 0.1),
+				Key:      fmt.Sprintf("close-%d", i),
+			})
+		}(i)
+	}
+	// Give the submitters time to enqueue (the hour-long window means only
+	// Close can flush them), then close.
+	for p.depth.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submitter %d lost to Close: %v", i, err)
+		}
+	}
+	if l.Len() != n {
+		t.Fatalf("%d leases after drain, want %d", l.Len(), n)
+	}
+
+	if _, _, err := p.Submit(context.Background(), Request{
+		Snapshot: snap, Demand: lease.Demand{CPU: 0.1},
+		Place: balancedPlace(1, 0.1),
+	}); err != ErrClosed {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p, _, snap := newStarPipeline(t, 4, Config{})
+	if _, _, err := p.Submit(context.Background(), Request{Place: balancedPlace(1, 0)}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, _, err := p.Submit(context.Background(), Request{Snapshot: snap}); err == nil {
+		t.Fatal("nil placer accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Window != 2*time.Millisecond || cfg.MaxBatch != 64 {
+		t.Fatalf("defaults = %v/%d, want 2ms/64", cfg.Window, cfg.MaxBatch)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without a ledger did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+// TestMetrics: the admission_batch_* family reflects committed batches.
+func TestMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p, _, snap := newStarPipeline(t, 8, Config{Window: 5 * time.Second, MaxBatch: 3, Registry: reg})
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.Submit(context.Background(), Request{
+				Snapshot: snap,
+				Demand:   lease.Demand{CPU: 0.05},
+				TTL:      time.Hour,
+				Place:    balancedPlace(1, 0.05),
+				Key:      fmt.Sprintf("m-%d", i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	if got := p.mBatches.Value(); got != 1 {
+		t.Fatalf("admission_batches_total = %v, want 1", got)
+	}
+	if got := p.mRequests.Value(); got != n {
+		t.Fatalf("admission_batched_requests_total = %v, want %d", got, n)
+	}
+	if got := p.depth.Load(); got != 0 {
+		t.Fatalf("admission_queue_depth = %d after drain, want 0", got)
+	}
+	if snap := p.mSize.Snapshot(); snap.Count != 1 {
+		t.Fatalf("admission_batch_size observations = %d, want 1", snap.Count)
+	}
+}

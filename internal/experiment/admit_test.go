@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"nodeselect/internal/loadgen"
+)
+
+// TestRunAdmitSmoke keeps the harness wired end to end: tiny reps, both
+// modes, a well-formed report. The full-size run (and its thresholds) is
+// `make admit`; asserting 3x here would couple unit tests to CI machine
+// speed.
+func TestRunAdmitSmoke(t *testing.T) {
+	r, err := RunAdmit(AdmitOptions{
+		Seed:        1,
+		Requests:    120,
+		Reps:        2,
+		Concurrency: 16,
+		Window:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Serial.ThroughputSamples) != 2 || len(r.Batched.ThroughputSamples) != 2 {
+		t.Fatalf("sample counts %d/%d, want 2/2",
+			len(r.Serial.ThroughputSamples), len(r.Batched.ThroughputSamples))
+	}
+	for _, m := range []loadgen.AdmitModeReport{r.Serial, r.Batched} {
+		if m.ThroughputRPS <= 0 || m.LatencyMs.P99 <= 0 {
+			t.Fatalf("degenerate mode report: %+v", m)
+		}
+		if m.ErrorRate != 0 {
+			t.Fatalf("admission errors under light load: %+v", m)
+		}
+	}
+	if r.Speedup <= 0 || r.MinSpeedup != 3.0 || r.MaxP99Ratio != 2.0 || r.Alpha != 0.005 {
+		t.Fatalf("gate thresholds not echoed: %+v", r)
+	}
+	out := FormatAdmit(r)
+	if out == "" {
+		t.Fatal("empty format")
+	}
+}

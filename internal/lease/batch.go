@@ -1,0 +1,296 @@
+package lease
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nodeselect/internal/reqtrace"
+	"nodeselect/internal/topology"
+)
+
+// Epoch-batch admission: AcquireBatch admits a whole window of concurrent
+// select+admit requests in one critical section and commits them as ONE
+// WAL record (one fsync; one replication round on a replicated ledger).
+// The batch is solved strictly serially against the ledger's residual
+// view — each item's placement sees every earlier item's debits — in a
+// deterministic priority order, so the outcome is exactly what replaying
+// the same requests one at a time in that order would produce. That
+// serial-equivalence is the correctness contract (property-tested in
+// batch_test.go); batching buys throughput only by amortizing the
+// per-transition durability cost, never by relaxing admission.
+
+// BatchItem is one admission request inside a batch.
+type BatchItem struct {
+	// Ctx carries the item's request trace; nil means context.Background.
+	// Placement spans and the nested WAL record's RequestID come from it.
+	Ctx context.Context
+	// Demand, TTL, Shape and Place mean exactly what they mean on
+	// AcquireShaped.
+	Demand Demand
+	TTL    time.Duration
+	Shape  *Shape
+	Place  PlaceFunc
+	// Key is the deterministic tiebreak between items of equal demand —
+	// canonically the client request ID. Ordering by Key before arrival
+	// sequence is what makes the commit order a pure function of the
+	// request set: shuffling arrival within a window cannot reorder items
+	// with distinct keys.
+	Key string
+	// Seq is the arrival sequence within the window, the final tiebreak
+	// for items whose demand and key both collide.
+	Seq uint64
+}
+
+// BatchResult is the per-item outcome, in the same order the items were
+// given (not priority order).
+type BatchResult struct {
+	Info Info
+	Err  error
+}
+
+func (it *BatchItem) ctx() context.Context {
+	if it.Ctx != nil {
+		return it.Ctx
+	}
+	return context.Background()
+}
+
+// batchLess is the deterministic admission priority: larger demands first
+// (CPU, then bandwidth — the hardest items get first pick of capacity,
+// which also maximizes packing for the leftovers), then request Key, then
+// arrival sequence. Key precedes Seq so that identical request sets
+// arriving in shuffled order still commit identically.
+func batchLess(a, b *BatchItem) bool {
+	if a.Demand.CPU != b.Demand.CPU {
+		return a.Demand.CPU > b.Demand.CPU
+	}
+	if a.Demand.BW != b.Demand.BW {
+		return a.Demand.BW > b.Demand.BW
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Seq < b.Seq
+}
+
+// batchOrder returns item indices in admission priority order.
+func batchOrder(items []BatchItem) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return batchLess(&items[order[i]], &items[order[j]])
+	})
+	return order
+}
+
+// AcquireBatch admits every item of the batch in one critical section:
+// expired leases are swept once, then each item runs the same
+// place-then-admission-check sequence as Acquire — in priority order,
+// against the residual view that already includes every earlier item's
+// debits — and the accepted set commits as a single OpBatch WAL record.
+// Rejected items carry their AdmissionError (or placer error) in their
+// BatchResult; a WAL append failure fails the whole accepted set and
+// rolls its debits back, leaving the ledger untouched (all-or-nothing,
+// matching the one-line-one-fsync crash story).
+//
+// On a replicated ledger the batch is one proposal: every accepted item
+// becomes a pending lease, the batch record goes through one quorum
+// round, and Apply finalizes all of them in log order.
+func (l *Ledger) AcquireBatch(ctx context.Context, snap *topology.Snapshot, items []BatchItem) []BatchResult {
+	ctx, span := reqtrace.StartSpan(ctx, "lease.acquire_batch")
+	span.SetAttr("items", fmt.Sprint(len(items)))
+	defer span.End()
+
+	res := make([]BatchResult, len(items))
+	if snap == nil || snap.Graph != l.g {
+		err := fmt.Errorf("lease: snapshot does not belong to the ledger's graph")
+		for i := range res {
+			res[i].Err = err
+		}
+		span.Fail(err)
+		return res
+	}
+	// Malformed demands drop out before ordering, exactly as Acquire
+	// rejects them before taking the lock.
+	solvable := make([]bool, len(items))
+	for i := range items {
+		if err := items[i].Demand.Validate(); err != nil {
+			res[i].Err = err
+			continue
+		}
+		solvable[i] = true
+	}
+	order := batchOrder(items)
+
+	if l.replicator() != nil {
+		l.acquireBatchReplicated(ctx, snap, items, order, solvable, res)
+		return res
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.opt.Now()
+	l.sweepLocked(now)
+
+	type accepted struct {
+		idx int
+		ls  *Lease
+	}
+	var acc []accepted
+	var nested []Record
+	startID := l.nextID
+	for _, idx := range order {
+		if !solvable[idx] {
+			continue
+		}
+		it := &items[idx]
+		nodes, debits, err := l.placeAdmitLocked(it.ctx(), snap, it.Demand, it.Place)
+		if err != nil {
+			res[idx].Err = err
+			continue
+		}
+		ls := &Lease{
+			ID:      fmt.Sprintf("lease-%d", l.nextID),
+			Nodes:   append([]int(nil), nodes...),
+			Demand:  it.Demand,
+			Shape:   it.Shape.clone(),
+			Created: now,
+			Expiry:  now.Add(l.clampTTL(it.TTL)),
+			linkBW:  debits,
+		}
+		sort.Ints(ls.Nodes)
+		l.nextID++
+		// Debit immediately so the next item's residual sees this one;
+		// the lease itself stays out of the map until the batch is durable.
+		for _, id := range ls.Nodes {
+			l.addNodeCPU(id, it.Demand.CPU)
+		}
+		for lid, bw := range debits {
+			l.addLinkBW(lid, bw)
+		}
+		acc = append(acc, accepted{idx, ls})
+		rec := acquireRecord(l.g, ls)
+		rec.RequestID = reqtrace.TraceID(it.ctx())
+		nested = append(nested, rec)
+	}
+	if len(acc) == 0 {
+		return res
+	}
+	if l.opt.WAL != nil {
+		if err := l.opt.WAL.append(ctx, Record{Op: OpBatch, Batch: nested}); err != nil {
+			// All-or-nothing: the batch never became durable, so no item
+			// may be acked. Return every debit and the unissued IDs.
+			for _, a := range acc {
+				for _, id := range a.ls.Nodes {
+					l.addNodeCPU(id, -a.ls.Demand.CPU)
+				}
+				for lid, bw := range a.ls.linkBW {
+					l.addLinkBW(lid, -bw)
+				}
+				res[a.idx].Err = fmt.Errorf("lease: wal: %w", err)
+			}
+			l.nextID = startID
+			return res
+		}
+	}
+	for _, a := range acc {
+		l.leases[a.ls.ID] = a.ls
+		l.version++
+		l.stats.Acquired++
+		l.event("acquire", a.ls)
+		res[a.idx].Info = l.infoLocked(a.ls)
+	}
+	l.stats.Batches++
+	l.maybeCompactLocked()
+	return res
+}
+
+// acquireBatchReplicated is the replicated batch path: phase 1 reserves a
+// pending lease per accepted item (debits in place, invisible to reads),
+// phase 2 proposes the whole batch as one record through one quorum
+// round, phase 3 observes what Apply did — finalized pending leases on
+// success, rollback of every still-pending reservation on failure.
+func (l *Ledger) acquireBatchReplicated(ctx context.Context, snap *topology.Snapshot, items []BatchItem, order []int, solvable []bool, res []BatchResult) {
+	l.mu.Lock()
+	r := l.opt.Replicator
+	now := l.opt.Now()
+
+	type accepted struct {
+		idx int
+		id  string
+	}
+	var acc []accepted
+	var nested []Record
+	for _, idx := range order {
+		if !solvable[idx] {
+			continue
+		}
+		it := &items[idx]
+		nodes, debits, err := l.placeAdmitLocked(it.ctx(), snap, it.Demand, it.Place)
+		if err != nil {
+			res[idx].Err = err
+			continue
+		}
+		ls := &Lease{
+			ID:      fmt.Sprintf("lease-%d", l.nextID),
+			Nodes:   append([]int(nil), nodes...),
+			Demand:  it.Demand,
+			Shape:   it.Shape.clone(),
+			Created: now,
+			Expiry:  now.Add(l.clampTTL(it.TTL)),
+			linkBW:  debits,
+			pending: true,
+		}
+		sort.Ints(ls.Nodes)
+		l.nextID++
+		for _, id := range ls.Nodes {
+			l.addNodeCPU(id, it.Demand.CPU)
+		}
+		for lid, bw := range debits {
+			l.addLinkBW(lid, bw)
+		}
+		l.leases[ls.ID] = ls
+		l.version++
+		acc = append(acc, accepted{idx, ls.ID})
+		rec := acquireRecord(l.g, ls)
+		rec.RequestID = reqtrace.TraceID(it.ctx())
+		nested = append(nested, rec)
+	}
+	if len(acc) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	rec := Record{Op: OpBatch, Batch: nested, RequestID: reqtrace.TraceID(ctx)}
+	l.mu.Unlock()
+
+	err := r.Replicate(ctx, &rec)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, a := range acc {
+		cur := l.leases[a.id]
+		switch {
+		case err != nil && cur != nil && cur.pending:
+			// The commit did not (visibly) happen: return the reservation.
+			// If the record commits after all, Apply re-installs from the
+			// record — the IDs are burned either way.
+			l.dropLocked(cur)
+			res[a.idx].Err = err
+		case cur != nil:
+			// Apply finalized (possibly racing a proposal timeout): the
+			// acked, replicated state wins over the error.
+			res[a.idx].Info = l.infoLocked(cur)
+		case err != nil:
+			res[a.idx].Err = err
+		default:
+			res[a.idx].Err = fmt.Errorf("lease: %q vanished during commit", a.id)
+		}
+	}
+	if err == nil {
+		l.stats.Batches++
+	}
+}

@@ -218,6 +218,12 @@ type Options struct {
 	// PlaceAttempts bounds Acquire's bandwidth-floor escalation retries
 	// (default 3). See Acquire.
 	PlaceAttempts int
+	// CrossCheck, when set, verifies the incrementally maintained residual
+	// view against a full recompute on every derivation and panics on the
+	// first divergence. The patch formula is the recompute formula applied
+	// to the dirty entries, so the two must agree bit for bit; this is a
+	// debug mode for tests, not for production traffic.
+	CrossCheck bool
 	// Replicator, when non-nil, turns the ledger into one replica of a
 	// replicated cluster: every transition is proposed through it and takes
 	// effect only via Apply, in replicated-log order, on every replica.
@@ -262,6 +268,9 @@ type Stats struct {
 	// RecoverySkipped counts WAL entries dropped because they had expired
 	// or named nodes absent from the current topology.
 	Recovered, RecoverySkipped int64
+	// Batches counts AcquireBatch commits (each may carry many acquires,
+	// all included in Acquired/Rejected as usual).
+	Batches int64
 }
 
 // Ledger is the reservation book: committed CPU per node, committed
@@ -277,11 +286,34 @@ type Ledger struct {
 	leases  map[string]*Lease
 	nodeCPU []float64 // committed CPU fraction per node
 	linkBW  []float64 // committed bandwidth per link
-	nextID  int64
-	version uint64
-	stats   Stats
-	onEvent func(op string, l *Lease)
-	closed  bool
+	// nonzeroDebits counts the nonzero entries across nodeCPU and linkBW.
+	// Zero means the ledger holds no reservations at all (no lease, or only
+	// zero-demand leases), so the residual view IS the measured snapshot
+	// and no clone or recompute is needed.
+	nonzeroDebits int
+	resid         residCache
+	nextID        int64
+	version       uint64
+	stats         Stats
+	onEvent       func(op string, l *Lease)
+	closed        bool
+}
+
+// residCache memoizes the derived residual view so repeated derivations
+// against the same base snapshot patch only the entries whose debits moved
+// since the last call, instead of cloning the whole snapshot and
+// re-applying every debit. Identity of the base's contents is
+// (pointer, Gen): the cache holds the pointer alive, so the allocator can
+// never hand the same address to a different snapshot, and every in-place
+// mutation advances Gen.
+type residCache struct {
+	base    *topology.Snapshot
+	baseGen uint64
+	view    *topology.Snapshot
+	// dirtyNodes/dirtyLinks are the entries whose committed debits changed
+	// since view was last patched. Tracked only while a view exists.
+	dirtyNodes map[int]struct{}
+	dirtyLinks map[int]struct{}
 }
 
 // New builds a ledger over the graph. When opts.WAL is set, the WAL's
@@ -299,6 +331,10 @@ func New(g *topology.Graph, opts Options) (*Ledger, error) {
 		leases:  make(map[string]*Lease),
 		nodeCPU: make([]float64, g.NumNodes()),
 		linkBW:  make([]float64, g.NumLinks()),
+		resid: residCache{
+			dirtyNodes: make(map[int]struct{}),
+			dirtyLinks: make(map[int]struct{}),
+		},
 	}
 	if opts.WAL != nil && opts.Replicator != nil {
 		return nil, fmt.Errorf("lease: WAL and Replicator are mutually exclusive (the replica log is the durability layer)")
@@ -407,18 +443,133 @@ func (l *Ledger) event(op string, ls *Lease) {
 // capacity is fully committed.
 const minResidualCPU = 1e-9
 
+// epsNodeCPU and epsLinkBW snap committed-debit residue to zero: the sum
+// of a lease set's debits minus the same multiset need not be exactly 0
+// in floats, and a stranded 1e-17 would keep the nonzero-debit count (and
+// with it the residual slow path) engaged forever after the last lease
+// drains. Both bounds sit far below any meaningful demand (CPU fractions,
+// bits per second).
+const (
+	epsNodeCPU = 1e-9
+	epsLinkBW  = 1e-3
+)
+
+// addNodeCPU moves a node's committed CPU debit by delta, clamping the
+// float-drift undershoot at zero. Every mutation of l.nodeCPU goes through
+// here so the nonzero-debit count and the residual cache's dirty set stay
+// exact. Callers hold l.mu.
+func (l *Ledger) addNodeCPU(id int, delta float64) {
+	was := l.nodeCPU[id]
+	v := was + delta
+	if v < epsNodeCPU {
+		v = 0 // float drift guard, both undershoot and stranded residue
+	}
+	l.nodeCPU[id] = v
+	if was == 0 {
+		if v != 0 {
+			l.nonzeroDebits++
+		}
+	} else if v == 0 {
+		l.nonzeroDebits--
+	}
+	if l.resid.view != nil {
+		l.resid.dirtyNodes[id] = struct{}{}
+	}
+}
+
+// addLinkBW is addNodeCPU for a link's committed bandwidth debit.
+// Callers hold l.mu.
+func (l *Ledger) addLinkBW(lid int, delta float64) {
+	was := l.linkBW[lid]
+	v := was + delta
+	if v < epsLinkBW {
+		v = 0
+	}
+	l.linkBW[lid] = v
+	if was == 0 {
+		if v != 0 {
+			l.nonzeroDebits++
+		}
+	} else if v == 0 {
+		l.nonzeroDebits--
+	}
+	if l.resid.view != nil {
+		l.resid.dirtyLinks[lid] = struct{}{}
+	}
+}
+
 // residualLocked returns the snapshot with committed reservations
 // subtracted: each node's CPU fraction is reduced by its committed
 // fraction (re-expressed as a load average, so Snapshot.CPU reports the
 // uncommitted capacity) and each link's available bandwidth by its
-// committed bandwidth, clamped at zero. With no active leases the
+// committed bandwidth, clamped at zero. With no reservations at all the
 // snapshot is returned as-is (callers treat snapshots as read-only).
+//
+// The view is maintained incrementally: the first derivation against a
+// snapshot clones it and applies every debit (exactly residualFrom); while
+// the base stays the same, later derivations re-apply the formula only to
+// entries whose debits moved. The patch and the full recompute run the
+// same float operations on the same inputs, so the two are bitwise
+// identical — Options.CrossCheck asserts that on every call.
+//
+// The returned view is owned by the ledger and valid only until l.mu is
+// released: placement callbacks may read it during their call but must
+// not retain it. The public Residual clones before handing it out.
 // Callers hold l.mu.
 func (l *Ledger) residualLocked(snap *topology.Snapshot) *topology.Snapshot {
-	if len(l.leases) == 0 {
+	if l.nonzeroDebits == 0 {
 		return snap
 	}
-	return residualFrom(snap, l.nodeCPU, l.linkBW)
+	c := &l.resid
+	if c.view == nil || c.base != snap || c.baseGen != snap.Gen() {
+		c.base, c.baseGen = snap, snap.Gen()
+		c.view = residualFrom(snap, l.nodeCPU, l.linkBW)
+		clear(c.dirtyNodes)
+		clear(c.dirtyLinks)
+	} else {
+		for id := range c.dirtyNodes {
+			if committed := l.nodeCPU[id]; committed > 0 {
+				cpu := snap.CPU(id) - committed
+				if cpu < minResidualCPU {
+					cpu = minResidualCPU
+				}
+				c.view.LoadAvg[id] = 1/cpu - 1
+			} else {
+				c.view.LoadAvg[id] = snap.LoadAvg[id]
+			}
+		}
+		for lid := range c.dirtyLinks {
+			if committed := l.linkBW[lid]; committed > 0 {
+				c.view.SetAvailBW(lid, snap.AvailBW[lid]-committed)
+			} else {
+				c.view.AvailBW[lid] = snap.AvailBW[lid]
+			}
+		}
+		clear(c.dirtyNodes)
+		clear(c.dirtyLinks)
+	}
+	if l.opt.CrossCheck {
+		l.crossCheckLocked(snap, c.view)
+	}
+	return c.view
+}
+
+// crossCheckLocked recomputes the residual from scratch and panics on any
+// divergence from the incrementally patched view. Callers hold l.mu.
+func (l *Ledger) crossCheckLocked(snap, view *topology.Snapshot) {
+	full := residualFrom(snap, l.nodeCPU, l.linkBW)
+	for id := range full.LoadAvg {
+		if view.LoadAvg[id] != full.LoadAvg[id] {
+			panic(fmt.Sprintf("lease: residual cross-check: node %d load %v, full recompute %v",
+				id, view.LoadAvg[id], full.LoadAvg[id]))
+		}
+	}
+	for lid := range full.AvailBW {
+		if view.AvailBW[lid] != full.AvailBW[lid] {
+			panic(fmt.Sprintf("lease: residual cross-check: link %d avail %v, full recompute %v",
+				lid, view.AvailBW[lid], full.AvailBW[lid]))
+		}
+	}
 }
 
 // residualFrom applies committed per-node CPU and per-link bandwidth
@@ -446,12 +597,20 @@ func residualFrom(snap *topology.Snapshot, nodeCPU, linkBW []float64) *topology.
 
 // Residual returns the residual view of snap: measured capacities minus
 // committed reservations, after sweeping expired leases. The selection
-// algorithms consume it exactly like a raw snapshot.
+// algorithms consume it exactly like a raw snapshot. With no reservations
+// the input snapshot itself is returned — no allocation — so callers must
+// treat the result as read-only; with reservations the result is a fresh
+// copy the caller owns.
 func (l *Ledger) Residual(snap *topology.Snapshot) *topology.Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sweepLocked(l.opt.Now())
-	return l.residualLocked(snap)
+	r := l.residualLocked(snap)
+	if r == snap {
+		return snap
+	}
+	// The ledger keeps patching its cached view; hand out a copy.
+	return r.Clone()
 }
 
 // ResidualExcluding returns the residual view of snap with the named
@@ -686,20 +845,16 @@ func (l *Ledger) migrate(ctx context.Context, snap *topology.Snapshot, id string
 		}
 	}
 	for _, nid := range nodes {
-		l.nodeCPU[nid] += ls.Demand.CPU
+		l.addNodeCPU(nid, ls.Demand.CPU)
 	}
 	for lid, bw := range debits {
-		l.linkBW[lid] += bw
+		l.addLinkBW(lid, bw)
 	}
 	for _, nid := range ls.Nodes {
-		if l.nodeCPU[nid] -= ls.Demand.CPU; l.nodeCPU[nid] < 0 {
-			l.nodeCPU[nid] = 0
-		}
+		l.addNodeCPU(nid, -ls.Demand.CPU)
 	}
 	for lid, bw := range ls.linkBW {
-		if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
-			l.linkBW[lid] = 0
-		}
+		l.addLinkBW(lid, -bw)
 	}
 	ls.Nodes = nodes
 	ls.linkBW = debits
@@ -744,7 +899,17 @@ func (l *Ledger) admissionCheck(residual *topology.Snapshot, nodes []int, d Dema
 		for lid, flows := range l.g.FlowLinkCounts(nodes) {
 			debits[lid] = float64(flows) * d.BW
 		}
-		for lid, need := range debits {
+		// Check links in ID order, not map order: the first violation found
+		// names the bottleneck AND sets the escalation floor in
+		// placeAdmitLocked, so iteration order must be deterministic or
+		// identical requests can take different retry paths.
+		lids := make([]int, 0, len(debits))
+		for lid := range debits {
+			lids = append(lids, lid)
+		}
+		sort.Ints(lids)
+		for _, lid := range lids {
+			need := debits[lid]
 			if have := residual.AvailBW[lid]; have < need-eps {
 				link := l.g.Link(lid)
 				return nil, &AdmissionError{
@@ -778,10 +943,10 @@ func (l *Ledger) commitLocked(ctx context.Context, nodes []int, d Demand, shape 
 	}
 	l.nextID++
 	for _, id := range ls.Nodes {
-		l.nodeCPU[id] += d.CPU
+		l.addNodeCPU(id, d.CPU)
 	}
 	for lid, bw := range debits {
-		l.linkBW[lid] += bw
+		l.addLinkBW(lid, bw)
 	}
 	l.leases[ls.ID] = ls
 	l.version++
@@ -879,30 +1044,20 @@ func (l *Ledger) release(ctx context.Context, id string) error {
 // l.mu and handle WAL and stats themselves.
 func (l *Ledger) dropLocked(ls *Lease) {
 	for _, id := range ls.Nodes {
-		l.nodeCPU[id] -= ls.Demand.CPU
-		if l.nodeCPU[id] < 0 {
-			l.nodeCPU[id] = 0 // float drift guard
-		}
+		l.addNodeCPU(id, -ls.Demand.CPU)
 	}
 	for lid, bw := range ls.linkBW {
-		l.linkBW[lid] -= bw
-		if l.linkBW[lid] < 0 {
-			l.linkBW[lid] = 0
-		}
+		l.addLinkBW(lid, -bw)
 	}
 	// A committed release/expire lands while a reserve-new-alongside-old
 	// handover is still awaiting quorum: return the new half's debits too,
 	// or they would leak forever.
 	if ls.pendingLinkBW != nil {
 		for _, id := range ls.pendingNodes {
-			if l.nodeCPU[id] -= ls.Demand.CPU; l.nodeCPU[id] < 0 {
-				l.nodeCPU[id] = 0
-			}
+			l.addNodeCPU(id, -ls.Demand.CPU)
 		}
 		for lid, bw := range ls.pendingLinkBW {
-			if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
-				l.linkBW[lid] = 0
-			}
+			l.addLinkBW(lid, -bw)
 		}
 		ls.pendingNodes, ls.pendingLinkBW, ls.handoverVer = nil, nil, 0
 	}
@@ -1159,10 +1314,10 @@ func (l *Ledger) recover() error {
 			linkBW:  debits,
 		}
 		for _, id := range nodes {
-			l.nodeCPU[id] += d.CPU
+			l.addNodeCPU(id, d.CPU)
 		}
 		for lid, bw := range debits {
-			l.linkBW[lid] += bw
+			l.addLinkBW(lid, bw)
 		}
 		l.leases[ls.ID] = ls
 		l.version++

@@ -62,10 +62,10 @@ func (l *Ledger) acquireReplicated(ctx context.Context, snap *topology.Snapshot,
 	sort.Ints(ls.Nodes)
 	l.nextID++
 	for _, id := range ls.Nodes {
-		l.nodeCPU[id] += d.CPU
+		l.addNodeCPU(id, d.CPU)
 	}
 	for lid, bw := range debits {
-		l.linkBW[lid] += bw
+		l.addLinkBW(lid, bw)
 	}
 	l.leases[ls.ID] = ls
 	l.version++
@@ -220,10 +220,10 @@ func (l *Ledger) migrateReplicated(ctx context.Context, snap *topology.Snapshot,
 		return Info{}, adm
 	}
 	for _, nid := range nodes {
-		l.nodeCPU[nid] += ls.Demand.CPU
+		l.addNodeCPU(nid, ls.Demand.CPU)
 	}
 	for lid, bw := range debits {
-		l.linkBW[lid] += bw
+		l.addLinkBW(lid, bw)
 	}
 	ls.pendingNodes, ls.pendingLinkBW = nodes, debits
 	l.version++
@@ -252,14 +252,10 @@ func (l *Ledger) migrateReplicated(ctx context.Context, snap *topology.Snapshot,
 	if cur.handoverVer != 0 {
 		// Apply did not finalize the handover: return the new half's debits.
 		for _, nid := range cur.pendingNodes {
-			if l.nodeCPU[nid] -= cur.Demand.CPU; l.nodeCPU[nid] < 0 {
-				l.nodeCPU[nid] = 0
-			}
+			l.addNodeCPU(nid, -cur.Demand.CPU)
 		}
 		for lid, bw := range cur.pendingLinkBW {
-			if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
-				l.linkBW[lid] = 0
-			}
+			l.addLinkBW(lid, -bw)
 		}
 		cur.pendingNodes, cur.pendingLinkBW, cur.handoverVer = nil, nil, 0
 		l.version++
@@ -338,23 +334,16 @@ func (l *Ledger) Apply(rec Record) {
 	switch rec.Op {
 	case OpNoop:
 	case OpAcquire:
-		if ls, ok := l.leases[rec.ID]; ok {
-			if ls.pending {
-				// Finalize the proposer's own reservation: debits are already
-				// in place, the lease just becomes visible.
-				ls.pending = false
-				l.version++
-				l.stats.Acquired++
-				l.event("acquire", ls)
-				return
-			}
-			// Same ID already live (log replayed over a warm ledger):
-			// replace wholesale rather than double-debit.
-			l.dropLocked(ls)
-		}
-		if ls := l.installRecordLocked(rec); ls != nil {
-			l.stats.Acquired++
-			l.event("acquire", ls)
+		l.applyAcquireLocked(rec)
+	case OpBatch:
+		// One committed record, many acquires: apply the nested records in
+		// their stored (priority) order, exactly as the proposer solved
+		// them. All-or-nothing durability is the record framing's job — a
+		// batch is one log line — so by the time Apply sees it, every
+		// nested acquire is committed. (rec.Seq() already advanced the ID
+		// counter past the highest nested sequence above.)
+		for _, sub := range rec.Batch {
+			l.applyAcquireLocked(sub)
 		}
 	case OpMigrate:
 		ls, ok := l.leases[rec.ID]
@@ -363,14 +352,10 @@ func (l *Ledger) Apply(rec Record) {
 			// the new half is already debited, so return the old half and
 			// promote.
 			for _, nid := range ls.Nodes {
-				if l.nodeCPU[nid] -= ls.Demand.CPU; l.nodeCPU[nid] < 0 {
-					l.nodeCPU[nid] = 0
-				}
+				l.addNodeCPU(nid, -ls.Demand.CPU)
 			}
 			for lid, bw := range ls.linkBW {
-				if l.linkBW[lid] -= bw; l.linkBW[lid] < 0 {
-					l.linkBW[lid] = 0
-				}
+				l.addLinkBW(lid, -bw)
 			}
 			ls.Nodes, ls.linkBW = ls.pendingNodes, ls.pendingLinkBW
 			ls.pendingNodes, ls.pendingLinkBW, ls.handoverVer = nil, nil, 0
@@ -417,6 +402,31 @@ func (l *Ledger) Apply(rec Record) {
 	}
 }
 
+// applyAcquireLocked installs one committed acquire: it finalizes the
+// proposer's own pending reservation when one exists, or installs the
+// lease wholesale from the record (follower and replay paths). Callers
+// hold l.mu.
+func (l *Ledger) applyAcquireLocked(rec Record) {
+	if ls, ok := l.leases[rec.ID]; ok {
+		if ls.pending {
+			// Finalize the proposer's own reservation: debits are already
+			// in place, the lease just becomes visible.
+			ls.pending = false
+			l.version++
+			l.stats.Acquired++
+			l.event("acquire", ls)
+			return
+		}
+		// Same ID already live (log replayed over a warm ledger):
+		// replace wholesale rather than double-debit.
+		l.dropLocked(ls)
+	}
+	if ls := l.installRecordLocked(rec); ls != nil {
+		l.stats.Acquired++
+		l.event("acquire", ls)
+	}
+}
+
 // installRecordLocked creates a lease wholesale from an acquire- or
 // migrate-shaped record: node names resolved against the current topology,
 // link debits recomputed from its routes. Records naming unknown nodes are
@@ -452,10 +462,10 @@ func (l *Ledger) installRecordLocked(rec Record) *Lease {
 		linkBW:  debits,
 	}
 	for _, id := range nodes {
-		l.nodeCPU[id] += d.CPU
+		l.addNodeCPU(id, d.CPU)
 	}
 	for lid, bw := range debits {
-		l.linkBW[lid] += bw
+		l.addLinkBW(lid, bw)
 	}
 	l.leases[ls.ID] = ls
 	l.version++

@@ -44,6 +44,12 @@ const (
 	// to commit its predecessors' tail (a leader may only count replicas
 	// for entries of its own term). It changes no ledger state.
 	OpNoop = "noop"
+	// OpBatch carries one epoch-batch admission: Batch holds one
+	// acquire-shaped record per admitted lease, in the batch's priority
+	// order. The whole batch is one log line and one fsync, so replay is
+	// all-or-nothing — a crash mid-append tears the line and recovery
+	// drops the entire batch, never a prefix of it.
+	OpBatch = "batch"
 )
 
 // Record is one logged transition (and, for acquire/migrate, the full
@@ -75,11 +81,24 @@ type Record struct {
 	// single-node WAL.
 	Term  uint64 `json:"term,omitempty"`
 	Index uint64 `json:"index,omitempty"`
+	// Batch holds the nested acquire records of an OpBatch commit, in
+	// priority order. Empty for every other op.
+	Batch []Record `json:"batch,omitempty"`
 }
 
 // Seq extracts the record's lease sequence number ("lease-N" → N), -1 when
-// the ID is not ledger-issued.
-func (r Record) Seq() int64 { return leaseSeq(r.ID) }
+// the ID is not ledger-issued. For a batch record it is the highest
+// sequence among the nested acquires, so ID-counter advancement (leader
+// failover, Apply) sees through the batching.
+func (r Record) Seq() int64 {
+	seq := leaseSeq(r.ID)
+	for i := range r.Batch {
+		if s := leaseSeq(r.Batch[i].ID); s > seq {
+			seq = s
+		}
+	}
+	return seq
+}
 
 // acquireRecord renders a lease as its WAL form.
 func acquireRecord(g *topology.Graph, ls *Lease) Record {
@@ -248,6 +267,15 @@ func (w *WAL) load() (active []Record, maxSeq int64, err error) {
 			r := rec
 			live[rec.ID] = &r
 			order = append(order, rec.ID)
+		case OpBatch:
+			// Every nested acquire of an intact batch line replays; a torn
+			// batch line never reaches here (ScanRecords drops it whole).
+			for i := range rec.Batch {
+				sub := rec.Batch[i]
+				note(sub.ID)
+				live[sub.ID] = &sub
+				order = append(order, sub.ID)
+			}
 		case OpRenew:
 			if cur, ok := live[rec.ID]; ok {
 				cur.ExpiryUnixMS = rec.ExpiryUnixMS
@@ -308,6 +336,11 @@ func (w *WAL) appendRecord(rec Record) error {
 	w.records++
 	if seq := leaseSeq(rec.ID); seq > w.maxSeq {
 		w.maxSeq = seq
+	}
+	for i := range rec.Batch {
+		if seq := leaseSeq(rec.Batch[i].ID); seq > w.maxSeq {
+			w.maxSeq = seq
+		}
 	}
 	return nil
 }

@@ -83,6 +83,13 @@ type Decision struct {
 	DataAgeSeconds float64 `json:"data_age_seconds,omitempty"`
 	// LeaseID names the reservation issued for a leased request.
 	LeaseID string `json:"lease_id,omitempty"`
+	// BatchID and BatchSize report which epoch-batch admission commit
+	// carried a leased request, and how many requests shared it. Set only
+	// when the service runs with Config.BatchWindow > 0 — rejected leased
+	// requests carry them too (the rejection happened inside a batch's
+	// solve).
+	BatchID   string `json:"batch_id,omitempty"`
+	BatchSize int    `json:"batch_size,omitempty"`
 	// DurationSeconds is the wall-clock time spent serving the request.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// Error carries the failure, with ErrorClass one of bad_request,

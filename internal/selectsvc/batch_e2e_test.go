@@ -1,0 +1,159 @@
+package selectsvc
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"nodeselect/internal/lease"
+)
+
+// TestBatchedLeasedSelectsCoalesce drives concurrent leased selects
+// through a service running the admission pipeline: every decision must
+// carry a batch receipt, and with a window far longer than the submit
+// spread, the requests must actually share batches rather than each
+// paying its own commit.
+func TestBatchedLeasedSelectsCoalesce(t *testing.T) {
+	const n = 8
+	svc, _ := newStarService(t, 12, Config{BatchWindow: 250 * time.Millisecond, BatchMax: n})
+	t.Cleanup(svc.StopBatching)
+	h := svc.Handler()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, h, "POST", "/select", SelectRequest{
+				M: 2, Demand: &lease.Demand{CPU: 0.05}, LeaseTTL: 60,
+			})
+			if w.Code != 200 {
+				t.Errorf("leased select status %d: %s", w.Code, w.Body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	w := do(t, h, "GET", "/decisions", nil)
+	var ds []Decision
+	if err := json.Unmarshal(w.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	leased, maxSize := 0, 0
+	byBatch := map[string]int{}
+	for _, d := range ds {
+		if d.LeaseID == "" {
+			continue
+		}
+		leased++
+		if d.BatchID == "" || d.BatchSize < 1 {
+			t.Fatalf("leased decision %d missing batch receipt: %+v", d.ID, d)
+		}
+		byBatch[d.BatchID]++
+		if d.BatchSize > maxSize {
+			maxSize = d.BatchSize
+		}
+	}
+	if leased != n {
+		t.Fatalf("%d leased decisions audited, want %d", leased, n)
+	}
+	if maxSize < 2 {
+		t.Fatalf("no coalescing observed: every batch held one request (%v)", byBatch)
+	}
+	if len(byBatch) >= n {
+		t.Fatalf("%d batches for %d requests — pipeline never grouped", len(byBatch), n)
+	}
+}
+
+// TestBatchedRejectionCarriesReceipt: an infeasible leased request still
+// rides a batch's solve, so its audit entry names the batch it was
+// rejected in.
+func TestBatchedRejectionCarriesReceipt(t *testing.T) {
+	svc, _ := newStarService(t, 4, Config{BatchWindow: time.Millisecond})
+	t.Cleanup(svc.StopBatching)
+	h := svc.Handler()
+
+	w := do(t, h, "POST", "/select", SelectRequest{
+		// 200Mbps per flow on 100Mbps access links: nowhere to admit it.
+		M: 2, Demand: &lease.Demand{BW: 200e6}, LeaseTTL: 60,
+	})
+	if w.Code != 409 && w.Code != 422 {
+		t.Fatalf("infeasible leased select status %d: %s", w.Code, w.Body)
+	}
+	dw := do(t, h, "GET", "/decisions?n=1", nil)
+	var ds []Decision
+	if err := json.Unmarshal(dw.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Error == "" {
+		t.Fatalf("decision %+v", ds)
+	}
+	if ds[0].BatchID == "" {
+		t.Fatal("rejected leased decision lost its batch receipt")
+	}
+}
+
+// TestSerialModeHasNoBatchReceipts: with BatchWindow unset the service
+// takes the direct ledger path and audits no batch fields.
+func TestSerialModeHasNoBatchReceipts(t *testing.T) {
+	svc, _ := newStarService(t, 6, Config{})
+	h := svc.Handler()
+
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.1}, LeaseTTL: 60,
+	})
+	if w.Code != 200 {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	dw := do(t, h, "GET", "/decisions?n=1", nil)
+	var ds []Decision
+	if err := json.Unmarshal(dw.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].BatchID != "" || ds[0].BatchSize != 0 {
+		t.Fatalf("serial decision carries batch fields: %+v", ds)
+	}
+}
+
+// TestBatchedCommitInvalidatesPlanCache: a lease committed through the
+// batch pipeline bumps the ledger version exactly like a serial commit,
+// so cached advisory plans are flushed — miss, hit, batched commit, miss.
+func TestBatchedCommitInvalidatesPlanCache(t *testing.T) {
+	svc, _ := idleCacheService(t, 6, Config{Seed: 1, BatchWindow: time.Millisecond})
+	t.Cleanup(svc.StopBatching)
+	h := svc.Handler()
+
+	advisory := SelectRequest{M: 2}
+	selectNodes(t, h, advisory)
+	selectNodes(t, h, advisory)
+
+	// Batched leased commit.
+	w := do(t, h, "POST", "/select", SelectRequest{
+		M: 2, Demand: &lease.Demand{CPU: 0.4}, LeaseTTL: 300,
+	})
+	if w.Code != 200 {
+		t.Fatalf("leased select status %d: %s", w.Code, w.Body)
+	}
+	selectNodes(t, h, advisory)
+
+	dw := do(t, h, "GET", "/decisions", nil)
+	var ds []Decision
+	if err := json.Unmarshal(dw.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	// Newest first: [advisory miss, leased bypass, advisory hit, advisory miss].
+	if len(ds) != 4 {
+		t.Fatalf("%d decisions, want 4", len(ds))
+	}
+	got := []string{ds[3].Cache, ds[2].Cache, ds[1].Cache, ds[0].Cache}
+	want := []string{"miss", "hit", "bypass", "miss"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cache labels %v, want %v (batched commit must flush the plan cache)", got, want)
+		}
+	}
+	if ds[1].BatchID == "" {
+		t.Fatal("leased decision missing batch receipt")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"nodeselect/internal/admission"
 	"nodeselect/internal/appspec"
 	"nodeselect/internal/core"
 	"nodeselect/internal/lease"
@@ -79,6 +80,16 @@ type Config struct {
 	// negative disables caching entirely. Leased, spec, and random-
 	// algorithm requests always bypass the cache.
 	PlanCacheSize int
+	// BatchWindow, when positive, routes leased selects through the
+	// epoch-batch admission pipeline: concurrent acquires queue for up to
+	// this long (or until BatchMax of them arrive), then commit as one
+	// ledger batch — one WAL fsync, one replication round — with
+	// serial-equivalent accept/reject outcomes. Zero keeps the one-
+	// request-one-fsync serial path.
+	BatchWindow time.Duration
+	// BatchMax flushes a batch early once it holds this many requests
+	// (default 64). Only meaningful with BatchWindow > 0.
+	BatchMax int
 	// Rebalance, when non-nil, runs the continuous re-placement
 	// controller: every poll re-scores active shaped leases against the
 	// residual snapshot (excluding each lease's own reservation) and
@@ -130,7 +141,8 @@ type Service struct {
 	metrics  *svcMetrics
 	audit    *auditRing
 	ledger   *lease.Ledger
-	plans    *planCache // nil when disabled
+	admit    *admission.Pipeline // nil when batching is off
+	plans    *planCache          // nil when disabled
 	rebal    *rebalance.Controller
 	tracer   *reqtrace.Tracer
 	lastPoll pollSpans
@@ -182,6 +194,14 @@ func New(src remos.Source, cfg Config) *Service {
 		tracer:    reqtrace.NewTracer(cfg.Trace),
 	}
 	ledger.SetOnEvent(func(op string, _ *lease.Lease) { s.metrics.leaseOps.With(op).Inc() })
+	if cfg.BatchWindow > 0 {
+		s.admit = admission.New(admission.Config{
+			Ledger:   ledger,
+			Window:   cfg.BatchWindow,
+			MaxBatch: cfg.BatchMax,
+			Registry: reg,
+		})
+	}
 	registerLeaseGauges(reg, ledger)
 	registerTraceGauges(reg, s.tracer)
 	if cfg.Replica != nil {
@@ -226,6 +246,37 @@ func New(src remos.Source, cfg Config) *Service {
 // Ledger returns the service's reservation ledger, for callers that drive
 // sweeping or shutdown themselves (cmd/selectd).
 func (s *Service) Ledger() *lease.Ledger { return s.ledger }
+
+// acquireLease is the one admission entry point for leased selects: it
+// submits to the epoch-batch pipeline when batching is configured (the
+// Decision picks up which batch carried the request), and calls the
+// ledger directly otherwise. A nil shape behaves like ledger.Acquire.
+func (s *Service) acquireLease(ctx context.Context, snap *topology.Snapshot, demand lease.Demand, ttl time.Duration, shape *lease.Shape, place lease.PlaceFunc, d *Decision) (lease.Info, error) {
+	if s.admit == nil {
+		return s.ledger.AcquireShaped(ctx, snap, demand, ttl, shape, place)
+	}
+	info, receipt, err := s.admit.Submit(ctx, admission.Request{
+		Snapshot: snap,
+		Demand:   demand,
+		TTL:      ttl,
+		Shape:    shape,
+		Place:    place,
+		Key:      d.RequestID,
+	})
+	d.BatchID = receipt.BatchID
+	d.BatchSize = receipt.BatchSize
+	return info, err
+}
+
+// StopBatching flushes and stops the epoch-batch admission pipeline,
+// blocking until every queued acquire has committed or failed. Call it
+// before closing the ledger on shutdown (like StopRebalance, it must run
+// while the ledger's WAL can still fsync); a no-op when batching is off.
+func (s *Service) StopBatching() {
+	if s.admit != nil {
+		s.admit.Close()
+	}
+}
 
 // cacheBypass labels decisions the plan cache deliberately does not serve
 // (leased, spec, or randomized requests): "bypass" while the cache is
@@ -808,7 +859,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if leased {
 			var info lease.Info
-			info, err = s.ledger.Acquire(ctx, snap, demand, ttl, placeFn)
+			info, err = s.acquireLease(ctx, snap, demand, ttl, nil, placeFn, &d)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID
@@ -896,7 +947,7 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				MaxPairLatency: req.MaxPairLatency,
 				Pin:            req.Pin,
 			}
-			info, err := s.ledger.AcquireShaped(ctx, snap, demand, ttl, shape, placeFn)
+			info, err := s.acquireLease(ctx, snap, demand, ttl, shape, placeFn, &d)
 			if err == nil {
 				resp.Lease = &info
 				d.LeaseID = info.ID

@@ -21,6 +21,14 @@ type Snapshot struct {
 	// new application flow on the link. For bidirectional full-duplex
 	// links this is the minimum of the two directions, per §3.3.
 	AvailBW []float64
+
+	// gen counts in-place mutations through the Set* methods. Consumers
+	// that cache views derived from a snapshot (the lease ledger's residual
+	// cache) use (pointer, Gen) as the identity of its contents: builders
+	// that write the slices directly always do so on a fresh snapshot
+	// before publishing it, so a cached pointer whose Gen is unchanged is
+	// guaranteed to have the same contents.
+	gen uint64
 }
 
 // NewSnapshot returns a snapshot of g with all processors idle and all
@@ -88,11 +96,17 @@ func (s *Snapshot) PairBandwidth(a, b int) float64 {
 	return bw
 }
 
+// Gen reports the snapshot's mutation generation: zero at construction,
+// advanced by every Set* call. See the field comment for the caching
+// contract it supports.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
 // SetLoad sets the load average of a node.
 func (s *Snapshot) SetLoad(node int, loadAvg float64) {
 	if loadAvg < 0 {
 		panic(fmt.Sprintf("topology: negative load average %v", loadAvg))
 	}
+	s.gen++
 	s.LoadAvg[node] = loadAvg
 }
 
@@ -111,6 +125,7 @@ func (s *Snapshot) SetAvailBW(link int, bw float64) {
 	if bw > cap {
 		bw = cap
 	}
+	s.gen++
 	s.AvailBW[link] = bw
 }
 
@@ -120,6 +135,7 @@ func (s *Snapshot) SetUtilization(link int, u float64) {
 	if u < 0 || u > 1 {
 		panic(fmt.Sprintf("topology: utilization %v outside [0, 1]", u))
 	}
+	s.gen++
 	s.AvailBW[link] = (1 - u) * s.Graph.Link(link).Capacity
 }
 
