@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha gossip admit
+.PHONY: check vet build test race bench benchdiff fmt fuzz chaos slo ha gossip admit hier
 
 check: vet build race fuzz
 
@@ -94,6 +94,20 @@ admit:
 	$(GO) test -race ./internal/admission -v
 	$(GO) run ./cmd/expt -run admit -admit-out admit.json
 	$(GO) run ./cmd/benchdiff -admit admit.json -min-speedup $(ADMIT_MIN_SPEEDUP) -max-p99-ratio $(ADMIT_MAX_P99_RATIO) -admit-alpha $(ADMIT_ALPHA)
+
+# Hierarchical selection gate: the exact-equivalence test wall under the
+# race detector first (the quotient sweep's correctness contract), then
+# the flat-vs-hierarchical select-latency A/B at 10k nodes plus the
+# randomized equivalence/quality suite — written to hier.json and
+# re-gated by cmd/benchdiff from the raw per-rep latency samples.
+HIER_MIN_SPEEDUP ?= 10
+HIER_ALPHA ?= 0.005
+HIER_MIN_QUALITY ?= 0.95
+hier:
+	$(GO) test -race ./internal/hierarchy -v
+	$(GO) test -race ./internal/selectsvc -run='Hierarchy' -v
+	$(GO) run ./cmd/expt -run hier -hier-out hier.json
+	$(GO) run ./cmd/benchdiff -hier hier.json -hier-min-speedup $(HIER_MIN_SPEEDUP) -hier-alpha $(HIER_ALPHA) -min-quality $(HIER_MIN_QUALITY)
 
 fmt:
 	gofmt -l -w $(shell $(GO) list -f '{{.Dir}}' ./...)

@@ -29,13 +29,28 @@
 // and tail-latency cap:
 //
 //	benchdiff -admit admit.json -min-speedup 3 -max-p99-ratio 2 -admit-alpha 0.005
+//
+// With -hier the command gates a hierarchical-selection A/B report (the
+// hier.json that `make hier` writes) the same way: the Welch t-test over
+// the per-rep select-latency samples is recomputed from the raw values and
+// checked against the speedup floor, significance level, equivalence
+// count, and quality floor:
+//
+//	benchdiff -hier hier.json -hier-min-speedup 10 -hier-alpha 0.005 -min-quality 0.95
+//
+// All Welch gates refuse degenerate inputs — fewer than two samples per
+// side, or zero variance in both — with exit status 2 rather than letting
+// an unfalsifiable test read as a pass.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -140,8 +155,9 @@ func admitGate(path string, minSpeedup, maxP99Ratio, alpha float64) int {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
 		return 2
 	}
-	if len(rep.Serial.ThroughputSamples) == 0 || len(rep.Batched.ThroughputSamples) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s: missing throughput samples\n", path)
+	if len(rep.Serial.ThroughputSamples) < 2 || len(rep.Batched.ThroughputSamples) < 2 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: need at least 2 throughput samples per mode for Welch's t-test (serial %d, batched %d)\n",
+			path, len(rep.Serial.ThroughputSamples), len(rep.Batched.ThroughputSamples))
 		return 2
 	}
 	gated := loadgen.GateAdmit(rep.Serial, rep.Batched, minSpeedup, maxP99Ratio, alpha)
@@ -156,6 +172,88 @@ func admitGate(path string, minSpeedup, maxP99Ratio, alpha float64) int {
 	}
 	fmt.Println("admit ok")
 	return 0
+}
+
+// hierGate re-gates a hier.json report against the given thresholds,
+// recomputing the comparison from the raw per-rep latency samples, and
+// returns the process exit code.
+func hierGate(path string, minSpeedup, alpha, minQuality float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	var rep loadgen.HierReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		return 2
+	}
+	if len(rep.Flat.LatencySamples) < 2 || len(rep.Hier.LatencySamples) < 2 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: need at least 2 latency samples per arm for Welch's t-test (flat %d, hier %d)\n",
+			path, len(rep.Flat.LatencySamples), len(rep.Hier.LatencySamples))
+		return 2
+	}
+	gated := loadgen.GateHier(rep.Equivalence, rep.Flat, rep.Hier, rep.Scales, minSpeedup, alpha, minQuality)
+	fmt.Printf("%s: flat %.3fms/select, hier %.4fms/select, speedup %.2fx (welch p %.4g), equivalence %d/%d exact, quality %.4f\n",
+		path, gated.Flat.MeanLatencyMs, gated.Hier.MeanLatencyMs, gated.Speedup, gated.WelchP,
+		gated.Equivalence.Exact, gated.Equivalence.Cases, gated.Equivalence.QualityRatio)
+	if !gated.Pass {
+		for _, f := range gated.Failures {
+			fmt.Printf("HIER REGRESSION: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("hier ok")
+	return 0
+}
+
+// compareBench renders the per-benchmark comparison table to w and reports
+// whether any benchmark regressed significantly (new slower than old with
+// p < 0.05). Degenerate samples — fewer than two measurements on either
+// side, or zero variance in both — make the Welch test unfalsifiable, so
+// they are an error for the caller to exit 2 on, never a verdict.
+func compareBench(old, new_ map[string]*stats.Sample, w io.Writer) (regressed bool, err error) {
+	var names []string
+	for name := range old {
+		if _, ok := new_[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return false, errors.New("no common benchmarks between the two files")
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-40s %16s %16s %9s %9s\n", "benchmark", "old (mean±CI95)", "new (mean±CI95)", "speedup", "p")
+	for _, name := range names {
+		o, n := old[name], new_[name]
+		if o.N() < 2 || n.N() < 2 {
+			return false, fmt.Errorf("%s: need at least 2 samples per side for Welch's t-test (old %d, new %d); rerun with -count >= 2",
+				name, o.N(), n.N())
+		}
+		if o.Min() == o.Max() && n.Min() == n.Max() {
+			return false, fmt.Errorf("%s: zero variance in both samples, the t-test is degenerate", name)
+		}
+		tt := stats.WelchT(o, n)
+		if math.IsNaN(tt.P) {
+			return false, fmt.Errorf("%s: Welch p-value is undefined for these samples", name)
+		}
+		speedup := o.Mean() / n.Mean()
+		sig := ""
+		switch {
+		case tt.P >= 0.05:
+			sig = " (not significant)"
+		case speedup < 1:
+			sig = " (REGRESSION)"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-40s %8s±%-7s %8s±%-7s %8.2fx %9.2g%s\n",
+			name,
+			fmtNs(o.Mean()), fmtNs(o.CI95()),
+			fmtNs(n.Mean()), fmtNs(n.CI95()),
+			speedup, tt.P, sig)
+	}
+	return regressed, nil
 }
 
 // fmtNs renders nanoseconds at a human scale.
@@ -184,8 +282,16 @@ func main() {
 		minSpeedup   = flag.Float64("min-speedup", 3.0, "with -admit: fail when batched/serial throughput is below this")
 		maxP99Ratio  = flag.Float64("max-p99-ratio", 2.0, "with -admit: fail when batched p99 exceeds serial p99 times this")
 		admitAlpha   = flag.Float64("admit-alpha", 0.005, "with -admit: Welch t-test significance level for the speedup")
+		hierFile     = flag.String("hier", "", "gate this hier.json A/B report instead of comparing bench files")
+		hierSpeedup  = flag.Float64("hier-min-speedup", 10.0, "with -hier: fail when flat/hier select latency ratio is below this")
+		hierAlpha    = flag.Float64("hier-alpha", 0.005, "with -hier: Welch t-test significance level for the speedup")
+		minQuality   = flag.Float64("min-quality", 0.95, "with -hier: fail when the hier/flat minresource ratio is below this")
 	)
 	flag.Parse()
+
+	if *hierFile != "" {
+		os.Exit(hierGate(*hierFile, *hierSpeedup, *hierAlpha, *minQuality))
+	}
 
 	if *admitFile != "" {
 		os.Exit(admitGate(*admitFile, *minSpeedup, *maxP99Ratio, *admitAlpha))
@@ -215,37 +321,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var names []string
-	for name := range old {
-		if _, ok := new_[name]; ok {
-			names = append(names, name)
-		}
-	}
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+	regressed, err := compareBench(old, new_, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
-	}
-	sort.Strings(names)
-
-	fmt.Printf("%-40s %16s %16s %9s %9s\n", "benchmark", "old (mean±CI95)", "new (mean±CI95)", "speedup", "p")
-	regressed := false
-	for _, name := range names {
-		o, n := old[name], new_[name]
-		tt := stats.WelchT(o, n)
-		speedup := o.Mean() / n.Mean()
-		sig := ""
-		switch {
-		case tt.P >= 0.05:
-			sig = " (not significant)"
-		case speedup < 1:
-			sig = " (REGRESSION)"
-			regressed = true
-		}
-		fmt.Printf("%-40s %8s±%-7s %8s±%-7s %8.2fx %9.2g%s\n",
-			name,
-			fmtNs(o.Mean()), fmtNs(o.CI95()),
-			fmtNs(n.Mean()), fmtNs(n.CI95()),
-			speedup, tt.P, sig)
 	}
 	if regressed {
 		os.Exit(1)

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodeselect/internal/loadgen"
+	"nodeselect/internal/stats"
+)
+
+func sample(vs ...float64) *stats.Sample {
+	s := &stats.Sample{}
+	s.AddAll(vs...)
+	return s
+}
+
+func TestCompareBenchDetectsRegression(t *testing.T) {
+	old := map[string]*stats.Sample{"BenchmarkX": sample(100, 101, 99, 100)}
+	new_ := map[string]*stats.Sample{"BenchmarkX": sample(200, 202, 198, 200)}
+	var b strings.Builder
+	regressed, err := compareBench(old, new_, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("2x slowdown not flagged as regression:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Fatalf("output missing REGRESSION marker:\n%s", b.String())
+	}
+}
+
+func TestCompareBenchImprovementPasses(t *testing.T) {
+	old := map[string]*stats.Sample{"BenchmarkX": sample(200, 202, 198, 200)}
+	new_ := map[string]*stats.Sample{"BenchmarkX": sample(100, 101, 99, 100)}
+	var b strings.Builder
+	regressed, err := compareBench(old, new_, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("2x speedup flagged as regression:\n%s", b.String())
+	}
+}
+
+// TestCompareBenchDegenerateInputs pins the guard this sweep added: a
+// single measurement per side used to produce a NaN p-value that matched
+// neither switch arm and silently passed, even when new was much slower.
+func TestCompareBenchDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new *stats.Sample
+		wantErr  string
+	}{
+		{"single sample", sample(100), sample(500), "at least 2 samples"},
+		{"single sample one side", sample(100, 101), sample(500), "at least 2 samples"},
+		{"zero variance both", sample(100, 100, 100), sample(500, 500, 500), "zero variance"},
+		{"no common benchmarks", nil, nil, "no common benchmarks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := map[string]*stats.Sample{}
+			new_ := map[string]*stats.Sample{}
+			if tc.old != nil {
+				old["BenchmarkX"] = tc.old
+				new_["BenchmarkX"] = tc.new
+			}
+			var b strings.Builder
+			regressed, err := compareBench(old, new_, &b)
+			if err == nil {
+				t.Fatalf("degenerate input produced a verdict (regressed=%v) instead of an error:\n%s",
+					regressed, b.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := "goos: linux\n" +
+		"BenchmarkFig2-8   50   39123456 ns/op   25 B/op\n" +
+		"BenchmarkFig2-8   50   39200000 ns/op   25 B/op\n" +
+		"not a bench line\n" +
+		"BenchmarkFig3-8   10   1000 ns/op\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkFig2"].N() != 2 || got["BenchmarkFig3"].N() != 1 {
+		t.Fatalf("parsed samples: Fig2 n=%d Fig3 n=%d", got["BenchmarkFig2"].N(), got["BenchmarkFig3"].N())
+	}
+}
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func hierReportFixture() loadgen.HierReport {
+	return loadgen.HierReport{
+		Equivalence: loadgen.HierEquivalence{Topologies: 4, Cases: 28, Exact: 28, QuotientShare: 0.7, QualityRatio: 1},
+		Flat: loadgen.HierModeReport{Topology: "tiered:100x100", Nodes: 10101, Selects: 6, Reps: 5,
+			LatencySamples: []float64{0.070, 0.068, 0.072, 0.069, 0.071}},
+		Hier: loadgen.HierModeReport{Topology: "tiered:100x100", Nodes: 10101, Selects: 6, Reps: 5,
+			LatencySamples: []float64{0.002, 0.0021, 0.0019, 0.002, 0.0022}},
+	}
+}
+
+func TestHierGate(t *testing.T) {
+	if code := hierGate(writeJSON(t, "hier.json", hierReportFixture()), 10, 0.005, 0.95); code != 0 {
+		t.Fatalf("passing report gated with exit %d", code)
+	}
+
+	slow := hierReportFixture()
+	slow.Hier.LatencySamples = []float64{0.050, 0.051, 0.049, 0.050, 0.052}
+	if code := hierGate(writeJSON(t, "slow.json", slow), 10, 0.005, 0.95); code != 1 {
+		t.Fatalf("sub-floor speedup gated with exit %d, want 1", code)
+	}
+
+	diverged := hierReportFixture()
+	diverged.Equivalence.Exact--
+	if code := hierGate(writeJSON(t, "div.json", diverged), 10, 0.005, 0.95); code != 1 {
+		t.Fatalf("equivalence divergence gated with exit %d, want 1", code)
+	}
+
+	degenerate := hierReportFixture()
+	degenerate.Flat.LatencySamples = degenerate.Flat.LatencySamples[:1]
+	if code := hierGate(writeJSON(t, "degen.json", degenerate), 10, 0.005, 0.95); code != 2 {
+		t.Fatalf("single-sample report gated with exit %d, want 2", code)
+	}
+
+	if code := hierGate(filepath.Join(t.TempDir(), "missing.json"), 10, 0.005, 0.95); code != 2 {
+		t.Fatal("missing file must exit 2")
+	}
+}
+
+func TestAdmitGateDegenerateSamples(t *testing.T) {
+	rep := loadgen.AdmitReport{
+		Serial:  loadgen.AdmitModeReport{ThroughputSamples: []float64{100}},
+		Batched: loadgen.AdmitModeReport{ThroughputSamples: []float64{400, 410}},
+	}
+	if code := admitGate(writeJSON(t, "admit.json", rep), 3, 2, 0.005); code != 2 {
+		t.Fatal("single-sample admit report must exit 2, not produce a verdict")
+	}
+}
+
+// TestGateHierZeroVariance pins the loadgen-side guard: identical
+// constant samples in both arms must fail the gate, not pass it with an
+// infinitely confident t-test.
+func TestGateHierZeroVariance(t *testing.T) {
+	eq := loadgen.HierEquivalence{Cases: 10, Exact: 10, QualityRatio: 1}
+	flat := loadgen.HierModeReport{LatencySamples: []float64{0.05, 0.05, 0.05}}
+	hier := loadgen.HierModeReport{LatencySamples: []float64{0.001, 0.001, 0.001}}
+	r := loadgen.GateHier(eq, flat, hier, nil, 10, 0.005, 0.95)
+	if r.Pass {
+		t.Fatal("zero-variance samples passed the gate")
+	}
+	found := false
+	for _, f := range r.Failures {
+		if strings.Contains(f, "zero variance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failures %v do not name the zero-variance degeneracy", r.Failures)
+	}
+}

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, gossip, admit, all")
+		run     = flag.String("run", "table1", "experiment to run: table1, headline, fig4, sweep, ablation, modes, hetero, pattern, failover, autosize, migration, rebalance, chaos, contention, slo, ha, gossip, admit, hier, all")
 		reps    = flag.Int("reps", 0, "replications per cell (default from experiment.Default)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		loadR   = flag.Float64("load-rate", 0, "override per-node job arrival rate")
@@ -42,6 +42,9 @@ func main() {
 	flag.StringVar(&admitOut, "admit-out", "", "with -run admit: also write the report JSON to this file")
 	flag.IntVar(&admitRequests, "admit-requests", 0, "with -run admit: measured requests per rep (default 1500)")
 	flag.IntVar(&admitReps, "admit-reps", 0, "with -run admit: reps per admission mode (default 5)")
+	flag.StringVar(&hierOut, "hier-out", "", "with -run hier: also write the report JSON to this file")
+	flag.IntVar(&hierSelects, "hier-selects", 0, "with -run hier: timed selects per rep in the 10k A/B (default 6)")
+	flag.IntVar(&hierReps, "hier-reps", 0, "with -run hier: repainted reps per arm (default 5)")
 	flag.Parse()
 
 	cfg := experiment.Default()
@@ -110,6 +113,8 @@ func dispatch(run string, cfg experiment.Config, verbose bool) error {
 		return runGossip(cfg)
 	case "admit":
 		return runAdmit(cfg)
+	case "hier":
+		return runHier(cfg)
 	case "all":
 		for _, r := range []string{"table1", "headline", "fig4", "sweep", "ablation", "modes", "hetero", "pattern", "failover", "autosize", "migration", "rebalance", "contention"} {
 			fmt.Printf("==== %s ====\n", r)
@@ -398,6 +403,45 @@ func runAdmit(cfg experiment.Config) error {
 	}
 	if !rep.Pass {
 		return fmt.Errorf("admission benchmark failed its gate: %s", strings.Join(rep.Failures, "; "))
+	}
+	return nil
+}
+
+// hierOut / hierSelects / hierReps are set from the -hier-* flags before
+// dispatch.
+var (
+	hierOut     string
+	hierSelects int
+	hierReps    int
+)
+
+// runHier drives the hierarchical-selection benchmark: the randomized
+// flat-vs-quotient equivalence suite, the gated 10k-node select-latency
+// A/B, and the 1k/50k showcase scales. Exits non-zero when the speedup,
+// significance, or quality gate fails, so the CI hier job gates on it
+// directly. Wall-clock sensitive, so not part of -run all.
+func runHier(cfg experiment.Config) error {
+	rep, err := experiment.RunHier(experiment.HierOptions{
+		Seed:    cfg.Seed,
+		Selects: hierSelects,
+		Reps:    hierReps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.FormatHier(rep))
+	if hierOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(hierOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", hierOut)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("hierarchical selection benchmark failed its gate: %s", strings.Join(rep.Failures, "; "))
 	}
 	return nil
 }

@@ -128,6 +128,7 @@ type options struct {
 	batchMax    int
 
 	planCache int
+	hierarchy bool
 
 	rebalance        bool
 	rebalanceAuto    bool
@@ -175,6 +176,7 @@ func main() {
 	flag.DurationVar(&o.batchWindow, "batch-window", 0, "epoch-batch admission window: queue concurrent leased selects up to this long and commit them as one WAL record (0 = serial admission)")
 	flag.IntVar(&o.batchMax, "batch-max", 64, "flush an admission batch early once it holds this many requests")
 	flag.IntVar(&o.planCache, "plan-cache", 0, "max plans memoized per snapshot/ledger epoch (0 = default 256, negative = disable caching)")
+	flag.BoolVar(&o.hierarchy, "hierarchy", false, "answer plain sweep selects via cluster-first hierarchical selection (exact-equivalent quotient sweep with flat fallback; keeps select latency sub-millisecond on 10k+-node topologies)")
 	flag.BoolVar(&o.rebalance, "rebalance", false, "run the placement rebalance controller in advisory mode (proposals via /migrations, applied on request)")
 	flag.BoolVar(&o.rebalanceAuto, "rebalance-auto", false, "apply confirmed migration proposals automatically (implies -rebalance)")
 	flag.Float64Var(&o.rebalanceMinGain, "rebalance-min-gain", 0.25, "minimum relative minresource gain before a migration is proposed")
@@ -415,6 +417,7 @@ func run(o options) error {
 		ExcludeStale:  o.excludeStale,
 		Ledger:        ledger,
 		PlanCacheSize: o.planCache,
+		Hierarchy:     o.hierarchy,
 		BatchWindow:   o.batchWindow,
 		BatchMax:      o.batchMax,
 		Trace: reqtrace.Config{

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		topo     = flag.String("topo", "cmu", "topology: cmu, figure1, star:<n>, dumbbell:<k>, multicluster:<c>x<p>")
+		topo     = flag.String("topo", "cmu", "topology: cmu, figure1, star:<n>, dumbbell:<k>, multicluster:<c>x<p>, tiered:<c>x<p>, fattree:<k>")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
 		snapshot = flag.Bool("snapshot", false, "include a randomized status snapshot")
 		seed     = flag.Int64("seed", 1, "seed for the randomized snapshot")

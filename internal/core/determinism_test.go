@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nodeselect/internal/randx"
+	"nodeselect/internal/testbed"
+	"nodeselect/internal/topology"
+)
+
+// TestSelectDeterministic pins decision-path determinism for the
+// deterministic algorithms: candidate enumeration builds per-component
+// membership maps along the way, and none of that bookkeeping may leak
+// into the answer. Every algorithm, with and without the constrained
+// (bandwidth-floor) path that walks components explicitly, must return
+// deeply identical results across repeated runs on the same snapshot.
+func TestSelectDeterministic(t *testing.T) {
+	g := testbed.MultiCluster(4, 7, testbed.Ethernet100, 1e9)
+	snap := topology.NewSnapshot(g)
+	rng := randx.New(99).Split("determinism")
+	for _, id := range g.ComputeNodes() {
+		snap.SetLoad(id, rng.Uniform(0, 2))
+	}
+	for _, l := range g.Links() {
+		snap.SetAvailBW(l.ID, rng.Uniform(0.2, 1)*l.Capacity)
+	}
+
+	reqs := []Request{
+		{M: 5},
+		{M: 5, MinBW: 30e6}, // constrained: walks components via maps
+		{M: 3, MinCPU: 0.3, ComputePriority: 2},
+		{M: 4, Pinned: []int{g.MustNode("c2-n3")}},
+	}
+	for _, algo := range []string{AlgoCompute, AlgoBandwidth, AlgoBalanced, AlgoStatic} {
+		for _, req := range reqs {
+			first, ferr := Select(algo, snap, req, nil)
+			for i := 0; i < 20; i++ {
+				got, err := Select(algo, snap, req, nil)
+				if (err == nil) != (ferr == nil) || (err != nil && err.Error() != ferr.Error()) {
+					t.Fatalf("%s/%+v: run %d error %v, first run %v", algo, req, i, err, ferr)
+				}
+				if !reflect.DeepEqual(got, first) {
+					t.Fatalf("%s/%+v: run %d returned %+v, first run %+v", algo, req, i, got, first)
+				}
+			}
+		}
+	}
+}

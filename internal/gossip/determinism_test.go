@@ -1,0 +1,90 @@
+package gossip
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"nodeselect/internal/measure"
+)
+
+// recordingTransport captures every frame a node sends, encoded exactly
+// as the wire would carry it.
+type recordingTransport struct {
+	frames [][]byte
+	orders [][]int
+}
+
+func (r *recordingTransport) Exchange(peer string, req *Frame) (*Frame, error) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, req); err != nil {
+		return nil, err
+	}
+	r.frames = append(r.frames, buf.Bytes())
+	if req.Type == TypePush {
+		var origins []int
+		for _, e := range req.Entries {
+			origins = append(origins, e.Origin)
+		}
+		r.orders = append(r.orders, origins)
+	}
+	return &Frame{Type: TypeAck, From: peer, Applied: len(req.Entries)}, nil
+}
+
+// TestPushFrameOrderDeterministic pins the fix for the hot-set iteration
+// leak: the hot set is a map, and before the sort its iteration order
+// decided the entry order of every push frame — two identically seeded
+// runs could emit different wire bytes. Push entries must come out in
+// origin order, and whole runs must be byte-identical.
+func TestPushFrameOrderDeterministic(t *testing.T) {
+	run := func() *recordingTransport {
+		rec := &recordingTransport{}
+		clk := measure.NewManual(time.UnixMilli(5000))
+		n := New(Config{
+			Name:      "a",
+			Origin:    -1,
+			Peers:     []string{"b", "c"},
+			Transport: rec,
+			Clock:     clk,
+			Seed:      42,
+		})
+		// Make a scattered set of origins hot in one shot, the way a
+		// burst of news from an anti-entropy exchange does.
+		var entries []Observation
+		for _, origin := range []int{17, 3, 29, 11, 5, 23, 2, 19} {
+			entries = append(entries, Observation{
+				Origin: origin, Seq: 1,
+				Stamp: Stamp{WallMS: int64(1000 + origin)},
+				Load:  float64(origin),
+			})
+		}
+		n.Handle(&Frame{Type: TypePush, From: "c", Entries: entries})
+		for i := 0; i < 3; i++ {
+			n.Tick()
+			clk.Advance(time.Second)
+		}
+		return rec
+	}
+
+	rec := run()
+	if len(rec.orders) == 0 {
+		t.Fatal("no push frames recorded")
+	}
+	for _, origins := range rec.orders {
+		if !sort.IntsAreSorted(origins) {
+			t.Fatalf("push frame entries out of origin order: %v", origins)
+		}
+	}
+
+	again := run()
+	if len(again.frames) != len(rec.frames) {
+		t.Fatalf("reruns sent %d vs %d frames", len(again.frames), len(rec.frames))
+	}
+	for i := range rec.frames {
+		if !bytes.Equal(rec.frames[i], again.frames[i]) {
+			t.Fatalf("frame %d differs between identically seeded runs:\n%s\nvs\n%s",
+				i, rec.frames[i], again.frames[i])
+		}
+	}
+}

@@ -27,6 +27,7 @@ package gossip
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -229,6 +230,11 @@ func (n *Node) Tick() {
 		}
 	}
 	n.mu.Unlock()
+
+	// The hot set is a map; its iteration order must not decide the wire.
+	// Sorting keeps push-frame entry order — and thus the frame bytes two
+	// identically seeded runs produce — deterministic.
+	sort.Ints(hotOrigins)
 
 	if len(hotOrigins) > 0 {
 		entries := make([]Observation, 0, len(hotOrigins))

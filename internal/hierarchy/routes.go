@@ -1,0 +1,174 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/topology"
+)
+
+// backboneRoutes is a static route table restricted to the backbone nodes,
+// in dense backbone indices. Building it costs O(B·(B+E_b)) time and
+// O(B²) memory for B backbone nodes — against the full table's O(V²),
+// which at 50k nodes is tens of gigabytes and the reason the flat path
+// cannot scale.
+//
+// Restricted to backbone endpoints it reproduces the full table exactly:
+// the full builder BFSes every destination scanning adjacency in link-ID
+// order, and bundle members are degree-1 dead ends — they are discovered
+// and enqueued but expand to nothing, so deleting them from the BFS never
+// reorders the discovery of backbone nodes nor changes any backbone next
+// pointer. A full-graph route therefore decomposes as
+//
+//	route(a, b) = access(a) + backboneRoute(anchor(a), anchor(b)) + access(b)
+//
+// with the access terms present only for collapsed members, and the link
+// order of the walk preserved — which is what lets the quotient path score
+// candidate sets bit-identically to core.Score without ever materializing
+// the V×V table.
+type backboneRoutes struct {
+	n int
+	// next[si*n+di] is the original link ID of the first hop from
+	// backbone node si towards backbone node di, or -1; hops is the hop
+	// count, or -1 when unreachable.
+	next []int32
+	hops []int32
+}
+
+// buildBackboneRoutes BFSes every backbone destination over the
+// backbone-only adjacency (the full adjacency with member links skipped),
+// in the same link-ID scan order as topology's full-table builder.
+func buildBackboneRoutes(g *topology.Graph, backboneIDs []int, bidx []int) *backboneRoutes {
+	n := len(backboneIDs)
+	rt := &backboneRoutes{
+		n:    n,
+		next: make([]int32, n*n),
+		hops: make([]int32, n*n),
+	}
+	for i := range rt.next {
+		rt.next[i] = -1
+		rt.hops[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for di := 0; di < n; di++ {
+		rt.hops[di*n+di] = 0
+		queue = append(queue[:0], di)
+		for head := 0; head < len(queue); head++ {
+			ui := queue[head]
+			u := backboneIDs[ui]
+			for _, lid := range g.Incident(u) {
+				v := g.Link(lid).Other(u)
+				vi := bidx[v]
+				if vi < 0 {
+					continue // collapsed member: a dead end for routing
+				}
+				if rt.hops[vi*n+di] < 0 {
+					rt.hops[vi*n+di] = rt.hops[ui*n+di] + 1
+					rt.next[vi*n+di] = int32(lid)
+					queue = append(queue, vi)
+				}
+			}
+		}
+	}
+	return rt
+}
+
+// walkBackbone visits the links of the backbone route between two backbone
+// nodes (original IDs), in path order. It panics on unreachable pairs,
+// mirroring topology.WalkRoute.
+func (p *Partition) walkBackbone(a, b int, visit func(linkID int)) {
+	if a == b {
+		return
+	}
+	rt := p.routes
+	ai, bi := p.bidx[a], p.bidx[b]
+	if rt.hops[ai*rt.n+bi] < 0 {
+		panic(fmt.Sprintf("hierarchy: no route from node %d to node %d", a, b))
+	}
+	for u := ai; u != bi; {
+		lid := int(rt.next[u*rt.n+bi])
+		visit(lid)
+		u = p.bidx[p.g.Link(lid).Other(p.backboneIDs[u])]
+	}
+}
+
+// walkPair visits the links of the full-graph static route between any two
+// nodes, in path order, using the access + backbone + access decomposition.
+func (p *Partition) walkPair(a, b int, visit func(linkID int)) {
+	if a == b {
+		return
+	}
+	aa, ab := p.anchorOf[a], p.anchorOf[b]
+	if aa != a {
+		visit(p.accessOf[a])
+	}
+	if aa != ab {
+		p.walkBackbone(aa, ab, visit)
+	}
+	if ab != b {
+		visit(p.accessOf[b])
+	}
+}
+
+// linkFactor mirrors core's fractional availability convention.
+func linkFactor(s *topology.Snapshot, link int, req core.Request) float64 {
+	if req.RefCapacity > 0 {
+		return s.AvailBW[link] / req.RefCapacity
+	}
+	return s.BWFactor(link)
+}
+
+// priorityOf mirrors core's effective compute priority.
+func priorityOf(req core.Request) float64 {
+	if req.ComputePriority <= 0 {
+		return 1
+	}
+	return req.ComputePriority
+}
+
+// score replicates core.Score field by field — same pair iteration order,
+// same walk order, same strict-minimum bottleneck capture — over the
+// decomposed routes, so the quotient path's results and audit fields are
+// indistinguishable from the flat path's.
+func (p *Partition) score(s *topology.Snapshot, nodes []int, req core.Request) core.Result {
+	res := core.Result{
+		Nodes:          append([]int(nil), nodes...),
+		MinCPU:         math.Inf(1),
+		PairMinBW:      math.Inf(1),
+		MinBWFactor:    math.Inf(1),
+		BottleneckLink: -1,
+	}
+	sort.Ints(res.Nodes)
+	for _, id := range res.Nodes {
+		if cpu := s.EffectiveCPU(id); cpu < res.MinCPU {
+			res.MinCPU = cpu
+		}
+	}
+	for i := 0; i < len(res.Nodes); i++ {
+		for j := i + 1; j < len(res.Nodes); j++ {
+			a, b := res.Nodes[i], res.Nodes[j]
+			lat := 0.0
+			p.walkPair(a, b, func(lid int) {
+				bw := s.AvailBW[lid]
+				if bw < res.PairMinBW {
+					res.PairMinBW = bw
+					res.BottleneckLink = lid
+				}
+				if f := linkFactor(s, lid, req); f < res.MinBWFactor {
+					res.MinBWFactor = f
+				}
+				lat += s.Graph.Link(lid).Latency
+			})
+			if lat > res.MaxPairLatency {
+				res.MaxPairLatency = lat
+			}
+		}
+	}
+	if len(res.Nodes) == 0 {
+		res.MinCPU = 0
+	}
+	res.MinResource = math.Min(res.MinCPU, priorityOf(req)*res.MinBWFactor)
+	return res
+}

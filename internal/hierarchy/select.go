@@ -1,0 +1,410 @@
+package hierarchy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"nodeselect/internal/core"
+	"nodeselect/internal/randx"
+	"nodeselect/internal/reqtrace"
+	"nodeselect/internal/topology"
+)
+
+// Path reports which implementation answered a hierarchy-routed request.
+type Path string
+
+const (
+	// PathQuotient means the collapsed quotient sweep ran.
+	PathQuotient Path = "quotient"
+	// PathFallback means the request fell outside the quotient path's
+	// proven-equivalent class and the flat core path answered instead.
+	PathFallback Path = "fallback"
+)
+
+// Select runs cluster-first selection. When the request lies in the
+// quotient path's exact-equivalence class — a bandwidth or balanced sweep,
+// M ≥ 2, no pinned nodes, no latency ceiling, no observer or paper-literal
+// ablation, and a partition with at least one cluster built over this
+// graph — the collapsed sweep answers; anything else falls back to
+// core.SelectOpt unchanged. Either way the caller gets exactly what the
+// flat path would have returned.
+//
+// The snapshot must carry the same measurements the partition was built
+// from (services guarantee this by caching partitions per measurement
+// epoch); otherwise the cluster signatures no longer describe the network
+// and the equivalence contract is void.
+func Select(algo string, s *topology.Snapshot, p *Partition, req core.Request, src *randx.Source, opts core.Options) (core.Result, Path, error) {
+	if !quotientApplies(algo, s, p, req, opts) {
+		res, err := core.SelectOpt(algo, s, req, src, opts)
+		return res, PathFallback, err
+	}
+	res, err := quotientSelect(s, p, req, algo == core.AlgoBalanced)
+	return res, PathQuotient, err
+}
+
+// SelectCtx is Select timed as a "hierarchy.sweep" span on the context's
+// trace, recording which path answered.
+func SelectCtx(ctx context.Context, algo string, s *topology.Snapshot, p *Partition, req core.Request, src *randx.Source, opts core.Options) (core.Result, Path, error) {
+	span := reqtrace.StartChild(ctx, "hierarchy.sweep")
+	defer span.End()
+	span.SetAttr("algo", algo)
+	res, path, err := Select(algo, s, p, req, src, opts)
+	span.SetAttr("path", string(path))
+	if err != nil {
+		span.Fail(err)
+	}
+	return res, path, err
+}
+
+// quotientApplies gates the quotient sweep to the request class its
+// equivalence argument covers (see DESIGN.md §15). Outside it the flat
+// path is authoritative:
+//
+//   - only the sweep objectives collapse (compute/random/static have no
+//     edge-deletion structure to exploit);
+//   - M < 2 admits singleton components, which the quotient graph does
+//     not track below cluster activation;
+//   - pinned nodes and latency ceilings make candidate pools depend on
+//     concrete member identity, not cluster rank order;
+//   - observers and the paper-literal ablations are defined in terms of
+//     the flat enumeration;
+//   - and a partition from another graph (or with nothing collapsed)
+//     offers no quotient to sweep.
+func quotientApplies(algo string, s *topology.Snapshot, p *Partition, req core.Request, opts core.Options) bool {
+	if p == nil || s == nil || p.g != s.Graph || len(p.bundles) == 0 {
+		return false
+	}
+	if algo != core.AlgoBalanced && algo != core.AlgoBandwidth {
+		return false
+	}
+	if req.M < 2 || len(req.Pinned) > 0 || req.MaxPairLatency > 0 {
+		return false
+	}
+	if opts.Observer != nil || opts.PaperEarlyStop || opts.PaperSingleEdgeRemoval {
+		return false
+	}
+	return true
+}
+
+// qedge is one quotient-graph edge: a usable backbone link, or a cluster
+// activation (the single edge standing in for every access link of one
+// bundle, at their shared metric).
+type qedge struct {
+	metric float64
+	a, b   int // dense quotient vertex indices
+}
+
+// hrec is one recorded component of the quotient sweep's laminar family,
+// mirroring the flat path's sweepComp.
+type hrec struct {
+	birth, death int
+	minID        int
+	score        float64
+	res          core.Result
+}
+
+// setEval memoizes the pure node-set evaluation, as the flat path does:
+// consecutive components of the merge hierarchy usually re-select the same
+// top-CPU set.
+type setEval struct {
+	res   core.Result
+	score float64
+	keep  bool
+}
+
+// quotientSelect is the collapsed form of core's fastSweepSelect. The
+// quotient graph has one vertex per backbone node and one per bundle; a
+// bundle's activation edge joins it to its anchor at the uniform metric of
+// its access links. Because every access link of a bundle shares one
+// metric value, the quotient tier value sequence equals the flat one, and
+// with M ≥ 2 the flat sweep's sub-activation fragments (isolated members)
+// can never record — so the recorded component family, with births,
+// deaths, min IDs, candidate sets (merged per-cluster rank prefixes) and
+// scores (decomposed routes), matches the flat path's exactly.
+func quotientSelect(s *topology.Snapshot, p *Partition, req core.Request, balanced bool) (core.Result, error) {
+	g := s.Graph
+	m := req.M
+
+	// Per-request eligibility, mirroring core's request validation for
+	// the gated class (no pins reach this path).
+	eligNode := func(id int) bool {
+		if req.Eligible != nil && !req.Eligible(id) {
+			return false
+		}
+		if req.MinCPU > 0 && s.EffectiveCPU(id) < req.MinCPU {
+			return false
+		}
+		if req.MinMemoryMB > 0 && g.Node(id).MemoryMB < req.MinMemoryMB {
+			return false
+		}
+		return true
+	}
+	unconstrained := req.Eligible == nil && req.MinCPU <= 0 && req.MinMemoryMB <= 0
+
+	// eligMembers[j] is bundle j's eligible members in rank order — the
+	// cluster's slice of the global topCPUNodes order.
+	eligMembers := make([][]int, len(p.bundles))
+	eligTotal := 0
+	for j := range p.bundles {
+		b := &p.bundles[j]
+		if unconstrained {
+			eligMembers[j] = b.Members
+		} else {
+			kept := b.Members[:0:0]
+			for _, id := range b.Members {
+				if eligNode(id) {
+					kept = append(kept, id)
+				}
+			}
+			eligMembers[j] = kept
+		}
+		eligTotal += len(eligMembers[j])
+	}
+	nb := len(p.backboneIDs)
+	eligBackbone := make([]bool, nb)
+	for i, id := range p.backboneIDs {
+		if g.Node(id).Kind == topology.Compute && eligNode(id) {
+			eligBackbone[i] = true
+			eligTotal++
+		}
+	}
+	if eligTotal < m {
+		return core.Result{}, fmt.Errorf("%w: %d eligible, %d required", core.ErrTooFewNodes, eligTotal, m)
+	}
+
+	metricOf := func(l int) float64 {
+		if balanced {
+			return linkFactor(s, l, req)
+		}
+		return s.AvailBW[l]
+	}
+	usable := func(l int) bool { return req.MinBW <= 0 || s.AvailBW[l] >= req.MinBW }
+
+	// Quotient edges: usable backbone links plus one activation edge per
+	// bundle with a usable interior. A bundle with an unusable interior
+	// never activates — exactly as its members stay isolated singletons
+	// in the flat sweep.
+	var edges []qedge
+	for l := 0; l < g.NumLinks(); l++ {
+		lk := g.Link(l)
+		ai, bi := p.bidx[lk.A], p.bidx[lk.B]
+		if ai < 0 || bi < 0 {
+			continue // an access link, represented by its bundle's activation
+		}
+		if usable(l) {
+			edges = append(edges, qedge{metric: metricOf(l), a: ai, b: bi})
+		}
+	}
+	for j := range p.bundles {
+		b := &p.bundles[j]
+		if usable(b.Links[0]) {
+			edges = append(edges, qedge{metric: metricOf(b.Links[0]), a: nb + j, b: p.bidx[b.Anchor]})
+		}
+	}
+	// Ascending metric; ties keep insertion order (irrelevant to the
+	// outcome — records happen only at tier boundaries — but stable).
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].metric < edges[j].metric })
+	var tiers [][]qedge
+	for i := 0; i < len(edges); {
+		j := i
+		for j < len(edges) && edges[j].metric == edges[i].metric {
+			j++
+		}
+		tiers = append(tiers, edges[i:j])
+		i = j
+	}
+	k := len(tiers)
+
+	// Union-find over quotient vertices with the component aggregates the
+	// sweep needs: eligible count, min member ID (over every collapsed
+	// and backbone node), and the top-m eligible members in rank order.
+	nv := nb + len(p.bundles)
+	parent := make([]int, nv)
+	size := make([]int, nv)
+	minID := make([]int, nv)
+	eligCnt := make([]int, nv)
+	top := make([][]int, nv)
+	for i := 0; i < nv; i++ {
+		parent[i] = i
+		if i < nb {
+			id := p.backboneIDs[i]
+			size[i] = 1
+			minID[i] = id
+			if eligBackbone[i] {
+				eligCnt[i] = 1
+				top[i] = []int{id}
+			}
+		} else {
+			b := &p.bundles[i-nb]
+			size[i] = len(b.Members)
+			minID[i] = b.MinID
+			em := eligMembers[i-nb]
+			eligCnt[i] = len(em)
+			if len(em) > m {
+				em = em[:m]
+			}
+			top[i] = em
+		}
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	better := func(a, b int) bool {
+		ca, cb := s.EffectiveCPU(a), s.EffectiveCPU(b)
+		if ca != cb {
+			return ca > cb
+		}
+		return a < b
+	}
+	mergeTop := func(x, y []int) []int {
+		want := len(x) + len(y)
+		if want > m {
+			want = m
+		}
+		out := make([]int, 0, want)
+		i, j := 0, 0
+		for len(out) < want {
+			switch {
+			case i == len(x):
+				out = append(out, y[j])
+				j++
+			case j == len(y):
+				out = append(out, x[i])
+				i++
+			case better(x[i], y[j]):
+				out = append(out, x[i])
+				i++
+			default:
+				out = append(out, y[j])
+				j++
+			}
+		}
+		return out
+	}
+	union := func(a, b int) (winner, loser int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra, -1
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		if minID[rb] < minID[ra] {
+			minID[ra] = minID[rb]
+		}
+		eligCnt[ra] += eligCnt[rb]
+		top[ra] = mergeTop(top[ra], top[rb])
+		top[rb] = nil
+		return ra, rb
+	}
+
+	var recs []hrec
+	cur := make([]int, nv)
+	for i := range cur {
+		cur[i] = -1
+	}
+	memo := make(map[string]setEval)
+	evaluate := func(root, death int) {
+		if eligCnt[root] < m {
+			return // the flat path's pools all come up short too
+		}
+		nodes := append([]int(nil), top[root]...)
+		sort.Ints(nodes)
+		key := nodeSetKey(nodes)
+		e, ok := memo[key]
+		if !ok {
+			res := p.score(s, nodes, req)
+			if req.MinBW > 0 && res.PairMinBW < req.MinBW {
+				e = setEval{}
+			} else if balanced {
+				e = setEval{res: res, score: math.Min(res.MinCPU, priorityOf(req)*res.MinBWFactor), keep: true}
+			} else {
+				e = setEval{res: res, score: res.PairMinBW, keep: true}
+			}
+			memo[key] = e
+		}
+		if !e.keep {
+			return
+		}
+		recs = append(recs, hrec{death: death, minID: minID[root], score: e.score, res: e.res})
+		cur[root] = len(recs) - 1
+	}
+
+	// Round k (every quotient vertex isolated) is skipped deliberately:
+	// in the flat sweep round k holds only singleton nodes, which with
+	// M ≥ 2 can never record — and a not-yet-activated bundle vertex is
+	// not a flat component at all, so it must not be evaluated early.
+	dirtyMark := make([]int, nv)
+	for i := range dirtyMark {
+		dirtyMark[i] = -1
+	}
+	var dirty []int
+	for t := k; t >= 1; t-- {
+		dirty = dirty[:0]
+		for _, e := range tiers[t-1] {
+			winner, loser := union(e.a, e.b)
+			if loser < 0 {
+				continue // cycle edge: component unchanged
+			}
+			for _, r := range [2]int{winner, loser} {
+				if cur[r] >= 0 {
+					recs[cur[r]].birth = t
+					cur[r] = -1
+				}
+			}
+			if dirtyMark[winner] != t {
+				dirtyMark[winner] = t
+				dirty = append(dirty, winner)
+			}
+		}
+		for _, r := range dirty {
+			if find(r) != r {
+				continue // absorbed by a later merge within the same tier
+			}
+			evaluate(r, t-1)
+		}
+	}
+
+	best := -1
+	for i := range recs {
+		r := &recs[i]
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := &recs[best]
+		if r.score > b.score ||
+			(r.score == b.score && (r.birth < b.birth ||
+				(r.birth == b.birth && r.minID < b.minID))) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return core.Result{}, fmt.Errorf("%w: no component provides %d connected eligible compute nodes",
+			core.ErrNoFeasibleSet, req.M)
+	}
+	return recs[best].res, nil
+}
+
+// nodeSetKey encodes a sorted node-ID set as a compact self-delimiting
+// string, the same memo key shape the flat path uses.
+func nodeSetKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*2+4)
+	for _, id := range nodes {
+		v := uint(id)
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}

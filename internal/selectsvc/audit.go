@@ -105,6 +105,12 @@ type Decision struct {
 	// "bypass" (leased, spec, or randomized requests, which are never
 	// cached). Empty when the cache is disabled.
 	Cache string `json:"cache,omitempty"`
+	// Hierarchy reports how hierarchical selection answered this plain
+	// select: "quotient" (the collapsed cluster-first sweep) or
+	// "fallback" (the request fell outside the quotient path's
+	// proven-equivalent class and the flat path ran). Empty when the
+	// service runs without -hierarchy or for leased/spec requests.
+	Hierarchy string `json:"hierarchy,omitempty"`
 	// Trace is the sweep's round log, oldest first.
 	Trace []DecisionRound `json:"trace,omitempty"`
 	// TraceTruncated marks a trace cut off at maxTraceRounds rounds.

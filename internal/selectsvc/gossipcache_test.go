@@ -1,0 +1,131 @@
+package selectsvc
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"nodeselect/internal/gossip"
+	"nodeselect/internal/measure"
+	"nodeselect/internal/remos"
+	"nodeselect/internal/topology"
+)
+
+// gossipObserve merges one complete fleet reading into the store, as a
+// round of rumor mongering or an anti-entropy delta would: every node
+// origin gets an observation stamped at wall ms, with loads taken from
+// the map (absent = idle) and the hub (node 0, lower endpoint of every
+// access link) carrying all the link counters.
+func gossipObserve(t *testing.T, store *gossip.Store, g *topology.Graph, wall int64, loads map[string]float64) {
+	t.Helper()
+	links := make(map[int]gossip.LinkReading, g.NumLinks())
+	for _, l := range g.Links() {
+		links[l.ID] = gossip.LinkReading{}
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		obs := gossip.Observation{
+			Origin: id,
+			Seq:    uint64(wall),
+			Stamp:  gossip.Stamp{WallMS: wall},
+			Time:   float64(wall) / 1000,
+			Load:   loads[g.Node(id).Name],
+		}
+		if id == 0 {
+			obs.Links = links
+		}
+		if !store.Put(obs) {
+			t.Fatalf("observation for %s at wall %d did not apply", g.Node(id).Name, wall)
+		}
+	}
+}
+
+// TestGossipDeltaCannotStaleCachedPlan pins the plan-cache contract under
+// -measure-source=gossip. The cache keys on (poll count, ledger version),
+// and in gossip mode the backing store mutates *between* polls as
+// anti-entropy deltas land — so the epoch key is only sound if those
+// mutations cannot reach a served snapshot without a poll. They cannot:
+// Collector.Snapshot is a pure function of the polled sample ring, and
+// the gossip store is read exclusively inside PollCtx, so the store
+// version may advance arbitrarily without perturbing what the current
+// epoch serves. This test drives that end to end: a delta that flips the
+// selection outcome lands after a plan is cached, the repeat request must
+// still be a cache hit answering from the (unchanged) pre-delta snapshot,
+// and only the next poll moves the epoch and surfaces the new world.
+func TestGossipDeltaCannotStaleCachedPlan(t *testing.T) {
+	g := topology.NewGraph()
+	hub := g.AddNetworkNode("hub")
+	for i := 0; i < 4; i++ {
+		id := g.AddComputeNode(fmt.Sprintf("c%02d", i))
+		g.Connect(hub, id, 100e6, topology.LinkOpts{})
+	}
+	clk := measure.NewManual(time.UnixMilli(0))
+	store := gossip.NewStore(clk)
+	src := gossip.NewSnapshotSource(g, store)
+
+	// Two full-fleet readings with c02/c03 heavily loaded, one poll each,
+	// so rate-based link counters have a window to difference over.
+	gossipObserve(t, store, g, 1000, map[string]float64{"c02": 2.0, "c03": 2.0})
+	svc := New(src, Config{Seed: 1, DefaultMode: remos.Current})
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	gossipObserve(t, store, g, 2000, map[string]float64{"c02": 2.0, "c03": 2.0})
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := svc.Handler()
+	req := SelectRequest{M: 2, Algo: "compute"}
+	first := append([]string(nil), selectNodes(t, h, req)...)
+	sort.Strings(first)
+	if want := []string{"c00", "c01"}; !reflect.DeepEqual(first, want) {
+		t.Fatalf("initial select = %v, want the idle pair %v", first, want)
+	}
+	before, err := svc.snapshot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An anti-entropy delta flips the world: the idle pair is now the
+	// loaded pair. The store version moves; the snapshot epoch must not.
+	v0 := store.Version()
+	gossipObserve(t, store, g, 3000, map[string]float64{"c00": 2.4, "c01": 2.4})
+	if store.Version() == v0 {
+		t.Fatal("gossip delta did not move the store version")
+	}
+
+	second := append([]string(nil), selectNodes(t, h, req)...)
+	sort.Strings(second)
+	if d := svc.Decisions(1)[0]; d.Cache != "hit" {
+		t.Fatalf("repeat select after gossip delta: cache = %q, want hit", d.Cache)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Fatalf("cached answer changed under the same epoch: %v vs %v", second, first)
+	}
+	// The hit is fresh, not stale: the snapshot the epoch names is
+	// untouched by the delta, so recomputing now would give the same plan.
+	after, err := svc.snapshot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.LoadAvg, before.LoadAvg) || !reflect.DeepEqual(after.AvailBW, before.AvailBW) {
+		t.Fatalf("gossip delta leaked into the served snapshot without a poll:\nloads %v -> %v",
+			before.LoadAvg, after.LoadAvg)
+	}
+
+	// Only a poll ingests the delta: the epoch moves, the cache flushes,
+	// and the same request now answers from the flipped world.
+	if err := svc.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	third := append([]string(nil), selectNodes(t, h, req)...)
+	sort.Strings(third)
+	if d := svc.Decisions(1)[0]; d.Cache != "miss" {
+		t.Fatalf("select after poll: cache = %q, want miss", d.Cache)
+	}
+	if want := []string{"c02", "c03"}; !reflect.DeepEqual(third, want) {
+		t.Fatalf("post-poll select = %v, want the newly idle pair %v", third, want)
+	}
+}

@@ -57,6 +57,23 @@ type svcMetrics struct {
 	// request latency, observed by the correlation middleware for every
 	// route (including the meta-endpoints that are not traced)
 	httpLatency *metrics.HistogramVec
+	// selectsvc_hierarchy_requests_total{path}: plain selects routed
+	// through hierarchical selection, by answering path — quotient
+	// (collapsed sweep) or fallback (flat path)
+	hierRequests *metrics.CounterVec
+	// selectsvc_hierarchy_partition_builds_total: cluster partitions
+	// computed (one per (snapshot, ledger) epoch that served a
+	// hierarchical select)
+	hierPartitionBuilds *metrics.Counter
+	// selectsvc_hierarchy_partition_build_seconds: wall-clock cost of one
+	// partition build
+	hierPartitionSeconds *metrics.Histogram
+	// selectsvc_hierarchy_clusters: logical clusters in the current
+	// partition
+	hierClusters *metrics.Gauge
+	// selectsvc_hierarchy_collapsed_nodes: compute nodes absorbed into
+	// clusters in the current partition
+	hierCollapsed *metrics.Gauge
 }
 
 func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
@@ -88,6 +105,16 @@ func newSvcMetrics(reg *metrics.Registry) *svcMetrics {
 		httpLatency: reg.NewHistogramVec("selectsvc_http_request_seconds",
 			"HTTP request latency, by route and status class.", nil,
 			"route", "status_class"),
+		hierRequests: reg.NewCounterVec("selectsvc_hierarchy_requests_total",
+			"Hierarchical selects served, by answering path (quotient or fallback).", "path"),
+		hierPartitionBuilds: reg.NewCounter("selectsvc_hierarchy_partition_builds_total",
+			"Cluster partitions built, one per epoch that served a hierarchical select."),
+		hierPartitionSeconds: reg.NewHistogram("selectsvc_hierarchy_partition_build_seconds",
+			"Wall-clock cost of building one cluster partition.", nil),
+		hierClusters: reg.NewGauge("selectsvc_hierarchy_clusters",
+			"Logical clusters in the current partition."),
+		hierCollapsed: reg.NewGauge("selectsvc_hierarchy_collapsed_nodes",
+			"Compute nodes collapsed into clusters in the current partition."),
 	}
 }
 

@@ -29,8 +29,11 @@ type cachedPlan struct {
 	res       core.Result
 	trace     []DecisionRound
 	truncated bool
-	err       error
-	errClass  string
+	// hier is the hierarchy path that computed this plan ("quotient" or
+	// "fallback"), or "" when hierarchical selection was not in play.
+	hier     string
+	err      error
+	errClass string
 }
 
 // planEntry is one singleflight slot: the first requester computes and

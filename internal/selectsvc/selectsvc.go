@@ -29,6 +29,7 @@ import (
 	"nodeselect/internal/admission"
 	"nodeselect/internal/appspec"
 	"nodeselect/internal/core"
+	"nodeselect/internal/hierarchy"
 	"nodeselect/internal/lease"
 	"nodeselect/internal/metrics"
 	"nodeselect/internal/randx"
@@ -80,6 +81,18 @@ type Config struct {
 	// negative disables caching entirely. Leased, spec, and random-
 	// algorithm requests always bypass the cache.
 	PlanCacheSize int
+	// Hierarchy routes plain (unleased) sweep selects through the
+	// cluster-first quotient path of internal/hierarchy: the residual
+	// snapshot is partitioned into logical clusters once per (snapshot,
+	// ledger) epoch — cached like the plan cache — and requests inside
+	// the quotient path's proven-equivalent class are answered by the
+	// collapsed sweep, with everything else falling back to the flat
+	// path. Results are bit-identical either way; what changes is select
+	// latency on 10k+-node topologies. The per-round decision trace is
+	// not recorded for hierarchical selects (an installed observer would
+	// force the flat path), so /decisions entries carry the "hierarchy"
+	// field instead of a sweep trace.
+	Hierarchy bool
 	// BatchWindow, when positive, routes leased selects through the
 	// epoch-batch admission pipeline: concurrent acquires queue for up to
 	// this long (or until BatchMax of them arrive), then commit as one
@@ -143,6 +156,7 @@ type Service struct {
 	ledger   *lease.Ledger
 	admit    *admission.Pipeline // nil when batching is off
 	plans    *planCache          // nil when disabled
+	hier     hierCache           // used only with cfg.Hierarchy
 	rebal    *rebalance.Controller
 	tracer   *reqtrace.Tracer
 	lastPoll pollSpans
@@ -905,10 +919,14 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			base.Pinned = append(base.Pinned, id)
 		}
 		// The sweep algorithms report their decision trace; the others
-		// have no sweep to trace.
+		// have no sweep to trace. Hierarchical plain selects skip the
+		// observer — it would force the quotient path's flat fallback —
+		// and record which path answered instead.
+		useHier := s.cfg.Hierarchy && !leased &&
+			(algo == core.AlgoBalanced || algo == core.AlgoBandwidth)
 		var opts core.Options
 		var steps []core.SweepStep
-		if algo == core.AlgoBalanced || algo == core.AlgoBandwidth {
+		if (algo == core.AlgoBalanced || algo == core.AlgoBandwidth) && !useHier {
 			opts.Observer = func(st core.SweepStep) { steps = append(steps, st) }
 		}
 		var res core.Result
@@ -973,9 +991,27 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		} else {
+			epoch := planEpoch{polls: polls, ledger: ledgerVersion}
 			compute := func(cctx context.Context) cachedPlan {
 				var p cachedPlan
-				_, err := placeFn(cctx, s.ledger.Residual(snap), 0)
+				var err error
+				if useHier {
+					// The partition is built from (and cached for) the
+					// residual view: lease debits change link availability,
+					// and cluster uniformity must hold in the measurements
+					// the sweep actually scores against.
+					residual := s.ledger.Residual(snap)
+					part := s.partitionFor(epoch, residual)
+					creq := base
+					if demand.CPU > creq.MinCPU {
+						creq.MinCPU = demand.CPU
+					}
+					var hpath hierarchy.Path
+					res, hpath, err = hierarchy.SelectCtx(cctx, algo, residual, part, creq, src, opts)
+					p.hier = string(hpath)
+				} else {
+					_, err = placeFn(cctx, s.ledger.Residual(snap), 0)
+				}
 				p.res = res
 				p.trace, p.truncated = decisionRounds(g, steps)
 				if err != nil {
@@ -986,7 +1022,6 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 			}
 			var plan cachedPlan
 			if s.plans != nil && algo != core.AlgoRandom {
-				epoch := planEpoch{polls: polls, ledger: ledgerVersion}
 				entry, owner := s.plans.acquire(epoch, planKey(d.Mode, algo, req))
 				if owner {
 					d.Cache = "miss"
@@ -1025,6 +1060,10 @@ func (s *Service) handleSelect(w http.ResponseWriter, r *http.Request) {
 				plan = compute(ctx)
 			}
 			d.Trace, d.TraceTruncated = plan.trace, plan.truncated
+			if plan.hier != "" {
+				d.Hierarchy = plan.hier
+				s.metrics.hierRequests.With(plan.hier).Inc()
+			}
 			if plan.err != nil {
 				fail(plan.errClass, plan.err)
 				return

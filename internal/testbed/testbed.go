@@ -145,6 +145,45 @@ func HeteroClusters() *topology.Graph {
 	return g
 }
 
+// FatTree builds the canonical k-ary fat-tree (k even, k >= 2): (k/2)²
+// core switches, k pods of k/2 aggregation and k/2 edge switches, and k/2
+// hosts per edge switch — k³/4 hosts in total (k=16 → 1024, k=34 → 9826,
+// k=58 → 48778). Hosts attach at hostBW; every fabric link (edge-agg,
+// agg-core) carries fabricBW. With its uniform access tier the fat-tree is
+// the natural large-scale input for hierarchical selection: every edge
+// switch's hosts collapse into one logical cluster.
+func FatTree(k int, hostBW, fabricBW float64) *topology.Graph {
+	if k < 2 || k%2 != 0 {
+		panic("testbed: fat-tree arity must be even and >= 2")
+	}
+	g := topology.NewGraph()
+	half := k / 2
+	cores := make([]int, half*half)
+	for i := range cores {
+		cores[i] = g.AddNetworkNode(fmt.Sprintf("core-%d", i+1))
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]int, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = g.AddNetworkNode(fmt.Sprintf("p%d-a%d", p+1, j+1))
+			for c := 0; c < half; c++ {
+				g.Connect(aggs[j], cores[j*half+c], fabricBW, topology.LinkOpts{Latency: EthernetLatency})
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := g.AddNetworkNode(fmt.Sprintf("p%d-e%d", p+1, e+1))
+			for j := 0; j < half; j++ {
+				g.Connect(edge, aggs[j], fabricBW, topology.LinkOpts{Latency: EthernetLatency})
+			}
+			for h := 0; h < half; h++ {
+				id := g.AddComputeNode(fmt.Sprintf("p%d-e%d-h%d", p+1, e+1, h+1))
+				g.Connect(edge, id, hostBW, topology.LinkOpts{Latency: EthernetLatency})
+			}
+		}
+	}
+	return g
+}
+
 // RandomTree builds a random tree of n compute nodes whose link capacities
 // are drawn uniformly from the given choices (defaults to 100 Mbps only).
 func RandomTree(src *randx.Source, n int, capacities []float64) *topology.Graph {
@@ -167,7 +206,11 @@ func RandomTree(src *randx.Source, n int, capacities []float64) *topology.Graph 
 }
 
 // Named returns a topology by name, for CLI tools: "cmu", "figure1",
-// "star:<n>", "dumbbell:<k>", "multicluster:<clusters>x<per>".
+// "star:<n>", "dumbbell:<k>", "multicluster:<clusters>x<per>",
+// "tiered:<clusters>x<per>" (two-tier cluster fabric: gigabit backbone,
+// 100 Mbps access) and "fattree:<k>" (k-ary fat-tree: gigabit fabric,
+// 100 Mbps hosts). Large-scale presets: tiered:100x100 ≈ 10k nodes,
+// fattree:16 → 1024 hosts, fattree:34 → 9826, fattree:58 → 48778.
 func Named(name string) (*topology.Graph, error) {
 	switch name {
 	case "cmu":
@@ -184,6 +227,15 @@ func Named(name string) (*topology.Graph, error) {
 		}
 		if _, err := fmt.Sscanf(name, "multicluster:%dx%d", &n, &k); err == nil {
 			return MultiCluster(n, k, Ethernet100, Ethernet100), nil
+		}
+		if _, err := fmt.Sscanf(name, "tiered:%dx%d", &n, &k); err == nil {
+			return MultiCluster(n, k, Ethernet100, 1e9), nil
+		}
+		if _, err := fmt.Sscanf(name, "fattree:%d", &n); err == nil {
+			if n < 2 || n%2 != 0 {
+				return nil, fmt.Errorf("testbed: fat-tree arity %d must be even and >= 2", n)
+			}
+			return FatTree(n, Ethernet100, 1e9), nil
 		}
 		return nil, fmt.Errorf("testbed: unknown topology %q", name)
 	}

@@ -127,8 +127,39 @@ func TestRandomTree(t *testing.T) {
 	}
 }
 
+func TestFatTree(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		g := FatTree(k, Ethernet100, 1e9)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		half := k / 2
+		if got, want := g.NumComputeNodes(), k*k*k/4; got != want {
+			t.Fatalf("k=%d: hosts = %d, want %d", k, got, want)
+		}
+		if got, want := g.NumNodes()-g.NumComputeNodes(), half*half+k*k; got != want {
+			t.Fatalf("k=%d: switches = %d, want %d", k, got, want)
+		}
+		// k³/4 host links + k·(k/2)² edge-agg links + k·(k/2)² agg-core.
+		if got, want := g.NumLinks(), k*k*k/4+2*k*half*half; got != want {
+			t.Fatalf("k=%d: links = %d, want %d", k, got, want)
+		}
+		// Cross-pod hosts reach each other through the core: 6 hops.
+		if k >= 4 {
+			a, b := g.MustNode("p1-e1-h1"), g.MustNode("p2-e1-h1")
+			if got := g.HopCount(a, b); got != 6 {
+				t.Fatalf("k=%d: cross-pod hops = %d, want 6", k, got)
+			}
+			// Same-edge hosts are two hops apart.
+			if got := g.HopCount(a, g.MustNode("p1-e1-h2")); got != 2 {
+				t.Fatalf("k=%d: same-edge hops = %d, want 2", k, got)
+			}
+		}
+	}
+}
+
 func TestNamed(t *testing.T) {
-	for _, name := range []string{"cmu", "figure1", "star:6", "dumbbell:4", "multicluster:2x3"} {
+	for _, name := range []string{"cmu", "figure1", "star:6", "dumbbell:4", "multicluster:2x3", "tiered:3x4", "fattree:4"} {
 		g, err := Named(name)
 		if err != nil {
 			t.Errorf("Named(%q): %v", name, err)
@@ -141,6 +172,9 @@ func TestNamed(t *testing.T) {
 	if _, err := Named("bogus"); err == nil {
 		t.Error("unknown name accepted")
 	}
+	if _, err := Named("fattree:3"); err == nil {
+		t.Error("odd fat-tree arity accepted")
+	}
 }
 
 func TestBuilderPanics(t *testing.T) {
@@ -149,6 +183,7 @@ func TestBuilderPanics(t *testing.T) {
 		func() { Dumbbell(0, 1e6, 1e6) },
 		func() { MultiCluster(0, 1, 1e6, 1e6) },
 		func() { RandomTree(randx.New(1), 0, nil) },
+		func() { FatTree(3, 1e6, 1e6) },
 	}
 	for i, f := range cases {
 		func() {
